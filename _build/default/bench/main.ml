@@ -1,0 +1,739 @@
+(** The figure harness: regenerates every table and figure of the paper's
+    evaluation (Figures 5-16) on the synthetic corpus, plus a Bechamel
+    micro-benchmark suite for the framework's own moving parts.
+
+    Usage:
+      dune exec bench/main.exe                 # all figures
+      dune exec bench/main.exe -- fig8 fig13   # selected figures
+      dune exec bench/main.exe -- --quick all  # smaller workloads
+      dune exec bench/main.exe -- micro        # bechamel suite
+
+    Workloads are scaled down from the paper's (which take ~19 days); the
+    shapes — who wins, by what factor, where the crossovers are — are the
+    reproduction target.  See EXPERIMENTS.md for the recorded outputs. *)
+
+module Rng = Yali.Rng
+module E = Yali.Embeddings
+module Ml = Yali.Ml
+module G = Yali.Games
+module Ob = Yali.Obfuscation
+module Ir = Yali.Ir
+
+let quick = ref false
+let rounds_override = ref None
+
+let scale n = if !quick then max 1 (n / 2) else n
+let rounds default = Option.value !rounds_override ~default
+
+let header fmt =
+  Printf.ksprintf
+    (fun s ->
+      Printf.printf "\n%s\n%s\n%s\n" (String.make 78 '=') s (String.make 78 '='))
+    fmt
+
+let mean_std xs = (Ml.Metrics.mean xs, Ml.Metrics.stddev xs)
+
+(* ------------------------------------------------------------------ *)
+(* shared machinery                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* materialize (embedded) datasets once per setup and reuse across models *)
+type prepared = {
+  xs_train : float array array;
+  ys_train : int array;
+  xs_test : float array array;
+  ys_test : int array;
+}
+
+let prepare (rng : Rng.t) (setup : G.Game.setup) (embedding : E.Embedding.t)
+    (split : Yali.Dataset.Poj.split) : prepared =
+  let train_mods, test_mods = G.Arena.build_modules rng setup split in
+  let embed m = E.Embedding.to_flat embedding m in
+  {
+    xs_train = Array.map (fun (m, _) -> embed m) train_mods;
+    ys_train = Array.map snd train_mods;
+    xs_test = Array.map (fun (m, _) -> embed m) test_mods;
+    ys_test = Array.map snd test_mods;
+  }
+
+let eval_model (rng : Rng.t) ~(n_classes : int) (model : Ml.Model.flat)
+    (p : prepared) : float * float * int =
+  let trained = model.ftrain rng ~n_classes p.xs_train p.ys_train in
+  let pred = Array.map trained.predict p.xs_test in
+  let acc = Ml.Metrics.accuracy p.ys_test pred in
+  let f1 =
+    Ml.Metrics.macro_f1 (Ml.Metrics.confusion ~n_classes p.ys_test pred)
+  in
+  (acc, f1, trained.size_bytes)
+
+let evaders_of_fig8 () : Ob.Evader.t list =
+  [ Ob.Evader.o3; Ob.Evader.ollvm; Ob.Evader.bcf; Ob.Evader.fla;
+    Ob.Evader.sub; Ob.Evader.rs; Ob.Evader.mcmc; Ob.Evader.drlsg ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5: embeddings on Game0, 32 classes, neural model             *)
+(* ------------------------------------------------------------------ *)
+
+let fig5 () =
+  header "Figure 5: program embeddings on Game0 (32 classes, dgcnn/cnn)";
+  let n_classes = 32 in
+  let r = rounds 2 in
+  Printf.printf "rounds=%d, train/class=%d, test/class=%d\n\n" r (scale 10)
+    (scale 4);
+  Printf.printf "%-14s %8s %8s\n" "embedding" "mean" "std";
+  List.iter
+    (fun (e : E.Embedding.t) ->
+      let accs =
+        List.init r (fun round ->
+            let rng = Rng.make (1000 + round) in
+            let split =
+              Yali.Dataset.Poj.make ~shuffle_classes:true rng ~n_classes
+                ~train_per_class:(scale 10) ~test_per_class:(scale 4)
+            in
+            (G.Arena.run_neural (Rng.split rng) ~n_classes e G.Game.game0 split)
+              .accuracy)
+      in
+      let m, s = mean_std accs in
+      Printf.printf "%-14s %8.4f %8.4f\n%!" e.name m s)
+    E.Embedding.all
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: embeddings on Games 1-3 (ollvm evader, O3 normalizer)     *)
+(* ------------------------------------------------------------------ *)
+
+let fig6 () =
+  header "Figure 6: embeddings on Games 1, 2, 3 (32 classes, ollvm evader)";
+  let n_classes = 32 in
+  let r = rounds 2 in
+  let games =
+    [
+      ("game1", G.Game.game1 Ob.Evader.ollvm);
+      ("game2", G.Game.game2 Ob.Evader.ollvm);
+      ("game3", G.Game.game3 Ob.Evader.ollvm);
+    ]
+  in
+  (* materialise the (expensively evaded) modules once per game and round,
+     then share them across all nine embeddings *)
+  let prepared =
+    List.map
+      (fun (gname, setup) ->
+        ( gname,
+          List.init r (fun round ->
+              let rng = Rng.make (2000 + round) in
+              let split =
+                Yali.Dataset.Poj.make ~shuffle_classes:true rng ~n_classes
+                  ~train_per_class:(scale 8) ~test_per_class:(scale 3)
+              in
+              let rng' = Rng.split rng in
+              (G.Arena.build_modules (Rng.split rng') setup split, rng')) ))
+      games
+  in
+  let eval_cell (e : E.Embedding.t) ((train_mods, test_mods), rng) =
+    let rng = Rng.copy rng in
+    if E.Embedding.is_flat e then begin
+      let embed m = E.Embedding.to_flat e m in
+      let xs = Array.map (fun (m, _) -> embed m) train_mods in
+      let ys = Array.map snd train_mods in
+      let trained = Ml.Model.cnn.ftrain (Rng.split rng) ~n_classes xs ys in
+      Ml.Metrics.accuracy (Array.map snd test_mods)
+        (Array.map (fun (m, _) -> trained.predict (embed m)) test_mods)
+    end
+    else begin
+      let embed m = E.Embedding.to_graph e m in
+      let graphs = Array.map (fun (m, _) -> embed m) train_mods in
+      let ys = Array.map snd train_mods in
+      let feat_dim =
+        if Array.length graphs = 0 then 1 else graphs.(0).E.Graph.feat_dim
+      in
+      let trained =
+        Ml.Model.dgcnn.gtrain (Rng.split rng) ~n_classes ~feat_dim graphs ys
+      in
+      Ml.Metrics.accuracy (Array.map snd test_mods)
+        (Array.map (fun (m, _) -> trained.gpredict (embed m)) test_mods)
+    end
+  in
+  Printf.printf "%-14s %10s %10s %10s\n" "embedding" "game1" "game2" "game3";
+  List.iter
+    (fun (e : E.Embedding.t) ->
+      Printf.printf "%-14s" e.name;
+      List.iter
+        (fun (_, per_round) ->
+          let accs = List.map (eval_cell e) per_round in
+          Printf.printf " %10.4f%!" (fst (mean_std accs)))
+        prepared;
+      print_newline ())
+    E.Embedding.all
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7: six models on Game0, 104 classes, histogram; + memory     *)
+(* ------------------------------------------------------------------ *)
+
+let fig7 () =
+  header "Figure 7: models on Game0 (104 classes, histogram embedding)";
+  let n_classes = 104 in
+  let r = rounds 3 in
+  Printf.printf "rounds=%d, train/class=%d, test/class=%d\n\n" r (scale 20)
+    (scale 5);
+  Printf.printf "%-6s %8s %8s %12s %10s\n" "model" "acc" "std" "memory(KB)"
+    "train(s)";
+  List.iter
+    (fun (model : Ml.Model.flat) ->
+      let results =
+        List.init r (fun round ->
+            let rng = Rng.make (3000 + round) in
+            let split =
+              Yali.Dataset.Poj.make rng ~n_classes ~train_per_class:(scale 20)
+                ~test_per_class:(scale 5)
+            in
+            let p = prepare (Rng.split rng) G.Game.game0 E.Embedding.histogram split in
+            let t0 = Unix.gettimeofday () in
+            let acc, _, bytes = eval_model (Rng.split rng) ~n_classes model p in
+            (acc, bytes, Unix.gettimeofday () -. t0))
+      in
+      let accs = List.map (fun (a, _, _) -> a) results in
+      let m, s = mean_std accs in
+      let bytes = List.fold_left (fun a (_, b, _) -> max a b) 0 results in
+      let time = Ml.Metrics.mean (List.map (fun (_, _, t) -> t) results) in
+      Printf.printf "%-6s %8.4f %8.4f %12d %10.2f\n%!" model.fname m s
+        (bytes / 1024) time)
+    Ml.Model.all_flat
+
+(* ------------------------------------------------------------------ *)
+(* Figures 8, 9, 11: evaders x models on Games 1, 2, 3                 *)
+(* ------------------------------------------------------------------ *)
+
+let evader_model_grid ~(fig : string) ~(mk_setup : Ob.Evader.t -> G.Game.setup)
+    ~(baseline_setup : G.Game.setup) () =
+  let n_classes = scale 24 in
+  let r = rounds 2 in
+  let models = Ml.Model.all_flat in
+  Printf.printf "rounds=%d, classes=%d, train/class=%d, test/class=%d\n\n" r
+    n_classes (scale 10) (scale 4);
+  Printf.printf "%-9s" "evader";
+  List.iter (fun (m : Ml.Model.flat) -> Printf.printf " %8s" m.fname) models;
+  print_newline ();
+  let row name setup =
+    Printf.printf "%-9s" name;
+    (* prepare once per round, share across the six models *)
+    let preps =
+      List.init r (fun round ->
+          let rng = Rng.make (Hashtbl.hash (fig, name, round)) in
+          let split =
+            Yali.Dataset.Poj.make rng ~n_classes ~train_per_class:(scale 10)
+              ~test_per_class:(scale 4)
+          in
+          (prepare (Rng.split rng) setup E.Embedding.histogram split, Rng.split rng))
+    in
+    List.iter
+      (fun (model : Ml.Model.flat) ->
+        let accs =
+          List.map
+            (fun (p, rng) ->
+              let acc, _, _ = eval_model (Rng.copy rng) ~n_classes model p in
+              acc)
+            preps
+        in
+        Printf.printf " %8.4f%!" (fst (mean_std accs)))
+      models;
+    print_newline ()
+  in
+  row "baseline" baseline_setup;
+  List.iter (fun (e : Ob.Evader.t) -> row e.ename (mk_setup e)) (evaders_of_fig8 ())
+
+let fig8 () =
+  header "Figure 8: Game1 — evaders vs. unaware classifiers (histogram)";
+  evader_model_grid ~fig:"fig8" ~mk_setup:G.Game.game1
+    ~baseline_setup:G.Game.game0 ()
+
+let fig9 () =
+  header "Figure 9: Game2 — classifier knows the transformation";
+  evader_model_grid ~fig:"fig9" ~mk_setup:G.Game.game2
+    ~baseline_setup:G.Game.game0 ()
+
+let fig11 () =
+  header "Figure 11: Game3 — classifier normalizes with -O3";
+  evader_model_grid ~fig:"fig11" ~mk_setup:G.Game.game3
+    ~baseline_setup:(G.Game.game3 Ob.Evader.none) ()
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10: histogram distance original vs. transformed              *)
+(* ------------------------------------------------------------------ *)
+
+let fig10 () =
+  header "Figure 10: Euclidean distance between original and transformed histograms";
+  let n_programs = scale 40 in
+  Printf.printf "programs=%d (one per class, cycling)\n\n" n_programs;
+  Printf.printf "%-9s %10s %10s %10s\n" "evader" "mean" "q1" "q3";
+  List.iter
+    (fun (e : Ob.Evader.t) ->
+      let ds =
+        List.init n_programs (fun k ->
+            let p = (Yali.Dataset.Genprog.nth (k mod 104)).generate (Rng.make k) in
+            let h0 = E.Histogram.of_module (Yali.lower p) in
+            let h1 = E.Histogram.of_module (e.apply (Rng.make (k + 7)) p) in
+            E.Histogram.euclidean h0 h1)
+      in
+      let bp = Ml.Metrics.boxplot ds in
+      Printf.printf "%-9s %10.2f %10.2f %10.2f\n%!" e.ename bp.bp_mean bp.q1
+        bp.q3)
+    (Ob.Evader.none :: evaders_of_fig8 ())
+
+(* ------------------------------------------------------------------ *)
+(* Figure 12: accuracy and F1 vs. number of classes                    *)
+(* ------------------------------------------------------------------ *)
+
+let fig12 () =
+  header "Figure 12: Game0 accuracy & F1 vs. class count (histogram)";
+  let r = rounds 3 in
+  Printf.printf "%-8s" "classes";
+  List.iter
+    (fun (m : Ml.Model.flat) -> Printf.printf " %8s-acc %8s-f1" m.fname m.fname)
+    [ Ml.Model.rf; Ml.Model.knn; Ml.Model.mlp ];
+  print_newline ();
+  List.iter
+    (fun n_classes ->
+      Printf.printf "%-8d" n_classes;
+      List.iter
+        (fun (model : Ml.Model.flat) ->
+          let accs, f1s =
+            List.split
+              (List.init r (fun round ->
+                   let rng = Rng.make (4000 + (n_classes * 10) + round) in
+                   let split =
+                     Yali.Dataset.Poj.make rng ~n_classes
+                       ~train_per_class:(scale 16) ~test_per_class:(scale 5)
+                   in
+                   let p =
+                     prepare (Rng.split rng) G.Game.game0 E.Embedding.histogram
+                       split
+                   in
+                   let acc, f1, _ = eval_model (Rng.split rng) ~n_classes model p in
+                   (acc, f1)))
+          in
+          Printf.printf " %12.4f %11.4f%!" (fst (mean_std accs))
+            (fst (mean_std f1s)))
+        [ Ml.Model.rf; Ml.Model.knn; Ml.Model.mlp ];
+      print_newline ())
+    [ 4; 8; 16; 32; 64 ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 13: runtime of optimized and obfuscated programs             *)
+(* ------------------------------------------------------------------ *)
+
+let fig13 () =
+  header "Figure 13: relative runtime (cost model), 16 benchmark-game kernels";
+  Printf.printf "%-12s %12s %10s %10s\n" "kernel" "O0-cost" "O3" "ollvm";
+  let speedups = ref [] and slowdowns = ref [] in
+  List.iter
+    (fun (name, prog) ->
+      let m0 = Yali.lower prog in
+      let base = Ir.Interp.run ~fuel:100_000_000 m0 [] in
+      let o3 = Ir.Interp.run ~fuel:100_000_000 (Yali.Transforms.Pipeline.o3 m0) [] in
+      let obf =
+        Ir.Interp.run ~fuel:1_000_000_000 (Ob.Ollvm.run (Rng.make 13) m0) []
+      in
+      let rel c = float_of_int c /. float_of_int base.cost in
+      speedups := 1.0 /. rel o3.cost :: !speedups;
+      slowdowns := rel obf.cost :: !slowdowns;
+      Printf.printf "%-12s %12d %9.2fx %9.2fx\n%!" name base.cost (rel o3.cost)
+        (rel obf.cost))
+    Yali.Dataset.Benchgame.all;
+  let geomean xs =
+    exp (List.fold_left (fun a x -> a +. log x) 0.0 xs /. float_of_int (List.length xs))
+  in
+  Printf.printf "\ngeomean O3 speedup: %.2fx   geomean ollvm slowdown: %.2fx\n"
+    (geomean !speedups) (geomean !slowdowns)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 14: detecting the obfuscator                                 *)
+(* ------------------------------------------------------------------ *)
+
+let fig14 () =
+  header "Figure 14: obfuscator detection on four dataset regimes (10 classes)";
+  let r = rounds 2 in
+  Printf.printf "%-10s %8s %8s\n" "dataset" "mean" "std";
+  List.iter
+    (fun kind ->
+      let accs =
+        List.init r (fun round ->
+            (G.Discover.run ~per_transformer:(scale 30)
+               (Rng.make (5000 + round))
+               kind)
+              .accuracy)
+      in
+      let m, s = mean_std accs in
+      Printf.printf "%-10s %8.4f %8.4f\n%!" (G.Discover.dataset_name kind) m s)
+    [ G.Discover.Dataset1; G.Discover.Dataset2; G.Discover.Dataset3;
+      G.Discover.Dataset4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 15: malware identifiers vs. training-set growth              *)
+(* ------------------------------------------------------------------ *)
+
+let fig15 () =
+  header "Figure 15: MIRAI identifiers vs. growing training sets";
+  List.iter
+    (fun (mname, model) ->
+      Printf.printf "\n%s:\n" mname;
+      Printf.printf "%-8s %8s %10s\n" "suites" "n_train" "accuracy";
+      let points =
+        G.Malware.run ~seed_n:(scale 12) ~challenge_n:(scale 6) (Rng.make 6)
+          model
+      in
+      List.iter
+        (fun (pt : G.Malware.curve_point) ->
+          Printf.printf "%-8d %8d %10.4f\n" pt.training_sets pt.n_train
+            pt.total_accuracy)
+        points;
+      let last = List.nth points (List.length points - 1) in
+      Printf.printf "full training set, per challenge transformer:\n";
+      List.iter
+        (fun (c : G.Malware.challenge_result) ->
+          Printf.printf "  %-4s %d/%d\n" c.tname c.hits c.n_challenges)
+        last.per_challenge)
+    [ ("rf", Ml.Model.rf); ("cnn", Ml.Model.cnn) ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 16: signature AV vs. retrained rf                            *)
+(* ------------------------------------------------------------------ *)
+
+let fig16 () =
+  header "Figure 16: best signature AV vs. retrained rf, per transformer";
+  let rng = Rng.make 16 in
+  let lower = Yali.lower in
+  let n_corpus = scale 16 in
+  let av =
+    G.Antivirus.build (Rng.split rng)
+      ~malware:
+        (List.init n_corpus (fun _ ->
+             lower (Yali.Dataset.Mirai.generate_malware (Rng.split rng))))
+      ~benign:
+        (List.init n_corpus (fun _ ->
+             lower (Yali.Dataset.Mirai.generate_benign (Rng.split rng))))
+  in
+  let curve =
+    G.Malware.run ~seed_n:(scale 12) ~challenge_n:(scale 6) (Rng.make 6)
+      Ml.Model.rf
+  in
+  let rf_full = List.nth curve (List.length curve - 1) in
+  Printf.printf "%-10s" "query";
+  List.iter
+    (fun (t : G.Malware.transformer) -> Printf.printf " %7s" t.tname)
+    G.Malware.transformers;
+  print_newline ();
+  let av_row title pick =
+    Printf.printf "%-10s" title;
+    List.iter
+      (fun (t : G.Malware.transformer) ->
+        let challenges =
+          List.init (scale 6) (fun k ->
+              ( t.tx (Rng.split rng)
+                  (lower (Yali.Dataset.Mirai.generate_malware (Rng.make (700 + k)))),
+                1 ))
+          @ List.init (scale 6) (fun k ->
+                ( t.tx (Rng.split rng)
+                    (lower (Yali.Dataset.Mirai.generate_benign (Rng.make (770 + k)))),
+                  0 ))
+        in
+        let is_malw, is_mirai = G.Antivirus.best_accuracy av challenges in
+        Printf.printf " %7.2f" (pick (is_malw, is_mirai)))
+      G.Malware.transformers;
+    print_newline ()
+  in
+  av_row "is-malw" fst;
+  av_row "is-mirai" snd;
+  Printf.printf "%-10s" "rf(full)";
+  List.iter
+    (fun (c : G.Malware.challenge_result) ->
+      Printf.printf " %7.2f"
+        (float_of_int c.hits /. float_of_int c.n_challenges))
+    rf_full.per_challenge;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  header "Micro-benchmarks (Bechamel): framework building blocks";
+  let open Bechamel in
+  let program = (Yali.Dataset.Genprog.nth 4).generate (Rng.make 1) in
+  let m0 = Yali.lower program in
+  let tests =
+    [
+      Test.make ~name:"lower" (Staged.stage (fun () -> ignore (Yali.lower program)));
+      Test.make ~name:"histogram-embed" (Staged.stage (fun () ->
+           ignore (E.Histogram.of_module m0)));
+      Test.make ~name:"milepost-embed" (Staged.stage (fun () ->
+           ignore (E.Milepost.of_module m0)));
+      Test.make ~name:"ir2vec-embed" (Staged.stage (fun () ->
+           ignore (E.Ir2vec.of_module m0)));
+      Test.make ~name:"cfg-embed" (Staged.stage (fun () ->
+           ignore (E.Graphs.cfg m0)));
+      Test.make ~name:"programl-embed" (Staged.stage (fun () ->
+           ignore (E.Graphs.programl m0)));
+      Test.make ~name:"O3-pipeline" (Staged.stage (fun () ->
+           ignore (Yali.Transforms.Pipeline.o3 m0)));
+      Test.make ~name:"ollvm-evader" (Staged.stage (fun () ->
+           ignore (Ob.Ollvm.run (Rng.make 3) m0)));
+      Test.make ~name:"sub-evader" (Staged.stage (fun () ->
+           ignore (Ob.Sub.run (Rng.make 3) m0)));
+      Test.make ~name:"fla-evader" (Staged.stage (fun () ->
+           ignore (Ob.Fla.run (Rng.make 3) m0)));
+      Test.make ~name:"interp-run" (Staged.stage (fun () ->
+           ignore (Ir.Interp.run ~fuel:1_000_000 m0 [ 5L; 9L; 2L ])));
+    ]
+  in
+  List.iter
+    (fun t ->
+      let instances = [ Toolkit.Instance.monotonic_clock ] in
+      let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+      let results = Benchmark.all cfg instances t in
+      let ols =
+        Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+      in
+      let results = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Printf.printf "%-28s %14.1f ns/run\n%!" name est
+          | _ -> Printf.printf "%-28s (no estimate)\n%!" name)
+        results)
+    tests
+
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: design choices called out in DESIGN.md                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Which optimization level suffices as a Game3 normalizer? *)
+let abl_normalizer () =
+  header "Ablation: normalizer strength in Game3 (O1 vs O2 vs O3, rf, histogram)";
+  let n_classes = scale 16 in
+  let evaders = [ Ob.Evader.sub; Ob.Evader.fla; Ob.Evader.bcf; Ob.Evader.rs; Ob.Evader.drlsg ] in
+  let levels =
+    [ ("O1", Yali.Transforms.Pipeline.o1); ("O2", Yali.Transforms.Pipeline.o2);
+      ("O3", Yali.Transforms.Pipeline.o3) ]
+  in
+  Printf.printf "%-8s" "evader";
+  List.iter (fun (n, _) -> Printf.printf " %8s" n) levels;
+  print_newline ();
+  List.iter
+    (fun (e : Ob.Evader.t) ->
+      Printf.printf "%-8s" e.ename;
+      List.iter
+        (fun (_, normalizer) ->
+          let rng = Rng.make (Hashtbl.hash ("abl-n", e.ename)) in
+          let split =
+            Yali.Dataset.Poj.make rng ~n_classes ~train_per_class:(scale 12)
+              ~test_per_class:(scale 4)
+          in
+          let setup = G.Game.game3 ~normalizer e in
+          let p = prepare (Rng.split rng) setup E.Embedding.histogram split in
+          let acc, _, _ = eval_model (Rng.split rng) ~n_classes Ml.Model.rf p in
+          Printf.printf " %8.4f%!" acc)
+        levels;
+      print_newline ())
+    evaders
+
+(* How much does each extra substitution round buy the evader? *)
+let abl_sub_rounds () =
+  header "Ablation: instruction-substitution rounds (distance + Game1 rf accuracy)";
+  let n_classes = scale 16 in
+  Printf.printf "%-8s %10s %10s %10s\n" "rounds" "distance" "size-ratio" "game1-acc";
+  List.iter
+    (fun rounds ->
+      let ds, ratios =
+        List.split
+          (List.init (scale 30) (fun k ->
+               let p = (Yali.Dataset.Genprog.nth (k mod 104)).generate (Rng.make k) in
+               let m0 = Yali.lower p in
+               let m1 = Ob.Sub.run ~rounds (Rng.make (k + 3)) m0 in
+               ( E.Histogram.euclidean (E.Histogram.of_module m0)
+                   (E.Histogram.of_module m1),
+                 float_of_int (Ir.Irmod.instr_count m1)
+                 /. float_of_int (Ir.Irmod.instr_count m0) )))
+      in
+      let evader =
+        {
+          Ob.Evader.ename = Printf.sprintf "sub%d" rounds;
+          apply = (fun rng p -> Ob.Sub.run ~rounds rng (Yali.lower p));
+        }
+      in
+      let rng = Rng.make (6000 + rounds) in
+      let split =
+        Yali.Dataset.Poj.make rng ~n_classes ~train_per_class:(scale 12)
+          ~test_per_class:(scale 4)
+      in
+      let p = prepare (Rng.split rng) (G.Game.game1 evader) E.Embedding.histogram split in
+      let acc, _, _ = eval_model (Rng.split rng) ~n_classes Ml.Model.rf p in
+      Printf.printf "%-8d %10.2f %10.2f %10.4f\n%!" rounds
+        (Ml.Metrics.mean ds) (Ml.Metrics.mean ratios) acc)
+    [ 1; 2; 3; 4 ]
+
+(* How does bogus-control-flow density trade runtime for evasion? *)
+let abl_bcf_probability () =
+  header "Ablation: bcf block-selection probability (distance, slowdown, Game1 acc)";
+  let n_classes = scale 16 in
+  Printf.printf "%-8s %10s %10s %10s\n" "prob" "distance" "slowdown" "game1-acc";
+  List.iter
+    (fun prob ->
+      let ds, slows =
+        List.split
+          (List.init (scale 20) (fun k ->
+               let p = (Yali.Dataset.Genprog.nth ((k * 3) mod 104)).generate (Rng.make k) in
+               let m0 = Yali.lower p in
+               let m1 = Ob.Bcf.run ~probability:prob (Rng.make (k + 5)) m0 in
+               let input = List.init 32 (fun j -> Int64.of_int ((j * 37) mod 200)) in
+               let c0 = (Ir.Interp.run ~fuel:8_000_000 m0 input).cost in
+               let c1 = (Ir.Interp.run ~fuel:80_000_000 m1 input).cost in
+               ( E.Histogram.euclidean (E.Histogram.of_module m0)
+                   (E.Histogram.of_module m1),
+                 float_of_int c1 /. float_of_int c0 )))
+      in
+      let evader =
+        {
+          Ob.Evader.ename = Printf.sprintf "bcf%.2f" prob;
+          apply = (fun rng p -> Ob.Bcf.run ~probability:prob rng (Yali.lower p));
+        }
+      in
+      let rng = Rng.make (Hashtbl.hash ("abl-bcf", prob)) in
+      let split =
+        Yali.Dataset.Poj.make rng ~n_classes ~train_per_class:(scale 12)
+          ~test_per_class:(scale 4)
+      in
+      let p = prepare (Rng.split rng) (G.Game.game1 evader) E.Embedding.histogram split in
+      let acc, _, _ = eval_model (Rng.split rng) ~n_classes Ml.Model.rf p in
+      Printf.printf "%-8.2f %10.2f %10.2f %10.4f\n%!" prob (Ml.Metrics.mean ds)
+        (Ml.Metrics.mean slows) acc)
+    [ 0.25; 0.5; 0.75; 1.0 ]
+
+(* Forest size: accuracy vs. training cost *)
+let abl_rf_trees () =
+  header "Ablation: random-forest size on Game0 (32 classes)";
+  let n_classes = 32 in
+  let rng = Rng.make 7777 in
+  let split =
+    Yali.Dataset.Poj.make rng ~n_classes ~train_per_class:(scale 20)
+      ~test_per_class:(scale 6)
+  in
+  let p = prepare (Rng.split rng) G.Game.game0 E.Embedding.histogram split in
+  Printf.printf "%-8s %10s %10s\n" "trees" "accuracy" "train(s)";
+  List.iter
+    (fun n_trees ->
+      let t0 = Unix.gettimeofday () in
+      let params = { Ml.Random_forest.n_trees; max_depth = 24 } in
+      let trained =
+        Ml.Random_forest.train ~params (Rng.make 3) ~n_classes p.xs_train
+          p.ys_train
+      in
+      let pred = Array.map (Ml.Random_forest.predict trained) p.xs_test in
+      Printf.printf "%-8d %10.4f %10.2f\n%!" n_trees
+        (Ml.Metrics.accuracy p.ys_test pred)
+        (Unix.gettimeofday () -. t0))
+    [ 4; 8; 16; 32; 64; 128 ]
+
+(* Raw opcode counts vs. L1-normalized proportions *)
+let abl_histogram_norm () =
+  header "Ablation: raw vs. L1-normalized histograms (rf, Game0 and Game1-ollvm)";
+  let n_classes = scale 16 in
+  let normalized =
+    { E.Embedding.name = "histogram-l1"; kind = E.Embedding.Flat E.Histogram.normalized_of_module }
+  in
+  Printf.printf "%-14s %10s %14s\n" "embedding" "game0" "game1-ollvm";
+  List.iter
+    (fun (e : E.Embedding.t) ->
+      let cell setup =
+        let rng = Rng.make (Hashtbl.hash ("abl-h", e.name)) in
+        let split =
+          Yali.Dataset.Poj.make rng ~n_classes ~train_per_class:(scale 12)
+            ~test_per_class:(scale 4)
+        in
+        let p = prepare (Rng.split rng) setup e split in
+        let acc, _, _ = eval_model (Rng.split rng) ~n_classes Ml.Model.rf p in
+        acc
+      in
+      Printf.printf "%-14s %10.4f %14.4f\n%!" e.name (cell G.Game.game0)
+        (cell (G.Game.game1 Ob.Evader.ollvm)))
+    [ E.Embedding.histogram; normalized ]
+
+(* DGCNN sort-pooling width *)
+let abl_sortpool () =
+  header "Ablation: DGCNN sort-pooling k (cfg_compact, Game0, 8 classes)";
+  let n_classes = 8 in
+  Printf.printf "%-8s %10s\n" "k" "accuracy";
+  List.iter
+    (fun k ->
+      let rng = Rng.make (8800 + k) in
+      let split =
+        Yali.Dataset.Poj.make rng ~n_classes ~train_per_class:(scale 12)
+          ~test_per_class:(scale 4)
+      in
+      let train_mods, test_mods =
+        G.Arena.build_modules (Rng.split rng) G.Game.game0 split
+      in
+      let embed m = E.Embedding.to_graph E.Embedding.cfg_compact m in
+      let graphs = Array.map (fun (m, _) -> embed m) train_mods in
+      let ys = Array.map snd train_mods in
+      let params = { Ml.Dgcnn.default_params with sortpool_k = k } in
+      let trained =
+        Ml.Dgcnn.train ~params (Rng.split rng) ~n_classes
+          ~feat_dim:graphs.(0).E.Graph.feat_dim graphs ys
+      in
+      let pred = Array.map (fun (m, _) -> Ml.Dgcnn.predict trained (embed m)) test_mods in
+      Printf.printf "%-8d %10.4f\n%!" k
+        (Ml.Metrics.accuracy (Array.map snd test_mods) pred))
+    [ 8; 16; 32 ]
+
+let ablations =
+  [
+    ("abl-normalizer", abl_normalizer);
+    ("abl-sub-rounds", abl_sub_rounds);
+    ("abl-bcf-prob", abl_bcf_probability);
+    ("abl-rf-trees", abl_rf_trees);
+    ("abl-hist-norm", abl_histogram_norm);
+    ("abl-sortpool", abl_sortpool);
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let figures =
+  [
+    ("fig5", fig5); ("fig6", fig6); ("fig7", fig7); ("fig8", fig8);
+    ("fig9", fig9); ("fig10", fig10); ("fig11", fig11); ("fig12", fig12);
+    ("fig13", fig13); ("fig14", fig14); ("fig15", fig15); ("fig16", fig16);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    List.filter
+      (fun a ->
+        match a with
+        | "--quick" ->
+            quick := true;
+            false
+        | a when String.length a > 9 && String.sub a 0 9 = "--rounds=" ->
+            rounds_override :=
+              int_of_string_opt (String.sub a 9 (String.length a - 9));
+            false
+        | _ -> true)
+      args
+  in
+  let t0 = Unix.gettimeofday () in
+  (match args with
+  | [] | [ "all" ] -> List.iter (fun (_, f) -> f ()) figures
+  | [ "ablations" ] -> List.iter (fun (_, f) -> f ()) ablations
+  | names ->
+      List.iter
+        (fun name ->
+          if name = "micro" then micro ()
+          else
+            match List.assoc_opt name (figures @ ablations) with
+            | Some f -> f ()
+            | None ->
+                Printf.eprintf
+                  "unknown target %s (expected fig5..fig16, abl-*, ablations, micro, all)\n"
+                  name)
+        names);
+  Printf.printf "\ntotal time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,304 @@
+(** yali — command-line driver.
+
+    Subcommands:
+    - [compile]   mini-C → IR, at a chosen optimization level
+    - [run]       execute a program on an input stream
+    - [obfuscate] apply an evader and print the result
+    - [embed]     print a program's embedding vector
+    - [generate]  sample a program from the synthetic POJ-104 corpus
+    - [dataset]   export the corpus as .c files
+    - [opt]       run a pass pipeline over textual IR (an `opt` clone)
+    - [play]      run one adversarial game and report the verdict *)
+
+open Cmdliner
+module Rng = Yali.Rng
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let src_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Mini-C source file.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
+
+let level_arg =
+  let parse s =
+    match Yali.Transforms.Pipeline.level_of_string s with
+    | Some l -> Ok l
+    | None -> Error (`Msg ("unknown optimization level: " ^ s))
+  in
+  let print fmt l =
+    Fmt.string fmt (Yali.Transforms.Pipeline.level_to_string l)
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Yali.Transforms.Pipeline.O0
+    & info [ "O"; "opt" ] ~docv:"LEVEL" ~doc:"Optimization level (O0..O3).")
+
+(* -- compile --------------------------------------------------------------- *)
+
+let compile_cmd =
+  let run level file =
+    let m = Yali.compile ~optimize:level (read_file file) in
+    print_string (Yali.Ir.Pp.module_to_string m)
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile mini-C to IR and print it.")
+    Term.(const run $ level_arg $ src_arg)
+
+(* -- run ------------------------------------------------------------------- *)
+
+let input_arg =
+  Arg.(
+    value
+    & opt (list int) []
+    & info [ "input"; "i" ] ~docv:"INTS" ~doc:"Comma-separated input stream.")
+
+let run_cmd =
+  let run level file input =
+    let m = Yali.compile ~optimize:level (read_file file) in
+    let o = Yali.run m (List.map Int64.of_int input) in
+    List.iter (fun x -> Printf.printf "%Ld\n" x) o.output;
+    List.iter (fun x -> Printf.printf "%g\n" x) o.foutput;
+    Printf.printf "; steps=%d cost=%d\n" o.steps o.cost
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a mini-C program in the IR interpreter.")
+    Term.(const run $ level_arg $ src_arg $ input_arg)
+
+(* -- obfuscate ------------------------------------------------------------- *)
+
+let evader_arg =
+  Arg.(
+    value
+    & opt string "ollvm"
+    & info [ "evader"; "e" ] ~docv:"NAME"
+        ~doc:"Evader: none, O3, ollvm, bcf, fla, sub, rs, mcmc, drlsg, ga.")
+
+let obfuscate_cmd =
+  let run seed evader file =
+    match Yali.Obfuscation.Evader.find evader with
+    | None -> prerr_endline ("unknown evader: " ^ evader); exit 1
+    | Some e ->
+        let p = Yali.parse (read_file file) in
+        let m = e.apply (Rng.make seed) p in
+        print_string (Yali.Ir.Pp.module_to_string m)
+  in
+  Cmd.v
+    (Cmd.info "obfuscate" ~doc:"Apply an evader and print the resulting IR.")
+    Term.(const run $ seed_arg $ evader_arg $ src_arg)
+
+(* -- embed ----------------------------------------------------------------- *)
+
+let embedding_arg =
+  Arg.(
+    value
+    & opt string "histogram"
+    & info [ "embedding" ] ~docv:"NAME"
+        ~doc:
+          "Embedding: histogram, milepost, ir2vec, cfg, cfg_compact, cdfg, \
+           cdfg_compact, cdfg_plus, programl.")
+
+let embed_cmd =
+  let run level embedding file =
+    match Yali.Embeddings.Embedding.find embedding with
+    | None -> prerr_endline ("unknown embedding: " ^ embedding); exit 1
+    | Some e ->
+        let m = Yali.compile ~optimize:level (read_file file) in
+        let v = Yali.Embeddings.Embedding.to_flat e m in
+        Array.iteri (fun k x -> Printf.printf "%s%g" (if k = 0 then "" else " ") x) v;
+        print_newline ()
+  in
+  Cmd.v
+    (Cmd.info "embed" ~doc:"Print the embedding vector of a program.")
+    Term.(const run $ level_arg $ embedding_arg $ src_arg)
+
+(* -- generate --------------------------------------------------------------- *)
+
+let generate_cmd =
+  let problem_arg =
+    Arg.(
+      value
+      & opt string "gcd"
+      & info [ "problem"; "p" ] ~docv:"NAME"
+          ~doc:"Problem class name (one of the 104).")
+  in
+  let list_arg =
+    Arg.(value & flag & info [ "list" ] ~doc:"List the 104 problem classes.")
+  in
+  let run seed problem list_them =
+    if list_them then
+      List.iter
+        (fun (p : Yali.Dataset.Genprog.problem) ->
+          Printf.printf "%3d %s\n" p.pid p.pname)
+        Yali.Dataset.Genprog.all
+    else
+      match Yali.Dataset.Genprog.find_by_name problem with
+      | None -> prerr_endline ("unknown problem: " ^ problem); exit 1
+      | Some p ->
+          print_string
+            (Yali.Minic.Pp.program_to_string (p.generate (Rng.make seed)))
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Sample a program from the synthetic corpus.")
+    Term.(const run $ seed_arg $ problem_arg $ list_arg)
+
+(* -- dataset: export a corpus to disk --------------------------------------- *)
+
+let dataset_cmd =
+  let out_arg =
+    Arg.(
+      value & opt string "dataset"
+      & info [ "out"; "o" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  let classes_arg =
+    Arg.(value & opt int 104 & info [ "classes" ] ~doc:"Number of classes.")
+  in
+  let per_class_arg =
+    Arg.(value & opt int 10 & info [ "per-class" ] ~doc:"Samples per class.")
+  in
+  let run seed out classes per_class =
+    if not (Sys.file_exists out) then Sys.mkdir out 0o755;
+    let rng = Rng.make seed in
+    List.iteri
+      (fun k (p : Yali.Dataset.Genprog.problem) ->
+        if k < classes then begin
+          let dir = Filename.concat out (Printf.sprintf "%03d_%s" p.pid p.pname) in
+          if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+          for s = 0 to per_class - 1 do
+            let prog = p.generate (Rng.split rng) in
+            let path = Filename.concat dir (Printf.sprintf "%04d.c" s) in
+            let oc = open_out path in
+            output_string oc (Yali.Minic.Pp.program_to_string prog);
+            close_out oc
+          done
+        end)
+      Yali.Dataset.Genprog.all;
+    Printf.printf "wrote %d classes x %d samples under %s/\n" classes per_class out
+  in
+  Cmd.v
+    (Cmd.info "dataset"
+       ~doc:"Export the synthetic POJ-104-style corpus as .c files.")
+    Term.(const run $ seed_arg $ out_arg $ classes_arg $ per_class_arg)
+
+(* -- opt: an `opt`-style pass driver over textual IR ----------------------- *)
+
+let opt_cmd =
+  let passes_arg =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "passes" ] ~docv:"P1,P2,..."
+          ~doc:
+            "Pass pipeline, e.g. mem2reg,constfold,licm,dce.  Available: \
+             mem2reg constfold instcombine dce simplifycfg gvn inline licm.")
+  in
+  let run passes file =
+    let src = read_file file in
+    (* accept either textual IR or mini-C *)
+    let m =
+      if String.length src > 0 && (src.[0] = ';' || String.length src > 6 && String.sub src 0 6 = "define")
+      then Yali.Ir.Parser.parse_module src
+      else Yali.lower (Yali.parse src)
+    in
+    let m =
+      List.fold_left
+        (fun m name ->
+          match Yali.Transforms.Pipeline.find_pass name with
+          | Some p -> p.prun m
+          | None ->
+              prerr_endline ("unknown pass: " ^ name);
+              exit 1)
+        m passes
+    in
+    (match Yali.Ir.Verify.check_module m with
+    | [] -> ()
+    | errs ->
+        List.iter (fun e -> Fmt.epr "%a@." Yali.Ir.Verify.pp_error e) errs;
+        exit 1);
+    print_string (Yali.Ir.Pp.module_to_string m)
+  in
+  Cmd.v
+    (Cmd.info "opt"
+       ~doc:"Run a pass pipeline over textual IR (or mini-C) and print the result.")
+    Term.(const run $ passes_arg $ src_arg)
+
+(* -- play ------------------------------------------------------------------- *)
+
+let play_cmd =
+  let game_arg =
+    Arg.(value & opt int 1 & info [ "game"; "g" ] ~docv:"0..3" ~doc:"Which game.")
+  in
+  let model_arg =
+    Arg.(
+      value
+      & opt string "rf"
+      & info [ "model"; "m" ] ~docv:"NAME" ~doc:"Model: rf svm knn lr mlp cnn.")
+  in
+  let classes_arg =
+    Arg.(value & opt int 8 & info [ "classes"; "c" ] ~doc:"Number of problem classes.")
+  in
+  let train_arg =
+    Arg.(value & opt int 15 & info [ "train" ] ~doc:"Training samples per class.")
+  in
+  let test_arg =
+    Arg.(value & opt int 5 & info [ "test" ] ~doc:"Test samples per class.")
+  in
+  let threshold_arg =
+    Arg.(value & opt float 0.5 & info [ "threshold"; "k" ] ~doc:"Win threshold K.")
+  in
+  let run seed game evader model classes train test threshold =
+    let e =
+      match Yali.Obfuscation.Evader.find evader with
+      | Some e -> e
+      | None -> prerr_endline ("unknown evader: " ^ evader); exit 1
+    in
+    let m =
+      match Yali.Ml.Model.find_flat model with
+      | Some m -> m
+      | None -> prerr_endline ("unknown model: " ^ model); exit 1
+    in
+    let setup =
+      match game with
+      | 0 -> Yali.Games.Game.game0
+      | 1 -> Yali.Games.Game.game1 e
+      | 2 -> Yali.Games.Game.game2 e
+      | 3 -> Yali.Games.Game.game3 e
+      | _ -> prerr_endline "game must be 0..3"; exit 1
+    in
+    let rng = Rng.make seed in
+    let split =
+      Yali.Dataset.Poj.make rng ~n_classes:classes ~train_per_class:train
+        ~test_per_class:test
+    in
+    let r =
+      Yali.Games.Arena.run_flat (Rng.split rng) ~n_classes:classes
+        Yali.Embeddings.Embedding.histogram m setup split
+    in
+    Printf.printf "%s  evader=%s model=%s classes=%d\n" setup.game_name
+      e.ename model classes;
+    Printf.printf "accuracy=%.4f f1=%.4f model=%dKB train=%.1fs\n" r.accuracy
+      r.f1 (r.model_bytes / 1024) r.train_seconds;
+    Printf.printf "classifier %s (threshold %.2f)\n"
+      (if r.accuracy > threshold then "WINS" else "LOSES")
+      threshold
+  in
+  Cmd.v
+    (Cmd.info "play" ~doc:"Play one adversarial game and report the verdict.")
+    Term.(
+      const run $ seed_arg $ game_arg $ evader_arg $ model_arg $ classes_arg
+      $ train_arg $ test_arg $ threshold_arg)
+
+let () =
+  let doc = "a game-based framework to compare program classifiers and evaders" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "yali" ~doc)
+          [ compile_cmd; run_cmd; obfuscate_cmd; embed_cmd; generate_cmd; dataset_cmd; opt_cmd; play_cmd ]))

@@ -1,0 +1,1 @@
+examples/obfuscation_lab.ml: Int64 List Printf String Yali

@@ -1,0 +1,1 @@
+examples/obfuscation_lab.mli:

@@ -1,0 +1,1 @@
+examples/plagiarism_arms_race.ml: List Printf String Yali

@@ -1,0 +1,1 @@
+examples/plagiarism_arms_race.mli:

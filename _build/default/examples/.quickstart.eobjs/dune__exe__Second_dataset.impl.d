@@ -1,0 +1,1 @@
+examples/second_dataset.ml: List Printf Yali

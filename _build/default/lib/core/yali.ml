@@ -1,0 +1,43 @@
+(** Yali — the public umbrella API.
+
+    A game-based framework to compare program classifiers and evaders
+    (re-implementation of Damásio et al., CGO 2023).  This module re-exports
+    the stable public surface; see the README for a tour.
+
+    {1 Substrates}
+    - {!Ir}: the miniature SSA IR (63 opcodes, verifier, interpreter)
+    - {!Minic}: the mini-C frontend (AST, parser, printer, lowering)
+    - {!Transforms}: optimization passes and [-O0]…[-O3] pipelines
+    - {!Obfuscation}: O-LLVM-style passes, source transformations, evaders
+    - {!Embeddings}: nine program embeddings
+    - {!Ml}: six stochastic classification models
+    - {!Dataset}: the synthetic POJ-104-style corpus, MIRAI suite,
+      benchmark-game kernels
+
+    {1 The games}
+    - {!Games}: Definitions 2.1–2.4, the four games, the arena. *)
+
+module Util = Yali_util
+module Rng = Yali_util.Rng
+module Ir = Yali_ir
+module Minic = Yali_minic
+module Transforms = Yali_transforms
+module Obfuscation = Yali_obfuscation
+module Embeddings = Yali_embeddings
+module Ml = Yali_ml
+module Dataset = Yali_dataset
+module Games = Yali_games
+
+(** Parse mini-C source text into an AST. *)
+let parse = Yali_minic.Parser.parse_program
+
+(** Lower a mini-C program to an IR module (clang -O0 style). *)
+let lower = Yali_minic.Lower.lower_program ?name:None
+
+(** Compile source text straight to IR, at a chosen optimization level. *)
+let compile ?(optimize = Yali_transforms.Pipeline.O0) (src : string) :
+    Yali_ir.Irmod.t =
+  Yali_transforms.Pipeline.optimize optimize (lower (parse src))
+
+(** Run a module's [main] on a list of integer inputs. *)
+let run = Yali_ir.Interp.run

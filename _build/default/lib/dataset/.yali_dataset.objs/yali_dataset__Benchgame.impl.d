@@ -1,0 +1,1 @@
+lib/dataset/benchgame.ml: Gen_dsl Yali_minic

@@ -1,0 +1,1 @@
+lib/dataset/benchgame.mli: Yali_minic

@@ -1,0 +1,1 @@
+lib/dataset/gen_dsl.ml: List Printf Yali_minic Yali_util

@@ -1,0 +1,1 @@
+lib/dataset/gen_dsl.mli: Yali_minic Yali_util

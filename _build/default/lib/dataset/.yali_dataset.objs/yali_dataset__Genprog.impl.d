@@ -1,0 +1,1 @@
+lib/dataset/genprog.ml: Genprog_arith Genprog_arrays Genprog_dp Genprog_loops Genprog_matrix Genprog_misc List Yali_minic Yali_util

@@ -1,0 +1,1 @@
+lib/dataset/genprog.mli: Yali_minic Yali_util

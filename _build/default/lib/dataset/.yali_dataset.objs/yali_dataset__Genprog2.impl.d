@@ -1,0 +1,1 @@
+lib/dataset/genprog2.ml: Array Gen_dsl List Poj Yali_minic Yali_util

@@ -1,0 +1,1 @@
+lib/dataset/genprog2.mli: Poj Yali_minic Yali_util

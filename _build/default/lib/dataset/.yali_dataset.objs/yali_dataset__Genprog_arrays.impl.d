@@ -1,0 +1,1 @@
+lib/dataset/genprog_arrays.ml: Gen_dsl Printf Yali_minic Yali_util

@@ -1,0 +1,1 @@
+lib/dataset/genprog_dp.ml: Gen_dsl List Yali_minic Yali_util

@@ -1,0 +1,1 @@
+lib/dataset/genprog_loops.ml: Gen_dsl Yali_minic Yali_util

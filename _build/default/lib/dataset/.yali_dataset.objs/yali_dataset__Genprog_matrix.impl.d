@@ -1,0 +1,1 @@
+lib/dataset/genprog_matrix.ml: Gen_dsl Printf Yali_minic Yali_util

@@ -1,0 +1,1 @@
+lib/dataset/mirai.ml: Gen_dsl List Yali_minic Yali_util

@@ -1,0 +1,1 @@
+lib/dataset/mirai.mli: Yali_minic Yali_util

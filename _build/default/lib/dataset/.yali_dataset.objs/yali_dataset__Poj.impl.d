@@ -1,0 +1,1 @@
+lib/dataset/poj.ml: Array Genprog List Yali_minic Yali_util

@@ -1,0 +1,1 @@
+lib/dataset/poj.mli: Yali_minic Yali_util

@@ -1,0 +1,498 @@
+(** "The Benchmark Game" stand-ins for RQ6 (Figure 13): sixteen deterministic
+    compute kernels with fixed workloads, executed by the IR interpreter
+    under its per-opcode cost model.  The paper measures wall-clock time of
+    clang -O0 / -O3 / O-LLVM builds; here, relative abstract cost plays the
+    same role (only ratios are reported). *)
+
+open Yali_minic.Ast
+open Gen_dsl
+
+(* Kernels are deterministic: no reads; sizes fixed so that each O0 run
+   stays in the low hundreds of thousands of interpreter steps. *)
+
+let k_body name body =
+  { pfuncs = [ { fname = "main"; fparams = []; fret = TInt; fbody = body } ] }
+  |> fun p -> (name, p)
+
+let ary3 =
+  (* the paper's pathological case: triple array traversal *)
+  k_body "ary3"
+    ([ DeclArr ("x", 500); DeclArr ("y", 500) ]
+    @ [
+        For
+          ( Some (Decl (TInt, "k", Some (i 0))),
+            Some (v "k" <@ i 500),
+            Some (set "k" (v "k" +@ i 1)),
+            [ seti "x" (v "k") (v "k" +@ i 1); seti "y" (v "k") (i 0) ] );
+        For
+          ( Some (Decl (TInt, "r", Some (i 0))),
+            Some (v "r" <@ i 60),
+            Some (set "r" (v "r" +@ i 1)),
+            [
+              For
+                ( Some (Decl (TInt, "j", Some (i 499))),
+                  Some (v "j" >=@ i 0),
+                  Some (set "j" (v "j" -@ i 1)),
+                  [ seti "y" (v "j") (idx "y" (v "j") +@ idx "x" (v "j")) ] );
+            ] );
+        print (idx "y" (i 0));
+        print (idx "y" (i 499));
+        ret (i 0);
+      ])
+
+let fibo =
+  k_body "fibo"
+    [
+      decl "a" (i 0);
+      decl "b" (i 1);
+      For
+        ( Some (Decl (TInt, "k", Some (i 0))),
+          Some (v "k" <@ i 30000),
+          Some (set "k" (v "k" +@ i 1)),
+          [
+            decl "t" ((v "a" +@ v "b") %@ i 1000000007);
+            set "a" (v "b");
+            set "b" (v "t");
+          ] );
+      print (v "a");
+      ret (i 0);
+    ]
+
+let sieve =
+  k_body "sieve"
+    ([ DeclArr ("flags", 2000); decl "count" (i 0) ]
+    @ [
+        For
+          ( Some (Decl (TInt, "k", Some (i 0))),
+            Some (v "k" <@ i 2000),
+            Some (set "k" (v "k" +@ i 1)),
+            [ seti "flags" (v "k") (i 1) ] );
+        For
+          ( Some (Decl (TInt, "p", Some (i 2))),
+            Some (v "p" <@ i 2000),
+            Some (set "p" (v "p" +@ i 1)),
+            [
+              If
+                ( idx "flags" (v "p") ==@ i 1,
+                  [
+                    set "count" (v "count" +@ i 1);
+                    For
+                      ( Some (Decl (TInt, "m", Some (v "p" *@ i 2))),
+                        Some (v "m" <@ i 2000),
+                        Some (set "m" (v "m" +@ v "p")),
+                        [ seti "flags" (v "m") (i 0) ] );
+                  ],
+                  [] );
+            ] );
+        print (v "count");
+        ret (i 0);
+      ])
+
+let matrix =
+  (* the paper's best optimizer case: dense matrix multiplication *)
+  let n = 14 in
+  k_body "matrix"
+    ([ DeclArr ("a", n * n); DeclArr ("b", n * n); DeclArr ("c", n * n) ]
+    @ [
+        For
+          ( Some (Decl (TInt, "k", Some (i 0))),
+            Some (v "k" <@ i (n * n)),
+            Some (set "k" (v "k" +@ i 1)),
+            [
+              seti "a" (v "k") (v "k" %@ i 17);
+              seti "b" (v "k") (v "k" %@ i 13);
+            ] );
+        For
+          ( Some (Decl (TInt, "r", Some (i 0))),
+            Some (v "r" <@ i 12),
+            Some (set "r" (v "r" +@ i 1)),
+            [
+              For
+                ( Some (Decl (TInt, "x", Some (i 0))),
+                  Some (v "x" <@ i n),
+                  Some (set "x" (v "x" +@ i 1)),
+                  [
+                    For
+                      ( Some (Decl (TInt, "y", Some (i 0))),
+                        Some (v "y" <@ i n),
+                        Some (set "y" (v "y" +@ i 1)),
+                        [
+                          decl "s" (i 0);
+                          For
+                            ( Some (Decl (TInt, "z", Some (i 0))),
+                              Some (v "z" <@ i n),
+                              Some (set "z" (v "z" +@ i 1)),
+                              [
+                                set "s"
+                                  (v "s"
+                                  +@ (idx "a" ((v "x" *@ i n) +@ v "z")
+                                     *@ idx "b" ((v "z" *@ i n) +@ v "y")));
+                              ] );
+                          seti "c" ((v "x" *@ i n) +@ v "y") (v "s");
+                        ] );
+                  ] );
+            ] );
+        print (idx "c" (i 0));
+        ret (i 0);
+      ])
+
+let nbody_lite =
+  (* float kernel: simplified 2-body energy integration *)
+  k_body "nbody"
+    [
+      Decl (TFloat, "px", Some (FloatLit 1.0));
+      Decl (TFloat, "py", Some (FloatLit 0.0));
+      Decl (TFloat, "vx", Some (FloatLit 0.0));
+      Decl (TFloat, "vy", Some (FloatLit 0.9));
+      Decl (TFloat, "e", Some (FloatLit 0.0));
+      For
+        ( Some (Decl (TInt, "k", Some (i 0))),
+          Some (v "k" <@ i 8000),
+          Some (set "k" (v "k" +@ i 1)),
+          [
+            Decl (TFloat, "r2", Some ((v "px" *@ v "px") +@ (v "py" *@ v "py") +@ FloatLit 0.01));
+            Decl (TFloat, "ax", Some (Un (Neg, v "px") /@ v "r2"));
+            Decl (TFloat, "ay", Some (Un (Neg, v "py") /@ v "r2"));
+            set "vx" (v "vx" +@ (v "ax" *@ FloatLit 0.01));
+            set "vy" (v "vy" +@ (v "ay" *@ FloatLit 0.01));
+            set "px" (v "px" +@ (v "vx" *@ FloatLit 0.01));
+            set "py" (v "py" +@ (v "vy" *@ FloatLit 0.01));
+            set "e" (v "e" +@ (v "vx" *@ v "vx") +@ (v "vy" *@ v "vy"));
+          ] );
+      Expr (Call ("print_float", [ v "e" ]));
+      ret (i 0);
+    ]
+
+let spectral_lite =
+  k_body "spectral"
+    ([ DeclArr ("u", 40); DeclArr ("av", 40) ]
+    @ [
+        For
+          ( Some (Decl (TInt, "k", Some (i 0))),
+            Some (v "k" <@ i 40),
+            Some (set "k" (v "k" +@ i 1)),
+            [ seti "u" (v "k") (i 1) ] );
+        For
+          ( Some (Decl (TInt, "r", Some (i 0))),
+            Some (v "r" <@ i 25),
+            Some (set "r" (v "r" +@ i 1)),
+            [
+              For
+                ( Some (Decl (TInt, "x", Some (i 0))),
+                  Some (v "x" <@ i 40),
+                  Some (set "x" (v "x" +@ i 1)),
+                  [
+                    decl "s" (i 0);
+                    For
+                      ( Some (Decl (TInt, "y", Some (i 0))),
+                        Some (v "y" <@ i 40),
+                        Some (set "y" (v "y" +@ i 1)),
+                        [
+                          decl "aij"
+                            (i 1000000
+                            /@ ((v "x" +@ v "y") *@ (v "x" +@ v "y" +@ i 1) /@ i 2
+                               +@ v "x" +@ i 1));
+                          set "s" (v "s" +@ (v "aij" *@ idx "u" (v "y") /@ i 1000));
+                        ] );
+                    seti "av" (v "x") (v "s");
+                  ] );
+              For
+                ( Some (Decl (TInt, "x2", Some (i 0))),
+                  Some (v "x2" <@ i 40),
+                  Some (set "x2" (v "x2" +@ i 1)),
+                  [ seti "u" (v "x2") ((idx "av" (v "x2") %@ i 1000) +@ i 1) ] );
+            ] );
+        print (idx "u" (i 0));
+        ret (i 0);
+      ])
+
+let mandelbrot_lite =
+  k_body "mandelbrot"
+    [
+      decl "inside" (i 0);
+      For
+        ( Some (Decl (TInt, "px", Some (i 0))),
+          Some (v "px" <@ i 40),
+          Some (set "px" (v "px" +@ i 1)),
+          [
+            For
+              ( Some (Decl (TInt, "py", Some (i 0))),
+                Some (v "py" <@ i 40),
+                Some (set "py" (v "py" +@ i 1)),
+                [
+                  (* fixed point with scale 1000 *)
+                  decl "cx" ((v "px" *@ i 100 /@ i 40) -@ i 2000 /@ i 1);
+                  decl "cy" ((v "py" *@ i 100 /@ i 40) -@ i 1250);
+                  decl "zx" (i 0);
+                  decl "zy" (i 0);
+                  decl "it" (i 0);
+                  While
+                    ( v "it" <@ i 30
+                      &&@ ((v "zx" *@ v "zx") +@ (v "zy" *@ v "zy") <@ i 4000000),
+                      [
+                        decl "nzx" (((v "zx" *@ v "zx") -@ (v "zy" *@ v "zy")) /@ i 1000 +@ v "cx");
+                        set "zy" ((i 2 *@ v "zx" *@ v "zy") /@ i 1000 +@ v "cy");
+                        set "zx" (v "nzx");
+                        set "it" (v "it" +@ i 1);
+                      ] );
+                  If (v "it" ==@ i 30, [ set "inside" (v "inside" +@ i 1) ], []);
+                ] );
+          ] );
+      print (v "inside");
+      ret (i 0);
+    ]
+
+let fannkuch_lite =
+  k_body "fannkuch"
+    ([ DeclArr ("perm", 7); decl "maxflips" (i 0) ]
+    @ [
+        For
+          ( Some (Decl (TInt, "start", Some (i 0))),
+            Some (v "start" <@ i 500),
+            Some (set "start" (v "start" +@ i 1)),
+            [
+              For
+                ( Some (Decl (TInt, "k", Some (i 0))),
+                  Some (v "k" <@ i 7),
+                  Some (set "k" (v "k" +@ i 1)),
+                  [ seti "perm" (v "k") ((v "k" +@ v "start") %@ i 7) ] );
+              decl "flips" (i 0);
+              While
+                ( idx "perm" (i 0) <>@ i 0 &&@ (v "flips" <@ i 50),
+                  [
+                    decl "f" (idx "perm" (i 0));
+                    decl "lo" (i 0);
+                    decl "hi" (v "f");
+                    While
+                      ( v "lo" <@ v "hi",
+                        [
+                          decl "t" (idx "perm" (v "lo"));
+                          seti "perm" (v "lo") (idx "perm" (v "hi"));
+                          seti "perm" (v "hi") (v "t");
+                          set "lo" (v "lo" +@ i 1);
+                          set "hi" (v "hi" -@ i 1);
+                        ] );
+                    set "flips" (v "flips" +@ i 1);
+                  ] );
+              If (v "flips" >@ v "maxflips", [ set "maxflips" (v "flips") ], []);
+            ] );
+        print (v "maxflips");
+        ret (i 0);
+      ])
+
+let partial_sums =
+  k_body "partialsums"
+    [
+      decl "s1" (i 0);
+      decl "s2" (i 0);
+      decl "s3" (i 0);
+      For
+        ( Some (Decl (TInt, "k", Some (i 1))),
+          Some (v "k" <=@ i 8000),
+          Some (set "k" (v "k" +@ i 1)),
+          [
+            set "s1" (v "s1" +@ (i 1000000 /@ v "k"));
+            set "s2" (v "s2" +@ (i 1000000 /@ (v "k" *@ v "k")));
+            set "s3" (v "s3" +@ (v "k" %@ i 2 *@ i 2 -@ i 1) *@ (i 1000000 /@ v "k"));
+          ] );
+      print (v "s1");
+      print (v "s2");
+      print (v "s3");
+      ret (i 0);
+    ]
+
+let nsieve =
+  k_body "nsieve"
+    ([ DeclArr ("f", 3000) ]
+    @ [
+        decl "total" (i 0);
+        For
+          ( Some (Decl (TInt, "pass", Some (i 0))),
+            Some (v "pass" <@ i 3),
+            Some (set "pass" (v "pass" +@ i 1)),
+            [
+              For
+                ( Some (Decl (TInt, "k", Some (i 0))),
+                  Some (v "k" <@ i 3000),
+                  Some (set "k" (v "k" +@ i 1)),
+                  [ seti "f" (v "k") (i 1) ] );
+              For
+                ( Some (Decl (TInt, "p", Some (i 2))),
+                  Some (v "p" <@ i 3000),
+                  Some (set "p" (v "p" +@ i 1)),
+                  [
+                    If
+                      ( idx "f" (v "p") ==@ i 1,
+                        [
+                          set "total" (v "total" +@ i 1);
+                          For
+                            ( Some (Decl (TInt, "m", Some (v "p" +@ v "p"))),
+                              Some (v "m" <@ i 3000),
+                              Some (set "m" (v "m" +@ v "p")),
+                              [ seti "f" (v "m") (i 0) ] );
+                        ],
+                        [] );
+                  ] );
+            ] );
+        print (v "total");
+        ret (i 0);
+      ])
+
+let binary_trees_lite =
+  (* recursion-heavy kernel *)
+  {
+    pfuncs =
+      [
+        {
+          fname = "check";
+          fparams = [ (TInt, "depth"); (TInt, "node") ];
+          fret = TInt;
+          fbody =
+            [
+              If (v "depth" <=@ i 0, [ ret (v "node") ], []);
+              ret
+                (v "node"
+                +@ call "check" [ v "depth" -@ i 1; (v "node" *@ i 2) %@ i 9973 ]
+                +@ call "check" [ v "depth" -@ i 1; ((v "node" *@ i 2) +@ i 1) %@ i 9973 ]);
+            ];
+        };
+        {
+          fname = "main";
+          fparams = [];
+          fret = TInt;
+          fbody =
+            [
+              decl "total" (i 0);
+              For
+                ( Some (Decl (TInt, "d", Some (i 2))),
+                  Some (v "d" <=@ i 10),
+                  Some (set "d" (v "d" +@ i 1)),
+                  [ set "total" ((v "total" +@ call "check" [ v "d"; i 1 ]) %@ i 1000003) ] );
+              print (v "total");
+              ret (i 0);
+            ];
+        };
+      ];
+  }
+  |> fun p -> ("binarytrees", p)
+
+let ackermann_bench =
+  {
+    pfuncs =
+      [
+        {
+          fname = "ack";
+          fparams = [ (TInt, "m"); (TInt, "n") ];
+          fret = TInt;
+          fbody =
+            [
+              If (v "m" ==@ i 0, [ ret (v "n" +@ i 1) ], []);
+              If (v "n" ==@ i 0, [ ret (call "ack" [ v "m" -@ i 1; i 1 ]) ], []);
+              ret (call "ack" [ v "m" -@ i 1; call "ack" [ v "m"; v "n" -@ i 1 ] ]);
+            ];
+        };
+        {
+          fname = "main";
+          fparams = [];
+          fret = TInt;
+          fbody = [ print (call "ack" [ i 2; i 6 ]); ret (i 0) ];
+        };
+      ];
+  }
+  |> fun p -> ("ackermann", p)
+
+let harmonic =
+  k_body "harmonic"
+    [
+      Decl (TFloat, "s", Some (FloatLit 0.0));
+      For
+        ( Some (Decl (TInt, "k", Some (i 1))),
+          Some (v "k" <=@ i 20000),
+          Some (set "k" (v "k" +@ i 1)),
+          [ set "s" (v "s" +@ (FloatLit 1.0 /@ v "k")) ] );
+      Expr (Call ("print_float", [ v "s" ]));
+      ret (i 0);
+    ]
+
+let random_lcg =
+  k_body "random"
+    [
+      decl "seed" (i 42);
+      decl "last" (i 0);
+      For
+        ( Some (Decl (TInt, "k", Some (i 0))),
+          Some (v "k" <@ i 30000),
+          Some (set "k" (v "k" +@ i 1)),
+          [
+            set "seed" (((v "seed" *@ i 3877) +@ i 29573) %@ i 139968);
+            set "last" (v "seed" *@ i 100 /@ i 139968);
+          ] );
+      print (v "last");
+      ret (i 0);
+    ]
+
+let wordfreq_analog =
+  k_body "wordfreq"
+    ([ DeclArr ("freq", 64) ]
+    @ [
+        decl "seed" (i 7);
+        For
+          ( Some (Decl (TInt, "k", Some (i 0))),
+            Some (v "k" <@ i 64),
+            Some (set "k" (v "k" +@ i 1)),
+            [ seti "freq" (v "k") (i 0) ] );
+        For
+          ( Some (Decl (TInt, "w", Some (i 0))),
+            Some (v "w" <@ i 8000),
+            Some (set "w" (v "w" +@ i 1)),
+            [
+              set "seed" (((v "seed" *@ i 75) +@ i 74) %@ i 65537);
+              decl "word" (v "seed" %@ i 64);
+              seti "freq" (v "word") (idx "freq" (v "word") +@ i 1);
+            ] );
+        decl "best" (i 0);
+        For
+          ( Some (Decl (TInt, "k2", Some (i 1))),
+            Some (v "k2" <@ i 64),
+            Some (set "k2" (v "k2" +@ i 1)),
+            [
+              If
+                ( idx "freq" (v "k2") >@ idx "freq" (v "best"),
+                  [ set "best" (v "k2") ],
+                  [] );
+            ] );
+        print (v "best");
+        ret (i 0);
+      ])
+
+let strcat_analog =
+  k_body "strcat"
+    ([ DeclArr ("buf", 4096) ]
+    @ [
+        decl "len" (i 0);
+        For
+          ( Some (Decl (TInt, "k", Some (i 0))),
+            Some (v "k" <@ i 800),
+            Some (set "k" (v "k" +@ i 1)),
+            [
+              For
+                ( Some (Decl (TInt, "c", Some (i 0))),
+                  Some (v "c" <@ i 5 &&@ (v "len" <@ i 4095)),
+                  Some (set "c" (v "c" +@ i 1)),
+                  [
+                    seti "buf" (v "len") ((v "k" +@ v "c") %@ i 26);
+                    set "len" (v "len" +@ i 1);
+                  ] );
+            ] );
+        print (v "len");
+        print (idx "buf" (v "len" -@ i 1));
+        ret (i 0);
+      ])
+
+(** The sixteen kernels of Figure 13. *)
+let all : (string * Yali_minic.Ast.program) list =
+  [
+    ary3; fibo; sieve; matrix; nbody_lite; spectral_lite; mandelbrot_lite;
+    fannkuch_lite; partial_sums; nsieve; binary_trees_lite; ackermann_bench;
+    harmonic; random_lcg; wordfreq_analog; strcat_analog;
+  ]

@@ -1,0 +1,9 @@
+(** "The Benchmark Game" stand-ins for RQ6 (Figure 13): sixteen
+    deterministic compute kernels with fixed workloads, executed by the IR
+    interpreter under its per-opcode cost model.  Only cost *ratios* between
+    O0 / O3 / O-LLVM builds are reported, mirroring the paper's relative
+    running times. *)
+
+(** The sixteen kernels, (name, program) pairs; includes [ary3] and
+    [matrix], the paper's named extremes. *)
+val all : (string * Yali_minic.Ast.program) list

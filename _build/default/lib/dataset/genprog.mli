@@ -1,0 +1,27 @@
+(** The synthetic programming-problem corpus: 104 problem classes in the
+    shape of Mou et al.'s POJ-104.  Each class's generator emits fresh
+    stochastically varied mini-C solutions — different identifier pools,
+    loop shapes, statement orders, helper splits and junk scaffolding — the
+    axes along which human judge submissions differ.
+
+    Generators guarantee: every sample lowers to verified IR and terminates
+    quickly and safely in the interpreter on *any* input stream.  The test
+    suite leans on this to fuzz every transformation pass. *)
+
+type problem = {
+  pid : int;  (** class index, 0..103 *)
+  pname : string;
+  generate : Yali_util.Rng.t -> Yali_minic.Ast.program;
+}
+
+(** All 104 problems, in pid order. *)
+val all : problem list
+
+(** = 104. *)
+val count : int
+
+val find_by_name : string -> problem option
+val nth : int -> problem
+
+(** Draw one stochastic solution. *)
+val sample : Yali_util.Rng.t -> problem -> Yali_minic.Ast.program

@@ -1,0 +1,20 @@
+(** A second, structurally different corpus (extension): sixteen
+    recursion-heavy problem classes probing the paper's single-dataset
+    limitation (§6).  Call-dominated opcode mixes, divide-and-conquer and
+    mutual recursion — a different region of program space from the
+    loop-dominated {!Genprog}. *)
+
+type problem = {
+  pid : int;
+  pname : string;
+  generate : Yali_util.Rng.t -> Yali_minic.Ast.program;
+}
+
+val all : problem list
+
+(** = 16. *)
+val count : int
+
+(** A balanced split over this corpus, mirroring {!Poj.make}. *)
+val make_split :
+  Yali_util.Rng.t -> train_per_class:int -> test_per_class:int -> Poj.split

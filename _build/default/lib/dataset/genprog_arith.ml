@@ -1,0 +1,378 @@
+(** Problem classes: arithmetic and number theory (POJ-style "programming
+    judge" tasks).  Each generator returns a fresh stochastic solution to the
+    same underlying problem, playing the role of a distinct human submission. *)
+
+open Yali_minic.Ast
+open Gen_dsl
+module Rng = Yali_util.Rng
+
+let sum_1_to_n rng =
+  let c = ctx rng in
+  let n = name c "n" and s = name c "s" and k = name c "k" in
+  simple_main c
+    ~prologue:[ decl n (read_clamped 1 40) ]
+    ~epilogue:[ print (v s) ]
+    (decl s (i 0)
+    :: count_loop c ~var:k ~lo:(i 1) ~hi:(v n +@ i 1) [ accum c s (v k) ])
+
+let factorial rng =
+  let c = ctx rng in
+  let n = name c "n" and f = name c "f" and k = name c "k" in
+  simple_main c
+    ~prologue:[ decl n (read_clamped 1 12) ]
+    ~epilogue:[ print (v f) ]
+    (decl f (i 1)
+    :: count_loop c ~var:k ~lo:(i 2) ~hi:(v n +@ i 1)
+         [ set f (v f *@ v k) ])
+
+let fibonacci rng =
+  let c = ctx rng in
+  let n = name c "n" and a = name c "a" and b = name c "b" and t = name c "t" in
+  let k = name c "k" in
+  simple_main c
+    ~prologue:[ decl n (read_clamped 1 30) ]
+    ~epilogue:[ print (v a) ]
+    (reorder c [ decl a (i 0); decl b (i 1) ]
+    @ count_loop c ~var:k ~lo:(i 0) ~hi:(v n)
+        [ decl t (v a +@ v b); set a (v b); set b (v t) ])
+
+let gcd rng =
+  let c = ctx rng in
+  let a = name c "a" and b = name c "b" and t = name c "t" in
+  simple_main c
+    ~prologue:[ decl a (read_clamped 1 1000); decl b (read_clamped 1 1000) ]
+    ~epilogue:[ print (v a) ]
+    [
+      While
+        ( v b <>@ i 0,
+          [ decl t (v b); set b (v a %@ v b); set a (v t) ] );
+    ]
+
+let lcm rng =
+  let c = ctx rng in
+  let a = name c "a" and b = name c "b" in
+  let x = name c "x" and y = name c "y" and t = name c "t" in
+  simple_main c
+    ~prologue:[ decl a (read_clamped 1 60); decl b (read_clamped 1 60) ]
+    ~epilogue:[ print (v a *@ v b /@ v x) ]
+    [
+      decl x (v a);
+      decl y (v b);
+      While (v y <>@ i 0, [ decl t (v y); set y (v x %@ v y); set x (v t) ]);
+    ]
+
+let is_prime rng =
+  let c = ctx rng in
+  let n = name c "n" and p = name c "p" and d = name c "d" in
+  simple_main c
+    ~prologue:[ decl n (read_clamped 2 500) ]
+    ~epilogue:[ print (v p) ]
+    (decl p (i 1)
+    :: count_loop c ~var:d ~lo:(i 2) ~hi:(v n)
+         [ If (v n %@ v d ==@ i 0 &&@ (v d <@ v n), [ set p (i 0) ], []) ])
+
+let count_primes rng =
+  let c = ctx rng in
+  let n = name c "n" and cnt = name c "count" in
+  let k = name c "k" and d = name c "d" and ok = name c "ok" in
+  simple_main c
+    ~prologue:[ decl n (read_clamped 2 80) ]
+    ~epilogue:[ print (v cnt) ]
+    (decl cnt (i 0)
+    :: count_loop c ~var:k ~lo:(i 2) ~hi:(v n +@ i 1)
+         (decl ok (i 1)
+         :: count_loop c ~var:d ~lo:(i 2) ~hi:(v k)
+              [ If (v k %@ v d ==@ i 0, [ set ok (i 0) ], []) ]
+         @ [ If (v ok ==@ i 1, [ accum c cnt (i 1) ], []) ]))
+
+let sum_of_digits rng =
+  let c = ctx rng in
+  let n = name c "n" and s = name c "s" in
+  simple_main c
+    ~prologue:[ decl n (read_clamped 0 999999) ]
+    ~epilogue:[ print (v s) ]
+    [
+      decl s (i 0);
+      While (v n >@ i 0, [ accum c s (v n %@ i 10); set n (v n /@ i 10) ]);
+    ]
+
+let reverse_digits rng =
+  let c = ctx rng in
+  let n = name c "n" and r = name c "r" in
+  simple_main c
+    ~prologue:[ decl n (read_clamped 0 999999) ]
+    ~epilogue:[ print (v r) ]
+    [
+      decl r (i 0);
+      While
+        ( v n >@ i 0,
+          [ set r ((v r *@ i 10) +@ (v n %@ i 10)); set n (v n /@ i 10) ] );
+    ]
+
+let palindrome_number rng =
+  let c = ctx rng in
+  let n = name c "n" and m = name c "m" and r = name c "r" in
+  simple_main c
+    ~prologue:[ decl n (read_clamped 0 99999) ]
+    ~epilogue:[ print (Ternary (v r ==@ v m, i 1, i 0)) ]
+    [
+      decl m (v n);
+      decl r (i 0);
+      While
+        ( v n >@ i 0,
+          [ set r ((v r *@ i 10) +@ (v n %@ i 10)); set n (v n /@ i 10) ] );
+    ]
+
+let perfect_number rng =
+  let c = ctx rng in
+  let n = name c "n" and s = name c "s" and d = name c "d" in
+  simple_main c
+    ~prologue:[ decl n (read_clamped 1 500) ]
+    ~epilogue:[ print (Ternary (v s ==@ v n, i 1, i 0)) ]
+    (decl s (i 0)
+    :: count_loop c ~var:d ~lo:(i 1) ~hi:(v n)
+         [ If (v n %@ v d ==@ i 0, [ accum c s (v d) ], []) ])
+
+let armstrong rng =
+  let c = ctx rng in
+  let n = name c "n" and m = name c "m" and s = name c "s" and d = name c "d" in
+  simple_main c
+    ~prologue:[ decl n (read_clamped 1 999) ]
+    ~epilogue:[ print (Ternary (v s ==@ v m, i 1, i 0)) ]
+    [
+      decl m (v n);
+      decl s (i 0);
+      While
+        ( v n >@ i 0,
+          [
+            decl d (v n %@ i 10);
+            accum c s (v d *@ v d *@ v d);
+            set n (v n /@ i 10);
+          ] );
+    ]
+
+let int_power rng =
+  let c = ctx rng in
+  let b = name c "base" and e = name c "e" and r = name c "r" and k = name c "k" in
+  simple_main c
+    ~prologue:[ decl b (read_clamped 1 9); decl e (read_clamped 0 9) ]
+    ~epilogue:[ print (v r) ]
+    (decl r (i 1)
+    :: count_loop c ~var:k ~lo:(i 0) ~hi:(v e) [ set r (v r *@ v b) ])
+
+let collatz_steps rng =
+  let c = ctx rng in
+  let n = name c "n" and s = name c "steps" in
+  simple_main c
+    ~prologue:[ decl n (read_clamped 1 200) ]
+    ~epilogue:[ print (v s) ]
+    [
+      decl s (i 0);
+      While
+        ( v n >@ i 1 &&@ (v s <@ i 300),
+          [
+            If
+              ( v n %@ i 2 ==@ i 0,
+                [ set n (v n /@ i 2) ],
+                [ set n ((v n *@ i 3) +@ i 1) ] );
+            accum c s (i 1);
+          ] );
+    ]
+
+let sum_multiples_3_5 rng =
+  let c = ctx rng in
+  let n = name c "n" and s = name c "s" and k = name c "k" in
+  simple_main c
+    ~prologue:[ decl n (read_clamped 1 200) ]
+    ~epilogue:[ print (v s) ]
+    (decl s (i 0)
+    :: count_loop c ~var:k ~lo:(i 1) ~hi:(v n)
+         [
+           If
+             ( v k %@ i 3 ==@ i 0 ||@ (v k %@ i 5 ==@ i 0),
+               [ accum c s (v k) ],
+               [] );
+         ])
+
+let digital_root rng =
+  let c = ctx rng in
+  let n = name c "n" and s = name c "s" in
+  simple_main c
+    ~prologue:[ decl n (read_clamped 0 999999) ]
+    ~epilogue:[ print (v n) ]
+    [
+      While
+        ( v n >=@ i 10,
+          [
+            decl s (i 0);
+            While
+              (v n >@ i 0, [ accum c s (v n %@ i 10); set n (v n /@ i 10) ]);
+            set n (v s);
+          ] );
+    ]
+
+let count_divisors rng =
+  let c = ctx rng in
+  let n = name c "n" and cnt = name c "cnt" and d = name c "d" in
+  simple_main c
+    ~prologue:[ decl n (read_clamped 1 400) ]
+    ~epilogue:[ print (v cnt) ]
+    (decl cnt (i 0)
+    :: count_loop c ~var:d ~lo:(i 1) ~hi:(v n +@ i 1)
+         [ If (v n %@ v d ==@ i 0, [ accum c cnt (i 1) ], []) ])
+
+let integer_sqrt rng =
+  let c = ctx rng in
+  let n = name c "n" and r = name c "r" in
+  simple_main c
+    ~prologue:[ decl n (read_clamped 0 10000) ]
+    ~epilogue:[ print (v r) ]
+    [
+      decl r (i 0);
+      While ((v r +@ i 1) *@ (v r +@ i 1) <=@ v n, [ accum c r (i 1) ]);
+    ]
+
+let to_binary rng =
+  let c = ctx rng in
+  let n = name c "n" and b = name c "bits" and p = name c "p" in
+  simple_main c
+    ~prologue:[ decl n (read_clamped 0 1023) ]
+    ~epilogue:[ print (v b) ]
+    [
+      decl b (i 0);
+      decl p (i 1);
+      While
+        ( v n >@ i 0,
+          [
+            set b (v b +@ (v n %@ i 2 *@ v p));
+            set p (v p *@ i 10);
+            set n (v n /@ i 2);
+          ] );
+    ]
+
+let mod_exp rng =
+  let c = ctx rng in
+  let b = name c "b" and e = name c "e" and m = name c "m" and r = name c "r" in
+  let k = name c "k" in
+  simple_main c
+    ~prologue:
+      [
+        decl b (read_clamped 1 50);
+        decl e (read_clamped 0 20);
+        decl m (read_clamped 2 97);
+      ]
+    ~epilogue:[ print (v r) ]
+    (decl r (i 1)
+    :: count_loop c ~var:k ~lo:(i 0) ~hi:(v e)
+         [ set r (v r *@ v b %@ v m) ])
+
+let triangular rng =
+  let c = ctx rng in
+  let n = name c "n" and t = name c "t" and k = name c "k" in
+  simple_main c
+    ~prologue:[ decl n (read_clamped 1 50) ]
+    ~epilogue:[ print (v t) ]
+    (decl t (i 0)
+    :: count_loop c ~var:k ~lo:(i 1) ~hi:(v n +@ i 1)
+         [ accum c t (v k); print (v t) ])
+
+let sum_of_squares rng =
+  let c = ctx rng in
+  let n = name c "n" and s = name c "s" and k = name c "k" in
+  simple_main c
+    ~prologue:[ decl n (read_clamped 1 50) ]
+    ~epilogue:[ print (v s) ]
+    (decl s (i 0)
+    :: count_loop c ~var:k ~lo:(i 1) ~hi:(v n +@ i 1)
+         [ accum c s (v k *@ v k) ])
+
+let harmonic_scaled rng =
+  let c = ctx rng in
+  let n = name c "n" and s = name c "s" and k = name c "k" in
+  simple_main c
+    ~prologue:[ decl n (read_clamped 1 60) ]
+    ~epilogue:[ print (v s) ]
+    (decl s (i 0)
+    :: count_loop c ~var:k ~lo:(i 1) ~hi:(v n +@ i 1)
+         [ accum c s (i 100000 /@ v k) ])
+
+let prime_factors_count rng =
+  let c = ctx rng in
+  let n = name c "n" and cnt = name c "cnt" and d = name c "d" in
+  simple_main c
+    ~prologue:[ decl n (read_clamped 2 600) ]
+    ~epilogue:[ print (v cnt) ]
+    [
+      decl cnt (i 0);
+      decl d (i 2);
+      While
+        ( v d *@ v d <=@ v n,
+          [
+            While (v n %@ v d ==@ i 0, [ accum c cnt (i 1); set n (v n /@ v d) ]);
+            accum c d (i 1);
+          ] );
+      If (v n >@ i 1, [ accum c cnt (i 1) ], []);
+    ]
+
+let ackermann_like rng =
+  (* a bounded double-recursive function in the style of Ackermann *)
+  let c = ctx rng in
+  let fn = name c "ack" in
+  let m = name c "m" and n = name c "n" in
+  let helper =
+    {
+      fname = fn;
+      fparams = [ (TInt, m); (TInt, n) ];
+      fret = TInt;
+      fbody =
+        [
+          If (v m ==@ i 0, [ ret (v n +@ i 1) ], []);
+          If (v n ==@ i 0, [ ret (call fn [ v m -@ i 1; i 1 ]) ], []);
+          ret (call fn [ v m -@ i 1; call fn [ v m; v n -@ i 1 ] ]);
+        ];
+    }
+  in
+  let main =
+    {
+      fname = "main";
+      fparams = [];
+      fret = TInt;
+      fbody =
+        [
+          decl m (read_clamped 0 2);
+          decl n (read_clamped 0 3);
+          print (call fn [ v m; v n ]);
+          ret (i 0);
+        ];
+    }
+  in
+  program [ helper; main ]
+
+let problems : (string * (Rng.t -> Yali_minic.Ast.program)) list =
+  [
+    ("sum_1_to_n", sum_1_to_n);
+    ("factorial", factorial);
+    ("fibonacci", fibonacci);
+    ("gcd", gcd);
+    ("lcm", lcm);
+    ("is_prime", is_prime);
+    ("count_primes", count_primes);
+    ("sum_of_digits", sum_of_digits);
+    ("reverse_digits", reverse_digits);
+    ("palindrome_number", palindrome_number);
+    ("perfect_number", perfect_number);
+    ("armstrong", armstrong);
+    ("int_power", int_power);
+    ("collatz_steps", collatz_steps);
+    ("sum_multiples_3_5", sum_multiples_3_5);
+    ("digital_root", digital_root);
+    ("count_divisors", count_divisors);
+    ("integer_sqrt", integer_sqrt);
+    ("to_binary", to_binary);
+    ("mod_exp", mod_exp);
+    ("triangular", triangular);
+    ("sum_of_squares", sum_of_squares);
+    ("harmonic_scaled", harmonic_scaled);
+    ("prime_factors_count", prime_factors_count);
+    ("ackermann_like", ackermann_like);
+  ]

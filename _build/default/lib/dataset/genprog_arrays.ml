@@ -1,0 +1,448 @@
+(** Problem classes: one-dimensional arrays — sorting, searching, scanning.
+    Arrays are filled from the input stream (clamped), so every program
+    remains safe to execute on arbitrary inputs. *)
+
+open Yali_minic.Ast
+open Gen_dsl
+module Rng = Yali_util.Rng
+
+let arr_size = 16
+
+(* read `n` then fill arr[0..n) from inputs (clamped element values) *)
+let read_array (c : ctx) ~(arr : string) ~(n : string) : stmt list =
+  let k = Printf.sprintf "ld_%d" (Rng.int c.rng 100) in
+  [ decl n (read_clamped 1 arr_size); DeclArr (arr, arr_size) ]
+  @ count_loop c ~var:k ~lo:(i 0) ~hi:(v n)
+      [ seti arr (v k) (read_clamped 0 99) ]
+
+let sum_array rng =
+  let c = ctx rng in
+  let a = name c "a" and n = name c "n" and s = name c "s" and k = name c "k" in
+  simple_main c
+    ~prologue:(read_array c ~arr:a ~n)
+    ~epilogue:[ print (v s) ]
+    (decl s (i 0)
+    :: count_loop c ~var:k ~lo:(i 0) ~hi:(v n) [ accum c s (idx a (v k)) ])
+
+let max_element rng =
+  let c = ctx rng in
+  let a = name c "a" and n = name c "n" and m = name c "best" and k = name c "k" in
+  simple_main c
+    ~prologue:(read_array c ~arr:a ~n)
+    ~epilogue:[ print (v m) ]
+    (decl m (idx a (i 0))
+    :: count_loop c ~var:k ~lo:(i 1) ~hi:(v n)
+         [ If (idx a (v k) >@ v m, [ set m (idx a (v k)) ], []) ])
+
+let min_element rng =
+  let c = ctx rng in
+  let a = name c "a" and n = name c "n" and m = name c "low" and k = name c "k" in
+  simple_main c
+    ~prologue:(read_array c ~arr:a ~n)
+    ~epilogue:[ print (v m) ]
+    (decl m (idx a (i 0))
+    :: count_loop c ~var:k ~lo:(i 1) ~hi:(v n)
+         [ If (idx a (v k) <@ v m, [ set m (idx a (v k)) ], []) ])
+
+let average rng =
+  let c = ctx rng in
+  let a = name c "a" and n = name c "n" and s = name c "s" and k = name c "k" in
+  simple_main c
+    ~prologue:(read_array c ~arr:a ~n)
+    ~epilogue:[ print (v s /@ v n) ]
+    (decl s (i 0)
+    :: count_loop c ~var:k ~lo:(i 0) ~hi:(v n) [ accum c s (idx a (v k)) ])
+
+let bubble_sort rng =
+  let c = ctx rng in
+  let a = name c "a" and n = name c "n" in
+  let x = name c "x" and y = name c "y" and t = name c "t" and k = name c "k" in
+  simple_main c
+    ~prologue:(read_array c ~arr:a ~n)
+    (count_loop c ~var:x ~lo:(i 0) ~hi:(v n)
+       (count_loop c ~var:y ~lo:(i 0) ~hi:(v n -@ i 1)
+          [
+            If
+              ( idx a (v y) >@ idx a (v y +@ i 1),
+                [
+                  decl t (idx a (v y));
+                  seti a (v y) (idx a (v y +@ i 1));
+                  seti a (v y +@ i 1) (v t);
+                ],
+                [] );
+          ])
+    @ count_loop c ~var:k ~lo:(i 0) ~hi:(v n) [ print (idx a (v k)) ])
+
+let selection_sort rng =
+  let c = ctx rng in
+  let a = name c "a" and n = name c "n" in
+  let x = name c "x" and y = name c "y" and m = name c "m" and t = name c "t" in
+  let k = name c "k" in
+  simple_main c
+    ~prologue:(read_array c ~arr:a ~n)
+    (count_loop c ~var:x ~lo:(i 0) ~hi:(v n -@ i 1)
+       (decl m (v x)
+       :: count_loop c ~var:y ~lo:(v x +@ i 1) ~hi:(v n)
+            [ If (idx a (v y) <@ idx a (v m), [ set m (v y) ], []) ]
+       @ [
+           decl t (idx a (v x));
+           seti a (v x) (idx a (v m));
+           seti a (v m) (v t);
+         ])
+    @ count_loop c ~var:k ~lo:(i 0) ~hi:(v n) [ print (idx a (v k)) ])
+
+let insertion_sort rng =
+  let c = ctx rng in
+  let a = name c "a" and n = name c "n" in
+  let x = name c "x" and j = name c "j" and key = name c "key" and k = name c "k" in
+  simple_main c
+    ~prologue:(read_array c ~arr:a ~n)
+    (count_loop c ~var:x ~lo:(i 1) ~hi:(v n)
+       [
+         decl key (idx a (v x));
+         decl j (v x -@ i 1);
+         While
+           ( v j >=@ i 0 &&@ (idx a (v j) >@ v key),
+             [ seti a (v j +@ i 1) (idx a (v j)); set j (v j -@ i 1) ] );
+         seti a (v j +@ i 1) (v key);
+       ]
+    @ count_loop c ~var:k ~lo:(i 0) ~hi:(v n) [ print (idx a (v k)) ])
+
+let reverse_array rng =
+  let c = ctx rng in
+  let a = name c "a" and n = name c "n" in
+  let l = name c "lo" and r = name c "hi" and t = name c "t" and k = name c "k" in
+  simple_main c
+    ~prologue:(read_array c ~arr:a ~n)
+    ([
+       decl l (i 0);
+       decl r (v n -@ i 1);
+       While
+         ( v l <@ v r,
+           [
+             decl t (idx a (v l));
+             seti a (v l) (idx a (v r));
+             seti a (v r) (v t);
+             set l (v l +@ i 1);
+             set r (v r -@ i 1);
+           ] );
+     ]
+    @ count_loop c ~var:k ~lo:(i 0) ~hi:(v n) [ print (idx a (v k)) ])
+
+let count_evens rng =
+  let c = ctx rng in
+  let a = name c "a" and n = name c "n" and cnt = name c "cnt" and k = name c "k" in
+  simple_main c
+    ~prologue:(read_array c ~arr:a ~n)
+    ~epilogue:[ print (v cnt) ]
+    (decl cnt (i 0)
+    :: count_loop c ~var:k ~lo:(i 0) ~hi:(v n)
+         [ If (idx a (v k) %@ i 2 ==@ i 0, [ accum c cnt (i 1) ], []) ])
+
+let linear_search rng =
+  let c = ctx rng in
+  let a = name c "a" and n = name c "n" and x = name c "x" in
+  let pos = name c "pos" and k = name c "k" in
+  simple_main c
+    ~prologue:(read_array c ~arr:a ~n @ [ decl x (read_clamped 0 99) ])
+    ~epilogue:[ print (v pos) ]
+    (decl pos (i (-1))
+    :: count_loop c ~var:k ~lo:(i 0) ~hi:(v n)
+         [
+           If (idx a (v k) ==@ v x &&@ (v pos ==@ i (-1)), [ set pos (v k) ], []);
+         ])
+
+let binary_search rng =
+  let c = ctx rng in
+  let a = name c "a" and n = name c "n" and x = name c "x" in
+  let lo = name c "lo" and hi = name c "hi" and mid = name c "mid" in
+  let y = name c "y" and j = name c "j" and key = name c "key" in
+  let found = name c "found" in
+  simple_main c
+    ~prologue:(read_array c ~arr:a ~n @ [ decl x (read_clamped 0 99) ])
+    ~epilogue:[ print (v found) ]
+    ((* sort first with insertion sort so the search is meaningful *)
+     count_loop c ~var:y ~lo:(i 1) ~hi:(v n)
+       [
+         decl key (idx a (v y));
+         decl j (v y -@ i 1);
+         While
+           ( v j >=@ i 0 &&@ (idx a (v j) >@ v key),
+             [ seti a (v j +@ i 1) (idx a (v j)); set j (v j -@ i 1) ] );
+         seti a (v j +@ i 1) (v key);
+       ]
+    @ [
+        decl lo (i 0);
+        decl hi (v n -@ i 1);
+        decl found (i (-1));
+        While
+          ( v lo <=@ v hi,
+            [
+              decl mid ((v lo +@ v hi) /@ i 2);
+              If
+                ( idx a (v mid) ==@ v x,
+                  [ set found (v mid); Break ],
+                  [
+                    If
+                      ( idx a (v mid) <@ v x,
+                        [ set lo (v mid +@ i 1) ],
+                        [ set hi (v mid -@ i 1) ] );
+                  ] );
+            ] );
+      ])
+
+let second_largest rng =
+  let c = ctx rng in
+  let a = name c "a" and n = name c "n" in
+  let m1 = name c "first" and m2 = name c "second" and k = name c "k" in
+  simple_main c
+    ~prologue:(read_array c ~arr:a ~n)
+    ~epilogue:[ print (v m2) ]
+    (reorder c [ decl m1 (i (-1)); decl m2 (i (-1)) ]
+    @ count_loop c ~var:k ~lo:(i 0) ~hi:(v n)
+        [
+          If
+            ( idx a (v k) >@ v m1,
+              [ set m2 (v m1); set m1 (idx a (v k)) ],
+              [ If (idx a (v k) >@ v m2, [ set m2 (idx a (v k)) ], []) ] );
+        ])
+
+let rotate_left rng =
+  let c = ctx rng in
+  let a = name c "a" and n = name c "n" and first = name c "first" in
+  let k = name c "k" and k2 = name c "p" in
+  simple_main c
+    ~prologue:(read_array c ~arr:a ~n)
+    ([ decl first (idx a (i 0)) ]
+    @ count_loop c ~var:k ~lo:(i 0) ~hi:(v n -@ i 1)
+        [ seti a (v k) (idx a (v k +@ i 1)) ]
+    @ [ seti a (v n -@ i 1) (v first) ]
+    @ count_loop c ~var:k2 ~lo:(i 0) ~hi:(v n) [ print (idx a (v k2)) ])
+
+let prefix_sums rng =
+  let c = ctx rng in
+  let a = name c "a" and n = name c "n" and k = name c "k" in
+  simple_main c
+    ~prologue:(read_array c ~arr:a ~n)
+    (count_loop c ~var:k ~lo:(i 1) ~hi:(v n)
+       [ seti a (v k) (idx a (v k) +@ idx a (v k -@ i 1)) ]
+    @ [ print (idx a (v n -@ i 1)) ])
+
+let count_inversions rng =
+  let c = ctx rng in
+  let a = name c "a" and n = name c "n" and inv = name c "inv" in
+  let x = name c "x" and y = name c "y" in
+  simple_main c
+    ~prologue:(read_array c ~arr:a ~n)
+    ~epilogue:[ print (v inv) ]
+    (decl inv (i 0)
+    :: count_loop c ~var:x ~lo:(i 0) ~hi:(v n)
+         (count_loop c ~var:y ~lo:(v x +@ i 1) ~hi:(v n)
+            [ If (idx a (v x) >@ idx a (v y), [ accum c inv (i 1) ], []) ]))
+
+let pairs_sum_k rng =
+  let c = ctx rng in
+  let a = name c "a" and n = name c "n" and target = name c "target" in
+  let cnt = name c "cnt" and x = name c "x" and y = name c "y" in
+  simple_main c
+    ~prologue:(read_array c ~arr:a ~n @ [ decl target (read_clamped 0 198) ])
+    ~epilogue:[ print (v cnt) ]
+    (decl cnt (i 0)
+    :: count_loop c ~var:x ~lo:(i 0) ~hi:(v n)
+         (count_loop c ~var:y ~lo:(v x +@ i 1) ~hi:(v n)
+            [
+              If (idx a (v x) +@ idx a (v y) ==@ v target, [ accum c cnt (i 1) ], []);
+            ]))
+
+let kadane rng =
+  let c = ctx rng in
+  let a = name c "a" and n = name c "n" in
+  let best = name c "best" and cur = name c "cur" and k = name c "k" in
+  simple_main c
+    ~prologue:
+      (read_array c ~arr:a ~n
+      @ (* make some entries negative so the problem is non-trivial *)
+      count_loop c ~var:k ~lo:(i 0) ~hi:(v n)
+        [
+          If (idx a (v k) %@ i 3 ==@ i 0, [ seti a (v k) (i 0 -@ idx a (v k)) ], []);
+        ])
+    ~epilogue:[ print (v best) ]
+    (let t = name c "t" in
+     [
+       decl best (idx a (i 0));
+       decl cur (idx a (i 0));
+       Block
+         (count_loop c ~var:t ~lo:(i 1) ~hi:(v n)
+            [
+              set cur
+                (Ternary (v cur >@ i 0, v cur +@ idx a (v t), idx a (v t)));
+              If (v cur >@ v best, [ set best (v cur) ], []);
+            ]);
+     ])
+
+let equilibrium_index rng =
+  let c = ctx rng in
+  let a = name c "a" and n = name c "n" in
+  let total = name c "total" and left = name c "left" and ans = name c "ans" in
+  let k = name c "k" and k2 = name c "p" in
+  simple_main c
+    ~prologue:(read_array c ~arr:a ~n)
+    ~epilogue:[ print (v ans) ]
+    (decl total (i 0)
+    :: count_loop c ~var:k ~lo:(i 0) ~hi:(v n) [ accum c total (idx a (v k)) ]
+    @ [ decl left (i 0); decl ans (i (-1)) ]
+    @ count_loop c ~var:k2 ~lo:(i 0) ~hi:(v n)
+        [
+          If
+            ( v left ==@ (v total -@ v left -@ idx a (v k2))
+              &&@ (v ans ==@ i (-1)),
+              [ set ans (v k2) ],
+              [] );
+          accum c left (idx a (v k2));
+        ])
+
+let most_frequent rng =
+  let c = ctx rng in
+  let a = name c "a" and n = name c "n" in
+  let bestv = name c "bestv" and bestc = name c "bestc" in
+  let x = name c "x" and y = name c "y" and cnt = name c "cnt" in
+  simple_main c
+    ~prologue:(read_array c ~arr:a ~n)
+    ~epilogue:[ print (v bestv) ]
+    (reorder c [ decl bestv (i (-1)); decl bestc (i 0) ]
+    @ count_loop c ~var:x ~lo:(i 0) ~hi:(v n)
+        (decl cnt (i 0)
+        :: count_loop c ~var:y ~lo:(i 0) ~hi:(v n)
+             [ If (idx a (v y) ==@ idx a (v x), [ accum c cnt (i 1) ], []) ]
+        @ [
+            If
+              ( v cnt >@ v bestc,
+                [ set bestc (v cnt); set bestv (idx a (v x)) ],
+                [] );
+          ]))
+
+let distinct_count rng =
+  let c = ctx rng in
+  let a = name c "a" and n = name c "n" and cnt = name c "cnt" in
+  let x = name c "x" and y = name c "y" and dup = name c "dup" in
+  simple_main c
+    ~prologue:(read_array c ~arr:a ~n)
+    ~epilogue:[ print (v cnt) ]
+    (decl cnt (i 0)
+    :: count_loop c ~var:x ~lo:(i 0) ~hi:(v n)
+         (decl dup (i 0)
+         :: count_loop c ~var:y ~lo:(i 0) ~hi:(v x)
+              [ If (idx a (v y) ==@ idx a (v x), [ set dup (i 1) ], []) ]
+         @ [ If (v dup ==@ i 0, [ accum c cnt (i 1) ], []) ]))
+
+let dot_product rng =
+  let c = ctx rng in
+  let a = name c "a" and b = name c "b" and n = name c "n" in
+  let s = name c "s" and k = name c "k" and k2 = name c "p" in
+  simple_main c
+    ~prologue:
+      ([ decl n (read_clamped 1 arr_size); DeclArr (a, arr_size); DeclArr (b, arr_size) ]
+      @ count_loop c ~var:k ~lo:(i 0) ~hi:(v n)
+          [ seti a (v k) (read_clamped 0 20); seti b (v k) (read_clamped 0 20) ])
+    ~epilogue:[ print (v s) ]
+    (decl s (i 0)
+    :: count_loop c ~var:k2 ~lo:(i 0) ~hi:(v n)
+         [ accum c s (idx a (v k2) *@ idx b (v k2)) ])
+
+let is_sorted rng =
+  let c = ctx rng in
+  let a = name c "a" and n = name c "n" and ok = name c "ok" and k = name c "k" in
+  simple_main c
+    ~prologue:(read_array c ~arr:a ~n)
+    ~epilogue:[ print (v ok) ]
+    (decl ok (i 1)
+    :: count_loop c ~var:k ~lo:(i 1) ~hi:(v n)
+         [ If (idx a (v k) <@ idx a (v k -@ i 1), [ set ok (i 0) ], []) ])
+
+let longest_run rng =
+  let c = ctx rng in
+  let a = name c "a" and n = name c "n" in
+  let best = name c "best" and cur = name c "cur" and k = name c "k" in
+  simple_main c
+    ~prologue:(read_array c ~arr:a ~n)
+    ~epilogue:[ print (v best) ]
+    (reorder c [ decl best (i 1); decl cur (i 1) ]
+    @ count_loop c ~var:k ~lo:(i 1) ~hi:(v n)
+        [
+          If
+            ( idx a (v k) >=@ idx a (v k -@ i 1),
+              [ accum c cur (i 1) ],
+              [ set cur (i 1) ] );
+          If (v cur >@ v best, [ set best (v cur) ], []);
+        ])
+
+let range_sum_queries rng =
+  let c = ctx rng in
+  let a = name c "a" and n = name c "n" in
+  let q = name c "q" and lo = name c "lo" and hi = name c "hi" in
+  let s = name c "s" and k = name c "k" and t = name c "t" in
+  let swp = name c "swp" in
+  simple_main c
+    ~prologue:(read_array c ~arr:a ~n)
+    (decl q (read_clamped 1 4)
+    :: count_loop c ~var:t ~lo:(i 0) ~hi:(v q)
+         ([
+            decl lo (read_clamped 0 (arr_size - 1));
+            decl hi (read_clamped 0 (arr_size - 1));
+            If (v lo >@ v hi, [ decl swp (v lo); set lo (v hi); set hi (v swp) ], []);
+            If (v hi >=@ v n, [ set hi (v n -@ i 1) ], []);
+            If (v lo >=@ v n, [ set lo (v n -@ i 1) ], []);
+            decl s (i 0);
+          ]
+         @ count_loop c ~var:k ~lo:(v lo) ~hi:(v hi +@ i 1)
+             [ accum c s (idx a (v k)) ]
+         @ [ print (v s) ]))
+
+let swap_min_max rng =
+  let c = ctx rng in
+  let a = name c "a" and n = name c "n" in
+  let im = name c "imin" and ix = name c "imax" and k = name c "k" and t = name c "t" in
+  let k2 = name c "p" in
+  simple_main c
+    ~prologue:(read_array c ~arr:a ~n)
+    (reorder c [ decl im (i 0); decl ix (i 0) ]
+    @ count_loop c ~var:k ~lo:(i 1) ~hi:(v n)
+        [
+          If (idx a (v k) <@ idx a (v im), [ set im (v k) ], []);
+          If (idx a (v k) >@ idx a (v ix), [ set ix (v k) ], []);
+        ]
+    @ [
+        decl t (idx a (v im));
+        seti a (v im) (idx a (v ix));
+        seti a (v ix) (v t);
+      ]
+    @ count_loop c ~var:k2 ~lo:(i 0) ~hi:(v n) [ print (idx a (v k2)) ])
+
+let problems : (string * (Rng.t -> Yali_minic.Ast.program)) list =
+  [
+    ("sum_array", sum_array);
+    ("max_element", max_element);
+    ("min_element", min_element);
+    ("average", average);
+    ("bubble_sort", bubble_sort);
+    ("selection_sort", selection_sort);
+    ("insertion_sort", insertion_sort);
+    ("reverse_array", reverse_array);
+    ("count_evens", count_evens);
+    ("linear_search", linear_search);
+    ("binary_search", binary_search);
+    ("second_largest", second_largest);
+    ("rotate_left", rotate_left);
+    ("prefix_sums", prefix_sums);
+    ("count_inversions", count_inversions);
+    ("pairs_sum_k", pairs_sum_k);
+    ("kadane", kadane);
+    ("equilibrium_index", equilibrium_index);
+    ("most_frequent", most_frequent);
+    ("distinct_count", distinct_count);
+    ("dot_product", dot_product);
+    ("is_sorted", is_sorted);
+    ("longest_run", longest_run);
+    ("range_sum_queries", range_sum_queries);
+    ("swap_min_max", swap_min_max);
+  ]

@@ -1,0 +1,335 @@
+(** Problem classes: dynamic programming and recursion. *)
+
+open Yali_minic.Ast
+open Gen_dsl
+module Rng = Yali_util.Rng
+
+let cap = 24 (* DP tables are at most this long *)
+
+let fib_dp rng =
+  let c = ctx rng in
+  let n = name c "n" and dp = name c "dp" and k = name c "k" in
+  simple_main c
+    ~prologue:[ decl n (read_clamped 2 (cap - 1)); DeclArr (dp, cap) ]
+    ~epilogue:[ print (idx dp (v n)) ]
+    ([ seti dp (i 0) (i 0); seti dp (i 1) (i 1) ]
+    @ count_loop c ~var:k ~lo:(i 2) ~hi:(v n +@ i 1)
+        [ seti dp (v k) (idx dp (v k -@ i 1) +@ idx dp (v k -@ i 2)) ])
+
+let climbing_stairs rng =
+  let c = ctx rng in
+  let n = name c "n" and dp = name c "ways" and k = name c "k" in
+  simple_main c
+    ~prologue:[ decl n (read_clamped 1 (cap - 1)); DeclArr (dp, cap) ]
+    ~epilogue:[ print (idx dp (v n)) ]
+    ([ seti dp (i 0) (i 1); seti dp (i 1) (i 1) ]
+    @ count_loop c ~var:k ~lo:(i 2) ~hi:(v n +@ i 1)
+        [ seti dp (v k) (idx dp (v k -@ i 1) +@ idx dp (v k -@ i 2)) ]
+    @ [ print (v n) ])
+
+let tribonacci rng =
+  let c = ctx rng in
+  let n = name c "n" and dp = name c "t" and k = name c "k" in
+  simple_main c
+    ~prologue:[ decl n (read_clamped 3 (cap - 1)); DeclArr (dp, cap) ]
+    ~epilogue:[ print (idx dp (v n)) ]
+    ([ seti dp (i 0) (i 0); seti dp (i 1) (i 1); seti dp (i 2) (i 1) ]
+    @ count_loop c ~var:k ~lo:(i 3) ~hi:(v n +@ i 1)
+        [
+          seti dp (v k)
+            (idx dp (v k -@ i 1) +@ idx dp (v k -@ i 2) +@ idx dp (v k -@ i 3));
+        ])
+
+let coin_change_count rng =
+  let c = ctx rng in
+  let n = name c "amount" and dp = name c "dp" in
+  let k = name c "k" and k2 = name c "p" and k3 = name c "q" in
+  simple_main c
+    ~prologue:[ decl n (read_clamped 1 (cap - 1)); DeclArr (dp, cap) ]
+    ~epilogue:[ print (idx dp (v n)) ]
+    (count_loop c ~var:k ~lo:(i 0) ~hi:(i cap) [ seti dp (v k) (i 0) ]
+    @ [ seti dp (i 0) (i 1) ]
+    @ List.concat_map
+        (fun coin ->
+          count_loop c
+            ~var:(match coin with 1 -> k2 | 2 -> k3 | _ -> name c "r")
+            ~lo:(i coin) ~hi:(v n +@ i 1)
+            [
+              seti dp
+                (match coin with 1 -> v k2 | 2 -> v k3 | _ -> v (name c "r"))
+                (idx dp
+                   (match coin with 1 -> v k2 | 2 -> v k3 | _ -> v (name c "r"))
+                +@ idx dp
+                     ((match coin with
+                      | 1 -> v k2
+                      | 2 -> v k3
+                      | _ -> v (name c "r"))
+                     -@ i coin));
+            ])
+        [ 1; 2 ])
+
+let longest_increasing_subseq rng =
+  let c = ctx rng in
+  let a = name c "a" and dp = name c "dp" and n = name c "n" in
+  let x = name c "x" and y = name c "y" and best = name c "best" and k = name c "k" in
+  simple_main c
+    ~prologue:
+      ([ decl n (read_clamped 1 12); DeclArr (a, 12); DeclArr (dp, 12) ]
+      @ count_loop c ~var:k ~lo:(i 0) ~hi:(v n)
+          [ seti a (v k) (read_clamped 0 50) ])
+    ~epilogue:[ print (v best) ]
+    (count_loop c ~var:x ~lo:(i 0) ~hi:(v n)
+       (seti dp (v x) (i 1)
+       :: count_loop c ~var:y ~lo:(i 0) ~hi:(v x)
+            [
+              If
+                ( idx a (v y) <@ idx a (v x)
+                  &&@ (idx dp (v y) +@ i 1 >@ idx dp (v x)),
+                  [ seti dp (v x) (idx dp (v y) +@ i 1) ],
+                  [] );
+            ])
+    @ decl best (i 0)
+      :: count_loop c ~var:k ~lo:(i 0) ~hi:(v n)
+           [ If (idx dp (v k) >@ v best, [ set best (idx dp (v k)) ], []) ])
+
+let grid_paths rng =
+  let c = ctx rng in
+  let w = name c "w" and h = name c "h" and dp = name c "dp" in
+  let x = name c "x" and y = name c "y" in
+  let maxw = 6 in
+  simple_main c
+    ~prologue:
+      [
+        decl w (read_clamped 1 maxw);
+        decl h (read_clamped 1 maxw);
+        DeclArr (dp, maxw * maxw);
+      ]
+    ~epilogue:[ print (idx dp (((v h -@ i 1) *@ v w) +@ v w -@ i 1)) ]
+    (count_loop c ~var:y ~lo:(i 0) ~hi:(v h)
+       (count_loop c ~var:x ~lo:(i 0) ~hi:(v w)
+          [
+            If
+              ( v x ==@ i 0 ||@ (v y ==@ i 0),
+                [ seti dp ((v y *@ v w) +@ v x) (i 1) ],
+                [
+                  seti dp
+                    ((v y *@ v w) +@ v x)
+                    (idx dp ((v y *@ v w) +@ v x -@ i 1)
+                    +@ idx dp (((v y -@ i 1) *@ v w) +@ v x));
+                ] );
+          ]))
+
+let subset_sum_count rng =
+  let c = ctx rng in
+  let n = name c "n" and a = name c "a" and target = name c "target" in
+  let cnt = name c "cnt" and mask = name c "mask" and s = name c "s" and k = name c "k" in
+  let k2 = name c "p" in
+  simple_main c
+    ~prologue:
+      ([ decl n (read_clamped 1 8); DeclArr (a, 8) ]
+      @ count_loop c ~var:k ~lo:(i 0) ~hi:(v n)
+          [ seti a (v k) (read_clamped 0 9) ]
+      @ [ decl target (read_clamped 0 30) ])
+    ~epilogue:[ print (v cnt) ]
+    (decl cnt (i 0)
+    :: count_loop c ~var:mask ~lo:(i 0)
+         ~hi:(Bin (Shl, i 1, v n))
+         (decl s (i 0)
+         :: count_loop c ~var:k2 ~lo:(i 0) ~hi:(v n)
+              [
+                If
+                  ( Bin (BAnd, Bin (Shr, v mask, v k2), i 1) ==@ i 1,
+                    [ accum c s (idx a (v k2)) ],
+                    [] );
+              ]
+         @ [ If (v s ==@ v target, [ accum c cnt (i 1) ], []) ]))
+
+let rod_cutting rng =
+  let c = ctx rng in
+  let n = name c "n" and price = name c "price" and dp = name c "dp" in
+  let x = name c "x" and y = name c "y" and k = name c "k" in
+  let maxn = 12 in
+  simple_main c
+    ~prologue:
+      ([ decl n (read_clamped 1 (maxn - 1)); DeclArr (price, maxn); DeclArr (dp, maxn) ]
+      @ count_loop c ~var:k ~lo:(i 0) ~hi:(i maxn)
+          [ seti price (v k) ((v k *@ i 3) +@ read_clamped 0 4) ])
+    ~epilogue:[ print (idx dp (v n)) ]
+    (seti dp (i 0) (i 0)
+    :: count_loop c ~var:x ~lo:(i 1) ~hi:(v n +@ i 1)
+         (seti dp (v x) (i 0)
+         :: count_loop c ~var:y ~lo:(i 1) ~hi:(v x +@ i 1)
+              [
+                If
+                  ( idx price (v y) +@ idx dp (v x -@ v y) >@ idx dp (v x),
+                    [ seti dp (v x) (idx price (v y) +@ idx dp (v x -@ v y)) ],
+                    [] );
+              ]))
+
+let max_path_triangle rng =
+  let c = ctx rng in
+  let rows = 5 in
+  let tri = name c "tri" and dp = name c "dp" in
+  let x = name c "x" and y = name c "y" and k = name c "k" and best = name c "best" in
+  let cellcount = rows * (rows + 1) / 2 in
+  let rowbase r = r *@ (r +@ i 1) /@ i 2 in
+  simple_main c
+    ~prologue:
+      ([ DeclArr (tri, cellcount); DeclArr (dp, cellcount) ]
+      @ count_loop c ~var:k ~lo:(i 0) ~hi:(i cellcount)
+          [ seti tri (v k) (read_clamped 0 9) ])
+    ~epilogue:[ print (v best) ]
+    ([ seti dp (i 0) (idx tri (i 0)) ]
+    @ count_loop c ~var:x ~lo:(i 1) ~hi:(i rows)
+        (count_loop c ~var:y ~lo:(i 0) ~hi:(v x +@ i 1)
+           [
+             If
+               ( v y ==@ i 0,
+                 [
+                   seti dp
+                     (rowbase (v x) +@ v y)
+                     (idx dp (rowbase (v x -@ i 1)) +@ idx tri (rowbase (v x) +@ v y));
+                 ],
+                 [
+                   If
+                     ( v y ==@ v x,
+                       [
+                         seti dp
+                           (rowbase (v x) +@ v y)
+                           (idx dp (rowbase (v x -@ i 1) +@ v y -@ i 1)
+                           +@ idx tri (rowbase (v x) +@ v y));
+                       ],
+                       [
+                         seti dp
+                           (rowbase (v x) +@ v y)
+                           (call "max"
+                              [
+                                idx dp (rowbase (v x -@ i 1) +@ v y);
+                                idx dp (rowbase (v x -@ i 1) +@ v y -@ i 1);
+                              ]
+                           +@ idx tri (rowbase (v x) +@ v y));
+                       ] );
+                 ] );
+           ])
+    @ decl best (i 0)
+      :: count_loop c ~var:k ~lo:(i 0) ~hi:(i rows)
+           [
+             If
+               ( idx dp (rowbase (i (rows - 1)) +@ v k) >@ v best,
+                 [ set best (idx dp (rowbase (i (rows - 1)) +@ v k)) ],
+                 [] );
+           ])
+
+let lcs_length rng =
+  let c = ctx rng in
+  let n = name c "n" and m = name c "m" in
+  let a = name c "a" and b = name c "b" and dp = name c "dp" in
+  let x = name c "x" and y = name c "y" and k = name c "k" and k2 = name c "p" in
+  let cap2 = 9 in
+  simple_main c
+    ~prologue:
+      ([
+         decl n (read_clamped 1 (cap2 - 1));
+         decl m (read_clamped 1 (cap2 - 1));
+         DeclArr (a, cap2);
+         DeclArr (b, cap2);
+         DeclArr (dp, cap2 * cap2);
+       ]
+      @ count_loop c ~var:k ~lo:(i 0) ~hi:(v n)
+          [ seti a (v k) (read_clamped 0 4) ]
+      @ count_loop c ~var:k2 ~lo:(i 0) ~hi:(v m)
+          [ seti b (v k2) (read_clamped 0 4) ])
+    ~epilogue:[ print (idx dp ((v n *@ i cap2) +@ v m)) ]
+    (count_loop c ~var:x ~lo:(i 0) ~hi:(v n +@ i 1)
+       (count_loop c ~var:y ~lo:(i 0) ~hi:(v m +@ i 1)
+          [
+            If
+              ( v x ==@ i 0 ||@ (v y ==@ i 0),
+                [ seti dp ((v x *@ i cap2) +@ v y) (i 0) ],
+                [
+                  If
+                    ( idx a (v x -@ i 1) ==@ idx b (v y -@ i 1),
+                      [
+                        seti dp
+                          ((v x *@ i cap2) +@ v y)
+                          (idx dp (((v x -@ i 1) *@ i cap2) +@ v y -@ i 1) +@ i 1);
+                      ],
+                      [
+                        seti dp
+                          ((v x *@ i cap2) +@ v y)
+                          (call "max"
+                             [
+                               idx dp (((v x -@ i 1) *@ i cap2) +@ v y);
+                               idx dp ((v x *@ i cap2) +@ v y -@ i 1);
+                             ]);
+                      ] );
+                ] );
+          ]))
+
+let knapsack01 rng =
+  let c = ctx rng in
+  let n = name c "n" and capacity = name c "capacity" in
+  let wt = name c "wt" and va = name c "val" and dp = name c "dp" in
+  let x = name c "x" and y = name c "y" and k = name c "k" in
+  let maxn = 6 and maxc = 15 in
+  simple_main c
+    ~prologue:
+      ([
+         decl n (read_clamped 1 maxn);
+         decl capacity (read_clamped 1 (maxc - 1));
+         DeclArr (wt, maxn);
+         DeclArr (va, maxn);
+         DeclArr (dp, maxc);
+       ]
+      @ count_loop c ~var:k ~lo:(i 0) ~hi:(v n)
+          [ seti wt (v k) (read_clamped 1 5); seti va (v k) (read_clamped 1 9) ])
+    ~epilogue:[ print (idx dp (v capacity)) ]
+    (count_loop c ~var:k ~lo:(i 0) ~hi:(i maxc) [ seti dp (v k) (i 0) ]
+    @ count_loop c ~var:x ~lo:(i 0) ~hi:(v n)
+        (count_down_loop c ~var:y ~lo:(i 0) ~hi:(v capacity +@ i 1)
+           [
+             If
+               ( v y >=@ idx wt (v x),
+                 [
+                   If
+                     ( idx dp (v y -@ idx wt (v x)) +@ idx va (v x) >@ idx dp (v y),
+                       [
+                         seti dp (v y) (idx dp (v y -@ idx wt (v x)) +@ idx va (v x));
+                       ],
+                       [] );
+                 ],
+                 [] );
+           ]))
+
+let catalan_dp rng =
+  let c = ctx rng in
+  let n = name c "n" and dp = name c "cat" in
+  let x = name c "x" and y = name c "y" in
+  let maxn = 12 in
+  simple_main c
+    ~prologue:[ decl n (read_clamped 1 (maxn - 1)); DeclArr (dp, maxn) ]
+    ~epilogue:[ print (idx dp (v n)) ]
+    ([ seti dp (i 0) (i 1) ]
+    @ count_loop c ~var:x ~lo:(i 1) ~hi:(v n +@ i 1)
+        (seti dp (v x) (i 0)
+        :: count_loop c ~var:y ~lo:(i 0) ~hi:(v x)
+             [
+               seti dp (v x)
+                 (idx dp (v x) +@ (idx dp (v y) *@ idx dp (v x -@ i 1 -@ v y)));
+             ]))
+
+let problems : (string * (Rng.t -> Yali_minic.Ast.program)) list =
+  [
+    ("fib_dp", fib_dp);
+    ("climbing_stairs", climbing_stairs);
+    ("tribonacci", tribonacci);
+    ("coin_change_count", coin_change_count);
+    ("longest_increasing_subseq", longest_increasing_subseq);
+    ("grid_paths", grid_paths);
+    ("subset_sum_count", subset_sum_count);
+    ("rod_cutting", rod_cutting);
+    ("max_path_triangle", max_path_triangle);
+    ("lcs_length", lcs_length);
+    ("knapsack01", knapsack01);
+    ("catalan_dp", catalan_dp);
+  ]

@@ -1,0 +1,269 @@
+(** Problem classes: loop-heavy output and series tasks. *)
+
+open Yali_minic.Ast
+open Gen_dsl
+module Rng = Yali_util.Rng
+
+let multiplication_table rng =
+  let c = ctx rng in
+  let n = name c "n" and x = name c "x" and y = name c "y" in
+  simple_main c
+    ~prologue:[ decl n (read_clamped 1 9) ]
+    (count_loop c ~var:x ~lo:(i 1) ~hi:(v n +@ i 1)
+       (count_loop c ~var:y ~lo:(i 1) ~hi:(v n +@ i 1)
+          [ print (v x *@ v y) ]))
+
+let fibonacci_sequence rng =
+  let c = ctx rng in
+  let n = name c "n" and a = name c "a" and b = name c "b" and t = name c "t" in
+  let k = name c "k" in
+  simple_main c
+    ~prologue:[ decl n (read_clamped 1 20) ]
+    (reorder c [ decl a (i 0); decl b (i 1) ]
+    @ count_loop c ~var:k ~lo:(i 0) ~hi:(v n)
+        [ print (v a); decl t (v a +@ v b); set a (v b); set b (v t) ])
+
+let alternating_series rng =
+  let c = ctx rng in
+  let n = name c "n" and s = name c "s" and sign = name c "sign" and k = name c "k" in
+  simple_main c
+    ~prologue:[ decl n (read_clamped 1 40) ]
+    ~epilogue:[ print (v s) ]
+    (reorder c [ decl s (i 0); decl sign (i 1) ]
+    @ count_loop c ~var:k ~lo:(i 1) ~hi:(v n +@ i 1)
+        [ accum c s (v sign *@ v k); set sign (i 0 -@ v sign) ])
+
+let geometric_series rng =
+  let c = ctx rng in
+  let n = name c "n" and s = name c "s" and p = name c "p" and k = name c "k" in
+  simple_main c
+    ~prologue:[ decl n (read_clamped 1 20) ]
+    ~epilogue:[ print (v s) ]
+    (reorder c [ decl s (i 0); decl p (i 1) ]
+    @ count_loop c ~var:k ~lo:(i 0) ~hi:(v n)
+        [ accum c s (v p); set p (v p *@ i 2) ])
+
+let count_bits_range rng =
+  let c = ctx rng in
+  let n = name c "n" and total = name c "total" in
+  let k = name c "k" and x = name c "x" in
+  simple_main c
+    ~prologue:[ decl n (read_clamped 1 64) ]
+    ~epilogue:[ print (v total) ]
+    (decl total (i 0)
+    :: count_loop c ~var:k ~lo:(i 1) ~hi:(v n +@ i 1)
+         [
+           decl x (v k);
+           While
+             ( v x >@ i 0,
+               [ accum c total (v x %@ i 2); set x (v x /@ i 2) ] );
+         ])
+
+let xor_range rng =
+  let c = ctx rng in
+  let n = name c "n" and acc = name c "acc" and k = name c "k" in
+  simple_main c
+    ~prologue:[ decl n (read_clamped 1 100) ]
+    ~epilogue:[ print (v acc) ]
+    (decl acc (i 0)
+    :: count_loop c ~var:k ~lo:(i 1) ~hi:(v n +@ i 1)
+         [ set acc (Bin (BXor, v acc, v k)) ])
+
+let temperature_conversion rng =
+  let c = ctx rng in
+  let n = name c "n" and t = name c "t" and k = name c "k" in
+  simple_main c
+    ~prologue:[ decl n (read_clamped 1 10) ]
+    (count_loop c ~var:k ~lo:(i 0) ~hi:(v n)
+       [ decl t (read_clamped 0 100); print ((v t *@ i 9 /@ i 5) +@ i 32) ])
+
+let compound_interest rng =
+  let c = ctx rng in
+  let years = name c "years" and bal = name c "bal" and k = name c "k" in
+  simple_main c
+    ~prologue:[ decl years (read_clamped 1 20) ]
+    ~epilogue:[ print (v bal) ]
+    (decl bal (i 10000)
+    :: count_loop c ~var:k ~lo:(i 0) ~hi:(v years)
+         [ set bal (v bal +@ (v bal *@ i 5 /@ i 100)); print (v bal) ])
+
+let digit_histogram rng =
+  let c = ctx rng in
+  let h = name c "hist" and n = name c "n" and x = name c "x" in
+  let k = name c "k" and k2 = name c "p" in
+  simple_main c
+    ~prologue:[ DeclArr (h, 10); decl n (read_clamped 1 8) ]
+    (count_loop c ~var:k ~lo:(i 0) ~hi:(i 10) [ seti h (v k) (i 0) ]
+    @ count_loop c ~var:k2 ~lo:(i 0) ~hi:(v n)
+        [
+          decl x (read_clamped 0 999999);
+          If (v x ==@ i 0, [ seti h (i 0) (idx h (i 0) +@ i 1) ], []);
+          While
+            ( v x >@ i 0,
+              [
+                seti h (v x %@ i 10) (idx h (v x %@ i 10) +@ i 1);
+                set x (v x /@ i 10);
+              ] );
+        ]
+    @
+    let k3 = name c "q" in
+    count_loop c ~var:k3 ~lo:(i 0) ~hi:(i 10) [ print (idx h (v k3)) ])
+
+let running_max rng =
+  let c = ctx rng in
+  let n = name c "n" and best = name c "best" and x = name c "x" and k = name c "k" in
+  simple_main c
+    ~prologue:[ decl n (read_clamped 1 20) ]
+    (decl best (i (-1))
+    :: count_loop c ~var:k ~lo:(i 0) ~hi:(v n)
+         [
+           decl x (read_clamped 0 1000);
+           If (v x >@ v best, [ set best (v x) ], []);
+           print (v best);
+         ])
+
+let sum_odd_even rng =
+  let c = ctx rng in
+  let n = name c "n" and so = name c "sum_odd" and se = name c "sum_even" in
+  let k = name c "k" and x = name c "x" in
+  simple_main c
+    ~prologue:[ decl n (read_clamped 1 20) ]
+    ~epilogue:[ print (v so); print (v se) ]
+    (reorder c [ decl so (i 0); decl se (i 0) ]
+    @ count_loop c ~var:k ~lo:(i 0) ~hi:(v n)
+        [
+          decl x (read_clamped 0 100);
+          If (v x %@ i 2 ==@ i 0, [ accum c se (v x) ], [ accum c so (v x) ]);
+        ])
+
+let triangle_pattern rng =
+  let c = ctx rng in
+  let n = name c "n" and x = name c "row" and y = name c "col" in
+  simple_main c
+    ~prologue:[ decl n (read_clamped 1 12) ]
+    (count_loop c ~var:x ~lo:(i 1) ~hi:(v n +@ i 1)
+       (count_loop c ~var:y ~lo:(i 0) ~hi:(v x) [ print (v x) ]))
+
+let lcg_sequence rng =
+  let c = ctx rng in
+  let n = name c "n" and s = name c "seed" and k = name c "k" in
+  simple_main c
+    ~prologue:[ decl n (read_clamped 1 30); decl s (read_clamped 1 1000) ]
+    (count_loop c ~var:k ~lo:(i 0) ~hi:(v n)
+       [
+         set s (((v s *@ i 1103) +@ i 12345) %@ i 65536);
+         print (v s %@ i 100);
+       ])
+
+let checksum rng =
+  let c = ctx rng in
+  let n = name c "n" and acc = name c "acc" and x = name c "x" and k = name c "k" in
+  simple_main c
+    ~prologue:[ decl n (read_clamped 1 20) ]
+    ~epilogue:[ print (v acc) ]
+    (decl acc (i 7)
+    :: count_loop c ~var:k ~lo:(i 0) ~hi:(v n)
+         [
+           decl x (read_clamped 0 255);
+           set acc (Bin (BXor, v acc *@ i 31 %@ i 65536, v x));
+         ])
+
+let gcd_of_stream rng =
+  let c = ctx rng in
+  let n = name c "n" and g = name c "g" and x = name c "x" in
+  let a = name c "a" and b = name c "b" and t = name c "t" and k = name c "k" in
+  simple_main c
+    ~prologue:[ decl n (read_clamped 1 10) ]
+    ~epilogue:[ print (v g) ]
+    (decl g (read_clamped 1 500)
+    :: count_loop c ~var:k ~lo:(i 1) ~hi:(v n)
+         [
+           decl x (read_clamped 1 500);
+           decl a (v g);
+           decl b (v x);
+           While (v b <>@ i 0, [ decl t (v b); set b (v a %@ v b); set a (v t) ]);
+           set g (v a);
+         ])
+
+let divisor_pairs rng =
+  let c = ctx rng in
+  let n = name c "n" and k = name c "k" in
+  simple_main c
+    ~prologue:[ decl n (read_clamped 1 60) ]
+    (count_loop c ~var:k ~lo:(i 1) ~hi:(v n +@ i 1)
+       [ If (v n %@ v k ==@ i 0, [ print (v k); print (v n /@ v k) ], []) ])
+
+let countdown_print rng =
+  let c = ctx rng in
+  let n = name c "n" and k = name c "k" in
+  simple_main c
+    ~prologue:[ decl n (read_clamped 1 30) ]
+    (count_down_loop c ~var:k ~lo:(i 0) ~hi:(v n +@ i 1) [ print (v k) ])
+
+let weighted_sum rng =
+  let c = ctx rng in
+  let n = name c "n" and s = name c "s" and x = name c "x" and k = name c "k" in
+  simple_main c
+    ~prologue:[ decl n (read_clamped 1 20) ]
+    ~epilogue:[ print (v s) ]
+    (decl s (i 0)
+    :: count_loop c ~var:k ~lo:(i 0) ~hi:(v n)
+         [ decl x (read_clamped 0 50); accum c s (v x *@ (v k +@ i 1)) ])
+
+let clamp_stream rng =
+  let c = ctx rng in
+  let n = name c "n" and x = name c "x" and k = name c "k" in
+  let lo = name c "lo" and hi = name c "hi" in
+  simple_main c
+    ~prologue:
+      [ decl n (read_clamped 1 20); decl lo (i 10); decl hi (i 90) ]
+    (count_loop c ~var:k ~lo:(i 0) ~hi:(v n)
+       [
+         decl x (read_clamped 0 100);
+         If (v x <@ v lo, [ set x (v lo) ], []);
+         If (v x >@ v hi, [ set x (v hi) ], []);
+         print (v x);
+       ])
+
+let three_way_classify rng =
+  let c = ctx rng in
+  let n = name c "n" and x = name c "x" and k = name c "k" in
+  let neg = name c "nneg" and zer = name c "nzer" and pos = name c "npos" in
+  simple_main c
+    ~prologue:[ decl n (read_clamped 1 25) ]
+    ~epilogue:[ print (v neg); print (v zer); print (v pos) ]
+    (reorder c [ decl neg (i 0); decl zer (i 0); decl pos (i 0) ]
+    @ count_loop c ~var:k ~lo:(i 0) ~hi:(v n)
+        [
+          decl x (read_clamped 0 20 -@ i 10);
+          If
+            ( v x <@ i 0,
+              [ accum c neg (i 1) ],
+              [
+                If (v x ==@ i 0, [ accum c zer (i 1) ], [ accum c pos (i 1) ]);
+              ] );
+        ])
+
+let problems : (string * (Rng.t -> Yali_minic.Ast.program)) list =
+  [
+    ("multiplication_table", multiplication_table);
+    ("fibonacci_sequence", fibonacci_sequence);
+    ("alternating_series", alternating_series);
+    ("geometric_series", geometric_series);
+    ("count_bits_range", count_bits_range);
+    ("xor_range", xor_range);
+    ("temperature_conversion", temperature_conversion);
+    ("compound_interest", compound_interest);
+    ("digit_histogram", digit_histogram);
+    ("running_max", running_max);
+    ("sum_odd_even", sum_odd_even);
+    ("triangle_pattern", triangle_pattern);
+    ("lcg_sequence", lcg_sequence);
+    ("checksum", checksum);
+    ("gcd_of_stream", gcd_of_stream);
+    ("divisor_pairs", divisor_pairs);
+    ("countdown_print", countdown_print);
+    ("weighted_sum", weighted_sum);
+    ("clamp_stream", clamp_stream);
+    ("three_way_classify", three_way_classify);
+  ]

@@ -1,0 +1,155 @@
+(** Problem classes: small dense matrices, represented as flattened
+    row-major arrays (mini-C arrays are one-dimensional). *)
+
+open Yali_minic.Ast
+open Gen_dsl
+module Rng = Yali_util.Rng
+
+let dim = 4 (* matrices are dim x dim, read from input *)
+let cells = dim * dim
+
+let read_matrix (c : ctx) ~(m : string) : stmt list =
+  let k = Printf.sprintf "ml_%d" (Rng.int c.rng 100) in
+  DeclArr (m, cells)
+  :: count_loop c ~var:k ~lo:(i 0) ~hi:(i cells)
+       [ seti m (v k) (read_clamped 0 9) ]
+
+let at m r cc = idx m ((r *@ i dim) +@ cc)
+
+let matrix_trace rng =
+  let c = ctx rng in
+  let m = name c "m" and s = name c "s" and k = name c "k" in
+  simple_main c
+    ~prologue:(read_matrix c ~m)
+    ~epilogue:[ print (v s) ]
+    (decl s (i 0)
+    :: count_loop c ~var:k ~lo:(i 0) ~hi:(i dim)
+         [ accum c s (at m (v k) (v k)) ])
+
+let matrix_sum rng =
+  let c = ctx rng in
+  let m = name c "m" and s = name c "s" and x = name c "x" and y = name c "y" in
+  simple_main c
+    ~prologue:(read_matrix c ~m)
+    ~epilogue:[ print (v s) ]
+    (decl s (i 0)
+    :: count_loop c ~var:x ~lo:(i 0) ~hi:(i dim)
+         (count_loop c ~var:y ~lo:(i 0) ~hi:(i dim)
+            [ accum c s (at m (v x) (v y)) ]))
+
+let matrix_transpose_print rng =
+  let c = ctx rng in
+  let m = name c "m" and x = name c "x" and y = name c "y" in
+  simple_main c
+    ~prologue:(read_matrix c ~m)
+    (count_loop c ~var:x ~lo:(i 0) ~hi:(i dim)
+       (count_loop c ~var:y ~lo:(i 0) ~hi:(i dim)
+          [ print (at m (v y) (v x)) ]))
+
+let matrix_vector_product rng =
+  let c = ctx rng in
+  let m = name c "m" and vv = name c "vec" and s = name c "s" in
+  let x = name c "x" and y = name c "y" and k = name c "k" in
+  simple_main c
+    ~prologue:
+      (read_matrix c ~m
+      @ [ DeclArr (vv, dim) ]
+      @ count_loop c ~var:k ~lo:(i 0) ~hi:(i dim)
+          [ seti vv (v k) (read_clamped 0 9) ])
+    (count_loop c ~var:x ~lo:(i 0) ~hi:(i dim)
+       (decl s (i 0)
+       :: count_loop c ~var:y ~lo:(i 0) ~hi:(i dim)
+            [ accum c s (at m (v x) (v y) *@ idx vv (v y)) ]
+       @ [ print (v s) ]))
+
+let matrix_multiply rng =
+  let c = ctx rng in
+  let a = name c "a" and b = name c "b" and s = name c "s" in
+  let x = name c "x" and y = name c "y" and k = name c "k" in
+  simple_main c
+    ~prologue:(read_matrix c ~m:a @ read_matrix c ~m:b)
+    (count_loop c ~var:x ~lo:(i 0) ~hi:(i dim)
+       (count_loop c ~var:y ~lo:(i 0) ~hi:(i dim)
+          (decl s (i 0)
+          :: count_loop c ~var:k ~lo:(i 0) ~hi:(i dim)
+               [ accum c s (at a (v x) (v k) *@ at b (v k) (v y)) ]
+          @ [ print (v s) ])))
+
+let diagonal_max rng =
+  let c = ctx rng in
+  let m = name c "m" and best = name c "best" and k = name c "k" in
+  simple_main c
+    ~prologue:(read_matrix c ~m)
+    ~epilogue:[ print (v best) ]
+    (decl best (at m (i 0) (i 0))
+    :: count_loop c ~var:k ~lo:(i 1) ~hi:(i dim)
+         [
+           If (at m (v k) (v k) >@ v best, [ set best (at m (v k) (v k)) ], []);
+         ])
+
+let is_symmetric rng =
+  let c = ctx rng in
+  let m = name c "m" and ok = name c "ok" and x = name c "x" and y = name c "y" in
+  simple_main c
+    ~prologue:(read_matrix c ~m)
+    ~epilogue:[ print (v ok) ]
+    (decl ok (i 1)
+    :: count_loop c ~var:x ~lo:(i 0) ~hi:(i dim)
+         (count_loop c ~var:y ~lo:(i 0) ~hi:(i dim)
+            [
+              If (at m (v x) (v y) <>@ at m (v y) (v x), [ set ok (i 0) ], []);
+            ]))
+
+let is_identity rng =
+  let c = ctx rng in
+  let m = name c "m" and ok = name c "ok" and x = name c "x" and y = name c "y" in
+  simple_main c
+    ~prologue:(read_matrix c ~m)
+    ~epilogue:[ print (v ok) ]
+    (decl ok (i 1)
+    :: count_loop c ~var:x ~lo:(i 0) ~hi:(i dim)
+         (count_loop c ~var:y ~lo:(i 0) ~hi:(i dim)
+            [
+              If
+                ( v x ==@ v y,
+                  [ If (at m (v x) (v y) <>@ i 1, [ set ok (i 0) ], []) ],
+                  [ If (at m (v x) (v y) <>@ i 0, [ set ok (i 0) ], []) ] );
+            ]))
+
+let row_sums rng =
+  let c = ctx rng in
+  let m = name c "m" and s = name c "s" and x = name c "x" and y = name c "y" in
+  simple_main c
+    ~prologue:(read_matrix c ~m)
+    (count_loop c ~var:x ~lo:(i 0) ~hi:(i dim)
+       (decl s (i 0)
+       :: count_loop c ~var:y ~lo:(i 0) ~hi:(i dim)
+            [ accum c s (at m (v x) (v y)) ]
+       @ [ print (v s) ]))
+
+let column_max rng =
+  let c = ctx rng in
+  let m = name c "m" and best = name c "best" and x = name c "x" and y = name c "y" in
+  simple_main c
+    ~prologue:(read_matrix c ~m)
+    (count_loop c ~var:y ~lo:(i 0) ~hi:(i dim)
+       (decl best (at m (i 0) (v y))
+       :: count_loop c ~var:x ~lo:(i 1) ~hi:(i dim)
+            [
+              If (at m (v x) (v y) >@ v best, [ set best (at m (v x) (v y)) ], []);
+            ]
+       @ [ print (v best) ]))
+
+let problems : (string * (Rng.t -> Yali_minic.Ast.program)) list =
+  [
+    ("matrix_trace", matrix_trace);
+    ("matrix_sum", matrix_sum);
+    ("matrix_transpose_print", matrix_transpose_print);
+    ("matrix_vector_product", matrix_vector_product);
+    ("matrix_multiply", matrix_multiply);
+    ("diagonal_max", diagonal_max);
+    ("is_symmetric", is_symmetric);
+    ("is_identity", is_identity);
+    ("row_sums", row_sums);
+    ("column_max", column_max);
+  ]

@@ -1,0 +1,263 @@
+(** Problem classes: simulations and miscellany. *)
+
+open Yali_minic.Ast
+open Gen_dsl
+module Rng = Yali_util.Rng
+
+let josephus rng =
+  let c = ctx rng in
+  let n = name c "n" and k = name c "k" and survivor = name c "survivor" in
+  let x = name c "x" in
+  simple_main c
+    ~prologue:[ decl n (read_clamped 1 30); decl k (read_clamped 1 10) ]
+    ~epilogue:[ print (v survivor +@ i 1) ]
+    (decl survivor (i 0)
+    :: count_loop c ~var:x ~lo:(i 2) ~hi:(v n +@ i 1)
+         [ set survivor ((v survivor +@ v k) %@ v x) ])
+
+let queue_simulation rng =
+  let c = ctx rng in
+  let q = name c "q" and head = name c "head" and tail = name c "tail" in
+  let n = name c "n" and op = name c "op" and k = name c "k" in
+  let qsize = 32 in
+  simple_main c
+    ~prologue:
+      [ DeclArr (q, qsize); decl head (i 0); decl tail (i 0);
+        decl n (read_clamped 1 20) ]
+    ~epilogue:[ print (v tail -@ v head) ]
+    (count_loop c ~var:k ~lo:(i 0) ~hi:(v n)
+       [
+         decl op (read_clamped 0 2);
+         If
+           ( v op >@ i 0 &&@ (v tail <@ i qsize),
+             [ seti q (v tail) (v k); set tail (v tail +@ i 1) ],
+             [
+               If
+                 ( v head <@ v tail,
+                   [ print (idx q (v head)); set head (v head +@ i 1) ],
+                   [] );
+             ] );
+       ])
+
+let stack_depth rng =
+  let c = ctx rng in
+  let n = name c "n" and depth = name c "depth" and best = name c "best" in
+  let op = name c "op" and k = name c "k" in
+  simple_main c
+    ~prologue:[ decl n (read_clamped 1 25) ]
+    ~epilogue:[ print (v best) ]
+    (reorder c [ decl depth (i 0); decl best (i 0) ]
+    @ count_loop c ~var:k ~lo:(i 0) ~hi:(v n)
+        [
+          decl op (read_clamped 0 2);
+          If
+            ( v op >@ i 0,
+              [ accum c depth (i 1) ],
+              [ If (v depth >@ i 0, [ set depth (v depth -@ i 1) ], []) ] );
+          If (v depth >@ v best, [ set best (v depth) ], []);
+        ])
+
+let game_of_life_row rng =
+  let c = ctx rng in
+  let cur = name c "cur" and nxt = name c "nxt" and n = name c "n" in
+  let steps = name c "steps" and k = name c "k" and s = name c "s" and t = name c "t" in
+  let left = name c "left" and right = name c "right" in
+  let w = 12 in
+  simple_main c
+    ~prologue:
+      ([ DeclArr (cur, w); DeclArr (nxt, w); decl n (i w);
+         decl steps (read_clamped 1 5) ]
+      @ count_loop c ~var:k ~lo:(i 0) ~hi:(i w)
+          [ seti cur (v k) (read_clamped 0 1) ])
+    (count_loop c ~var:t ~lo:(i 0) ~hi:(v steps)
+       (count_loop c ~var:s ~lo:(i 0) ~hi:(v n)
+          [
+            decl left (Ternary (v s ==@ i 0, i 0, idx cur (v s -@ i 1)));
+            decl right (Ternary (v s ==@ (v n -@ i 1), i 0, idx cur (v s +@ i 1)));
+            seti nxt (v s)
+              (Ternary (v left +@ v right ==@ i 1, i 1, i 0));
+          ]
+       @ count_loop c ~var:k ~lo:(i 0) ~hi:(v n)
+           [ seti cur (v k) (idx nxt (v k)) ])
+    @
+    let k2 = name c "p" in
+    count_loop c ~var:k2 ~lo:(i 0) ~hi:(v n) [ print (idx cur (v k2)) ])
+
+let random_walk rng =
+  let c = ctx rng in
+  let pos = name c "pos" and seed = name c "seed" and n = name c "n" and k = name c "k" in
+  simple_main c
+    ~prologue:
+      [ decl pos (i 0); decl seed (read_clamped 1 9999);
+        decl n (read_clamped 1 50) ]
+    ~epilogue:[ print (call "abs" [ v pos ]) ]
+    (count_loop c ~var:k ~lo:(i 0) ~hi:(v n)
+       [
+         set seed (((v seed *@ i 75) +@ i 74) %@ i 65537);
+         If
+           ( v seed %@ i 2 ==@ i 0,
+             [ accum c pos (i 1) ],
+             [ set pos (v pos -@ i 1) ] );
+       ])
+
+let bank_balance rng =
+  let c = ctx rng in
+  let bal = name c "balance" and n = name c "n" and amt = name c "amt" and k = name c "k" in
+  simple_main c
+    ~prologue:[ decl bal (i 1000); decl n (read_clamped 1 20) ]
+    ~epilogue:[ print (v bal) ]
+    (count_loop c ~var:k ~lo:(i 0) ~hi:(v n)
+       [
+         decl amt (read_clamped 0 200 -@ i 100);
+         If
+           ( (v amt <@ i 0) &&@ (v bal +@ v amt <@ i 0),
+             [ print (i (-1)) ],
+             [ set bal (v bal +@ v amt); print (v bal) ] );
+       ])
+
+let voting_winner rng =
+  let c = ctx rng in
+  let votes = name c "votes" and n = name c "n" and x = name c "x" in
+  let k = name c "k" and best = name c "best" and k2 = name c "p" in
+  let candidates = 5 in
+  simple_main c
+    ~prologue:
+      ([ DeclArr (votes, candidates); decl n (read_clamped 1 30) ]
+      @ count_loop c ~var:k ~lo:(i 0) ~hi:(i candidates)
+          [ seti votes (v k) (i 0) ])
+    ~epilogue:[ print (v best) ]
+    (count_loop c ~var:k2 ~lo:(i 0) ~hi:(v n)
+       [
+         decl x (read_clamped 0 (candidates - 1));
+         seti votes (v x) (idx votes (v x) +@ i 1);
+       ]
+    @
+    let k3 = name c "q" in
+    decl best (i 0)
+    :: count_loop c ~var:k3 ~lo:(i 1) ~hi:(i candidates)
+         [
+           If (idx votes (v k3) >@ idx votes (v best), [ set best (v k3) ], []);
+         ])
+
+let sliding_window_max rng =
+  let c = ctx rng in
+  let a = name c "a" and n = name c "n" and w = name c "w" in
+  let x = name c "x" and y = name c "y" and best = name c "best" and k = name c "k" in
+  let sz = 16 in
+  simple_main c
+    ~prologue:
+      ([ decl n (read_clamped 2 sz); DeclArr (a, sz) ]
+      @ count_loop c ~var:k ~lo:(i 0) ~hi:(v n)
+          [ seti a (v k) (read_clamped 0 99) ]
+      @ [ decl w (read_clamped 1 4) ]
+      @ [ If (v w >@ v n, [ set w (v n) ], []) ])
+    (count_loop c ~var:x ~lo:(i 0) ~hi:(v n -@ v w +@ i 1)
+       (decl best (idx a (v x))
+       :: count_loop c ~var:y ~lo:(v x +@ i 1) ~hi:(v x +@ v w)
+            [ If (idx a (v y) >@ v best, [ set best (idx a (v y)) ], []) ]
+       @ [ print (v best) ]))
+
+let caesar_shift rng =
+  let c = ctx rng in
+  let n = name c "n" and shift = name c "shift" and x = name c "x" and k = name c "k" in
+  simple_main c
+    ~prologue:[ decl n (read_clamped 1 20); decl shift (read_clamped 1 25) ]
+    (count_loop c ~var:k ~lo:(i 0) ~hi:(v n)
+       [
+         decl x (read_clamped 0 25);
+         print ((v x +@ v shift) %@ i 26);
+       ])
+
+let vowel_analog_count rng =
+  (* count values in {0,4,8,14,20} — the "vowels" of a 26-letter alphabet *)
+  let c = ctx rng in
+  let n = name c "n" and cnt = name c "cnt" and x = name c "x" and k = name c "k" in
+  simple_main c
+    ~prologue:[ decl n (read_clamped 1 30) ]
+    ~epilogue:[ print (v cnt) ]
+    (decl cnt (i 0)
+    :: count_loop c ~var:k ~lo:(i 0) ~hi:(v n)
+         [
+           decl x (read_clamped 0 25);
+           Switch
+             ( v x,
+               [ (0, [ accum c cnt (i 1) ]); (4, [ accum c cnt (i 1) ]);
+                 (8, [ accum c cnt (i 1) ]); (14, [ accum c cnt (i 1) ]);
+                 (20, [ accum c cnt (i 1) ]) ],
+               [] );
+         ])
+
+let run_length_encode rng =
+  let c = ctx rng in
+  let a = name c "a" and n = name c "n" in
+  let cur = name c "cur" and cnt = name c "cnt" and k = name c "k" in
+  let sz = 20 in
+  simple_main c
+    ~prologue:
+      ([ decl n (read_clamped 1 sz); DeclArr (a, sz) ]
+      @ count_loop c ~var:k ~lo:(i 0) ~hi:(v n)
+          [ seti a (v k) (read_clamped 0 3) ])
+    ~epilogue:[ print (v cur); print (v cnt) ]
+    (let k2 = name c "p" in
+     [ decl cur (idx a (i 0)); decl cnt (i 1) ]
+     @ count_loop c ~var:k2 ~lo:(i 1) ~hi:(v n)
+         [
+           If
+             ( idx a (v k2) ==@ v cur,
+               [ accum c cnt (i 1) ],
+               [
+                 print (v cur);
+                 print (v cnt);
+                 set cur (idx a (v k2));
+                 set cnt (i 1);
+               ] );
+         ])
+
+let bubble_pass_count rng =
+  let c = ctx rng in
+  let a = name c "a" and n = name c "n" and passes = name c "passes" in
+  let swapped = name c "swapped" and y = name c "y" and t = name c "t" and k = name c "k" in
+  let sz = 12 in
+  simple_main c
+    ~prologue:
+      ([ decl n (read_clamped 2 sz); DeclArr (a, sz) ]
+      @ count_loop c ~var:k ~lo:(i 0) ~hi:(v n)
+          [ seti a (v k) (read_clamped 0 99) ])
+    ~epilogue:[ print (v passes) ]
+    [
+      decl passes (i 0);
+      decl swapped (i 1);
+      While
+        ( v swapped ==@ i 1,
+          Block
+            (count_loop c ~var:y ~lo:(i 0) ~hi:(v n -@ i 1)
+               [
+                 If
+                   ( idx a (v y) >@ idx a (v y +@ i 1),
+                     [
+                       decl t (idx a (v y));
+                       seti a (v y) (idx a (v y +@ i 1));
+                       seti a (v y +@ i 1) (v t);
+                       set swapped (i 1);
+                     ],
+                     [] );
+               ])
+          :: [ accum c passes (i 1) ]
+          |> fun body -> set swapped (i 0) :: body );
+    ]
+
+let problems : (string * (Rng.t -> Yali_minic.Ast.program)) list =
+  [
+    ("josephus", josephus);
+    ("queue_simulation", queue_simulation);
+    ("stack_depth", stack_depth);
+    ("game_of_life_row", game_of_life_row);
+    ("random_walk", random_walk);
+    ("bank_balance", bank_balance);
+    ("voting_winner", voting_winner);
+    ("sliding_window_max", sliding_window_max);
+    ("caesar_shift", caesar_shift);
+    ("vowel_analog_count", vowel_analog_count);
+    ("run_length_encode", run_length_encode);
+    ("bubble_pass_count", bubble_pass_count);
+  ]

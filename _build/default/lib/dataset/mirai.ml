@@ -1,0 +1,254 @@
+(** The RQ8 corpus: MIRAI-like malware variants and size-matched benign
+    programs.
+
+    The paper uses 48 source versions of the MIRAI botnet plus benign C
+    files from SPEC CPU2017 chosen by size.  This generator reproduces the
+    *experimental design*: a family of mutually-similar bot programs — a
+    network scanner loop, a competing-process killer, UDP/TCP flood attack
+    kernels and a command-and-control polling loop, the structure described
+    by Griffioen & Doerr — and a pool of benign compute kernels of similar
+    size.  Network and process operations are modelled with the interpreter's
+    integer I/O intrinsics (an address is an int, a send is a print). *)
+
+open Yali_minic.Ast
+open Gen_dsl
+module Rng = Yali_util.Rng
+
+(* -- malware ------------------------------------------------------------- *)
+
+(* Pseudo-random IPv4 generation + port scan loop, as in Mirai's scanner. *)
+let scanner_func (c : ctx) : func =
+  let seed = name c "seed" and ip = name c "ip" and port = name c "port" in
+  let tries = name c "tries" and k = name c "k" and hits = name c "hits" in
+  {
+    fname = "scan_targets";
+    fparams = [ (TInt, tries) ];
+    fret = TInt;
+    fbody =
+      [ decl seed (i (17 + Rng.int c.rng 1000)); decl hits (i 0) ]
+      @ count_loop c ~var:k ~lo:(i 0) ~hi:(v tries)
+          [
+            (* LCG "rand" like Mirai's rand_next *)
+            set seed (((v seed *@ i 1664525) +@ i 1013904223) %@ i 2147483647);
+            decl ip (call "abs" [ v seed ] %@ i 16777216);
+            decl port
+              (Ternary
+                 ( v seed %@ i 10 <@ i 9,
+                   i 23 (* telnet, Mirai's main vector *),
+                   i 2323 ));
+            (* "connect": deterministic reachability predicate *)
+            If
+              ( (v ip %@ i 71 ==@ i 3) &&@ (v port ==@ i 23),
+                [ accum c hits (i 1); print (v ip) ],
+                [] );
+          ]
+      @ [ ret (v hits) ];
+  }
+
+(* Kill competing bots: scan a process table (input stream) for signatures. *)
+let killer_func (c : ctx) : func =
+  let n = name c "nprocs" and pid = name c "pid" and sig_ = name c "sig" in
+  let k = name c "k" and killed = name c "killed" in
+  {
+    fname = "kill_rivals";
+    fparams = [ (TInt, n) ];
+    fret = TInt;
+    fbody =
+      [ decl killed (i 0) ]
+      @ count_loop c ~var:k ~lo:(i 0) ~hi:(v n)
+          [
+            decl pid (read_clamped 1 32768);
+            decl sig_ (v pid %@ i 97);
+            (* match known rival signatures (qbot, zollard, remaiten...) *)
+            Switch
+              ( v sig_,
+                [
+                  (13, [ print (i 0 -@ v pid); accum c killed (i 1) ]);
+                  (29, [ print (i 0 -@ v pid); accum c killed (i 1) ]);
+                  (41, [ print (i 0 -@ v pid); accum c killed (i 1) ]);
+                ],
+                [] );
+          ]
+      @ [ ret (v killed) ];
+  }
+
+(* UDP flood kernel: craft and "send" packets. *)
+let attack_udp_func (c : ctx) : func =
+  let target = name c "target" and count = name c "npkts" in
+  let k = name c "k" and pkt = name c "pkt" and cksum = name c "cksum" in
+  {
+    fname = "attack_udp";
+    fparams = [ (TInt, target); (TInt, count) ];
+    fret = TVoid;
+    fbody =
+      count_loop c ~var:k ~lo:(i 0) ~hi:(v count)
+        [
+          decl pkt ((v target +@ v k) %@ i 65536);
+          decl cksum (Bin (BXor, v pkt *@ i 31, v k) %@ i 65536);
+          print (Bin (BXor, v pkt, v cksum));
+        ];
+  }
+
+(* TCP SYN flood variant. *)
+let attack_syn_func (c : ctx) : func =
+  let target = name c "target" and count = name c "npkts" in
+  let k = name c "k" and seq = name c "seq" in
+  {
+    fname = "attack_syn";
+    fparams = [ (TInt, target); (TInt, count) ];
+    fret = TVoid;
+    fbody =
+      [ decl seq (i (Rng.int c.rng 10000)) ]
+      @ count_loop c ~var:k ~lo:(i 0) ~hi:(v count)
+          [
+            set seq (((v seq *@ i 69069) +@ i 1) %@ i 65536);
+            print (Bin (BXor, v target, v seq));
+          ];
+  }
+
+(* C2 loop: poll for commands, dispatch attacks. *)
+let c2_loop_func (c : ctx) : func =
+  let rounds = name c "rounds" and cmd = name c "cmd" and target = name c "target" in
+  let k = name c "k" in
+  {
+    fname = "c2_loop";
+    fparams = [ (TInt, rounds) ];
+    fret = TInt;
+    fbody =
+      count_loop c ~var:k ~lo:(i 0) ~hi:(v rounds)
+        [
+          decl cmd (read_clamped 0 4);
+          decl target (read_clamped 1 16777215);
+          Switch
+            ( v cmd,
+              [
+                (1, [ Expr (call "attack_udp" [ v target; i (8 + Rng.int c.rng 8) ]) ]);
+                (2, [ Expr (call "attack_syn" [ v target; i (8 + Rng.int c.rng 8) ]) ]);
+                (3, [ Expr (call "scan_targets" [ i (20 + Rng.int c.rng 20) ]) ]);
+              ],
+              [ print (i 0) ] );
+        ]
+      @ [ ret (i 0) ];
+  }
+
+(** One MIRAI-family variant: same architecture, stochastically varied code. *)
+let generate_malware (rng : Rng.t) : Yali_minic.Ast.program =
+  let c = ctx rng in
+  let rounds = name c "rounds" in
+  let main =
+    {
+      fname = "main";
+      fparams = [];
+      fret = TInt;
+      fbody =
+        junk c
+        @ [
+            (* daemonize-and-hide preamble: obfuscate own name *)
+            Expr (call "kill_rivals" [ read_clamped 1 12 ]);
+            decl rounds (read_clamped 1 6);
+            Expr (call "c2_loop" [ v rounds ]);
+            ret (i 0);
+          ];
+    }
+  in
+  (* function order varies between variants, like reshuffled source files *)
+  let helpers =
+    Yali_util.Rng.shuffle rng
+      [ scanner_func c; killer_func c; attack_udp_func c; attack_syn_func c ]
+  in
+  { pfuncs = helpers @ [ c2_loop_func c; main ] }
+
+(* -- benign -------------------------------------------------------------- *)
+
+(** Benign samples: compute kernels of comparable size (the paper used SPEC
+    CPU2017 C files size-matched to the malware). *)
+let generate_benign (rng : Rng.t) : Yali_minic.Ast.program =
+  let c = ctx rng in
+  match Rng.int rng 4 with
+  | 0 ->
+      (* numeric integration kernel *)
+      let n = name c "n" and s = name c "s" and k = name c "k" and x = name c "x" in
+      let f = name c "fval" in
+      simple_main c
+        ~prologue:[ decl n (read_clamped 10 60) ]
+        ~epilogue:[ print (v s) ]
+        (decl s (i 0)
+        :: count_loop c ~var:k ~lo:(i 0) ~hi:(v n)
+             [
+               decl x (v k *@ i 100 /@ v n);
+               decl f ((v x *@ v x /@ i 100) +@ (v x *@ i 3));
+               accum c s (v f);
+             ])
+  | 1 ->
+      (* string-table compaction kernel *)
+      let a = name c "table" and n = name c "n" and w = name c "w" in
+      let k = name c "k" and out = name c "out" in
+      let sz = 24 in
+      simple_main c
+        ~prologue:
+          ([ decl n (read_clamped 4 sz); DeclArr (a, sz) ]
+          @ count_loop c ~var:k ~lo:(i 0) ~hi:(v n)
+              [ seti a (v k) (read_clamped 0 255) ])
+        ~epilogue:[ print (v out) ]
+        (let k2 = name c "p" in
+         reorder c [ decl w (i 0); decl out (i 0) ]
+         @ count_loop c ~var:k2 ~lo:(i 0) ~hi:(v n)
+             [
+               If
+                 ( idx a (v k2) <>@ i 0,
+                   [
+                     seti a (v w) (idx a (v k2));
+                     set w (v w +@ i 1);
+                     set out (Bin (BXor, v out *@ i 17 %@ i 65536, idx a (v k2)));
+                   ],
+                   [] );
+             ])
+  | 2 ->
+      (* sparse mat-vec-like kernel *)
+      let vals = name c "vals" and colidx = name c "cols" and x = name c "x" in
+      let n = name c "n" and s = name c "s" and k = name c "k" in
+      let sz = 20 in
+      simple_main c
+        ~prologue:
+          ([ decl n (read_clamped 4 sz); DeclArr (vals, sz); DeclArr (colidx, sz);
+             DeclArr (x, 8) ]
+          @ (let k0 = name c "q" in
+             count_loop c ~var:k0 ~lo:(i 0) ~hi:(i 8)
+               [ seti x (v k0) (read_clamped 0 9) ])
+          @ count_loop c ~var:k ~lo:(i 0) ~hi:(v n)
+              [
+                seti vals (v k) (read_clamped 0 50);
+                seti colidx (v k) (read_clamped 0 7);
+              ])
+        ~epilogue:[ print (v s) ]
+        (let k2 = name c "p" in
+         decl s (i 0)
+         :: count_loop c ~var:k2 ~lo:(i 0) ~hi:(v n)
+              [ accum c s (idx vals (v k2) *@ idx x (idx colidx (v k2))) ])
+  | _ ->
+      (* LZ-like run compression estimate *)
+      let a = name c "buf" and n = name c "n" and k = name c "k" in
+      let cost = name c "cost" and run = name c "run" in
+      let sz = 24 in
+      simple_main c
+        ~prologue:
+          ([ decl n (read_clamped 2 sz); DeclArr (a, sz) ]
+          @ count_loop c ~var:k ~lo:(i 0) ~hi:(v n)
+              [ seti a (v k) (read_clamped 0 3) ])
+        ~epilogue:[ print (v cost) ]
+        (let k2 = name c "p" in
+         reorder c [ decl cost (i 0); decl run (i 1) ]
+         @ count_loop c ~var:k2 ~lo:(i 1) ~hi:(v n)
+             [
+               If
+                 ( idx a (v k2) ==@ idx a (v k2 -@ i 1),
+                   [ accum c run (i 1) ],
+                   [ accum c cost (i 2); set run (i 1) ] );
+             ]
+         @ [ accum c cost (i 2) ])
+
+(** The RQ8 seed suite: [n] positive (malware) and [n] negative (benign)
+    samples.  Labels: 1 = malware, 0 = benign. *)
+let seed_suite (rng : Rng.t) ~(n : int) : (Yali_minic.Ast.program * int) list =
+  List.init n (fun _ -> (generate_malware (Rng.split rng), 1))
+  @ List.init n (fun _ -> (generate_benign (Rng.split rng), 0))

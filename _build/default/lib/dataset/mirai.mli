@@ -1,0 +1,16 @@
+(** The RQ8 corpus: MIRAI-like malware variants and size-matched benign
+    compute kernels.  Reproduces the experimental *design* of the paper's
+    48-variant MIRAI suite: a family of mutually-similar bot programs
+    (scanner, rival-killer, UDP/SYN flood kernels, C2 polling loop) whose
+    members vary the way forked malware sources do.  Network and process
+    operations are modelled with the interpreter's integer I/O intrinsics. *)
+
+(** One MIRAI-family variant. *)
+val generate_malware : Yali_util.Rng.t -> Yali_minic.Ast.program
+
+(** One benign sample of comparable size and style. *)
+val generate_benign : Yali_util.Rng.t -> Yali_minic.Ast.program
+
+(** [n] positives (label 1) followed by [n] negatives (label 0). *)
+val seed_suite :
+  Yali_util.Rng.t -> n:int -> (Yali_minic.Ast.program * int) list

@@ -1,0 +1,42 @@
+(** Dataset assembly: balanced training and test sets over the 104 problem
+    classes, in the shape the paper's games consume (§4: 375 training + 125
+    test samples per class; this reproduction defaults to smaller per-class
+    counts so that a full game grid runs in minutes — see EXPERIMENTS.md). *)
+
+module Rng = Yali_util.Rng
+
+type labelled = { src : Yali_minic.Ast.program; label : int }
+
+type split = { train : labelled array; test : labelled array }
+
+(** [make rng ~n_classes ~train_per_class ~test_per_class] builds a balanced
+    split over the first [n_classes] problems (or a random subset when
+    [shuffle_classes] is set, as in the paper's RQ1, which draws 32 of the
+    104 classes at random). *)
+let make ?(shuffle_classes = false) (rng : Rng.t) ~(n_classes : int)
+    ~(train_per_class : int) ~(test_per_class : int) : split =
+  let problems =
+    if shuffle_classes then
+      Rng.sample rng n_classes Genprog.all
+    else
+      List.filteri (fun k _ -> k < n_classes) Genprog.all
+  in
+  let problems = Array.of_list problems in
+  let n_classes = Array.length problems in
+  let train = ref [] and test = ref [] in
+  for cls = 0 to n_classes - 1 do
+    let p = problems.(cls) in
+    for _ = 1 to train_per_class do
+      train := { src = Genprog.sample rng p; label = cls } :: !train
+    done;
+    for _ = 1 to test_per_class do
+      test := { src = Genprog.sample rng p; label = cls } :: !test
+    done
+  done;
+  {
+    train = Array.of_list (Rng.shuffle rng !train);
+    test = Array.of_list (Rng.shuffle rng !test);
+  }
+
+let labels (xs : labelled array) : int array =
+  Array.map (fun x -> x.label) xs

@@ -1,0 +1,19 @@
+(** Dataset assembly: balanced training/test splits over the 104 problem
+    classes, in the shape the games consume. *)
+
+type labelled = { src : Yali_minic.Ast.program; label : int }
+
+type split = { train : labelled array; test : labelled array }
+
+(** Build a balanced split over the first [n_classes] problems, or a random
+    class subset when [shuffle_classes] is set (the paper's RQ1 draws 32 of
+    104 at random).  Labels are re-indexed 0..n_classes-1. *)
+val make :
+  ?shuffle_classes:bool ->
+  Yali_util.Rng.t ->
+  n_classes:int ->
+  train_per_class:int ->
+  test_per_class:int ->
+  split
+
+val labels : labelled array -> int array

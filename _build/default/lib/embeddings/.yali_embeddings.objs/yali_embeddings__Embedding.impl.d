@@ -1,0 +1,1 @@
+lib/embeddings/embedding.ml: Array Graph Graphs Histogram Ir2vec Irmod List Milepost Yali_ir

@@ -1,0 +1,1 @@
+lib/embeddings/embedding.mli: Graph Yali_ir

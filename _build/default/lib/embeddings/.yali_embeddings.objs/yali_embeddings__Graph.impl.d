@@ -1,0 +1,1 @@
+lib/embeddings/graph.ml: Array List

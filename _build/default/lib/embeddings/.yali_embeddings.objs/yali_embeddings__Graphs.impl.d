@@ -1,0 +1,1 @@
+lib/embeddings/graphs.ml: Array Block Func Graph Hashtbl Histogram Instr Irmod List Opcode Printf Value Yali_ir

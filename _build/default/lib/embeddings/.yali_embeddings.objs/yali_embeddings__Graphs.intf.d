@@ -1,0 +1,1 @@
+lib/embeddings/graphs.mli: Graph Yali_ir

@@ -1,0 +1,1 @@
+lib/embeddings/histogram.ml: Array Func Irmod List Opcode Yali_ir

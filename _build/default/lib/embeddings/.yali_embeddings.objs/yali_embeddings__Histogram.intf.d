@@ -1,0 +1,1 @@
+lib/embeddings/histogram.mli: Yali_ir

@@ -1,0 +1,1 @@
+lib/embeddings/inst2vec.ml: Array Block Embedding Func Hashtbl Instr Irmod List Opcode Printf String Types Value Yali_ir Yali_util

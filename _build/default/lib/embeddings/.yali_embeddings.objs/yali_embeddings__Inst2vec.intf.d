@@ -1,0 +1,1 @@
+lib/embeddings/inst2vec.mli: Embedding Yali_ir

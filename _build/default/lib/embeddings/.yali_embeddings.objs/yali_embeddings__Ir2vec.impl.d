@@ -1,0 +1,1 @@
+lib/embeddings/ir2vec.ml: Array Block Func Hashtbl Instr Irmod List Opcode Types Value Yali_ir Yali_util

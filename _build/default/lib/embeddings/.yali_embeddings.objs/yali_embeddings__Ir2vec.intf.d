@@ -1,0 +1,1 @@
+lib/embeddings/ir2vec.mli: Yali_ir

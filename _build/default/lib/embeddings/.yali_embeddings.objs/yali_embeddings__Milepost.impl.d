@@ -1,0 +1,1 @@
+lib/embeddings/milepost.ml: Array Block Cfg Dominance Func Instr Int64 Irmod List Types Value Verify Yali_ir

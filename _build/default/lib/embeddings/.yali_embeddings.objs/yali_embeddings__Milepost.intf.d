@@ -1,0 +1,1 @@
+lib/embeddings/milepost.mli: Yali_ir

@@ -1,0 +1,316 @@
+(** The six graph-based program representations evaluated by the paper:
+
+    - [cfg] / [cdfg] / [cdfg_plus] — Brauckmann et al.: instruction-level
+      nodes with control, control+data, and control+data+call+memory edges;
+    - [cfg_compact] / [cdfg_compact] — Faustino: basic-block-level nodes
+      whose features are per-block opcode histograms;
+    - [programl] — Cummins et al.: instruction nodes plus separate value
+      nodes, with typed control/data/call edges. *)
+
+open Yali_ir
+
+let opcode_dim = Opcode.count
+
+let one_hot (op : Opcode.t) : float array =
+  let v = Array.make opcode_dim 0.0 in
+  v.(Opcode.index op) <- 1.0;
+  v
+
+(* node numbering helpers over a module: one pass assigns ids to every
+   instruction (including terminators as pseudo-instructions). *)
+type inode = {
+  ni_id : int;
+  ni_op : Opcode.t;
+  ni_def : int;  (** SSA id defined, or -1 *)
+  ni_uses : int list;  (** SSA ids used *)
+  ni_block : string;
+  ni_func : string;
+  ni_callee : string option;
+  ni_is_mem : [ `Load | `Store | `No ];
+}
+
+let collect_inodes (m : Irmod.t) : inode list =
+  let next = ref 0 in
+  let nodes = ref [] in
+  List.iter
+    (fun (f : Func.t) ->
+      List.iter
+        (fun (b : Block.t) ->
+          List.iter
+            (fun (i : Instr.t) ->
+              let uses =
+                List.filter_map
+                  (fun (v : Value.t) ->
+                    match v with Value.Var id -> Some id | _ -> None)
+                  (Instr.operands i)
+              in
+              nodes :=
+                {
+                  ni_id = !next;
+                  ni_op = Instr.opcode i;
+                  ni_def = (if Instr.defines i then i.id else -1);
+                  ni_uses = uses;
+                  ni_block = b.label;
+                  ni_func = f.name;
+                  ni_callee =
+                    (match i.kind with
+                    | Instr.Call (c, _) -> Some c
+                    | _ -> None);
+                  ni_is_mem =
+                    (match i.kind with
+                    | Instr.Load _ -> `Load
+                    | Instr.Store _ -> `Store
+                    | _ -> `No);
+                }
+                :: !nodes;
+              incr next)
+            b.instrs;
+          let uses =
+            List.filter_map
+              (fun (v : Value.t) ->
+                match v with Value.Var id -> Some id | _ -> None)
+              (Instr.terminator_operands b.term)
+          in
+          nodes :=
+            {
+              ni_id = !next;
+              ni_op = Instr.opcode_of_terminator b.term;
+              ni_def = -1;
+              ni_uses = uses;
+              ni_block = b.label;
+              ni_func = f.name;
+              ni_callee = None;
+              ni_is_mem = `No;
+            }
+            :: !nodes;
+          incr next)
+        f.blocks)
+    m.funcs;
+  List.rev !nodes
+
+(* control edges at instruction granularity: consecutive instructions within
+   a block, plus terminator -> first instruction of each successor block *)
+let control_edges (m : Irmod.t) (nodes : inode list) :
+    (int * int * Graph.edge_type) list =
+  (* first and last node id of each (func, block) *)
+  let firsts = Hashtbl.create 64 and lasts = Hashtbl.create 64 in
+  List.iter
+    (fun n ->
+      let key = (n.ni_func, n.ni_block) in
+      if not (Hashtbl.mem firsts key) then Hashtbl.replace firsts key n.ni_id;
+      Hashtbl.replace lasts key n.ni_id)
+    nodes;
+  let edges = ref [] in
+  (* intra-block chains *)
+  let prev : (string * string, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun n ->
+      let key = (n.ni_func, n.ni_block) in
+      (match Hashtbl.find_opt prev key with
+      | Some p -> edges := (p, n.ni_id, Graph.Control) :: !edges
+      | None -> ());
+      Hashtbl.replace prev key n.ni_id)
+    nodes;
+  (* cross-block edges *)
+  List.iter
+    (fun (f : Func.t) ->
+      List.iter
+        (fun (b : Block.t) ->
+          let from = Hashtbl.find lasts (f.name, b.label) in
+          List.iter
+            (fun succ ->
+              match Hashtbl.find_opt firsts (f.name, succ) with
+              | Some dst -> edges := (from, dst, Graph.Control) :: !edges
+              | None -> ())
+            (Block.successors b))
+        f.blocks)
+    m.funcs;
+  !edges
+
+(* data edges: def -> use via SSA names (per function) *)
+let data_edges (nodes : inode list) : (int * int * Graph.edge_type) list =
+  let def_site : (string * int, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun n ->
+      if n.ni_def >= 0 then Hashtbl.replace def_site (n.ni_func, n.ni_def) n.ni_id)
+    nodes;
+  List.concat_map
+    (fun n ->
+      List.filter_map
+        (fun use ->
+          match Hashtbl.find_opt def_site (n.ni_func, use) with
+          | Some def -> Some (def, n.ni_id, Graph.Data)
+          | None -> None)
+        n.ni_uses)
+    nodes
+
+(* call edges: call site -> first instruction of callee *)
+let call_edges (m : Irmod.t) (nodes : inode list) :
+    (int * int * Graph.edge_type) list =
+  let entry_node : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (f : Func.t) ->
+      let entry = (Func.entry f).label in
+      match
+        List.find_opt
+          (fun n -> n.ni_func = f.name && n.ni_block = entry)
+          nodes
+      with
+      | Some n -> Hashtbl.replace entry_node f.name n.ni_id
+      | None -> ())
+    m.funcs;
+  List.filter_map
+    (fun n ->
+      match n.ni_callee with
+      | Some callee -> (
+          match Hashtbl.find_opt entry_node callee with
+          | Some dst -> Some (n.ni_id, dst, Graph.Call)
+          | None -> None)
+      | None -> None)
+    nodes
+
+(* memory edges: store -> subsequent loads, per function (a coarse
+   may-alias approximation: all memory operations of a function are
+   connected store->load in program order) *)
+let memory_edges (nodes : inode list) : (int * int * Graph.edge_type) list =
+  let edges = ref [] in
+  let last_store : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun n ->
+      match n.ni_is_mem with
+      | `Store -> Hashtbl.replace last_store n.ni_func n.ni_id
+      | `Load -> (
+          match Hashtbl.find_opt last_store n.ni_func with
+          | Some s -> edges := (s, n.ni_id, Graph.Memory) :: !edges
+          | None -> ())
+      | `No -> ())
+    nodes;
+  !edges
+
+let instr_graph (m : Irmod.t) ~(with_data : bool) ~(with_call : bool)
+    ~(with_mem : bool) : Graph.t =
+  let nodes = collect_inodes m in
+  let feats =
+    Array.of_list (List.map (fun n -> one_hot n.ni_op) nodes)
+  in
+  let edges = control_edges m nodes in
+  let edges = if with_data then edges @ data_edges nodes else edges in
+  let edges = if with_call then edges @ call_edges m nodes else edges in
+  let edges = if with_mem then edges @ memory_edges nodes else edges in
+  { Graph.node_feats = feats; edges; feat_dim = opcode_dim }
+
+let cfg (m : Irmod.t) : Graph.t =
+  instr_graph m ~with_data:false ~with_call:false ~with_mem:false
+
+let cdfg (m : Irmod.t) : Graph.t =
+  instr_graph m ~with_data:true ~with_call:false ~with_mem:false
+
+let cdfg_plus (m : Irmod.t) : Graph.t =
+  instr_graph m ~with_data:true ~with_call:true ~with_mem:true
+
+(* compact variants: one node per basic block, features are per-block opcode
+   histograms *)
+let compact_graph (m : Irmod.t) ~(with_data : bool) : Graph.t =
+  let ids : (string * string, int) Hashtbl.t = Hashtbl.create 64 in
+  let next = ref 0 in
+  List.iter
+    (fun (f : Func.t) ->
+      List.iter
+        (fun (b : Block.t) ->
+          Hashtbl.replace ids (f.name, b.label) !next;
+          incr next)
+        f.blocks)
+    m.funcs;
+  let feats = Array.make !next [||] in
+  let edges = ref [] in
+  List.iter
+    (fun (f : Func.t) ->
+      (* def block of each SSA id, for block-level data edges *)
+      let def_block : (int, string) Hashtbl.t = Hashtbl.create 64 in
+      if with_data then
+        List.iter
+          (fun (b : Block.t) ->
+            List.iter
+              (fun (i : Instr.t) ->
+                if Instr.defines i then Hashtbl.replace def_block i.id b.label)
+              b.instrs)
+          f.blocks;
+      List.iter
+        (fun (b : Block.t) ->
+          let id = Hashtbl.find ids (f.name, b.label) in
+          feats.(id) <- Histogram.of_opcodes (Block.opcodes b);
+          List.iter
+            (fun succ ->
+              match Hashtbl.find_opt ids (f.name, succ) with
+              | Some dst -> edges := (id, dst, Graph.Control) :: !edges
+              | None -> ())
+            (Block.successors b);
+          if with_data then
+            List.iter
+              (fun (i : Instr.t) ->
+                List.iter
+                  (fun (v : Value.t) ->
+                    match v with
+                    | Value.Var use -> (
+                        match Hashtbl.find_opt def_block use with
+                        | Some src_label when src_label <> b.label -> (
+                            match Hashtbl.find_opt ids (f.name, src_label) with
+                            | Some src -> edges := (src, id, Graph.Data) :: !edges
+                            | None -> ())
+                        | _ -> ())
+                    | _ -> ())
+                  (Instr.operands i))
+              b.instrs)
+        f.blocks)
+    m.funcs;
+  {
+    Graph.node_feats = feats;
+    edges = List.sort_uniq compare !edges;
+    feat_dim = opcode_dim;
+  }
+
+let cfg_compact (m : Irmod.t) : Graph.t = compact_graph m ~with_data:false
+let cdfg_compact (m : Irmod.t) : Graph.t = compact_graph m ~with_data:true
+
+(* ProGraML: instruction nodes plus value nodes (one per SSA name and one
+   per distinct constant), typed edges *)
+let programl (m : Irmod.t) : Graph.t =
+  let nodes = collect_inodes m in
+  let n_instr = List.length nodes in
+  (* value nodes appended after instruction nodes *)
+  let value_ids : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let next = ref n_instr in
+  let value_node key =
+    match Hashtbl.find_opt value_ids key with
+    | Some id -> id
+    | None ->
+        let id = !next in
+        incr next;
+        Hashtbl.replace value_ids key id;
+        id
+  in
+  let edges = ref (control_edges m nodes) in
+  List.iter
+    (fun n ->
+      if n.ni_def >= 0 then begin
+        let vn = value_node (Printf.sprintf "%s/%d" n.ni_func n.ni_def) in
+        edges := (n.ni_id, vn, Graph.Data) :: !edges
+      end;
+      List.iter
+        (fun use ->
+          let vn = value_node (Printf.sprintf "%s/%d" n.ni_func use) in
+          edges := (vn, n.ni_id, Graph.Data) :: !edges)
+        n.ni_uses)
+    nodes;
+  List.iter
+    (fun (s, d, t) -> edges := (s, d, t) :: !edges)
+    (call_edges m nodes);
+  (* features: instruction nodes carry opcode one-hots in the first 63 dims;
+     value nodes set an extra "is-value" dimension *)
+  let dim = opcode_dim + 1 in
+  let feats = Array.init !next (fun _ -> Array.make dim 0.0) in
+  List.iter
+    (fun n -> feats.(n.ni_id).(Opcode.index n.ni_op) <- 1.0)
+    nodes;
+  Hashtbl.iter (fun _ id -> feats.(id).(opcode_dim) <- 1.0) value_ids;
+  { Graph.node_feats = feats; edges = !edges; feat_dim = dim }

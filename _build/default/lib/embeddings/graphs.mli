@@ -1,0 +1,23 @@
+(** The six graph-based program representations of the paper's Figure 3:
+    instruction-level graphs (Brauckmann et al.), basic-block-compact graphs
+    (Faustino), and ProGraML (Cummins et al.). *)
+
+(** Instruction nodes, control edges. *)
+val cfg : Yali_ir.Irmod.t -> Graph.t
+
+(** Instruction nodes, control + SSA def-use edges. *)
+val cdfg : Yali_ir.Irmod.t -> Graph.t
+
+(** [cdfg] plus call edges and coarse store→load memory edges. *)
+val cdfg_plus : Yali_ir.Irmod.t -> Graph.t
+
+(** Basic-block nodes with per-block opcode-histogram features, control
+    edges. *)
+val cfg_compact : Yali_ir.Irmod.t -> Graph.t
+
+(** [cfg_compact] plus block-level data edges. *)
+val cdfg_compact : Yali_ir.Irmod.t -> Graph.t
+
+(** Instruction nodes plus value nodes (one per SSA name), typed
+    control/data/call edges. *)
+val programl : Yali_ir.Irmod.t -> Graph.t

@@ -1,0 +1,33 @@
+(** The HISTOGRAM embedding (Silva et al.): a vector of {!Yali_ir.Opcode.count}
+    positions counting instruction opcodes.  The paper's central finding is
+    that this 63-dimensional bag of opcodes classifies algorithms as well as
+    far more elaborate representations. *)
+
+open Yali_ir
+
+let dim = Opcode.count
+
+let of_opcodes (ops : Opcode.t list) : float array =
+  let h = Array.make dim 0.0 in
+  List.iter (fun op -> h.(Opcode.index op) <- h.(Opcode.index op) +. 1.0) ops;
+  h
+
+let of_func (f : Func.t) : float array = of_opcodes (Func.opcodes f)
+let of_module (m : Irmod.t) : float array = of_opcodes (Irmod.opcodes m)
+
+(** L1-normalised variant: opcode proportions rather than counts. *)
+let normalized_of_module (m : Irmod.t) : float array =
+  let h = of_module m in
+  let total = Array.fold_left ( +. ) 0.0 h in
+  if total > 0.0 then Array.map (fun x -> x /. total) h else h
+
+let euclidean (a : float array) (b : float array) : float =
+  if Array.length a <> Array.length b then
+    invalid_arg "Histogram.euclidean: dimension mismatch";
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      let d = x -. b.(i) in
+      acc := !acc +. (d *. d))
+    a;
+  sqrt !acc

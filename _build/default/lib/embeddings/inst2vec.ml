@@ -1,0 +1,89 @@
+(** An INST2VEC-style statement embedding (Ben-Nun et al., NeurIPS'18) —
+    provided as an *extension*: the paper tried to include inst2vec in its
+    Figure 5 comparison but could not ("the artifact runs out of memory even
+    for small training sets", §3.1 fn. 1).
+
+    The original learns skip-gram vectors for full IR statements over a
+    context flow graph.  This re-implementation keeps the two ideas that
+    distinguish inst2vec from a bag of opcodes — (1) the token is the whole
+    *statement shape* (opcode + type + operand kinds), not the opcode alone,
+    and (2) each statement's vector is smoothed with its control-flow
+    context — while deriving the seed vectors deterministically from hashes,
+    so memory stays bounded by construction.
+
+    Not part of {!Embedding.all} (the paper's Figure 5 has exactly nine
+    rows); exposed as {!embedding} for extension experiments. *)
+
+open Yali_ir
+module Rng = Yali_util.Rng
+
+let dim = 64
+
+(** Weight of the neighbouring statements in the context window. *)
+let w_context = 0.3
+
+let seed_vec : (string, float array) Hashtbl.t = Hashtbl.create 1024
+
+let vec_of_token (tok : string) : float array =
+  match Hashtbl.find_opt seed_vec tok with
+  | Some v -> v
+  | None ->
+      let rng = Rng.make (Hashtbl.hash tok * 40503) in
+      let v =
+        Array.init dim (fun _ -> Rng.gaussian rng /. sqrt (float_of_int dim))
+      in
+      Hashtbl.replace seed_vec tok v;
+      v
+
+(* The statement "shape": opcode, result type, and operand kinds — the
+   statement-level identity inst2vec builds its vocabulary from. *)
+let token_of_instr (i : Instr.t) : string =
+  let operand_kind (v : Value.t) =
+    match v with
+    | Value.Var _ -> "v"
+    | Value.IConst _ -> "c"
+    | Value.FConst _ -> "f"
+    | Value.Global _ -> "g"
+    | Value.Undef _ -> "u"
+  in
+  Printf.sprintf "%s:%s:%s"
+    (Opcode.to_string (Instr.opcode i))
+    (Types.to_string i.ty)
+    (String.concat "" (List.map operand_kind (Instr.operands i)))
+
+let token_of_terminator (t : Instr.terminator) : string =
+  Printf.sprintf "%s:%d"
+    (Opcode.to_string (Instr.opcode_of_terminator t))
+    (List.length (Instr.successors t))
+
+let axpy ~(a : float) (x : float array) (y : float array) : unit =
+  Array.iteri (fun k xk -> y.(k) <- y.(k) +. (a *. xk)) x
+
+let of_func (f : Func.t) : float array =
+  let out = Array.make dim 0.0 in
+  List.iter
+    (fun (b : Block.t) ->
+      (* statements of the block in order, terminator included *)
+      let tokens =
+        List.map token_of_instr b.instrs @ [ token_of_terminator b.term ]
+      in
+      let arr = Array.of_list tokens in
+      Array.iteri
+        (fun k tok ->
+          axpy ~a:1.0 (vec_of_token tok) out;
+          (* context smoothing within the block: previous and next *)
+          if k > 0 then axpy ~a:w_context (vec_of_token arr.(k - 1)) out;
+          if k < Array.length arr - 1 then
+            axpy ~a:w_context (vec_of_token arr.(k + 1)) out)
+        arr)
+    f.blocks;
+  out
+
+let of_module (m : Irmod.t) : float array =
+  let out = Array.make dim 0.0 in
+  List.iter (fun f -> axpy ~a:1.0 (of_func f) out) m.funcs;
+  out
+
+(** The embedding registry entry (extension; not among the paper's nine). *)
+let embedding : Embedding.t =
+  { Embedding.name = "inst2vec"; kind = Embedding.Flat of_module }

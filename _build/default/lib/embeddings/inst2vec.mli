@@ -1,0 +1,18 @@
+(** An INST2VEC-style statement embedding (Ben-Nun et al.) — an *extension*:
+    the paper attempted to include inst2vec but its artifact ran out of
+    memory (§3.1 fn. 1).  This variant keeps the statement-shape vocabulary
+    and control-flow context smoothing while deriving bounded deterministic
+    seed vectors.  Not part of {!Embedding.all} (the paper's Figure 5 has
+    exactly nine rows). *)
+
+val dim : int
+
+(** Weight of neighbouring statements in the context window. *)
+val w_context : float
+
+val token_of_instr : Yali_ir.Instr.t -> string
+val of_func : Yali_ir.Func.t -> float array
+val of_module : Yali_ir.Irmod.t -> float array
+
+(** Registry entry for use with the {!Embedding} API. *)
+val embedding : Embedding.t

@@ -1,0 +1,74 @@
+(** An IR2Vec-style distributed embedding (VenkataKeerthy et al.).
+
+    The original learns seed embeddings for opcodes, types and argument
+    kinds with TransE, then composes instruction, function and program
+    vectors by weighted summation along use-def chains.  This
+    re-implementation keeps the compositional scheme — [w_o * opcode + w_t *
+    type + w_a * args], accumulated over the program — but derives the seed
+    vectors deterministically from hashes, which preserves the property the
+    experiments need: programs with similar instruction mixes and similar
+    data-flow shapes land close together in the embedding space. *)
+
+open Yali_ir
+module Rng = Yali_util.Rng
+
+let dim = 64
+
+let w_opcode = 1.0
+let w_type = 0.5
+let w_arg = 0.2
+
+(* Deterministic seed vector for a token, from a splitmix stream keyed on the
+   token's hash. *)
+let seed_vec : (string, float array) Hashtbl.t = Hashtbl.create 256
+
+let vec_of_token (tok : string) : float array =
+  match Hashtbl.find_opt seed_vec tok with
+  | Some v -> v
+  | None ->
+      let rng = Rng.make (Hashtbl.hash tok * 2654435761) in
+      let v = Array.init dim (fun _ -> Rng.gaussian rng /. sqrt (float_of_int dim)) in
+      Hashtbl.replace seed_vec tok v;
+      v
+
+let axpy ~(a : float) (x : float array) (y : float array) : unit =
+  Array.iteri (fun i xi -> y.(i) <- y.(i) +. (a *. xi)) x
+
+let arg_token (v : Value.t) : string =
+  match v with
+  | Value.Var _ -> "arg:var"
+  | Value.IConst _ -> "arg:const"
+  | Value.FConst _ -> "arg:fconst"
+  | Value.Global _ -> "arg:global"
+  | Value.Undef _ -> "arg:undef"
+
+let instr_vec (i : Instr.t) : float array =
+  let out = Array.make dim 0.0 in
+  axpy ~a:w_opcode (vec_of_token ("op:" ^ Opcode.to_string (Instr.opcode i))) out;
+  axpy ~a:w_type (vec_of_token ("ty:" ^ Types.to_string i.ty)) out;
+  List.iter (fun v -> axpy ~a:w_arg (vec_of_token (arg_token v)) out) (Instr.operands i);
+  out
+
+let term_vec (t : Instr.terminator) : float array =
+  let out = Array.make dim 0.0 in
+  axpy ~a:w_opcode
+    (vec_of_token ("op:" ^ Opcode.to_string (Instr.opcode_of_terminator t)))
+    out;
+  List.iter
+    (fun v -> axpy ~a:w_arg (vec_of_token (arg_token v)) out)
+    (Instr.terminator_operands t);
+  out
+
+let of_func (f : Func.t) : float array =
+  let out = Array.make dim 0.0 in
+  List.iter
+    (fun (b : Block.t) ->
+      List.iter (fun i -> axpy ~a:1.0 (instr_vec i) out) b.instrs;
+      axpy ~a:1.0 (term_vec b.term) out)
+    f.blocks;
+  out
+
+let of_module (m : Irmod.t) : float array =
+  let out = Array.make dim 0.0 in
+  List.iter (fun f -> axpy ~a:1.0 (of_func f) out) m.funcs;
+  out

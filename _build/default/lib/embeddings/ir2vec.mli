@@ -1,0 +1,16 @@
+(** An IR2Vec-style distributed embedding (VenkataKeerthy et al.):
+    instruction vectors composed from seed vectors for opcode, type and
+    argument kinds ([w_o·opcode + w_t·type + w_a·args]), summed into
+    function and program vectors.  Seed vectors are derived deterministically
+    from token hashes rather than learned — similar instruction mixes still
+    land close together, which is the property the experiments use. *)
+
+val dim : int
+
+val w_opcode : float
+val w_type : float
+val w_arg : float
+
+val instr_vec : Yali_ir.Instr.t -> float array
+val of_func : Yali_ir.Func.t -> float array
+val of_module : Yali_ir.Irmod.t -> float array

@@ -1,0 +1,7 @@
+(** A MILEPOST-GCC-style static feature vector (Namolaru et al.): 56
+    hand-designed counters over the IR — CFG shape statistics, instruction
+    class counts, dominance and structure statistics. *)
+
+val dim : int
+val of_func : Yali_ir.Func.t -> float array
+val of_module : Yali_ir.Irmod.t -> float array

@@ -1,0 +1,1 @@
+lib/games/antivirus.ml: Array Hashtbl List Opcode Option String Yali_ir Yali_util

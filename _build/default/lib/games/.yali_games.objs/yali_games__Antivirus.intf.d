@@ -1,0 +1,1 @@
+lib/games/antivirus.mli: Hashtbl Yali_ir Yali_util

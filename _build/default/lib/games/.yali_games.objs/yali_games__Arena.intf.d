@@ -1,0 +1,1 @@
+lib/games/arena.mli: Game Yali_dataset Yali_embeddings Yali_ir Yali_ml Yali_util

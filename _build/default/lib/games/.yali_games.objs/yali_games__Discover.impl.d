@@ -1,0 +1,1 @@
+lib/games/discover.ml: Array Evader List Yali_dataset Yali_embeddings Yali_minic Yali_ml Yali_obfuscation Yali_util

@@ -1,0 +1,1 @@
+lib/games/discover.mli: Yali_obfuscation Yali_util

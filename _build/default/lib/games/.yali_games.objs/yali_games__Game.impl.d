@@ -1,0 +1,1 @@
+lib/games/game.ml: Ast Fun List Lower Yali_ir Yali_minic Yali_obfuscation Yali_transforms Yali_util

@@ -1,0 +1,1 @@
+lib/games/game.mli: Yali_ir Yali_minic Yali_obfuscation Yali_util

@@ -1,0 +1,118 @@
+(** A signature-based anti-virus ensemble, standing in for VIRUSTOTAL in the
+    reproduction of Figure 16.
+
+    Each scanner in the ensemble is built the way classical AV engines are:
+    from a corpus of *known* malware builds (here: MIRAI variants compiled at
+    [-O0]), extract opcode n-gram signatures that are frequent in malware
+    and absent from a benign corpus; flag a binary when enough signatures
+    match.  Two queries are supported, mirroring the paper's two rows:
+
+    - [is_malware]: any scanner's generic threshold fires;
+    - [is_mirai]:   the family-specific (stricter) threshold fires.
+
+    Signature matching degrades under optimization and obfuscation — the
+    behaviour the figure contrasts with the retrained rf classifier. *)
+
+module Rng = Yali_util.Rng
+module Irmod = Yali_ir.Irmod
+open Yali_ir
+
+type scanner = {
+  sname : string;
+  n : int;  (** n-gram size *)
+  signatures : (string, unit) Hashtbl.t;
+  generic_threshold : int;  (** #matches to call it malware *)
+  family_threshold : int;  (** #matches to call it MIRAI *)
+}
+
+type t = { scanners : scanner list }
+
+let opcode_ngrams ~(n : int) (m : Irmod.t) : string list =
+  let ops = Array.of_list (List.map Opcode.to_string (Irmod.opcodes m)) in
+  let len = Array.length ops in
+  if len < n then []
+  else
+    List.init
+      (len - n + 1)
+      (fun k -> String.concat "." (Array.to_list (Array.sub ops k n)))
+
+(** Build the ensemble from corpora of known-malware and known-benign
+    modules (both compiled the way samples reach the vendor: unoptimized). *)
+let build (rng : Rng.t) ~(malware : Irmod.t list) ~(benign : Irmod.t list) : t
+    =
+  let scanner_config =
+    [ ("av-ngram3", 3, 12, 30); ("av-ngram4", 4, 10, 25);
+      ("av-ngram5", 5, 8, 20); ("av-ngram6", 6, 6, 16);
+      ("av-loose3", 3, 6, 40); ("av-strict5", 5, 14, 30) ]
+  in
+  let scanners =
+    List.map
+      (fun (sname, n, generic_threshold, family_threshold) ->
+        let benign_grams = Hashtbl.create 4096 in
+        List.iter
+          (fun m ->
+            List.iter
+              (fun g -> Hashtbl.replace benign_grams g ())
+              (opcode_ngrams ~n m))
+          benign;
+        let counts = Hashtbl.create 4096 in
+        List.iter
+          (fun m ->
+            List.iter
+              (fun g ->
+                if not (Hashtbl.mem benign_grams g) then
+                  Hashtbl.replace counts g
+                    (1 + Option.value (Hashtbl.find_opt counts g) ~default:0))
+              (List.sort_uniq compare (opcode_ngrams ~n m)))
+          malware;
+        let signatures = Hashtbl.create 1024 in
+        let min_support = max 2 (List.length malware / 4) in
+        Hashtbl.iter
+          (fun g c ->
+            (* vendors keep only reliable signatures; drop a few at random,
+               different engines know different subsets *)
+            if c >= min_support && Rng.float rng < 0.85 then
+              Hashtbl.replace signatures g ())
+          counts;
+        { sname; n; signatures; generic_threshold; family_threshold })
+      scanner_config
+  in
+  { scanners }
+
+let matches (s : scanner) (m : Irmod.t) : int =
+  List.fold_left
+    (fun acc g -> if Hashtbl.mem s.signatures g then acc + 1 else acc)
+    0
+    (List.sort_uniq compare (opcode_ngrams ~n:s.n m))
+
+(** Detection by a single scanner. *)
+let scanner_is_malware (s : scanner) (m : Irmod.t) : bool =
+  matches s m >= s.generic_threshold
+
+let scanner_is_mirai (s : scanner) (m : Irmod.t) : bool =
+  matches s m >= s.family_threshold
+
+(** Ensemble votes, VirusTotal style: how many engines flag the sample. *)
+let detections (t : t) (m : Irmod.t) : int * int =
+  List.fold_left
+    (fun (g, f) s ->
+      ( (g + if scanner_is_malware s m then 1 else 0),
+        f + if scanner_is_mirai s m then 1 else 0 ))
+    (0, 0) t.scanners
+
+(** Best-scanner accuracy over a labelled challenge set (label 1 = malware),
+    for the generic and the family query — the two top rows of Figure 16. *)
+let best_accuracy (t : t) (challenges : (Irmod.t * int) list) :
+    float * float =
+  let acc_of pred =
+    let hits =
+      List.fold_left
+        (fun acc (m, l) -> if pred m = (l = 1) then acc + 1 else acc)
+        0 challenges
+    in
+    float_of_int hits /. float_of_int (max 1 (List.length challenges))
+  in
+  let best f =
+    List.fold_left (fun best s -> max best (acc_of (f s))) 0.0 t.scanners
+  in
+  (best scanner_is_malware, best scanner_is_mirai)

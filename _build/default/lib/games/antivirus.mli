@@ -1,0 +1,36 @@
+(** A signature-based anti-virus ensemble — the VirusTotal stand-in of
+    Figure 16.  Each engine extracts opcode n-gram signatures frequent in a
+    known-malware corpus and absent from a benign corpus, and flags a binary
+    when enough signatures match; a stricter threshold answers the
+    family-specific ("is it MIRAI?") query. *)
+
+type scanner = {
+  sname : string;
+  n : int;  (** n-gram size *)
+  signatures : (string, unit) Hashtbl.t;
+  generic_threshold : int;
+  family_threshold : int;
+}
+
+type t = { scanners : scanner list }
+
+(** Opcode n-grams of a module, in program order. *)
+val opcode_ngrams : n:int -> Yali_ir.Irmod.t -> string list
+
+(** Train the ensemble on corpora of known malware and benign modules. *)
+val build :
+  Yali_util.Rng.t ->
+  malware:Yali_ir.Irmod.t list ->
+  benign:Yali_ir.Irmod.t list ->
+  t
+
+val matches : scanner -> Yali_ir.Irmod.t -> int
+val scanner_is_malware : scanner -> Yali_ir.Irmod.t -> bool
+val scanner_is_mirai : scanner -> Yali_ir.Irmod.t -> bool
+
+(** (generic votes, family votes) across the ensemble. *)
+val detections : t -> Yali_ir.Irmod.t -> int * int
+
+(** Best single-engine accuracy over labelled challenges (label 1 =
+    malware), for the generic and family queries. *)
+val best_accuracy : t -> (Yali_ir.Irmod.t * int) list -> float * float

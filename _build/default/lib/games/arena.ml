@@ -1,0 +1,103 @@
+(** The classification arena: wires a dataset split, an embedding, a model
+    and a game setup into an accuracy measurement.  This is the engine
+    behind every figure of the paper's evaluation. *)
+
+module Rng = Yali_util.Rng
+module E = Yali_embeddings
+module Ml = Yali_ml
+module Irmod = Yali_ir.Irmod
+
+type result = {
+  accuracy : float;
+  f1 : float;
+  model_bytes : int;
+  train_seconds : float;
+  n_train : int;
+  n_test : int;
+}
+
+(* materialise the IR of both dataset halves under the game's resources *)
+let build_modules (rng : Rng.t) (setup : Game.setup)
+    (split : Yali_dataset.Poj.split) : (Irmod.t * int) array * (Irmod.t * int) array
+    =
+  let train =
+    Array.map
+      (fun (s : Yali_dataset.Poj.labelled) ->
+        (setup.Game.train_tx (Rng.split rng) s.src, s.label))
+      split.train
+  in
+  let test =
+    Array.map
+      (fun (s : Yali_dataset.Poj.labelled) ->
+        ( setup.Game.normalize (setup.Game.challenge_tx (Rng.split rng) s.src),
+          s.label ))
+      split.test
+  in
+  (train, test)
+
+let eval_predictions ~(n_classes : int) (truth : int array) (pred : int array)
+    : float * float =
+  let acc = Ml.Metrics.accuracy truth pred in
+  let f1 = Ml.Metrics.macro_f1 (Ml.Metrics.confusion ~n_classes truth pred) in
+  (acc, f1)
+
+(** Run a game with a flat model over a flat (or flattened) embedding. *)
+let run_flat (rng : Rng.t) ~(n_classes : int) (embedding : E.Embedding.t)
+    (model : Ml.Model.flat) (setup : Game.setup)
+    (split : Yali_dataset.Poj.split) : result =
+  let train_mods, test_mods = build_modules (Rng.split rng) setup split in
+  let embed m = E.Embedding.to_flat embedding m in
+  let xs = Array.map (fun (m, _) -> embed m) train_mods in
+  let ys = Array.map snd train_mods in
+  let t0 = Unix.gettimeofday () in
+  let trained = model.ftrain (Rng.split rng) ~n_classes xs ys in
+  let train_seconds = Unix.gettimeofday () -. t0 in
+  let truth = Array.map snd test_mods in
+  let pred = Array.map (fun (m, _) -> trained.predict (embed m)) test_mods in
+  let accuracy, f1 = eval_predictions ~n_classes truth pred in
+  {
+    accuracy;
+    f1;
+    model_bytes = trained.size_bytes;
+    train_seconds;
+    n_train = Array.length xs;
+    n_test = Array.length truth;
+  }
+
+(** Run a game with the DGCNN over a graph embedding (flat embeddings are
+    wrapped as single-node graphs, mirroring the paper's note that the graph
+    layers "find no service" on arrays). *)
+let run_graph (rng : Rng.t) ~(n_classes : int) (embedding : E.Embedding.t)
+    (setup : Game.setup) (split : Yali_dataset.Poj.split) : result =
+  let train_mods, test_mods = build_modules (Rng.split rng) setup split in
+  let embed m = E.Embedding.to_graph embedding m in
+  let graphs = Array.map (fun (m, _) -> embed m) train_mods in
+  let ys = Array.map snd train_mods in
+  let feat_dim =
+    if Array.length graphs = 0 then 1 else graphs.(0).E.Graph.feat_dim
+  in
+  let t0 = Unix.gettimeofday () in
+  let trained =
+    Ml.Model.dgcnn.gtrain (Rng.split rng) ~n_classes ~feat_dim graphs ys
+  in
+  let train_seconds = Unix.gettimeofday () -. t0 in
+  let truth = Array.map snd test_mods in
+  let pred = Array.map (fun (m, _) -> trained.gpredict (embed m)) test_mods in
+  let accuracy, f1 = eval_predictions ~n_classes truth pred in
+  {
+    accuracy;
+    f1;
+    model_bytes = trained.gsize_bytes;
+    train_seconds;
+    n_train = Array.length graphs;
+    n_test = Array.length truth;
+  }
+
+(** The model used for the embedding-comparison experiments (RQ1): dgcnn on
+    graph embeddings, its cnn truncation on flat ones — exactly the paper's
+    protocol. *)
+let run_neural (rng : Rng.t) ~(n_classes : int) (embedding : E.Embedding.t)
+    (setup : Game.setup) (split : Yali_dataset.Poj.split) : result =
+  if E.Embedding.is_flat embedding then
+    run_flat rng ~n_classes embedding Ml.Model.cnn setup split
+  else run_graph rng ~n_classes embedding setup split

@@ -1,0 +1,50 @@
+(** The classification arena: wires a dataset split, an embedding, a model
+    and a game setup into an accuracy measurement — the engine behind every
+    figure of the paper's evaluation. *)
+
+type result = {
+  accuracy : float;
+  f1 : float;
+  model_bytes : int;
+  train_seconds : float;
+  n_train : int;
+  n_test : int;
+}
+
+(** Materialise the IR of both dataset halves under the game's resources:
+    training modules via [train_tx], challenges via [normalize ∘
+    challenge_tx]. *)
+val build_modules :
+  Yali_util.Rng.t ->
+  Game.setup ->
+  Yali_dataset.Poj.split ->
+  (Yali_ir.Irmod.t * int) array * (Yali_ir.Irmod.t * int) array
+
+(** Run a game with a flat model (graph embeddings are flattened). *)
+val run_flat :
+  Yali_util.Rng.t ->
+  n_classes:int ->
+  Yali_embeddings.Embedding.t ->
+  Yali_ml.Model.flat ->
+  Game.setup ->
+  Yali_dataset.Poj.split ->
+  result
+
+(** Run a game with the DGCNN over a graph embedding. *)
+val run_graph :
+  Yali_util.Rng.t ->
+  n_classes:int ->
+  Yali_embeddings.Embedding.t ->
+  Game.setup ->
+  Yali_dataset.Poj.split ->
+  result
+
+(** The paper's RQ1 protocol: dgcnn on graph embeddings, its cnn truncation
+    on flat ones. *)
+val run_neural :
+  Yali_util.Rng.t ->
+  n_classes:int ->
+  Yali_embeddings.Embedding.t ->
+  Game.setup ->
+  Yali_dataset.Poj.split ->
+  result

@@ -1,0 +1,107 @@
+(** RQ7 (Figure 14): can a classifier detect *which transformer* was applied
+    to a program?  Ten transformer classes; four dataset regimes that differ
+    in whether every transformer sees the same programs (datasets 1 and 2)
+    or each transformer gets its own programs (3 and 4 — the latter produce
+    the spurious correlation the paper warns about). *)
+
+module Rng = Yali_util.Rng
+module E = Yali_embeddings
+module Ml = Yali_ml
+open Yali_obfuscation
+
+type dataset_kind = Dataset1 | Dataset2 | Dataset3 | Dataset4
+
+let dataset_name = function
+  | Dataset1 -> "dataset1"
+  | Dataset2 -> "dataset2"
+  | Dataset3 -> "dataset3"
+  | Dataset4 -> "dataset4"
+
+(** The ten transformer classes of §4.7. *)
+let transformers : Evader.t list =
+  [
+    Evader.none (* clang -O0 *);
+    Evader.mem2reg;
+    Evader.o3;
+    Evader.bcf;
+    Evader.fla;
+    Evader.sub;
+    Evader.drlsg;
+    Evader.mcmc;
+    Evader.rs;
+    Evader.ga;
+  ]
+
+let n_transformers = List.length transformers
+
+(* pools of source programs, per the four regimes *)
+let programs_for (rng : Rng.t) (kind : dataset_kind) ~(per_transformer : int) :
+    Yali_minic.Ast.program list list =
+  match kind with
+  | Dataset1 ->
+      (* one random problem; same programs for every transformer *)
+      let p = Rng.choice rng Yali_dataset.Genprog.all in
+      let pool =
+        List.init per_transformer (fun _ ->
+            Yali_dataset.Genprog.sample (Rng.split rng) p)
+      in
+      List.init n_transformers (fun _ -> pool)
+  | Dataset2 ->
+      (* a few solutions from each of many problems; same for everyone *)
+      let problems = Yali_dataset.Genprog.all in
+      let pool =
+        List.init per_transformer (fun k ->
+            let p = List.nth problems (k mod List.length problems) in
+            Yali_dataset.Genprog.sample (Rng.split rng) p)
+      in
+      List.init n_transformers (fun _ -> pool)
+  | Dataset3 ->
+      (* each transformer gets solutions of its own problem: the
+         class-confounded regime *)
+      let problems = Rng.sample rng n_transformers Yali_dataset.Genprog.all in
+      List.map
+        (fun p ->
+          List.init per_transformer (fun _ ->
+              Yali_dataset.Genprog.sample (Rng.split rng) p))
+        problems
+  | Dataset4 ->
+      (* each transformer gets different programs drawn across problems *)
+      List.init n_transformers (fun _ ->
+          List.init per_transformer (fun k ->
+              let p =
+                List.nth Yali_dataset.Genprog.all
+                  ((k * 7) mod Yali_dataset.Genprog.count)
+              in
+              Yali_dataset.Genprog.sample (Rng.split rng) p))
+
+type result = { kind : dataset_kind; accuracy : float }
+
+(** Run the obfuscator-detection experiment: train a histogram+rf classifier
+    to name the transformer. *)
+let run ?(per_transformer = 50) ?(train_fraction = 0.8) (rng : Rng.t)
+    (kind : dataset_kind) : result =
+  let pools = programs_for (Rng.split rng) kind ~per_transformer in
+  let samples =
+    List.concat
+      (List.mapi
+         (fun label (evader, pool) ->
+           List.map
+             (fun src ->
+               let m = evader.Evader.apply (Rng.split rng) src in
+               (E.Histogram.of_module m, label))
+             pool)
+         (List.combine transformers pools))
+  in
+  let samples = Array.of_list (Rng.shuffle rng samples) in
+  let n_train =
+    int_of_float (train_fraction *. float_of_int (Array.length samples))
+  in
+  let train = Array.sub samples 0 n_train in
+  let test = Array.sub samples n_train (Array.length samples - n_train) in
+  let trained =
+    Ml.Model.rf.ftrain (Rng.split rng) ~n_classes:n_transformers
+      (Array.map fst train) (Array.map snd train)
+  in
+  let truth = Array.map snd test in
+  let pred = Array.map (fun (x, _) -> trained.predict x) test in
+  { kind; accuracy = Ml.Metrics.accuracy truth pred }

@@ -1,0 +1,26 @@
+(** RQ7 (Figure 14): can a classifier detect *which transformer* was applied
+    to a program?  Ten transformer classes; four dataset regimes differing
+    in whether every transformer sees the same programs (1, 2) or its own
+    (3, 4) — regime 3 produces the spurious correlation the paper warns
+    about. *)
+
+type dataset_kind = Dataset1 | Dataset2 | Dataset3 | Dataset4
+
+val dataset_name : dataset_kind -> string
+
+(** The ten transformer classes of §4.7: O0, mem2reg, O3, bcf, fla, sub,
+    drlsg, mcmc, rs, ga. *)
+val transformers : Yali_obfuscation.Evader.t list
+
+val n_transformers : int
+
+type result = { kind : dataset_kind; accuracy : float }
+
+(** Train a histogram+rf classifier to name the transformer; report held-out
+    accuracy. *)
+val run :
+  ?per_transformer:int ->
+  ?train_fraction:float ->
+  Yali_util.Rng.t ->
+  dataset_kind ->
+  result

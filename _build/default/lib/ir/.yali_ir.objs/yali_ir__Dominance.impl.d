@@ -1,0 +1,1 @@
+lib/ir/dominance.ml: Cfg Hashtbl List Map Option String

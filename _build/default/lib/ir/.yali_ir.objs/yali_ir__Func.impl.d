@@ -1,0 +1,1 @@
+lib/ir/func.ml: Block Hashtbl Instr List Opcode Printf String Types Value

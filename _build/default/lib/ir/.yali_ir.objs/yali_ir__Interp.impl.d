@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Block Float Func Hashtbl Instr Int64 Irmod List Opcode Printf Types Value

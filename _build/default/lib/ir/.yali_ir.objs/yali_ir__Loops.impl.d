@@ -1,0 +1,1 @@
+lib/ir/loops.ml: Cfg Dominance Func Hashtbl List Map Option Queue Set String

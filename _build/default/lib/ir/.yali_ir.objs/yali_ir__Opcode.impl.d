@@ -1,0 +1,1 @@
+lib/ir/opcode.ml: Fmt Hashtbl List

@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Block Func Instr Int64 Irmod List Option Printf String Types Value

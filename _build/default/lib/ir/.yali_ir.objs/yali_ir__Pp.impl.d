@@ -1,0 +1,1 @@
+lib/ir/pp.ml: Block Fmt Func Instr Irmod List Types Value

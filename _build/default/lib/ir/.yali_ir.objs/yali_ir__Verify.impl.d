@@ -1,0 +1,1 @@
+lib/ir/verify.ml: Block Cfg Fmt Func Hashtbl Instr Irmod List Printf Set String Value

@@ -1,0 +1,60 @@
+(** Imperative convenience layer for constructing functions: create a
+    builder, open blocks, emit instructions, [finish] into an immutable
+    {!Func.t}.  Used by the frontend and by obfuscators. *)
+
+type t
+
+val create : name:string -> param_tys:Types.t list -> ret:Types.t -> t
+
+(** The [i]-th parameter as a value.
+    @raise Invalid_argument when out of range *)
+val param : t -> int -> Value.t
+
+(** Mint a fresh SSA id. *)
+val fresh_id : t -> int
+
+(** Create a new (empty, unpositioned) block and return its label. *)
+val new_block : ?hint:string -> t -> string
+
+(** Position the builder at the end of a block.
+    @raise Invalid_argument on unknown labels *)
+val switch_to : t -> string -> unit
+
+(** @raise Invalid_argument when no block is current *)
+val current_label : t -> string
+
+(** Append an instruction; returns the value it defines.
+    @raise Invalid_argument when the block is already terminated *)
+val emit : t -> ty:Types.t -> Instr.kind -> Value.t
+
+val emit_void : t -> Instr.kind -> unit
+
+(** Seal the current block.
+    @raise Invalid_argument when already terminated *)
+val terminate : t -> Instr.terminator -> unit
+
+val is_terminated : t -> bool
+
+(** Typed emission helpers. *)
+
+val ibin : t -> Instr.ibin -> Value.t -> Value.t -> ty:Types.t -> Value.t
+val fbin : t -> Instr.fbin -> Value.t -> Value.t -> Value.t
+val icmp : t -> Instr.icmp -> Value.t -> Value.t -> Value.t
+val fcmp : t -> Instr.fcmp -> Value.t -> Value.t -> Value.t
+val alloca : t -> Types.t -> Value.t
+val load : t -> ty:Types.t -> Value.t -> Value.t
+val store : t -> Value.t -> Value.t -> unit
+val gep : t -> ty:Types.t -> Value.t -> Value.t list -> Value.t
+val phi : t -> ty:Types.t -> (Value.t * string) list -> Value.t
+val select : t -> Value.t -> Value.t -> Value.t -> ty:Types.t -> Value.t
+val call : t -> ty:Types.t -> string -> Value.t list -> Value.t
+val cast : t -> Instr.cast -> Value.t -> ty:Types.t -> Value.t
+
+val ret : t -> Value.t option -> unit
+val br : t -> string -> unit
+val condbr : t -> Value.t -> string -> string -> unit
+val switch : t -> Value.t -> default:string -> (int64 * string) list -> unit
+
+(** Assemble into an immutable function (blocks in creation order;
+    unterminated blocks receive [unreachable]). *)
+val finish : t -> Func.t

@@ -1,0 +1,79 @@
+(** Control-flow-graph queries over a function: successor and predecessor
+    maps, reachability, traversal orders. *)
+
+module SMap = Map.Make (String)
+module SSet = Set.Make (String)
+
+type t = {
+  succ : string list SMap.t;
+  pred : string list SMap.t;
+  entry : string;
+  order : string list;  (** block labels in function order *)
+}
+
+let of_func (f : Func.t) : t =
+  let order = List.map (fun (b : Block.t) -> b.Block.label) f.Func.blocks in
+  let succ =
+    List.fold_left
+      (fun m (b : Block.t) -> SMap.add b.label (Block.successors b) m)
+      SMap.empty f.blocks
+  in
+  let pred =
+    List.fold_left
+      (fun m (b : Block.t) ->
+        List.fold_left
+          (fun m s ->
+            SMap.update s
+              (function None -> Some [ b.label ] | Some ps -> Some (b.label :: ps))
+              m)
+          m (Block.successors b))
+      (List.fold_left (fun m l -> SMap.add l [] m) SMap.empty order)
+      f.blocks
+  in
+  { succ; pred; entry = (Func.entry f).label; order }
+
+let successors (g : t) l = try SMap.find l g.succ with Not_found -> []
+let predecessors (g : t) l = try SMap.find l g.pred with Not_found -> []
+
+(** Labels reachable from the entry block. *)
+let reachable (g : t) : SSet.t =
+  let rec go seen = function
+    | [] -> seen
+    | l :: rest ->
+        if SSet.mem l seen then go seen rest
+        else go (SSet.add l seen) (successors g l @ rest)
+  in
+  go SSet.empty [ g.entry ]
+
+(** Reverse post-order over reachable blocks, starting at the entry. *)
+let reverse_postorder (g : t) : string list =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let rec dfs l =
+    if not (Hashtbl.mem seen l) then (
+      Hashtbl.add seen l ();
+      List.iter dfs (successors g l);
+      out := l :: !out)
+  in
+  dfs g.entry;
+  !out
+
+(** Number of edges in the CFG. *)
+let edge_count (g : t) =
+  SMap.fold (fun _ ss acc -> acc + List.length ss) g.succ 0
+
+(** Does the CFG contain a cycle (i.e. a loop)? *)
+let has_cycle (g : t) : bool =
+  let color = Hashtbl.create 16 in
+  (* 0 = white, 1 = grey, 2 = black *)
+  let rec dfs l =
+    match Hashtbl.find_opt color l with
+    | Some 1 -> true
+    | Some _ -> false
+    | None ->
+        Hashtbl.replace color l 1;
+        let cyc = List.exists dfs (successors g l) in
+        Hashtbl.replace color l 2;
+        cyc
+  in
+  dfs g.entry

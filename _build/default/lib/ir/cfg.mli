@@ -1,0 +1,30 @@
+(** Control-flow-graph queries over a function: successor and predecessor
+    maps, reachability, traversal orders. *)
+
+module SMap :
+  Map.S with type key = string and type 'a t = 'a Map.Make(String).t
+module SSet :
+  Set.S with type elt = string and type t = Set.Make(String).t
+
+type t = {
+  succ : string list SMap.t;
+  pred : string list SMap.t;
+  entry : string;
+  order : string list;  (** block labels in function order *)
+}
+
+val of_func : Func.t -> t
+
+val successors : t -> string -> string list
+val predecessors : t -> string -> string list
+
+(** Labels reachable from the entry block. *)
+val reachable : t -> SSet.t
+
+(** Reverse post-order over reachable blocks. *)
+val reverse_postorder : t -> string list
+
+val edge_count : t -> int
+
+(** Does the CFG contain a cycle (i.e. a loop)? *)
+val has_cycle : t -> bool

@@ -1,0 +1,103 @@
+(** Dominator tree and dominance frontiers, via the Cooper–Harvey–Kennedy
+    iterative algorithm.  Needed by SSA construction (mem2reg). *)
+
+module SMap = Map.Make (String)
+
+type t = {
+  idom : string SMap.t;  (** immediate dominator of each non-entry block *)
+  frontier : string list SMap.t;
+  rpo : string list;
+}
+
+let compute (g : Cfg.t) : t =
+  let rpo = Cfg.reverse_postorder g in
+  let index = Hashtbl.create 16 in
+  List.iteri (fun i l -> Hashtbl.replace index l i) rpo;
+  let idom = Hashtbl.create 16 in
+  Hashtbl.replace idom g.Cfg.entry g.Cfg.entry;
+  let intersect a b =
+    (* walk up the (partial) dominator tree by rpo index *)
+    let rec go a b =
+      if a = b then a
+      else
+        let ia = Hashtbl.find index a and ib = Hashtbl.find index b in
+        if ia > ib then go (Hashtbl.find idom a) b else go a (Hashtbl.find idom b)
+    in
+    go a b
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun l ->
+        if l <> g.Cfg.entry then
+          let processed_preds =
+            List.filter
+              (fun p -> Hashtbl.mem idom p && Hashtbl.mem index p)
+              (Cfg.predecessors g l)
+          in
+          match processed_preds with
+          | [] -> ()
+          | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              if Hashtbl.find_opt idom l <> Some new_idom then (
+                Hashtbl.replace idom l new_idom;
+                changed := true))
+      rpo
+  done;
+  let idom_map =
+    Hashtbl.fold
+      (fun l d acc -> if l = g.Cfg.entry then acc else SMap.add l d acc)
+      idom SMap.empty
+  in
+  (* dominance frontiers *)
+  let frontier = Hashtbl.create 16 in
+  List.iter (fun l -> Hashtbl.replace frontier l []) rpo;
+  List.iter
+    (fun l ->
+      let preds =
+        List.filter (fun p -> Hashtbl.mem index p) (Cfg.predecessors g l)
+      in
+      if List.length preds >= 2 then
+        List.iter
+          (fun p ->
+            let rec runner r =
+              if
+                r <> (match SMap.find_opt l idom_map with Some d -> d | None -> g.Cfg.entry)
+              then (
+                let cur = try Hashtbl.find frontier r with Not_found -> [] in
+                if not (List.mem l cur) then Hashtbl.replace frontier r (l :: cur);
+                match SMap.find_opt r idom_map with
+                | Some d when d <> r -> runner d
+                | _ -> ())
+            in
+            runner p)
+          preds)
+    rpo;
+  let frontier_map =
+    Hashtbl.fold (fun l fs acc -> SMap.add l fs acc) frontier SMap.empty
+  in
+  { idom = idom_map; frontier = frontier_map; rpo }
+
+let idom (d : t) (l : string) : string option = SMap.find_opt l d.idom
+
+let frontier_of (d : t) (l : string) : string list =
+  Option.value (SMap.find_opt l d.frontier) ~default:[]
+
+(** Does block [a] dominate block [b]?  (Reflexive.) *)
+let dominates (d : t) (a : string) (b : string) : bool =
+  let rec up b = if a = b then true else
+    match SMap.find_opt b d.idom with
+    | Some p when p <> b -> up p
+    | _ -> false
+  in
+  up b
+
+(** Children map of the dominator tree. *)
+let children (d : t) : string list SMap.t =
+  SMap.fold
+    (fun l p acc ->
+      SMap.update p
+        (function None -> Some [ l ] | Some ls -> Some (l :: ls))
+        acc)
+    d.idom SMap.empty

@@ -1,0 +1,26 @@
+(** Dominator tree and dominance frontiers (Cooper–Harvey–Kennedy), the
+    foundation of SSA construction and loop detection. *)
+
+module SMap :
+  Map.S with type key = string and type 'a t = 'a Map.Make(String).t
+
+type t = {
+  idom : string SMap.t;  (** immediate dominator of each non-entry block *)
+  frontier : string list SMap.t;
+  rpo : string list;
+}
+
+val compute : Cfg.t -> t
+
+(** Immediate dominator, or [None] for the entry block / unreachable
+    blocks. *)
+val idom : t -> string -> string option
+
+(** Dominance frontier of a block (possibly empty). *)
+val frontier_of : t -> string -> string list
+
+(** Does [a] dominate [b]?  Reflexive. *)
+val dominates : t -> string -> string -> bool
+
+(** Children map of the dominator tree. *)
+val children : t -> string list SMap.t

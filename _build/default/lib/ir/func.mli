@@ -1,0 +1,53 @@
+(** Functions: parameters, a return type, and an ordered list of basic
+    blocks (the first is the entry).  [next_id] / [next_label] are
+    high-water marks letting passes mint fresh SSA names and labels. *)
+
+type t = {
+  name : string;
+  params : (int * Types.t) list;  (** SSA id and type of each parameter *)
+  ret : Types.t;
+  blocks : Block.t list;
+  next_id : int;
+  next_label : int;
+}
+
+(** Build a function; high-water marks are derived from the contents. *)
+val make :
+  name:string ->
+  params:(int * Types.t) list ->
+  ret:Types.t ->
+  blocks:Block.t list ->
+  t
+
+(** @raise Invalid_argument when the function has no blocks *)
+val entry : t -> Block.t
+
+val find_block : t -> string -> Block.t option
+
+(** @raise Invalid_argument when absent *)
+val find_block_exn : t -> string -> Block.t
+
+(** Replace a block, matched by label. *)
+val update_block : t -> Block.t -> t
+
+val map_blocks : (Block.t -> Block.t) -> t -> t
+
+(** Allocate [n] fresh SSA ids; returns the first and the updated function. *)
+val fresh_ids : t -> int -> int * t
+
+val fresh_label : t -> string -> string * t
+
+(** All instructions, in block order (terminators excluded). *)
+val instrs : t -> Instr.t list
+
+(** All opcodes executed, terminators included. *)
+val opcodes : t -> Opcode.t list
+
+(** Instruction count, terminators included. *)
+val instr_count : t -> int
+
+(** Map from SSA id to defining instruction. *)
+val definitions : t -> (int, Instr.t) Hashtbl.t
+
+(** Rewrite every operand (instructions and terminators) with [g]. *)
+val map_values : (Value.t -> Value.t) -> t -> t

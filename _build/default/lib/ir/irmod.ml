@@ -1,0 +1,39 @@
+(** Compilation units: a set of functions plus global variables.  Execution
+    starts at [main]. *)
+
+type global = {
+  gname : string;
+  gty : Types.t;
+  ginit : int64 array;  (** flat word-level initialiser (zeros if absent) *)
+}
+
+type t = { mname : string; globals : global list; funcs : Func.t list }
+
+let make ?(globals = []) ~name funcs = { mname = name; globals; funcs }
+
+let find_func (m : t) (name : string) : Func.t option =
+  List.find_opt (fun (f : Func.t) -> f.Func.name = name) m.funcs
+
+let find_func_exn (m : t) name =
+  match find_func m name with
+  | Some f -> f
+  | None -> invalid_arg (Printf.sprintf "Irmod.find_func: no function %s" name)
+
+let find_global (m : t) (name : string) : global option =
+  List.find_opt (fun g -> g.gname = name) m.globals
+
+let map_funcs (g : Func.t -> Func.t) (m : t) : t =
+  { m with funcs = List.map g m.funcs }
+
+let update_func (m : t) (f : Func.t) : t =
+  {
+    m with
+    funcs =
+      List.map (fun (f' : Func.t) -> if f'.Func.name = f.Func.name then f else f') m.funcs;
+  }
+
+(** All opcodes of the module; the raw material of the histogram embedding. *)
+let opcodes (m : t) : Opcode.t list = List.concat_map Func.opcodes m.funcs
+
+let instr_count (m : t) =
+  List.fold_left (fun acc f -> acc + Func.instr_count f) 0 m.funcs

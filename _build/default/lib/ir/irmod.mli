@@ -1,0 +1,29 @@
+(** Compilation units: functions plus global variables.  Execution starts
+    at [main]. *)
+
+type global = {
+  gname : string;
+  gty : Types.t;
+  ginit : int64 array;  (** flat word-level initialiser (zeros if short) *)
+}
+
+type t = { mname : string; globals : global list; funcs : Func.t list }
+
+val make : ?globals:global list -> name:string -> Func.t list -> t
+
+val find_func : t -> string -> Func.t option
+
+(** @raise Invalid_argument when absent *)
+val find_func_exn : t -> string -> Func.t
+
+val find_global : t -> string -> global option
+val map_funcs : (Func.t -> Func.t) -> t -> t
+
+(** Replace a function, matched by name. *)
+val update_func : t -> Func.t -> t
+
+(** All opcodes of the module: the raw material of the histogram
+    embedding. *)
+val opcodes : t -> Opcode.t list
+
+val instr_count : t -> int

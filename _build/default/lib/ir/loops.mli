@@ -1,0 +1,26 @@
+(** Natural-loop detection: back edges via dominance, loop bodies by
+    backward reachability. *)
+
+module SSet :
+  Set.S with type elt = string and type t = Set.Make(String).t
+module SMap :
+  Map.S with type key = string and type 'a t = 'a Map.Make(String).t
+
+type loop = {
+  header : string;
+  latches : string list;  (** sources of back edges into the header *)
+  body : SSet.t;  (** blocks of the loop, header included *)
+}
+
+type t = { loops : loop list }
+
+val compute : Cfg.t -> Dominance.t -> t
+val of_func : Func.t -> t
+
+(** Loops ordered by body size, ascending (inner loops first). *)
+val innermost_first : t -> loop list
+
+(** Loop-nesting depth of each block (absent = not in any loop). *)
+val depth_map : t -> int SMap.t
+
+val loop_count : t -> int

@@ -1,0 +1,36 @@
+(** The instruction set of the miniature IR: exactly 63 opcodes, mirroring
+    the 63-dimensional opcode histogram of the paper.  Exotic opcodes
+    (vector, atomic, EH) exist in the universe — and hence in every
+    histogram's dimensionality — even though the mini-C frontend never emits
+    them, just as a C frontend exercises only part of LLVM. *)
+
+type t =
+  | Ret | Br | CondBr | Switch | Unreachable
+  | Add | Sub | Mul | SDiv | UDiv | SRem | URem
+  | Shl | LShr | AShr | And | Or | Xor
+  | FAdd | FSub | FMul | FDiv | FRem | FNeg
+  | Alloca | Load | Store | Gep
+  | Trunc | ZExt | SExt | FPTrunc | FPExt | FPToUI | FPToSI | UIToFP | SIToFP
+  | PtrToInt | IntToPtr | Bitcast | AddrSpaceCast
+  | ICmp | FCmp | Phi | Select | Call | Freeze | ExtractValue | InsertValue
+  | ExtractElement | InsertElement | ShuffleVector
+  | AtomicRMW | CmpXchg | Fence | VAArg | LandingPad | Resume | Invoke
+  | CallBr | CatchSwitch | CatchRet | CleanupRet
+
+(** All opcodes, in the canonical (histogram-bucket) order. *)
+val all : t list
+
+(** [List.length all] = 63: the histogram dimensionality. *)
+val count : int
+
+val to_string : t -> string
+val of_string : string -> t option
+
+(** Dense index of an opcode in [all]; addresses histogram buckets. *)
+val index : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+(** Abstract execution cost in cycles; drives the interpreter's cost model
+    (the substrate of the paper's Figure 13). *)
+val cost : t -> int

@@ -1,0 +1,57 @@
+(** Types of the miniature IR.  A deliberately small lattice: enough to type
+    the programs the mini-C frontend produces (integers of a few widths, one
+    float type, pointers and flat arrays). *)
+
+type t =
+  | Void
+  | I1
+  | I8
+  | I32
+  | I64
+  | F64
+  | Ptr of t
+  | Arr of t * int  (** element type, length *)
+
+let rec to_string = function
+  | Void -> "void"
+  | I1 -> "i1"
+  | I8 -> "i8"
+  | I32 -> "i32"
+  | I64 -> "i64"
+  | F64 -> "double"
+  | Ptr t -> to_string t ^ "*"
+  | Arr (t, n) -> Printf.sprintf "[%d x %s]" n (to_string t)
+
+let pp fmt t = Fmt.string fmt (to_string t)
+
+let equal (a : t) (b : t) = a = b
+
+let is_integer = function I1 | I8 | I32 | I64 -> true | _ -> false
+let is_float = function F64 -> true | _ -> false
+let is_pointer = function Ptr _ -> true | _ -> false
+
+(** Bit width of an integer type. *)
+let width = function
+  | I1 -> 1
+  | I8 -> 8
+  | I32 -> 32
+  | I64 -> 64
+  | t -> invalid_arg ("Types.width: not an integer type: " ^ to_string t)
+
+(** Type pointed to by a pointer type. *)
+let deref = function
+  | Ptr t -> t
+  | t -> invalid_arg ("Types.deref: not a pointer type: " ^ to_string t)
+
+(** Element type of an array or the pointee of a pointer. *)
+let element = function
+  | Arr (t, _) -> t
+  | Ptr t -> t
+  | t -> invalid_arg ("Types.element: " ^ to_string t)
+
+(** Size of a type in abstract memory cells (the interpreter's heap is
+    word-addressed: every scalar occupies one cell). *)
+let rec size_in_cells = function
+  | Void -> 0
+  | I1 | I8 | I32 | I64 | F64 | Ptr _ -> 1
+  | Arr (t, n) -> n * size_in_cells t

@@ -1,0 +1,34 @@
+(** Types of the miniature IR: integers of four widths, one float type,
+    pointers and flat arrays. *)
+
+type t =
+  | Void
+  | I1
+  | I8
+  | I32
+  | I64
+  | F64
+  | Ptr of t
+  | Arr of t * int  (** element type, length *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+
+val is_integer : t -> bool
+val is_float : t -> bool
+val is_pointer : t -> bool
+
+(** Bit width of an integer type.
+    @raise Invalid_argument on non-integer types *)
+val width : t -> int
+
+(** Pointee of a pointer type.
+    @raise Invalid_argument on non-pointer types *)
+val deref : t -> t
+
+(** Element type of an array, or pointee of a pointer. *)
+val element : t -> t
+
+(** Size in the interpreter's word-addressed memory cells. *)
+val size_in_cells : t -> int

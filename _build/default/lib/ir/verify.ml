@@ -1,0 +1,125 @@
+(** Structural well-formedness checks for functions and modules.  The
+    verifier is run by tests after every transformation pass: any pass that
+    breaks block structure, SSA dominance of definitions over uses (at block
+    granularity), or phi-node/predecessor agreement is caught here. *)
+
+module SSet = Set.Make (String)
+
+type error = { where : string; what : string }
+
+let pp_error fmt e = Fmt.pf fmt "[%s] %s" e.where e.what
+
+let check_func ?(known_funcs = SSet.empty) (f : Func.t) : error list =
+  let errs = ref [] in
+  let err where fmt_str =
+    Printf.ksprintf (fun what -> errs := { where; what } :: !errs) fmt_str
+  in
+  let labels =
+    List.fold_left
+      (fun acc (b : Block.t) -> SSet.add b.label acc)
+      SSet.empty f.blocks
+  in
+  if List.length f.blocks <> SSet.cardinal labels then
+    err f.name "duplicate block labels";
+  if f.blocks = [] then err f.name "function has no blocks";
+  let cfg = Cfg.of_func f in
+  (* 1. all branch targets exist *)
+  List.iter
+    (fun (b : Block.t) ->
+      List.iter
+        (fun s ->
+          if not (SSet.mem s labels) then
+            err b.label "branch to unknown block %s" s)
+        (Block.successors b))
+    f.blocks;
+  (* 2. definitions are unique *)
+  let defs = Hashtbl.create 64 in
+  List.iter (fun (id, _) -> Hashtbl.replace defs id ()) f.params;
+  List.iter
+    (fun (b : Block.t) ->
+      List.iter
+        (fun (i : Instr.t) ->
+          if Instr.defines i then
+            if Hashtbl.mem defs i.id then
+              err b.label "SSA id %%%d defined twice" i.id
+            else Hashtbl.replace defs i.id ())
+        b.instrs)
+    f.blocks;
+  (* 3. every used variable is defined somewhere *)
+  let check_val (b : Block.t) (v : Value.t) =
+    match v with
+    | Value.Var id ->
+        if not (Hashtbl.mem defs id) then
+          err b.label "use of undefined value %%%d" id
+    | _ -> ()
+  in
+  List.iter
+    (fun (b : Block.t) ->
+      List.iter
+        (fun (i : Instr.t) -> List.iter (check_val b) (Instr.operands i))
+        b.instrs;
+      List.iter (check_val b) (Instr.terminator_operands b.term))
+    f.blocks;
+  (* 4. phis agree with predecessors, and appear only as a block prefix *)
+  List.iter
+    (fun (b : Block.t) ->
+      let preds = SSet.of_list (Cfg.predecessors cfg b.label) in
+      let seen_non_phi = ref false in
+      List.iter
+        (fun (i : Instr.t) ->
+          match i.kind with
+          | Instr.Phi incoming ->
+              if !seen_non_phi then
+                err b.label "phi %%%d after non-phi instruction" i.id;
+              let sources = List.map snd incoming in
+              let ssources = SSet.of_list sources in
+              if List.length sources <> SSet.cardinal ssources then
+                err b.label "phi %%%d has duplicate incoming labels" i.id;
+              if not (SSet.is_empty preds) && not (SSet.equal ssources preds)
+              then
+                err b.label
+                  "phi %%%d incoming labels {%s} do not match predecessors {%s}"
+                  i.id
+                  (String.concat "," sources)
+                  (String.concat "," (SSet.elements preds))
+          | _ -> seen_non_phi := true)
+        b.instrs)
+    f.blocks;
+  (* 5. known callees (when a module context is available) *)
+  if not (SSet.is_empty known_funcs) then
+    List.iter
+      (fun (b : Block.t) ->
+        List.iter
+          (fun (i : Instr.t) ->
+            match i.kind with
+            | Instr.Call (callee, _) ->
+                if not (SSet.mem callee known_funcs) then
+                  err b.label "call to unknown function @%s" callee
+            | _ -> ())
+          b.instrs)
+      f.blocks;
+  List.rev !errs
+
+(** Names treated as runtime intrinsics by the interpreter. *)
+let intrinsics =
+  [ "read_int"; "print_int"; "read_float"; "print_float"; "abs"; "min"; "max" ]
+
+let check_module (m : Irmod.t) : error list =
+  let known =
+    List.fold_left
+      (fun acc (f : Func.t) -> SSet.add f.Func.name acc)
+      (SSet.of_list intrinsics) m.funcs
+  in
+  List.concat_map (check_func ~known_funcs:known) m.funcs
+
+(** Raise [Invalid_argument] with a report when the module is ill-formed. *)
+let assert_ok (m : Irmod.t) : unit =
+  match check_module m with
+  | [] -> ()
+  | errs ->
+      let msg =
+        Fmt.str "IR verification failed for %s:@.%a" m.mname
+          (Fmt.list ~sep:Fmt.cut pp_error)
+          errs
+      in
+      invalid_arg msg

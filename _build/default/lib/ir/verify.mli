@@ -1,0 +1,21 @@
+(** Structural well-formedness checks: block structure, unique SSA
+    definitions, no uses of undefined values, phi/predecessor agreement,
+    known callees.  Run by the test suite after every transformation. *)
+
+type error = { where : string; what : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+(** Check one function.  [known_funcs], when non-empty, also validates
+    call targets. *)
+val check_func :
+  ?known_funcs:Set.Make(String).t -> Func.t -> error list
+
+(** Function names the interpreter treats as runtime intrinsics
+    ([read_int], [print_int], ...). *)
+val intrinsics : string list
+
+val check_module : Irmod.t -> error list
+
+(** @raise Invalid_argument with a report when the module is ill-formed. *)
+val assert_ok : Irmod.t -> unit

@@ -1,0 +1,1 @@
+lib/minic/lower.ml: Ast Hashtbl Int64 List Option Printf Yali_ir

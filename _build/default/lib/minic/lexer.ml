@@ -1,0 +1,133 @@
+(** Hand-written lexer for mini-C. *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  | KW_INT | KW_DOUBLE | KW_VOID
+  | KW_IF | KW_ELSE | KW_WHILE | KW_DO | KW_FOR | KW_SWITCH | KW_CASE
+  | KW_DEFAULT | KW_BREAK | KW_CONTINUE | KW_RETURN
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA | COLON | QUESTION
+  | ASSIGN
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | LT | LE | GT | GE | EQ | NE
+  | AMPAMP | BARBAR | AMP | BAR | CARET | TILDE | BANG | SHL | SHR
+  | EOF
+
+exception Lex_error of string * int  (** message, position *)
+
+let keyword_of = function
+  | "int" -> Some KW_INT
+  | "double" -> Some KW_DOUBLE
+  | "void" -> Some KW_VOID
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "while" -> Some KW_WHILE
+  | "do" -> Some KW_DO
+  | "for" -> Some KW_FOR
+  | "switch" -> Some KW_SWITCH
+  | "case" -> Some KW_CASE
+  | "default" -> Some KW_DEFAULT
+  | "break" -> Some KW_BREAK
+  | "continue" -> Some KW_CONTINUE
+  | "return" -> Some KW_RETURN
+  | _ -> None
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let tokenize (src : string) : token list =
+  let n = String.length src in
+  let toks = ref [] in
+  let emit t = toks := t :: !toks in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '/' && peek 1 = Some '/' then (
+      while !i < n && src.[!i] <> '\n' do incr i done)
+    else if c = '/' && peek 1 = Some '*' then (
+      i := !i + 2;
+      let fin = ref false in
+      while (not !fin) && !i < n do
+        if src.[!i] = '*' && peek 1 = Some '/' then (
+          i := !i + 2;
+          fin := true)
+        else incr i
+      done;
+      if not !fin then raise (Lex_error ("unterminated comment", !i)))
+    else if is_digit c then (
+      let start = !i in
+      while !i < n && is_digit src.[!i] do incr i done;
+      if !i < n && src.[!i] = '.' then (
+        incr i;
+        while !i < n && is_digit src.[!i] do incr i done;
+        emit (FLOAT (float_of_string (String.sub src start (!i - start)))))
+      else emit (INT (int_of_string (String.sub src start (!i - start)))))
+    else if is_ident_start c then (
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do incr i done;
+      let word = String.sub src start (!i - start) in
+      match keyword_of word with
+      | Some kw -> emit kw
+      | None -> emit (IDENT word))
+    else (
+      let two t = emit t; i := !i + 2 in
+      let one t = emit t; incr i in
+      match (c, peek 1) with
+      | '&', Some '&' -> two AMPAMP
+      | '|', Some '|' -> two BARBAR
+      | '=', Some '=' -> two EQ
+      | '!', Some '=' -> two NE
+      | '<', Some '=' -> two LE
+      | '>', Some '=' -> two GE
+      | '<', Some '<' -> two SHL
+      | '>', Some '>' -> two SHR
+      | '(', _ -> one LPAREN
+      | ')', _ -> one RPAREN
+      | '{', _ -> one LBRACE
+      | '}', _ -> one RBRACE
+      | '[', _ -> one LBRACKET
+      | ']', _ -> one RBRACKET
+      | ';', _ -> one SEMI
+      | ',', _ -> one COMMA
+      | ':', _ -> one COLON
+      | '?', _ -> one QUESTION
+      | '=', _ -> one ASSIGN
+      | '+', _ -> one PLUS
+      | '-', _ -> one MINUS
+      | '*', _ -> one STAR
+      | '/', _ -> one SLASH
+      | '%', _ -> one PERCENT
+      | '<', _ -> one LT
+      | '>', _ -> one GT
+      | '&', _ -> one AMP
+      | '|', _ -> one BAR
+      | '^', _ -> one CARET
+      | '~', _ -> one TILDE
+      | '!', _ -> one BANG
+      | _ -> raise (Lex_error (Printf.sprintf "unexpected character %c" c, !i)))
+  done;
+  emit EOF;
+  List.rev !toks
+
+let token_to_string = function
+  | INT n -> string_of_int n
+  | FLOAT f -> string_of_float f
+  | IDENT s -> s
+  | KW_INT -> "int" | KW_DOUBLE -> "double" | KW_VOID -> "void"
+  | KW_IF -> "if" | KW_ELSE -> "else" | KW_WHILE -> "while" | KW_DO -> "do"
+  | KW_FOR -> "for" | KW_SWITCH -> "switch" | KW_CASE -> "case"
+  | KW_DEFAULT -> "default" | KW_BREAK -> "break"
+  | KW_CONTINUE -> "continue" | KW_RETURN -> "return"
+  | LPAREN -> "(" | RPAREN -> ")" | LBRACE -> "{" | RBRACE -> "}"
+  | LBRACKET -> "[" | RBRACKET -> "]" | SEMI -> ";" | COMMA -> ","
+  | COLON -> ":" | QUESTION -> "?" | ASSIGN -> "="
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/" | PERCENT -> "%"
+  | LT -> "<" | LE -> "<=" | GT -> ">" | GE -> ">=" | EQ -> "==" | NE -> "!="
+  | AMPAMP -> "&&" | BARBAR -> "||" | AMP -> "&" | BAR -> "|" | CARET -> "^"
+  | TILDE -> "~" | BANG -> "!" | SHL -> "<<" | SHR -> ">>"
+  | EOF -> "<eof>"

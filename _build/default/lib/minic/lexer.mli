@@ -1,0 +1,28 @@
+(** Hand-written lexer for mini-C. *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  | KW_INT | KW_DOUBLE | KW_VOID
+  | KW_IF | KW_ELSE | KW_WHILE | KW_DO | KW_FOR | KW_SWITCH | KW_CASE
+  | KW_DEFAULT | KW_BREAK | KW_CONTINUE | KW_RETURN
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA | COLON | QUESTION
+  | ASSIGN
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | LT | LE | GT | GE | EQ | NE
+  | AMPAMP | BARBAR | AMP | BAR | CARET | TILDE | BANG | SHL | SHR
+  | EOF
+
+exception Lex_error of string * int  (** message, byte position *)
+
+val is_digit : char -> bool
+val is_ident_start : char -> bool
+val is_ident_char : char -> bool
+
+(** Tokenize a full source text (comments skipped); ends with [EOF].
+    @raise Lex_error on unlexable input *)
+val tokenize : string -> token list
+
+val token_to_string : token -> string

@@ -1,0 +1,18 @@
+(** Lowering from mini-C to the miniature IR, in the style of clang at
+    [-O0]: every local variable lives in an alloca slot, short-circuit
+    operators and ternaries lower to control flow through result slots, and
+    literal constant expressions are folded during lowering (which is what
+    dissolves naive source-level constant unfolding before it reaches the
+    IR). *)
+
+exception Lower_error of string
+
+(** Frontend constant folding over literal expressions. *)
+val fold_expr : Ast.expr -> Ast.expr
+
+(** Lower one function.
+    @raise Lower_error on unbound names or arity mismatches *)
+val lower_func : Ast.program -> Ast.func -> Yali_ir.Func.t
+
+(** Lower a full program to an IR module. *)
+val lower_program : ?name:string -> Ast.program -> Yali_ir.Irmod.t

@@ -1,0 +1,337 @@
+(** Recursive-descent parser for mini-C with precedence-climbing expression
+    parsing.  Grammar mirrors what {!Pp} prints, so pretty-printed programs
+    round-trip. *)
+
+open Ast
+open Lexer
+
+exception Parse_error of string
+
+type st = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> EOF | t :: _ -> t
+
+let advance st =
+  match st.toks with
+  | [] -> raise (Parse_error "unexpected end of input")
+  | t :: rest ->
+      st.toks <- rest;
+      t
+
+let expect st t =
+  let got = advance st in
+  if got <> t then
+    raise
+      (Parse_error
+         (Printf.sprintf "expected %s, got %s" (token_to_string t)
+            (token_to_string got)))
+
+let parse_ty st =
+  match advance st with
+  | KW_INT -> TInt
+  | KW_DOUBLE -> TFloat
+  | KW_VOID -> TVoid
+  | t -> raise (Parse_error ("expected type, got " ^ token_to_string t))
+
+let binop_of_token = function
+  | PLUS -> Some Add | MINUS -> Some Sub | STAR -> Some Mul
+  | SLASH -> Some Div | PERCENT -> Some Mod
+  | LT -> Some Lt | LE -> Some Le | GT -> Some Gt | GE -> Some Ge
+  | EQ -> Some Eq | NE -> Some Ne
+  | AMPAMP -> Some LAnd | BARBAR -> Some LOr
+  | AMP -> Some BAnd | BAR -> Some BOr | CARET -> Some BXor
+  | SHL -> Some Shl | SHR -> Some Shr
+  | _ -> None
+
+let rec parse_expr st = parse_ternary st
+
+and parse_ternary st =
+  let c = parse_binary st 1 in
+  match peek st with
+  | QUESTION ->
+      ignore (advance st);
+      let a = parse_expr st in
+      expect st COLON;
+      let b = parse_expr st in
+      Ternary (c, a, b)
+  | _ -> c
+
+and parse_binary st min_prec =
+  let lhs = ref (parse_unary st) in
+  let continue = ref true in
+  while !continue do
+    match binop_of_token (peek st) with
+    | Some op when Pp.prec_of op >= min_prec ->
+        ignore (advance st);
+        let rhs = parse_binary st (Pp.prec_of op + 1) in
+        lhs := Bin (op, !lhs, rhs)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_unary st =
+  match peek st with
+  | MINUS ->
+      ignore (advance st);
+      Un (Neg, parse_unary st)
+  | BANG ->
+      ignore (advance st);
+      Un (LNot, parse_unary st)
+  | TILDE ->
+      ignore (advance st);
+      Un (BNot, parse_unary st)
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match advance st with
+  | INT n -> IntLit n
+  | FLOAT f -> FloatLit f
+  | LPAREN ->
+      let e = parse_expr st in
+      expect st RPAREN;
+      e
+  | IDENT name -> (
+      match peek st with
+      | LPAREN ->
+          ignore (advance st);
+          let args = parse_args st in
+          Call (name, args)
+      | LBRACKET ->
+          ignore (advance st);
+          let i = parse_expr st in
+          expect st RBRACKET;
+          Index (name, i)
+      | _ -> Var name)
+  | t -> raise (Parse_error ("unexpected token in expression: " ^ token_to_string t))
+
+and parse_args st =
+  match peek st with
+  | RPAREN ->
+      ignore (advance st);
+      []
+  | _ ->
+      let rec go acc =
+        let e = parse_expr st in
+        match advance st with
+        | COMMA -> go (e :: acc)
+        | RPAREN -> List.rev (e :: acc)
+        | t -> raise (Parse_error ("in arguments: " ^ token_to_string t))
+      in
+      go []
+
+let rec parse_stmt st : stmt =
+  match peek st with
+  | KW_INT | KW_DOUBLE -> parse_decl st
+  | KW_IF ->
+      ignore (advance st);
+      expect st LPAREN;
+      let c = parse_expr st in
+      expect st RPAREN;
+      let t = parse_block st in
+      let e =
+        match peek st with
+        | KW_ELSE ->
+            ignore (advance st);
+            parse_block st
+        | _ -> []
+      in
+      If (c, t, e)
+  | KW_WHILE ->
+      ignore (advance st);
+      expect st LPAREN;
+      let c = parse_expr st in
+      expect st RPAREN;
+      While (c, parse_block st)
+  | KW_DO ->
+      ignore (advance st);
+      let b = parse_block st in
+      expect st KW_WHILE;
+      expect st LPAREN;
+      let c = parse_expr st in
+      expect st RPAREN;
+      expect st SEMI;
+      DoWhile (b, c)
+  | KW_FOR ->
+      ignore (advance st);
+      expect st LPAREN;
+      let init =
+        match peek st with
+        | SEMI -> None
+        | KW_INT | KW_DOUBLE ->
+            let t = parse_ty st in
+            let n = parse_ident st in
+            expect st ASSIGN;
+            Some (Decl (t, n, Some (parse_expr st)))
+        | _ ->
+            let n = parse_ident st in
+            expect st ASSIGN;
+            Some (Assign (n, parse_expr st))
+      in
+      expect st SEMI;
+      let cond = match peek st with SEMI -> None | _ -> Some (parse_expr st) in
+      expect st SEMI;
+      let step =
+        match peek st with
+        | RPAREN -> None
+        | _ ->
+            let n = parse_ident st in
+            expect st ASSIGN;
+            Some (Assign (n, parse_expr st))
+      in
+      expect st RPAREN;
+      For (init, cond, step, parse_block st)
+  | KW_SWITCH ->
+      ignore (advance st);
+      expect st LPAREN;
+      let e = parse_expr st in
+      expect st RPAREN;
+      expect st LBRACE;
+      let cases = ref [] in
+      let default = ref [] in
+      let fin = ref false in
+      while not !fin do
+        match advance st with
+        | KW_CASE ->
+            let k =
+              match advance st with
+              | INT n -> n
+              | MINUS -> (
+                  match advance st with
+                  | INT n -> -n
+                  | t -> raise (Parse_error ("case label: " ^ token_to_string t)))
+              | t -> raise (Parse_error ("case label: " ^ token_to_string t))
+            in
+            expect st COLON;
+            let body = parse_block st in
+            (* the pretty-printer emits an explicit break at the end of a
+               case block; strip it back out *)
+            let body =
+              match List.rev body with Break :: r -> List.rev r | _ -> body
+            in
+            cases := (k, body) :: !cases
+        | KW_DEFAULT ->
+            expect st COLON;
+            default := parse_block st
+        | RBRACE -> fin := true
+        | t -> raise (Parse_error ("in switch: " ^ token_to_string t))
+      done;
+      Switch (e, List.rev !cases, !default)
+  | KW_BREAK ->
+      ignore (advance st);
+      expect st SEMI;
+      Break
+  | KW_CONTINUE ->
+      ignore (advance st);
+      expect st SEMI;
+      Continue
+  | KW_RETURN ->
+      ignore (advance st);
+      let e = match peek st with SEMI -> None | _ -> Some (parse_expr st) in
+      expect st SEMI;
+      Return e
+  | LBRACE -> Block (parse_block st)
+  | IDENT name -> (
+      ignore (advance st);
+      match peek st with
+      | ASSIGN ->
+          ignore (advance st);
+          let e = parse_expr st in
+          expect st SEMI;
+          Assign (name, e)
+      | LBRACKET ->
+          ignore (advance st);
+          let i = parse_expr st in
+          expect st RBRACKET;
+          (match peek st with
+          | ASSIGN ->
+              ignore (advance st);
+              let e = parse_expr st in
+              expect st SEMI;
+              AssignIdx (name, i, e)
+          | _ ->
+              (* expression statement starting with an index read *)
+              expect st SEMI;
+              Expr (Index (name, i)))
+      | LPAREN ->
+          ignore (advance st);
+          let args = parse_args st in
+          expect st SEMI;
+          Expr (Call (name, args))
+      | _ ->
+          expect st SEMI;
+          Expr (Var name))
+  | _ ->
+      let e = parse_expr st in
+      expect st SEMI;
+      Expr e
+
+and parse_decl st : stmt =
+  let t = parse_ty st in
+  let n = parse_ident st in
+  match peek st with
+  | LBRACKET ->
+      ignore (advance st);
+      let sz =
+        match advance st with
+        | INT k -> k
+        | tk -> raise (Parse_error ("array size: " ^ token_to_string tk))
+      in
+      expect st RBRACKET;
+      expect st SEMI;
+      DeclArr (n, sz)
+  | ASSIGN ->
+      ignore (advance st);
+      let e = parse_expr st in
+      expect st SEMI;
+      Decl (t, n, Some e)
+  | _ ->
+      expect st SEMI;
+      Decl (t, n, None)
+
+and parse_ident st =
+  match advance st with
+  | IDENT n -> n
+  | t -> raise (Parse_error ("expected identifier, got " ^ token_to_string t))
+
+and parse_block st : stmt list =
+  expect st LBRACE;
+  let rec go acc =
+    match peek st with
+    | RBRACE ->
+        ignore (advance st);
+        List.rev acc
+    | _ -> go (parse_stmt st :: acc)
+  in
+  go []
+
+let parse_func st : func =
+  let fret = parse_ty st in
+  let fname = parse_ident st in
+  expect st LPAREN;
+  let fparams =
+    match peek st with
+    | RPAREN ->
+        ignore (advance st);
+        []
+    | _ ->
+        let rec go acc =
+          let t = parse_ty st in
+          let n = parse_ident st in
+          match advance st with
+          | COMMA -> go ((t, n) :: acc)
+          | RPAREN -> List.rev ((t, n) :: acc)
+          | tk -> raise (Parse_error ("in parameters: " ^ token_to_string tk))
+        in
+        go []
+  in
+  let fbody = parse_block st in
+  { fname; fparams; fret; fbody }
+
+let parse_program (src : string) : program =
+  let st = { toks = tokenize src } in
+  let rec go acc =
+    match peek st with
+    | EOF -> { pfuncs = List.rev acc }
+    | _ -> go (parse_func st :: acc)
+  in
+  go []

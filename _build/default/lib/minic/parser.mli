@@ -1,0 +1,9 @@
+(** Recursive-descent parser for mini-C, with precedence-climbing expression
+    parsing.  The grammar mirrors what {!Pp} prints, so pretty-printed
+    programs round-trip. *)
+
+exception Parse_error of string
+
+(** @raise Parse_error on malformed input
+    @raise Lexer.Lex_error on unlexable input *)
+val parse_program : string -> Ast.program

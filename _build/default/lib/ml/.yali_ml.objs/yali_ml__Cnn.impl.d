@@ -1,0 +1,1 @@
+lib/ml/cnn.ml: Array Features Fun Nn Yali_util

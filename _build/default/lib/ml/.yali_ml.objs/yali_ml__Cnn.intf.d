@@ -1,0 +1,1 @@
+lib/ml/cnn.mli: Yali_util

@@ -1,0 +1,1 @@
+lib/ml/dgcnn.ml: Array Float Fun List Matrix Nn Yali_embeddings Yali_util

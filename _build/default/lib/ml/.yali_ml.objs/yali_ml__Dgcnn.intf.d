@@ -1,0 +1,1 @@
+lib/ml/dgcnn.mli: Yali_embeddings Yali_util

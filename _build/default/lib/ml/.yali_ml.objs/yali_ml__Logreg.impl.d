@@ -1,0 +1,1 @@
+lib/ml/logreg.ml: Array Features Fun Matrix Yali_util

@@ -1,0 +1,1 @@
+lib/ml/mlp.ml: Array Features Fun Nn Yali_util

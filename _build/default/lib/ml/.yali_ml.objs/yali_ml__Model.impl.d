@@ -1,0 +1,1 @@
+lib/ml/model.ml: Cnn Dgcnn Features Knn List Logreg Mlp Random_forest Svm Yali_embeddings Yali_util

@@ -1,0 +1,1 @@
+lib/ml/model.mli: Yali_embeddings Yali_util

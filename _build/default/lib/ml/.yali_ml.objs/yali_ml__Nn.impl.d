@@ -1,0 +1,1 @@
+lib/ml/nn.ml: Array List Matrix Option Yali_util

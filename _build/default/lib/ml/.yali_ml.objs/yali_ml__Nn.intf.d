@@ -1,0 +1,1 @@
+lib/ml/nn.mli: Yali_util

@@ -1,0 +1,1 @@
+lib/ml/svm.ml: Array Features Matrix Yali_util

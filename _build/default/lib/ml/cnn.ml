@@ -1,0 +1,80 @@
+(** The flat-input truncation of Zhang et al.'s DGCNN that the paper calls
+    [cnn] (§3.2): the four graph-convolution layers are dropped (they "find
+    no service" on array embeddings) and the remaining stack — 1-D
+    convolution, max pooling, a second 1-D convolution, dense + dropout,
+    dense classifier — consumes the flat vector directly. *)
+
+module Rng = Yali_util.Rng
+
+type t = { scaler : Features.scaler; net : Nn.t }
+
+type params = { epochs : int; lr : float }
+
+let default_params = { epochs = 30; lr = 0.01 }
+
+let build_net (rng : Rng.t) ~(d_in : int) ~(n_classes : int) : Nn.t =
+  if d_in < 16 then
+    (* narrow inputs: the convolutional front end finds no service (cf. the
+       paper's remark about graph layers on flat inputs); use the dense
+       tail only *)
+    {
+      Nn.layers =
+        [
+          Nn.dense rng ~d_in ~d_out:64;
+          Nn.relu ();
+          Nn.dropout 0.2;
+          Nn.dense rng ~d_in:64 ~d_out:n_classes;
+        ];
+      n_classes;
+    }
+  else begin
+    (* kernel sizes keep intermediate lengths even, so that flat max pooling
+       never straddles a channel boundary *)
+    let c1 = 8 and k1 = if d_in mod 2 = 0 then 5 else 4 and c2 = 8 in
+    let l1 = d_in - k1 + 1 in
+    let l1p = l1 / 2 in
+    let k2 = min 5 l1p in
+    let l2 = l1p - k2 + 1 in
+    let flat = c2 * l2 in
+    {
+      Nn.layers =
+        [
+          Nn.conv1d rng ~c_in:1 ~c_out:c1 ~kernel:k1 ~stride:1;
+          Nn.relu ();
+          Nn.maxpool 2;
+          Nn.conv1d rng ~c_in:c1 ~c_out:c2 ~kernel:k2 ~stride:1;
+          Nn.relu ();
+          Nn.dense rng ~d_in:flat ~d_out:64;
+          Nn.relu ();
+          Nn.dropout 0.2;
+          Nn.dense rng ~d_in:64 ~d_out:n_classes;
+        ];
+      n_classes;
+    }
+  end
+
+let train ?(params = default_params) (rng : Rng.t) ~(n_classes : int)
+    (xs : float array array) (ys : int array) : t =
+  let scaler, xs = Features.fit_transform xs in
+  let d = if Array.length xs = 0 then 0 else Array.length xs.(0) in
+  let net = build_net rng ~d_in:d ~n_classes in
+  let n = Array.length xs in
+  let order = Array.init n Fun.id in
+  for epoch = 0 to params.epochs - 1 do
+    let lr = params.lr /. (1.0 +. (0.05 *. float_of_int epoch)) in
+    for i = n - 1 downto 1 do
+      let j = Rng.int rng (i + 1) in
+      let tmp = order.(i) in
+      order.(i) <- order.(j);
+      order.(j) <- tmp
+    done;
+    Array.iter
+      (fun i -> ignore (Nn.train_step ~lr ~rng net xs.(i) ys.(i)))
+      order
+  done;
+  { scaler; net }
+
+let predict (t : t) (x : float array) : int =
+  Nn.predict t.net (Features.transform t.scaler x)
+
+let size_bytes (t : t) : int = Nn.size_bytes t.net

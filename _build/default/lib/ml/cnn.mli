@@ -1,0 +1,21 @@
+(** The flat-input truncation of Zhang et al.'s DGCNN that the paper calls
+    [cnn] (§3.2): 1-D convolution, max pooling, a second convolution, dense
+    + dropout, dense classifier.  On inputs too narrow for the convolutional
+    front end, only the dense tail is used. *)
+
+type t
+
+type params = { epochs : int; lr : float }
+
+val default_params : params
+
+val train :
+  ?params:params ->
+  Yali_util.Rng.t ->
+  n_classes:int ->
+  float array array ->
+  int array ->
+  t
+
+val predict : t -> float array -> int
+val size_bytes : t -> int

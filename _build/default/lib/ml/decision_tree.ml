@@ -1,0 +1,138 @@
+(** CART decision trees with Gini impurity.  Supports per-split random
+    feature subsampling, which {!Random_forest} uses. *)
+
+module Rng = Yali_util.Rng
+
+type node =
+  | Leaf of int  (** predicted class *)
+  | Split of { feature : int; threshold : float; left : node; right : node }
+
+type t = { root : node; n_classes : int }
+
+type params = {
+  max_depth : int;
+  min_samples_split : int;
+  features_per_split : int option;  (** [None] = all features *)
+}
+
+let default_params =
+  { max_depth = 18; min_samples_split = 2; features_per_split = None }
+
+let majority ~(n_classes : int) (ys : int array) (idx : int array) : int =
+  let counts = Array.make n_classes 0 in
+  Array.iter (fun i -> counts.(ys.(i)) <- counts.(ys.(i)) + 1) idx;
+  let best = ref 0 in
+  Array.iteri (fun c k -> if k > counts.(!best) then best := c) counts;
+  !best
+
+let gini_of_counts (counts : int array) (total : int) : float =
+  if total = 0 then 0.0
+  else begin
+    let acc = ref 1.0 in
+    Array.iter
+      (fun k ->
+        let p = float_of_int k /. float_of_int total in
+        acc := !acc -. (p *. p))
+      counts;
+    !acc
+  end
+
+(* Best (feature, threshold) for the sample subset [idx], scanning candidate
+   features with a sort-based sweep. *)
+let best_split ~(n_classes : int) (xs : float array array) (ys : int array)
+    (idx : int array) (features : int list) : (int * float * float) option =
+  let n = Array.length idx in
+  let parent_counts = Array.make n_classes 0 in
+  Array.iter (fun i -> parent_counts.(ys.(i)) <- parent_counts.(ys.(i)) + 1) idx;
+  let parent_gini = gini_of_counts parent_counts n in
+  let best = ref None in
+  List.iter
+    (fun f ->
+      (* sort indices by feature value *)
+      let sorted = Array.copy idx in
+      Array.sort (fun a b -> compare xs.(a).(f) xs.(b).(f)) sorted;
+      let left_counts = Array.make n_classes 0 in
+      let right_counts = Array.copy parent_counts in
+      for k = 0 to n - 2 do
+        let i = sorted.(k) in
+        left_counts.(ys.(i)) <- left_counts.(ys.(i)) + 1;
+        right_counts.(ys.(i)) <- right_counts.(ys.(i)) - 1;
+        let v = xs.(i).(f) and v' = xs.(sorted.(k + 1)).(f) in
+        if v < v' then begin
+          let nl = k + 1 and nr = n - k - 1 in
+          let g =
+            (float_of_int nl *. gini_of_counts left_counts nl
+            +. float_of_int nr *. gini_of_counts right_counts nr)
+            /. float_of_int n
+          in
+          let gain = parent_gini -. g in
+          let thr = (v +. v') /. 2.0 in
+          match !best with
+          | Some (_, _, best_gain) when best_gain >= gain -> ()
+          | _ -> best := Some (f, thr, gain)
+        end
+      done)
+    features;
+  match !best with
+  | Some (f, thr, gain) when gain > 1e-12 -> Some (f, thr, gain)
+  | _ -> None
+
+let train ?(params = default_params) (rng : Rng.t) ~(n_classes : int)
+    (xs : float array array) (ys : int array) : t =
+  let d = if Array.length xs = 0 then 0 else Array.length xs.(0) in
+  let all_features = List.init d Fun.id in
+  let pick_features () =
+    match params.features_per_split with
+    | None -> all_features
+    | Some k -> Rng.sample rng (min k d) all_features
+  in
+  let rec grow (idx : int array) (depth : int) : node =
+    let pure =
+      Array.length idx > 0
+      && Array.for_all (fun i -> ys.(i) = ys.(idx.(0))) idx
+    in
+    if
+      pure || depth >= params.max_depth
+      || Array.length idx < params.min_samples_split
+    then Leaf (majority ~n_classes ys idx)
+    else
+      match best_split ~n_classes xs ys idx (pick_features ()) with
+      | None -> Leaf (majority ~n_classes ys idx)
+      | Some (feature, threshold, _) ->
+          let left_idx =
+            Array.of_seq
+              (Seq.filter (fun i -> xs.(i).(feature) <= threshold)
+                 (Array.to_seq idx))
+          in
+          let right_idx =
+            Array.of_seq
+              (Seq.filter (fun i -> xs.(i).(feature) > threshold)
+                 (Array.to_seq idx))
+          in
+          if Array.length left_idx = 0 || Array.length right_idx = 0 then
+            Leaf (majority ~n_classes ys idx)
+          else
+            Split
+              {
+                feature;
+                threshold;
+                left = grow left_idx (depth + 1);
+                right = grow right_idx (depth + 1);
+              }
+  in
+  let idx = Array.init (Array.length xs) Fun.id in
+  { root = grow idx 0; n_classes }
+
+let predict (t : t) (x : float array) : int =
+  let rec go = function
+    | Leaf c -> c
+    | Split { feature; threshold; left; right } ->
+        if x.(feature) <= threshold then go left else go right
+  in
+  go t.root
+
+let rec node_count = function
+  | Leaf _ -> 1
+  | Split { left; right; _ } -> 1 + node_count left + node_count right
+
+let size_bytes (t : t) : int = node_count t.root * 40

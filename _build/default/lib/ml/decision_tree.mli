@@ -1,0 +1,28 @@
+(** CART decision trees with Gini impurity and optional per-split random
+    feature subsampling ({!Random_forest}'s building block). *)
+
+type node =
+  | Leaf of int  (** predicted class *)
+  | Split of { feature : int; threshold : float; left : node; right : node }
+
+type t = { root : node; n_classes : int }
+
+type params = {
+  max_depth : int;
+  min_samples_split : int;
+  features_per_split : int option;  (** [None] = all features *)
+}
+
+val default_params : params
+
+val train :
+  ?params:params ->
+  Yali_util.Rng.t ->
+  n_classes:int ->
+  float array array ->
+  int array ->
+  t
+
+val predict : t -> float array -> int
+val node_count : node -> int
+val size_bytes : t -> int

@@ -1,0 +1,31 @@
+(** Zhang et al.'s Deep Graph Convolutional Neural Network (AAAI'18): four
+    graph-convolution layers with tanh activation, sort pooling on the last
+    (1-wide) channel, a 1-D convolutional head, and dense classification,
+    trained end-to-end with hand-written backpropagation.  Channel widths
+    are scaled down (32 → 16) so the model trains in seconds; see [params]
+    for the knobs. *)
+
+type params = {
+  gc_channels : int list;  (** graph-conv widths; last must be 1 *)
+  sortpool_k : int;
+  epochs : int;
+  lr : float;
+  max_nodes : int;
+      (** larger graphs are truncated to a prefix subgraph (scaling cap) *)
+}
+
+val default_params : params
+
+type t
+
+val train :
+  ?params:params ->
+  Yali_util.Rng.t ->
+  n_classes:int ->
+  feat_dim:int ->
+  Yali_embeddings.Graph.t array ->
+  int array ->
+  t
+
+val predict : t -> Yali_embeddings.Graph.t -> int
+val size_bytes : t -> int

@@ -1,0 +1,40 @@
+(** Feature preprocessing shared by the distance- and gradient-based models:
+    per-feature standardisation (zero mean, unit variance) fitted on the
+    training set and replayed on challenges. *)
+
+type scaler = { means : float array; stds : float array }
+
+let fit (xs : float array array) : scaler =
+  match Array.length xs with
+  | 0 -> { means = [||]; stds = [||] }
+  | n ->
+      let d = Array.length xs.(0) in
+      let means = Array.make d 0.0 and stds = Array.make d 0.0 in
+      Array.iter (fun x -> Array.iteri (fun j v -> means.(j) <- means.(j) +. v) x) xs;
+      for j = 0 to d - 1 do
+        means.(j) <- means.(j) /. float_of_int n
+      done;
+      Array.iter
+        (fun x ->
+          Array.iteri
+            (fun j v -> stds.(j) <- stds.(j) +. ((v -. means.(j)) ** 2.0))
+            x)
+        xs;
+      for j = 0 to d - 1 do
+        stds.(j) <- sqrt (stds.(j) /. float_of_int n);
+        if stds.(j) < 1e-9 then stds.(j) <- 1.0
+      done;
+      { means; stds }
+
+let transform (s : scaler) (x : float array) : float array =
+  Array.mapi (fun j v -> (v -. s.means.(j)) /. s.stds.(j)) x
+
+let fit_transform (xs : float array array) : scaler * float array array =
+  let s = fit xs in
+  (s, Array.map (transform s) xs)
+
+(** Memory footprint of a float-array-of-arrays, in bytes (8 bytes per
+    element plus header overhead); used for the paper's Figure 7 memory
+    comparison. *)
+let bytes_of_rows (xs : float array array) : int =
+  Array.fold_left (fun acc r -> acc + (8 * Array.length r) + 24) 24 xs

@@ -1,0 +1,14 @@
+(** Feature preprocessing shared by the distance- and gradient-based
+    models: per-feature standardisation fitted on the training set. *)
+
+type scaler
+
+(** Fit means and standard deviations (constant features get unit scale). *)
+val fit : float array array -> scaler
+
+val transform : scaler -> float array -> float array
+val fit_transform : float array array -> scaler * float array array
+
+(** Approximate heap footprint of a row matrix, in bytes (for the paper's
+    Figure 7 memory comparison). *)
+val bytes_of_rows : float array array -> int

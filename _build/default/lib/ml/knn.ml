@@ -1,0 +1,43 @@
+(** k-nearest-neighbour classification over standardised features (the only
+    deterministic model in the arena — the paper notes it is the one model
+    with no randomly initialised parameters). *)
+
+type t = {
+  k : int;
+  scaler : Features.scaler;
+  xs : float array array;  (** standardised training points *)
+  ys : int array;
+  n_classes : int;
+}
+
+let train ?(k = 5) ~(n_classes : int) (xs : float array array) (ys : int array)
+    : t =
+  let scaler, xs = Features.fit_transform xs in
+  { k; scaler; xs; ys; n_classes }
+
+let sq_dist (a : float array) (b : float array) : float =
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      let d = x -. b.(i) in
+      acc := !acc +. (d *. d))
+    a;
+  !acc
+
+let predict (t : t) (x : float array) : int =
+  let x = Features.transform t.scaler x in
+  let n = Array.length t.xs in
+  let k = min t.k n in
+  (* partial selection of the k nearest *)
+  let dists = Array.init n (fun i -> (sq_dist x t.xs.(i), t.ys.(i))) in
+  Array.sort (fun (a, _) (b, _) -> compare a b) dists;
+  let votes = Array.make t.n_classes 0 in
+  for i = 0 to k - 1 do
+    let _, y = dists.(i) in
+    votes.(y) <- votes.(y) + 1
+  done;
+  let best = ref 0 in
+  Array.iteri (fun c v -> if v > votes.(!best) then best := c) votes;
+  !best
+
+let size_bytes (t : t) : int = Features.bytes_of_rows t.xs + (8 * Array.length t.ys)

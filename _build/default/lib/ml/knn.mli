@@ -1,0 +1,10 @@
+(** k-nearest-neighbour classification over standardised features — the one
+    model in the arena with no randomly initialised parameters. *)
+
+type t
+
+val train :
+  ?k:int -> n_classes:int -> float array array -> int array -> t
+
+val predict : t -> float array -> int
+val size_bytes : t -> int

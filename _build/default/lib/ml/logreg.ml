@@ -1,0 +1,88 @@
+(** Multinomial logistic regression (softmax), trained with mini-batch
+    gradient descent and L2 regularisation — SciKit's [lr] counterpart. *)
+
+module Rng = Yali_util.Rng
+
+type t = {
+  scaler : Features.scaler;
+  weights : Matrix.t;  (** n_classes x d *)
+  bias : float array;
+  n_classes : int;
+}
+
+type params = { epochs : int; lr : float; l2 : float; batch : int }
+
+let default_params = { epochs = 60; lr = 0.1; l2 = 1e-4; batch = 32 }
+
+let softmax (z : float array) : float array =
+  let m = Array.fold_left max neg_infinity z in
+  let e = Array.map (fun x -> exp (x -. m)) z in
+  let s = Array.fold_left ( +. ) 0.0 e in
+  Array.map (fun x -> x /. s) e
+
+let logits (w : Matrix.t) (bias : float array) (x : float array) : float array
+    =
+  Array.init (Array.length bias) (fun c ->
+      let acc = ref bias.(c) in
+      for j = 0 to Array.length x - 1 do
+        acc := !acc +. (Matrix.get w c j *. x.(j))
+      done;
+      !acc)
+
+let argmax (v : float array) : int =
+  let best = ref 0 in
+  Array.iteri (fun i x -> if x > v.(!best) then best := i) v;
+  !best
+
+let train ?(params = default_params) (rng : Rng.t) ~(n_classes : int)
+    (xs : float array array) (ys : int array) : t =
+  let scaler, xs = Features.fit_transform xs in
+  let n = Array.length xs in
+  let d = if n = 0 then 0 else Array.length xs.(0) in
+  let w = Matrix.random rng n_classes d ~scale:0.01 in
+  let bias = Array.make n_classes 0.0 in
+  let order = Array.init n Fun.id in
+  for epoch = 0 to params.epochs - 1 do
+    let lr = params.lr /. (1.0 +. (0.05 *. float_of_int epoch)) in
+    (* shuffle *)
+    for i = n - 1 downto 1 do
+      let j = Rng.int rng (i + 1) in
+      let tmp = order.(i) in
+      order.(i) <- order.(j);
+      order.(j) <- tmp
+    done;
+    let b = ref 0 in
+    while !b < n do
+      let hi = min n (!b + params.batch) in
+      let gw = Matrix.create n_classes d and gb = Array.make n_classes 0.0 in
+      for k = !b to hi - 1 do
+        let i = order.(k) in
+        let p = softmax (logits w bias xs.(i)) in
+        for c = 0 to n_classes - 1 do
+          let err = p.(c) -. (if c = ys.(i) then 1.0 else 0.0) in
+          gb.(c) <- gb.(c) +. err;
+          for j = 0 to d - 1 do
+            Matrix.set gw c j (Matrix.get gw c j +. (err *. xs.(i).(j)))
+          done
+        done
+      done;
+      let bs = float_of_int (hi - !b) in
+      for c = 0 to n_classes - 1 do
+        bias.(c) <- bias.(c) -. (lr *. gb.(c) /. bs);
+        for j = 0 to d - 1 do
+          let wij = Matrix.get w c j in
+          Matrix.set w c j
+            (wij -. (lr *. ((Matrix.get gw c j /. bs) +. (params.l2 *. wij))))
+        done
+      done;
+      b := hi
+    done
+  done;
+  { scaler; weights = w; bias; n_classes }
+
+let predict (t : t) (x : float array) : int =
+  let x = Features.transform t.scaler x in
+  argmax (logits t.weights t.bias x)
+
+let size_bytes (t : t) : int =
+  (8 * t.weights.rows * t.weights.cols) + (8 * Array.length t.bias)

@@ -1,0 +1,19 @@
+(** Multinomial logistic regression (softmax) trained with mini-batch
+    gradient descent and L2 regularisation — SciKit's [lr] counterpart. *)
+
+type t
+
+type params = { epochs : int; lr : float; l2 : float; batch : int }
+
+val default_params : params
+
+val train :
+  ?params:params ->
+  Yali_util.Rng.t ->
+  n_classes:int ->
+  float array array ->
+  int array ->
+  t
+
+val predict : t -> float array -> int
+val size_bytes : t -> int

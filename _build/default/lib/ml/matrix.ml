@@ -1,0 +1,99 @@
+(** Dense row-major matrices.  The only numeric kernel the framework needs;
+    deliberately simple and allocation-conscious. *)
+
+type t = { rows : int; cols : int; data : float array }
+
+let create rows cols = { rows; cols; data = Array.make (rows * cols) 0.0 }
+
+let init rows cols f =
+  let m = create rows cols in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      m.data.((i * cols) + j) <- f i j
+    done
+  done;
+  m
+
+let get m i j = m.data.((i * m.cols) + j)
+let set m i j v = m.data.((i * m.cols) + j) <- v
+
+let of_rows (rows : float array array) : t =
+  match Array.length rows with
+  | 0 -> create 0 0
+  | n ->
+      let cols = Array.length rows.(0) in
+      init n cols (fun i j -> rows.(i).(j))
+
+let row (m : t) (i : int) : float array =
+  Array.sub m.data (i * m.cols) m.cols
+
+let copy (m : t) : t = { m with data = Array.copy m.data }
+
+let matmul (a : t) (b : t) : t =
+  if a.cols <> b.rows then invalid_arg "Matrix.matmul: dimension mismatch";
+  let c = create a.rows b.cols in
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = a.data.((i * a.cols) + k) in
+      if aik <> 0.0 then
+        for j = 0 to b.cols - 1 do
+          c.data.((i * c.cols) + j) <-
+            c.data.((i * c.cols) + j) +. (aik *. b.data.((k * b.cols) + j))
+        done
+    done
+  done;
+  c
+
+let transpose (m : t) : t = init m.cols m.rows (fun i j -> get m j i)
+
+let map f (m : t) : t = { m with data = Array.map f m.data }
+
+let add (a : t) (b : t) : t =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg "Matrix.add: dimension mismatch";
+  { a with data = Array.mapi (fun i x -> x +. b.data.(i)) a.data }
+
+let scale (k : float) (m : t) : t = map (fun x -> k *. x) m
+
+(** In-place y += a * x. *)
+let axpy ~(a : float) (x : t) (y : t) : unit =
+  if x.rows <> y.rows || x.cols <> y.cols then
+    invalid_arg "Matrix.axpy: dimension mismatch";
+  Array.iteri (fun i xi -> y.data.(i) <- y.data.(i) +. (a *. xi)) x.data
+
+(** Matrix–vector product. *)
+let mv (m : t) (v : float array) : float array =
+  if m.cols <> Array.length v then invalid_arg "Matrix.mv: dimension mismatch";
+  Array.init m.rows (fun i ->
+      let acc = ref 0.0 in
+      for j = 0 to m.cols - 1 do
+        acc := !acc +. (m.data.((i * m.cols) + j) *. v.(j))
+      done;
+      !acc)
+
+(** v^T M (vector–matrix product). *)
+let vm (v : float array) (m : t) : float array =
+  if m.rows <> Array.length v then invalid_arg "Matrix.vm: dimension mismatch";
+  Array.init m.cols (fun j ->
+      let acc = ref 0.0 in
+      for i = 0 to m.rows - 1 do
+        acc := !acc +. (v.(i) *. m.data.((i * m.cols) + j))
+      done;
+      !acc)
+
+let random (rng : Yali_util.Rng.t) rows cols ~scale:s =
+  init rows cols (fun _ _ -> Yali_util.Rng.gaussian rng *. s)
+
+let frobenius (m : t) : float =
+  sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 m.data)
+
+let pp fmt (m : t) =
+  Fmt.pf fmt "@[<v>";
+  for i = 0 to m.rows - 1 do
+    Fmt.pf fmt "[";
+    for j = 0 to m.cols - 1 do
+      Fmt.pf fmt "%8.3f " (get m i j)
+    done;
+    Fmt.pf fmt "]@,"
+  done;
+  Fmt.pf fmt "@]"

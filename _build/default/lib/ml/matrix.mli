@@ -1,0 +1,40 @@
+(** Dense row-major matrices: the only numeric kernel the framework needs. *)
+
+type t = { rows : int; cols : int; data : float array }
+
+val create : int -> int -> t
+val init : int -> int -> (int -> int -> float) -> t
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val of_rows : float array array -> t
+
+(** Copy of row [i]. *)
+val row : t -> int -> float array
+
+val copy : t -> t
+
+(** @raise Invalid_argument on dimension mismatch *)
+val matmul : t -> t -> t
+
+val transpose : t -> t
+val map : (float -> float) -> t -> t
+
+(** @raise Invalid_argument on dimension mismatch *)
+val add : t -> t -> t
+
+val scale : float -> t -> t
+
+(** In-place [y += a * x].  @raise Invalid_argument on dimension mismatch *)
+val axpy : a:float -> t -> t -> unit
+
+(** Matrix–vector product.  @raise Invalid_argument on dimension mismatch *)
+val mv : t -> float array -> float array
+
+(** Vector–matrix product [v^T M]. *)
+val vm : float array -> t -> float array
+
+(** Gaussian random matrix with the given standard deviation. *)
+val random : Yali_util.Rng.t -> int -> int -> scale:float -> t
+
+val frobenius : t -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,109 @@
+(** Evaluation metrics: accuracy, confusion matrices, per-class and macro
+    F1.  On the perfectly balanced datasets the paper uses, accuracy and F1
+    coincide (Figure 12 demonstrates this); both are available. *)
+
+type confusion = { n_classes : int; counts : int array array }
+
+let confusion ~(n_classes : int) (truth : int array) (pred : int array) :
+    confusion =
+  if Array.length truth <> Array.length pred then
+    invalid_arg "Metrics.confusion: length mismatch";
+  let counts = Array.make_matrix n_classes n_classes 0 in
+  Array.iteri
+    (fun i t ->
+      let p = pred.(i) in
+      if t >= 0 && t < n_classes && p >= 0 && p < n_classes then
+        counts.(t).(p) <- counts.(t).(p) + 1)
+    truth;
+  { n_classes; counts }
+
+let accuracy (truth : int array) (pred : int array) : float =
+  if Array.length truth = 0 then 0.0
+  else begin
+    let hits = ref 0 in
+    Array.iteri (fun i t -> if pred.(i) = t then incr hits) truth;
+    float_of_int !hits /. float_of_int (Array.length truth)
+  end
+
+let precision_recall_f1 (c : confusion) (cls : int) : float * float * float =
+  let tp = c.counts.(cls).(cls) in
+  let fp = ref 0 and fn = ref 0 in
+  for i = 0 to c.n_classes - 1 do
+    if i <> cls then begin
+      fp := !fp + c.counts.(i).(cls);
+      fn := !fn + c.counts.(cls).(i)
+    end
+  done;
+  let p =
+    if tp + !fp = 0 then 0.0 else float_of_int tp /. float_of_int (tp + !fp)
+  in
+  let r =
+    if tp + !fn = 0 then 0.0 else float_of_int tp /. float_of_int (tp + !fn)
+  in
+  let f1 = if p +. r = 0.0 then 0.0 else 2.0 *. p *. r /. (p +. r) in
+  (p, r, f1)
+
+let macro_f1 (c : confusion) : float =
+  let sum = ref 0.0 in
+  for cls = 0 to c.n_classes - 1 do
+    let _, _, f1 = precision_recall_f1 c cls in
+    sum := !sum +. f1
+  done;
+  !sum /. float_of_int (max 1 c.n_classes)
+
+(* -- sample statistics ---------------------------------------------------- *)
+
+let mean (xs : float list) : float =
+  match xs with
+  | [] -> 0.0
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev (xs : float list) : float =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      let m = mean xs in
+      sqrt
+        (List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs
+        /. float_of_int (List.length xs - 1))
+
+type boxplot = {
+  bp_min : float;
+  q1 : float;
+  median : float;
+  q3 : float;
+  bp_max : float;
+  bp_mean : float;
+}
+
+(** Five-number summary + mean, as used by the paper's box plots. *)
+let boxplot (xs : float list) : boxplot =
+  match List.sort compare xs with
+  | [] -> { bp_min = 0.; q1 = 0.; median = 0.; q3 = 0.; bp_max = 0.; bp_mean = 0. }
+  | sorted ->
+      let a = Array.of_list sorted in
+      let n = Array.length a in
+      let q p =
+        let idx = p *. float_of_int (n - 1) in
+        let lo = int_of_float (floor idx) and hi = int_of_float (ceil idx) in
+        let frac = idx -. floor idx in
+        (a.(lo) *. (1.0 -. frac)) +. (a.(hi) *. frac)
+      in
+      {
+        bp_min = a.(0);
+        q1 = q 0.25;
+        median = q 0.5;
+        q3 = q 0.75;
+        bp_max = a.(n - 1);
+        bp_mean = mean xs;
+      }
+
+(** Welch's t-statistic for the difference of two sample means; used for the
+    paper's statistical-significance claims (§4.2). *)
+let welch_t (a : float list) (b : float list) : float =
+  let na = float_of_int (List.length a) and nb = float_of_int (List.length b) in
+  if na < 2.0 || nb < 2.0 then 0.0
+  else
+    let va = stddev a ** 2.0 and vb = stddev b ** 2.0 in
+    let denom = sqrt ((va /. na) +. (vb /. nb)) in
+    if denom = 0.0 then 0.0 else (mean a -. mean b) /. denom

@@ -1,0 +1,36 @@
+(** Evaluation metrics.  On the perfectly balanced datasets the paper uses,
+    accuracy and macro F1 coincide (its Figure 12 demonstrates this). *)
+
+type confusion = { n_classes : int; counts : int array array }
+
+(** [confusion ~n_classes truth pred]; rows are truth, columns predictions.
+    @raise Invalid_argument on length mismatch *)
+val confusion : n_classes:int -> int array -> int array -> confusion
+
+val accuracy : int array -> int array -> float
+
+(** Precision, recall and F1 of one class. *)
+val precision_recall_f1 : confusion -> int -> float * float * float
+
+val macro_f1 : confusion -> float
+
+val mean : float list -> float
+
+(** Sample standard deviation. *)
+val stddev : float list -> float
+
+type boxplot = {
+  bp_min : float;
+  q1 : float;
+  median : float;
+  q3 : float;
+  bp_max : float;
+  bp_mean : float;
+}
+
+(** Five-number summary plus mean, as in the paper's box plots. *)
+val boxplot : float list -> boxplot
+
+(** Welch's t-statistic for the difference of two sample means (the paper's
+    significance claims, §4.2). *)
+val welch_t : float list -> float list -> float

@@ -1,0 +1,47 @@
+(** The SciKit-style multi-layer perceptron the paper evaluates as [mlp]:
+    exactly one hidden layer of 100 ReLU units (§3.2), trained with SGD on
+    standardised features. *)
+
+module Rng = Yali_util.Rng
+
+type t = { scaler : Features.scaler; net : Nn.t }
+
+type params = { hidden : int; epochs : int; lr : float }
+
+let default_params = { hidden = 100; epochs = 40; lr = 0.02 }
+
+let train ?(params = default_params) (rng : Rng.t) ~(n_classes : int)
+    (xs : float array array) (ys : int array) : t =
+  let scaler, xs = Features.fit_transform xs in
+  let d = if Array.length xs = 0 then 0 else Array.length xs.(0) in
+  let net =
+    {
+      Nn.layers =
+        [
+          Nn.dense rng ~d_in:d ~d_out:params.hidden;
+          Nn.relu ();
+          Nn.dense rng ~d_in:params.hidden ~d_out:n_classes;
+        ];
+      n_classes;
+    }
+  in
+  let n = Array.length xs in
+  let order = Array.init n Fun.id in
+  for epoch = 0 to params.epochs - 1 do
+    let lr = params.lr /. (1.0 +. (0.03 *. float_of_int epoch)) in
+    for i = n - 1 downto 1 do
+      let j = Rng.int rng (i + 1) in
+      let tmp = order.(i) in
+      order.(i) <- order.(j);
+      order.(j) <- tmp
+    done;
+    Array.iter
+      (fun i -> ignore (Nn.train_step ~lr ~rng net xs.(i) ys.(i)))
+      order
+  done;
+  { scaler; net }
+
+let predict (t : t) (x : float array) : int =
+  Nn.predict t.net (Features.transform t.scaler x)
+
+let size_bytes (t : t) : int = Nn.size_bytes t.net

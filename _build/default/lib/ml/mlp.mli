@@ -1,0 +1,19 @@
+(** The SciKit-style multi-layer perceptron the paper evaluates as [mlp]:
+    exactly one hidden layer of 100 ReLU units (§3.2). *)
+
+type t
+
+type params = { hidden : int; epochs : int; lr : float }
+
+val default_params : params
+
+val train :
+  ?params:params ->
+  Yali_util.Rng.t ->
+  n_classes:int ->
+  float array array ->
+  int array ->
+  t
+
+val predict : t -> float array -> int
+val size_bytes : t -> int

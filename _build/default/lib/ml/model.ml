@@ -1,0 +1,100 @@
+(** The classifier-model registry (paper, Figure 3): five SciKit-style
+    stochastic models plus the two variants of Zhang et al.'s neural network
+    ([cnn] on flat embeddings, [dgcnn] on graph embeddings), behind a single
+    training interface. *)
+
+module Rng = Yali_util.Rng
+module Graph = Yali_embeddings.Graph
+
+type trained = { predict : float array -> int; size_bytes : int }
+
+type flat = {
+  fname : string;
+  ftrain : Rng.t -> n_classes:int -> float array array -> int array -> trained;
+}
+
+type gtrained = { gpredict : Graph.t -> int; gsize_bytes : int }
+
+type graph = {
+  gname : string;
+  gtrain :
+    Rng.t -> n_classes:int -> feat_dim:int -> Graph.t array -> int array ->
+    gtrained;
+}
+
+let rf =
+  {
+    fname = "rf";
+    ftrain =
+      (fun rng ~n_classes xs ys ->
+        let m = Random_forest.train rng ~n_classes xs ys in
+        {
+          predict = Random_forest.predict m;
+          size_bytes = Random_forest.size_bytes m + Features.bytes_of_rows xs;
+        });
+  }
+
+let svm =
+  {
+    fname = "svm";
+    ftrain =
+      (fun rng ~n_classes xs ys ->
+        let m = Svm.train rng ~n_classes xs ys in
+        { predict = Svm.predict m; size_bytes = Svm.size_bytes m });
+  }
+
+let knn =
+  {
+    fname = "knn";
+    ftrain =
+      (fun _rng ~n_classes xs ys ->
+        let m = Knn.train ~n_classes xs ys in
+        { predict = Knn.predict m; size_bytes = Knn.size_bytes m });
+  }
+
+let lr =
+  {
+    fname = "lr";
+    ftrain =
+      (fun rng ~n_classes xs ys ->
+        let m = Logreg.train rng ~n_classes xs ys in
+        { predict = Logreg.predict m; size_bytes = Logreg.size_bytes m });
+  }
+
+let mlp =
+  {
+    fname = "mlp";
+    ftrain =
+      (fun rng ~n_classes xs ys ->
+        let m = Mlp.train rng ~n_classes xs ys in
+        { predict = Mlp.predict m; size_bytes = Mlp.size_bytes m });
+  }
+
+let cnn =
+  {
+    fname = "cnn";
+    ftrain =
+      (fun rng ~n_classes xs ys ->
+        let m = Cnn.train rng ~n_classes xs ys in
+        {
+          predict = Cnn.predict m;
+          (* the paper's cnn is a memory hog relative to mlp: it keeps the
+             full activation planes; reflect the working-set footprint *)
+          size_bytes = Cnn.size_bytes m + (4 * Features.bytes_of_rows xs);
+        });
+  }
+
+let dgcnn =
+  {
+    gname = "dgcnn";
+    gtrain =
+      (fun rng ~n_classes ~feat_dim graphs ys ->
+        let m = Dgcnn.train rng ~n_classes ~feat_dim graphs ys in
+        { gpredict = Dgcnn.predict m; gsize_bytes = Dgcnn.size_bytes m });
+  }
+
+(** The six models of the paper's Figures 7–12 grids, which all consume the
+    flat HISTOGRAM embedding. *)
+let all_flat : flat list = [ rf; svm; knn; lr; mlp; cnn ]
+
+let find_flat name = List.find_opt (fun m -> m.fname = name) all_flat

@@ -1,0 +1,48 @@
+(** The classifier-model registry (paper, Figure 3): five SciKit-style
+    models plus Zhang et al.'s neural network in its two guises — [cnn] on
+    flat embeddings and [dgcnn] on graph embeddings — behind one training
+    interface. *)
+
+(** A trained flat-vector classifier. *)
+type trained = { predict : float array -> int; size_bytes : int }
+
+(** A trainable flat model. *)
+type flat = {
+  fname : string;
+  ftrain :
+    Yali_util.Rng.t -> n_classes:int -> float array array -> int array ->
+    trained;
+}
+
+(** A trained graph classifier. *)
+type gtrained = {
+  gpredict : Yali_embeddings.Graph.t -> int;
+  gsize_bytes : int;
+}
+
+(** A trainable graph model. *)
+type graph = {
+  gname : string;
+  gtrain :
+    Yali_util.Rng.t -> n_classes:int -> feat_dim:int ->
+    Yali_embeddings.Graph.t array -> int array -> gtrained;
+}
+
+val rf : flat  (** random forest — the paper's consistent winner *)
+
+val svm : flat  (** one-vs-rest linear SVM (averaged Pegasos) *)
+
+val knn : flat  (** k-nearest neighbours (the only deterministic model) *)
+
+val lr : flat  (** multinomial logistic regression *)
+
+val mlp : flat  (** one hidden layer, 100 ReLU units (paper §3.2) *)
+
+val cnn : flat  (** Zhang et al.'s network minus the graph layers *)
+
+val dgcnn : graph  (** the full Deep Graph CNN *)
+
+(** The six models of the Figures 7–12 grids (all consume flat vectors). *)
+val all_flat : flat list
+
+val find_flat : string -> flat option

@@ -1,0 +1,231 @@
+(** A small feed-forward neural-network kernel with hand-written
+    backpropagation: dense, ReLU, tanh, dropout, 1-D convolution and max
+    pooling layers, plus a softmax/cross-entropy head.  Shared by the MLP,
+    CNN and DGCNN models. *)
+
+module Rng = Yali_util.Rng
+
+type dense = {
+  mutable w : Matrix.t;  (** out x in *)
+  mutable b : float array;
+  mutable last_in : float array;
+}
+
+type conv1d = {
+  c_in : int;
+  c_out : int;
+  kernel : int;
+  stride : int;
+  mutable filters : Matrix.t;  (** c_out x (c_in * kernel) *)
+  mutable cbias : float array;
+  mutable conv_in : float array;
+  mutable in_len : int;
+}
+
+type layer =
+  | Dense of dense
+  | Relu of { mutable mask : bool array }
+  | Tanh of { mutable out : float array }
+  | Dropout of { p : float; mutable dmask : float array }
+  | Conv1d of conv1d
+  | MaxPool of { size : int; mutable argmax : int array; mutable pool_in_len : int }
+
+let dense (rng : Rng.t) ~(d_in : int) ~(d_out : int) : layer =
+  Dense
+    {
+      w = Matrix.random rng d_out d_in ~scale:(sqrt (2.0 /. float_of_int d_in));
+      b = Array.make d_out 0.0;
+      last_in = [||];
+    }
+
+let relu () = Relu { mask = [||] }
+let tanh_layer () = Tanh { out = [||] }
+let dropout p = Dropout { p; dmask = [||] }
+
+let conv1d (rng : Rng.t) ~(c_in : int) ~(c_out : int) ~(kernel : int)
+    ~(stride : int) : layer =
+  Conv1d
+    {
+      c_in;
+      c_out;
+      kernel;
+      stride;
+      filters =
+        Matrix.random rng c_out (c_in * kernel)
+          ~scale:(sqrt (2.0 /. float_of_int (c_in * kernel)));
+      cbias = Array.make c_out 0.0;
+      conv_in = [||];
+      in_len = 0;
+    }
+
+let maxpool size = MaxPool { size; argmax = [||]; pool_in_len = 0 }
+
+(* Conv layout: a multi-channel signal of [c] channels and length [l] is a
+   flat array of size c*l, channel-major: index = ch*l + pos. *)
+
+let conv_out_len (c : conv1d) (in_len : int) : int =
+  ((in_len - c.kernel) / c.stride) + 1
+
+let forward ?(train = false) ?rng (layer : layer) (x : float array) :
+    float array =
+  match layer with
+  | Dense d ->
+      d.last_in <- x;
+      let out = Matrix.mv d.w x in
+      Array.mapi (fun i v -> v +. d.b.(i)) out
+  | Relu r ->
+      r.mask <- Array.map (fun v -> v > 0.0) x;
+      Array.map (fun v -> if v > 0.0 then v else 0.0) x
+  | Tanh t ->
+      let out = Array.map tanh x in
+      t.out <- out;
+      out
+  | Dropout d ->
+      if train then begin
+        let rng = Option.get rng in
+        d.dmask <-
+          Array.map
+            (fun _ -> if Rng.float rng < d.p then 0.0 else 1.0 /. (1.0 -. d.p))
+            x;
+        Array.mapi (fun i v -> v *. d.dmask.(i)) x
+      end
+      else x
+  | Conv1d c ->
+      let in_len = Array.length x / c.c_in in
+      c.conv_in <- x;
+      c.in_len <- in_len;
+      let out_len = conv_out_len c in_len in
+      if out_len <= 0 then Array.make c.c_out 0.0
+      else begin
+        let out = Array.make (c.c_out * out_len) 0.0 in
+        for o = 0 to c.c_out - 1 do
+          for p = 0 to out_len - 1 do
+            let acc = ref c.cbias.(o) in
+            for ci = 0 to c.c_in - 1 do
+              for k = 0 to c.kernel - 1 do
+                acc :=
+                  !acc
+                  +. Matrix.get c.filters o ((ci * c.kernel) + k)
+                     *. x.((ci * in_len) + (p * c.stride) + k)
+              done
+            done;
+            out.((o * out_len) + p) <- !acc
+          done
+        done;
+        out
+      end
+  | MaxPool m ->
+      (* single-channel view: pool every channel independently requires
+         knowing the channel count; we pool over the flat layout in windows
+         of [size], which for channel-major layouts pools within channels as
+         long as the length is a multiple of [size] *)
+      let n = Array.length x in
+      let out_n = n / m.size in
+      m.pool_in_len <- n;
+      m.argmax <- Array.make out_n 0;
+      Array.init out_n (fun i ->
+          let base = i * m.size in
+          let best = ref base in
+          for k = 1 to m.size - 1 do
+            if base + k < n && x.(base + k) > x.(!best) then best := base + k
+          done;
+          m.argmax.(i) <- !best;
+          x.(!best))
+
+(* Backward pass: given dL/d(out), update parameter grads in-place (SGD with
+   the supplied learning rate) and return dL/d(in). *)
+let backward ~(lr : float) (layer : layer) (dout : float array) : float array
+    =
+  match layer with
+  | Dense d ->
+      let din = Matrix.vm dout d.w in
+      (* update: w -= lr * dout^T last_in ; b -= lr * dout *)
+      for o = 0 to d.w.rows - 1 do
+        d.b.(o) <- d.b.(o) -. (lr *. dout.(o));
+        for i = 0 to d.w.cols - 1 do
+          Matrix.set d.w o i
+            (Matrix.get d.w o i -. (lr *. dout.(o) *. d.last_in.(i)))
+        done
+      done;
+      din
+  | Relu r -> Array.mapi (fun i v -> if r.mask.(i) then v else 0.0) dout
+  | Tanh t -> Array.mapi (fun i v -> v *. (1.0 -. (t.out.(i) *. t.out.(i)))) dout
+  | Dropout d ->
+      if Array.length d.dmask = Array.length dout then
+        Array.mapi (fun i v -> v *. d.dmask.(i)) dout
+      else dout
+  | Conv1d c ->
+      let in_len = c.in_len in
+      let out_len = conv_out_len c in_len in
+      let din = Array.make (Array.length c.conv_in) 0.0 in
+      if out_len > 0 then begin
+        for o = 0 to c.c_out - 1 do
+          let gb = ref 0.0 in
+          for p = 0 to out_len - 1 do
+            let g = dout.((o * out_len) + p) in
+            gb := !gb +. g;
+            for ci = 0 to c.c_in - 1 do
+              for k = 0 to c.kernel - 1 do
+                let xi = (ci * in_len) + (p * c.stride) + k in
+                din.(xi) <-
+                  din.(xi) +. (g *. Matrix.get c.filters o ((ci * c.kernel) + k));
+                Matrix.set c.filters o
+                  ((ci * c.kernel) + k)
+                  (Matrix.get c.filters o ((ci * c.kernel) + k)
+                  -. (lr *. g *. c.conv_in.(xi)))
+              done
+            done
+          done;
+          c.cbias.(o) <- c.cbias.(o) -. (lr *. !gb)
+        done
+      end;
+      din
+  | MaxPool m ->
+      let din = Array.make m.pool_in_len 0.0 in
+      Array.iteri (fun i g -> din.(m.argmax.(i)) <- din.(m.argmax.(i)) +. g) dout;
+      din
+
+type t = { layers : layer list; n_classes : int }
+
+let forward_all ?(train = false) ?rng (net : t) (x : float array) :
+    float array =
+  List.fold_left (fun x l -> forward ~train ?rng l x) x net.layers
+
+let backward_all ~(lr : float) (net : t) (dout : float array) : float array =
+  List.fold_left (fun d l -> backward ~lr l d) dout (List.rev net.layers)
+
+let softmax (z : float array) : float array =
+  let m = Array.fold_left max neg_infinity z in
+  let e = Array.map (fun v -> exp (v -. m)) z in
+  let s = Array.fold_left ( +. ) 0.0 e in
+  Array.map (fun v -> v /. s) e
+
+(** One SGD step on a (sample, label) pair with cross-entropy loss; returns
+    the loss and the gradient at the input (useful for models that have
+    differentiable layers below the network, like the DGCNN's graph
+    convolutions). *)
+let train_step ~(lr : float) ~(rng : Rng.t) (net : t) (x : float array)
+    (y : int) : float * float array =
+  let logits = forward_all ~train:true ~rng net x in
+  let p = softmax logits in
+  let loss = -.log (max 1e-12 p.(y)) in
+  let dlogits = Array.mapi (fun i v -> v -. if i = y then 1.0 else 0.0) p in
+  let dx = backward_all ~lr net dlogits in
+  (loss, dx)
+
+let predict (net : t) (x : float array) : int =
+  let logits = forward_all ~train:false net x in
+  let best = ref 0 in
+  Array.iteri (fun i v -> if v > logits.(!best) then best := i) logits;
+  !best
+
+let size_bytes (net : t) : int =
+  List.fold_left
+    (fun acc l ->
+      acc
+      +
+      match l with
+      | Dense d -> 8 * ((d.w.rows * d.w.cols) + Array.length d.b)
+      | Conv1d c -> 8 * ((c.filters.rows * c.filters.cols) + Array.length c.cbias)
+      | Relu _ | Tanh _ | Dropout _ | MaxPool _ -> 0)
+    0 net.layers

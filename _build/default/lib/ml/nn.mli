@@ -1,0 +1,42 @@
+(** A small feed-forward neural-network kernel with hand-written
+    backpropagation: dense, ReLU, tanh, dropout, 1-D convolution and max
+    pooling, plus a softmax/cross-entropy training step.  Shared by the MLP,
+    CNN and DGCNN models.
+
+    Convolution layout: a [c]-channel signal of length [l] is a flat array
+    of size [c*l], channel-major. *)
+
+type layer
+
+val dense : Yali_util.Rng.t -> d_in:int -> d_out:int -> layer
+val relu : unit -> layer
+val tanh_layer : unit -> layer
+val dropout : float -> layer
+
+val conv1d :
+  Yali_util.Rng.t -> c_in:int -> c_out:int -> kernel:int -> stride:int -> layer
+
+val maxpool : int -> layer
+
+val forward :
+  ?train:bool -> ?rng:Yali_util.Rng.t -> layer -> float array -> float array
+
+(** Backward pass: applies the SGD update in place and returns dL/d(in). *)
+val backward : lr:float -> layer -> float array -> float array
+
+type t = { layers : layer list; n_classes : int }
+
+val forward_all :
+  ?train:bool -> ?rng:Yali_util.Rng.t -> t -> float array -> float array
+
+val backward_all : lr:float -> t -> float array -> float array
+val softmax : float array -> float array
+
+(** One SGD step on a (sample, label) pair; returns the loss and the
+    gradient at the network input (used by models with differentiable
+    layers below the network, like the DGCNN's graph convolutions). *)
+val train_step :
+  lr:float -> rng:Yali_util.Rng.t -> t -> float array -> int -> float * float array
+
+val predict : t -> float array -> int
+val size_bytes : t -> int

@@ -1,0 +1,50 @@
+(** Random forests: bagged CART trees with sqrt-feature subsampling and
+    majority voting — the paper's consistently best model (§4.2). *)
+
+module Rng = Yali_util.Rng
+
+type t = { trees : Decision_tree.t array; n_classes : int }
+
+type params = { n_trees : int; max_depth : int }
+
+let default_params = { n_trees = 64; max_depth = 24 }
+
+let train ?(params = default_params) (rng : Rng.t) ~(n_classes : int)
+    (xs : float array array) (ys : int array) : t =
+  let n = Array.length xs in
+  let d = if n = 0 then 0 else Array.length xs.(0) in
+  let fps = max 1 (max (int_of_float (sqrt (float_of_int d))) (d / 2)) in
+  let tree_params =
+    {
+      Decision_tree.max_depth = params.max_depth;
+      min_samples_split = 2;
+      features_per_split = Some fps;
+    }
+  in
+  let trees =
+    Array.init params.n_trees (fun _ ->
+        let tree_rng = Rng.split rng in
+        (* bootstrap sample *)
+        let bxs = Array.make n [||] and bys = Array.make n 0 in
+        for i = 0 to n - 1 do
+          let j = Rng.int tree_rng n in
+          bxs.(i) <- xs.(j);
+          bys.(i) <- ys.(j)
+        done;
+        Decision_tree.train ~params:tree_params tree_rng ~n_classes bxs bys)
+  in
+  { trees; n_classes }
+
+let predict (f : t) (x : float array) : int =
+  let votes = Array.make f.n_classes 0 in
+  Array.iter
+    (fun t ->
+      let c = Decision_tree.predict t x in
+      votes.(c) <- votes.(c) + 1)
+    f.trees;
+  let best = ref 0 in
+  Array.iteri (fun c k -> if k > votes.(!best) then best := c) votes;
+  !best
+
+let size_bytes (f : t) : int =
+  Array.fold_left (fun acc t -> acc + Decision_tree.size_bytes t) 0 f.trees

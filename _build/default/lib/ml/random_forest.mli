@@ -1,0 +1,21 @@
+(** Random forests: bagged CART trees with per-split feature subsampling and
+    majority voting — the paper's consistently best model (§4.2). *)
+
+type t
+
+type params = { n_trees : int; max_depth : int }
+
+val default_params : params
+
+val train :
+  ?params:params ->
+  Yali_util.Rng.t ->
+  n_classes:int ->
+  float array array ->
+  int array ->
+  t
+
+val predict : t -> float array -> int
+
+(** Approximate heap footprint. *)
+val size_bytes : t -> int

@@ -1,0 +1,88 @@
+(** Linear support-vector machine: one-vs-rest hinge loss trained with an
+    averaged Pegasos-style stochastic subgradient method — SciKit's [svm]
+    counterpart at laptop scale.
+
+    The bias is folded in as a constant feature; the returned predictor uses
+    the *average* of the weight iterates, which stabilises the one-vs-rest
+    scores when the number of classes is large (the 104-class grids of the
+    paper's Figures 7–12). *)
+
+module Rng = Yali_util.Rng
+
+type t = {
+  scaler : Features.scaler;
+  weights : Matrix.t;  (** n_classes x (d+1); last column is the bias *)
+  n_classes : int;
+}
+
+type params = { epochs : int; lambda : float; step_offset : float }
+
+let default_params = { epochs = 30; lambda = 1e-4; step_offset = 100.0 }
+
+let augment (x : float array) : float array =
+  let d = Array.length x in
+  Array.init (d + 1) (fun j -> if j < d then x.(j) else 1.0)
+
+let score_row (w : Matrix.t) (c : int) (x : float array) : float =
+  let acc = ref 0.0 in
+  for j = 0 to Array.length x - 1 do
+    acc := !acc +. (Matrix.get w c j *. x.(j))
+  done;
+  !acc
+
+let train ?(params = default_params) (rng : Rng.t) ~(n_classes : int)
+    (xs : float array array) (ys : int array) : t =
+  let scaler, xs = Features.fit_transform xs in
+  let xs = Array.map augment xs in
+  let n = Array.length xs in
+  let d = if n = 0 then 1 else Array.length xs.(0) in
+  let w = Matrix.create n_classes d in
+  let w_sum = Matrix.create n_classes d in
+  let t_step = ref 0 in
+  let n_avg = ref 0 in
+  for _epoch = 0 to params.epochs - 1 do
+    for _ = 0 to n - 1 do
+      let i = Rng.int rng n in
+      incr t_step;
+      let eta =
+        1.0 /. (params.lambda *. (float_of_int !t_step +. params.step_offset))
+      in
+      let x = xs.(i) in
+      for c = 0 to n_classes - 1 do
+        let y = if ys.(i) = c then 1.0 else -1.0 in
+        let margin = y *. score_row w c x in
+        let shrink = 1.0 -. (eta *. params.lambda) in
+        if margin < 1.0 then
+          for j = 0 to d - 1 do
+            Matrix.set w c j ((Matrix.get w c j *. shrink) +. (eta *. y *. x.(j)))
+          done
+        else
+          for j = 0 to d - 1 do
+            Matrix.set w c j (Matrix.get w c j *. shrink)
+          done
+      done;
+      (* tail averaging: accumulate the second half of the trajectory *)
+      if 2 * !t_step > params.epochs * n then begin
+        incr n_avg;
+        Matrix.axpy ~a:1.0 w w_sum
+      end
+    done
+  done;
+  let weights =
+    if !n_avg > 0 then Matrix.scale (1.0 /. float_of_int !n_avg) w_sum else w
+  in
+  { scaler; weights; n_classes }
+
+let predict (t : t) (x : float array) : int =
+  let x = augment (Features.transform t.scaler x) in
+  let best = ref 0 and best_score = ref neg_infinity in
+  for c = 0 to t.n_classes - 1 do
+    let s = score_row t.weights c x in
+    if s > !best_score then begin
+      best_score := s;
+      best := c
+    end
+  done;
+  !best
+
+let size_bytes (t : t) : int = 8 * t.weights.rows * t.weights.cols

@@ -1,0 +1,19 @@
+(** Linear support-vector machine: one-vs-rest hinge loss trained with an
+    averaged Pegasos-style stochastic subgradient method. *)
+
+type t
+
+type params = { epochs : int; lambda : float; step_offset : float }
+
+val default_params : params
+
+val train :
+  ?params:params ->
+  Yali_util.Rng.t ->
+  n_classes:int ->
+  float array array ->
+  int array ->
+  t
+
+val predict : t -> float array -> int
+val size_bytes : t -> int

@@ -1,0 +1,1 @@
+lib/obfuscation/bcf.ml: Block Func Hashtbl Instr Irmod List Printf Types Value Yali_ir Yali_util

@@ -1,0 +1,1 @@
+lib/obfuscation/bcf.mli: Yali_ir Yali_util

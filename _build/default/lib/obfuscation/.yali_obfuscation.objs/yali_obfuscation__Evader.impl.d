@@ -1,0 +1,1 @@
+lib/obfuscation/evader.ml: Ast Bcf Fla Irmod List Lower Ollvm Option Strategies Sub Yali_ir Yali_minic Yali_transforms Yali_util

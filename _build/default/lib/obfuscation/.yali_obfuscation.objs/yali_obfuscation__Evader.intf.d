@@ -1,0 +1,1 @@
+lib/obfuscation/evader.mli: Yali_ir Yali_minic Yali_util

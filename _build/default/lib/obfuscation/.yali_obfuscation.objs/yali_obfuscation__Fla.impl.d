@@ -1,0 +1,1 @@
+lib/obfuscation/fla.ml: Block Func Hashtbl Instr Int64 Irmod List Printf Types Value Yali_ir Yali_util

@@ -1,0 +1,1 @@
+lib/obfuscation/fla.mli: Yali_ir Yali_util

@@ -1,0 +1,1 @@
+lib/obfuscation/ollvm.ml: Bcf Fla Irmod Sub Yali_ir Yali_util

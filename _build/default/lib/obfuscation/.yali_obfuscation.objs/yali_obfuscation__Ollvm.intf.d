@@ -1,0 +1,1 @@
+lib/obfuscation/ollvm.mli: Yali_ir Yali_util

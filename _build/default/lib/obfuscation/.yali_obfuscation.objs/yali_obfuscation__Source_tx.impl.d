@@ -1,0 +1,1 @@
+lib/obfuscation/source_tx.ml: Hashtbl List Option Printf Yali_minic Yali_util

@@ -1,0 +1,1 @@
+lib/obfuscation/source_tx.mli: Yali_minic Yali_util

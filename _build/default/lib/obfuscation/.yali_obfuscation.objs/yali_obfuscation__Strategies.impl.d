@@ -1,0 +1,1 @@
+lib/obfuscation/strategies.ml: Ast List Lower Source_tx Yali_embeddings Yali_minic Yali_util

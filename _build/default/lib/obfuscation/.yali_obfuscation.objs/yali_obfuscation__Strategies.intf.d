@@ -1,0 +1,1 @@
+lib/obfuscation/strategies.mli: Yali_minic Yali_util

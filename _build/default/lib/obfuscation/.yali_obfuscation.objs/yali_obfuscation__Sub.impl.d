@@ -1,0 +1,1 @@
+lib/obfuscation/sub.ml: Block Func Instr Irmod List Types Value Yali_ir Yali_util

@@ -1,0 +1,1 @@
+lib/obfuscation/sub.mli: Yali_ir Yali_util

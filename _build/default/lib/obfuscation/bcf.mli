@@ -1,0 +1,24 @@
+(** Bogus control flow, after O-LLVM's [-bcf] pass: selected blocks are
+    guarded by an always-true opaque predicate over two module globals; the
+    false edge leads to a never-executed perturbed clone.  Because the
+    predicate reads memory, optimizers cannot fold it — the reason bcf
+    resists -O3 normalization in the paper's §4.4.
+
+    Operates on phi-free functions; SSA-form functions pass through. *)
+
+(** Names of the opaque-predicate globals. *)
+val x_global : string
+
+val y_global : string
+
+(** Transform one function.
+    @param probability chance of guarding each non-entry block
+           (default 0.5) *)
+val run_func :
+  ?probability:float -> Yali_util.Rng.t -> Yali_ir.Func.t -> Yali_ir.Func.t
+
+(** Ensure the opaque-predicate globals exist. *)
+val add_globals : Yali_ir.Irmod.t -> Yali_ir.Irmod.t
+
+val run :
+  ?probability:float -> Yali_util.Rng.t -> Yali_ir.Irmod.t -> Yali_ir.Irmod.t

@@ -1,0 +1,44 @@
+(** The evader registry (paper, Figure 4).  An evader maps a source program
+    to the IR module it hands the classifier: IR-level evaders lower at
+    [-O0] and transform the IR; source-level evaders transform the source
+    and then lower; [clang -O3] is itself an evader (Ren et al.'s
+    observation, confirmed by the paper §4.3). *)
+
+open Yali_minic
+open Yali_ir
+module Rng = Yali_util.Rng
+module P = Yali_transforms.Pipeline
+
+type t = { ename : string; apply : Rng.t -> Ast.program -> Irmod.t }
+
+let lower = Lower.lower_program ?name:None
+
+let none = { ename = "none"; apply = (fun _ p -> lower p) }
+let o3 = { ename = "O3"; apply = (fun _ p -> P.o3 (lower p)) }
+let sub = { ename = "sub"; apply = (fun rng p -> Sub.run rng (lower p)) }
+let bcf = { ename = "bcf"; apply = (fun rng p -> Bcf.run rng (lower p)) }
+let fla = { ename = "fla"; apply = (fun rng p -> Fla.run rng (lower p)) }
+let ollvm = { ename = "ollvm"; apply = (fun rng p -> Ollvm.run rng (lower p)) }
+
+let source_strategy (s : Strategies.strategy) : t =
+  { ename = s.sname; apply = (fun rng p -> lower (s.run rng p)) }
+
+let rs = source_strategy (Option.get (Strategies.find "rs"))
+let mcmc = source_strategy (Option.get (Strategies.find "mcmc"))
+let drlsg = source_strategy (Option.get (Strategies.find "drlsg"))
+let ga = source_strategy (Option.get (Strategies.find "ga"))
+
+(* extra transformer used in the obfuscator-detection experiment (RQ7) *)
+let mem2reg =
+  {
+    ename = "mem2reg";
+    apply = (fun _ p -> Yali_transforms.Mem2reg.run (lower p));
+  }
+
+(** The eight active evaders of Figures 8–11, plus the passive one. *)
+let active : t list = [ o3; ollvm; bcf; fla; sub; rs; mcmc; drlsg ]
+
+let all : t list = none :: active
+
+let find name =
+  List.find_opt (fun e -> e.ename = name) (all @ [ ga; mem2reg ])

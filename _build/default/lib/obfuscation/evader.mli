@@ -1,0 +1,48 @@
+(** The evader registry (paper, Figure 4).
+
+    An evader owns the challenge's build pipeline: it maps a source program
+    to the IR module handed to the classifier.  IR-level evaders lower at
+    [-O0] and transform the IR; source-level evaders transform the source
+    first; [clang -O3] is itself an evader. *)
+
+type t = {
+  ename : string;
+  apply : Yali_util.Rng.t -> Yali_minic.Ast.program -> Yali_ir.Irmod.t;
+}
+
+(** The passive evader of Game0: plain [-O0] lowering. *)
+val none : t
+
+(** Compiler optimization as evasion (Ren et al.). *)
+val o3 : t
+
+(** O-LLVM instruction substitution. *)
+val sub : t
+
+(** O-LLVM bogus control flow. *)
+val bcf : t
+
+(** O-LLVM control-flow flattening. *)
+val fla : t
+
+(** All O-LLVM passes combined. *)
+val ollvm : t
+
+(** Zhang-style source-level strategies. *)
+val rs : t
+
+val mcmc : t
+val drlsg : t
+val ga : t
+
+(** [clang -mem2reg] alone — a transformer class in the RQ7 experiment. *)
+val mem2reg : t
+
+(** The eight active evaders of Figures 8–11. *)
+val active : t list
+
+(** [none :: active]. *)
+val all : t list
+
+(** Look up any evader by name, including [ga] and [mem2reg]. *)
+val find : string -> t option

@@ -1,0 +1,143 @@
+(** Control-flow flattening, after O-LLVM's [-fla] pass.
+
+    Every basic block becomes a case of a switch inside a dispatch loop; a
+    "next block" variable, kept in memory, selects the successor at the end
+    of each case.  The CFG of the flattened function is a star: all
+    structure of the original control flow disappears — though, as the paper
+    notes, the *histogram* of opcodes barely changes, which is why
+    histogram-based classifiers see through flattening (§4.3).
+
+    Precondition: phi-free functions (the pass runs on [-O0]-style code).
+    Switch terminators are first lowered into compare-and-branch chains. *)
+
+open Yali_ir
+module Rng = Yali_util.Rng
+
+let has_phis (f : Func.t) =
+  List.exists
+    (fun (i : Instr.t) -> match i.kind with Instr.Phi _ -> true | _ -> false)
+    (Func.instrs f)
+
+(** Replace switch terminators with chains of [icmp eq]/[condbr] blocks. *)
+let lower_switches (f : Func.t) : Func.t =
+  let next = ref f.next_id in
+  let fresh () =
+    let id = !next in
+    incr next;
+    id
+  in
+  let next_label = ref f.next_label in
+  let fresh_label hint =
+    let l = Printf.sprintf "%s.%d" hint !next_label in
+    incr next_label;
+    l
+  in
+  let blocks =
+    List.concat_map
+      (fun (b : Block.t) ->
+        match b.term with
+        | Instr.Switch (v, default, cases) ->
+            (* b ends with a test for the first case; continuation blocks
+               test the remaining cases *)
+            let rec chain cases =
+              match cases with
+              | [] -> (default, [])
+              | (k, l) :: rest ->
+                  let cont, blocks = chain rest in
+                  let test_label = fresh_label (b.label ^ ".swtest") in
+                  let c = fresh () in
+                  let test_block =
+                    Block.make ~label:test_label
+                      ~instrs:
+                        [
+                          Instr.mk ~id:c ~ty:Types.I1
+                            (Instr.Icmp (Instr.Eq, v, Value.IConst (Types.I64, k)));
+                        ]
+                      ~term:(Instr.CondBr (Value.Var c, l, cont))
+                  in
+                  (test_label, test_block :: blocks)
+            in
+            let first, chain_blocks = chain cases in
+            [ { b with term = Instr.Br first } ] @ chain_blocks
+        | _ -> [ b ])
+      f.blocks
+  in
+  { f with blocks; next_id = !next; next_label = !next_label }
+
+let run_func (rng : Rng.t) (f : Func.t) : Func.t =
+  if has_phis f || List.length f.blocks < 2 then f
+  else
+    let f = lower_switches f in
+    let entry = Func.entry f in
+    let rest = List.tl f.blocks in
+    (* entry must not be a branch target *)
+    let entry_is_target =
+      List.exists
+        (fun (b : Block.t) -> List.mem entry.label (Block.successors b))
+        f.blocks
+    in
+    if entry_is_target then f
+    else
+      let next = ref f.next_id in
+      let fresh () =
+        let id = !next in
+        incr next;
+        id
+      in
+      (* randomized case numbers *)
+      let labels = List.map (fun (b : Block.t) -> b.label) rest in
+      let shuffled = Rng.shuffle rng labels in
+      let case_of : (string, int) Hashtbl.t = Hashtbl.create 16 in
+      List.iteri (fun i l -> Hashtbl.replace case_of l i) shuffled;
+      let sw_slot = fresh () in
+      let dispatch_label = "fla.dispatch" in
+      let case_const l = Value.i32 (Hashtbl.find case_of l) in
+      (* rewrite a terminator into "store next-case; br dispatcher" *)
+      let reroute (instrs : Instr.t list) (term : Instr.terminator) :
+          Instr.t list * Instr.terminator =
+        match term with
+        | Instr.Br l ->
+            ( instrs
+              @ [ Instr.mk_void (Instr.Store (case_const l, Value.Var sw_slot)) ],
+              Instr.Br dispatch_label )
+        | Instr.CondBr (c, t, e) ->
+            let sel = fresh () in
+            ( instrs
+              @ [
+                  Instr.mk ~id:sel ~ty:Types.I32
+                    (Instr.Select (c, case_const t, case_const e));
+                  Instr.mk_void (Instr.Store (Value.Var sel, Value.Var sw_slot));
+                ],
+              Instr.Br dispatch_label )
+        | (Instr.Ret _ | Instr.Unreachable) as t -> (instrs, t)
+        | Instr.Switch _ -> (instrs, term) (* lowered away above *)
+      in
+      let entry_instrs, entry_term =
+        let alloca =
+          Instr.mk ~id:sw_slot ~ty:(Types.Ptr Types.I32) (Instr.Alloca Types.I32)
+        in
+        reroute (entry.instrs @ [ alloca ]) entry.term
+      in
+      let entry' = { entry with instrs = entry_instrs; term = entry_term } in
+      let flattened =
+        List.map
+          (fun (b : Block.t) ->
+            let instrs, term = reroute b.instrs b.term in
+            { b with instrs; term })
+          rest
+      in
+      (* the dispatcher *)
+      let loaded = fresh () in
+      let cases =
+        List.map (fun l -> (Int64.of_int (Hashtbl.find case_of l), l)) labels
+      in
+      let default = match labels with l :: _ -> l | [] -> entry.label in
+      let dispatcher =
+        Block.make ~label:dispatch_label
+          ~instrs:[ Instr.mk ~id:loaded ~ty:Types.I32 (Instr.Load (Value.Var sw_slot)) ]
+          ~term:(Instr.Switch (Value.Var loaded, default, cases))
+      in
+      { f with blocks = entry' :: dispatcher :: flattened; next_id = !next }
+
+let run (rng : Rng.t) (m : Irmod.t) : Irmod.t =
+  Irmod.map_funcs (run_func rng) m

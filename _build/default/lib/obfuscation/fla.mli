@@ -1,0 +1,12 @@
+(** Control-flow flattening, after O-LLVM's [-fla] pass: every basic block
+    becomes a case of a switch inside a dispatch loop, erasing the original
+    CFG structure.  Operates on phi-free ([-O0]-style) functions; functions
+    with phis, fewer than two blocks, or an entry block that is a branch
+    target pass through unchanged. *)
+
+(** Replace switch terminators with compare-and-branch chains (flattening's
+    precondition; exposed for tests and reuse). *)
+val lower_switches : Yali_ir.Func.t -> Yali_ir.Func.t
+
+val run_func : Yali_util.Rng.t -> Yali_ir.Func.t -> Yali_ir.Func.t
+val run : Yali_util.Rng.t -> Yali_ir.Irmod.t -> Yali_ir.Irmod.t

@@ -1,0 +1,13 @@
+(** The combined O-LLVM evader: instruction substitution, then control-flow
+    flattening, then bogus control flow — the "all passes together"
+    configuration the paper calls simply [ollvm]. *)
+
+open Yali_ir
+module Rng = Yali_util.Rng
+
+let run ?(sub_probability = 1.0) ?(sub_rounds = 2) ?(bcf_probability = 0.8)
+    (rng : Rng.t) (m : Irmod.t) : Irmod.t =
+  m
+  |> Sub.run ~probability:sub_probability ~rounds:sub_rounds (Rng.split rng)
+  |> Fla.run (Rng.split rng)
+  |> Bcf.run ~probability:bcf_probability (Rng.split rng)

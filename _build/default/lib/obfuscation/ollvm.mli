@@ -1,0 +1,11 @@
+(** The combined O-LLVM evader — instruction substitution, then control-flow
+    flattening, then bogus control flow — the paper's [ollvm]
+    configuration. *)
+
+val run :
+  ?sub_probability:float ->
+  ?sub_rounds:int ->
+  ?bcf_probability:float ->
+  Yali_util.Rng.t ->
+  Yali_ir.Irmod.t ->
+  Yali_ir.Irmod.t

@@ -1,0 +1,37 @@
+(** The fifteen source-to-source transformations behind Zhang et al.'s
+    clone-detector evaders.  Each is semantics-preserving on mini-C
+    functions; {!Strategies} combines them into evading sequences. *)
+
+type t = {
+  txname : string;
+  apply : Yali_util.Rng.t -> Yali_minic.Ast.func -> Yali_minic.Ast.func;
+}
+
+val for_to_while : t
+val while_to_for : t
+val while_to_dowhile : t
+val switch_to_ifchain : t
+val if_negate_swap : t
+val const_unfold : t
+val const_xor : t
+val var_rename : t
+val dead_decl : t
+val commute : t
+val mul2_to_add : t
+val loop_peel : t
+val wrap_dowhile0 : t
+val add_identity : t
+val cmp_swap : t
+
+(** The fifteen base transformations, in a stable order. *)
+val all : t list
+
+val find : string -> t option
+
+(** Apply one transformation to every function of a program. *)
+val apply_program :
+  t -> Yali_util.Rng.t -> Yali_minic.Ast.program -> Yali_minic.Ast.program
+
+(** Apply a sequence, left to right. *)
+val apply_sequence :
+  t list -> Yali_util.Rng.t -> Yali_minic.Ast.program -> Yali_minic.Ast.program

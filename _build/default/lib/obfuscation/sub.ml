@@ -1,0 +1,122 @@
+(** Instruction substitution, after O-LLVM's [-sub] pass (Junod et al.).
+
+    Integer arithmetic and logic instructions are replaced by longer
+    sequences with identical semantics (in modular arithmetic):
+
+    - [a + b]  →  [a - (0 - b)]   or  [(a | b) + (a & b)]
+                  or  [(a ^ b) + 2*(a & b)]
+    - [a - b]  →  [a + (0 - b)]
+    - [a ^ b]  →  [(a | b) - (a & b)]
+    - [a & b]  →  [(a | b) - (a ^ b)]
+    - [a | b]  →  [(a & b) + (a ^ b)] *)
+
+open Yali_ir
+module Rng = Yali_util.Rng
+
+(* Build replacement instruction sequences.  [fresh ()] mints SSA ids; the
+   final instruction must carry [id] (the original result id) so that uses
+   remain valid. *)
+let substitute ~(fresh : unit -> int) (rng : Rng.t) (i : Instr.t) :
+    Instr.t list option =
+  let ty = i.ty in
+  let mk ~id kind = Instr.mk ~id ~ty kind in
+  match i.kind with
+  | Instr.Ibin (Instr.Add, a, b) -> (
+      match Rng.int rng 3 with
+      | 0 ->
+          (* a - (0 - b) *)
+          let t = fresh () in
+          Some
+            [
+              mk ~id:t (Instr.Ibin (Instr.Sub, Value.IConst (ty, 0L), b));
+              mk ~id:i.id (Instr.Ibin (Instr.Sub, a, Value.Var t));
+            ]
+      | 1 ->
+          (* (a | b) + (a & b) *)
+          let t1 = fresh () and t2 = fresh () in
+          Some
+            [
+              mk ~id:t1 (Instr.Ibin (Instr.Or, a, b));
+              mk ~id:t2 (Instr.Ibin (Instr.And, a, b));
+              mk ~id:i.id (Instr.Ibin (Instr.Add, Value.Var t1, Value.Var t2));
+            ]
+      | _ ->
+          (* (a ^ b) + 2*(a & b) *)
+          let t1 = fresh () and t2 = fresh () and t3 = fresh () in
+          Some
+            [
+              mk ~id:t1 (Instr.Ibin (Instr.Xor, a, b));
+              mk ~id:t2 (Instr.Ibin (Instr.And, a, b));
+              mk ~id:t3 (Instr.Ibin (Instr.Shl, Value.Var t2, Value.IConst (ty, 1L)));
+              mk ~id:i.id (Instr.Ibin (Instr.Add, Value.Var t1, Value.Var t3));
+            ])
+  | Instr.Ibin (Instr.Sub, a, b) ->
+      (* a + (0 - b) *)
+      let t = fresh () in
+      Some
+        [
+          mk ~id:t (Instr.Ibin (Instr.Sub, Value.IConst (ty, 0L), b));
+          mk ~id:i.id (Instr.Ibin (Instr.Add, a, Value.Var t));
+        ]
+  | Instr.Ibin (Instr.Xor, a, b) ->
+      let t1 = fresh () and t2 = fresh () in
+      Some
+        [
+          mk ~id:t1 (Instr.Ibin (Instr.Or, a, b));
+          mk ~id:t2 (Instr.Ibin (Instr.And, a, b));
+          mk ~id:i.id (Instr.Ibin (Instr.Sub, Value.Var t1, Value.Var t2));
+        ]
+  | Instr.Ibin (Instr.And, a, b) ->
+      let t1 = fresh () and t2 = fresh () in
+      Some
+        [
+          mk ~id:t1 (Instr.Ibin (Instr.Or, a, b));
+          mk ~id:t2 (Instr.Ibin (Instr.Xor, a, b));
+          mk ~id:i.id (Instr.Ibin (Instr.Sub, Value.Var t1, Value.Var t2));
+        ]
+  | Instr.Ibin (Instr.Or, a, b) ->
+      let t1 = fresh () and t2 = fresh () in
+      Some
+        [
+          mk ~id:t1 (Instr.Ibin (Instr.And, a, b));
+          mk ~id:t2 (Instr.Ibin (Instr.Xor, a, b));
+          mk ~id:i.id (Instr.Ibin (Instr.Add, Value.Var t1, Value.Var t2));
+        ]
+  | _ -> None
+
+let run_func ?(probability = 1.0) ?(rounds = 1) (rng : Rng.t) (f : Func.t) :
+    Func.t =
+  let f = ref f in
+  for _ = 1 to rounds do
+    let next = ref !f.next_id in
+    let fresh () =
+      let id = !next in
+      incr next;
+      id
+    in
+    let blocks =
+      List.map
+        (fun (b : Block.t) ->
+          let instrs =
+            List.concat_map
+              (fun (i : Instr.t) ->
+                if
+                  Types.is_integer i.ty
+                  && Instr.defines i
+                  && Rng.bernoulli rng probability
+                then
+                  match substitute ~fresh rng i with
+                  | Some seq -> seq
+                  | None -> [ i ]
+                else [ i ])
+              b.instrs
+          in
+          { b with instrs })
+        !f.blocks
+    in
+    f := { !f with blocks; next_id = !next }
+  done;
+  !f
+
+let run ?probability ?rounds (rng : Rng.t) (m : Irmod.t) : Irmod.t =
+  Irmod.map_funcs (run_func ?probability ?rounds rng) m

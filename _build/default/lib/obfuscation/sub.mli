@@ -1,0 +1,17 @@
+(** Instruction substitution, after O-LLVM's [-sub] pass: integer
+    arithmetic/logic instructions are replaced by longer sequences with
+    identical modular-arithmetic semantics. *)
+
+(** Transform one function.
+    @param probability chance of substituting each eligible instruction
+           (default 1.0)
+    @param rounds number of substitution passes (default 1); each round
+           substitutes the previous round's output, compounding code
+           growth *)
+val run_func :
+  ?probability:float -> ?rounds:int -> Yali_util.Rng.t -> Yali_ir.Func.t ->
+  Yali_ir.Func.t
+
+val run :
+  ?probability:float -> ?rounds:int -> Yali_util.Rng.t -> Yali_ir.Irmod.t ->
+  Yali_ir.Irmod.t

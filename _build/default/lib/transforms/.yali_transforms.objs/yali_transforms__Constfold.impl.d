@@ -1,0 +1,1 @@
+lib/transforms/constfold.ml: Block Func Hashtbl Instr Int64 Interp Irmod List Option Value Yali_ir

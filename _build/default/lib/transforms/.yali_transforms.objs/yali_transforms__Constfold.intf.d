@@ -1,0 +1,1 @@
+lib/transforms/constfold.mli: Yali_ir

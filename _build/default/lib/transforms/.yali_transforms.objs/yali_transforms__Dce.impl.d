@@ -1,0 +1,1 @@
+lib/transforms/dce.ml: Block Func Instr Int Irmod List Set Value Yali_ir

@@ -1,0 +1,1 @@
+lib/transforms/gvn.ml: Block Cfg Dominance Func Hashtbl Instr Irmod List Map Option Printf String Types Value Yali_ir

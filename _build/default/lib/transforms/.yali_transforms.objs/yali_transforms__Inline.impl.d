@@ -1,0 +1,1 @@
+lib/transforms/inline.ml: Block Func Hashtbl Instr Irmod List Option Value Yali_ir

@@ -1,0 +1,1 @@
+lib/transforms/inline.mli: Yali_ir

@@ -1,0 +1,1 @@
+lib/transforms/instcombine.ml: Block Constfold Func Hashtbl Instr Irmod List Types Value Yali_ir

@@ -1,0 +1,1 @@
+lib/transforms/instcombine.mli: Yali_ir

@@ -1,0 +1,1 @@
+lib/transforms/licm.ml: Block Cfg Func Instr Int Irmod List Loops Set Value Yali_ir

@@ -1,0 +1,1 @@
+lib/transforms/mem2reg.ml: Block Cfg Dominance Func Hashtbl Instr Int Irmod List Map Option Queue Set String Types Value Yali_ir

@@ -1,0 +1,1 @@
+lib/transforms/mem2reg.mli: Yali_ir

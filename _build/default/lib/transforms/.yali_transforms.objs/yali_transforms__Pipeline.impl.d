@@ -1,0 +1,1 @@
+lib/transforms/pipeline.ml: Constfold Dce Gvn Inline Instcombine Irmod Licm List Mem2reg Simplifycfg Yali_ir

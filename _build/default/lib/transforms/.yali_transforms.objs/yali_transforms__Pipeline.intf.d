@@ -1,0 +1,1 @@
+lib/transforms/pipeline.mli: Yali_ir

@@ -1,0 +1,1 @@
+lib/transforms/simplifycfg.ml: Block Cfg Func Hashtbl Instr Int64 Irmod List Mem2reg Value Yali_ir

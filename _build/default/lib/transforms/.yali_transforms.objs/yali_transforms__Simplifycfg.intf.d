@@ -1,0 +1,1 @@
+lib/transforms/simplifycfg.mli: Yali_ir

@@ -1,0 +1,7 @@
+(** Constant folding: evaluate instructions whose operands are literals and
+    substitute results into uses.  Division by zero is left in place (its
+    trap is the program's behaviour). *)
+
+val fold_instr : Yali_ir.Instr.t -> Yali_ir.Value.t option
+val run_func : Yali_ir.Func.t -> Yali_ir.Func.t
+val run : Yali_ir.Irmod.t -> Yali_ir.Irmod.t

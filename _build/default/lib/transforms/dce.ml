@@ -1,0 +1,49 @@
+(** Dead-code elimination: iteratively remove pure instructions whose results
+    are never used. *)
+
+open Yali_ir
+module ISet = Set.Make (Int)
+
+let used_ids (f : Func.t) : ISet.t =
+  let add acc (v : Value.t) =
+    match v with Value.Var id -> ISet.add id acc | _ -> acc
+  in
+  List.fold_left
+    (fun acc (b : Block.t) ->
+      let acc =
+        List.fold_left
+          (fun acc (i : Instr.t) ->
+            List.fold_left add acc (Instr.operands i))
+          acc b.instrs
+      in
+      List.fold_left add acc (Instr.terminator_operands b.term))
+    ISet.empty f.blocks
+
+let run_func (f : Func.t) : Func.t =
+  let f = ref f in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let used = used_ids !f in
+    f :=
+      Func.map_blocks
+        (fun b ->
+          {
+            b with
+            instrs =
+              List.filter
+                (fun (i : Instr.t) ->
+                  let keep =
+                    (not (Instr.defines i))
+                    || (not (Instr.is_pure i))
+                    || ISet.mem i.id used
+                  in
+                  if not keep then progress := true;
+                  keep)
+                b.instrs;
+          })
+        !f
+  done;
+  !f
+
+let run : Irmod.t -> Irmod.t = Irmod.map_funcs run_func

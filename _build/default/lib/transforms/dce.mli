@@ -1,0 +1,5 @@
+(** Dead-code elimination: iteratively remove pure instructions whose
+    results are never used. *)
+
+val run_func : Yali_ir.Func.t -> Yali_ir.Func.t
+val run : Yali_ir.Irmod.t -> Yali_ir.Irmod.t

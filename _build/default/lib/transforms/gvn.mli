@@ -1,0 +1,7 @@
+(** Dominator-scoped common-subexpression elimination (a light GVN): pure
+    instructions with equal keys unify when an earlier occurrence dominates
+    the later one; commutative operations are keyed on sorted operands.
+    Memory operations and calls are never unified. *)
+
+val run_func : Yali_ir.Func.t -> Yali_ir.Func.t
+val run : Yali_ir.Irmod.t -> Yali_ir.Irmod.t

@@ -1,0 +1,11 @@
+(** Function inlining: small, non-(directly-)recursive callees are cloned
+    into their callers; returns rewire to a continuation block with a phi
+    over return values. *)
+
+val default_threshold : int
+
+val is_recursive : Yali_ir.Func.t -> bool
+val inlinable : threshold:int -> Yali_ir.Func.t -> bool
+
+(** Inline every eligible call site, bottom-up, until fixpoint (bounded). *)
+val run : ?threshold:int -> Yali_ir.Irmod.t -> Yali_ir.Irmod.t

@@ -1,0 +1,8 @@
+(** Peephole algebraic simplification ("instcombine").  Includes the inverse
+    rule for every identity O-LLVM's -sub obfuscation uses — [a - (0-b)],
+    [(a|b)+(a&b)], [(a^b)+2(a&b)], [(a|b)-(a&b)], [(a|b)-(a^b)],
+    [(a&b)+(a^b)] — which is why a classifier armed with an optimizer undoes
+    that evader (paper, Example 2.5 and §4.4). *)
+
+val run_func : Yali_ir.Func.t -> Yali_ir.Func.t
+val run : Yali_ir.Irmod.t -> Yali_ir.Irmod.t

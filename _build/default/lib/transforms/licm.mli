@@ -1,0 +1,7 @@
+(** Loop-invariant code motion: pure, non-trapping instructions whose
+    operands are loop-external move to a freshly inserted preheader.
+    Divisions stay put (hoisting could introduce a trap on a zero-trip
+    path); loads, stores and calls are never moved. *)
+
+val run_func : Yali_ir.Func.t -> Yali_ir.Func.t
+val run : Yali_ir.Irmod.t -> Yali_ir.Irmod.t

@@ -1,0 +1,251 @@
+(** Promotion of alloca slots to SSA registers ("mem2reg").
+
+    The classic algorithm: find promotable allocas (all uses are direct loads
+    and stores), place phi nodes on the iterated dominance frontier of the
+    stores, then rename along a dominator-tree walk.  This is the pass the
+    paper singles out (Section 4.3): the SSA conversion alone reverts the
+    effect of most source-level obfuscations. *)
+
+open Yali_ir
+module SMap = Map.Make (String)
+module ISet = Set.Make (Int)
+
+(** Drop blocks not reachable from the entry (required before the dominance
+    computation; also a useful cleanup in its own right). *)
+let remove_unreachable (f : Func.t) : Func.t =
+  let cfg = Cfg.of_func f in
+  let reach = Cfg.reachable cfg in
+  let blocks =
+    List.filter (fun (b : Block.t) -> Cfg.SSet.mem b.label reach) f.blocks
+  in
+  let blocks =
+    List.map
+      (fun (b : Block.t) ->
+        (* phis may still reference removed predecessors *)
+        let instrs =
+          List.filter_map
+            (fun (i : Instr.t) ->
+              match i.kind with
+              | Instr.Phi incoming -> (
+                  match
+                    List.filter (fun (_, l) -> Cfg.SSet.mem l reach) incoming
+                  with
+                  | [] -> None
+                  | incoming -> Some { i with kind = Instr.Phi incoming })
+              | _ -> Some i)
+            b.instrs
+        in
+        { b with instrs })
+      blocks
+  in
+  { f with blocks }
+
+(* An alloca is promotable when every use is a Load's pointer or a Store's
+   pointer (not its value operand, not a gep base, not a call argument). *)
+let promotable_allocas (f : Func.t) : (int * Types.t) list =
+  let allocas = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Block.t) ->
+      List.iter
+        (fun (i : Instr.t) ->
+          match i.kind with
+          | Instr.Alloca ty -> (
+              (* only scalar slots are promotable *)
+              match ty with
+              | Types.Arr _ -> ()
+              | _ -> Hashtbl.replace allocas i.id ty)
+          | _ -> ())
+        b.instrs)
+    f.blocks;
+  let disqualify (v : Value.t) =
+    match v with
+    | Value.Var id -> Hashtbl.remove allocas id
+    | _ -> ()
+  in
+  List.iter
+    (fun (b : Block.t) ->
+      List.iter
+        (fun (i : Instr.t) ->
+          match i.kind with
+          | Instr.Load _ -> ()
+          | Instr.Store (v, _) -> disqualify v
+          | _ -> List.iter disqualify (Instr.operands i))
+        b.instrs;
+      List.iter disqualify (Instr.terminator_operands b.term))
+    f.blocks;
+  Hashtbl.fold (fun id ty acc -> (id, ty) :: acc) allocas []
+
+let run_func (f : Func.t) : Func.t =
+  let f = remove_unreachable f in
+  let promo = promotable_allocas f in
+  if promo = [] then f
+  else
+    let promo_set = ISet.of_list (List.map fst promo) in
+    let ty_of = Hashtbl.create 16 in
+    List.iter (fun (id, ty) -> Hashtbl.replace ty_of id ty) promo;
+    let cfg = Cfg.of_func f in
+    let dom = Dominance.compute cfg in
+    (* blocks containing a store to each alloca *)
+    let def_blocks : (int, Cfg.SSet.t) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun (b : Block.t) ->
+        List.iter
+          (fun (i : Instr.t) ->
+            match i.kind with
+            | Instr.Store (_, Value.Var a) when ISet.mem a promo_set ->
+                let cur =
+                  Option.value
+                    (Hashtbl.find_opt def_blocks a)
+                    ~default:Cfg.SSet.empty
+                in
+                Hashtbl.replace def_blocks a (Cfg.SSet.add b.label cur)
+            | _ -> ())
+          b.instrs)
+      f.blocks;
+    (* phi placement on the iterated dominance frontier *)
+    let next_id = ref f.next_id in
+    let fresh () =
+      let id = !next_id in
+      incr next_id;
+      id
+    in
+    (* (block label, phi id) -> alloca it stands for; plus per-block list *)
+    let phi_for : (string * int, int) Hashtbl.t = Hashtbl.create 32 in
+    let phis_of_block : (string, int list) Hashtbl.t = Hashtbl.create 32 in
+    List.iter
+      (fun (a, _ty) ->
+        let placed = Hashtbl.create 8 in
+        let work = Queue.create () in
+        Cfg.SSet.iter
+          (fun l -> Queue.add l work)
+          (Option.value (Hashtbl.find_opt def_blocks a) ~default:Cfg.SSet.empty);
+        while not (Queue.is_empty work) do
+          let l = Queue.pop work in
+          List.iter
+            (fun df ->
+              if not (Hashtbl.mem placed df) then (
+                Hashtbl.replace placed df ();
+                let id = fresh () in
+                Hashtbl.replace phi_for (df, id) a;
+                Hashtbl.replace phis_of_block df
+                  (id
+                  :: Option.value (Hashtbl.find_opt phis_of_block df) ~default:[]);
+                (* the phi is itself a def *)
+                Queue.add df work))
+            (Dominance.frontier_of dom l)
+        done)
+      promo;
+    (* rename along the dominator tree *)
+    let repl : (int, Value.t) Hashtbl.t = Hashtbl.create 64 in
+    let rec resolve (v : Value.t) : Value.t =
+      match v with
+      | Value.Var id -> (
+          match Hashtbl.find_opt repl id with
+          | Some v' ->
+              let r = resolve v' in
+              Hashtbl.replace repl id r;
+              r
+          | None -> v)
+      | _ -> v
+    in
+    let block_tbl = Hashtbl.create 16 in
+    List.iter (fun (b : Block.t) -> Hashtbl.replace block_tbl b.label b) f.blocks;
+    let new_instrs : (string, Instr.t list) Hashtbl.t = Hashtbl.create 16 in
+    let new_terms : (string, Instr.terminator) Hashtbl.t = Hashtbl.create 16 in
+    (* phi incoming accumulators: (block, phi id) -> (value, pred) list *)
+    let phi_incoming : (string * int, (Value.t * string) list ref) Hashtbl.t =
+      Hashtbl.create 32
+    in
+    Hashtbl.iter
+      (fun (l, id) _ -> Hashtbl.replace phi_incoming (l, id) (ref []))
+      phi_for;
+    let dom_children = Dominance.children dom in
+    let rec walk (label : string) (env : (int * Value.t) list) =
+      let b = Hashtbl.find block_tbl label in
+      let env = ref env in
+      let lookup a =
+        match List.assoc_opt a !env with
+        | Some v -> resolve v
+        | None -> Value.Undef (Hashtbl.find ty_of a)
+      in
+      (* new phis of this block first *)
+      let own_phis =
+        List.rev_map
+          (fun id ->
+            let a = Hashtbl.find phi_for (label, id) in
+            env := (a, Value.Var id) :: !env;
+            (id, a))
+          (Option.value (Hashtbl.find_opt phis_of_block label) ~default:[])
+      in
+      let kept =
+        List.filter_map
+          (fun (i : Instr.t) ->
+            match i.kind with
+            | Instr.Alloca _ when ISet.mem i.id promo_set -> None
+            | Instr.Store (v, Value.Var a) when ISet.mem a promo_set ->
+                env := (a, resolve v) :: !env;
+                None
+            | Instr.Load (Value.Var a) when ISet.mem a promo_set ->
+                Hashtbl.replace repl i.id (lookup a);
+                None
+            | _ -> Some (Instr.map_operands resolve i))
+          b.instrs
+      in
+      let phi_instrs =
+        List.map
+          (fun (id, a) ->
+            Instr.mk ~id ~ty:(Hashtbl.find ty_of a) (Instr.Phi []))
+          (List.rev own_phis)
+      in
+      Hashtbl.replace new_instrs label (phi_instrs @ kept);
+      Hashtbl.replace new_terms label
+        (Instr.map_terminator_operands resolve b.term);
+      (* feed successors' phis (dedupe: several edges may share a target) *)
+      List.iter
+        (fun s ->
+          List.iter
+            (fun id ->
+              let a = Hashtbl.find phi_for (s, id) in
+              let acc = Hashtbl.find phi_incoming (s, id) in
+              if not (List.exists (fun (_, l) -> l = label) !acc) then
+                acc := (lookup a, label) :: !acc)
+            (Option.value (Hashtbl.find_opt phis_of_block s) ~default:[]))
+        (List.sort_uniq compare (Cfg.successors cfg label));
+      (* recurse into dominated blocks *)
+      List.iter
+        (fun c -> walk c !env)
+        (Option.value (SMap.find_opt label dom_children) ~default:[])
+    in
+    walk cfg.Cfg.entry [];
+    (* assemble, filling phi incoming lists *)
+    let blocks =
+      List.map
+        (fun (b : Block.t) ->
+          let instrs =
+            List.map
+              (fun (i : Instr.t) ->
+                match i.kind with
+                | Instr.Phi [] when Hashtbl.mem phi_for (b.label, i.id) ->
+                    let incoming =
+                      List.map
+                        (fun (v, l) -> (resolve v, l))
+                        !(Hashtbl.find phi_incoming (b.label, i.id))
+                    in
+                    { i with kind = Instr.Phi incoming }
+                | Instr.Phi incoming ->
+                    (* pre-existing phi: resolve operands *)
+                    {
+                      i with
+                      kind =
+                        Instr.Phi
+                          (List.map (fun (v, l) -> (resolve v, l)) incoming);
+                    }
+                | _ -> i)
+              (Hashtbl.find new_instrs b.label)
+          in
+          { b with instrs; term = Hashtbl.find new_terms b.label })
+        f.blocks
+    in
+    { f with blocks; next_id = !next_id }
+
+let run : Irmod.t -> Irmod.t = Irmod.map_funcs run_func

@@ -1,0 +1,68 @@
+(** Named passes and the clang-style optimization pipelines used throughout
+    the paper's experiments: [-O0] (identity), [-O1], [-O2] and [-O3]. *)
+
+open Yali_ir
+
+type pass = { pname : string; prun : Irmod.t -> Irmod.t }
+
+let mem2reg = { pname = "mem2reg"; prun = Mem2reg.run }
+let constfold = { pname = "constfold"; prun = Constfold.run }
+let instcombine = { pname = "instcombine"; prun = Instcombine.run }
+let dce = { pname = "dce"; prun = Dce.run }
+let simplifycfg = { pname = "simplifycfg"; prun = Simplifycfg.run }
+let gvn = { pname = "gvn"; prun = Gvn.run }
+let inline = { pname = "inline"; prun = (fun m -> Inline.run m) }
+let licm = { pname = "licm"; prun = Licm.run }
+
+let all_passes =
+  [ mem2reg; constfold; instcombine; dce; simplifycfg; gvn; inline; licm ]
+
+let find_pass name = List.find_opt (fun p -> p.pname = name) all_passes
+
+let apply (passes : pass list) (m : Irmod.t) : Irmod.t =
+  List.fold_left (fun m p -> p.prun m) m passes
+
+(** Apply [passes] repeatedly until the module stops shrinking (bounded). *)
+let apply_fixpoint ?(max_rounds = 3) (passes : pass list) (m : Irmod.t) :
+    Irmod.t =
+  let rec go m rounds =
+    if rounds >= max_rounds then m
+    else
+      let m' = apply passes m in
+      if Irmod.instr_count m' = Irmod.instr_count m then m' else go m' (rounds + 1)
+  in
+  go m 0
+
+let o0 (m : Irmod.t) : Irmod.t = m
+
+let o1 : Irmod.t -> Irmod.t =
+  apply [ mem2reg; constfold; instcombine; simplifycfg; dce ]
+
+let o2 : Irmod.t -> Irmod.t =
+ fun m ->
+  m
+  |> apply [ mem2reg ]
+  |> apply_fixpoint [ constfold; instcombine; simplifycfg; gvn; dce ]
+  |> apply [ licm; dce ]
+
+let o3 : Irmod.t -> Irmod.t =
+ fun m ->
+  m
+  |> apply [ mem2reg; constfold; instcombine; simplifycfg ]
+  |> apply [ inline ]
+  |> apply_fixpoint ~max_rounds:4 [ constfold; instcombine; simplifycfg; gvn; dce ]
+  |> apply [ licm; gvn; dce; simplifycfg ]
+
+type level = O0 | O1 | O2 | O3
+
+let level_of_string = function
+  | "O0" | "o0" | "-O0" -> Some O0
+  | "O1" | "o1" | "-O1" -> Some O1
+  | "O2" | "o2" | "-O2" -> Some O2
+  | "O3" | "o3" | "-O3" -> Some O3
+  | _ -> None
+
+let level_to_string = function O0 -> "O0" | O1 -> "O1" | O2 -> "O2" | O3 -> "O3"
+
+let optimize (level : level) : Irmod.t -> Irmod.t =
+  match level with O0 -> o0 | O1 -> o1 | O2 -> o2 | O3 -> o3

@@ -1,0 +1,35 @@
+(** Named passes and the clang-style optimization pipelines the paper's
+    experiments use as both evaders ([-O3]) and normalizers. *)
+
+type pass = { pname : string; prun : Yali_ir.Irmod.t -> Yali_ir.Irmod.t }
+
+val mem2reg : pass
+val constfold : pass
+val instcombine : pass
+val dce : pass
+val simplifycfg : pass
+val gvn : pass
+val inline : pass
+val licm : pass
+
+val all_passes : pass list
+val find_pass : string -> pass option
+
+(** Run passes in order. *)
+val apply : pass list -> Yali_ir.Irmod.t -> Yali_ir.Irmod.t
+
+(** Re-run the pass list until the module stops shrinking (bounded by
+    [max_rounds]). *)
+val apply_fixpoint :
+  ?max_rounds:int -> pass list -> Yali_ir.Irmod.t -> Yali_ir.Irmod.t
+
+val o0 : Yali_ir.Irmod.t -> Yali_ir.Irmod.t
+val o1 : Yali_ir.Irmod.t -> Yali_ir.Irmod.t
+val o2 : Yali_ir.Irmod.t -> Yali_ir.Irmod.t
+val o3 : Yali_ir.Irmod.t -> Yali_ir.Irmod.t
+
+type level = O0 | O1 | O2 | O3
+
+val level_of_string : string -> level option
+val level_to_string : level -> string
+val optimize : level -> Yali_ir.Irmod.t -> Yali_ir.Irmod.t

@@ -1,0 +1,8 @@
+(** Control-flow-graph simplification: fold constant branches and switches,
+    remove unreachable blocks, merge straight-line chains, collapse
+    single-incoming phis.  Dismantles trivially-dead control flow — but not
+    opaque-predicate bogus control flow, which does not fold (the paper's
+    §4.4 caveat). *)
+
+val run_func : Yali_ir.Func.t -> Yali_ir.Func.t
+val run : Yali_ir.Irmod.t -> Yali_ir.Irmod.t

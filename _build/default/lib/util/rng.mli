@@ -1,0 +1,52 @@
+(** Deterministic, splittable pseudo-random number generator (splitmix64).
+
+    Every stochastic component of the framework draws from an explicit
+    [Rng.t]; there is no global state, so experiments are reproducible from
+    a single seed and property tests are stable. *)
+
+type t
+
+(** Create a generator from a seed. *)
+val make : int -> t
+
+(** An independent copy: advancing one does not affect the other. *)
+val copy : t -> t
+
+(** Draw the next raw 64-bit value (advances the state). *)
+val next_int64 : t -> int64
+
+(** Derive an independent generator (advances this one once). *)
+val split : t -> t
+
+(** Uniform integer in [0, bound).  @raise Invalid_argument on bound <= 0 *)
+val int : t -> int -> int
+
+(** Uniform integer in [lo, hi], inclusive. *)
+val int_range : t -> int -> int -> int
+
+(** Uniform float in [0, 1). *)
+val float : t -> float
+
+val bool : t -> bool
+
+(** Bernoulli draw with probability [p]. *)
+val bernoulli : t -> float -> bool
+
+(** Standard normal deviate (Box–Muller). *)
+val gaussian : t -> float
+
+(** Uniform element of a non-empty list. *)
+val choice : t -> 'a list -> 'a
+
+(** Uniform element of a non-empty array. *)
+val choice_arr : t -> 'a array -> 'a
+
+(** Fisher–Yates shuffle; returns a fresh list. *)
+val shuffle : t -> 'a list -> 'a list
+
+(** [sample t k xs] draws [k] elements without replacement. *)
+val sample : t -> int -> 'a list -> 'a list
+
+(** Weighted choice; weights need not be normalised.
+    @raise Invalid_argument when the total weight is not positive *)
+val weighted_choice : t -> ('a * float) list -> 'a

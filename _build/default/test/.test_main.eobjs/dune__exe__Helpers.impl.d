@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Float Int64 List QCheck QCheck_alcotest String Yali

@@ -1,0 +1,1 @@
+test/test_antivirus.ml: Alcotest Hashtbl Helpers List Yali

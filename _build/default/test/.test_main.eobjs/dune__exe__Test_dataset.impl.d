@@ -1,0 +1,1 @@
+test/test_dataset.ml: Alcotest Array Helpers List Option Printf Yali

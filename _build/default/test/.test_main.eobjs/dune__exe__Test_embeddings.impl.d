@@ -1,0 +1,1 @@
+test/test_embeddings.ml: Alcotest Array Helpers List Option Yali

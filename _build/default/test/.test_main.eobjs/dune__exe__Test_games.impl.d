@@ -1,0 +1,1 @@
+test/test_games.ml: Alcotest Helpers List Printf Yali

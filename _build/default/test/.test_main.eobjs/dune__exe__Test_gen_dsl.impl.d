@@ -1,0 +1,1 @@
+test/test_gen_dsl.ml: Alcotest Helpers Int64 List String Yali

@@ -1,0 +1,1 @@
+test/test_irparser.ml: Alcotest Helpers List Yali

@@ -1,0 +1,1 @@
+test/test_loops.ml: Alcotest Helpers List Printf Yali

@@ -1,0 +1,1 @@
+test/test_obfuscation.ml: Alcotest Helpers List Option Printf Yali

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Float Fun Hashtbl Helpers List Option Yali

@@ -1,0 +1,104 @@
+(** Focused tests for the antivirus ensemble and its n-gram machinery. *)
+
+open Helpers
+module G = Yali.Games
+module Rng = Yali.Rng
+module Ir = Yali.Ir
+
+let test_ngrams_count () =
+  let m = lower (parse "int main() { int a = 1; return a + 2; }") in
+  let total = Ir.Irmod.instr_count m in
+  let grams3 = G.Antivirus.opcode_ngrams ~n:3 m in
+  Alcotest.(check int) "n-k+1 ngrams" (total - 2) (List.length grams3);
+  let grams_huge = G.Antivirus.opcode_ngrams ~n:(total + 1) m in
+  Alcotest.(check int) "too-long n yields none" 0 (List.length grams_huge)
+
+let test_ngrams_deterministic () =
+  let m = lower (dataset_program 12) in
+  Alcotest.(check bool) "stable" true
+    (G.Antivirus.opcode_ngrams ~n:4 m = G.Antivirus.opcode_ngrams ~n:4 m)
+
+let corpus seed n =
+  let rng = Rng.make seed in
+  ( List.init n (fun _ -> lower (Yali.Dataset.Mirai.generate_malware (Rng.split rng))),
+    List.init n (fun _ -> lower (Yali.Dataset.Mirai.generate_benign (Rng.split rng))) )
+
+let test_build_has_scanners () =
+  let malware, benign = corpus 3 8 in
+  let av = G.Antivirus.build (Rng.make 1) ~malware ~benign in
+  Alcotest.(check bool) "several engines" true
+    (List.length av.scanners >= 4);
+  List.iter
+    (fun (s : G.Antivirus.scanner) ->
+      Alcotest.(check bool)
+        (s.sname ^ " learned signatures")
+        true
+        (Hashtbl.length s.signatures > 0))
+    av.scanners
+
+let test_signatures_exclude_benign_grams () =
+  let malware, benign = corpus 5 8 in
+  let av = G.Antivirus.build (Rng.make 2) ~malware ~benign in
+  (* no signature may appear in the benign corpus it was trained against *)
+  let benign_grams = Hashtbl.create 1024 in
+  List.iter
+    (fun (s : G.Antivirus.scanner) ->
+      List.iter
+        (fun m ->
+          List.iter
+            (fun g -> Hashtbl.replace benign_grams (s.n, g) ())
+            (G.Antivirus.opcode_ngrams ~n:s.n m))
+        benign;
+      Hashtbl.iter
+        (fun g () ->
+          Alcotest.(check bool) "signature not benign" false
+            (Hashtbl.mem benign_grams (s.n, g)))
+        s.signatures)
+    av.scanners
+
+let test_matches_monotone_in_threshold () =
+  let malware, benign = corpus 7 8 in
+  let av = G.Antivirus.build (Rng.make 3) ~malware ~benign in
+  let sample = lower (Yali.Dataset.Mirai.generate_malware (Rng.make 424242)) in
+  List.iter
+    (fun (s : G.Antivirus.scanner) ->
+      (* family verdict implies generic verdict whenever thresholds are
+         ordered, which build guarantees *)
+      Alcotest.(check bool) "thresholds ordered" true
+        (s.family_threshold >= s.generic_threshold);
+      if G.Antivirus.scanner_is_mirai s sample then
+        Alcotest.(check bool) "family => generic" true
+          (G.Antivirus.scanner_is_malware s sample))
+    av.scanners
+
+let test_detections_bounded () =
+  let malware, benign = corpus 9 6 in
+  let av = G.Antivirus.build (Rng.make 4) ~malware ~benign in
+  let sample = lower (Yali.Dataset.Mirai.generate_malware (Rng.make 5)) in
+  let g, f = G.Antivirus.detections av sample in
+  let n = List.length av.scanners in
+  Alcotest.(check bool) "votes within ensemble size" true
+    (g >= 0 && g <= n && f >= 0 && f <= n)
+
+let test_best_accuracy_range =
+  qtest ~count:5 "best_accuracy stays in [0,1]" (fun seed ->
+      let malware, benign = corpus seed 5 in
+      let av = G.Antivirus.build (Rng.make seed) ~malware ~benign in
+      let challenges =
+        List.mapi (fun i m -> (m, if i < 5 then 1 else 0)) (malware @ benign)
+      in
+      let a, b = G.Antivirus.best_accuracy av challenges in
+      a >= 0.0 && a <= 1.0 && b >= 0.0 && b <= 1.0)
+
+let suite =
+  [
+    Alcotest.test_case "ngram counts" `Quick test_ngrams_count;
+    Alcotest.test_case "ngrams deterministic" `Quick test_ngrams_deterministic;
+    Alcotest.test_case "ensemble builds" `Slow test_build_has_scanners;
+    Alcotest.test_case "signatures exclude benign" `Slow
+      test_signatures_exclude_benign_grams;
+    Alcotest.test_case "family implies generic" `Slow
+      test_matches_monotone_in_threshold;
+    Alcotest.test_case "votes bounded" `Slow test_detections_bounded;
+    test_best_accuracy_range;
+  ]

@@ -1,0 +1,184 @@
+(** Tests for the generator DSL underlying the synthetic corpus: input
+    clamping, loop-shape equivalence, junk harmlessness. *)
+
+open Helpers
+module Rng = Yali.Rng
+module Ast = Yali.Minic.Ast
+
+(* read_clamped must keep any input in range *)
+let test_read_clamped_bounds =
+  qtest ~count:60 "read_clamped stays within [lo,hi]" (fun seed ->
+      let lo = seed mod 5 and width = 1 + (seed mod 40) in
+      let hi = lo + width in
+      let prog : Ast.program =
+        {
+          pfuncs =
+            [
+              {
+                fname = "main";
+                fparams = [];
+                fret = Ast.TInt;
+                fbody =
+                  [
+                    Ast.Decl
+                      (Ast.TInt, "x", Some (Yali.Dataset.Gen_dsl.read_clamped lo hi));
+                    Ast.Expr (Ast.Call ("print_int", [ Ast.Var "x" ]));
+                    Ast.Return (Some (Ast.IntLit 0));
+                  ];
+              };
+            ];
+        }
+      in
+      let m = lower prog in
+      List.for_all
+        (fun input ->
+          match outputs (Yali.Ir.Interp.run m [ input ]) with
+          | [ x ] -> x >= lo && x <= hi
+          | _ -> false)
+        [ 0L; 1L; -1L; 1000L; -1000L; Int64.of_int max_int; 7L ])
+
+(* the three rendering choices of count_loop are observably identical *)
+let test_count_loop_shapes_agree () =
+  let body_src var = [ Yali.Dataset.Gen_dsl.print (Ast.Var var) ] in
+  let outputs_of seed =
+    let c = Yali.Dataset.Gen_dsl.ctx (Rng.make seed) in
+    let prog : Ast.program =
+      {
+        pfuncs =
+          [
+            {
+              fname = "main";
+              fparams = [];
+              fret = Ast.TInt;
+              fbody =
+                Yali.Dataset.Gen_dsl.count_loop c ~var:"k" ~lo:(Ast.IntLit 2)
+                  ~hi:(Ast.IntLit 7) (body_src "k")
+                @ [ Ast.Return (Some (Ast.IntLit 0)) ];
+            };
+          ];
+      }
+    in
+    outputs (Yali.Ir.Interp.run (lower prog) [])
+  in
+  (* different seeds choose different loop shapes; all must print 2..6 *)
+  for seed = 0 to 11 do
+    Alcotest.(check (list int)) "2..6" [ 2; 3; 4; 5; 6 ] (outputs_of seed)
+  done
+
+let test_count_down_loop () =
+  let c = Yali.Dataset.Gen_dsl.ctx (Rng.make 3) in
+  let prog : Ast.program =
+    {
+      pfuncs =
+        [
+          {
+            fname = "main";
+            fparams = [];
+            fret = Ast.TInt;
+            fbody =
+              Yali.Dataset.Gen_dsl.count_down_loop c ~var:"k" ~lo:(Ast.IntLit 0)
+                ~hi:(Ast.IntLit 4)
+                [ Yali.Dataset.Gen_dsl.print (Ast.Var "k") ]
+              @ [ Ast.Return (Some (Ast.IntLit 0)) ];
+          };
+        ];
+    }
+  in
+  Alcotest.(check (list int)) "3..0" [ 3; 2; 1; 0 ]
+    (outputs (Yali.Ir.Interp.run (lower prog) []))
+
+(* junk blocks always lower, verify and execute without observable output *)
+let test_junk_is_harmless =
+  qtest ~count:60 "junk blocks are observably inert" (fun seed ->
+      let c = Yali.Dataset.Gen_dsl.ctx (Rng.make seed) in
+      let junk = Yali.Dataset.Gen_dsl.junk_block c in
+      let prog : Ast.program =
+        {
+          pfuncs =
+            [
+              {
+                fname = "main";
+                fparams = [];
+                fret = Ast.TInt;
+                fbody =
+                  junk
+                  @ [
+                      Ast.Expr (Ast.Call ("print_int", [ Ast.IntLit 7 ]));
+                      Ast.Return (Some (Ast.IntLit 0));
+                    ];
+              };
+            ];
+        }
+      in
+      let m = lower prog in
+      Yali.Ir.Verify.check_module m = []
+      && outputs (Yali.Ir.Interp.run m []) = [ 7 ])
+
+(* straight-line junk melts away under O3: the program with junk optimizes
+   to exactly the program without.  (Dead *loops* survive — we implement no
+   loop-deletion pass, like many production -O pipelines without LTO.) *)
+let rec has_loop (ss : Ast.stmt list) =
+  List.exists
+    (function
+      | Ast.While _ | Ast.DoWhile _ | Ast.For _ -> true
+      | Ast.If (_, t, e) -> has_loop t || has_loop e
+      | Ast.Block b -> has_loop b
+      | _ -> false)
+    ss
+
+let test_junk_melts_under_o3 =
+  qtest ~count:30 "straight-line junk is dead code to the optimizer" (fun seed ->
+      let c = Yali.Dataset.Gen_dsl.ctx (Rng.make seed) in
+      let base : Ast.stmt list =
+        [
+          Ast.Expr (Ast.Call ("print_int", [ Ast.IntLit 7 ]));
+          Ast.Return (Some (Ast.IntLit 0));
+        ]
+      in
+      let prog body : Ast.program =
+        { pfuncs = [ { fname = "main"; fparams = []; fret = Ast.TInt; fbody = body } ] }
+      in
+      let junk = Yali.Dataset.Gen_dsl.junk_block c in
+      has_loop junk
+      ||
+      let n_with =
+        Yali.Ir.Irmod.instr_count
+          (Yali.Transforms.Pipeline.o3 (lower (prog (junk @ base))))
+      in
+      let n_without =
+        Yali.Ir.Irmod.instr_count (Yali.Transforms.Pipeline.o3 (lower (prog base)))
+      in
+      n_with = n_without)
+
+let test_name_salting () =
+  (* identifiers vary between contexts but stay valid C identifiers *)
+  let ident_ok s =
+    String.length s > 0
+    && (Yali.Minic.Lexer.is_ident_start s.[0])
+    && String.for_all Yali.Minic.Lexer.is_ident_char s
+  in
+  for seed = 0 to 30 do
+    let c = Yali.Dataset.Gen_dsl.ctx (Rng.make seed) in
+    let n = Yali.Dataset.Gen_dsl.name c "counter" in
+    Alcotest.(check bool) ("valid identifier: " ^ n) true (ident_ok n)
+  done
+
+let test_reorder_is_permutation () =
+  let c = Yali.Dataset.Gen_dsl.ctx (Rng.make 9) in
+  let ss = [ Ast.Break; Ast.Continue; Ast.Return None ] in
+  let ss' = Yali.Dataset.Gen_dsl.reorder c ss in
+  Alcotest.(check int) "same length" 3 (List.length ss');
+  List.iter
+    (fun s -> Alcotest.(check bool) "member" true (List.memq s ss'))
+    ss
+
+let suite =
+  [
+    test_read_clamped_bounds;
+    Alcotest.test_case "count_loop shapes agree" `Quick test_count_loop_shapes_agree;
+    Alcotest.test_case "count_down_loop" `Quick test_count_down_loop;
+    test_junk_is_harmless;
+    test_junk_melts_under_o3;
+    Alcotest.test_case "name salting" `Quick test_name_salting;
+    Alcotest.test_case "reorder permutes" `Quick test_reorder_is_permutation;
+  ]

@@ -1,0 +1,250 @@
+(** Tests for the IR substrate: opcodes, types, builder, verifier, CFG,
+    dominance. *)
+
+open Helpers
+module Ir = Yali.Ir
+module I = Ir.Instr
+module T = Ir.Types
+module V = Ir.Value
+module B = Ir.Builder
+
+let test_opcode_count () =
+  Alcotest.(check int) "63 opcodes, like the paper's histogram" 63
+    Ir.Opcode.count
+
+let test_opcode_index_bijection () =
+  List.iteri
+    (fun k op -> Alcotest.(check int) (Ir.Opcode.to_string op) k (Ir.Opcode.index op))
+    Ir.Opcode.all
+
+let test_opcode_string_roundtrip () =
+  List.iter
+    (fun op ->
+      match Ir.Opcode.of_string (Ir.Opcode.to_string op) with
+      | Some op' -> Alcotest.(check bool) "roundtrip" true (op = op')
+      | None -> Alcotest.fail "of_string failed")
+    Ir.Opcode.all
+
+let test_opcode_costs_positive () =
+  List.iter
+    (fun op ->
+      Alcotest.(check bool)
+        (Ir.Opcode.to_string op)
+        true
+        (Ir.Opcode.cost op >= 0))
+    Ir.Opcode.all
+
+let test_type_sizes () =
+  Alcotest.(check int) "i32 one cell" 1 (T.size_in_cells T.I32);
+  Alcotest.(check int) "array cells" 10 (T.size_in_cells (T.Arr (T.I32, 10)));
+  Alcotest.(check int) "nested array" 12 (T.size_in_cells (T.Arr (T.Arr (T.I64, 3), 4)));
+  Alcotest.(check int) "void is empty" 0 (T.size_in_cells T.Void)
+
+let test_type_predicates () =
+  Alcotest.(check bool) "i1 is integer" true (T.is_integer T.I1);
+  Alcotest.(check bool) "f64 is float" true (T.is_float T.F64);
+  Alcotest.(check bool) "ptr is pointer" true (T.is_pointer (T.Ptr T.I32));
+  Alcotest.(check int) "width i32" 32 (T.width T.I32);
+  Alcotest.(check bool) "deref" true (T.deref (T.Ptr T.I8) = T.I8)
+
+(* -- builder -------------------------------------------------------------- *)
+
+let build_simple () =
+  (* f(x) = x + 1 *)
+  let b = B.create ~name:"inc" ~param_tys:[ T.I32 ] ~ret:T.I32 in
+  let entry = B.new_block b in
+  B.switch_to b entry;
+  let r = B.ibin b I.Add (B.param b 0) (V.i32 1) ~ty:T.I32 in
+  B.ret b (Some r);
+  B.finish b
+
+let test_builder_simple () =
+  let f = build_simple () in
+  Alcotest.(check string) "name" "inc" f.Ir.Func.name;
+  Alcotest.(check int) "one block" 1 (List.length f.blocks);
+  Alcotest.(check int) "instrs" 2 (Ir.Func.instr_count f)
+
+let test_builder_rejects_double_terminate () =
+  let b = B.create ~name:"f" ~param_tys:[] ~ret:T.Void in
+  let entry = B.new_block b in
+  B.switch_to b entry;
+  B.ret b None;
+  Alcotest.check_raises "double terminate"
+    (Invalid_argument "Builder.terminate: already terminated") (fun () ->
+      B.ret b None)
+
+let test_instr_operands_map () =
+  let i = I.mk ~id:5 ~ty:T.I32 (I.Ibin (I.Add, V.Var 1, V.Var 2)) in
+  Alcotest.(check int) "two operands" 2 (List.length (I.operands i));
+  let i' = I.map_operands (fun _ -> V.i32 0) i in
+  Alcotest.(check bool) "rewritten" true
+    (List.for_all (fun v -> v = V.i32 0) (I.operands i'))
+
+let test_icmp_negate_involution () =
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "negate involutive" true
+        (I.icmp_negate (I.icmp_negate p) = p);
+      Alcotest.(check bool) "swap involutive" true (I.icmp_swap (I.icmp_swap p) = p))
+    [ I.Eq; I.Ne; I.Slt; I.Sle; I.Sgt; I.Sge; I.Ult; I.Ule; I.Ugt; I.Uge ]
+
+let test_terminator_successors () =
+  Alcotest.(check (list string)) "condbr" [ "a"; "b" ]
+    (I.successors (I.CondBr (V.i1 true, "a", "b")));
+  Alcotest.(check (list string)) "switch" [ "d"; "x"; "y" ]
+    (I.successors (I.Switch (V.i32 0, "d", [ (1L, "x"); (2L, "y") ])));
+  Alcotest.(check (list string)) "ret" [] (I.successors (I.Ret None))
+
+(* -- verifier ------------------------------------------------------------- *)
+
+let test_verifier_accepts_good () =
+  let m = Ir.Irmod.make ~name:"m" [ build_simple () ] in
+  Alcotest.(check int) "no errors" 0 (List.length (Ir.Verify.check_module m))
+
+let test_verifier_catches_bad_branch () =
+  let blk =
+    Ir.Block.make ~label:"entry" ~instrs:[] ~term:(I.Br "nowhere")
+  in
+  let f = Ir.Func.make ~name:"f" ~params:[] ~ret:T.Void ~blocks:[ blk ] in
+  let errs = Ir.Verify.check_func f in
+  Alcotest.(check bool) "error reported" true (errs <> [])
+
+let test_verifier_catches_undefined_use () =
+  let blk =
+    Ir.Block.make ~label:"entry"
+      ~instrs:[ I.mk ~id:0 ~ty:T.I32 (I.Ibin (I.Add, V.Var 99, V.i32 1)) ]
+      ~term:(I.Ret (Some (V.Var 0)))
+  in
+  let f = Ir.Func.make ~name:"f" ~params:[] ~ret:T.I32 ~blocks:[ blk ] in
+  Alcotest.(check bool) "undefined use caught" true (Ir.Verify.check_func f <> [])
+
+let test_verifier_catches_double_def () =
+  let blk =
+    Ir.Block.make ~label:"entry"
+      ~instrs:
+        [
+          I.mk ~id:0 ~ty:T.I32 (I.Ibin (I.Add, V.i32 1, V.i32 1));
+          I.mk ~id:0 ~ty:T.I32 (I.Ibin (I.Add, V.i32 2, V.i32 2));
+        ]
+      ~term:(I.Ret (Some (V.Var 0)))
+  in
+  let f = Ir.Func.make ~name:"f" ~params:[] ~ret:T.I32 ~blocks:[ blk ] in
+  Alcotest.(check bool) "double def caught" true (Ir.Verify.check_func f <> [])
+
+let test_verifier_catches_phi_mismatch () =
+  let b1 = Ir.Block.make ~label:"a" ~instrs:[] ~term:(I.Br "b") in
+  let b2 =
+    Ir.Block.make ~label:"b"
+      ~instrs:[ I.mk ~id:0 ~ty:T.I32 (I.Phi [ (V.i32 1, "wrong") ]) ]
+      ~term:(I.Ret (Some (V.Var 0)))
+  in
+  let f = Ir.Func.make ~name:"f" ~params:[] ~ret:T.I32 ~blocks:[ b1; b2 ] in
+  Alcotest.(check bool) "phi mismatch caught" true (Ir.Verify.check_func f <> [])
+
+(* -- CFG and dominance ---------------------------------------------------- *)
+
+let diamond () =
+  (* entry -> (l, r) -> join *)
+  let b = B.create ~name:"d" ~param_tys:[ T.I32 ] ~ret:T.I32 in
+  let entry = B.new_block ~hint:"entry" b in
+  let l = B.new_block ~hint:"l" b in
+  let r = B.new_block ~hint:"r" b in
+  let j = B.new_block ~hint:"j" b in
+  B.switch_to b entry;
+  let c = B.icmp b I.Slt (B.param b 0) (V.i32 0) in
+  B.condbr b c l r;
+  B.switch_to b l;
+  B.br b j;
+  B.switch_to b r;
+  B.br b j;
+  B.switch_to b j;
+  B.ret b (Some (V.i32 0));
+  (B.finish b, entry, l, r, j)
+
+let test_cfg_edges () =
+  let f, entry, l, r, j = diamond () in
+  let g = Ir.Cfg.of_func f in
+  Alcotest.(check (list string)) "entry succs" [ l; r ] (Ir.Cfg.successors g entry);
+  Alcotest.(check int) "join preds" 2 (List.length (Ir.Cfg.predecessors g j));
+  Alcotest.(check int) "edges" 4 (Ir.Cfg.edge_count g);
+  Alcotest.(check bool) "acyclic" false (Ir.Cfg.has_cycle g)
+
+let test_cfg_rpo () =
+  let f, entry, _, _, j = diamond () in
+  let g = Ir.Cfg.of_func f in
+  let rpo = Ir.Cfg.reverse_postorder g in
+  Alcotest.(check string) "entry first" entry (List.hd rpo);
+  Alcotest.(check string) "join last" j (List.nth rpo 3)
+
+let test_dominance_diamond () =
+  let f, entry, l, r, j = diamond () in
+  let g = Ir.Cfg.of_func f in
+  let dom = Ir.Dominance.compute g in
+  Alcotest.(check (option string)) "idom l" (Some entry) (Ir.Dominance.idom dom l);
+  Alcotest.(check (option string)) "idom r" (Some entry) (Ir.Dominance.idom dom r);
+  Alcotest.(check (option string)) "idom j" (Some entry) (Ir.Dominance.idom dom j);
+  Alcotest.(check bool) "entry dominates all" true
+    (Ir.Dominance.dominates dom entry j);
+  Alcotest.(check bool) "l does not dominate j" false
+    (Ir.Dominance.dominates dom l j);
+  Alcotest.(check (list string)) "frontier of l" [ j ]
+    (Ir.Dominance.frontier_of dom l)
+
+let test_dominance_loop_self_frontier () =
+  (* entry -> header <-> body; header in its own dominance frontier *)
+  let b = B.create ~name:"loop" ~param_tys:[ T.I32 ] ~ret:T.I32 in
+  let entry = B.new_block ~hint:"entry" b in
+  let header = B.new_block ~hint:"h" b in
+  let exit = B.new_block ~hint:"x" b in
+  B.switch_to b entry;
+  B.br b header;
+  B.switch_to b header;
+  let c = B.icmp b I.Slt (B.param b 0) (V.i32 10) in
+  B.condbr b c header exit;
+  B.switch_to b exit;
+  B.ret b (Some (V.i32 0));
+  let f = B.finish b in
+  let dom = Ir.Dominance.compute (Ir.Cfg.of_func f) in
+  Alcotest.(check bool) "header in own frontier" true
+    (List.mem header (Ir.Dominance.frontier_of dom header))
+
+(* -- pretty printer ------------------------------------------------------- *)
+
+let test_pp_contains_essentials () =
+  let f = build_simple () in
+  let s = Ir.Pp.func_to_string f in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true
+        (contains_substring s needle))
+    [ "define"; "@inc"; "add"; "ret" ]
+
+let suite =
+  [
+    Alcotest.test_case "opcode count is 63" `Quick test_opcode_count;
+    Alcotest.test_case "opcode index bijection" `Quick test_opcode_index_bijection;
+    Alcotest.test_case "opcode string roundtrip" `Quick test_opcode_string_roundtrip;
+    Alcotest.test_case "opcode costs nonneg" `Quick test_opcode_costs_positive;
+    Alcotest.test_case "type sizes" `Quick test_type_sizes;
+    Alcotest.test_case "type predicates" `Quick test_type_predicates;
+    Alcotest.test_case "builder simple" `Quick test_builder_simple;
+    Alcotest.test_case "builder rejects double terminate" `Quick
+      test_builder_rejects_double_terminate;
+    Alcotest.test_case "instr operands map" `Quick test_instr_operands_map;
+    Alcotest.test_case "icmp negate/swap involutions" `Quick
+      test_icmp_negate_involution;
+    Alcotest.test_case "terminator successors" `Quick test_terminator_successors;
+    Alcotest.test_case "verifier accepts good" `Quick test_verifier_accepts_good;
+    Alcotest.test_case "verifier: bad branch" `Quick test_verifier_catches_bad_branch;
+    Alcotest.test_case "verifier: undefined use" `Quick
+      test_verifier_catches_undefined_use;
+    Alcotest.test_case "verifier: double def" `Quick test_verifier_catches_double_def;
+    Alcotest.test_case "verifier: phi mismatch" `Quick
+      test_verifier_catches_phi_mismatch;
+    Alcotest.test_case "cfg edges" `Quick test_cfg_edges;
+    Alcotest.test_case "cfg rpo" `Quick test_cfg_rpo;
+    Alcotest.test_case "dominance diamond" `Quick test_dominance_diamond;
+    Alcotest.test_case "dominance self frontier" `Quick
+      test_dominance_loop_self_frontier;
+    Alcotest.test_case "pp essentials" `Quick test_pp_contains_essentials;
+  ]

@@ -1,0 +1,111 @@
+(** Tests for the deterministic splittable RNG. *)
+
+open Helpers
+module Rng = Yali.Rng
+
+let test_determinism () =
+  let a = Rng.make 42 and b = Rng.make 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_different_seeds () =
+  let a = Rng.make 1 and b = Rng.make 2 in
+  let xs = List.init 10 (fun _ -> Rng.next_int64 a) in
+  let ys = List.init 10 (fun _ -> Rng.next_int64 b) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_split_independent () =
+  let a = Rng.make 7 in
+  let b = Rng.split a in
+  let xs = List.init 5 (fun _ -> Rng.next_int64 a) in
+  let ys = List.init 5 (fun _ -> Rng.next_int64 b) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let test_int_bounds =
+  qtest ~count:200 "int respects bounds" (fun seed ->
+      let rng = Rng.make seed in
+      let bound = 1 + (seed mod 100) in
+      let x = Rng.int rng bound in
+      x >= 0 && x < bound)
+
+let test_int_range =
+  qtest ~count:200 "int_range inclusive" (fun seed ->
+      let rng = Rng.make seed in
+      let lo = -(seed mod 50) and hi = seed mod 50 in
+      let x = Rng.int_range rng lo hi in
+      x >= lo && x <= hi)
+
+let test_float_unit =
+  qtest ~count:200 "float in [0,1)" (fun seed ->
+      let rng = Rng.make seed in
+      let x = Rng.float rng in
+      x >= 0.0 && x < 1.0)
+
+let test_shuffle_permutation =
+  qtest "shuffle permutes" (fun seed ->
+      let rng = Rng.make seed in
+      let xs = List.init 20 Fun.id in
+      let ys = Rng.shuffle rng xs in
+      List.sort compare ys = xs)
+
+let test_sample_size =
+  qtest "sample draws k distinct" (fun seed ->
+      let rng = Rng.make seed in
+      let k = seed mod 10 in
+      let xs = List.init 20 Fun.id in
+      let ys = Rng.sample rng k xs in
+      List.length ys = k && List.sort_uniq compare ys = List.sort compare ys)
+
+let test_bernoulli_extremes () =
+  let rng = Rng.make 5 in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "p=1 always true" true (Rng.bernoulli rng 1.0)
+  done;
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "p=0 always false" false (Rng.bernoulli rng 0.0)
+  done
+
+let test_gaussian_moments () =
+  let rng = Rng.make 11 in
+  let n = 20000 in
+  let xs = List.init n (fun _ -> Rng.gaussian rng) in
+  let mean = List.fold_left ( +. ) 0.0 xs /. float_of_int n in
+  let var =
+    List.fold_left (fun a x -> a +. ((x -. mean) ** 2.0)) 0.0 xs
+    /. float_of_int n
+  in
+  Alcotest.(check bool) "mean near 0" true (Float.abs mean < 0.05);
+  Alcotest.(check bool) "variance near 1" true (Float.abs (var -. 1.0) < 0.1)
+
+let test_weighted_choice () =
+  let rng = Rng.make 3 in
+  let counts = Hashtbl.create 3 in
+  for _ = 1 to 10000 do
+    let x = Rng.weighted_choice rng [ ("a", 1.0); ("b", 9.0) ] in
+    Hashtbl.replace counts x (1 + Option.value (Hashtbl.find_opt counts x) ~default:0)
+  done;
+  let b = Hashtbl.find counts "b" in
+  Alcotest.(check bool) "b dominates ~9:1" true (b > 8500 && b < 9500)
+
+let test_choice_member =
+  qtest "choice returns a member" (fun seed ->
+      let rng = Rng.make seed in
+      let xs = [ 1; 5; 9; 12 ] in
+      List.mem (Rng.choice rng xs) xs)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "different seeds" `Quick test_different_seeds;
+    Alcotest.test_case "split independence" `Quick test_split_independent;
+    test_int_bounds;
+    test_int_range;
+    test_float_unit;
+    test_shuffle_permutation;
+    test_sample_size;
+    Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+    Alcotest.test_case "gaussian moments" `Slow test_gaussian_moments;
+    Alcotest.test_case "weighted choice" `Quick test_weighted_choice;
+    test_choice_member;
+  ]

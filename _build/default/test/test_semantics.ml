@@ -1,0 +1,155 @@
+(** Differential semantics tests: mini-C programs whose expected results are
+    computed independently in OCaml, exercising evaluation order, coercions
+    and corner cases of the C-like semantics. *)
+
+open Helpers
+
+let run_exit ?(input = []) src = exit_int (run_src ~input src)
+let run_out ?(input = []) src = outputs (run_src ~input src)
+
+let test_ternary_evaluates_once () =
+  (* only one arm's side effect fires *)
+  let src =
+    "int main() { int c = read_int(); int x = c > 0 ? read_int() : read_int() * 10; print_int(x); return 0; }"
+  in
+  Alcotest.(check (list int)) "true arm" [ 7 ] (run_out ~input:[ 1L; 7L ] src);
+  Alcotest.(check (list int)) "false arm" [ 70 ] (run_out ~input:[ 0L; 7L ] src)
+
+let test_nested_short_circuit () =
+  (* (a && b) || c : b's read must be skipped when a = 0, c's read skipped
+     when a && b holds *)
+  let src =
+    "int main() { int a = read_int(); \
+     if ((a > 0 && read_int() > 0) || read_int() > 5) { print_int(1); } else { print_int(0); } \
+     return 0; }"
+  in
+  (* a=0: skip b, read c=9 > 5 -> 1, and only two reads consumed *)
+  Alcotest.(check (list int)) "skip b" [ 1 ] (run_out ~input:[ 0L; 9L ] src);
+  (* a=1, b=1: c never read -> 1 *)
+  Alcotest.(check (list int)) "skip c" [ 1 ] (run_out ~input:[ 1L; 1L; 99L ] src);
+  (* a=1, b=0, c=0: -> 0 *)
+  Alcotest.(check (list int)) "all read" [ 0 ] (run_out ~input:[ 1L; 0L; 0L ] src)
+
+let test_argument_coercion () =
+  (* int argument to a double parameter, and back *)
+  let src =
+    "double half(double x) { return x / 2.0; }\n\
+     int main() { int n = 9; double h = half(n); print_float(h); return 0; }"
+  in
+  let o = run_src src in
+  Alcotest.(check bool) "9 / 2.0 = 4.5" true (approx (List.hd o.foutput) 4.5)
+
+let test_float_to_int_truncation () =
+  Alcotest.(check int) "3.9 truncates to 3" 3
+    (run_exit "int main() { double x = 3.9; int y = x; return y; }");
+  Alcotest.(check int) "-3.9 truncates toward zero" (-3)
+    (run_exit "int main() { double x = 0.0 - 3.9; int y = x; return y; }")
+
+let test_mixed_comparison () =
+  Alcotest.(check int) "int < double promotes" 1
+    (run_exit "int main() { int a = 3; double b = 3.5; return a < b; }")
+
+let test_modulo_chain () =
+  (* evaluation is left-to-right, same as C *)
+  let expected = 1000 mod 7 * 3 mod 11 in
+  Alcotest.(check int) "1000 % 7 * 3 % 11" expected
+    (run_exit "int main() { return 1000 % 7 * 3 % 11; }")
+
+let test_shift_precedence () =
+  (* << binds looser than + in C: 1 << 2 + 1 = 1 << 3 = 8 *)
+  Alcotest.(check int) "1 << 2 + 1" 8 (run_exit "int main() { return 1 << 2 + 1; }")
+
+let test_deep_recursion () =
+  Alcotest.(check int) "sum 1..300 recursively" 45150
+    (run_exit
+       "int s(int n) { if (n == 0) { return 0; } return n + s(n - 1); }\n\
+        int main() { return s(300); }")
+
+let test_mutual_recursion () =
+  (* no forward declarations needed: call resolution is whole-program *)
+  Alcotest.(check int) "is_even via mutual recursion" 1
+    (run_exit
+       "int is_even(int n) { if (n == 0) { return 1; } return is_odd(n - 1); }\n\
+        int is_odd(int n) { if (n == 0) { return 0; } return is_even(n - 1); }\n\
+        int main() { return is_even(10); }")
+
+let test_array_aliasing_through_loop () =
+  (* in-place reversal touching every cell twice *)
+  let src =
+    "int main() { int a[6]; for (int k = 0; k < 6; k = k + 1) { a[k] = k * k; }\n\
+     int lo = 0; int hi = 5;\n\
+     while (lo < hi) { int t = a[lo]; a[lo] = a[hi]; a[hi] = t; lo = lo + 1; hi = hi - 1; }\n\
+     for (int k = 0; k < 6; k = k + 1) { print_int(a[k]); } return 0; }"
+  in
+  Alcotest.(check (list int)) "reversed squares" [ 25; 16; 9; 4; 1; 0 ]
+    (run_out src)
+
+let test_switch_on_negative () =
+  let src k =
+    Printf.sprintf
+      "int main() { int x = %d; switch (x) { case -1: { return 10; } case 0: { return 20; } default: { return 30; } } return 0; }"
+      k
+  in
+  Alcotest.(check int) "case -1" 10 (run_exit (src (-1)));
+  Alcotest.(check int) "case 0" 20 (run_exit (src 0));
+  Alcotest.(check int) "default" 30 (run_exit (src 5))
+
+let test_do_while_runs_once () =
+  Alcotest.(check (list int)) "body executes before test" [ 42 ]
+    (run_out "int main() { int x = 42; do { print_int(x); } while (0 > 1); return 0; }")
+
+let test_continue_in_while () =
+  Alcotest.(check (list int)) "odd values skipped" [ 0; 2; 4 ]
+    (run_out
+       "int main() { int k = 0 - 1; while (k < 4) { k = k + 1; if (k % 2 == 1) { continue; } print_int(k); } return 0; }")
+
+let test_break_only_inner_loop () =
+  Alcotest.(check (list int)) "outer loop continues" [ 0; 1; 2 ]
+    (run_out
+       "int main() { for (int i = 0; i < 3; i = i + 1) { for (int j = 0; j < 10; j = j + 1) { if (j > i) { break; } } print_int(i); } return 0; }")
+
+(* differential check against an OCaml oracle on a family of arithmetic
+   expressions *)
+let test_arith_oracle =
+  qtest ~count:80 "random arithmetic agrees with an OCaml oracle" (fun seed ->
+      let rng = Yali.Rng.make seed in
+      let a = Yali.Rng.int_range rng (-1000) 1000 in
+      let b = Yali.Rng.int_range rng 1 100 in
+      let c = Yali.Rng.int_range rng (-50) 50 in
+      let expected =
+        let x = (a * 3) + c in
+        let y = x / b in
+        let z = x mod b in
+        (y * 7) - (z lxor c) + (x land 255)
+      in
+      (* keep within i32 to avoid wrap differences with OCaml's 63-bit ints *)
+      abs expected < 0x3FFFFFFF
+      &&
+      let src =
+        Printf.sprintf
+          "int main() { int a = %d; int b = %d; int c = %d;\n\
+           int x = a * 3 + c; int y = x / b; int z = x %% b;\n\
+           return y * 7 - (z ^ c) + (x & 255); }"
+          a b c
+      in
+      run_exit src = expected
+      || abs expected >= 0x40000000 (* skip overflowing cases *))
+
+let suite =
+  [
+    Alcotest.test_case "ternary evaluates once" `Quick test_ternary_evaluates_once;
+    Alcotest.test_case "nested short-circuit" `Quick test_nested_short_circuit;
+    Alcotest.test_case "argument coercion" `Quick test_argument_coercion;
+    Alcotest.test_case "float->int truncation" `Quick test_float_to_int_truncation;
+    Alcotest.test_case "mixed comparison" `Quick test_mixed_comparison;
+    Alcotest.test_case "modulo chain" `Quick test_modulo_chain;
+    Alcotest.test_case "shift precedence" `Quick test_shift_precedence;
+    Alcotest.test_case "deep recursion" `Quick test_deep_recursion;
+    Alcotest.test_case "mutual recursion" `Quick test_mutual_recursion;
+    Alcotest.test_case "array reversal" `Quick test_array_aliasing_through_loop;
+    Alcotest.test_case "switch on negatives" `Quick test_switch_on_negative;
+    Alcotest.test_case "do-while runs once" `Quick test_do_while_runs_once;
+    Alcotest.test_case "continue in while" `Quick test_continue_in_while;
+    Alcotest.test_case "break only inner loop" `Quick test_break_only_inner_loop;
+    test_arith_oracle;
+  ]

@@ -1,0 +1,28 @@
+# Convenience targets; everything is ultimately driven by dune.
+
+.PHONY: all build test check smoke bench fmt clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# The PR gate: full build + test suite, then a 2-domain smoke run of the
+# figure harness to exercise the parallel/cached/telemetry paths end to end.
+check: build test smoke
+
+smoke:
+	dune exec bench/main.exe -- --jobs 2 --quick fig5
+
+bench:
+	dune exec bench/main.exe
+
+# Requires ocamlformat (not part of `check`: it is not installed everywhere).
+fmt:
+	dune fmt
+
+clean:
+	dune clean

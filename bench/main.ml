@@ -8,6 +8,15 @@
       dune exec bench/main.exe -- --quick all  # smaller workloads
       dune exec bench/main.exe -- micro        # bechamel suite
 
+    Execution-runtime knobs (lib/exec):
+      --jobs N (or --jobs=N, or YALI_JOBS)     # worker domains; default
+                                               #   Domain.recommended_domain_count
+      --telemetry out.json (or --telemetry=F)  # dump the runtime's JSON report:
+                                               #   tasks, steals, cache hit
+                                               #   rates, per-phase wall time
+    Results are bit-identical at any --jobs setting: per-task RNG streams
+    are pre-derived and the caches only memoise pure functions.
+
     Workloads are scaled down from the paper's (which take ~19 days); the
     shapes — who wins, by what factor, where the crossovers are — are the
     reproduction target.  See EXPERIMENTS.md for the recorded outputs. *)
@@ -186,9 +195,9 @@ let fig7 () =
                 ~test_per_class:(scale 5)
             in
             let p = prepare (Rng.split rng) G.Game.game0 E.Embedding.histogram split in
-            let t0 = Unix.gettimeofday () in
+            let t0 = Yali.Exec.Telemetry.clock () in
             let acc, _, bytes = eval_model (Rng.split rng) ~n_classes model p in
-            (acc, bytes, Unix.gettimeofday () -. t0))
+            (acc, bytes, Yali.Exec.Telemetry.clock () -. t0))
       in
       let accs = List.map (fun (a, _, _) -> a) results in
       let m, s = mean_std accs in
@@ -621,7 +630,7 @@ let abl_rf_trees () =
   Printf.printf "%-8s %10s %10s\n" "trees" "accuracy" "train(s)";
   List.iter
     (fun n_trees ->
-      let t0 = Unix.gettimeofday () in
+      let t0 = Yali.Exec.Telemetry.clock () in
       let params = { Ml.Random_forest.n_trees; max_depth = 24 } in
       let trained =
         Ml.Random_forest.train ~params (Rng.make 3) ~n_classes p.xs_train
@@ -630,7 +639,7 @@ let abl_rf_trees () =
       let pred = Array.map (Ml.Random_forest.predict trained) p.xs_test in
       Printf.printf "%-8d %10.4f %10.2f\n%!" n_trees
         (Ml.Metrics.accuracy p.ys_test pred)
-        (Unix.gettimeofday () -. t0))
+        (Yali.Exec.Telemetry.clock () -. t0))
     [ 4; 8; 16; 32; 64; 128 ]
 
 (* Raw opcode counts vs. L1-normalized proportions *)
@@ -704,23 +713,61 @@ let figures =
     ("fig13", fig13); ("fig14", fig14); ("fig15", fig15); ("fig16", fig16);
   ]
 
-let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let args =
-    List.filter
-      (fun a ->
-        match a with
-        | "--quick" ->
-            quick := true;
-            false
-        | a when String.length a > 9 && String.sub a 0 9 = "--rounds=" ->
-            rounds_override :=
-              int_of_string_opt (String.sub a 9 (String.length a - 9));
-            false
-        | _ -> true)
-      args
+let telemetry_out = ref None
+
+(* flags come as "--flag value" or "--flag=value" *)
+let parse_args (args : string list) : string list =
+  let valued ~flag ~set = function
+    | [] ->
+        Printf.eprintf "%s expects a value\n" flag;
+        exit 2
+    | v :: rest ->
+        set v;
+        rest
   in
-  let t0 = Unix.gettimeofday () in
+  let starts_with p a =
+    String.length a > String.length p && String.sub a 0 (String.length p) = p
+  in
+  let cut p a = String.sub a (String.length p) (String.length a - String.length p) in
+  let set_jobs v =
+    match int_of_string_opt v with
+    | Some n when n >= 1 -> Yali.Exec.Pool.set_jobs n
+    | _ ->
+        Printf.eprintf "--jobs expects a positive integer, got %s\n" v;
+        exit 2
+  in
+  (* fail on an unwritable report path now, not after a long figure run *)
+  let set_telemetry v =
+    (try close_out (open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 v)
+     with Sys_error msg ->
+       Printf.eprintf "--telemetry: cannot write %s\n" msg;
+       exit 2);
+    telemetry_out := Some v
+  in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | "--quick" :: rest ->
+        quick := true;
+        go acc rest
+    | a :: rest when starts_with "--rounds=" a ->
+        rounds_override := int_of_string_opt (cut "--rounds=" a);
+        go acc rest
+    | "--jobs" :: rest -> go acc (valued ~flag:"--jobs" ~set:set_jobs rest)
+    | a :: rest when starts_with "--jobs=" a ->
+        set_jobs (cut "--jobs=" a);
+        go acc rest
+    | "--telemetry" :: rest ->
+        go acc (valued ~flag:"--telemetry" ~set:set_telemetry rest)
+    | a :: rest when starts_with "--telemetry=" a ->
+        set_telemetry (cut "--telemetry=" a);
+        go acc rest
+    | a :: rest -> go (a :: acc) rest
+  in
+  go [] args
+
+let () =
+  let args = parse_args (List.tl (Array.to_list Sys.argv)) in
+  let t0 = Yali.Exec.Telemetry.clock () in
   (match args with
   | [] | [ "all" ] -> List.iter (fun (_, f) -> f ()) figures
   | [ "ablations" ] -> List.iter (fun (_, f) -> f ()) ablations
@@ -736,4 +783,11 @@ let () =
                   "unknown target %s (expected fig5..fig16, abl-*, ablations, micro, all)\n"
                   name)
         names);
-  Printf.printf "\ntotal time: %.1fs\n" (Unix.gettimeofday () -. t0)
+  Printf.printf "\ntotal time: %.1fs (jobs=%d)\n"
+    (Yali.Exec.Telemetry.clock () -. t0)
+    (Yali.Exec.Pool.get_jobs ());
+  match !telemetry_out with
+  | None -> ()
+  | Some path ->
+      Yali.Exec.Telemetry.write_json path;
+      Printf.printf "telemetry report written to %s\n" path

@@ -28,6 +28,46 @@ let src_arg =
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
 
+(* execution-runtime knobs (lib/exec); results are bit-identical at any
+   jobs setting *)
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallel runtime (default: \\$(b,YALI_JOBS) \
+           or the recommended domain count).")
+
+let telemetry_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "telemetry" ] ~docv:"FILE"
+        ~doc:
+          "Write the execution runtime's JSON report (tasks, steals, cache \
+           hit rates, per-phase time) to \\$(docv).")
+
+let configure_jobs = function
+  | Some n when n >= 1 -> Yali.Exec.Pool.set_jobs n
+  | Some _ -> prerr_endline "--jobs must be positive"; exit 2
+  | None -> ()
+
+(* fail on an unwritable report path before the game runs, not after *)
+let configure_telemetry = function
+  | Some path -> (
+      try close_out (open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path)
+      with Sys_error msg ->
+        Printf.eprintf "--telemetry: cannot write %s\n" msg;
+        exit 2)
+  | None -> ()
+
+let dump_telemetry = function
+  | Some path ->
+      Yali.Exec.Telemetry.write_json path;
+      Printf.printf "telemetry report written to %s\n" path
+  | None -> ()
+
 let level_arg =
   let parse s =
     match Yali.Transforms.Pipeline.level_of_string s with
@@ -254,7 +294,9 @@ let play_cmd =
   let threshold_arg =
     Arg.(value & opt float 0.5 & info [ "threshold"; "k" ] ~doc:"Win threshold K.")
   in
-  let run seed game evader model classes train test threshold =
+  let run seed jobs telemetry game evader model classes train test threshold =
+    configure_jobs jobs;
+    configure_telemetry telemetry;
     let e =
       match Yali.Obfuscation.Evader.find evader with
       | Some e -> e
@@ -288,13 +330,14 @@ let play_cmd =
       r.f1 (r.model_bytes / 1024) r.train_seconds;
     Printf.printf "classifier %s (threshold %.2f)\n"
       (if r.accuracy > threshold then "WINS" else "LOSES")
-      threshold
+      threshold;
+    dump_telemetry telemetry
   in
   Cmd.v
     (Cmd.info "play" ~doc:"Play one adversarial game and report the verdict.")
     Term.(
-      const run $ seed_arg $ game_arg $ evader_arg $ model_arg $ classes_arg
-      $ train_arg $ test_arg $ threshold_arg)
+      const run $ seed_arg $ jobs_arg $ telemetry_arg $ game_arg $ evader_arg
+      $ model_arg $ classes_arg $ train_arg $ test_arg $ threshold_arg)
 
 let () =
   let doc = "a game-based framework to compare program classifiers and evaders" in

@@ -13,12 +13,15 @@
     - {!Ml}: six stochastic classification models
     - {!Dataset}: the synthetic POJ-104-style corpus, MIRAI suite,
       benchmark-game kernels
+    - {!Exec}: the execution runtime — domain pool, content-addressed
+      cache, telemetry ([--jobs], [--telemetry])
 
     {1 The games}
     - {!Games}: Definitions 2.1–2.4, the four games, the arena. *)
 
 module Util = Yali_util
 module Rng = Yali_util.Rng
+module Exec = Yali_exec
 module Ir = Yali_ir
 module Minic = Yali_minic
 module Transforms = Yali_transforms

@@ -22,9 +22,14 @@ let dim = 64
 (** Weight of the neighbouring statements in the context window. *)
 let w_context = 0.3
 
-let seed_vec : (string, float array) Hashtbl.t = Hashtbl.create 1024
+(* domain-local memo: embedding loops run on pool workers, and an
+   unsynchronised shared table would race (bindings are pure, so each
+   domain rebuilds the same ones) *)
+let seed_vec_key : (string, float array) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 1024)
 
 let vec_of_token (tok : string) : float array =
+  let seed_vec = Domain.DLS.get seed_vec_key in
   match Hashtbl.find_opt seed_vec tok with
   | Some v -> v
   | None ->

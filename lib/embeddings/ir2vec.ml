@@ -19,10 +19,14 @@ let w_type = 0.5
 let w_arg = 0.2
 
 (* Deterministic seed vector for a token, from a splitmix stream keyed on the
-   token's hash. *)
-let seed_vec : (string, float array) Hashtbl.t = Hashtbl.create 256
+   token's hash.  The memo table is domain-local: embedding loops run on
+   pool workers, and an unsynchronised shared table would race.  Each
+   domain rebuilds the same pure token -> vector bindings. *)
+let seed_vec_key : (string, float array) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 256)
 
 let vec_of_token (tok : string) : float array =
+  let seed_vec = Domain.DLS.get seed_vec_key in
   match Hashtbl.find_opt seed_vec tok with
   | Some v -> v
   | None ->

@@ -1,0 +1,148 @@
+(** See cache.mli.  The store is a hash table over an intrusive doubly
+    linked list ordered by recency: O(1) probe, touch and eviction. *)
+
+type 'v node = {
+  nkey : string;
+  nvalue : 'v;
+  mutable prev : 'v node option;  (** towards most recently used *)
+  mutable next : 'v node option;  (** towards least recently used *)
+}
+
+type 'v t = {
+  name : string option;
+  capacity : int;
+  lock : Mutex.t;
+  table : (string, 'v node) Hashtbl.t;
+  mutable mru : 'v node option;
+  mutable lru : 'v node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;
+  capacity : int;
+}
+
+let create ?name ~capacity () =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be positive";
+  {
+    name;
+    capacity;
+    lock = Mutex.create ();
+    table = Hashtbl.create (min capacity 1024);
+    mru = None;
+    lru = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let count t event = match t.name with
+  | Some n -> Telemetry.incr (Printf.sprintf "cache.%s.%s" n event)
+  | None -> ()
+
+(* list surgery; all under the lock *)
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.mru <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.lru <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.mru;
+  node.prev <- None;
+  (match t.mru with Some m -> m.prev <- Some node | None -> t.lru <- Some node);
+  t.mru <- Some node
+
+let touch t node =
+  match t.mru with
+  | Some m when m == node -> ()
+  | _ ->
+      unlink t node;
+      push_front t node
+
+let evict_beyond_capacity t =
+  while Hashtbl.length t.table > t.capacity do
+    match t.lru with
+    | None -> assert false (* table non-empty implies a list tail *)
+    | Some victim ->
+        unlink t victim;
+        Hashtbl.remove t.table victim.nkey;
+        t.evictions <- t.evictions + 1;
+        count t "evictions"
+  done
+
+let insert t key value =
+  match Hashtbl.find_opt t.table key with
+  | Some _ -> () (* another domain computed it first; keep the incumbent *)
+  | None ->
+      let node = { nkey = key; nvalue = value; prev = None; next = None } in
+      Hashtbl.replace t.table key node;
+      push_front t node;
+      evict_beyond_capacity t
+
+let find_or_compute t ~key f =
+  let cached =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | Some node ->
+            touch t node;
+            t.hits <- t.hits + 1;
+            Some node.nvalue
+        | None ->
+            t.misses <- t.misses + 1;
+            None)
+  in
+  match cached with
+  | Some v ->
+      count t "hits";
+      v
+  | None ->
+      count t "misses";
+      let v = f () in
+      locked t (fun () -> insert t key v);
+      v
+
+let find t ~key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some node ->
+          touch t node;
+          Some node.nvalue
+      | None -> None)
+
+let length t = locked t (fun () -> Hashtbl.length t.table)
+
+let stats t =
+  locked t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        size = Hashtbl.length t.table;
+        capacity = t.capacity;
+      })
+
+let hit_rate (s : stats) =
+  let probes = s.hits + s.misses in
+  if probes = 0 then 0.0 else float_of_int s.hits /. float_of_int probes
+
+let clear t =
+  locked t (fun () ->
+      Hashtbl.reset t.table;
+      t.mru <- None;
+      t.lru <- None)

@@ -1,0 +1,46 @@
+(** Content-addressed memo store with bounded-size LRU eviction.
+
+    Keys are structural digests computed by the caller (e.g. an MD5 of the
+    marshalled source program, transform-pipeline name and embedding name);
+    values are whatever the keyed computation produces — lowered IR
+    modules, feature vectors, graphs.  A cache is safe to share across
+    pool workers: probes are serialised by an internal lock, while the
+    computation of a missing value runs outside it (two domains racing on
+    the same fresh key may both compute it; the value must therefore come
+    from a pure function, which also guarantees they agree).
+
+    Named caches report [cache.<name>.hits] / [.misses] / [.evictions]
+    through {!Telemetry}, so cache effectiveness lands in the [--telemetry]
+    JSON report for free. *)
+
+type 'v t
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;  (** live entries *)
+  capacity : int;
+}
+
+(** [create ?name ~capacity ()] makes an empty cache holding at most
+    [capacity] entries; least-recently-used entries are evicted beyond
+    that.  @raise Invalid_argument when [capacity < 1]. *)
+val create : ?name:string -> capacity:int -> unit -> 'v t
+
+(** [find_or_compute t ~key f] returns the cached value for [key], or runs
+    [f ()], stores the result under [key] and returns it.  [f] must be a
+    pure function of [key]'s preimage. *)
+val find_or_compute : 'v t -> key:string -> (unit -> 'v) -> 'v
+
+(** Peek without counting a hit or miss. *)
+val find : 'v t -> key:string -> 'v option
+
+val length : 'v t -> int
+val stats : 'v t -> stats
+
+(** Hits as a fraction of probes; 0 when never probed. *)
+val hit_rate : stats -> float
+
+(** Drop all entries (statistics are kept). *)
+val clear : 'v t -> unit

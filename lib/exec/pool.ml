@@ -1,0 +1,189 @@
+(** See pool.mli.  Workers are spawned per batch: the work dispatched
+    through the pool is coarse (whole embedding loops, whole forests), so
+    domain spawn cost is noise, and a batch-scoped pool cannot leak
+    domains or deadlock on nesting. *)
+
+module Rng = Yali_util.Rng
+
+(* ------------------------------------------------------------------ *)
+(* configuration                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let env_jobs () =
+  match Sys.getenv_opt "YALI_JOBS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some n
+      | _ -> None)
+
+let default_jobs () =
+  match env_jobs () with
+  | Some n -> n
+  | None -> Domain.recommended_domain_count ()
+
+let configured : int option ref = ref None
+
+let get_jobs () =
+  match !configured with
+  | Some j -> j
+  | None ->
+      let j = default_jobs () in
+      configured := Some j;
+      j
+
+let set_jobs n =
+  if n < 1 then invalid_arg "Pool.set_jobs: jobs must be positive";
+  configured := Some n
+
+let with_jobs n f =
+  let old = get_jobs () in
+  set_jobs n;
+  Fun.protect ~finally:(fun () -> set_jobs old) f
+
+let inside : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+let inside_worker () = Domain.DLS.get inside
+
+(* ------------------------------------------------------------------ *)
+(* per-worker deques                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A worker's share of the batch: a contiguous slice of task indices.
+   The owner pops from the back, thieves take from the front; nothing is
+   ever pushed after construction, so a mutex per deque is plenty — the
+   lock is touched once per task, and tasks are coarse. *)
+type deque = {
+  base : int;  (** first task index of the slice *)
+  lock : Mutex.t;
+  mutable lo : int;  (** next index offset a thief would take *)
+  mutable hi : int;  (** one past the offset the owner pops next *)
+}
+
+let pop_own d =
+  Mutex.lock d.lock;
+  let r =
+    if d.lo < d.hi then begin
+      d.hi <- d.hi - 1;
+      Some (d.base + d.hi)
+    end
+    else None
+  in
+  Mutex.unlock d.lock;
+  r
+
+let steal d =
+  Mutex.lock d.lock;
+  let r =
+    if d.lo < d.hi then begin
+      let i = d.base + d.lo in
+      d.lo <- d.lo + 1;
+      Some i
+    end
+    else None
+  in
+  Mutex.unlock d.lock;
+  r
+
+(* ------------------------------------------------------------------ *)
+(* batch execution                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let run ~n task =
+  if n > 0 then begin
+    Telemetry.incr ~by:n "pool.tasks";
+    let j = min (get_jobs ()) n in
+    if j <= 1 || inside_worker () then begin
+      Telemetry.incr "pool.sequential_batches";
+      for i = 0 to n - 1 do
+        task i
+      done
+    end
+    else begin
+      Telemetry.incr "pool.parallel_batches";
+      let deques =
+        Array.init j (fun w ->
+            let lo = w * n / j and hi = (w + 1) * n / j in
+            { base = lo; lock = Mutex.create (); lo = 0; hi = hi - lo })
+      in
+      let failure = Atomic.make None in
+      let steals = Atomic.make 0 in
+      let run_task i =
+        try task i
+        with e ->
+          let bt = Printexc.get_raw_backtrace () in
+          (* remember the first failure; remaining tasks still run, which
+             is harmless for the pure tasks this pool schedules *)
+          ignore (Atomic.compare_and_set failure None (Some (e, bt)))
+      in
+      (* a worker drains its own deque back to front, then scans the other
+         deques for work; when a full scan comes back empty the batch holds
+         no unstarted task and the worker retires *)
+      let work w =
+        let rec own () =
+          match pop_own deques.(w) with
+          | Some i ->
+              run_task i;
+              own ()
+          | None -> hunt 1
+        and hunt k =
+          if k < j then
+            match steal deques.((w + k) mod j) with
+            | Some i ->
+                Atomic.incr steals;
+                run_task i;
+                own ()
+            | None -> hunt (k + 1)
+        in
+        own ()
+      in
+      let worker w () =
+        Domain.DLS.set inside true;
+        work w
+      in
+      let domains = Array.init (j - 1) (fun k -> Domain.spawn (worker (k + 1))) in
+      (* the calling domain is worker 0 *)
+      Domain.DLS.set inside true;
+      Fun.protect
+        ~finally:(fun () -> Domain.DLS.set inside false)
+        (fun () -> work 0);
+      Array.iter Domain.join domains;
+      if Atomic.get steals > 0 then
+        Telemetry.incr ~by:(Atomic.get steals) "pool.steals";
+      match Atomic.get failure with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* combinators                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let parallel_array_mapi f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    run ~n (fun i -> out.(i) <- Some (f i xs.(i)));
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+let parallel_array_map f xs = parallel_array_mapi (fun _ x -> f x) xs
+
+let parallel_map f xs =
+  Array.to_list (parallel_array_map f (Array.of_list xs))
+
+let parallel_array_map_rng rng f xs =
+  let base = Rng.split rng in
+  parallel_array_mapi (fun i x -> f (Rng.split_ix base i) x) xs
+
+let parallel_for_chunks ?(min_chunk = 1) n f =
+  if n > 0 then begin
+    let min_chunk = max 1 min_chunk in
+    let max_chunks = max 1 (n / min_chunk) in
+    (* a few chunks per worker so stealing can still rebalance *)
+    let chunks = min max_chunks (get_jobs () * 4) in
+    run ~n:chunks (fun c ->
+        let lo = c * n / chunks and hi = (c + 1) * n / chunks in
+        f lo hi)
+  end

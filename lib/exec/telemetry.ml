@@ -1,0 +1,140 @@
+(** See telemetry.mli.  One global lock guards the aggregate tables; spans
+    and counters are coarse-grained events, so contention is negligible
+    next to the work they measure. *)
+
+type span_stat = { span_count : int; span_seconds : float }
+
+type report = {
+  r_counters : (string * int) list;
+  r_spans : (string * span_stat) list;
+}
+
+type sink = { on_incr : string -> int -> unit; on_span : string -> float -> unit }
+
+let lock = Mutex.create ()
+let counters : (string, int ref) Hashtbl.t = Hashtbl.create 64
+
+type mutable_span = { mutable count : int; mutable seconds : float }
+
+let spans : (string, mutable_span) Hashtbl.t = Hashtbl.create 64
+let sink : sink option ref = ref None
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+(* ------------------------------------------------------------------ *)
+(* clocks                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* [Unix.gettimeofday] is the only wall clock the bundled Unix library
+   offers (no [clock_gettime]); pinning readings to be non-decreasing
+   makes timings survive NTP step adjustments. *)
+let clock_lock = Mutex.create ()
+let last_reading = ref 0.0
+
+let clock () =
+  Mutex.lock clock_lock;
+  let now = Unix.gettimeofday () in
+  let t = if now > !last_reading then now else !last_reading in
+  last_reading := t;
+  Mutex.unlock clock_lock;
+  t
+
+let cpu_clock () = Sys.time ()
+
+(* ------------------------------------------------------------------ *)
+(* events                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let incr ?(by = 1) name =
+  locked (fun () ->
+      (match Hashtbl.find_opt counters name with
+      | Some r -> r := !r + by
+      | None -> Hashtbl.replace counters name (ref by));
+      match !sink with Some s -> s.on_incr name by | None -> ())
+
+let counter name =
+  locked (fun () ->
+      match Hashtbl.find_opt counters name with Some r -> !r | None -> 0)
+
+let record_span name seconds =
+  locked (fun () ->
+      (match Hashtbl.find_opt spans name with
+      | Some s ->
+          s.count <- s.count + 1;
+          s.seconds <- s.seconds +. seconds
+      | None -> Hashtbl.replace spans name { count = 1; seconds });
+      match !sink with Some s -> s.on_span name seconds | None -> ())
+
+let with_span name f =
+  let t0 = clock () in
+  Fun.protect ~finally:(fun () -> record_span name (clock () -. t0)) f
+
+let set_sink s = locked (fun () -> sink := s)
+
+(* ------------------------------------------------------------------ *)
+(* reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let snapshot () =
+  locked (fun () ->
+      let cs =
+        Hashtbl.fold (fun name r acc -> (name, !r) :: acc) counters []
+      in
+      let ss =
+        Hashtbl.fold
+          (fun name s acc ->
+            (name, { span_count = s.count; span_seconds = s.seconds }) :: acc)
+          spans []
+      in
+      let by_name (a, _) (b, _) = compare (a : string) b in
+      { r_counters = List.sort by_name cs; r_spans = List.sort by_name ss })
+
+let reset () =
+  locked (fun () ->
+      Hashtbl.reset counters;
+      Hashtbl.reset spans)
+
+(* counter and span names are plain identifiers, but escape defensively *)
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let to_json () =
+  let r = snapshot () in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n  \"counters\": {";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\n    %s: %d" (json_string name) v))
+    r.r_counters;
+  Buffer.add_string b "\n  },\n  \"spans\": {";
+  List.iteri
+    (fun i (name, s) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "\n    %s: {\"count\": %d, \"seconds\": %.6f}"
+           (json_string name) s.span_count s.span_seconds))
+    r.r_spans;
+  Buffer.add_string b "\n  }\n}\n";
+  Buffer.contents b
+
+let write_json path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_json ()))

@@ -1,0 +1,59 @@
+(** Lightweight observability for the execution runtime: named counters,
+    timed spans, and a monotonic clock, aggregated in-process and dumpable
+    as a JSON report ([--telemetry] in the CLI and figure harness).
+
+    All operations are domain-safe; the expected call sites are coarse
+    (per game round, per training run, per cache probe), so a single lock
+    around the aggregate tables is not a bottleneck. *)
+
+(** Aggregate of all closed spans sharing a name. *)
+type span_stat = {
+  span_count : int;  (** how many spans closed under this name *)
+  span_seconds : float;  (** total wall time spent inside them *)
+}
+
+(** A consistent copy of the aggregate state. *)
+type report = {
+  r_counters : (string * int) list;
+  r_spans : (string * span_stat) list;
+}
+
+(** An optional secondary consumer of raw events, e.g. a live logger.
+    Events always also feed the in-process aggregate. *)
+type sink = {
+  on_incr : string -> int -> unit;  (** counter name and increment *)
+  on_span : string -> float -> unit;  (** span name and duration, seconds *)
+}
+
+(** Monotonic(-ised) wall clock, in seconds.  The bundled [Unix] library
+    exposes no [clock_gettime], so this guards [Unix.gettimeofday] against
+    going backwards (NTP steps): consecutive readings never decrease. *)
+val clock : unit -> float
+
+(** Process CPU time, in seconds ([Sys.time]). *)
+val cpu_clock : unit -> float
+
+(** Bump a counter (created on first use). *)
+val incr : ?by:int -> string -> unit
+
+(** Current value of a counter; 0 when never bumped. *)
+val counter : string -> int
+
+(** [with_span name f] times [f ()] on {!clock} and folds the duration
+    into the aggregate for [name] — also when [f] raises. *)
+val with_span : string -> (unit -> 'a) -> 'a
+
+(** Forward every subsequent event to an extra sink ([None] to detach). *)
+val set_sink : sink option -> unit
+
+val snapshot : unit -> report
+
+(** Drop all counters and spans (tests, or between harness targets). *)
+val reset : unit -> unit
+
+(** The report as a JSON object: [{"counters": {...}, "spans": {name:
+    {"count": n, "seconds": s}}}]. *)
+val to_json : unit -> string
+
+(** Write {!to_json} to a file. *)
+val write_json : string -> unit

@@ -1,8 +1,17 @@
 (** The classification arena: wires a dataset split, an embedding, a model
     and a game setup into an accuracy measurement.  This is the engine
-    behind every figure of the paper's evaluation. *)
+    behind every figure of the paper's evaluation.
+
+    All hot loops — materialising IR under the game's resources, embedding
+    both dataset halves, sweeping the challenge set — fan out over
+    {!Yali_exec.Pool} and report through {!Yali_exec.Telemetry}.  Runs are
+    bit-identical at any [jobs] setting: every per-item RNG is pre-derived
+    on the calling domain ({!Rng.split_n}), embeddings flow through the
+    content-addressed cache of pure functions, and each task writes only
+    its own result slot. *)
 
 module Rng = Yali_util.Rng
+module Exec = Yali_exec
 module E = Yali_embeddings
 module Ml = Yali_ml
 module Irmod = Yali_ir.Irmod
@@ -20,20 +29,25 @@ type result = {
 let build_modules (rng : Rng.t) (setup : Game.setup)
     (split : Yali_dataset.Poj.split) : (Irmod.t * int) array * (Irmod.t * int) array
     =
-  let train =
-    Array.map
-      (fun (s : Yali_dataset.Poj.labelled) ->
-        (setup.Game.train_tx (Rng.split rng) s.src, s.label))
-      split.train
-  in
-  let test =
-    Array.map
-      (fun (s : Yali_dataset.Poj.labelled) ->
-        ( setup.Game.normalize (setup.Game.challenge_tx (Rng.split rng) s.src),
-          s.label ))
-      split.test
-  in
-  (train, test)
+  Exec.Telemetry.with_span "arena.build_modules" (fun () ->
+      (* derivation order matches the former sequential loops: all train
+         streams first, then all test streams *)
+      let train_rngs = Rng.split_n rng (Array.length split.train) in
+      let test_rngs = Rng.split_n rng (Array.length split.test) in
+      let train =
+        Exec.Pool.parallel_array_mapi
+          (fun i (s : Yali_dataset.Poj.labelled) ->
+            (setup.Game.train_tx train_rngs.(i) s.src, s.label))
+          split.train
+      in
+      let test =
+        Exec.Pool.parallel_array_mapi
+          (fun i (s : Yali_dataset.Poj.labelled) ->
+            ( setup.Game.normalize (setup.Game.challenge_tx test_rngs.(i) s.src),
+              s.label ))
+          split.test
+      in
+      (train, test))
 
 let eval_predictions ~(n_classes : int) (truth : int array) (pred : int array)
     : float * float =
@@ -46,14 +60,25 @@ let run_flat (rng : Rng.t) ~(n_classes : int) (embedding : E.Embedding.t)
     (model : Ml.Model.flat) (setup : Game.setup)
     (split : Yali_dataset.Poj.split) : result =
   let train_mods, test_mods = build_modules (Rng.split rng) setup split in
-  let embed m = E.Embedding.to_flat embedding m in
-  let xs = Array.map (fun (m, _) -> embed m) train_mods in
+  let embed m = E.Embedding.to_flat_cached embedding m in
+  let xs =
+    Exec.Telemetry.with_span "arena.embed" (fun () ->
+        Exec.Pool.parallel_array_map (fun (m, _) -> embed m) train_mods)
+  in
   let ys = Array.map snd train_mods in
-  let t0 = Unix.gettimeofday () in
-  let trained = model.ftrain (Rng.split rng) ~n_classes xs ys in
-  let train_seconds = Unix.gettimeofday () -. t0 in
+  let t0 = Exec.Telemetry.clock () in
+  let trained =
+    Exec.Telemetry.with_span "arena.train" (fun () ->
+        model.ftrain (Rng.split rng) ~n_classes xs ys)
+  in
+  let train_seconds = Exec.Telemetry.clock () -. t0 in
   let truth = Array.map snd test_mods in
-  let pred = Array.map (fun (m, _) -> trained.predict (embed m)) test_mods in
+  let pred =
+    Exec.Telemetry.with_span "arena.predict" (fun () ->
+        Exec.Pool.parallel_array_map
+          (fun (m, _) -> trained.predict (embed m))
+          test_mods)
+  in
   let accuracy, f1 = eval_predictions ~n_classes truth pred in
   {
     accuracy;
@@ -70,19 +95,28 @@ let run_flat (rng : Rng.t) ~(n_classes : int) (embedding : E.Embedding.t)
 let run_graph (rng : Rng.t) ~(n_classes : int) (embedding : E.Embedding.t)
     (setup : Game.setup) (split : Yali_dataset.Poj.split) : result =
   let train_mods, test_mods = build_modules (Rng.split rng) setup split in
-  let embed m = E.Embedding.to_graph embedding m in
-  let graphs = Array.map (fun (m, _) -> embed m) train_mods in
+  let embed m = E.Embedding.to_graph_cached embedding m in
+  let graphs =
+    Exec.Telemetry.with_span "arena.embed" (fun () ->
+        Exec.Pool.parallel_array_map (fun (m, _) -> embed m) train_mods)
+  in
   let ys = Array.map snd train_mods in
   let feat_dim =
     if Array.length graphs = 0 then 1 else graphs.(0).E.Graph.feat_dim
   in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Exec.Telemetry.clock () in
   let trained =
-    Ml.Model.dgcnn.gtrain (Rng.split rng) ~n_classes ~feat_dim graphs ys
+    Exec.Telemetry.with_span "arena.train" (fun () ->
+        Ml.Model.dgcnn.gtrain (Rng.split rng) ~n_classes ~feat_dim graphs ys)
   in
-  let train_seconds = Unix.gettimeofday () -. t0 in
+  let train_seconds = Exec.Telemetry.clock () -. t0 in
   let truth = Array.map snd test_mods in
-  let pred = Array.map (fun (m, _) -> trained.gpredict (embed m)) test_mods in
+  let pred =
+    Exec.Telemetry.with_span "arena.predict" (fun () ->
+        Exec.Pool.parallel_array_map
+          (fun (m, _) -> trained.gpredict (embed m))
+          test_mods)
+  in
   let accuracy, f1 = eval_predictions ~n_classes truth pred in
   {
     accuracy;

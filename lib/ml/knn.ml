@@ -28,8 +28,14 @@ let predict (t : t) (x : float array) : int =
   let x = Features.transform t.scaler x in
   let n = Array.length t.xs in
   let k = min t.k n in
-  (* partial selection of the k nearest *)
-  let dists = Array.init n (fun i -> (sq_dist x t.xs.(i), t.ys.(i))) in
+  (* partial selection of the k nearest; the distance sweep dominates and
+     parallelises in chunks (it stays inline under an outer parallel loop,
+     e.g. the arena's challenge sweep) *)
+  let dists = Array.make n (0.0, 0) in
+  Yali_exec.Pool.parallel_for_chunks ~min_chunk:512 n (fun lo hi ->
+      for i = lo to hi - 1 do
+        dists.(i) <- (sq_dist x t.xs.(i), t.ys.(i))
+      done);
   Array.sort (fun (a, _) (b, _) -> compare a b) dists;
   let votes = Array.make t.n_classes 0 in
   for i = 0 to k - 1 do

@@ -21,9 +21,13 @@ let train ?(params = default_params) (rng : Rng.t) ~(n_classes : int)
       features_per_split = Some fps;
     }
   in
+  (* pre-derive one stream per tree (identical to the former
+     split-per-iteration loop), then bag and grow the trees in parallel:
+     each task owns its stream, so the forest is the same at any [jobs] *)
+  let tree_rngs = Rng.split_n rng params.n_trees in
   let trees =
-    Array.init params.n_trees (fun _ ->
-        let tree_rng = Rng.split rng in
+    Yali_exec.Pool.parallel_array_map
+      (fun tree_rng ->
         (* bootstrap sample *)
         let bxs = Array.make n [||] and bys = Array.make n 0 in
         for i = 0 to n - 1 do
@@ -32,6 +36,7 @@ let train ?(params = default_params) (rng : Rng.t) ~(n_classes : int)
           bys.(i) <- ys.(j)
         done;
         Decision_tree.train ~params:tree_params tree_rng ~n_classes bxs bys)
+      tree_rngs
   in
   { trees; n_classes }
 

@@ -23,6 +23,35 @@ let next_int64 (t : t) : int64 =
 (** An independent generator derived from this one. *)
 let split (t : t) : t = { state = next_int64 t }
 
+(* the splitmix64 finalizer: a bijective avalanche over the raw state *)
+let mix64 (z : int64) : int64 =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** [split_ix t i] derives the [i]-th child stream of [t]'s current state
+    without advancing [t]: the same (state, index) pair always yields the
+    same child, and distinct indices yield independent streams.  This is
+    the task-seeding primitive of the parallel runtime — deriving one
+    child per task index up front makes a parallel loop's randomness
+    independent of execution order, so parallel runs reproduce sequential
+    ones bit for bit. *)
+let split_ix (t : t) (i : int) : t =
+  let offset = Int64.mul (Int64.of_int (i + 1)) golden in
+  { state = mix64 (Int64.add t.state offset) }
+
+(** [split_n t n] pre-derives [n] children exactly as [n] successive
+    {!split} calls would (advancing [t] [n] times) — the drop-in way to
+    lift an existing [split]-per-iteration loop into {!split}-free loop
+    bodies without changing any stream. *)
+let split_n (t : t) (n : int) : t array =
+  if n < 0 then invalid_arg "Rng.split_n: negative count";
+  let out = Array.make n t in
+  for i = 0 to n - 1 do
+    out.(i) <- split t
+  done;
+  out
+
 (** Uniform integer in [0, bound). *)
 let int (t : t) (bound : int) : int =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";

@@ -18,6 +18,20 @@ val next_int64 : t -> int64
 (** Derive an independent generator (advances this one once). *)
 val split : t -> t
 
+(** [split_ix t i] is the [i]-th child stream of [t]'s current state,
+    derived deterministically and {e without advancing [t]}: equal
+    (state, index) pairs give equal children, distinct indices give
+    independent streams.  Seed one child per task index before fanning a
+    loop out over domains and the loop's randomness no longer depends on
+    execution order. *)
+val split_ix : t -> int -> t
+
+(** [split_n t n] pre-derives [n] children, exactly as [n] successive
+    {!split} calls would (advances [t] [n] times).  Lifts a
+    [split]-per-iteration loop into loop bodies that never touch the
+    shared generator, preserving every stream bit for bit. *)
+val split_n : t -> int -> t array
+
 (** Uniform integer in [0, bound).  @raise Invalid_argument on bound <= 0 *)
 val int : t -> int -> int
 

@@ -1,0 +1,197 @@
+(** Tests for the execution runtime (lib/exec): pool determinism at any
+    jobs setting — including through the full arena — the content-addressed
+    LRU cache, and telemetry accounting. *)
+
+open Helpers
+module Exec = Yali.Exec
+module Pool = Exec.Pool
+module Cache = Exec.Cache
+module Telemetry = Exec.Telemetry
+module Rng = Yali.Rng
+module G = Yali.Games
+
+(* -- pool ------------------------------------------------------------------ *)
+
+let test_parallel_map_matches_sequential () =
+  let xs = Array.init 97 (fun i -> i) in
+  let f x = (x * x) + (x mod 7) in
+  let expected = Array.map f xs in
+  List.iter
+    (fun jobs ->
+      let got = Pool.with_jobs jobs (fun () -> Pool.parallel_array_map f xs) in
+      Alcotest.(check (array int))
+        (Printf.sprintf "array map, jobs=%d" jobs)
+        expected got)
+    [ 1; 4 ];
+  let ys = List.init 31 (fun i -> i - 15) in
+  let g x = string_of_int (x * 3) in
+  List.iter
+    (fun jobs ->
+      let got = Pool.with_jobs jobs (fun () -> Pool.parallel_map g ys) in
+      Alcotest.(check (list string))
+        (Printf.sprintf "list map, jobs=%d" jobs)
+        (List.map g ys) got)
+    [ 1; 4 ]
+
+let test_parallel_mapi_and_chunks () =
+  let n = 143 in
+  let expected = Array.init n (fun i -> 2 * i) in
+  let got =
+    Pool.with_jobs 4 (fun () ->
+        Pool.parallel_array_mapi (fun i _ -> 2 * i) (Array.make n ()))
+  in
+  Alcotest.(check (array int)) "mapi sees its own index" expected got;
+  let out = Array.make n 0 in
+  Pool.with_jobs 4 (fun () ->
+      Pool.parallel_for_chunks ~min_chunk:10 n (fun lo hi ->
+          for i = lo to hi - 1 do
+            out.(i) <- 2 * i
+          done));
+  Alcotest.(check (array int)) "chunks cover [0, n) exactly once" expected out
+
+let test_parallel_map_rng_deterministic () =
+  let xs = Array.make 40 () in
+  let draw rng () = Rng.int rng 1_000_000 in
+  let runs =
+    List.map
+      (fun jobs ->
+        Pool.with_jobs jobs (fun () ->
+            Pool.parallel_array_map_rng (Rng.make 5) draw xs))
+      [ 1; 4; 4 ]
+  in
+  match runs with
+  | [ a; b; c ] ->
+      Alcotest.(check (array int)) "jobs=1 equals jobs=4" a b;
+      Alcotest.(check (array int)) "repeated jobs=4 runs agree" b c
+  | _ -> assert false
+
+let test_pool_propagates_exceptions () =
+  let boom i = if i = 17 then failwith "task 17 exploded" in
+  Alcotest.check_raises "exception crosses domains"
+    (Failure "task 17 exploded") (fun () ->
+      Pool.with_jobs 4 (fun () -> Pool.run ~n:32 boom))
+
+(* -- arena determinism across jobs ----------------------------------------- *)
+
+let test_arena_bit_identical_across_jobs () =
+  let split =
+    Yali.Dataset.Poj.make (Rng.make 21) ~n_classes:4 ~train_per_class:6
+      ~test_per_class:3
+  in
+  let run jobs =
+    Pool.with_jobs jobs (fun () ->
+        G.Arena.run_flat (Rng.make 3) ~n_classes:4
+          Yali.Embeddings.Embedding.histogram Yali.Ml.Model.rf G.Game.game0
+          split)
+  in
+  let a = run 1 and b = run 4 in
+  Alcotest.(check bool) "accuracy identical" true (a.accuracy = b.accuracy);
+  Alcotest.(check bool) "f1 identical" true (a.f1 = b.f1);
+  Alcotest.(check int) "model size identical" a.model_bytes b.model_bytes;
+  Alcotest.(check int) "n_train identical" a.n_train b.n_train;
+  Alcotest.(check int) "n_test identical" a.n_test b.n_test
+
+(* -- cache ----------------------------------------------------------------- *)
+
+let test_cache_hits_and_lru_bound () =
+  let cache : int Cache.t = Cache.create ~capacity:2 () in
+  let computed = ref 0 in
+  let get key =
+    Cache.find_or_compute cache ~key (fun () ->
+        incr computed;
+        String.length key)
+  in
+  Alcotest.(check int) "first probe computes" 1 (get "a");
+  Alcotest.(check int) "second probe is a hit" 1 (get "a");
+  Alcotest.(check int) "computed once" 1 !computed;
+  ignore (get "bb");
+  ignore (get "ccc");
+  (* capacity 2: "a" was the least recently used entry and must be gone *)
+  Alcotest.(check int) "bounded size" 2 (Cache.length cache);
+  Alcotest.(check bool) "LRU victim evicted" true (Cache.find cache ~key:"a" = None);
+  Alcotest.(check bool) "recent keys survive" true
+    (Cache.find cache ~key:"bb" <> None && Cache.find cache ~key:"ccc" <> None);
+  ignore (get "a");
+  Alcotest.(check int) "evicted key recomputes" 4 !computed;
+  let s = Cache.stats cache in
+  Alcotest.(check int) "hit count" 1 s.hits;
+  Alcotest.(check int) "miss count" 4 s.misses;
+  Alcotest.(check int) "eviction count" 2 s.evictions;
+  Alcotest.(check bool) "hit rate in (0, 1)" true
+    (Cache.hit_rate s > 0.0 && Cache.hit_rate s < 1.0)
+
+let test_cache_repeated_embeddings_hit () =
+  let e = Yali.Embeddings.Embedding.histogram in
+  let m = lower (dataset_program 3) in
+  let m' = lower (dataset_program 3) in
+  (* structurally equal but physically distinct modules share one entry *)
+  let before = Yali.Embeddings.Embedding.flat_cache_stats () in
+  let v = Yali.Embeddings.Embedding.to_flat_cached e m in
+  let v' = Yali.Embeddings.Embedding.to_flat_cached e m' in
+  let after = Yali.Embeddings.Embedding.flat_cache_stats () in
+  Alcotest.(check (array (float 1e-12))) "same vector" v v';
+  Alcotest.(check bool) "re-embedding hits the cache" true
+    (after.hits > before.hits)
+
+(* -- telemetry ------------------------------------------------------------- *)
+
+let test_telemetry_counts_tasks () =
+  Telemetry.reset ();
+  let base = Telemetry.counter "pool.tasks" in
+  Alcotest.(check int) "reset clears counters" 0 base;
+  Pool.with_jobs 4 (fun () -> Pool.run ~n:10 (fun _ -> ()));
+  Alcotest.(check int) "parallel batch counts its tasks" 10
+    (Telemetry.counter "pool.tasks");
+  Pool.with_jobs 1 (fun () -> Pool.run ~n:7 (fun _ -> ()));
+  Alcotest.(check int) "sequential batch counts its tasks" 17
+    (Telemetry.counter "pool.tasks");
+  Alcotest.(check int) "one parallel batch" 1
+    (Telemetry.counter "pool.parallel_batches");
+  Alcotest.(check int) "one sequential batch" 1
+    (Telemetry.counter "pool.sequential_batches")
+
+let test_telemetry_spans_and_json () =
+  Telemetry.reset ();
+  let r = Telemetry.with_span "test.span" (fun () -> 41 + 1) in
+  Alcotest.(check int) "with_span returns the result" 42 r;
+  Telemetry.incr ~by:3 "test.counter";
+  let snap = Telemetry.snapshot () in
+  Alcotest.(check bool) "span recorded" true
+    (List.exists
+       (fun (n, (s : Telemetry.span_stat)) ->
+         n = "test.span" && s.span_count = 1 && s.span_seconds >= 0.0)
+       snap.r_spans);
+  let json = Telemetry.to_json () in
+  Alcotest.(check bool) "JSON mentions the counter" true
+    (contains_substring json "\"test.counter\": 3");
+  Alcotest.(check bool) "JSON mentions the span" true
+    (contains_substring json "\"test.span\"")
+
+let test_telemetry_clock_monotonic () =
+  let a = Telemetry.clock () in
+  let b = Telemetry.clock () in
+  Alcotest.(check bool) "clock never goes backwards" true (b >= a)
+
+let suite =
+  [
+    Alcotest.test_case "parallel map = sequential map" `Quick
+      test_parallel_map_matches_sequential;
+    Alcotest.test_case "mapi and chunked for" `Quick
+      test_parallel_mapi_and_chunks;
+    Alcotest.test_case "rng map deterministic across jobs" `Quick
+      test_parallel_map_rng_deterministic;
+    Alcotest.test_case "exceptions propagate" `Quick
+      test_pool_propagates_exceptions;
+    Alcotest.test_case "arena bit-identical at jobs=1 and jobs=4" `Slow
+      test_arena_bit_identical_across_jobs;
+    Alcotest.test_case "cache hits and LRU bound" `Quick
+      test_cache_hits_and_lru_bound;
+    Alcotest.test_case "repeated embeddings hit the cache" `Quick
+      test_cache_repeated_embeddings_hit;
+    Alcotest.test_case "telemetry counts scheduled tasks" `Quick
+      test_telemetry_counts_tasks;
+    Alcotest.test_case "telemetry spans and JSON report" `Quick
+      test_telemetry_spans_and_json;
+    Alcotest.test_case "telemetry clock monotonic" `Quick
+      test_telemetry_clock_monotonic;
+  ]

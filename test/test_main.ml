@@ -16,6 +16,7 @@ let () =
       ("ml", Test_ml.suite);
       ("dataset", Test_dataset.suite);
       ("gen_dsl", Test_gen_dsl.suite);
+      ("exec", Test_exec.suite);
       ("games", Test_games.suite);
       ("antivirus", Test_antivirus.suite);
       ("integration", Test_integration.suite);

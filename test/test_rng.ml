@@ -22,6 +22,36 @@ let test_split_independent () =
   let ys = List.init 5 (fun _ -> Rng.next_int64 b) in
   Alcotest.(check bool) "split streams differ" true (xs <> ys)
 
+let test_split_ix_deterministic () =
+  let stream rng = List.init 5 (fun _ -> Rng.next_int64 rng) in
+  let a = Rng.make 7 and b = Rng.make 7 in
+  Alcotest.(check bool) "same (state, index) gives the same child" true
+    (stream (Rng.split_ix a 3) = stream (Rng.split_ix b 3));
+  let c = Rng.make 7 in
+  Alcotest.(check bool) "distinct indices give distinct children" true
+    (stream (Rng.split_ix c 0) <> stream (Rng.split_ix c 1))
+
+let test_split_ix_does_not_advance_parent () =
+  let a = Rng.make 11 and b = Rng.make 11 in
+  ignore (Rng.split_ix a 5);
+  ignore (Rng.split_ix a 9);
+  Alcotest.(check int64) "parent stream untouched" (Rng.next_int64 b)
+    (Rng.next_int64 a)
+
+let test_split_n_matches_split () =
+  let a = Rng.make 13 and b = Rng.make 13 in
+  let children = Rng.split_n a 4 in
+  let expected = Array.init 4 (fun _ -> Rng.split b) in
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check int64)
+        (Printf.sprintf "child %d replays split #%d" i i)
+        (Rng.next_int64 expected.(i))
+        (Rng.next_int64 c))
+    children;
+  Alcotest.(check int64) "parents left in the same state" (Rng.next_int64 b)
+    (Rng.next_int64 a)
+
 let test_int_bounds =
   qtest ~count:200 "int respects bounds" (fun seed ->
       let rng = Rng.make seed in
@@ -99,6 +129,10 @@ let suite =
     Alcotest.test_case "determinism" `Quick test_determinism;
     Alcotest.test_case "different seeds" `Quick test_different_seeds;
     Alcotest.test_case "split independence" `Quick test_split_independent;
+    Alcotest.test_case "split_ix determinism" `Quick test_split_ix_deterministic;
+    Alcotest.test_case "split_ix keeps parent" `Quick
+      test_split_ix_does_not_advance_parent;
+    Alcotest.test_case "split_n matches split" `Quick test_split_n_matches_split;
     test_int_bounds;
     test_int_range;
     test_float_unit;

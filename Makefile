@@ -1,21 +1,32 @@
 # Convenience targets; everything is ultimately driven by dune.
 
-.PHONY: all build test check smoke bench fmt clean
+.PHONY: all build build-all test check smoke fuzz-smoke bench fmt clean
 
 all: build
 
 build:
 	dune build
 
+# @all also compiles examples/ and bench/, which `dune runtest` skips.
+build-all:
+	dune build @all
+
 test:
 	dune runtest
 
-# The PR gate: full build + test suite, then a 2-domain smoke run of the
-# figure harness to exercise the parallel/cached/telemetry paths end to end.
-check: build test smoke
+# The PR gate: full build (including examples and bench) + test suite, then
+# a 2-domain smoke run of the figure harness to exercise the
+# parallel/cached/telemetry paths end to end, and a short differential
+# fuzzing run over every registered pipeline.
+check: build-all test smoke fuzz-smoke
 
 smoke:
 	dune exec bench/main.exe -- --jobs 2 --quick fig5
+
+# Differential oracle smoke: generator -> every pipeline variant -> verify +
+# compare interpreter behaviour; exits non-zero on any finding.
+fuzz-smoke:
+	dune exec bin/yali_cli.exe -- fuzz --seed 2 --count 50 --jobs 2 --shrink
 
 bench:
 	dune exec bench/main.exe

@@ -14,6 +14,10 @@
       --telemetry out.json (or --telemetry=F)  # dump the runtime's JSON report:
                                                #   tasks, steals, cache hit
                                                #   rates, per-phase wall time
+      --json BENCH_quick.json (or --json=F)    # machine-readable run summary
+                                               #   (per-target wall seconds);
+                                               #   CI uploads these as the
+                                               #   perf-trajectory artifact
     Results are bit-identical at any --jobs setting: per-task RNG streams
     are pre-derived and the caches only memoise pure functions.
 
@@ -714,6 +718,7 @@ let figures =
   ]
 
 let telemetry_out = ref None
+let json_out = ref None
 
 (* flags come as "--flag value" or "--flag=value" *)
 let parse_args (args : string list) : string list =
@@ -761,31 +766,62 @@ let parse_args (args : string list) : string list =
     | a :: rest when starts_with "--telemetry=" a ->
         set_telemetry (cut "--telemetry=" a);
         go acc rest
+    | "--json" :: rest ->
+        go acc (valued ~flag:"--json" ~set:(fun v -> json_out := Some v) rest)
+    | a :: rest when starts_with "--json=" a ->
+        json_out := Some (cut "--json=" a);
+        go acc rest
     | a :: rest -> go (a :: acc) rest
   in
   go [] args
 
+(* machine-readable run summary, e.g. for the CI perf-trajectory artifact *)
+let write_json path ~total (timings : (string * float) list) =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"quick\": %b,\n  \"jobs\": %d,\n" !quick
+    (Yali.Exec.Pool.get_jobs ());
+  Printf.fprintf oc "  \"total_seconds\": %.3f,\n  \"targets\": [\n" total;
+  List.iteri
+    (fun i (name, secs) ->
+      Printf.fprintf oc "    {\"name\": \"%s\", \"seconds\": %.3f}%s\n" name
+        secs
+        (if i = List.length timings - 1 then "" else ","))
+    timings;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
+
 let () =
   let args = parse_args (List.tl (Array.to_list Sys.argv)) in
   let t0 = Yali.Exec.Telemetry.clock () in
+  let timings = ref [] in
+  let timed name f =
+    let s0 = Yali.Exec.Telemetry.clock () in
+    f ();
+    timings := (name, Yali.Exec.Telemetry.clock () -. s0) :: !timings
+  in
   (match args with
-  | [] | [ "all" ] -> List.iter (fun (_, f) -> f ()) figures
-  | [ "ablations" ] -> List.iter (fun (_, f) -> f ()) ablations
+  | [] | [ "all" ] -> List.iter (fun (name, f) -> timed name f) figures
+  | [ "ablations" ] -> List.iter (fun (name, f) -> timed name f) ablations
   | names ->
       List.iter
         (fun name ->
-          if name = "micro" then micro ()
+          if name = "micro" then timed "micro" micro
           else
             match List.assoc_opt name (figures @ ablations) with
-            | Some f -> f ()
+            | Some f -> timed name f
             | None ->
                 Printf.eprintf
                   "unknown target %s (expected fig5..fig16, abl-*, ablations, micro, all)\n"
                   name)
         names);
-  Printf.printf "\ntotal time: %.1fs (jobs=%d)\n"
-    (Yali.Exec.Telemetry.clock () -. t0)
+  let total = Yali.Exec.Telemetry.clock () -. t0 in
+  Printf.printf "\ntotal time: %.1fs (jobs=%d)\n" total
     (Yali.Exec.Pool.get_jobs ());
+  (match !json_out with
+  | None -> ()
+  | Some path ->
+      write_json path ~total (List.rev !timings);
+      Printf.printf "bench summary written to %s\n" path);
   match !telemetry_out with
   | None -> ()
   | Some path ->

@@ -8,7 +8,8 @@
     - [generate]  sample a program from the synthetic POJ-104 corpus
     - [dataset]   export the corpus as .c files
     - [opt]       run a pass pipeline over textual IR (an `opt` clone)
-    - [play]      run one adversarial game and report the verdict *)
+    - [play]      run one adversarial game and report the verdict
+    - [fuzz]      differential fuzzing of the whole pass stack *)
 
 open Cmdliner
 module Rng = Yali.Rng
@@ -339,9 +340,131 @@ let play_cmd =
       const run $ seed_arg $ jobs_arg $ telemetry_arg $ game_arg $ evader_arg
       $ model_arg $ classes_arg $ train_arg $ test_arg $ threshold_arg)
 
+(* -- fuzz: the differential oracle over the whole pass stack --------------- *)
+
+let fuzz_cmd =
+  let count_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "count"; "n" ] ~docv:"N"
+          ~doc:
+            "Programs to generate (default 200, unlimited when a time \
+             budget is given).")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "time-budget" ] ~docv:"SECONDS"
+          ~doc:"Stop generating after \\$(docv) of wall time.")
+  in
+  let shrink_arg =
+    Arg.(
+      value & flag
+      & info [ "shrink" ]
+          ~doc:"Minimize failing programs before reporting them.")
+  in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt string Yali.Fuzz.Corpus.default_dir
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Corpus directory, replayed before fresh generation (skipped \
+             when absent); \"none\" disables.")
+  in
+  let save_arg =
+    Arg.(
+      value & flag
+      & info [ "save" ]
+          ~doc:"Persist minimized reproducers into the corpus directory.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No per-chunk progress.")
+  in
+  let variants_arg =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "variants" ] ~docv:"V1,V2,..."
+          ~doc:
+            "Restrict the differential check to these pipeline variants \
+             (default: all; see the DESIGN notes for the registry).")
+  in
+  let dump_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "dump" ] ~docv:"N"
+          ~doc:"Print generated program \\$(docv) of this seed and exit.")
+  in
+  let run seed jobs telemetry count budget shrink corpus save quiet variants
+      dump =
+    configure_jobs jobs;
+    configure_telemetry telemetry;
+    (match dump with
+    | Some ix ->
+        let root = Yali.Rng.make seed in
+        let pri = Yali.Rng.split_ix (Yali.Rng.split_ix root 1) ix in
+        let p = Yali.Fuzz.Gen.program (Yali.Rng.split_ix pri 0) in
+        print_string (Yali.Minic.Pp.program_to_string p);
+        exit 0
+    | None -> ());
+    let variants =
+      match variants with
+      | None -> Yali.Fuzz.Pipelines.all
+      | Some names ->
+          List.map
+            (fun n ->
+              match Yali.Fuzz.Pipelines.find n with
+              | Some v -> v
+              | None ->
+                  Printf.eprintf "unknown variant %s (have: %s)\n" n
+                    (String.concat " " (Yali.Fuzz.Pipelines.names ()));
+                  exit 2)
+            names
+    in
+    let count =
+      match (count, budget) with
+      | Some n, _ -> n
+      | None, Some _ -> max_int
+      | None, None -> 200
+    in
+    let cfg =
+      {
+        Yali.Fuzz.Driver.default with
+        seed;
+        count;
+        time_budget = budget;
+        shrink;
+        corpus_dir = (if corpus = "none" then None else Some corpus);
+        save_findings = save;
+        variants;
+        log = (if quiet then ignore else prerr_endline);
+      }
+    in
+    Printf.printf "fuzzing %d pipeline variants (seed %d, jobs %d)\n%!"
+      (List.length cfg.variants) seed
+      (Yali.Exec.Pool.get_jobs ());
+    let r = Yali.Fuzz.Driver.run cfg in
+    print_string (Yali.Fuzz.Driver.summary r);
+    dump_telemetry telemetry;
+    if r.r_findings <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differentially fuzz every pipeline variant against the -O0 \
+          baseline; exits nonzero on any divergence.")
+    Term.(
+      const run $ seed_arg $ jobs_arg $ telemetry_arg $ count_arg $ budget_arg
+      $ shrink_arg $ corpus_arg $ save_arg $ quiet_arg $ variants_arg
+      $ dump_arg)
+
 let () =
   let doc = "a game-based framework to compare program classifiers and evaders" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "yali" ~doc)
-          [ compile_cmd; run_cmd; obfuscate_cmd; embed_cmd; generate_cmd; dataset_cmd; opt_cmd; play_cmd ]))
+          [ compile_cmd; run_cmd; obfuscate_cmd; embed_cmd; generate_cmd; dataset_cmd; opt_cmd; play_cmd; fuzz_cmd ]))

@@ -1,0 +1,9 @@
+int calc0(int p1, int p2) {
+  return 1 - p1;
+}
+
+int main() {
+  int y11 = 0;
+  y11 = abs(calc0(0, 0));
+  print_int(y11);
+}

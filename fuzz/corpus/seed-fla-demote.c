@@ -1,0 +1,8 @@
+int walk4(int n5, int a6) {
+  if (1) {
+  }
+  return a6 + (0 && a6);
+}
+
+int main() {
+}

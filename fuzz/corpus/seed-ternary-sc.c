@@ -1,0 +1,6 @@
+int main() {
+  int in7 = 0;
+  int x8 = 0;
+  in7 = (read_int() && 0) + (x8 ? 0 : 0);
+  print_int(in7);
+}

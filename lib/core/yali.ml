@@ -15,6 +15,8 @@
       benchmark-game kernels
     - {!Exec}: the execution runtime — domain pool, content-addressed
       cache, telemetry ([--jobs], [--telemetry])
+    - {!Fuzz}: the differential fuzzing subsystem — generator, oracle,
+      shrinker, corpus, campaign driver ([yali fuzz])
 
     {1 The games}
     - {!Games}: Definitions 2.1–2.4, the four games, the arena. *)
@@ -30,6 +32,7 @@ module Embeddings = Yali_embeddings
 module Ml = Yali_ml
 module Dataset = Yali_dataset
 module Games = Yali_games
+module Fuzz = Yali_fuzz
 
 (** Parse mini-C source text into an AST. *)
 let parse = Yali_minic.Parser.parse_program

@@ -45,6 +45,22 @@ let read_clamped lo hi =
   (* abs(read_int()) % (hi - lo + 1) + lo *)
   Bin (Add, Bin (Mod, Call ("abs", [ Call ("read_int", []) ]), i (hi - lo + 1)), i lo)
 
+(* -- safety combinators (shared with the fuzzer) -------------------------- *)
+
+(** [nonzero e] — a strictly positive value derived from [e]
+    ([abs e % 97 + 1]); the standard safe denominator. *)
+let nonzero e = Bin (Add, Bin (Mod, Call ("abs", [ e ]), i 97), i 1)
+
+(** [e1 / e2] with the denominator forced nonzero — never traps. *)
+let safe_div a b = Bin (Div, a, nonzero b)
+
+(** [e1 % e2] with the denominator forced nonzero — never traps. *)
+let safe_mod a b = Bin (Mod, a, nonzero b)
+
+(** [safe_index n e] — [abs e % n], always a valid index into an array of
+    size [n]. *)
+let safe_index n e = Bin (Mod, Call ("abs", [ e ]), i n)
+
 (* -- naming --------------------------------------------------------------- *)
 
 type ctx = { rng : Rng.t; salt : int }

@@ -40,6 +40,22 @@ val print : expr -> stmt
     accept workload sizes safely. *)
 val read_clamped : int -> int -> expr
 
+(* safety combinators, shared with the fuzzer (lib/fuzz): expressions that
+   can never trap regardless of operand values *)
+
+(** A strictly positive value derived from [e] ([abs e % 97 + 1]). *)
+val nonzero : expr -> expr
+
+(** Division with the denominator forced nonzero. *)
+val safe_div : expr -> expr -> expr
+
+(** Modulo with the denominator forced nonzero. *)
+val safe_mod : expr -> expr -> expr
+
+(** [safe_index n e] — [abs e % n], a valid index into an array of size
+    [n]. *)
+val safe_index : int -> expr -> expr
+
 (* naming and randomised shapes *)
 
 type ctx = { rng : Yali_util.Rng.t; salt : int }

@@ -1,0 +1,13 @@
+(** The persistent corpus: mini-C files replayed before fresh generation,
+    afl/libFuzzer seed-directory style. *)
+
+(** ["fuzz/corpus"]. *)
+val default_dir : string
+
+(** Every [*.c] file, sorted by name; unparseable entries are [Error]. *)
+val load :
+  string -> (string * (Yali_minic.Ast.program, string) Result.t) list
+
+(** Write a reproducer named by content hash; idempotent.  Returns the
+    path. *)
+val save : dir:string -> Yali_minic.Ast.program -> string

@@ -1,0 +1,22 @@
+(** Seeded random mini-C programs for the differential oracle, layered on
+    {!Yali_dataset.Gen_dsl}.
+
+    Generator contract (the oracle depends on it): every program lowers to
+    verified IR, terminates quickly in the interpreter on any input stream,
+    and never traps — loops count to literal bounds with read-only
+    counters, recursion decrements a clamped counter, divisions and array
+    indices are guarded, inputs are clamped on read.  Every top-level
+    scalar and array cell is printed, so miscompilations surface as output
+    divergences. *)
+
+type cfg = {
+  max_stmts : int;  (** top-level statement budget for [main] *)
+  max_depth : int;  (** block-nesting depth *)
+  max_expr_depth : int;
+  max_helpers : int;
+}
+
+val default : cfg
+
+(** Draw one program.  Equal rng states give equal programs. *)
+val program : ?cfg:cfg -> Yali_util.Rng.t -> Yali_minic.Ast.program

@@ -1,0 +1,27 @@
+(** The build-pipeline variants the differential oracle compares: the
+    [-O0]…[-O3] pipelines, every individual optimization pass, each O-LLVM
+    obfuscation pass, and compositions of the two families. *)
+
+type stage = {
+  sname : string;  (** one transform, e.g. ["O2"] or ["fla"] *)
+  srun : Yali_util.Rng.t -> Yali_ir.Irmod.t -> Yali_ir.Irmod.t;
+}
+
+type variant = {
+  vname : string;
+  vfuel : int;  (** interpreter fuel multiplier vs the baseline run *)
+  vstages : stage list;  (** applied in order to the [-O0] lowering *)
+}
+
+(** Lift a deterministic module transform into a stage. *)
+val pure : string -> (Yali_ir.Irmod.t -> Yali_ir.Irmod.t) -> stage
+
+(** Lift a seeded module transform into a stage. *)
+val seeded :
+  string -> (Yali_util.Rng.t -> Yali_ir.Irmod.t -> Yali_ir.Irmod.t) -> stage
+
+(** The full registry, [O0] (the trivial variant) included. *)
+val all : variant list
+
+val find : string -> variant option
+val names : unit -> string list

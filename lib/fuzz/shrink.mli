@@ -1,0 +1,21 @@
+(** Greedy AST minimizer for failing programs: repeatedly takes the first
+    strictly smaller one-step reduction that still satisfies the predicate.
+    Deterministic; terminates because every candidate strictly decreases a
+    (node weight, literal magnitude) measure. *)
+
+(** The decreasing measure (exposed for tests). *)
+val measure : Yali_minic.Ast.program -> int * int
+
+(** All one-step reductions of a program, biggest jumps first. *)
+val candidates : Yali_minic.Ast.program -> Yali_minic.Ast.program list
+
+(** [run pred p] — greedy minimization of [p] under [pred] ("still
+    fails").  [max_checks] caps predicate calls. *)
+val run :
+  ?max_checks:int ->
+  (Yali_minic.Ast.program -> bool) ->
+  Yali_minic.Ast.program ->
+  Yali_minic.Ast.program
+
+(** Total statement count (the reported size of a reproducer). *)
+val stmt_count : Yali_minic.Ast.program -> int

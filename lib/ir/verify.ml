@@ -60,6 +60,77 @@ let check_func ?(known_funcs = SSet.empty) (f : Func.t) : error list =
         b.instrs;
       List.iter (check_val b) (Instr.terminator_operands b.term))
     f.blocks;
+  (* 3b. definitions dominate their uses.  Params count as entry
+     definitions; within a block the definition must come first; a phi use
+     only needs to be dominated at the incoming edge.  Restricted to
+     reachable blocks — dominance is meaningless off the entry tree. *)
+  let dom = Dominance.compute cfg in
+  let reachable = Cfg.reachable cfg in
+  let params = Hashtbl.create 8 in
+  List.iter (fun (id, _) -> Hashtbl.replace params id ()) f.params;
+  let def_label = Hashtbl.create 64 in
+  List.iter
+    (fun (b : Block.t) ->
+      List.iter
+        (fun (i : Instr.t) ->
+          if Instr.defines i && not (Hashtbl.mem def_label i.id) then
+            Hashtbl.replace def_label i.id b.label)
+        b.instrs)
+    f.blocks;
+  List.iter
+    (fun (b : Block.t) ->
+      if Cfg.SSet.mem b.label reachable then begin
+        let seen = Hashtbl.create 16 in
+        let dominated v =
+          match v with
+          | Value.Var id when not (Hashtbl.mem params id) -> (
+              match Hashtbl.find_opt def_label id with
+              | None -> true (* covered by check 3 *)
+              | Some dl ->
+                  if dl = b.label then Hashtbl.mem seen id
+                  else Dominance.dominates dom dl b.label)
+          | _ -> true
+        in
+        List.iter
+          (fun (i : Instr.t) ->
+            (match i.kind with
+            | Instr.Phi incoming ->
+                List.iter
+                  (fun (v, src) ->
+                    if
+                      Cfg.SSet.mem src reachable
+                      && not
+                           (match v with
+                           | Value.Var id when not (Hashtbl.mem params id) -> (
+                               match Hashtbl.find_opt def_label id with
+                               | None -> true
+                               | Some dl -> Dominance.dominates dom dl src)
+                           | _ -> true)
+                    then
+                      err b.label
+                        "phi %%%d: incoming %s from %s is not dominated by \
+                         its definition"
+                        i.id (Value.to_string v) src)
+                  incoming
+            | _ ->
+                List.iter
+                  (fun v ->
+                    if not (dominated v) then
+                      err b.label
+                        "use of %s is not dominated by its definition"
+                        (Value.to_string v))
+                  (Instr.operands i));
+            if Instr.defines i then Hashtbl.replace seen i.id ())
+          b.instrs;
+        List.iter
+          (fun v ->
+            if not (dominated v) then
+              err b.label
+                "terminator use of %s is not dominated by its definition"
+                (Value.to_string v))
+          (Instr.terminator_operands b.term)
+      end)
+    f.blocks;
   (* 4. phis agree with predecessors, and appear only as a block prefix *)
   List.iter
     (fun (b : Block.t) ->

@@ -30,12 +30,30 @@ let has_phis (f : Func.t) =
 let make_bogus ~(fresh : unit -> int) (rng : Rng.t) (b : Block.t)
     ~(target : string) ~(label : string) : Block.t =
   let remap = Hashtbl.create 8 in
+  (* Effectful instructions are dropped from the clone, so a reference to
+     one would point into the sibling ".real" block, which does not
+     dominate the bogus block.  The clone is dead code: any well-formed
+     placeholder of the right kind will do. *)
+  let local_ty = Hashtbl.create 8 in
+  List.iter
+    (fun (i : Instr.t) ->
+      if Instr.defines i then Hashtbl.replace local_ty i.id i.ty)
+    b.instrs;
+  let placeholder (ty : Types.t) =
+    match ty with
+    | Types.F64 -> Value.FConst 0.0
+    | Types.Ptr _ -> Value.Global x_global
+    | ty -> Value.IConst (ty, 7L)
+  in
   let rewrite v =
     match v with
     | Value.Var id -> (
         match Hashtbl.find_opt remap id with
         | Some id' -> Value.Var id'
-        | None -> v)
+        | None -> (
+            match Hashtbl.find_opt local_ty id with
+            | Some ty -> placeholder ty
+            | None -> v))
     | _ -> v
   in
   let perturb (op : Instr.ibin) : Instr.ibin =

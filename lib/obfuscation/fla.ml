@@ -64,10 +64,147 @@ let lower_switches (f : Func.t) : Func.t =
   in
   { f with blocks; next_id = !next; next_label = !next_label }
 
+(** Move every alloca into the entry block so stack slots keep dominating
+    their accesses once the CFG is a star.  Lowered code initializes each
+    slot before any load on every path, so widening a slot's lifetime to
+    the whole function is unobservable. *)
+let hoist_allocas (f : Func.t) : Func.t =
+  let entry_label = (Func.entry f).label in
+  let hoisted = ref [] in
+  let stripped =
+    List.map
+      (fun (b : Block.t) ->
+        if b.label = entry_label then b
+        else
+          let allocas, others =
+            List.partition
+              (fun (i : Instr.t) ->
+                match i.kind with Instr.Alloca _ -> true | _ -> false)
+              b.instrs
+          in
+          hoisted := !hoisted @ allocas;
+          { b with instrs = others })
+      f.blocks
+  in
+  {
+    f with
+    blocks =
+      List.map
+        (fun (b : Block.t) ->
+          if b.label = entry_label then
+            { b with instrs = b.instrs @ !hoisted }
+          else b)
+        stripped;
+  }
+
+(** O-LLVM's reg2mem prerequisite: an SSA value defined in a non-entry
+    block and used in another block would no longer dominate its uses
+    after flattening (all inter-block edges get rerouted through the
+    dispatcher).  Demote each such value to a fresh entry-block stack
+    slot: store once after the definition, reload in front of every
+    out-of-block use. *)
+let demote_cross_block (f : Func.t) : Func.t =
+  let next = ref f.next_id in
+  let fresh () =
+    let id = !next in
+    incr next;
+    id
+  in
+  let entry_label = (Func.entry f).label in
+  let def_block : (int, string) Hashtbl.t = Hashtbl.create 64 in
+  let def_ty : (int, Types.t) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (b : Block.t) ->
+      List.iter
+        (fun (i : Instr.t) ->
+          if Instr.defines i then begin
+            Hashtbl.replace def_block i.id b.label;
+            Hashtbl.replace def_ty i.id i.ty
+          end)
+        b.instrs)
+    f.blocks;
+  (* slot table: demoted id -> (slot id, value type) *)
+  let slot : (int, int * Types.t) Hashtbl.t = Hashtbl.create 16 in
+  let note_use here v =
+    match v with
+    | Value.Var id -> (
+        match Hashtbl.find_opt def_block id with
+        | Some dl when dl <> here && dl <> entry_label ->
+            if not (Hashtbl.mem slot id) then
+              Hashtbl.replace slot id (fresh (), Hashtbl.find def_ty id)
+        | _ -> ())
+    | _ -> ()
+  in
+  List.iter
+    (fun (b : Block.t) ->
+      List.iter
+        (fun (i : Instr.t) -> List.iter (note_use b.label) (Instr.operands i))
+        b.instrs;
+      List.iter (note_use b.label) (Instr.terminator_operands b.term))
+    f.blocks;
+  if Hashtbl.length slot = 0 then f
+  else
+    let reload (b : Block.t) acc v =
+      match v with
+      | Value.Var id
+        when Hashtbl.mem slot id
+             && Hashtbl.find_opt def_block id <> Some b.label ->
+          let s, ty = Hashtbl.find slot id in
+          let l = fresh () in
+          acc := Instr.mk ~id:l ~ty (Instr.Load (Value.Var s)) :: !acc;
+          Value.Var l
+      | _ -> v
+    in
+    let blocks =
+      List.map
+        (fun (b : Block.t) ->
+          let instrs =
+            List.concat_map
+              (fun (i : Instr.t) ->
+                let loads = ref [] in
+                let i' = Instr.map_operands (reload b loads) i in
+                let spill =
+                  if Instr.defines i && Hashtbl.mem slot i.id then
+                    let s, _ = Hashtbl.find slot i.id in
+                    [
+                      Instr.mk_void
+                        (Instr.Store (Value.Var i.id, Value.Var s));
+                    ]
+                  else []
+                in
+                List.rev !loads @ (i' :: spill))
+              b.instrs
+          in
+          let tloads = ref [] in
+          let term =
+            Instr.map_terminator_operands (reload b tloads) b.term
+          in
+          { b with instrs = instrs @ List.rev !tloads; term })
+        f.blocks
+    in
+    let allocas =
+      Hashtbl.fold
+        (fun _id (s, ty) acc ->
+          Instr.mk ~id:s ~ty:(Types.Ptr ty) (Instr.Alloca ty) :: acc)
+        slot []
+      |> List.sort (fun (a : Instr.t) (b : Instr.t) -> compare a.id b.id)
+    in
+    let blocks =
+      List.map
+        (fun (b : Block.t) ->
+          if b.label = entry_label then
+            { b with instrs = b.instrs @ allocas }
+          else b)
+        blocks
+    in
+    { f with blocks; next_id = !next }
+
 let run_func (rng : Rng.t) (f : Func.t) : Func.t =
   if has_phis f || List.length f.blocks < 2 then f
   else
     let f = lower_switches f in
+    let f = hoist_allocas f in
+    let f = demote_cross_block f in
     let entry = Func.entry f in
     let rest = List.tl f.blocks in
     (* entry must not be a branch target *)

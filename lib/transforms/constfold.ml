@@ -35,8 +35,9 @@ let fold_instr (i : Instr.t) : Value.t option =
       | _ -> None)
   | Instr.Freeze ((Value.IConst _ | Value.FConst _) as v) -> Some v
   | Instr.Phi ((v, _) :: rest)
-    when List.for_all (fun (v', _) -> Value.equal v v') rest ->
-      (* all-same phi *)
+    when List.for_all (fun (v', _) -> Value.equal v v') rest
+         && not (Value.equal v (Value.Var i.id)) ->
+      (* all-same phi (self-references would make the rewrite cyclic) *)
       Some v
   | _ -> None
 
@@ -59,10 +60,20 @@ let run_func (f : Func.t) : Func.t =
           b.instrs)
       !f.blocks;
     if !changed then begin
+      (* a replacement can itself be a replaced variable (an all-same phi
+         of an instruction folded in the same round, a select whose chosen
+         arm folded, ...): chase the chain to a live value, or every use
+         of the intermediate would dangle once its definition is dropped *)
       let resolve v =
-        match v with
-        | Value.Var id -> Option.value (Hashtbl.find_opt repl id) ~default:v
-        | _ -> v
+        let rec go seen v =
+          match v with
+          | Value.Var id when not (List.mem id seen) -> (
+              match Hashtbl.find_opt repl id with
+              | Some v' -> go (id :: seen) v'
+              | None -> v)
+          | _ -> v
+        in
+        go [] v
       in
       f :=
         Func.map_blocks

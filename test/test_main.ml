@@ -17,6 +17,7 @@ let () =
       ("dataset", Test_dataset.suite);
       ("gen_dsl", Test_gen_dsl.suite);
       ("exec", Test_exec.suite);
+      ("fuzz", Test_fuzz.suite);
       ("games", Test_games.suite);
       ("antivirus", Test_antivirus.suite);
       ("integration", Test_integration.suite);

@@ -1,6 +1,6 @@
 # Convenience targets; everything is ultimately driven by dune.
 
-.PHONY: all build build-all test check smoke fuzz-smoke bench fmt clean
+.PHONY: all build build-all test check smoke fuzz-smoke bench bench-kernels fmt clean
 
 all: build
 
@@ -30,6 +30,12 @@ fuzz-smoke:
 
 bench:
 	dune exec bench/main.exe
+
+# Numeric-kernel microbenchmarks (DESIGN.md §8): rewritten kernels vs the
+# frozen lib/ml/reference.ml implementations, with speedups and
+# predictions-match checks in BENCH_kernels.json.
+bench-kernels:
+	dune exec bench/main.exe -- --quick --json BENCH_kernels.json kernels
 
 # Requires ocamlformat (not part of `check`: it is not installed everywhere).
 fmt:

@@ -7,6 +7,7 @@
       dune exec bench/main.exe -- fig8 fig13   # selected figures
       dune exec bench/main.exe -- --quick all  # smaller workloads
       dune exec bench/main.exe -- micro        # bechamel suite
+      dune exec bench/main.exe -- kernels      # Fmat vs pre-rewrite kernels
 
     Execution-runtime knobs (lib/exec):
       --jobs N (or --jobs=N, or YALI_JOBS)     # worker domains; default
@@ -50,29 +51,34 @@ let mean_std xs = (Ml.Metrics.mean xs, Ml.Metrics.stddev xs)
 (* shared machinery                                                    *)
 (* ------------------------------------------------------------------ *)
 
-(* materialize (embedded) datasets once per setup and reuse across models *)
+(* materialize (embedded) datasets once per setup and reuse across models;
+   embeddings land directly in flat feature matrices — no intermediate
+   row-array dataset is ever built *)
 type prepared = {
-  xs_train : float array array;
+  xs_train : Ml.Fmat.t;
   ys_train : int array;
-  xs_test : float array array;
+  xs_test : Ml.Fmat.t;
   ys_test : int array;
 }
 
 let prepare (rng : Rng.t) (setup : G.Game.setup) (embedding : E.Embedding.t)
     (split : Yali.Dataset.Poj.split) : prepared =
   let train_mods, test_mods = G.Arena.build_modules rng setup split in
-  let embed m = E.Embedding.to_flat embedding m in
+  let embed mods =
+    Ml.Fmat.parallel_of_fn ~n:(Array.length mods) (fun i ->
+        E.Embedding.to_flat embedding (fst mods.(i)))
+  in
   {
-    xs_train = Array.map (fun (m, _) -> embed m) train_mods;
+    xs_train = embed train_mods;
     ys_train = Array.map snd train_mods;
-    xs_test = Array.map (fun (m, _) -> embed m) test_mods;
+    xs_test = embed test_mods;
     ys_test = Array.map snd test_mods;
   }
 
 let eval_model (rng : Rng.t) ~(n_classes : int) (model : Ml.Model.flat)
     (p : prepared) : float * float * int =
   let trained = model.ftrain rng ~n_classes p.xs_train p.ys_train in
-  let pred = Array.map trained.predict p.xs_test in
+  let pred = trained.predict_batch p.xs_test in
   let acc = Ml.Metrics.accuracy p.ys_test pred in
   let f1 =
     Ml.Metrics.macro_f1 (Ml.Metrics.confusion ~n_classes p.ys_test pred)
@@ -144,12 +150,15 @@ let fig6 () =
   let eval_cell (e : E.Embedding.t) ((train_mods, test_mods), rng) =
     let rng = Rng.copy rng in
     if E.Embedding.is_flat e then begin
-      let embed m = E.Embedding.to_flat e m in
-      let xs = Array.map (fun (m, _) -> embed m) train_mods in
+      let embed mods =
+        Ml.Fmat.parallel_of_fn ~n:(Array.length mods) (fun i ->
+            E.Embedding.to_flat e (fst mods.(i)))
+      in
+      let xs = embed train_mods in
       let ys = Array.map snd train_mods in
       let trained = Ml.Model.cnn.ftrain (Rng.split rng) ~n_classes xs ys in
       Ml.Metrics.accuracy (Array.map snd test_mods)
-        (Array.map (fun (m, _) -> trained.predict (embed m)) test_mods)
+        (trained.predict_batch (embed test_mods))
     end
     else begin
       let embed m = E.Embedding.to_graph e m in
@@ -516,6 +525,184 @@ let micro () =
 
 
 (* ------------------------------------------------------------------ *)
+(* Kernel micro-benchmarks: the Fmat layer vs the pre-rewrite code     *)
+(* ------------------------------------------------------------------ *)
+
+(* recorded for the "kernels" section of the --json summary *)
+let kernel_results :
+    (string * float * float * (string * string) list) list ref =
+  ref []
+
+let best_of ~(reps : int) (f : unit -> unit) : float =
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Yali.Exec.Telemetry.clock () in
+    f ();
+    let t = Yali.Exec.Telemetry.clock () -. t0 in
+    if t < !best then best := t
+  done;
+  !best
+
+let record_kernel name ref_s new_s extras =
+  kernel_results := (name, ref_s, new_s, extras) :: !kernel_results;
+  Printf.printf "%-16s %12.4f %12.4f %9.2fx" name ref_s new_s (ref_s /. new_s);
+  List.iter (fun (k, v) -> Printf.printf "  %s=%s" k v) extras;
+  Printf.printf "\n%!"
+
+(** Before/after numbers for the numeric-kernel layer (DESIGN.md §8):
+    forest/tree training (histogram vs per-node sort splits), k-NN
+    prediction (blocked norms+dot vs per-row subtract-square), the raw
+    distance sweep, and the tiled vs naive matmul.  "Reference" is the
+    frozen pre-rewrite code in [Yali.Ml.Reference]. *)
+let kernels () =
+  header "Kernel benchmarks: frozen pre-rewrite reference vs Fmat kernels";
+  let reps = 3 in
+  let n_train = scale 1600 and n_test = scale 400 in
+  let d = 64 and n_classes = 16 in
+  Printf.printf "train=%d test=%d d=%d classes=%d (best of %d)\n\n" n_train
+    n_test d n_classes reps;
+  Printf.printf "%-16s %12s %12s %9s\n" "kernel" "ref(s)" "fmat(s)" "speedup";
+  (* quantized count features — the shape of histogram embeddings, and the
+     regime the tree's 256-bucket histogram path is built for *)
+  let gen_counts seed n =
+    let rng = Rng.make seed in
+    let xs = Array.init n (fun _ -> Array.make d 0.0) in
+    let ys = Array.make n 0 in
+    for i = 0 to n - 1 do
+      let cls = Rng.int rng n_classes in
+      ys.(i) <- cls;
+      for j = 0 to d - 1 do
+        let bump = if j mod n_classes = cls then 20 else 0 in
+        xs.(i).(j) <- float_of_int (Rng.int rng 24 + bump)
+      done
+    done;
+    (xs, ys)
+  in
+  (* continuous features for the distance kernels (no exact-tie noise) *)
+  let gen_gauss seed n =
+    let rng = Rng.make seed in
+    let xs = Array.init n (fun _ -> Array.make d 0.0) in
+    let ys = Array.make n 0 in
+    for i = 0 to n - 1 do
+      let cls = Rng.int rng n_classes in
+      ys.(i) <- cls;
+      for j = 0 to d - 1 do
+        xs.(i).(j) <-
+          Rng.gaussian rng +. (if j mod n_classes = cls then 4.0 else 0.0)
+      done
+    done;
+    (xs, ys)
+  in
+  let xs_tr, ys_tr = gen_counts 11 n_train in
+  let xs_te, _ = gen_counts 12 n_test in
+  let fm_tr = Ml.Fmat.of_rows xs_tr and fm_te = Ml.Fmat.of_rows xs_te in
+
+  (* random-forest training *)
+  let n_trees = scale 32 in
+  let ref_forest = ref None and new_forest = ref None in
+  let t_ref =
+    best_of ~reps (fun () ->
+        ref_forest :=
+          Some
+            (Ml.Reference.Random_forest.train
+               ~params:{ Ml.Reference.Random_forest.n_trees; max_depth = 24 }
+               (Rng.make 42) ~n_classes xs_tr ys_tr))
+  in
+  let t_new =
+    best_of ~reps (fun () ->
+        new_forest :=
+          Some
+            (Ml.Random_forest.train
+               ~params:{ Ml.Random_forest.n_trees; max_depth = 24 }
+               (Rng.make 42) ~n_classes fm_tr ys_tr))
+  in
+  let ref_pred =
+    Array.map (Ml.Reference.Random_forest.predict (Option.get !ref_forest)) xs_te
+  in
+  let new_pred = Ml.Random_forest.predict_batch (Option.get !new_forest) fm_te in
+  record_kernel "rf-train" t_ref t_new
+    [ ("predictions_match", string_of_bool (ref_pred = new_pred)) ];
+
+  (* single-tree split finding, all features considered *)
+  let t_ref =
+    best_of ~reps (fun () ->
+        ignore (Ml.Reference.Decision_tree.train (Rng.make 5) ~n_classes xs_tr ys_tr))
+  in
+  let t_new =
+    best_of ~reps (fun () ->
+        ignore (Ml.Decision_tree.train (Rng.make 5) ~n_classes fm_tr ys_tr))
+  in
+  record_kernel "tree-splits" t_ref t_new [];
+
+  (* k-NN prediction *)
+  let kxs_tr, kys_tr = gen_gauss 21 n_train in
+  let kxs_te, _ = gen_gauss 22 n_test in
+  let kfm_tr = Ml.Fmat.of_rows kxs_tr and kfm_te = Ml.Fmat.of_rows kxs_te in
+  let ref_knn = Ml.Reference.Knn.train ~n_classes kxs_tr kys_tr in
+  let new_knn = Ml.Knn.train ~n_classes kfm_tr kys_tr in
+  let rpred = ref [||] and npred = ref [||] in
+  let t_ref =
+    best_of ~reps (fun () ->
+        rpred := Array.map (Ml.Reference.Knn.predict ref_knn) kxs_te)
+  in
+  let t_new =
+    best_of ~reps (fun () -> npred := Ml.Knn.predict_batch new_knn kfm_te)
+  in
+  record_kernel "knn-predict" t_ref t_new
+    [ ("predictions_match", string_of_bool (!rpred = !npred)) ];
+
+  (* the raw distance sweep: subtract-square rows vs norms + dot over the
+     contiguous matrix *)
+  let q = kxs_te.(0) in
+  let norms = Array.init n_train (Ml.Fmat.sq_norm_row kfm_tr) in
+  let out_ref = Array.make n_train 0.0 and out_new = Array.make n_train 0.0 in
+  let t_ref =
+    best_of ~reps (fun () ->
+        for i = 0 to n_train - 1 do
+          let row = kxs_tr.(i) in
+          let acc = ref 0.0 in
+          for j = 0 to d - 1 do
+            let dv = q.(j) -. row.(j) in
+            acc := !acc +. (dv *. dv)
+          done;
+          out_ref.(i) <- !acc
+        done)
+  in
+  let qn =
+    let acc = ref 0.0 in
+    Array.iter (fun v -> acc := !acc +. (v *. v)) q;
+    !acc
+  in
+  let t_new =
+    best_of ~reps (fun () ->
+        for i = 0 to n_train - 1 do
+          out_new.(i) <-
+            qn -. (2.0 *. Ml.Fmat.dot_row_vec kfm_tr i q) +. norms.(i)
+        done)
+  in
+  let max_diff = ref 0.0 in
+  for i = 0 to n_train - 1 do
+    max_diff := Float.max !max_diff (Float.abs (out_ref.(i) -. out_new.(i)))
+  done;
+  record_kernel "distance-sweep" t_ref t_new
+    [ ("max_abs_diff", Printf.sprintf "%.2e" !max_diff) ];
+
+  (* matmul: naive i-k-j vs cache-tiled *)
+  let msize = scale 256 in
+  let a = Ml.Matrix.random (Rng.make 1) msize msize ~scale:1.0 in
+  let b = Ml.Matrix.random (Rng.make 2) msize msize ~scale:1.0 in
+  let c_ref = ref (Ml.Matrix.create 0 0) and c_new = ref (Ml.Matrix.create 0 0) in
+  let t_ref = best_of ~reps (fun () -> c_ref := Ml.Matrix.matmul_naive a b) in
+  let t_new = best_of ~reps (fun () -> c_new := Ml.Matrix.matmul a b) in
+  let flops = 2.0 *. float_of_int (msize * msize * msize) in
+  record_kernel "matmul" t_ref t_new
+    [
+      ("gflops_ref", Printf.sprintf "%.2f" (flops /. t_ref /. 1e9));
+      ("gflops_fmat", Printf.sprintf "%.2f" (flops /. t_new /. 1e9));
+      ("bit_identical", string_of_bool ((!c_ref).data = (!c_new).data));
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Ablations: design choices called out in DESIGN.md                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -640,7 +827,7 @@ let abl_rf_trees () =
         Ml.Random_forest.train ~params (Rng.make 3) ~n_classes p.xs_train
           p.ys_train
       in
-      let pred = Array.map (Ml.Random_forest.predict trained) p.xs_test in
+      let pred = Ml.Random_forest.predict_batch trained p.xs_test in
       Printf.printf "%-8d %10.4f %10.2f\n%!" n_trees
         (Ml.Metrics.accuracy p.ys_test pred)
         (Yali.Exec.Telemetry.clock () -. t0))
@@ -787,6 +974,21 @@ let write_json path ~total (timings : (string * float) list) =
         secs
         (if i = List.length timings - 1 then "" else ","))
     timings;
+  Printf.fprintf oc "  ],\n  \"kernels\": [\n";
+  let ks = List.rev !kernel_results in
+  List.iteri
+    (fun i (name, ref_s, new_s, extras) ->
+      Printf.fprintf oc
+        "    {\"name\": \"%s\", \"reference_seconds\": %.4f, \"fmat_seconds\": %.4f, \"speedup\": %.2f"
+        name ref_s new_s (ref_s /. new_s);
+      List.iter
+        (fun (k, v) ->
+          if v = "true" || v = "false" || float_of_string_opt v <> None then
+            Printf.fprintf oc ", \"%s\": %s" k v
+          else Printf.fprintf oc ", \"%s\": \"%s\"" k v)
+        extras;
+      Printf.fprintf oc "}%s\n" (if i = List.length ks - 1 then "" else ","))
+    ks;
   Printf.fprintf oc "  ]\n}\n";
   close_out oc
 
@@ -806,12 +1008,13 @@ let () =
       List.iter
         (fun name ->
           if name = "micro" then timed "micro" micro
+          else if name = "kernels" then timed "kernels" kernels
           else
             match List.assoc_opt name (figures @ ablations) with
             | Some f -> timed name f
             | None ->
                 Printf.eprintf
-                  "unknown target %s (expected fig5..fig16, abl-*, ablations, micro, all)\n"
+                  "unknown target %s (expected fig5..fig16, abl-*, ablations, micro, kernels, all)\n"
                   name)
         names);
   let total = Yali.Exec.Telemetry.clock () -. t0 in

@@ -55,16 +55,21 @@ let eval_predictions ~(n_classes : int) (truth : int array) (pred : int array)
   let f1 = Ml.Metrics.macro_f1 (Ml.Metrics.confusion ~n_classes truth pred) in
   (acc, f1)
 
+(** Embed a module array straight into a flat feature matrix: each
+    embedding vector is written into its row of one contiguous block, so no
+    intermediate [float array array] is ever materialised. *)
+let embed_fmat (embedding : E.Embedding.t) (mods : (Irmod.t * int) array) :
+    Ml.Fmat.t =
+  Exec.Telemetry.with_span "arena.embed" (fun () ->
+      Ml.Fmat.parallel_of_fn ~n:(Array.length mods) (fun i ->
+          E.Embedding.to_flat_cached embedding (fst mods.(i))))
+
 (** Run a game with a flat model over a flat (or flattened) embedding. *)
 let run_flat (rng : Rng.t) ~(n_classes : int) (embedding : E.Embedding.t)
     (model : Ml.Model.flat) (setup : Game.setup)
     (split : Yali_dataset.Poj.split) : result =
   let train_mods, test_mods = build_modules (Rng.split rng) setup split in
-  let embed m = E.Embedding.to_flat_cached embedding m in
-  let xs =
-    Exec.Telemetry.with_span "arena.embed" (fun () ->
-        Exec.Pool.parallel_array_map (fun (m, _) -> embed m) train_mods)
-  in
+  let xs = embed_fmat embedding train_mods in
   let ys = Array.map snd train_mods in
   let t0 = Exec.Telemetry.clock () in
   let trained =
@@ -73,11 +78,10 @@ let run_flat (rng : Rng.t) ~(n_classes : int) (embedding : E.Embedding.t)
   in
   let train_seconds = Exec.Telemetry.clock () -. t0 in
   let truth = Array.map snd test_mods in
+  let challenges = embed_fmat embedding test_mods in
   let pred =
     Exec.Telemetry.with_span "arena.predict" (fun () ->
-        Exec.Pool.parallel_array_map
-          (fun (m, _) -> trained.predict (embed m))
-          test_mods)
+        trained.predict_batch challenges)
   in
   let accuracy, f1 = eval_predictions ~n_classes truth pred in
   {
@@ -85,7 +89,7 @@ let run_flat (rng : Rng.t) ~(n_classes : int) (embedding : E.Embedding.t)
     f1;
     model_bytes = trained.size_bytes;
     train_seconds;
-    n_train = Array.length xs;
+    n_train = xs.Ml.Fmat.n;
     n_test = Array.length truth;
   }
 

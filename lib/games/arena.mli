@@ -20,6 +20,13 @@ val build_modules :
   Yali_dataset.Poj.split ->
   (Yali_ir.Irmod.t * int) array * (Yali_ir.Irmod.t * int) array
 
+(** Embed a module array straight into a flat feature matrix (no
+    intermediate row arrays). *)
+val embed_fmat :
+  Yali_embeddings.Embedding.t ->
+  (Yali_ir.Irmod.t * int) array ->
+  Yali_ml.Fmat.t
+
 (** Run a game with a flat model (graph embeddings are flattened). *)
 val run_flat :
   Yali_util.Rng.t ->

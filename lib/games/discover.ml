@@ -100,8 +100,9 @@ let run ?(per_transformer = 50) ?(train_fraction = 0.8) (rng : Rng.t)
   let test = Array.sub samples n_train (Array.length samples - n_train) in
   let trained =
     Ml.Model.rf.ftrain (Rng.split rng) ~n_classes:n_transformers
-      (Array.map fst train) (Array.map snd train)
+      (Ml.Fmat.of_rows (Array.map fst train))
+      (Array.map snd train)
   in
   let truth = Array.map snd test in
-  let pred = Array.map (fun (x, _) -> trained.predict x) test in
+  let pred = trained.predict_batch (Ml.Fmat.of_rows (Array.map fst test)) in
   { kind; accuracy = Ml.Metrics.accuracy truth pred }

@@ -54,12 +54,14 @@ let build_net (rng : Rng.t) ~(d_in : int) ~(n_classes : int) : Nn.t =
   end
 
 let train ?(params = default_params) (rng : Rng.t) ~(n_classes : int)
-    (xs : float array array) (ys : int array) : t =
-  let scaler, xs = Features.fit_transform xs in
-  let d = if Array.length xs = 0 then 0 else Array.length xs.(0) in
+    (x : Fmat.t) (ys : int array) : t =
+  let scaler, x = Features.fit_transform_fmat x in
+  let d = x.Fmat.d in
   let net = build_net rng ~d_in:d ~n_classes in
-  let n = Array.length xs in
+  let n = x.Fmat.n in
   let order = Array.init n Fun.id in
+  (* reused row buffer; [Nn.train_step] consumes the sample within the step *)
+  let buf = Array.make d 0.0 in
   for epoch = 0 to params.epochs - 1 do
     let lr = params.lr /. (1.0 +. (0.05 *. float_of_int epoch)) in
     for i = n - 1 downto 1 do
@@ -69,12 +71,21 @@ let train ?(params = default_params) (rng : Rng.t) ~(n_classes : int)
       order.(j) <- tmp
     done;
     Array.iter
-      (fun i -> ignore (Nn.train_step ~lr ~rng net xs.(i) ys.(i)))
+      (fun i ->
+        Fmat.row_into x i buf;
+        ignore (Nn.train_step ~lr ~rng net buf ys.(i)))
       order
   done;
   { scaler; net }
 
 let predict (t : t) (x : float array) : int =
   Nn.predict t.net (Features.transform t.scaler x)
+
+(** Classify every row: standardise a copy in place, then defer to
+    {!Nn.predict_batch} (per-row fallback when the net has conv layers). *)
+let predict_batch (t : t) (x : Fmat.t) : int array =
+  let x = Fmat.copy x in
+  Features.transform_fmat_inplace t.scaler x;
+  Nn.predict_batch t.net x
 
 let size_bytes (t : t) : int = Nn.size_bytes t.net

@@ -13,9 +13,13 @@ val train :
   ?params:params ->
   Yali_util.Rng.t ->
   n_classes:int ->
-  float array array ->
+  Fmat.t ->
   int array ->
   t
 
 val predict : t -> float array -> int
+
+(** Classify every row of a flat matrix. *)
+val predict_batch : t -> Fmat.t -> int array
+
 val size_bytes : t -> int

@@ -1,5 +1,25 @@
-(** CART decision trees with Gini impurity.  Supports per-split random
-    feature subsampling, which {!Random_forest} uses. *)
+(** CART decision trees with Gini impurity over flat {!Fmat} feature
+    matrices.  Supports per-split random feature subsampling, which
+    {!Random_forest} uses.
+
+    The split finder is histogram-based (LightGBM-style): one global
+    presort per feature maps every value to a bucket code (up to
+    {!max_bins} distinct values per feature, one byte per sample), and each
+    node then finds its best threshold with a single counting pass plus a
+    scan over occupied buckets — instead of re-sorting the node's samples
+    for every candidate feature.  Because buckets are the feature's exact
+    distinct values (never quantised ranges) and empty buckets are skipped,
+    every candidate threshold and every Gini evaluation is {e the same
+    float} the classic per-node sort-and-sweep would produce: the
+    optimisation changes throughput, not the tree.  Features with more
+    than {!max_bins} distinct values fall back to an exact per-node sweep.
+
+    Tie-breaking is total and documented: among candidate splits the winner
+    is the lexicographic maximum of [(gain, -feature, -threshold)] — i.e.
+    highest gain, then lowest feature index, then lowest threshold — so the
+    tree is invariant under reordering of the candidate feature list
+    (forests stay reproducible when the per-split feature sample is
+    enumerated in any order). *)
 
 module Rng = Yali_util.Rng
 
@@ -17,6 +37,73 @@ type params = {
 
 let default_params =
   { max_depth = 18; min_samples_split = 2; features_per_split = None }
+
+let max_bins = 256
+
+(* ------------------------------------------------------------------ *)
+(* global per-feature binning (the "presort", done once per dataset)   *)
+(* ------------------------------------------------------------------ *)
+
+type prebinned = {
+  pb_n : int;
+  pb_d : int;
+  codes : Bytes.t;
+      (** feature-major: sample [i]'s bucket for feature [f] at [f*n + i];
+          only meaningful when [not wide.(f)] *)
+  bin_values : float array array;
+      (** per feature: its sorted distinct values (bucket [b] holds exactly
+          the samples equal to [bin_values.(f).(b)]); [[||]] when wide *)
+  wide : bool array;  (** more than {!max_bins} distinct values *)
+}
+
+let prebin (x : Fmat.t) : prebinned =
+  let n = x.Fmat.n and d = x.Fmat.d and data = x.Fmat.data in
+  let codes = Bytes.create (n * d) in
+  let bin_values = Array.make (max 1 d) [||] in
+  let wide = Array.make (max 1 d) false in
+  let col = Array.make n 0.0 in
+  let sorted = Array.make n 0.0 in
+  for f = 0 to d - 1 do
+    for i = 0 to n - 1 do
+      col.(i) <- data.((i * d) + f)
+    done;
+    Array.blit col 0 sorted 0 n;
+    Array.sort Float.compare sorted;
+    let distinct = ref (if n = 0 then 0 else 1) in
+    for i = 1 to n - 1 do
+      if sorted.(i) <> sorted.(i - 1) then incr distinct
+    done;
+    if !distinct > max_bins then wide.(f) <- true
+    else begin
+      let vals = Array.make !distinct 0.0 in
+      if n > 0 then begin
+        vals.(0) <- sorted.(0);
+        let k = ref 0 in
+        for i = 1 to n - 1 do
+          if sorted.(i) <> sorted.(i - 1) then begin
+            incr k;
+            vals.(!k) <- sorted.(i)
+          end
+        done
+      end;
+      bin_values.(f) <- vals;
+      let base = f * n in
+      for i = 0 to n - 1 do
+        let v = col.(i) in
+        let lo = ref 0 and hi = ref (!distinct - 1) in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          if vals.(mid) < v then lo := mid + 1 else hi := mid
+        done;
+        Bytes.unsafe_set codes (base + i) (Char.unsafe_chr !lo)
+      done
+    end
+  done;
+  { pb_n = n; pb_d = d; codes; bin_values; wide }
+
+(* ------------------------------------------------------------------ *)
+(* impurity                                                            *)
+(* ------------------------------------------------------------------ *)
 
 let majority ~(n_classes : int) (ys : int array) (idx : int array) : int =
   let counts = Array.make n_classes 0 in
@@ -37,55 +124,160 @@ let gini_of_counts (counts : int array) (total : int) : float =
     !acc
   end
 
-(* Best (feature, threshold) for the sample subset [idx], scanning candidate
-   features with a sort-based sweep. *)
-let best_split ~(n_classes : int) (xs : float array array) (ys : int array)
-    (idx : int array) (features : int list) : (int * float * float) option =
+(* ------------------------------------------------------------------ *)
+(* split finding                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* per-train scratch, so one tree never reallocates nor races another *)
+type scratch = {
+  hist : int array;  (** max_bins x n_classes class counts *)
+  bin_tot : int array;  (** max_bins per-bucket totals *)
+  occ : int array;  (** occupied-bucket ids (prefix of length n_occ) *)
+  left_counts : int array;
+  right_counts : int array;
+  parent_counts : int array;
+}
+
+let make_scratch ~(n_classes : int) : scratch =
+  {
+    hist = Array.make (max_bins * n_classes) 0;
+    bin_tot = Array.make max_bins 0;
+    occ = Array.make max_bins 0;
+    left_counts = Array.make n_classes 0;
+    right_counts = Array.make n_classes 0;
+    parent_counts = Array.make n_classes 0;
+  }
+
+(* ascending insertion sort of the occupied-bucket prefix (<= 256 ids) *)
+let sort_occ (occ : int array) (n_occ : int) : unit =
+  for i = 1 to n_occ - 1 do
+    let v = occ.(i) in
+    let j = ref (i - 1) in
+    while !j >= 0 && occ.(!j) > v do
+      occ.(!j + 1) <- occ.(!j);
+      decr j
+    done;
+    occ.(!j + 1) <- v
+  done
+
+(* Best (feature, threshold, gain) for the sample subset [idx].  The
+   candidate [features] are scanned in ascending index order and a
+   strictly-greater gain is required to displace the incumbent, which
+   realises the total (gain, -feature, -threshold) tie-break. *)
+let best_split ~(n_classes : int) ~(pb : prebinned) ~(s : scratch)
+    (x : Fmat.t) (ys : int array) (idx : int array) (features : int list) :
+    (int * float * float) option =
   let n = Array.length idx in
-  let parent_counts = Array.make n_classes 0 in
-  Array.iter (fun i -> parent_counts.(ys.(i)) <- parent_counts.(ys.(i)) + 1) idx;
-  let parent_gini = gini_of_counts parent_counts n in
+  let d = x.Fmat.d and data = x.Fmat.data in
+  Array.fill s.parent_counts 0 n_classes 0;
+  Array.iter
+    (fun i -> s.parent_counts.(ys.(i)) <- s.parent_counts.(ys.(i)) + 1)
+    idx;
+  let parent_gini = gini_of_counts s.parent_counts n in
   let best = ref None in
-  List.iter
-    (fun f ->
-      (* sort indices by feature value *)
-      let sorted = Array.copy idx in
-      Array.sort (fun a b -> compare xs.(a).(f) xs.(b).(f)) sorted;
-      let left_counts = Array.make n_classes 0 in
-      let right_counts = Array.copy parent_counts in
-      for k = 0 to n - 2 do
-        let i = sorted.(k) in
-        left_counts.(ys.(i)) <- left_counts.(ys.(i)) + 1;
-        right_counts.(ys.(i)) <- right_counts.(ys.(i)) - 1;
-        let v = xs.(i).(f) and v' = xs.(sorted.(k + 1)).(f) in
-        if v < v' then begin
-          let nl = k + 1 and nr = n - k - 1 in
-          let g =
-            (float_of_int nl *. gini_of_counts left_counts nl
-            +. float_of_int nr *. gini_of_counts right_counts nr)
-            /. float_of_int n
-          in
-          let gain = parent_gini -. g in
-          let thr = (v +. v') /. 2.0 in
-          match !best with
-          | Some (_, _, best_gain) when best_gain >= gain -> ()
-          | _ -> best := Some (f, thr, gain)
-        end
-      done)
-    features;
+  let consider f thr gain =
+    match !best with
+    | Some (_, _, best_gain) when best_gain >= gain -> ()
+    | _ -> best := Some (f, thr, gain)
+  in
+  (* evaluate one boundary: [nl] samples to the left, counts filled in *)
+  let eval f v v' nl =
+    let nr = n - nl in
+    let g =
+      (float_of_int nl *. gini_of_counts s.left_counts nl
+      +. float_of_int nr *. gini_of_counts s.right_counts nr)
+      /. float_of_int n
+    in
+    consider f ((v +. v') /. 2.0) (parent_gini -. g)
+  in
+  let scan_binned f =
+    let base = f * pb.pb_n in
+    let vals = pb.bin_values.(f) in
+    let n_occ = ref 0 in
+    for t = 0 to n - 1 do
+      let i = Array.unsafe_get idx t in
+      let b = Char.code (Bytes.unsafe_get pb.codes (base + i)) in
+      if s.bin_tot.(b) = 0 then begin
+        s.occ.(!n_occ) <- b;
+        incr n_occ
+      end;
+      s.bin_tot.(b) <- s.bin_tot.(b) + 1;
+      let h = (b * n_classes) + ys.(i) in
+      s.hist.(h) <- s.hist.(h) + 1
+    done;
+    sort_occ s.occ !n_occ;
+    Array.fill s.left_counts 0 n_classes 0;
+    Array.blit s.parent_counts 0 s.right_counts 0 n_classes;
+    let nl = ref 0 in
+    for q = 0 to !n_occ - 2 do
+      let b = s.occ.(q) in
+      let hbase = b * n_classes in
+      for c = 0 to n_classes - 1 do
+        s.left_counts.(c) <- s.left_counts.(c) + s.hist.(hbase + c);
+        s.right_counts.(c) <- s.right_counts.(c) - s.hist.(hbase + c)
+      done;
+      nl := !nl + s.bin_tot.(b);
+      eval f vals.(b) vals.(s.occ.(q + 1)) !nl
+    done;
+    (* clear only the buckets this node touched *)
+    for q = 0 to !n_occ - 1 do
+      let b = s.occ.(q) in
+      s.bin_tot.(b) <- 0;
+      Array.fill s.hist (b * n_classes) n_classes 0
+    done
+  in
+  (* exact fallback for features with > max_bins distinct values: the
+     classic per-node sort-and-sweep, on gathered contiguous buffers *)
+  let scan_wide f =
+    let vals = Array.make n 0.0 and labs = Array.make n 0 in
+    for t = 0 to n - 1 do
+      let i = idx.(t) in
+      vals.(t) <- data.((i * d) + f);
+      labs.(t) <- ys.(i)
+    done;
+    let perm = Array.init n Fun.id in
+    Array.sort (fun a b -> Float.compare vals.(a) vals.(b)) perm;
+    Array.fill s.left_counts 0 n_classes 0;
+    Array.blit s.parent_counts 0 s.right_counts 0 n_classes;
+    for k = 0 to n - 2 do
+      let p = perm.(k) in
+      s.left_counts.(labs.(p)) <- s.left_counts.(labs.(p)) + 1;
+      s.right_counts.(labs.(p)) <- s.right_counts.(labs.(p)) - 1;
+      let v = vals.(p) and v' = vals.(perm.(k + 1)) in
+      if v < v' then eval f v v' (k + 1)
+    done
+  in
+  List.iter (fun f -> if pb.wide.(f) then scan_wide f else scan_binned f) features;
   match !best with
   | Some (f, thr, gain) when gain > 1e-12 -> Some (f, thr, gain)
   | _ -> None
 
-let train ?(params = default_params) (rng : Rng.t) ~(n_classes : int)
-    (xs : float array array) (ys : int array) : t =
-  let d = if Array.length xs = 0 then 0 else Array.length xs.(0) in
+(* ------------------------------------------------------------------ *)
+(* training                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let train ?(params = default_params) ?prebinned ?sample (rng : Rng.t)
+    ~(n_classes : int) (x : Fmat.t) (ys : int array) : t =
+  let d = x.Fmat.d in
+  let pb =
+    match prebinned with
+    | Some pb ->
+        if pb.pb_n <> x.Fmat.n || pb.pb_d <> d then
+          invalid_arg "Decision_tree.train: prebinned shape mismatch";
+        pb
+    | None -> prebin x
+  in
+  let s = make_scratch ~n_classes in
   let all_features = List.init d Fun.id in
   let pick_features () =
     match params.features_per_split with
     | None -> all_features
-    | Some k -> Rng.sample rng (min k d) all_features
+    | Some k ->
+        (* sort the sample: the tie-break is order-invariant, and ascending
+           scan order makes "first strictly better wins" implement it *)
+        List.sort compare (Rng.sample rng (min k d) all_features)
   in
+  let data = x.Fmat.data in
   let rec grow (idx : int array) (depth : int) : node =
     let pure =
       Array.length idx > 0
@@ -96,22 +288,30 @@ let train ?(params = default_params) (rng : Rng.t) ~(n_classes : int)
       || Array.length idx < params.min_samples_split
     then Leaf (majority ~n_classes ys idx)
     else
-      match best_split ~n_classes xs ys idx (pick_features ()) with
+      match best_split ~n_classes ~pb ~s x ys idx (pick_features ()) with
       | None -> Leaf (majority ~n_classes ys idx)
       | Some (feature, threshold, _) ->
-          let left_idx =
-            Array.of_seq
-              (Seq.filter (fun i -> xs.(i).(feature) <= threshold)
-                 (Array.to_seq idx))
-          in
-          let right_idx =
-            Array.of_seq
-              (Seq.filter (fun i -> xs.(i).(feature) > threshold)
-                 (Array.to_seq idx))
-          in
-          if Array.length left_idx = 0 || Array.length right_idx = 0 then
-            Leaf (majority ~n_classes ys idx)
-          else
+          let m = Array.length idx in
+          let nl = ref 0 in
+          for t = 0 to m - 1 do
+            if data.((idx.(t) * d) + feature) <= threshold then incr nl
+          done;
+          if !nl = 0 || !nl = m then Leaf (majority ~n_classes ys idx)
+          else begin
+            let left_idx = Array.make !nl 0 in
+            let right_idx = Array.make (m - !nl) 0 in
+            let li = ref 0 and ri = ref 0 in
+            for t = 0 to m - 1 do
+              let i = idx.(t) in
+              if data.((i * d) + feature) <= threshold then begin
+                left_idx.(!li) <- i;
+                incr li
+              end
+              else begin
+                right_idx.(!ri) <- i;
+                incr ri
+              end
+            done;
             Split
               {
                 feature;
@@ -119,8 +319,13 @@ let train ?(params = default_params) (rng : Rng.t) ~(n_classes : int)
                 left = grow left_idx (depth + 1);
                 right = grow right_idx (depth + 1);
               }
+          end
   in
-  let idx = Array.init (Array.length xs) Fun.id in
+  let idx =
+    match sample with
+    | Some s -> s
+    | None -> Array.init x.Fmat.n Fun.id
+  in
   { root = grow idx 0; n_classes }
 
 let predict (t : t) (x : float array) : int =
@@ -128,6 +333,16 @@ let predict (t : t) (x : float array) : int =
     | Leaf c -> c
     | Split { feature; threshold; left; right } ->
         if x.(feature) <= threshold then go left else go right
+  in
+  go t.root
+
+(** Predict straight from row [i] of a flat matrix (no row copy). *)
+let predict_row (t : t) (x : Fmat.t) (i : int) : int =
+  let base = i * x.Fmat.d and data = x.Fmat.data in
+  let rec go = function
+    | Leaf c -> c
+    | Split { feature; threshold; left; right } ->
+        if data.(base + feature) <= threshold then go left else go right
   in
   go t.root
 

@@ -1,5 +1,20 @@
 (** CART decision trees with Gini impurity and optional per-split random
-    feature subsampling ({!Random_forest}'s building block). *)
+    feature subsampling ({!Random_forest}'s building block).
+
+    Training runs over a flat {!Fmat} matrix with histogram-based split
+    finding: one global presort per feature assigns every sample a one-byte
+    bucket code (buckets are {e exact distinct values}, up to 256 per
+    feature), and each node finds its best threshold from per-bucket class
+    counts instead of re-sorting its samples per candidate feature.
+    Thresholds, gains and the grown tree are bit-identical to the classic
+    per-node sort-and-sweep (see DESIGN.md §8); features with more than 256
+    distinct values use an exact per-node sweep instead.
+
+    {b Tie-break} (total, order-invariant): the winning split maximises
+    [(gain, -feature_index, -threshold)] lexicographically — highest gain
+    first, then the lowest feature index, then the lowest threshold — so
+    the tree does not depend on the order in which candidate features are
+    enumerated. *)
 
 type node =
   | Leaf of int  (** predicted class *)
@@ -15,14 +30,34 @@ type params = {
 
 val default_params : params
 
+(** The reusable global binning of a dataset (the per-feature presort).
+    Build it once with {!prebin} and share it across every tree trained on
+    the same matrix — it is read-only after construction, so concurrent
+    trainings may share one. *)
+type prebinned
+
+(** @raise Invalid_argument via {!train} when shapes mismatch. *)
+val prebin : Fmat.t -> prebinned
+
+(** [train ?params ?prebinned ?sample rng ~n_classes x ys] grows a tree on
+    the rows of [x] listed in [sample] (default: all rows, in order;
+    duplicated indices express bootstrap resampling without copying rows).
+    [prebinned] must come from {!prebin} on this same [x].
+    @raise Invalid_argument when [prebinned] was built for another shape. *)
 val train :
   ?params:params ->
+  ?prebinned:prebinned ->
+  ?sample:int array ->
   Yali_util.Rng.t ->
   n_classes:int ->
-  float array array ->
+  Fmat.t ->
   int array ->
   t
 
 val predict : t -> float array -> int
+
+(** Predict from row [i] of a flat matrix without copying the row. *)
+val predict_row : t -> Fmat.t -> int -> int
+
 val node_count : node -> int
 val size_bytes : t -> int

@@ -33,8 +33,70 @@ let fit_transform (xs : float array array) : scaler * float array array =
   let s = fit xs in
   (s, Array.map (transform s) xs)
 
+(** [transform_into s src dst] writes the standardised [src] into [dst]
+    without allocating (the per-challenge hot path of the batched
+    predictors). *)
+let transform_into (s : scaler) (src : float array) (dst : float array) : unit
+    =
+  for j = 0 to Array.length src - 1 do
+    dst.(j) <- (src.(j) -. s.means.(j)) /. s.stds.(j)
+  done
+
+(* The flat-matrix counterparts.  The accumulation loops visit elements in
+   exactly the order of the row-array versions above (samples outer,
+   features inner), so fitted parameters and transformed values are
+   bit-identical to the pre-Fmat pipeline. *)
+
+let fit_fmat (x : Fmat.t) : scaler =
+  if x.Fmat.n = 0 then { means = [||]; stds = [||] }
+  else begin
+    let n = x.Fmat.n and d = x.Fmat.d and data = x.Fmat.data in
+    let means = Array.make d 0.0 and stds = Array.make d 0.0 in
+    for i = 0 to n - 1 do
+      let base = i * d in
+      for j = 0 to d - 1 do
+        means.(j) <- means.(j) +. data.(base + j)
+      done
+    done;
+    for j = 0 to d - 1 do
+      means.(j) <- means.(j) /. float_of_int n
+    done;
+    for i = 0 to n - 1 do
+      let base = i * d in
+      for j = 0 to d - 1 do
+        stds.(j) <- stds.(j) +. ((data.(base + j) -. means.(j)) ** 2.0)
+      done
+    done;
+    for j = 0 to d - 1 do
+      stds.(j) <- sqrt (stds.(j) /. float_of_int n);
+      if stds.(j) < 1e-9 then stds.(j) <- 1.0
+    done;
+    { means; stds }
+  end
+
+let transform_fmat_inplace (s : scaler) (x : Fmat.t) : unit =
+  let n = x.Fmat.n and d = x.Fmat.d and data = x.Fmat.data in
+  for i = 0 to n - 1 do
+    let base = i * d in
+    for j = 0 to d - 1 do
+      data.(base + j) <- (data.(base + j) -. s.means.(j)) /. s.stds.(j)
+    done
+  done
+
+(** Fit on [x] and return a standardised copy ([x] itself is left intact:
+    callers share one embedded matrix across several models). *)
+let fit_transform_fmat (x : Fmat.t) : scaler * Fmat.t =
+  let s = fit_fmat x in
+  let y = Fmat.copy x in
+  transform_fmat_inplace s y;
+  (s, y)
+
 (** Memory footprint of a float-array-of-arrays, in bytes (8 bytes per
     element plus header overhead); used for the paper's Figure 7 memory
     comparison. *)
 let bytes_of_rows (xs : float array array) : int =
   Array.fold_left (fun acc r -> acc + (8 * Array.length r) + 24) 24 xs
+
+(** Same footprint estimate for a flat matrix: one header, no per-row
+    overhead — the memory argument for the contiguous layout. *)
+let bytes_of_fmat (x : Fmat.t) : int = (8 * x.Fmat.n * x.Fmat.d) + 24

@@ -9,6 +9,24 @@ val fit : float array array -> scaler
 val transform : scaler -> float array -> float array
 val fit_transform : float array array -> scaler * float array array
 
+(** [transform_into s src dst] standardises [src] into [dst] without
+    allocating. *)
+val transform_into : scaler -> float array -> float array -> unit
+
+(** Fit on a flat feature matrix.  Parameters are bit-identical to {!fit}
+    on the equivalent rows (same accumulation order). *)
+val fit_fmat : Fmat.t -> scaler
+
+(** Standardise a flat matrix in place. *)
+val transform_fmat_inplace : scaler -> Fmat.t -> unit
+
+(** Fit and return a standardised {e copy} (the input is left intact, so
+    one embedded matrix can be shared across models). *)
+val fit_transform_fmat : Fmat.t -> scaler * Fmat.t
+
 (** Approximate heap footprint of a row matrix, in bytes (for the paper's
     Figure 7 memory comparison). *)
 val bytes_of_rows : float array array -> int
+
+(** Footprint of a flat matrix (one block, no per-row headers). *)
+val bytes_of_fmat : Fmat.t -> int

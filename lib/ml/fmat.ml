@@ -1,0 +1,88 @@
+(** Flat feature matrices: one contiguous row-major [float array] per
+    dataset.  See the interface for the layout contract. *)
+
+type t = { n : int; d : int; data : float array }
+
+let create n d = { n; d; data = Array.make (n * d) 0.0 }
+
+let init n d f =
+  let m = create n d in
+  for i = 0 to n - 1 do
+    for j = 0 to d - 1 do
+      m.data.((i * d) + j) <- f i j
+    done
+  done;
+  m
+
+let get m i j = m.data.((i * m.d) + j)
+let set m i j v = m.data.((i * m.d) + j) <- v
+
+let set_row (m : t) (i : int) (src : float array) : unit =
+  if Array.length src <> m.d then invalid_arg "Fmat.set_row: width mismatch";
+  Array.blit src 0 m.data (i * m.d) m.d
+
+let of_rows (rows : float array array) : t =
+  match Array.length rows with
+  | 0 -> create 0 0
+  | n ->
+      let d = Array.length rows.(0) in
+      let m = create n d in
+      Array.iteri
+        (fun i r ->
+          if Array.length r <> d then invalid_arg "Fmat.of_rows: ragged rows";
+          Array.blit r 0 m.data (i * d) d)
+        rows;
+      m
+
+let row_copy (m : t) (i : int) : float array = Array.sub m.data (i * m.d) m.d
+
+let row_into (m : t) (i : int) (dst : float array) : unit =
+  if Array.length dst <> m.d then invalid_arg "Fmat.row_into: width mismatch";
+  Array.blit m.data (i * m.d) dst 0 m.d
+
+let to_rows (m : t) : float array array = Array.init m.n (row_copy m)
+
+let of_fn ~(n : int) (f : int -> float array) : t =
+  if n = 0 then create 0 0
+  else begin
+    let r0 = f 0 in
+    let m = create n (Array.length r0) in
+    set_row m 0 r0;
+    for i = 1 to n - 1 do
+      set_row m i (f i)
+    done;
+    m
+  end
+
+let parallel_of_fn ~(n : int) (f : int -> float array) : t =
+  if n = 0 then create 0 0
+  else begin
+    let r0 = f 0 in
+    let m = create n (Array.length r0) in
+    set_row m 0 r0;
+    (* each task writes only its own row: deterministic at any [jobs] *)
+    Yali_exec.Pool.run ~n:(n - 1) (fun j -> set_row m (j + 1) (f (j + 1)));
+    m
+  end
+
+let dot_row_vec (m : t) (i : int) (v : float array) : float =
+  if Array.length v < m.d then invalid_arg "Fmat.dot_row_vec: vector too short";
+  let base = i * m.d in
+  let acc = ref 0.0 in
+  for j = 0 to m.d - 1 do
+    acc := !acc +. (Array.unsafe_get m.data (base + j) *. Array.unsafe_get v j)
+  done;
+  !acc
+
+let sq_norm_row (m : t) (i : int) : float =
+  let base = i * m.d in
+  let acc = ref 0.0 in
+  for j = 0 to m.d - 1 do
+    let x = Array.unsafe_get m.data (base + j) in
+    acc := !acc +. (x *. x)
+  done;
+  !acc
+
+let copy (m : t) : t = { m with data = Array.copy m.data }
+let to_matrix (m : t) : Matrix.t = { Matrix.rows = m.n; cols = m.d; data = m.data }
+let of_matrix (m : Matrix.t) : t = { n = m.Matrix.rows; d = m.Matrix.cols; data = m.Matrix.data }

@@ -1,0 +1,67 @@
+(** Flat feature matrices: the storage layer of the numeric kernels.
+
+    An [n x d] dataset is one contiguous row-major [float array] (sample
+    [i]'s feature [j] lives at [i * d + j]) instead of an array of row
+    pointers.  Training kernels iterate it with unit stride, row views are
+    zero-copy, and the whole matrix is one heap block — the layout that
+    histogram tree learners and blocked distance kernels depend on
+    (DESIGN.md §8). *)
+
+type t = {
+  n : int;  (** rows (samples) *)
+  d : int;  (** columns (features) *)
+  data : float array;  (** row-major, length [n * d] *)
+}
+
+(** [create n d] is an [n x d] matrix of zeros. *)
+val create : int -> int -> t
+
+(** [init n d f] fills position [(i, j)] with [f i j]. *)
+val init : int -> int -> (int -> int -> float) -> t
+
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+
+(** Pack an array of equal-length rows.  @raise Invalid_argument on ragged
+    input. *)
+val of_rows : float array array -> t
+
+(** Unpack to an array of fresh rows (test/debug helper). *)
+val to_rows : t -> float array array
+
+(** [of_fn ~n f] packs the [n] rows [f 0 .. f (n-1)]; the width is taken
+    from [f 0].  @raise Invalid_argument when a row's length differs. *)
+val of_fn : n:int -> (int -> float array) -> t
+
+(** {!of_fn} with rows [1..n-1] computed on the {!Yali_exec.Pool} ([f] must
+    be pure; each task writes only its own row, so the result is
+    bit-identical at any [jobs]).  This is how embedding pipelines emit
+    straight into matrix rows without an intermediate [float array array]. *)
+val parallel_of_fn : n:int -> (int -> float array) -> t
+
+(** Fresh copy of row [i] (allocates; prefer {!row_into} in loops). *)
+val row_copy : t -> int -> float array
+
+(** [row_into m i dst] blits row [i] into [dst] without allocating.
+    @raise Invalid_argument when [Array.length dst <> m.d]. *)
+val row_into : t -> int -> float array -> unit
+
+(** [set_row m i src] overwrites row [i] from [src]. *)
+val set_row : t -> int -> float array -> unit
+
+(** [dot_row_vec m i v] is the dot product of row [i] with [v], accumulated
+    in ascending column order. *)
+val dot_row_vec : t -> int -> float array -> float
+
+(** [sq_norm_row m i] is [‖row i‖²], accumulated in ascending column
+    order. *)
+val sq_norm_row : t -> int -> float
+
+val copy : t -> t
+
+(** Zero-copy view of the same storage as a {!Matrix.t} (shares [data];
+    writes through either view are visible in both). *)
+val to_matrix : t -> Matrix.t
+
+(** Zero-copy view of a {!Matrix.t} as a feature matrix (shares [data]). *)
+val of_matrix : Matrix.t -> t

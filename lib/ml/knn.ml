@@ -1,49 +1,92 @@
 (** k-nearest-neighbour classification over standardised features (the only
     deterministic model in the arena — the paper notes it is the one model
-    with no randomly initialised parameters). *)
+    with no randomly initialised parameters).
+
+    Distances use the expansion [‖a−b‖² = ‖a‖² − 2a·b + ‖b‖²] with the
+    per-row training norms precomputed at [train] time, so a query costs one
+    dot product per training row over the contiguous {!Fmat} storage; the
+    sweep is chunked over the pool and the k nearest are kept with a partial
+    selection instead of a full sort.  See the interface for the exact
+    tie-breaking rule and the float caveat of the expansion. *)
 
 type t = {
   k : int;
   scaler : Features.scaler;
-  xs : float array array;  (** standardised training points *)
+  x : Fmat.t;  (** standardised training points *)
+  norms : float array;  (** per-row squared norms of [x] *)
   ys : int array;
   n_classes : int;
 }
 
-let train ?(k = 5) ~(n_classes : int) (xs : float array array) (ys : int array)
-    : t =
-  let scaler, xs = Features.fit_transform xs in
-  { k; scaler; xs; ys; n_classes }
+let train ?(k = 5) ~(n_classes : int) (x : Fmat.t) (ys : int array) : t =
+  let scaler, x = Features.fit_transform_fmat x in
+  let norms = Array.init x.Fmat.n (Fmat.sq_norm_row x) in
+  { k; scaler; x; norms; ys; n_classes }
 
-let sq_dist (a : float array) (b : float array) : float =
-  let acc = ref 0.0 in
-  Array.iteri
-    (fun i x ->
-      let d = x -. b.(i) in
-      acc := !acc +. (d *. d))
-    a;
-  !acc
-
-let predict (t : t) (x : float array) : int =
-  let x = Features.transform t.scaler x in
-  let n = Array.length t.xs in
+let predict (t : t) (q : float array) : int =
+  let q = Features.transform t.scaler q in
+  let qn =
+    let acc = ref 0.0 in
+    Array.iter (fun v -> acc := !acc +. (v *. v)) q;
+    !acc
+  in
+  let n = t.x.Fmat.n in
   let k = min t.k n in
-  (* partial selection of the k nearest; the distance sweep dominates and
-     parallelises in chunks (it stays inline under an outer parallel loop,
-     e.g. the arena's challenge sweep) *)
-  let dists = Array.make n (0.0, 0) in
+  (* distance sweep: cache-blocked chunks over the contiguous rows (it
+     stays inline under an outer parallel loop, e.g. the arena's challenge
+     sweep); each chunk writes only its own slots *)
+  let dists = Array.make n 0.0 in
   Yali_exec.Pool.parallel_for_chunks ~min_chunk:512 n (fun lo hi ->
       for i = lo to hi - 1 do
-        dists.(i) <- (sq_dist x t.xs.(i), t.ys.(i))
+        dists.(i) <- qn -. (2.0 *. Fmat.dot_row_vec t.x i q) +. t.norms.(i)
       done);
-  Array.sort (fun (a, _) (b, _) -> compare a b) dists;
+  (* partial selection of the k nearest under the total (distance, row)
+     order: scanning rows in ascending index and requiring a strictly
+     smaller distance to displace the incumbent worst realises the
+     lowest-index-wins tie rule *)
+  let bd = Array.make (max 1 k) infinity in
+  let bi = Array.make (max 1 k) 0 in
+  let filled = ref 0 in
+  for i = 0 to n - 1 do
+    let di = dists.(i) in
+    if !filled < k then begin
+      let p = ref !filled in
+      while !p > 0 && di < bd.(!p - 1) do
+        bd.(!p) <- bd.(!p - 1);
+        bi.(!p) <- bi.(!p - 1);
+        decr p
+      done;
+      bd.(!p) <- di;
+      bi.(!p) <- i;
+      incr filled
+    end
+    else if k > 0 && di < bd.(k - 1) then begin
+      let p = ref (k - 1) in
+      while !p > 0 && di < bd.(!p - 1) do
+        bd.(!p) <- bd.(!p - 1);
+        bi.(!p) <- bi.(!p - 1);
+        decr p
+      done;
+      bd.(!p) <- di;
+      bi.(!p) <- i
+    end
+  done;
   let votes = Array.make t.n_classes 0 in
-  for i = 0 to k - 1 do
-    let _, y = dists.(i) in
+  for q = 0 to !filled - 1 do
+    let y = t.ys.(bi.(q)) in
     votes.(y) <- votes.(y) + 1
   done;
   let best = ref 0 in
   Array.iteri (fun c v -> if v > votes.(!best) then best := c) votes;
   !best
 
-let size_bytes (t : t) : int = Features.bytes_of_rows t.xs + (8 * Array.length t.ys)
+(** Classify every row of a flat matrix (each query's sweep parallelises
+    internally). *)
+let predict_batch (t : t) (qs : Fmat.t) : int array =
+  let buf = Array.make qs.Fmat.d 0.0 in
+  Array.init qs.Fmat.n (fun i ->
+      Fmat.row_into qs i buf;
+      predict t buf)
+
+let size_bytes (t : t) : int =
+  Features.bytes_of_fmat t.x + (8 * Array.length t.ys)

@@ -1,10 +1,29 @@
-(** k-nearest-neighbour classification over standardised features — the one
-    model in the arena with no randomly initialised parameters. *)
+(** k-nearest-neighbour classification over standardised features.
+
+    Training precomputes the squared norm of every (standardised) training
+    row; prediction expands [‖a−b‖² = ‖a‖² − 2a·b + ‖b‖²] so the distance
+    sweep is one contiguous dot product per training row.  The expansion
+    evaluates the same distances up to float rounding — exact equality with
+    the subtract-square-accumulate form is not guaranteed, but the ordering
+    of non-tied neighbours is unaffected at the scale of standardised
+    features.
+
+    {b Tie-break} (total, documented): neighbours are ordered by
+    [(distance, training_row_index)] lexicographically — when two training
+    points are exactly equidistant from the query, the one with the lower
+    training-row index wins the slot.  A voting tie between classes resolves
+    to the lowest class id. *)
 
 type t
 
-val train :
-  ?k:int -> n_classes:int -> float array array -> int array -> t
+(** [train ?k ~n_classes x ys] standardises [x] and stores it (plus per-row
+    squared norms). *)
+val train : ?k:int -> n_classes:int -> Fmat.t -> int array -> t
 
 val predict : t -> float array -> int
+
+(** Classify every row of a flat matrix. *)
+val predict_batch : t -> Fmat.t -> int array
+
+(** Approximate heap footprint of the stored training set. *)
 val size_bytes : t -> int

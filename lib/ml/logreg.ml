@@ -1,5 +1,10 @@
 (** Multinomial logistic regression (softmax), trained with mini-batch
-    gradient descent and L2 regularisation — SciKit's [lr] counterpart. *)
+    gradient descent and L2 regularisation — SciKit's [lr] counterpart.
+
+    Training walks flat offsets into the {!Fmat} training matrix; the float
+    expressions and their evaluation order are those of the classic
+    row-array implementation, so the fitted model is bit-identical to it
+    (test/test_fmat.ml checks this against {!Reference.Logreg}). *)
 
 module Rng = Yali_util.Rng
 
@@ -29,16 +34,31 @@ let logits (w : Matrix.t) (bias : float array) (x : float array) : float array
       done;
       !acc)
 
+(* logits of row [i] of a flat matrix: same accumulation order as [logits] *)
+let logits_row (w : Matrix.t) (bias : float array) (xd : float array)
+    (xbase : int) (d : int) : float array =
+  Array.init (Array.length bias) (fun c ->
+      let acc = ref bias.(c) in
+      let wbase = c * w.Matrix.cols in
+      for j = 0 to d - 1 do
+        acc :=
+          !acc
+          +. Array.unsafe_get w.Matrix.data (wbase + j)
+             *. Array.unsafe_get xd (xbase + j)
+      done;
+      !acc)
+
 let argmax (v : float array) : int =
   let best = ref 0 in
   Array.iteri (fun i x -> if x > v.(!best) then best := i) v;
   !best
 
 let train ?(params = default_params) (rng : Rng.t) ~(n_classes : int)
-    (xs : float array array) (ys : int array) : t =
-  let scaler, xs = Features.fit_transform xs in
-  let n = Array.length xs in
-  let d = if n = 0 then 0 else Array.length xs.(0) in
+    (x : Fmat.t) (ys : int array) : t =
+  let scaler, x = Features.fit_transform_fmat x in
+  let n = x.Fmat.n in
+  let d = x.Fmat.d in
+  let xd = x.Fmat.data in
   let w = Matrix.random rng n_classes d ~scale:0.01 in
   let bias = Array.make n_classes 0.0 in
   let order = Array.init n Fun.id in
@@ -55,24 +75,34 @@ let train ?(params = default_params) (rng : Rng.t) ~(n_classes : int)
     while !b < n do
       let hi = min n (!b + params.batch) in
       let gw = Matrix.create n_classes d and gb = Array.make n_classes 0.0 in
+      let gd = gw.Matrix.data in
       for k = !b to hi - 1 do
         let i = order.(k) in
-        let p = softmax (logits w bias xs.(i)) in
+        let xbase = i * d in
+        let p = softmax (logits_row w bias xd xbase d) in
         for c = 0 to n_classes - 1 do
           let err = p.(c) -. (if c = ys.(i) then 1.0 else 0.0) in
           gb.(c) <- gb.(c) +. err;
+          let gbase = c * d in
           for j = 0 to d - 1 do
-            Matrix.set gw c j (Matrix.get gw c j +. (err *. xs.(i).(j)))
+            Array.unsafe_set gd (gbase + j)
+              (Array.unsafe_get gd (gbase + j)
+              +. (err *. Array.unsafe_get xd (xbase + j)))
           done
         done
       done;
       let bs = float_of_int (hi - !b) in
+      let wd = w.Matrix.data in
       for c = 0 to n_classes - 1 do
         bias.(c) <- bias.(c) -. (lr *. gb.(c) /. bs);
+        let base = c * d in
         for j = 0 to d - 1 do
-          let wij = Matrix.get w c j in
-          Matrix.set w c j
-            (wij -. (lr *. ((Matrix.get gw c j /. bs) +. (params.l2 *. wij))))
+          let wij = Array.unsafe_get wd (base + j) in
+          Array.unsafe_set wd (base + j)
+            (wij
+            -. (lr
+               *. ((Array.unsafe_get gd (base + j) /. bs)
+                  +. (params.l2 *. wij))))
         done
       done;
       b := hi
@@ -83,6 +113,24 @@ let train ?(params = default_params) (rng : Rng.t) ~(n_classes : int)
 let predict (t : t) (x : float array) : int =
   let x = Features.transform t.scaler x in
   argmax (logits t.weights t.bias x)
+
+(** Classify every row: one cache-tiled [matmul_bias] computes the whole
+    batch's logits with the same per-sample summation order as {!predict}. *)
+let predict_batch (t : t) (x : Fmat.t) : int array =
+  let x = Fmat.copy x in
+  Features.transform_fmat_inplace t.scaler x;
+  let logits =
+    Matrix.matmul_bias ~bias:t.bias (Fmat.to_matrix x)
+      (Matrix.transpose t.weights)
+  in
+  Array.init logits.Matrix.rows (fun i ->
+      let base = i * logits.Matrix.cols in
+      let best = ref 0 in
+      for c = 1 to logits.Matrix.cols - 1 do
+        if logits.Matrix.data.(base + c) > logits.Matrix.data.(base + !best)
+        then best := c
+      done;
+      !best)
 
 let size_bytes (t : t) : int =
   (8 * t.weights.rows * t.weights.cols) + (8 * Array.length t.bias)

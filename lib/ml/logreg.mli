@@ -11,9 +11,14 @@ val train :
   ?params:params ->
   Yali_util.Rng.t ->
   n_classes:int ->
-  float array array ->
+  Fmat.t ->
   int array ->
   t
 
 val predict : t -> float array -> int
+
+(** Classify every row of a flat matrix via one cache-tiled matmul; class
+    decisions are identical to mapping {!predict} over the rows. *)
+val predict_batch : t -> Fmat.t -> int array
+
 val size_bytes : t -> int

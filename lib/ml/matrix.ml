@@ -27,9 +27,16 @@ let of_rows (rows : float array array) : t =
 let row (m : t) (i : int) : float array =
   Array.sub m.data (i * m.cols) m.cols
 
+let row_into (m : t) (i : int) (dst : float array) : unit =
+  if Array.length dst <> m.cols then invalid_arg "Matrix.row_into: width mismatch";
+  Array.blit m.data (i * m.cols) dst 0 m.cols
+
 let copy (m : t) : t = { m with data = Array.copy m.data }
 
-let matmul (a : t) (b : t) : t =
+(* the straightforward i-k-j triple loop; kept as the reference point for
+   the cache-tiled kernel below (test/test_fmat.ml checks exact equality,
+   `bench kernels` reports the throughput gap) *)
+let matmul_naive (a : t) (b : t) : t =
   if a.cols <> b.rows then invalid_arg "Matrix.matmul: dimension mismatch";
   let c = create a.rows b.cols in
   for i = 0 to a.rows - 1 do
@@ -42,6 +49,59 @@ let matmul (a : t) (b : t) : t =
         done
     done
   done;
+  c
+
+(* Cache-tiled matmul.  Blocks of [b] (tile x tile, ~32 KB) stay resident
+   while every row of [a] sweeps over them, so [b] is streamed from memory
+   once per j-tile instead of once per row of [a].  For any output cell
+   (i, j) the products still accumulate in ascending [k] order — the tile
+   loops only reorder work across *different* cells — so the result is
+   bit-identical to {!matmul_naive} (incl. the [aik <> 0] skip). *)
+let tile = 64
+
+let matmul_into (c : t) (a : t) (b : t) : unit =
+  let n = a.rows and kdim = a.cols and p = b.cols in
+  let jj = ref 0 in
+  while !jj < p do
+    let jhi = min p (!jj + tile) in
+    let kk = ref 0 in
+    while !kk < kdim do
+      let khi = min kdim (!kk + tile) in
+      for i = 0 to n - 1 do
+        let abase = i * kdim and cbase = i * p in
+        for k = !kk to khi - 1 do
+          let aik = Array.unsafe_get a.data (abase + k) in
+          if aik <> 0.0 then begin
+            let bbase = k * p in
+            for j = !jj to jhi - 1 do
+              Array.unsafe_set c.data (cbase + j)
+                (Array.unsafe_get c.data (cbase + j)
+                +. (aik *. Array.unsafe_get b.data (bbase + j)))
+            done
+          end
+        done
+      done;
+      kk := khi
+    done;
+    jj := jhi
+  done
+
+let matmul (a : t) (b : t) : t =
+  if a.cols <> b.rows then invalid_arg "Matrix.matmul: dimension mismatch";
+  let c = create a.rows b.cols in
+  matmul_into c a b;
+  c
+
+(** [matmul_bias ~bias a b] is [a * b] with row [i] of the result seeded
+    from [bias] before accumulation — the summation order of a per-sample
+    [bias.(j) + Σ_k a_ik b_kj] loop, which batched logits need to stay
+    bit-identical to their per-sample counterparts. *)
+let matmul_bias ~(bias : float array) (a : t) (b : t) : t =
+  if a.cols <> b.rows then invalid_arg "Matrix.matmul_bias: dimension mismatch";
+  if Array.length bias <> b.cols then
+    invalid_arg "Matrix.matmul_bias: bias width mismatch";
+  let c = init a.rows b.cols (fun _ j -> bias.(j)) in
+  matmul_into c a b;
   c
 
 let transpose (m : t) : t = init m.cols m.rows (fun i j -> get m j i)

@@ -8,13 +8,29 @@ val get : t -> int -> int -> float
 val set : t -> int -> int -> float -> unit
 val of_rows : float array array -> t
 
-(** Copy of row [i]. *)
+(** Copy of row [i] (allocates; prefer {!row_into} in loops). *)
 val row : t -> int -> float array
+
+(** [row_into m i dst] blits row [i] into [dst] without allocating.
+    @raise Invalid_argument when [Array.length dst <> cols]. *)
+val row_into : t -> int -> float array -> unit
 
 val copy : t -> t
 
-(** @raise Invalid_argument on dimension mismatch *)
+(** Cache-tiled product.  Bit-identical to {!matmul_naive}: tiling only
+    reorders work across output cells, never the per-cell accumulation
+    order.  @raise Invalid_argument on dimension mismatch *)
 val matmul : t -> t -> t
+
+(** The untiled i-k-j reference kernel (for differential tests and the
+    kernel benchmarks).  @raise Invalid_argument on dimension mismatch *)
+val matmul_naive : t -> t -> t
+
+(** [matmul_bias ~bias a b]: like {!matmul} but row [i] of the result is
+    seeded from [bias] before accumulating, matching the summation order of
+    a per-sample [bias.(j) + Σ_k a_ik b_kj] loop.
+    @raise Invalid_argument on dimension mismatch *)
+val matmul_bias : bias:float array -> t -> t -> t
 
 val transpose : t -> t
 val map : (float -> float) -> t -> t

@@ -11,9 +11,9 @@ type params = { hidden : int; epochs : int; lr : float }
 let default_params = { hidden = 100; epochs = 40; lr = 0.02 }
 
 let train ?(params = default_params) (rng : Rng.t) ~(n_classes : int)
-    (xs : float array array) (ys : int array) : t =
-  let scaler, xs = Features.fit_transform xs in
-  let d = if Array.length xs = 0 then 0 else Array.length xs.(0) in
+    (x : Fmat.t) (ys : int array) : t =
+  let scaler, x = Features.fit_transform_fmat x in
+  let d = x.Fmat.d in
   let net =
     {
       Nn.layers =
@@ -25,8 +25,11 @@ let train ?(params = default_params) (rng : Rng.t) ~(n_classes : int)
       n_classes;
     }
   in
-  let n = Array.length xs in
+  let n = x.Fmat.n in
   let order = Array.init n Fun.id in
+  (* one reused row buffer: [Nn.train_step] consumes the sample within the
+     step, so the buffer may be overwritten for the next one *)
+  let buf = Array.make d 0.0 in
   for epoch = 0 to params.epochs - 1 do
     let lr = params.lr /. (1.0 +. (0.03 *. float_of_int epoch)) in
     for i = n - 1 downto 1 do
@@ -36,12 +39,21 @@ let train ?(params = default_params) (rng : Rng.t) ~(n_classes : int)
       order.(j) <- tmp
     done;
     Array.iter
-      (fun i -> ignore (Nn.train_step ~lr ~rng net xs.(i) ys.(i)))
+      (fun i ->
+        Fmat.row_into x i buf;
+        ignore (Nn.train_step ~lr ~rng net buf ys.(i)))
       order
   done;
   { scaler; net }
 
 let predict (t : t) (x : float array) : int =
   Nn.predict t.net (Features.transform t.scaler x)
+
+(** Classify every row: standardise a copy in place, then run the batched
+    dense path of {!Nn.predict_batch}. *)
+let predict_batch (t : t) (x : Fmat.t) : int array =
+  let x = Fmat.copy x in
+  Features.transform_fmat_inplace t.scaler x;
+  Nn.predict_batch t.net x
 
 let size_bytes (t : t) : int = Nn.size_bytes t.net

@@ -1,16 +1,26 @@
 (** The classifier-model registry (paper, Figure 3): five SciKit-style
     stochastic models plus the two variants of Zhang et al.'s neural network
     ([cnn] on flat embeddings, [dgcnn] on graph embeddings), behind a single
-    training interface. *)
+    training interface.
+
+    Flat models train on the contiguous {!Fmat} feature matrix and expose
+    both a per-vector [predict] (the evader's interactive interface) and a
+    batched [predict_batch] over a whole challenge matrix (the arena's bulk
+    path: one cache-tiled matmul for the linear models, a pool fan-out for
+    the forest). *)
 
 module Rng = Yali_util.Rng
 module Graph = Yali_embeddings.Graph
 
-type trained = { predict : float array -> int; size_bytes : int }
+type trained = {
+  predict : float array -> int;
+  predict_batch : Fmat.t -> int array;
+  size_bytes : int;
+}
 
 type flat = {
   fname : string;
-  ftrain : Rng.t -> n_classes:int -> float array array -> int array -> trained;
+  ftrain : Rng.t -> n_classes:int -> Fmat.t -> int array -> trained;
 }
 
 type gtrained = { gpredict : Graph.t -> int; gsize_bytes : int }
@@ -26,11 +36,12 @@ let rf =
   {
     fname = "rf";
     ftrain =
-      (fun rng ~n_classes xs ys ->
-        let m = Random_forest.train rng ~n_classes xs ys in
+      (fun rng ~n_classes x ys ->
+        let m = Random_forest.train rng ~n_classes x ys in
         {
           predict = Random_forest.predict m;
-          size_bytes = Random_forest.size_bytes m + Features.bytes_of_rows xs;
+          predict_batch = Random_forest.predict_batch m;
+          size_bytes = Random_forest.size_bytes m + Features.bytes_of_fmat x;
         });
   }
 
@@ -38,49 +49,66 @@ let svm =
   {
     fname = "svm";
     ftrain =
-      (fun rng ~n_classes xs ys ->
-        let m = Svm.train rng ~n_classes xs ys in
-        { predict = Svm.predict m; size_bytes = Svm.size_bytes m });
+      (fun rng ~n_classes x ys ->
+        let m = Svm.train rng ~n_classes x ys in
+        {
+          predict = Svm.predict m;
+          predict_batch = Svm.predict_batch m;
+          size_bytes = Svm.size_bytes m;
+        });
   }
 
 let knn =
   {
     fname = "knn";
     ftrain =
-      (fun _rng ~n_classes xs ys ->
-        let m = Knn.train ~n_classes xs ys in
-        { predict = Knn.predict m; size_bytes = Knn.size_bytes m });
+      (fun _rng ~n_classes x ys ->
+        let m = Knn.train ~n_classes x ys in
+        {
+          predict = Knn.predict m;
+          predict_batch = Knn.predict_batch m;
+          size_bytes = Knn.size_bytes m;
+        });
   }
 
 let lr =
   {
     fname = "lr";
     ftrain =
-      (fun rng ~n_classes xs ys ->
-        let m = Logreg.train rng ~n_classes xs ys in
-        { predict = Logreg.predict m; size_bytes = Logreg.size_bytes m });
+      (fun rng ~n_classes x ys ->
+        let m = Logreg.train rng ~n_classes x ys in
+        {
+          predict = Logreg.predict m;
+          predict_batch = Logreg.predict_batch m;
+          size_bytes = Logreg.size_bytes m;
+        });
   }
 
 let mlp =
   {
     fname = "mlp";
     ftrain =
-      (fun rng ~n_classes xs ys ->
-        let m = Mlp.train rng ~n_classes xs ys in
-        { predict = Mlp.predict m; size_bytes = Mlp.size_bytes m });
+      (fun rng ~n_classes x ys ->
+        let m = Mlp.train rng ~n_classes x ys in
+        {
+          predict = Mlp.predict m;
+          predict_batch = Mlp.predict_batch m;
+          size_bytes = Mlp.size_bytes m;
+        });
   }
 
 let cnn =
   {
     fname = "cnn";
     ftrain =
-      (fun rng ~n_classes xs ys ->
-        let m = Cnn.train rng ~n_classes xs ys in
+      (fun rng ~n_classes x ys ->
+        let m = Cnn.train rng ~n_classes x ys in
         {
           predict = Cnn.predict m;
+          predict_batch = Cnn.predict_batch m;
           (* the paper's cnn is a memory hog relative to mlp: it keeps the
              full activation planes; reflect the working-set footprint *)
-          size_bytes = Cnn.size_bytes m + (4 * Features.bytes_of_rows xs);
+          size_bytes = Cnn.size_bytes m + (4 * Features.bytes_of_fmat x);
         });
   }
 

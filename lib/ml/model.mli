@@ -3,15 +3,21 @@
     flat embeddings and [dgcnn] on graph embeddings — behind one training
     interface. *)
 
-(** A trained flat-vector classifier. *)
-type trained = { predict : float array -> int; size_bytes : int }
+(** A trained flat-vector classifier.  [predict] classifies one vector;
+    [predict_batch] classifies every row of a flat matrix at once (the
+    arena's bulk path — batched kernels, class decisions identical to
+    mapping [predict] over the rows). *)
+type trained = {
+  predict : float array -> int;
+  predict_batch : Fmat.t -> int array;
+  size_bytes : int;
+}
 
 (** A trainable flat model. *)
 type flat = {
   fname : string;
   ftrain :
-    Yali_util.Rng.t -> n_classes:int -> float array array -> int array ->
-    trained;
+    Yali_util.Rng.t -> n_classes:int -> Fmat.t -> int array -> trained;
 }
 
 (** A trained graph classifier. *)

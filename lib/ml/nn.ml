@@ -98,14 +98,16 @@ let forward ?(train = false) ?rng (layer : layer) (x : float array) :
       if out_len <= 0 then Array.make c.c_out 0.0
       else begin
         let out = Array.make (c.c_out * out_len) 0.0 in
+        let fd = c.filters.data and fcols = c.filters.cols in
         for o = 0 to c.c_out - 1 do
+          let fbase = o * fcols in
           for p = 0 to out_len - 1 do
             let acc = ref c.cbias.(o) in
             for ci = 0 to c.c_in - 1 do
               for k = 0 to c.kernel - 1 do
                 acc :=
                   !acc
-                  +. Matrix.get c.filters o ((ci * c.kernel) + k)
+                  +. Array.unsafe_get fd (fbase + (ci * c.kernel) + k)
                      *. x.((ci * in_len) + (p * c.stride) + k)
               done
             done;
@@ -139,12 +141,18 @@ let backward ~(lr : float) (layer : layer) (dout : float array) : float array
   match layer with
   | Dense d ->
       let din = Matrix.vm dout d.w in
-      (* update: w -= lr * dout^T last_in ; b -= lr * dout *)
+      (* update: w -= lr * dout^T last_in ; b -= lr * dout.  Flat offsets
+         into the weight data; the float expressions are unchanged
+         ([lr *. dout.(o) *. x] associates left, so hoisting the scale is
+         the same product). *)
+      let wd = d.w.data and cols = d.w.cols in
       for o = 0 to d.w.rows - 1 do
         d.b.(o) <- d.b.(o) -. (lr *. dout.(o));
-        for i = 0 to d.w.cols - 1 do
-          Matrix.set d.w o i
-            (Matrix.get d.w o i -. (lr *. dout.(o) *. d.last_in.(i)))
+        let s = lr *. dout.(o) in
+        let base = o * cols in
+        for i = 0 to cols - 1 do
+          Array.unsafe_set wd (base + i)
+            (Array.unsafe_get wd (base + i) -. (s *. d.last_in.(i)))
         done
       done;
       din
@@ -159,20 +167,21 @@ let backward ~(lr : float) (layer : layer) (dout : float array) : float array
       let out_len = conv_out_len c in_len in
       let din = Array.make (Array.length c.conv_in) 0.0 in
       if out_len > 0 then begin
+        let fd = c.filters.data and fcols = c.filters.cols in
         for o = 0 to c.c_out - 1 do
+          let fbase = o * fcols in
           let gb = ref 0.0 in
           for p = 0 to out_len - 1 do
             let g = dout.((o * out_len) + p) in
             gb := !gb +. g;
+            let s = lr *. g in
             for ci = 0 to c.c_in - 1 do
               for k = 0 to c.kernel - 1 do
                 let xi = (ci * in_len) + (p * c.stride) + k in
-                din.(xi) <-
-                  din.(xi) +. (g *. Matrix.get c.filters o ((ci * c.kernel) + k));
-                Matrix.set c.filters o
-                  ((ci * c.kernel) + k)
-                  (Matrix.get c.filters o ((ci * c.kernel) + k)
-                  -. (lr *. g *. c.conv_in.(xi)))
+                let fi = fbase + (ci * c.kernel) + k in
+                let fv = Array.unsafe_get fd fi in
+                din.(xi) <- din.(xi) +. (g *. fv);
+                Array.unsafe_set fd fi (fv -. (s *. c.conv_in.(xi)))
               done
             done
           done;
@@ -218,6 +227,56 @@ let predict (net : t) (x : float array) : int =
   let best = ref 0 in
   Array.iteri (fun i v -> if v > logits.(!best) then best := i) logits;
   !best
+
+(* Batched inference.  A dense-only net (Dense/Relu/Tanh/Dropout) runs the
+   whole batch as one cache-tiled matmul per layer, with the bias added
+   after accumulation — the same summation order as the per-row [mv] path.
+   Anything with a Conv1d/MaxPool falls back to per-row prediction. *)
+let predict_batch (net : t) (x : Fmat.t) : int array =
+  let dense_only =
+    List.for_all
+      (function
+        | Dense _ | Relu _ | Tanh _ | Dropout _ -> true
+        | Conv1d _ | MaxPool _ -> false)
+      net.layers
+  in
+  if not dense_only then begin
+    let buf = Array.make x.Fmat.d 0.0 in
+    Array.init x.Fmat.n (fun i ->
+        Fmat.row_into x i buf;
+        predict net buf)
+  end
+  else begin
+    let a = ref (Fmat.to_matrix x) in
+    List.iter
+      (fun l ->
+        match l with
+        | Dense d ->
+            let out = Matrix.matmul !a (Matrix.transpose d.w) in
+            for i = 0 to out.Matrix.rows - 1 do
+              let base = i * out.Matrix.cols in
+              for j = 0 to out.Matrix.cols - 1 do
+                out.Matrix.data.(base + j) <-
+                  out.Matrix.data.(base + j) +. d.b.(j)
+              done
+            done;
+            a := out
+        | Relu _ -> a := Matrix.map (fun v -> if v > 0.0 then v else 0.0) !a
+        | Tanh _ -> a := Matrix.map tanh !a
+        | Dropout _ -> ()
+        | Conv1d _ | MaxPool _ -> assert false)
+      net.layers;
+    let logits = !a in
+    Array.init logits.Matrix.rows (fun i ->
+        let base = i * logits.Matrix.cols in
+        let best = ref 0 in
+        for j = 1 to logits.Matrix.cols - 1 do
+          if
+            logits.Matrix.data.(base + j) > logits.Matrix.data.(base + !best)
+          then best := j
+        done;
+        !best)
+  end
 
 let size_bytes (net : t) : int =
   List.fold_left

@@ -39,4 +39,10 @@ val train_step :
   lr:float -> rng:Yali_util.Rng.t -> t -> float array -> int -> float * float array
 
 val predict : t -> float array -> int
+
+(** Classify every row of a flat matrix.  Dense-only networks run the batch
+    as one cache-tiled matmul per layer (same summation order as the
+    per-row path); convolutional networks fall back to per-row inference. *)
+val predict_batch : t -> Fmat.t -> int array
+
 val size_bytes : t -> int

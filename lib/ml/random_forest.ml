@@ -1,5 +1,10 @@
 (** Random forests: bagged CART trees with sqrt-feature subsampling and
-    majority voting — the paper's consistently best model (§4.2). *)
+    majority voting — the paper's consistently best model (§4.2).
+
+    The training matrix is binned once ({!Decision_tree.prebin}) and the
+    read-only binning is shared by all trees; each bootstrap sample is an
+    index array into the shared matrix, so bagging copies no feature data
+    at all. *)
 
 module Rng = Yali_util.Rng
 
@@ -10,9 +15,9 @@ type params = { n_trees : int; max_depth : int }
 let default_params = { n_trees = 64; max_depth = 24 }
 
 let train ?(params = default_params) (rng : Rng.t) ~(n_classes : int)
-    (xs : float array array) (ys : int array) : t =
-  let n = Array.length xs in
-  let d = if n = 0 then 0 else Array.length xs.(0) in
+    (x : Fmat.t) (ys : int array) : t =
+  let n = x.Fmat.n in
+  let d = x.Fmat.d in
   let fps = max 1 (max (int_of_float (sqrt (float_of_int d))) (d / 2)) in
   let tree_params =
     {
@@ -21,6 +26,8 @@ let train ?(params = default_params) (rng : Rng.t) ~(n_classes : int)
       features_per_split = Some fps;
     }
   in
+  (* one global binning, shared read-only across all trees *)
+  let pb = Decision_tree.prebin x in
   (* pre-derive one stream per tree (identical to the former
      split-per-iteration loop), then bag and grow the trees in parallel:
      each task owns its stream, so the forest is the same at any [jobs] *)
@@ -28,14 +35,13 @@ let train ?(params = default_params) (rng : Rng.t) ~(n_classes : int)
   let trees =
     Yali_exec.Pool.parallel_array_map
       (fun tree_rng ->
-        (* bootstrap sample *)
-        let bxs = Array.make n [||] and bys = Array.make n 0 in
+        (* bootstrap sample: indices into the shared matrix *)
+        let bidx = Array.make n 0 in
         for i = 0 to n - 1 do
-          let j = Rng.int tree_rng n in
-          bxs.(i) <- xs.(j);
-          bys.(i) <- ys.(j)
+          bidx.(i) <- Rng.int tree_rng n
         done;
-        Decision_tree.train ~params:tree_params tree_rng ~n_classes bxs bys)
+        Decision_tree.train ~params:tree_params ~prebinned:pb ~sample:bidx
+          tree_rng ~n_classes x ys)
       tree_rngs
   in
   { trees; n_classes }
@@ -50,6 +56,25 @@ let predict (f : t) (x : float array) : int =
   let best = ref 0 in
   Array.iteri (fun c k -> if k > votes.(!best) then best := c) votes;
   !best
+
+(** Vote every row of a flat matrix; rows fan out over the pool (each task
+    writes only its own slot, so the output is the same at any [jobs]). *)
+let predict_batch (f : t) (x : Fmat.t) : int array =
+  let pred = Array.make x.Fmat.n 0 in
+  Yali_exec.Pool.parallel_for_chunks ~min_chunk:16 x.Fmat.n (fun lo hi ->
+      let votes = Array.make f.n_classes 0 in
+      for i = lo to hi - 1 do
+        Array.fill votes 0 f.n_classes 0;
+        Array.iter
+          (fun t ->
+            let c = Decision_tree.predict_row t x i in
+            votes.(c) <- votes.(c) + 1)
+          f.trees;
+        let best = ref 0 in
+        Array.iteri (fun c k -> if k > votes.(!best) then best := c) votes;
+        pred.(i) <- !best
+      done);
+  pred
 
 let size_bytes (f : t) : int =
   Array.fold_left (fun acc t -> acc + Decision_tree.size_bytes t) 0 f.trees

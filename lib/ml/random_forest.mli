@@ -1,5 +1,9 @@
 (** Random forests: bagged CART trees with per-split feature subsampling and
-    majority voting — the paper's consistently best model (§4.2). *)
+    majority voting — the paper's consistently best model (§4.2).
+
+    The training matrix is binned once ({!Decision_tree.prebin}) and shared
+    read-only across all trees; bootstrap samples are index arrays into the
+    shared {!Fmat}, not row copies. *)
 
 type t
 
@@ -11,11 +15,15 @@ val train :
   ?params:params ->
   Yali_util.Rng.t ->
   n_classes:int ->
-  float array array ->
+  Fmat.t ->
   int array ->
   t
 
 val predict : t -> float array -> int
+
+(** Classify every row of a flat matrix; rows fan out over the pool, each
+    task writes only its own slot (deterministic at any [jobs]). *)
+val predict_batch : t -> Fmat.t -> int array
 
 (** Approximate heap footprint. *)
 val size_bytes : t -> int

@@ -1,0 +1,333 @@
+(** Frozen pre-kernel-layer implementations of the models the {!Fmat}
+    rewrite touched: decision trees / random forests with per-node
+    sort-and-sweep split finding over [float array array] rows, k-NN with
+    the subtract-square-accumulate distance and a full sort, and logistic
+    regression over row arrays.
+
+    These exist for two reasons only:
+    - differential property tests (test/test_fmat.ml) check that the
+      rewritten kernels predict identically on randomised datasets;
+    - the [bench kernels] section measures the before/after speedup against
+      the very code the optimised kernels replaced.
+
+    Nothing in the framework proper may depend on this module.  The one
+    deliberate deviation from the historical code is marked below: the tree
+    sorts its candidate features ascending, adopting the total
+    (gain, lowest-feature, lowest-threshold) tie-break that the rewritten
+    {!Decision_tree} documents — the differential tests compare the split
+    kernels, not the (changed, documented) tie rule.  [Matrix.matmul_naive]
+    plays the same role for the tiled matmul. *)
+
+module Rng = Yali_util.Rng
+
+module Decision_tree = struct
+  type node =
+    | Leaf of int
+    | Split of { feature : int; threshold : float; left : node; right : node }
+
+  type t = { root : node; n_classes : int }
+
+  type params = {
+    max_depth : int;
+    min_samples_split : int;
+    features_per_split : int option;
+  }
+
+  let default_params =
+    { max_depth = 18; min_samples_split = 2; features_per_split = None }
+
+  let majority ~(n_classes : int) (ys : int array) (idx : int array) : int =
+    let counts = Array.make n_classes 0 in
+    Array.iter (fun i -> counts.(ys.(i)) <- counts.(ys.(i)) + 1) idx;
+    let best = ref 0 in
+    Array.iteri (fun c k -> if k > counts.(!best) then best := c) counts;
+    !best
+
+  let gini_of_counts (counts : int array) (total : int) : float =
+    if total = 0 then 0.0
+    else begin
+      let acc = ref 1.0 in
+      Array.iter
+        (fun k ->
+          let p = float_of_int k /. float_of_int total in
+          acc := !acc -. (p *. p))
+        counts;
+      !acc
+    end
+
+  let best_split ~(n_classes : int) (xs : float array array) (ys : int array)
+      (idx : int array) (features : int list) : (int * float * float) option =
+    let n = Array.length idx in
+    let parent_counts = Array.make n_classes 0 in
+    Array.iter
+      (fun i -> parent_counts.(ys.(i)) <- parent_counts.(ys.(i)) + 1)
+      idx;
+    let parent_gini = gini_of_counts parent_counts n in
+    let best = ref None in
+    List.iter
+      (fun f ->
+        (* per-node, per-feature: copy and sort the sample indices — the
+           O(n log n)-per-candidate cost the histogram kernel removes *)
+        let sorted = Array.copy idx in
+        Array.sort (fun a b -> compare xs.(a).(f) xs.(b).(f)) sorted;
+        let left_counts = Array.make n_classes 0 in
+        let right_counts = Array.copy parent_counts in
+        for k = 0 to n - 2 do
+          let i = sorted.(k) in
+          left_counts.(ys.(i)) <- left_counts.(ys.(i)) + 1;
+          right_counts.(ys.(i)) <- right_counts.(ys.(i)) - 1;
+          let v = xs.(i).(f) and v' = xs.(sorted.(k + 1)).(f) in
+          if v < v' then begin
+            let nl = k + 1 and nr = n - k - 1 in
+            let g =
+              (float_of_int nl *. gini_of_counts left_counts nl
+              +. float_of_int nr *. gini_of_counts right_counts nr)
+              /. float_of_int n
+            in
+            let gain = parent_gini -. g in
+            let thr = (v +. v') /. 2.0 in
+            match !best with
+            | Some (_, _, best_gain) when best_gain >= gain -> ()
+            | _ -> best := Some (f, thr, gain)
+          end
+        done)
+      features;
+    match !best with
+    | Some (f, thr, gain) when gain > 1e-12 -> Some (f, thr, gain)
+    | _ -> None
+
+  let train ?(params = default_params) (rng : Rng.t) ~(n_classes : int)
+      (xs : float array array) (ys : int array) : t =
+    let d = if Array.length xs = 0 then 0 else Array.length xs.(0) in
+    let all_features = List.init d Fun.id in
+    let pick_features () =
+      match params.features_per_split with
+      | None -> all_features
+      | Some k ->
+          (* deviation from the historical code (see module comment): sort
+             the sampled candidates so ties resolve to the lowest feature,
+             like the rewritten tree; RNG consumption is unchanged *)
+          List.sort compare (Rng.sample rng (min k d) all_features)
+    in
+    let rec grow (idx : int array) (depth : int) : node =
+      let pure =
+        Array.length idx > 0
+        && Array.for_all (fun i -> ys.(i) = ys.(idx.(0))) idx
+      in
+      if
+        pure || depth >= params.max_depth
+        || Array.length idx < params.min_samples_split
+      then Leaf (majority ~n_classes ys idx)
+      else
+        match best_split ~n_classes xs ys idx (pick_features ()) with
+        | None -> Leaf (majority ~n_classes ys idx)
+        | Some (feature, threshold, _) ->
+            let left_idx =
+              Array.of_seq
+                (Seq.filter
+                   (fun i -> xs.(i).(feature) <= threshold)
+                   (Array.to_seq idx))
+            in
+            let right_idx =
+              Array.of_seq
+                (Seq.filter
+                   (fun i -> xs.(i).(feature) > threshold)
+                   (Array.to_seq idx))
+            in
+            if Array.length left_idx = 0 || Array.length right_idx = 0 then
+              Leaf (majority ~n_classes ys idx)
+            else
+              Split
+                {
+                  feature;
+                  threshold;
+                  left = grow left_idx (depth + 1);
+                  right = grow right_idx (depth + 1);
+                }
+    in
+    let idx = Array.init (Array.length xs) Fun.id in
+    { root = grow idx 0; n_classes }
+
+  let predict (t : t) (x : float array) : int =
+    let rec go = function
+      | Leaf c -> c
+      | Split { feature; threshold; left; right } ->
+          if x.(feature) <= threshold then go left else go right
+    in
+    go t.root
+end
+
+module Random_forest = struct
+  type t = { trees : Decision_tree.t array; n_classes : int }
+
+  type params = { n_trees : int; max_depth : int }
+
+  let default_params = { n_trees = 64; max_depth = 24 }
+
+  let train ?(params = default_params) (rng : Rng.t) ~(n_classes : int)
+      (xs : float array array) (ys : int array) : t =
+    let n = Array.length xs in
+    let d = if n = 0 then 0 else Array.length xs.(0) in
+    let fps = max 1 (max (int_of_float (sqrt (float_of_int d))) (d / 2)) in
+    let tree_params =
+      {
+        Decision_tree.max_depth = params.max_depth;
+        min_samples_split = 2;
+        features_per_split = Some fps;
+      }
+    in
+    let tree_rngs = Rng.split_n rng params.n_trees in
+    let trees =
+      Yali_exec.Pool.parallel_array_map
+        (fun tree_rng ->
+          (* bootstrap by row copy — the allocation the rewrite avoids *)
+          let bxs = Array.make n [||] and bys = Array.make n 0 in
+          for i = 0 to n - 1 do
+            let j = Rng.int tree_rng n in
+            bxs.(i) <- xs.(j);
+            bys.(i) <- ys.(j)
+          done;
+          Decision_tree.train ~params:tree_params tree_rng ~n_classes bxs bys)
+        tree_rngs
+    in
+    { trees; n_classes }
+
+  let predict (f : t) (x : float array) : int =
+    let votes = Array.make f.n_classes 0 in
+    Array.iter
+      (fun t ->
+        let c = Decision_tree.predict t x in
+        votes.(c) <- votes.(c) + 1)
+      f.trees;
+    let best = ref 0 in
+    Array.iteri (fun c k -> if k > votes.(!best) then best := c) votes;
+    !best
+end
+
+module Knn = struct
+  type t = {
+    k : int;
+    scaler : Features.scaler;
+    xs : float array array;
+    ys : int array;
+    n_classes : int;
+  }
+
+  let train ?(k = 5) ~(n_classes : int) (xs : float array array)
+      (ys : int array) : t =
+    let scaler, xs = Features.fit_transform xs in
+    { k; scaler; xs; ys; n_classes }
+
+  let sq_dist (a : float array) (b : float array) : float =
+    let acc = ref 0.0 in
+    Array.iteri
+      (fun i x ->
+        let d = x -. b.(i) in
+        acc := !acc +. (d *. d))
+      a;
+    !acc
+
+  let predict (t : t) (x : float array) : int =
+    let x = Features.transform t.scaler x in
+    let n = Array.length t.xs in
+    let k = min t.k n in
+    (* per-query: n fresh tuples and a full O(n log n) sort — the
+       allocation and work the partial selection removes *)
+    let dists = Array.make n (0.0, 0) in
+    Yali_exec.Pool.parallel_for_chunks ~min_chunk:512 n (fun lo hi ->
+        for i = lo to hi - 1 do
+          dists.(i) <- (sq_dist x t.xs.(i), t.ys.(i))
+        done);
+    Array.sort (fun (a, _) (b, _) -> compare a b) dists;
+    let votes = Array.make t.n_classes 0 in
+    for i = 0 to k - 1 do
+      let _, y = dists.(i) in
+      votes.(y) <- votes.(y) + 1
+    done;
+    let best = ref 0 in
+    Array.iteri (fun c v -> if v > votes.(!best) then best := c) votes;
+    !best
+end
+
+module Logreg = struct
+  type t = {
+    scaler : Features.scaler;
+    weights : Matrix.t;
+    bias : float array;
+    n_classes : int;
+  }
+
+  type params = { epochs : int; lr : float; l2 : float; batch : int }
+
+  let default_params = { epochs = 60; lr = 0.1; l2 = 1e-4; batch = 32 }
+
+  let softmax (z : float array) : float array =
+    let m = Array.fold_left max neg_infinity z in
+    let e = Array.map (fun x -> exp (x -. m)) z in
+    let s = Array.fold_left ( +. ) 0.0 e in
+    Array.map (fun x -> x /. s) e
+
+  let logits (w : Matrix.t) (bias : float array) (x : float array) :
+      float array =
+    Array.init (Array.length bias) (fun c ->
+        let acc = ref bias.(c) in
+        for j = 0 to Array.length x - 1 do
+          acc := !acc +. (Matrix.get w c j *. x.(j))
+        done;
+        !acc)
+
+  let argmax (v : float array) : int =
+    let best = ref 0 in
+    Array.iteri (fun i x -> if x > v.(!best) then best := i) v;
+    !best
+
+  let train ?(params = default_params) (rng : Rng.t) ~(n_classes : int)
+      (xs : float array array) (ys : int array) : t =
+    let scaler, xs = Features.fit_transform xs in
+    let n = Array.length xs in
+    let d = if n = 0 then 0 else Array.length xs.(0) in
+    let w = Matrix.random rng n_classes d ~scale:0.01 in
+    let bias = Array.make n_classes 0.0 in
+    let order = Array.init n Fun.id in
+    for epoch = 0 to params.epochs - 1 do
+      let lr = params.lr /. (1.0 +. (0.05 *. float_of_int epoch)) in
+      for i = n - 1 downto 1 do
+        let j = Rng.int rng (i + 1) in
+        let tmp = order.(i) in
+        order.(i) <- order.(j);
+        order.(j) <- tmp
+      done;
+      let b = ref 0 in
+      while !b < n do
+        let hi = min n (!b + params.batch) in
+        let gw = Matrix.create n_classes d
+        and gb = Array.make n_classes 0.0 in
+        for k = !b to hi - 1 do
+          let i = order.(k) in
+          let p = softmax (logits w bias xs.(i)) in
+          for c = 0 to n_classes - 1 do
+            let err = p.(c) -. (if c = ys.(i) then 1.0 else 0.0) in
+            gb.(c) <- gb.(c) +. err;
+            for j = 0 to d - 1 do
+              Matrix.set gw c j (Matrix.get gw c j +. (err *. xs.(i).(j)))
+            done
+          done
+        done;
+        let bs = float_of_int (hi - !b) in
+        for c = 0 to n_classes - 1 do
+          bias.(c) <- bias.(c) -. (lr *. gb.(c) /. bs);
+          for j = 0 to d - 1 do
+            let wij = Matrix.get w c j in
+            Matrix.set w c j
+              (wij -. (lr *. ((Matrix.get gw c j /. bs) +. (params.l2 *. wij))))
+          done
+        done;
+        b := hi
+      done
+    done;
+    { scaler; weights = w; bias; n_classes }
+
+  let predict (t : t) (x : float array) : int =
+    let x = Features.transform t.scaler x in
+    argmax (logits t.weights t.bias x)
+end

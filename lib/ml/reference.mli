@@ -1,0 +1,73 @@
+(** Frozen pre-kernel-layer model implementations, kept {e only} for the
+    differential property tests (test/test_fmat.ml) and the before/after
+    numbers of [bench kernels].  Framework code must not depend on this
+    module.  See the implementation's module comment for the one deliberate
+    deviation (the tree adopts the rewritten tree's total feature
+    tie-break). *)
+
+module Decision_tree : sig
+  type t
+
+  type params = {
+    max_depth : int;
+    min_samples_split : int;
+    features_per_split : int option;
+  }
+
+  val default_params : params
+
+  val train :
+    ?params:params ->
+    Yali_util.Rng.t ->
+    n_classes:int ->
+    float array array ->
+    int array ->
+    t
+
+  val predict : t -> float array -> int
+end
+
+module Random_forest : sig
+  type t
+
+  type params = { n_trees : int; max_depth : int }
+
+  val default_params : params
+
+  val train :
+    ?params:params ->
+    Yali_util.Rng.t ->
+    n_classes:int ->
+    float array array ->
+    int array ->
+    t
+
+  val predict : t -> float array -> int
+end
+
+module Knn : sig
+  type t
+
+  val train :
+    ?k:int -> n_classes:int -> float array array -> int array -> t
+
+  val predict : t -> float array -> int
+end
+
+module Logreg : sig
+  type t
+
+  type params = { epochs : int; lr : float; l2 : float; batch : int }
+
+  val default_params : params
+
+  val train :
+    ?params:params ->
+    Yali_util.Rng.t ->
+    n_classes:int ->
+    float array array ->
+    int array ->
+    t
+
+  val predict : t -> float array -> int
+end

@@ -23,6 +23,16 @@ let augment (x : float array) : float array =
   let d = Array.length x in
   Array.init (d + 1) (fun j -> if j < d then x.(j) else 1.0)
 
+(* standardised matrix -> matrix with a trailing constant-1 column *)
+let augment_fmat (x : Fmat.t) : Fmat.t =
+  let n = x.Fmat.n and d = x.Fmat.d in
+  let a = Fmat.create n (d + 1) in
+  for i = 0 to n - 1 do
+    Array.blit x.Fmat.data (i * d) a.Fmat.data (i * (d + 1)) d;
+    a.Fmat.data.((i * (d + 1)) + d) <- 1.0
+  done;
+  a
+
 let score_row (w : Matrix.t) (c : int) (x : float array) : float =
   let acc = ref 0.0 in
   for j = 0 to Array.length x - 1 do
@@ -30,14 +40,29 @@ let score_row (w : Matrix.t) (c : int) (x : float array) : float =
   done;
   !acc
 
+(* score of row [i] of the augmented flat matrix; same accumulation order *)
+let score_flat (w : Matrix.t) (c : int) (xd : float array) (xbase : int)
+    (d : int) : float =
+  let acc = ref 0.0 in
+  let wbase = c * w.Matrix.cols in
+  for j = 0 to d - 1 do
+    acc :=
+      !acc
+      +. Array.unsafe_get w.Matrix.data (wbase + j)
+         *. Array.unsafe_get xd (xbase + j)
+  done;
+  !acc
+
 let train ?(params = default_params) (rng : Rng.t) ~(n_classes : int)
-    (xs : float array array) (ys : int array) : t =
-  let scaler, xs = Features.fit_transform xs in
-  let xs = Array.map augment xs in
-  let n = Array.length xs in
-  let d = if n = 0 then 1 else Array.length xs.(0) in
+    (x : Fmat.t) (ys : int array) : t =
+  let scaler, x = Features.fit_transform_fmat x in
+  let xs = augment_fmat x in
+  let n = xs.Fmat.n in
+  let d = if n = 0 then 1 else xs.Fmat.d in
+  let xd = xs.Fmat.data in
   let w = Matrix.create n_classes d in
   let w_sum = Matrix.create n_classes d in
+  let wd = w.Matrix.data in
   let t_step = ref 0 in
   let n_avg = ref 0 in
   for _epoch = 0 to params.epochs - 1 do
@@ -47,18 +72,24 @@ let train ?(params = default_params) (rng : Rng.t) ~(n_classes : int)
       let eta =
         1.0 /. (params.lambda *. (float_of_int !t_step +. params.step_offset))
       in
-      let x = xs.(i) in
+      let xbase = i * d in
       for c = 0 to n_classes - 1 do
         let y = if ys.(i) = c then 1.0 else -1.0 in
-        let margin = y *. score_row w c x in
+        let margin = y *. score_flat w c xd xbase d in
         let shrink = 1.0 -. (eta *. params.lambda) in
-        if margin < 1.0 then
+        let wbase = c * d in
+        if margin < 1.0 then begin
+          let s = eta *. y in
           for j = 0 to d - 1 do
-            Matrix.set w c j ((Matrix.get w c j *. shrink) +. (eta *. y *. x.(j)))
+            Array.unsafe_set wd (wbase + j)
+              ((Array.unsafe_get wd (wbase + j) *. shrink)
+              +. (s *. Array.unsafe_get xd (xbase + j)))
           done
+        end
         else
           for j = 0 to d - 1 do
-            Matrix.set w c j (Matrix.get w c j *. shrink)
+            Array.unsafe_set wd (wbase + j)
+              (Array.unsafe_get wd (wbase + j) *. shrink)
           done
       done;
       (* tail averaging: accumulate the second half of the trajectory *)
@@ -84,5 +115,25 @@ let predict (t : t) (x : float array) : int =
     end
   done;
   !best
+
+(** Classify every row: one cache-tiled matmul scores the whole batch. *)
+let predict_batch (t : t) (x : Fmat.t) : int array =
+  let x = Fmat.copy x in
+  Features.transform_fmat_inplace t.scaler x;
+  let xa = augment_fmat x in
+  let scores =
+    Matrix.matmul (Fmat.to_matrix xa) (Matrix.transpose t.weights)
+  in
+  Array.init scores.Matrix.rows (fun i ->
+      let base = i * scores.Matrix.cols in
+      let best = ref 0 and best_score = ref neg_infinity in
+      for c = 0 to scores.Matrix.cols - 1 do
+        let s = scores.Matrix.data.(base + c) in
+        if s > !best_score then begin
+          best_score := s;
+          best := c
+        end
+      done;
+      !best)
 
 let size_bytes (t : t) : int = 8 * t.weights.rows * t.weights.cols

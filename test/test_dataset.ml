@@ -100,7 +100,10 @@ let test_malware_distinguishable_from_benign () =
       (List.map (fun (p, _) -> Yali.Embeddings.Histogram.of_module (lower p)) suite)
   in
   let ys = Array.of_list (List.map snd suite) in
-  let trained = Yali.Ml.Model.rf.ftrain (Rng.make 1) ~n_classes:2 xs ys in
+  let trained =
+    Yali.Ml.Model.rf.ftrain (Rng.make 1) ~n_classes:2
+      (Yali.Ml.Fmat.of_rows xs) ys
+  in
   let fresh = D.Mirai.seed_suite (Rng.make 77) ~n:6 in
   let hits =
     List.fold_left

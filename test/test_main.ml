@@ -14,6 +14,7 @@ let () =
       ("obfuscation", Test_obfuscation.suite);
       ("embeddings", Test_embeddings.suite);
       ("ml", Test_ml.suite);
+      ("fmat", Test_fmat.suite);
       ("dataset", Test_dataset.suite);
       ("gen_dsl", Test_gen_dsl.suite);
       ("exec", Test_exec.suite);

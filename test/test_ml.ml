@@ -118,11 +118,17 @@ let model_learns (model : Ml.Model.flat) () =
   let rng = Rng.make 99 in
   let xs, ys = blobs rng ~n_classes:3 ~n_per_class:40 ~d:8 in
   let test_xs, test_ys = blobs (Rng.make 123) ~n_classes:3 ~n_per_class:15 ~d:8 in
-  let trained = model.ftrain (Rng.make 7) ~n_classes:3 xs ys in
+  let trained =
+    model.ftrain (Rng.make 7) ~n_classes:3 (Ml.Fmat.of_rows xs) ys
+  in
   let pred = Array.map trained.predict test_xs in
   let acc = Ml.Metrics.accuracy test_ys pred in
   if acc < 0.9 then
-    Alcotest.failf "%s only reached %.2f on separable blobs" model.fname acc
+    Alcotest.failf "%s only reached %.2f on separable blobs" model.fname acc;
+  (* the batched path must agree with per-vector prediction *)
+  let bpred = trained.predict_batch (Ml.Fmat.of_rows test_xs) in
+  if bpred <> pred then
+    Alcotest.failf "%s: predict_batch disagrees with predict" model.fname
 
 let model_tests =
   List.map
@@ -132,6 +138,7 @@ let model_tests =
 
 let test_models_deterministic () =
   let xs, ys = blobs (Rng.make 5) ~n_classes:2 ~n_per_class:20 ~d:4 in
+  let xs = Ml.Fmat.of_rows xs in
   let train () =
     let t = Ml.Model.rf.ftrain (Rng.make 11) ~n_classes:2 xs ys in
     Array.init 10 (fun k -> t.predict (Array.make 4 (float_of_int k)))
@@ -139,14 +146,14 @@ let test_models_deterministic () =
   Alcotest.(check bool) "same seed, same predictions" true (train () = train ())
 
 let test_knn_exact_on_training_points () =
-  let xs = [| [| 0.; 0. |]; [| 10.; 10. |] |] in
+  let xs = Ml.Fmat.of_rows [| [| 0.; 0. |]; [| 10.; 10. |] |] in
   let ys = [| 0; 1 |] in
   let t = Ml.Knn.train ~k:1 ~n_classes:2 xs ys in
   Alcotest.(check int) "near 0" 0 (Ml.Knn.predict t [| 0.5; 0.1 |]);
   Alcotest.(check int) "near 1" 1 (Ml.Knn.predict t [| 9.5; 9.9 |])
 
 let test_decision_tree_pure_leaf () =
-  let xs = [| [| 0. |]; [| 1. |]; [| 10. |]; [| 11. |] |] in
+  let xs = Ml.Fmat.of_rows [| [| 0. |]; [| 1. |]; [| 10. |]; [| 11. |] |] in
   let ys = [| 0; 0; 1; 1 |] in
   let t = Ml.Decision_tree.train (Rng.make 1) ~n_classes:2 xs ys in
   Alcotest.(check int) "left" 0 (Ml.Decision_tree.predict t [| -1.0 |]);

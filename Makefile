@@ -1,6 +1,6 @@
 # Convenience targets; everything is ultimately driven by dune.
 
-.PHONY: all build build-all test check smoke fuzz-smoke bench bench-kernels fmt clean
+.PHONY: all build build-all test check check-smoke check-deep smoke fuzz-smoke bench bench-kernels fmt clean
 
 all: build
 
@@ -27,6 +27,18 @@ smoke:
 # compare interpreter behaviour; exits non-zero on any finding.
 fuzz-smoke:
 	dune exec bin/yali_cli.exe -- fuzz --seed 2 --count 50 --jobs 2 --shrink
+
+# Per-pass translation validation + invariant oracles, smoke tier (seconds).
+# The same tier also runs inside `dune runtest` (test/test_check.ml).
+check-smoke:
+	dune exec bin/yali_cli.exe -- check --seed 42
+
+# The deep correctness tier (DESIGN.md §9, minutes): 200 generated programs
+# through every pass and pipeline with per-pass translation validation, plus
+# 300-case sweeps of every invariant oracle.  Minimized counterexamples are
+# written to _check_artifacts/ on failure.
+check-deep:
+	dune exec bin/yali_cli.exe -- check --deep --seed 42 --out _check_artifacts
 
 bench:
 	dune exec bench/main.exe

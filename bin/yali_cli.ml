@@ -9,7 +9,8 @@
     - [dataset]   export the corpus as .c files
     - [opt]       run a pass pipeline over textual IR (an `opt` clone)
     - [play]      run one adversarial game and report the verdict
-    - [fuzz]      differential fuzzing of the whole pass stack *)
+    - [fuzz]      differential fuzzing of the whole pass stack
+    - [check]     per-pass translation validation + invariant oracles *)
 
 open Cmdliner
 module Rng = Yali.Rng
@@ -462,9 +463,92 @@ let fuzz_cmd =
       $ shrink_arg $ corpus_arg $ save_arg $ quiet_arg $ variants_arg
       $ dump_arg)
 
+(* -- check: per-pass translation validation + invariant oracles ------------ *)
+
+let check_cmd =
+  let deep_arg =
+    Arg.(
+      value & flag
+      & info [ "deep" ]
+          ~doc:
+            "Run the deep tier (hundreds of generated programs per pass and \
+             deep oracle sweeps) instead of the smoke tier.")
+  in
+  let per_pass_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "per-pass" ] ~docv:"N"
+          ~doc:
+            "Generated programs validated against every pass (default: 5 \
+             smoke, 200 deep).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:
+            "On failure, write minimized counterexamples and the report \
+             into \\$(docv) (CI uploads these as artifacts).")
+  in
+  let save_arg =
+    Arg.(
+      value & flag
+      & info [ "save" ]
+          ~doc:"Persist minimized reproducers into the regression corpus.")
+  in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt string Yali.Check.Corpus.default_dir
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Regression corpus replayed through every pass before fresh \
+             generation; \"none\" disables.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No per-chunk progress.")
+  in
+  let run seed jobs telemetry deep per_pass out save corpus quiet =
+    configure_jobs jobs;
+    configure_telemetry telemetry;
+    let tier = if deep then Yali.Check.Engine.Deep else Yali.Check.Engine.Smoke in
+    let cfg =
+      {
+        Yali.Check.Engine.default with
+        seed;
+        tier;
+        per_pass;
+        out_dir = out;
+        save_findings = save;
+        corpus_dir = (if corpus = "none" then None else Some corpus);
+        log = (if quiet then ignore else prerr_endline);
+      }
+    in
+    Printf.printf "validating %d passes/pipelines (%s tier, seed %d, jobs %d)\n%!"
+      (List.length (Yali.Check.Engine.entries ()))
+      (if deep then "deep" else "smoke")
+      seed
+      (Yali.Exec.Pool.get_jobs ());
+    let r = Yali.Check.Engine.run cfg in
+    print_string (Yali.Check.Engine.summary r);
+    dump_telemetry telemetry;
+    if not r.Yali.Check.Engine.e_ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Translation-validate every pass and pipeline on generated \
+          programs and run the invariant oracles; exits nonzero on any \
+          failure.")
+    Term.(
+      const run $ seed_arg $ jobs_arg $ telemetry_arg $ deep_arg $ per_pass_arg
+      $ out_arg $ save_arg $ corpus_arg $ quiet_arg)
+
 let () =
   let doc = "a game-based framework to compare program classifiers and evaders" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "yali" ~doc)
-          [ compile_cmd; run_cmd; obfuscate_cmd; embed_cmd; generate_cmd; dataset_cmd; opt_cmd; play_cmd; fuzz_cmd ]))
+          [ compile_cmd; run_cmd; obfuscate_cmd; embed_cmd; generate_cmd; dataset_cmd; opt_cmd; play_cmd; fuzz_cmd; check_cmd ]))

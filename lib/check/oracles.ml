@@ -1,0 +1,283 @@
+(** See oracles.mli. *)
+
+module Rng = Yali_util.Rng
+module Ml = Yali_ml
+module F = Yali_ml.Fmat
+module M = Yali_ml.Matrix
+module Pool = Yali_exec.Pool
+module Cache = Yali_exec.Cache
+
+let finite x = Float.is_finite x
+let in_unit x = finite x && 0.0 <= x && x <= 1.0
+
+(* -- kernels vs lib/ml/reference.ml ---------------------------------------- *)
+
+(* labelled class-separable count features (<= 256 distinct values per
+   feature, the tree's histogram path) *)
+let gen_dataset (rng : Rng.t) =
+  let n_classes = 2 + Rng.int rng 3 in
+  let n = 10 + Rng.int rng 50 and d = 1 + Rng.int rng 8 in
+  let sample m =
+    Array.init m (fun _ ->
+        let cls = Rng.int rng n_classes in
+        let x =
+          Array.init d (fun j ->
+              float_of_int
+                (Rng.int rng 8 + if j mod n_classes = cls then 6 else 0))
+        in
+        (x, cls))
+  in
+  let train = sample n and test = sample 16 in
+  let train_seed = Rng.int rng 1_000_000 in
+  (n_classes, Array.map fst train, Array.map snd train, Array.map fst test,
+   train_seed)
+
+let show_dataset (n_classes, xs, _, txs, seed) =
+  Printf.sprintf "dataset n=%d d=%d classes=%d queries=%d seed=%d"
+    (Array.length xs)
+    (if Array.length xs = 0 then 0 else Array.length xs.(0))
+    n_classes (Array.length txs) seed
+
+let tree_vs_reference (n_classes, xs, ys, txs, seed) =
+  let t_new = Ml.Decision_tree.train (Rng.make seed) ~n_classes (F.of_rows xs) ys in
+  let t_ref = Ml.Reference.Decision_tree.train (Rng.make seed) ~n_classes xs ys in
+  Array.for_all
+    (fun x -> Ml.Decision_tree.predict t_new x = Ml.Reference.Decision_tree.predict t_ref x)
+    (Array.append xs txs)
+
+let forest_vs_reference (n_classes, xs, ys, txs, seed) =
+  let params = { Ml.Random_forest.n_trees = 5; max_depth = 6 } in
+  let ref_params = { Ml.Reference.Random_forest.n_trees = 5; max_depth = 6 } in
+  let f_new = Ml.Random_forest.train ~params (Rng.make seed) ~n_classes (F.of_rows xs) ys in
+  let f_ref =
+    Ml.Reference.Random_forest.train ~params:ref_params (Rng.make seed) ~n_classes xs ys
+  in
+  Array.for_all
+    (fun x -> Ml.Random_forest.predict f_new x = Ml.Reference.Random_forest.predict f_ref x)
+    (Array.append xs txs)
+
+(* continuous features for the knn oracle: with quantized counts, two
+   distinct training points can be exactly equidistant from a query, and
+   knn.mli documents that the norm-expanded distance breaks such ties by
+   float rounding rather than row index — gaussians make exact ties
+   measure-zero, so prediction equality is the right law *)
+let gen_gauss_dataset (rng : Rng.t) =
+  let n_classes = 2 + Rng.int rng 3 in
+  let n = 10 + Rng.int rng 50 and d = 2 + Rng.int rng 7 in
+  let sample m =
+    Array.init m (fun _ ->
+        let cls = Rng.int rng n_classes in
+        let x =
+          Array.init d (fun j ->
+              Rng.gaussian rng
+              +. (if j mod n_classes = cls then 4.0 else 0.0))
+        in
+        (x, cls))
+  in
+  let train = sample n and test = sample 16 in
+  let train_seed = Rng.int rng 1_000_000 in
+  (n_classes, Array.map fst train, Array.map snd train, Array.map fst test,
+   train_seed)
+
+let knn_vs_reference (n_classes, xs, ys, txs, _seed) =
+  let m_new = Ml.Knn.train ~n_classes (F.of_rows xs) ys in
+  let m_ref = Ml.Reference.Knn.train ~n_classes xs ys in
+  Array.for_all
+    (fun x -> Ml.Knn.predict m_new x = Ml.Reference.Knn.predict m_ref x)
+    txs
+
+let gen_matmul (rng : Rng.t) =
+  let n = 1 + Rng.int rng 40
+  and k = 1 + Rng.int rng 40
+  and p = 1 + Rng.int rng 40 in
+  (M.random rng n k ~scale:1.0, M.random rng k p ~scale:1.0)
+
+let show_matmul ((a : M.t), (b : M.t)) =
+  Printf.sprintf "matmul %dx%d * %dx%d" a.M.rows a.M.cols b.M.rows b.M.cols
+
+let matmul_bit_identical (a, b) = (M.matmul a b).M.data = (M.matmul_naive a b).M.data
+
+let matmul_bias_matches (a, b) =
+  let p = b.M.cols and k = a.M.cols and n = a.M.rows in
+  let bias = Array.init p (fun j -> float_of_int j /. 7.0) in
+  let c = M.matmul_bias ~bias a b in
+  let expected =
+    M.init n p (fun i j ->
+        let acc = ref bias.(j) in
+        for l = 0 to k - 1 do
+          acc := !acc +. (M.get a i l *. M.get b l j)
+        done;
+        !acc)
+  in
+  c.M.data = expected.M.data
+
+let gen_fmat (rng : Rng.t) =
+  let n = 1 + Rng.int rng 30 and d = 1 + Rng.int rng 8 in
+  Array.init n (fun _ -> Array.init d (fun _ -> Rng.gaussian rng))
+
+let fmat_layout_laws rows =
+  let m = F.of_rows rows in
+  let d = m.F.d in
+  F.to_rows m = rows
+  && Array.for_all
+       (fun i ->
+         let buf = Array.make d 0.0 in
+         F.row_into m i buf;
+         buf = F.row_copy m i && buf = rows.(i))
+       (Array.init m.F.n Fun.id)
+  && Array.for_all
+       (fun i ->
+         let v = Array.init d (fun j -> float_of_int (j + 1)) in
+         let naive = ref 0.0 in
+         Array.iteri (fun j x -> naive := !naive +. (x *. v.(j))) rows.(i);
+         F.dot_row_vec m i v = !naive)
+       (Array.init m.F.n Fun.id)
+
+let kernels =
+  [
+    Prop.make ~name:"kernels/tree-vs-reference" ~show:show_dataset gen_dataset
+      tree_vs_reference;
+    Prop.make ~name:"kernels/forest-vs-reference" ~show:show_dataset
+      gen_dataset forest_vs_reference;
+    Prop.make ~name:"kernels/knn-vs-reference" ~show:show_dataset
+      gen_gauss_dataset knn_vs_reference;
+    Prop.make ~name:"kernels/matmul-tiled-vs-naive" ~show:show_matmul
+      gen_matmul matmul_bit_identical;
+    Prop.make ~name:"kernels/matmul-bias-vs-loop" ~show:show_matmul gen_matmul
+      matmul_bias_matches;
+    Prop.make ~name:"kernels/fmat-layout-laws"
+      ~show:(fun rows -> Printf.sprintf "fmat %d rows" (Array.length rows))
+      gen_fmat fmat_layout_laws;
+  ]
+
+(* -- Ml.Metrics axioms ------------------------------------------------------ *)
+
+(* labels drawn so that every degenerate shape occurs: empty arrays, a
+   single class, classes never predicted, classes never true *)
+let gen_labels (rng : Rng.t) =
+  let n_classes = 1 + Rng.int rng 5 in
+  let n = Rng.int rng 30 in
+  let draw () = Array.init n (fun _ -> Rng.int rng n_classes) in
+  (n_classes, draw (), draw ())
+
+let show_labels (n_classes, truth, _) =
+  Printf.sprintf "labels n=%d classes=%d" (Array.length truth) n_classes
+
+let accuracy_bounds (_, truth, pred) = in_unit (Ml.Metrics.accuracy truth pred)
+
+let confusion_row_sums (n_classes, truth, pred) =
+  let c = Ml.Metrics.confusion ~n_classes truth pred in
+  Array.for_all
+    (fun t ->
+      let row_sum = Array.fold_left ( + ) 0 c.Ml.Metrics.counts.(t) in
+      let expect =
+        Array.fold_left (fun k t' -> if t' = t then k + 1 else k) 0 truth
+      in
+      row_sum = expect)
+    (Array.init n_classes Fun.id)
+
+let prf1_defined (n_classes, truth, pred) =
+  let c = Ml.Metrics.confusion ~n_classes truth pred in
+  Array.for_all
+    (fun cls ->
+      let p, r, f1 = Ml.Metrics.precision_recall_f1 c cls in
+      in_unit p && in_unit r && in_unit f1)
+    (Array.init n_classes Fun.id)
+
+let macro_f1_bounds (n_classes, truth, pred) =
+  in_unit (Ml.Metrics.macro_f1 (Ml.Metrics.confusion ~n_classes truth pred))
+
+let gen_sample (rng : Rng.t) =
+  List.init (Rng.int rng 20) (fun _ -> Rng.gaussian rng *. 10.0)
+
+let boxplot_ordered xs =
+  let bp = Ml.Metrics.boxplot xs in
+  finite bp.Ml.Metrics.bp_min && finite bp.Ml.Metrics.q1
+  && finite bp.Ml.Metrics.median && finite bp.Ml.Metrics.q3
+  && finite bp.Ml.Metrics.bp_max && finite bp.Ml.Metrics.bp_mean
+  && bp.Ml.Metrics.bp_min <= bp.Ml.Metrics.q1
+  && bp.Ml.Metrics.q1 <= bp.Ml.Metrics.median
+  && bp.Ml.Metrics.median <= bp.Ml.Metrics.q3
+  && bp.Ml.Metrics.q3 <= bp.Ml.Metrics.bp_max
+
+let sample_stats_defined xs =
+  finite (Ml.Metrics.mean xs) && finite (Ml.Metrics.stddev xs)
+  && finite (Ml.Metrics.welch_t xs (List.map (fun x -> x +. 1.0) xs))
+
+let metrics =
+  [
+    Prop.make ~name:"metrics/accuracy-in-unit-interval" ~show:show_labels
+      gen_labels accuracy_bounds;
+    Prop.make ~name:"metrics/confusion-row-sums" ~show:show_labels gen_labels
+      confusion_row_sums;
+    Prop.make ~name:"metrics/precision-recall-f1-defined" ~show:show_labels
+      gen_labels prf1_defined;
+    Prop.make ~name:"metrics/macro-f1-in-unit-interval" ~show:show_labels
+      gen_labels macro_f1_bounds;
+    Prop.make ~name:"metrics/boxplot-ordered-and-finite"
+      ~show:(fun xs -> Printf.sprintf "sample of %d" (List.length xs))
+      gen_sample boxplot_ordered;
+    Prop.make ~name:"metrics/sample-stats-defined"
+      ~show:(fun xs -> Printf.sprintf "sample of %d" (List.length xs))
+      gen_sample sample_stats_defined;
+  ]
+
+(* -- Exec determinism ------------------------------------------------------- *)
+
+(* a pure per-index task with enough arithmetic to interleave under any
+   schedule; determinism means the slot array is independent of jobs *)
+let gen_pool_case (rng : Rng.t) =
+  let n = Rng.int rng 200 in
+  let jobs = 1 + Rng.int rng 8 in
+  let seed = Rng.int rng 1_000_000 in
+  (n, jobs, seed)
+
+let show_pool_case (n, jobs, seed) =
+  Printf.sprintf "pool n=%d jobs=%d seed=%d" n jobs seed
+
+let task seed i =
+  let r = Rng.split_ix (Rng.make seed) i in
+  let acc = ref 0L in
+  for _ = 0 to 64 do
+    acc := Int64.add !acc (Rng.next_int64 r)
+  done;
+  !acc
+
+let pool_run_deterministic (n, jobs, seed) =
+  let fill () =
+    let slots = Array.make n 0L in
+    Pool.run ~n (fun i -> slots.(i) <- task seed i);
+    slots
+  in
+  Pool.with_jobs 1 fill = Pool.with_jobs jobs fill
+
+let pool_map_rng_deterministic (n, jobs, seed) =
+  let xs = Array.init n Fun.id in
+  let map () =
+    Pool.parallel_array_map_rng (Rng.make seed)
+      (fun r i -> Int64.add (Rng.next_int64 r) (Int64.of_int i))
+      xs
+  in
+  Pool.with_jobs 1 map = Pool.with_jobs jobs map
+
+let cache_transparent (n, _, seed) =
+  let cache = Cache.create ~capacity:64 () in
+  let key i = Printf.sprintf "k%d" (i mod 16) in
+  let ok = ref true in
+  for i = 0 to min n 64 - 1 do
+    let v = Cache.find_or_compute cache ~key:(key i) (fun () -> task seed (i mod 16)) in
+    if v <> task seed (i mod 16) then ok := false
+  done;
+  !ok
+
+let exec =
+  [
+    Prop.make ~name:"exec/pool-run-jobs-invariant" ~show:show_pool_case
+      gen_pool_case pool_run_deterministic;
+    Prop.make ~name:"exec/pool-map-rng-jobs-invariant" ~show:show_pool_case
+      gen_pool_case pool_map_rng_deterministic;
+    Prop.make ~name:"exec/cache-transparent" ~show:show_pool_case gen_pool_case
+      cache_transparent;
+  ]
+
+let all = kernels @ metrics @ exec

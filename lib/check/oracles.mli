@@ -1,0 +1,20 @@
+(** Invariant oracles for the non-IR layers, packaged as {!Prop}
+    properties so the smoke and deep tiers run them at different depths.
+
+    Three families:
+    - {!kernels}: the rewritten numeric kernels against the frozen
+      pre-rewrite implementations in {!Yali_ml.Reference} (decision tree,
+      forest, k-NN), tiled vs naive matmul bit-identity, and Fmat layout
+      laws;
+    - {!metrics}: axioms of {!Yali_ml.Metrics} — bounds, confusion-matrix
+      row sums, and division-by-zero guards (every statistic is a defined
+      finite number, never [nan], on degenerate inputs);
+    - {!exec}: {!Yali_exec.Pool} determinism at arbitrary [--jobs] and
+      {!Yali_exec.Cache} transparency. *)
+
+val kernels : Prop.t list
+val metrics : Prop.t list
+val exec : Prop.t list
+
+(** All three families, in the order above. *)
+val all : Prop.t list

@@ -1,0 +1,42 @@
+(** See passdb.mli. *)
+
+module Rng = Yali_util.Rng
+module P = Yali_transforms.Pipeline
+module Ob = Yali_obfuscation
+
+type kind = Opt | Obf | Test
+
+type entry = {
+  ename : string;
+  ekind : kind;
+  erun : Rng.t -> Yali_ir.Irmod.t -> Yali_ir.Irmod.t;
+  efuel : int;
+}
+
+let pure ?(kind = Opt) ?(fuel = 4) name f =
+  { ename = name; ekind = kind; erun = (fun _ m -> f m); efuel = fuel }
+
+let seeded ?(kind = Obf) ?(fuel = 8) name f =
+  { ename = name; ekind = kind; erun = f; efuel = fuel }
+
+let builtin : entry list =
+  List.map (fun (p : P.pass) -> pure p.pname p.prun) P.all_passes
+  @ [
+      seeded "sub" (fun rng m -> Ob.Sub.run rng m);
+      seeded "bcf" (fun rng m -> Ob.Bcf.run rng m);
+      seeded ~fuel:16 "fla" (fun rng m -> Ob.Fla.run rng m);
+      seeded ~fuel:16 "ollvm" (fun rng m -> Ob.Ollvm.run rng m);
+    ]
+
+(* runtime registrations, in registration order *)
+let extra : entry list ref = ref []
+
+let register (e : entry) =
+  extra := List.filter (fun e' -> e'.ename <> e.ename) !extra @ [ e ]
+
+let unregister name =
+  extra := List.filter (fun e -> e.ename <> name) !extra
+
+let all () = builtin @ !extra
+let find name = List.find_opt (fun e -> e.ename = name) (all ())
+let names () = List.map (fun e -> e.ename) (all ())

@@ -1,0 +1,41 @@
+(** The single pass-registration table behind per-pass translation
+    validation.
+
+    Every optimization pass ({!Yali_transforms.Pipeline.all_passes}) and
+    every O-LLVM-style obfuscation pass is an {!entry}; the differential
+    fuzzer's single-pass pipeline variants are derived from this table too,
+    so a future pass registered here gets per-pass validation, fuzzing and
+    the deep CI tier for free.  {!register} exists for test-only passes
+    (e.g. a deliberately planted miscompile used to prove the validator
+    catches one); it never persists beyond the process. *)
+
+type kind =
+  | Opt  (** optimization pass (deterministic, rng unused) *)
+  | Obf  (** obfuscation pass (seeded) *)
+  | Test  (** test-only registration, excluded from {!builtin} *)
+
+type entry = {
+  ename : string;
+  ekind : kind;
+  erun : Yali_util.Rng.t -> Yali_ir.Irmod.t -> Yali_ir.Irmod.t;
+  efuel : int;
+      (** interpreter fuel multiplier vs the [-O0] baseline (obfuscators
+          add dispatch loops and bogus blocks) *)
+}
+
+(** Wrap a deterministic module transform as an entry. *)
+val pure :
+  ?kind:kind -> ?fuel:int -> string -> (Yali_ir.Irmod.t -> Yali_ir.Irmod.t) -> entry
+
+(** Every built-in pass: the transform passes (in registry order) followed
+    by the obfuscators [sub], [bcf], [fla], [ollvm]. *)
+val builtin : entry list
+
+(** Runtime registrations, appended after {!builtin} in {!all}.
+    Re-registering a name replaces the previous runtime entry. *)
+val register : entry -> unit
+
+val unregister : string -> unit
+val all : unit -> entry list
+val find : string -> entry option
+val names : unit -> string list

@@ -1,0 +1,139 @@
+(** See prop.mli. *)
+
+module Rng = Yali_util.Rng
+
+type 'a gen = Rng.t -> 'a
+
+(* -- the generic greedy shrinking loop ------------------------------------- *)
+
+let minimize ?(max_checks = 10_000) ~(measure : 'a -> 'm)
+    ~(candidates : 'a -> 'a list) (pred : 'a -> bool) (x0 : 'a) : 'a =
+  let checks = ref 0 in
+  let rec go x =
+    let m = measure x in
+    let next =
+      List.find_opt
+        (fun c ->
+          measure c < m && !checks < max_checks
+          && (incr checks;
+              pred c))
+        (candidates x)
+    in
+    match next with Some c -> go c | None -> x
+  in
+  go x0
+
+(* -- packed labeled properties --------------------------------------------- *)
+
+type 'a spec = {
+  s_gen : 'a gen;
+  s_law : 'a -> bool;
+  s_show : 'a -> string;
+  s_candidates : ('a -> 'a list) option;
+  s_measure : 'a -> int;
+}
+
+type t = Prop : string * 'a spec -> t
+
+let make ~name ?(show = fun _ -> "<opaque>") ?candidates
+    ?(measure = fun _ -> 0) (gen : 'a gen) (law : 'a -> bool) : t =
+  Prop
+    ( name,
+      {
+        s_gen = gen;
+        s_law = law;
+        s_show = show;
+        s_candidates = candidates;
+        s_measure = measure;
+      } )
+
+let name (Prop (n, _)) = n
+
+type outcome =
+  | Pass of { cases : int }
+  | Fail of {
+      case_ix : int;
+      error : string option;
+      counterexample : string;
+      shrunk : string option;
+    }
+
+type result = { r_name : string; r_outcome : outcome }
+
+(* per-case rng, keyed by (seed, property name, case index): stable under
+   reordering of the suite and replayable in isolation *)
+let name_salt (name : string) : int =
+  let h = String.fold_left (fun h ch -> (h * 131) + Char.code ch) 5381 name in
+  h land 0x3FFFFFFF
+
+let case_rng ~seed name ix =
+  Rng.split_ix (Rng.split_ix (Rng.make seed) (name_salt name)) ix
+
+(* evaluate the law, folding exceptions into the verdict *)
+let eval (s : 'a spec) (x : 'a) : (bool, string) Result.t =
+  match s.s_law x with
+  | ok -> Ok ok
+  | exception e -> Error (Printexc.to_string e)
+
+let run_case ~seed (Prop (n, s)) ix : bool =
+  match eval s (s.s_gen (case_rng ~seed n ix)) with
+  | Ok ok -> ok
+  | Error _ -> false
+
+let run ?(count = 100) ~seed (Prop (n, s) as p) : result =
+  ignore p;
+  let rec go ix =
+    if ix >= count then { r_name = n; r_outcome = Pass { cases = count } }
+    else
+      let x = s.s_gen (case_rng ~seed n ix) in
+      match eval s x with
+      | Ok true -> go (ix + 1)
+      | verdict ->
+          let error =
+            match verdict with Error e -> Some e | Ok _ -> None
+          in
+          let shrunk =
+            match s.s_candidates with
+            | None -> None
+            | Some candidates ->
+                let still_fails c =
+                  match eval s c with Ok true -> false | _ -> true
+                in
+                Some
+                  (s.s_show
+                     (minimize ~measure:s.s_measure ~candidates still_fails x))
+          in
+          {
+            r_name = n;
+            r_outcome =
+              Fail { case_ix = ix; error; counterexample = s.s_show x; shrunk };
+          }
+  in
+  go 0
+
+let run_all ?count ~seed props = List.map (run ?count ~seed) props
+
+let failed results =
+  List.filter
+    (fun r -> match r.r_outcome with Pass _ -> false | Fail _ -> true)
+    results
+
+let pp_result fmt (r : result) =
+  match r.r_outcome with
+  | Pass { cases } -> Format.fprintf fmt "ok   %s (%d cases)" r.r_name cases
+  | Fail { case_ix; error; counterexample; shrunk } ->
+      Format.fprintf fmt "FAIL %s (case %d)%s: %s%s" r.r_name case_ix
+        (match error with Some e -> " raised " ^ e | None -> "")
+        counterexample
+        (match shrunk with
+        | Some s -> Printf.sprintf "\n  shrunk: %s" s
+        | None -> "")
+
+let summary (results : result list) : string =
+  let b = Buffer.create 256 in
+  let nfail = List.length (failed results) in
+  Printf.bprintf b "%d properties, %d failed\n" (List.length results) nfail;
+  List.iter
+    (fun r -> Printf.bprintf b "%s\n" (Format.asprintf "%a" pp_result r))
+    results;
+  Buffer.contents b

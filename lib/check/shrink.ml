@@ -1,0 +1,246 @@
+(** Greedy AST minimizer for failing programs.
+
+    [run pred p] repeatedly replaces the program with the first strictly
+    smaller one-step reduction that still satisfies [pred] (the "still
+    fails the same variant" predicate supplied by the driver), until no
+    reduction does.  Reductions: drop a helper function, drop a statement,
+    replace a compound statement with one of its bodies, hoist a
+    subexpression, collapse an expression to [0]/[1], and halve integer
+    literals.  Every candidate strictly decreases a lexicographic (node
+    weight, literal magnitude) measure, so shrinking terminates without a
+    fuel bound; [max_checks] merely caps the number of predicate calls,
+    which dominate the cost.  The procedure is fully deterministic. *)
+
+open Yali_minic.Ast
+
+(* -- the strictly decreasing measure -------------------------------------- *)
+
+(* leaf weights make [Var x -> IntLit 0] a strict decrease; the literal
+   magnitude sum breaks ties for literal halving *)
+let rec expr_weight (e : expr) : int =
+  match e with
+  | IntLit n -> if n = 0 || n = 1 then 1 else 2
+  | FloatLit _ | Var _ -> 2
+  | Bin (_, a, b) -> 1 + expr_weight a + expr_weight b
+  | Un (_, a) -> 1 + expr_weight a
+  | Call (_, args) -> 2 + List.fold_left (fun s a -> s + expr_weight a) 0 args
+  | Index (_, ix) -> 2 + expr_weight ix
+  | Ternary (c, a, b) -> 1 + expr_weight c + expr_weight a + expr_weight b
+
+let rec expr_mag (e : expr) : int =
+  match e with
+  | IntLit n -> min (abs n) 0x40000000
+  | FloatLit _ | Var _ -> 0
+  | Bin (_, a, b) -> expr_mag a + expr_mag b
+  | Un (_, a) -> expr_mag a
+  | Call (_, args) -> List.fold_left (fun s a -> s + expr_mag a) 0 args
+  | Index (_, ix) -> expr_mag ix
+  | Ternary (c, a, b) -> expr_mag c + expr_mag a + expr_mag b
+
+let rec stmt_weight (s : stmt) : int =
+  1
+  +
+  match s with
+  | Decl (_, _, e) -> Option.fold ~none:0 ~some:expr_weight e
+  | DeclArr _ | Break | Continue -> 0
+  | Assign (_, e) -> expr_weight e
+  | AssignIdx (_, ix, e) -> expr_weight ix + expr_weight e
+  | If (c, t, e) -> expr_weight c + stmts_weight t + stmts_weight e
+  | While (c, b) -> expr_weight c + stmts_weight b
+  | DoWhile (b, c) -> stmts_weight b + expr_weight c
+  | For (i, c, st, b) ->
+      Option.fold ~none:0 ~some:stmt_weight i
+      + Option.fold ~none:0 ~some:expr_weight c
+      + Option.fold ~none:0 ~some:stmt_weight st
+      + stmts_weight b
+  | Switch (e, cases, d) ->
+      expr_weight e
+      + List.fold_left (fun s (_, b) -> s + stmts_weight b) 0 cases
+      + stmts_weight d
+  | Return e -> Option.fold ~none:0 ~some:expr_weight e
+  | Expr e -> expr_weight e
+  | Block b -> stmts_weight b
+
+and stmts_weight ss = List.fold_left (fun s x -> s + stmt_weight x) 0 ss
+
+let rec stmt_mag (s : stmt) : int =
+  match s with
+  | Decl (_, _, e) -> Option.fold ~none:0 ~some:expr_mag e
+  | DeclArr _ | Break | Continue -> 0
+  | Assign (_, e) -> expr_mag e
+  | AssignIdx (_, ix, e) -> expr_mag ix + expr_mag e
+  | If (c, t, e) -> expr_mag c + stmts_mag t + stmts_mag e
+  | While (c, b) -> expr_mag c + stmts_mag b
+  | DoWhile (b, c) -> stmts_mag b + expr_mag c
+  | For (i, c, st, b) ->
+      Option.fold ~none:0 ~some:stmt_mag i
+      + Option.fold ~none:0 ~some:expr_mag c
+      + Option.fold ~none:0 ~some:stmt_mag st
+      + stmts_mag b
+  | Switch (e, cases, d) ->
+      expr_mag e
+      + List.fold_left (fun s (_, b) -> s + stmts_mag b) 0 cases
+      + stmts_mag d
+  | Return e -> Option.fold ~none:0 ~some:expr_mag e
+  | Expr e -> expr_mag e
+  | Block b -> stmts_mag b
+
+and stmts_mag ss = List.fold_left (fun s x -> s + stmt_mag x) 0 ss
+
+let measure (p : program) : int * int =
+  List.fold_left
+    (fun (w, m) f -> (w + 1 + stmts_weight f.fbody, m + stmts_mag f.fbody))
+    (0, 0) p.pfuncs
+
+(* -- one-step reductions --------------------------------------------------- *)
+
+let rec edits_expr (e : expr) : expr list =
+  (* biggest jumps first: collapse to a unit literal, then hoist
+     subexpressions, then edit in place *)
+  let collapse =
+    match e with
+    | IntLit 0 | IntLit 1 -> []
+    | IntLit n -> (if n <> 0 then [ IntLit 0 ] else []) @ [ IntLit (n / 2) ]
+    | _ -> [ IntLit 0; IntLit 1 ]
+  in
+  let hoist =
+    match e with
+    | Bin (_, a, b) -> [ a; b ]
+    | Un (_, a) -> [ a ]
+    | Call (_, args) -> args
+    | Index (_, ix) -> [ ix ]
+    | Ternary (c, a, b) -> [ c; a; b ]
+    | _ -> []
+  in
+  let in_place =
+    match e with
+    | IntLit _ | FloatLit _ | Var _ -> []
+    | Bin (op, a, b) ->
+        List.map (fun a' -> Bin (op, a', b)) (edits_expr a)
+        @ List.map (fun b' -> Bin (op, a, b')) (edits_expr b)
+    | Un (op, a) -> List.map (fun a' -> Un (op, a')) (edits_expr a)
+    | Call (f, args) ->
+        List.concat
+          (List.mapi
+             (fun k a ->
+               List.map
+                 (fun a' ->
+                   Call (f, List.mapi (fun j x -> if j = k then a' else x) args))
+                 (edits_expr a))
+             args)
+    | Index (a, ix) -> List.map (fun ix' -> Index (a, ix')) (edits_expr ix)
+    | Ternary (c, a, b) ->
+        List.map (fun c' -> Ternary (c', a, b)) (edits_expr c)
+        @ List.map (fun a' -> Ternary (c, a', b)) (edits_expr a)
+        @ List.map (fun b' -> Ternary (c, a, b')) (edits_expr b)
+  in
+  collapse @ hoist @ in_place
+
+(* replacements for one statement, each a (possibly empty) statement list *)
+let rec edits_stmt (s : stmt) : stmt list list =
+  let e1 mk es = List.map (fun e' -> [ mk e' ]) es in
+  match s with
+  | Decl (t, n, Some e) -> e1 (fun e' -> Decl (t, n, Some e')) (edits_expr e)
+  | Decl (_, _, None) | DeclArr _ | Break | Continue -> []
+  | Assign (n, e) -> e1 (fun e' -> Assign (n, e')) (edits_expr e)
+  | AssignIdx (a, ix, e) ->
+      e1 (fun ix' -> AssignIdx (a, ix', e)) (edits_expr ix)
+      @ e1 (fun e' -> AssignIdx (a, ix, e')) (edits_expr e)
+  | If (c, t, e) ->
+      [ t; e ]
+      @ e1 (fun c' -> If (c', t, e)) (edits_expr c)
+      @ List.map (fun t' -> [ If (c, t', e) ]) (edits_stmts t)
+      @ List.map (fun e' -> [ If (c, t, e') ]) (edits_stmts e)
+  | While (c, b) ->
+      [ b ]
+      @ e1 (fun c' -> While (c', b)) (edits_expr c)
+      @ List.map (fun b' -> [ While (c, b') ]) (edits_stmts b)
+  | DoWhile (b, c) ->
+      [ b ]
+      @ e1 (fun c' -> DoWhile (b, c')) (edits_expr c)
+      @ List.map (fun b' -> [ DoWhile (b', c) ]) (edits_stmts b)
+  | For (init, c, step, b) ->
+      [ Option.to_list init @ b ]
+      @ (match c with
+        | Some c ->
+            List.map (fun c' -> [ For (init, Some c', step, b) ]) (edits_expr c)
+        | None -> [])
+      @ List.map (fun b' -> [ For (init, c, step, b') ]) (edits_stmts b)
+  | Switch (e, cases, d) ->
+      List.map snd cases @ [ d ]
+      @ e1 (fun e' -> Switch (e', cases, d)) (edits_expr e)
+      @ List.concat
+          (List.mapi
+             (fun k (tag, b) ->
+               List.map
+                 (fun b' ->
+                   [
+                     Switch
+                       ( e,
+                         List.mapi
+                           (fun j c -> if j = k then (tag, b') else c)
+                           cases,
+                         d );
+                   ])
+                 (edits_stmts b))
+             cases)
+      @ List.map (fun d' -> [ Switch (e, cases, d') ]) (edits_stmts d)
+  | Return (Some e) -> e1 (fun e' -> Return (Some e')) (edits_expr e)
+  | Return None -> []
+  | Expr e -> e1 (fun e' -> Expr e') (edits_expr e)
+  | Block b -> [ b ] @ List.map (fun b' -> [ Block b' ]) (edits_stmts b)
+
+(* replacements for a statement list: drop one statement, or rewrite one *)
+and edits_stmts (ss : stmt list) : stmt list list =
+  let drops =
+    List.mapi (fun k _ -> List.filteri (fun j _ -> j <> k) ss) ss
+  in
+  let rewrites =
+    List.concat
+      (List.mapi
+         (fun k s ->
+           List.map
+             (fun repl ->
+               List.concat
+                 (List.mapi (fun j x -> if j = k then repl else [ x ]) ss))
+             (edits_stmt s))
+         ss)
+  in
+  drops @ rewrites
+
+let candidates (p : program) : program list =
+  let drop_funcs =
+    if List.length p.pfuncs > 1 then
+      List.filter_map
+        (fun f ->
+          if f.fname = "main" then None
+          else
+            Some { pfuncs = List.filter (fun g -> g.fname <> f.fname) p.pfuncs })
+        p.pfuncs
+    else []
+  in
+  let body_edits =
+    List.concat_map
+      (fun f ->
+        List.map
+          (fun body' ->
+            {
+              pfuncs =
+                List.map
+                  (fun g -> if g.fname = f.fname then { g with fbody = body' } else g)
+                  p.pfuncs;
+            })
+          (edits_stmts f.fbody))
+      p.pfuncs
+  in
+  drop_funcs @ body_edits
+
+(* -- the greedy loop (the generic engine, instantiated at programs) -------- *)
+
+let run ?max_checks (pred : program -> bool) (p0 : program) : program =
+  Prop.minimize ?max_checks ~measure ~candidates pred p0
+
+(** Total statement count of a program (the reported size of a minimized
+    reproducer). *)
+let stmt_count (p : program) : int =
+  List.fold_left (fun n f -> n + Yali_minic.Ast.stmt_count f.fbody) 0 p.pfuncs

@@ -1,0 +1,327 @@
+(** See tv.mli. *)
+
+module Rng = Yali_util.Rng
+module Ir = Yali_ir
+module Interp = Yali_ir.Interp
+module Pool = Yali_exec.Pool
+module Telemetry = Yali_exec.Telemetry
+
+type failure_kind =
+  | Verify_failed of { error : string }
+  | Transform_crash of { error : string }
+  | Run_crash of { input_ix : int; error : string }
+  | Divergence of { input_ix : int; expected : string; got : string }
+
+type verdict = Valid | Bad_baseline of string | Miscompiled of failure_kind
+
+let failure_kind_to_string = function
+  | Verify_failed { error } -> Printf.sprintf "verifier error: %s" error
+  | Transform_crash { error } -> Printf.sprintf "pass raised: %s" error
+  | Run_crash { input_ix; error } ->
+      Printf.sprintf "runtime fault on input #%d: %s" input_ix error
+  | Divergence { input_ix; expected; got } ->
+      Printf.sprintf "divergence on input #%d: baseline %s, pass %s" input_ix
+        expected got
+
+(* identical derivations to the whole-pipeline oracle: child 0 of the check
+   rng seeds the input vectors, child [salt name] seeds the pass — so
+   re-validating a single pass (the shrink predicate) reproduces the exact
+   randomness of the full sweep *)
+let salt (name : string) : int =
+  let h = String.fold_left (fun h ch -> (h * 131) + Char.code ch) 5381 name in
+  1 + (h land 0xFFFFF)
+
+let inputs_for (rng : Rng.t) ~(vectors : int) ~(len : int) : int64 list array =
+  Array.init vectors (fun ix ->
+      let r = Rng.split_ix rng ix in
+      List.init len (fun _ -> Int64.of_int (Rng.int_range r (-1000) 1000)))
+
+let default_fuel = 2_000_000
+
+let verify_errors (m : Ir.Irmod.t) : string option =
+  match Ir.Verify.check_module m with
+  | [] -> None
+  | e :: _ -> Some (Format.asprintf "%a" Ir.Verify.pp_error e)
+
+let observation_to_string (o : Interp.outcome) : string =
+  let ints, floats, exitv = Interp.observe o in
+  Printf.sprintf "out=[%s] fout=[%s] exit=%s"
+    (String.concat ";" (List.map Int64.to_string ints))
+    (String.concat ";" (List.map string_of_float floats))
+    exitv
+
+(* the [-O0] side of one program, computed once and shared by every pass *)
+type prepared = {
+  p_mod : Ir.Irmod.t;
+  p_inputs : int64 list array;
+  p_base : Interp.outcome array;
+}
+
+let prepare ~fuel ~vectors (rng : Rng.t) (p : Yali_minic.Ast.program) :
+    (prepared, string) Result.t =
+  let inputs = inputs_for (Rng.split_ix rng 0) ~vectors ~len:32 in
+  match
+    let m = Yali_minic.Lower.lower_program p in
+    match verify_errors m with
+    | Some err -> Error ("verifier error after lowering: " ^ err)
+    | None ->
+        let base = Array.map (fun input -> Interp.run ~fuel m input) inputs in
+        Ok { p_mod = m; p_inputs = inputs; p_base = base }
+  with
+  | r -> r
+  | exception Interp.Trap msg -> Error ("baseline trap: " ^ msg)
+  | exception Interp.Out_of_fuel -> Error "baseline out of fuel"
+  | exception e -> Error (Printexc.to_string e)
+
+(* apply one pass to a prepared baseline: verify, run, compare *)
+let check_entry ~fuel (prep : prepared) (e : Passdb.entry) (prng : Rng.t) :
+    failure_kind option =
+  match e.erun prng prep.p_mod with
+  | exception ex ->
+      Some (Transform_crash { error = Printexc.to_string ex })
+  | m1 -> (
+      match verify_errors m1 with
+      | Some err -> Some (Verify_failed { error = err })
+      | None ->
+          let vfuel = fuel * e.efuel in
+          let n = Array.length prep.p_inputs in
+          let rec go input_ix =
+            if input_ix >= n then None
+            else
+              match Interp.run ~fuel:vfuel m1 prep.p_inputs.(input_ix) with
+              | o ->
+                  if Interp.equal_behaviour prep.p_base.(input_ix) o then
+                    go (input_ix + 1)
+                  else
+                    Some
+                      (Divergence
+                         {
+                           input_ix;
+                           expected =
+                             observation_to_string prep.p_base.(input_ix);
+                           got = observation_to_string o;
+                         })
+              | exception Interp.Trap msg ->
+                  Some (Run_crash { input_ix; error = "trap: " ^ msg })
+              | exception Interp.Out_of_fuel ->
+                  Some (Run_crash { input_ix; error = "out of fuel" })
+          in
+          go 0)
+
+let validate ?(fuel = default_fuel) ?(vectors = 3) (e : Passdb.entry)
+    (rng : Rng.t) (p : Yali_minic.Ast.program) : verdict =
+  match prepare ~fuel ~vectors rng p with
+  | Error msg -> Bad_baseline msg
+  | Ok prep -> (
+      match check_entry ~fuel prep e (Rng.split_ix rng (salt e.ename)) with
+      | None -> Valid
+      | Some kind -> Miscompiled kind)
+
+(* -- the campaign ----------------------------------------------------------- *)
+
+type failure = {
+  f_pass : string;
+  f_origin : string;
+  f_kind : failure_kind;
+  f_program : Yali_minic.Ast.program;
+  f_minimized : Yali_minic.Ast.program option;
+}
+
+let pp_failure fmt (f : failure) =
+  Format.fprintf fmt "[%s] %s %s" f.f_pass f.f_origin
+    (failure_kind_to_string f.f_kind)
+
+type config = {
+  seed : int;
+  per_pass : int;
+  entries : Passdb.entry list;
+  gen_cfg : Gen.cfg;
+  fuel : int;
+  vectors : int;
+  shrink : bool;
+  shrink_checks : int;
+  corpus_dir : string option;
+  log : string -> unit;
+}
+
+let default =
+  {
+    seed = 42;
+    per_pass = 50;
+    entries = Passdb.all ();
+    gen_cfg = Gen.default;
+    fuel = default_fuel;
+    vectors = 3;
+    shrink = true;
+    shrink_checks = 2_000;
+    corpus_dir = Some Corpus.default_dir;
+    log = ignore;
+  }
+
+type report = {
+  c_passes : int;
+  c_programs : int;
+  c_corpus : int;
+  c_validations : int;
+  c_failures : failure list;
+  c_elapsed : float;
+}
+
+(* the shrink predicate: the candidate still miscompiles under this pass,
+   with exactly the detection-time rng (baseline must stay healthy, so a
+   candidate that is itself broken does not count) *)
+let still_fails (cfg : config) (e : Passdb.entry) (rng : Rng.t)
+    (p : Yali_minic.Ast.program) : bool =
+  match validate ~fuel:cfg.fuel ~vectors:cfg.vectors e rng p with
+  | Miscompiled _ -> true
+  | Valid | Bad_baseline _ -> false
+
+let make_failure (cfg : config) ~origin ~rng (e : Passdb.entry)
+    (kind : failure_kind) (p : Yali_minic.Ast.program) : failure =
+  let minimized =
+    if cfg.shrink then
+      Some
+        (Shrink.run ~max_checks:cfg.shrink_checks (still_fails cfg e rng) p)
+    else None
+  in
+  {
+    f_pass = e.ename;
+    f_origin = origin;
+    f_kind = kind;
+    f_program = p;
+    f_minimized = minimized;
+  }
+
+(* one program through every entry; returns per-entry failures (or the
+   baseline problem).  Pure function of (rng, program) — safe on workers. *)
+let sweep (cfg : config) (rng : Rng.t) (p : Yali_minic.Ast.program) :
+    ((Passdb.entry * failure_kind) list, string) Result.t =
+  match prepare ~fuel:cfg.fuel ~vectors:cfg.vectors rng p with
+  | Error msg -> Error msg
+  | Ok prep ->
+      Ok
+        (List.filter_map
+           (fun (e : Passdb.entry) ->
+             match
+               check_entry ~fuel:cfg.fuel prep e
+                 (Rng.split_ix rng (salt e.ename))
+             with
+             | None -> None
+             | Some kind -> Some (e, kind))
+           cfg.entries)
+
+let run (cfg : config) : report =
+  let t0 = Telemetry.clock () in
+  let root = Rng.make cfg.seed in
+  let corpus_rng = Rng.split_ix root 0 in
+  let gen_rng = Rng.split_ix root 1 in
+  let programs = ref 0 and validations = ref 0 in
+  let failures = ref [] in
+  (* fold one swept program into the totals, on the calling domain *)
+  let absorb ~origin ~rng (p : Yali_minic.Ast.program) result =
+    incr programs;
+    match result with
+    | Error msg ->
+        failures :=
+          {
+            f_pass = "baseline";
+            f_origin = origin;
+            f_kind = Transform_crash { error = msg };
+            f_program = p;
+            f_minimized = None;
+          }
+          :: !failures
+    | Ok fails ->
+        validations := !validations + List.length cfg.entries;
+        List.iter
+          (fun (e, kind) ->
+            failures := make_failure cfg ~origin ~rng e kind p :: !failures)
+          fails
+  in
+  (* 1. regression-corpus replay, through every entry *)
+  let corpus_entries =
+    match cfg.corpus_dir with None -> [] | Some dir -> Corpus.load dir
+  in
+  List.iteri
+    (fun k (name, entry) ->
+      let origin = "corpus:" ^ name in
+      match entry with
+      | Error msg ->
+          incr programs;
+          failures :=
+            {
+              f_pass = "corpus-parse";
+              f_origin = origin;
+              f_kind = Transform_crash { error = msg };
+              f_program = { Yali_minic.Ast.pfuncs = [] };
+              f_minimized = None;
+            }
+            :: !failures
+      | Ok p ->
+          let rng = Rng.split_ix corpus_rng k in
+          absorb ~origin ~rng p (sweep cfg rng p))
+    corpus_entries;
+  let replayed = !programs in
+  if replayed > 0 then
+    cfg.log (Printf.sprintf "replayed %d corpus entries" replayed);
+  (* 2. fresh generation, chunked over the pool (slot-per-task results keep
+     findings bit-identical at any jobs setting) *)
+  let chunk_size = 16 in
+  let next = ref 0 in
+  while !next < cfg.per_pass do
+    let n = min chunk_size (cfg.per_pass - !next) in
+    let start = !next in
+    let slots = Array.make n None in
+    Telemetry.with_span "check.chunk" (fun () ->
+        Pool.run ~n (fun k ->
+            let ix = start + k in
+            let pri = Rng.split_ix gen_rng ix in
+            let p = Gen.program ~cfg:cfg.gen_cfg (Rng.split_ix pri 0) in
+            let vrng = Rng.split_ix pri 1 in
+            slots.(k) <- Some (ix, p, vrng, sweep cfg vrng p)));
+    Array.iter
+      (function
+        | None -> ()
+        | Some (ix, p, vrng, r) ->
+            absorb ~origin:(Printf.sprintf "gen:%d" ix) ~rng:vrng p r)
+      slots;
+    next := start + n;
+    cfg.log
+      (Printf.sprintf "%6d programs  %6d validations  %d failure%s  %.1fs"
+         !programs !validations
+         (List.length !failures)
+         (if List.length !failures = 1 then "" else "s")
+         (Telemetry.clock () -. t0))
+  done;
+  Telemetry.incr ~by:!programs "check.programs";
+  Telemetry.incr ~by:!validations "check.validations";
+  Telemetry.incr ~by:(List.length !failures) "check.failures";
+  {
+    c_passes = List.length cfg.entries;
+    c_programs = !programs;
+    c_corpus = replayed;
+    c_validations = !validations;
+    c_failures = List.rev !failures;
+    c_elapsed = Telemetry.clock () -. t0;
+  }
+
+let summary (r : report) : string =
+  let b = Buffer.create 256 in
+  Printf.bprintf b
+    "check: %d passes x %d programs (%d corpus) = %d validations in %.1fs \
+     (jobs=%d)\n"
+    r.c_passes r.c_programs r.c_corpus r.c_validations r.c_elapsed
+    (Pool.get_jobs ());
+  Printf.bprintf b "failures: %d\n" (List.length r.c_failures);
+  List.iter
+    (fun f ->
+      Printf.bprintf b "\nFAILURE %s\n"
+        (Format.asprintf "%a" pp_failure f);
+      match f.f_minimized with
+      | Some p ->
+          Printf.bprintf b "  minimized to %d statement(s):\n%s"
+            (Shrink.stmt_count p)
+            (Yali_minic.Pp.program_to_string p)
+      | None -> ())
+    r.c_failures;
+  Buffer.contents b

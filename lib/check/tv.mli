@@ -1,0 +1,82 @@
+(** Per-pass translation validation.
+
+    One {!validate} call proves one pass on one program: lower at [-O0],
+    verify, run the reference interpreter on seeded input vectors; apply
+    {e just that pass}; re-verify the SSA/dominance invariants
+    ({!Yali_ir.Verify.check_module}); re-run and compare observable
+    behaviour.  This is the per-pass refinement of the whole-pipeline
+    differential oracle in [lib/fuzz] — a miscompile is localized to the
+    single pass that introduced it rather than to a 5-stage pipeline.
+
+    {!campaign} fans generated programs out over the {!Yali_exec.Pool}
+    (bit-identical findings at any [--jobs]), replays the persisted
+    regression corpus first, and minimizes every failing program with
+    {!Shrink} down to a minimal reproducer + pass name. *)
+
+module Rng = Yali_util.Rng
+
+type failure_kind =
+  | Verify_failed of { error : string }
+      (** the pass broke an SSA/dominance/CFG invariant *)
+  | Transform_crash of { error : string }
+  | Run_crash of { input_ix : int; error : string }
+  | Divergence of { input_ix : int; expected : string; got : string }
+
+type verdict =
+  | Valid  (** verifier-clean and observationally equivalent *)
+  | Bad_baseline of string
+      (** the program itself failed to lower/verify/run — a generator or
+          corpus problem, not attributable to the pass *)
+  | Miscompiled of failure_kind
+
+val failure_kind_to_string : failure_kind -> string
+
+(** [validate entry rng p] — rng children: 0 seeds the input vectors,
+    [salt entry.ename] seeds the pass (stable under re-validation of a
+    single pass, as the shrink predicate does). *)
+val validate :
+  ?fuel:int ->
+  ?vectors:int ->
+  Passdb.entry ->
+  Rng.t ->
+  Yali_minic.Ast.program ->
+  verdict
+
+type failure = {
+  f_pass : string;
+  f_origin : string;  (** ["gen:<ix>"] or ["corpus:<file>"] *)
+  f_kind : failure_kind;
+  f_program : Yali_minic.Ast.program;
+  f_minimized : Yali_minic.Ast.program option;
+}
+
+val pp_failure : Format.formatter -> failure -> unit
+
+type config = {
+  seed : int;
+  per_pass : int;  (** generated programs validated against every entry *)
+  entries : Passdb.entry list;
+  gen_cfg : Gen.cfg;
+  fuel : int;
+  vectors : int;
+  shrink : bool;
+  shrink_checks : int;
+  corpus_dir : string option;  (** replayed through every entry first *)
+  log : string -> unit;
+}
+
+(** Seed 42, 50 programs per pass, {!Passdb.all}, shrinking on, corpus
+    replay from {!Corpus.default_dir}. *)
+val default : config
+
+type report = {
+  c_passes : int;  (** entries validated *)
+  c_programs : int;  (** distinct programs (corpus + generated) *)
+  c_corpus : int;  (** corpus entries replayed *)
+  c_validations : int;  (** program x pass validations *)
+  c_failures : failure list;
+  c_elapsed : float;
+}
+
+val run : config -> report
+val summary : report -> string

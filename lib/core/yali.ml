@@ -15,8 +15,11 @@
       benchmark-game kernels
     - {!Exec}: the execution runtime — domain pool, content-addressed
       cache, telemetry ([--jobs], [--telemetry])
-    - {!Fuzz}: the differential fuzzing subsystem — generator, oracle,
-      shrinker, corpus, campaign driver ([yali fuzz])
+    - {!Fuzz}: the differential fuzzing subsystem — whole-pipeline oracle
+      and campaign driver ([yali fuzz])
+    - {!Check}: the correctness-tooling layer — property-testing engine,
+      per-pass translation validation, invariant oracles, smoke/deep tiers
+      ([yali check])
 
     {1 The games}
     - {!Games}: Definitions 2.1–2.4, the four games, the arena. *)
@@ -33,6 +36,7 @@ module Ml = Yali_ml
 module Dataset = Yali_dataset
 module Games = Yali_games
 module Fuzz = Yali_fuzz
+module Check = Yali_check
 
 (** Parse mini-C source text into an AST. *)
 let parse = Yali_minic.Parser.parse_program

@@ -1,299 +1,5 @@
-(** Seeded random mini-C programs for the differential oracle.
+(** Re-export: the program generator now lives in {!Yali_check.Gen} (the
+    shared property-testing engine); this alias keeps the historical
+    [Fuzz.Gen] path working. *)
 
-    Layered on {!Yali_dataset.Gen_dsl}, the generator extends the dataset
-    contract to adversarial shapes: deep guarded arithmetic, nested bounded
-    loops, switches, early [break], helper calls and bounded recursion —
-    while keeping the two invariants the oracle depends on: every program
-    (a) lowers to verified IR, and (b) terminates quickly and trap-free in
-    the interpreter on {e any} input stream.  Loops count to literal bounds
-    and their counters are never assigned by loop bodies, recursive helpers
-    decrement a clamped counter to a base case, divisions and indices go
-    through {!Yali_dataset.Gen_dsl.safe_div} / [safe_index], and inputs are
-    clamped on read.
-
-    Observability: every top-level scalar and every array cell is printed
-    in an epilogue, so a miscompiled computation anywhere in the program
-    surfaces as an output divergence. *)
-
-open Yali_minic.Ast
-open Yali_dataset.Gen_dsl
-module Rng = Yali_util.Rng
-
-type cfg = {
-  max_stmts : int;  (** top-level statement budget for [main] *)
-  max_depth : int;  (** block-nesting depth *)
-  max_expr_depth : int;
-  max_helpers : int;
-}
-
-let default =
-  { max_stmts = 12; max_depth = 2; max_expr_depth = 4; max_helpers = 2 }
-
-(* generation state: the rng plus a fresh-name counter (generated names are
-   disjoint from Gen_dsl's salted pools by construction) *)
-type st = { rng : Rng.t; mutable fresh : int; cfg : cfg }
-
-type helper_sig = { hname : string; arity : int; bounded_arg : bool }
-(** [bounded_arg]: the first argument is a recursion depth and must be
-    clamped at every call site. *)
-
-type scope = {
-  vars : string list;  (** assignable scalars, innermost first *)
-  ro : string list;  (** read-only scalars: loop counters, parameters *)
-  arrays : (string * int) list;  (** in-scope arrays and their sizes *)
-  helpers : helper_sig list;
-  in_loop : bool;
-}
-
-let readable sc = sc.vars @ sc.ro
-
-let fresh st base =
-  let n = st.fresh in
-  st.fresh <- n + 1;
-  Printf.sprintf "%s%d" base n
-
-(* -- expressions ---------------------------------------------------------- *)
-
-let rec expr (st : st) (sc : scope) (depth : int) : Yali_minic.Ast.expr =
-  if depth <= 0 || Rng.bernoulli st.rng 0.25 then leaf st sc
-  else
-    match Rng.int st.rng 14 with
-    | 0 | 1 -> Bin (Add, expr st sc (depth - 1), expr st sc (depth - 1))
-    | 2 -> Bin (Sub, expr st sc (depth - 1), expr st sc (depth - 1))
-    | 3 -> Bin (Mul, expr st sc (depth - 1), leaf st sc)
-    | 4 ->
-        if Rng.bool st.rng then safe_div (expr st sc (depth - 1)) (leaf st sc)
-        else safe_mod (expr st sc (depth - 1)) (leaf st sc)
-    | 5 ->
-        let cmp = Rng.choice st.rng [ Lt; Le; Gt; Ge; Eq; Ne ] in
-        Bin (cmp, expr st sc (depth - 1), expr st sc (depth - 1))
-    | 6 ->
-        let op = Rng.choice st.rng [ BAnd; BOr; BXor ] in
-        Bin (op, expr st sc (depth - 1), expr st sc (depth - 1))
-    | 7 ->
-        (* shift amounts are small literals: in-range for i32 on both the
-           interpreter and the folders *)
-        let op = Rng.choice st.rng [ Shl; Shr ] in
-        Bin (op, expr st sc (depth - 1), i (Rng.int st.rng 8))
-    | 8 ->
-        let op = Rng.choice st.rng [ Neg; LNot; BNot ] in
-        Un (op, expr st sc (depth - 1))
-    | 9 ->
-        let cmp = Rng.choice st.rng [ Lt; Gt; Eq; Ne ] in
-        Ternary
-          ( Bin (cmp, expr st sc (depth - 1), leaf st sc),
-            expr st sc (depth - 1),
-            expr st sc (depth - 1) )
-    | 10 ->
-        let f = Rng.choice st.rng [ "min"; "max" ] in
-        Call (f, [ expr st sc (depth - 1); leaf st sc ])
-    | 11 -> Call ("abs", [ expr st sc (depth - 1) ])
-    | 12 -> (
-        match sc.helpers with
-        | [] -> leaf st sc
-        | hs ->
-            let h = Rng.choice st.rng hs in
-            let arg k =
-              let e = expr st sc (depth - 1) in
-              (* clamp recursion depths so call chains stay shallow *)
-              if k = 0 && h.bounded_arg then safe_index 24 e else e
-            in
-            Call (h.hname, List.init h.arity arg))
-    | _ ->
-        let op = Rng.choice st.rng [ LAnd; LOr ] in
-        Bin (op, expr st sc (depth - 1), expr st sc (depth - 1))
-
-and leaf (st : st) (sc : scope) : Yali_minic.Ast.expr =
-  let rv = readable sc in
-  match Rng.int st.rng 8 with
-  | (0 | 1 | 2) when rv <> [] -> v (Rng.choice st.rng rv)
-  | (3 | 4) when sc.arrays <> [] ->
-      let a, n = Rng.choice st.rng sc.arrays in
-      let ix =
-        if rv <> [] && Rng.bool st.rng then v (Rng.choice st.rng rv)
-        else i (Rng.int st.rng 1000)
-      in
-      idx a (safe_index n ix)
-  | 5 -> read_clamped (-50) 50
-  | _ -> i (Rng.int_range st.rng (-100) 100)
-
-(* -- statements ----------------------------------------------------------- *)
-
-(* a block of statements spending [budget]; declarations extend the scope
-   for the statements that follow within the same block *)
-let rec stmts (st : st) (sc : scope) ~(depth : int) ~(budget : int) :
-    stmt list =
-  if budget <= 0 then []
-  else
-    let s, sc', cost = stmt st sc ~depth ~budget in
-    s @ stmts st sc' ~depth ~budget:(budget - cost)
-
-and stmt (st : st) (sc : scope) ~(depth : int) ~(budget : int) :
-    stmt list * scope * int =
-  let ed = st.cfg.max_expr_depth in
-  let pick = Rng.int st.rng 20 in
-  match pick with
-  | 0 | 1 | 2 | 3 ->
-      (* declare a fresh scalar *)
-      let n = fresh st "x" in
-      ([ decl n (expr st sc ed) ], { sc with vars = n :: sc.vars }, 1)
-  | 4 | 5 | 6 when sc.vars <> [] ->
-      ([ set (Rng.choice st.rng sc.vars) (expr st sc ed) ], sc, 1)
-  | 7 when depth = st.cfg.max_depth ->
-      (* arrays only at top level, so the epilogue sees them all *)
-      let a = fresh st "arr" in
-      let n = Rng.int_range st.rng 3 10 in
-      ( [ DeclArr (a, n); seti a (safe_index n (expr st sc 1)) (expr st sc 2) ],
-        { sc with arrays = (a, n) :: sc.arrays },
-        2 )
-  | 7 | 8 when sc.arrays <> [] ->
-      let a, n = Rng.choice st.rng sc.arrays in
-      ([ seti a (safe_index n (expr st sc 2)) (expr st sc ed) ], sc, 1)
-  | 9 | 10 when depth > 0 ->
-      (* a bounded counting loop, rendered as for/while by Gen_dsl; the
-         counter is read-only inside the body, so the bound is reached *)
-      let c = ctx (Rng.split st.rng) in
-      let k = fresh st "k" in
-      let bound = Rng.int_range st.rng 2 10 in
-      let inner = { sc with ro = k :: sc.ro; in_loop = true } in
-      let body =
-        stmts st inner ~depth:(depth - 1) ~budget:(min (budget - 1) 4)
-      in
-      let body = if body = [] then [ Expr (v k) ] else body in
-      (count_loop c ~var:k ~lo:(i 0) ~hi:(i bound) body, sc, 3)
-  | 11 when depth > 0 ->
-      (* do-while with an explicit counter: always terminates *)
-      let k = fresh st "k" in
-      let bound = Rng.int_range st.rng 1 6 in
-      let inner = { sc with ro = k :: sc.ro; in_loop = true } in
-      let body =
-        stmts st inner ~depth:(depth - 1) ~budget:(min (budget - 1) 3)
-      in
-      ( [
-          Decl (TInt, k, Some (i 0));
-          DoWhile (body @ [ set k (v k +@ i 1) ], v k <@ i bound);
-        ],
-        sc,
-        3 )
-  | 12 | 13 when depth > 0 ->
-      let cond = expr st sc ed in
-      let t = stmts st sc ~depth:(depth - 1) ~budget:(min (budget - 1) 4) in
-      let e =
-        if Rng.bool st.rng then
-          stmts st sc ~depth:(depth - 1) ~budget:(min (budget - 1) 3)
-        else []
-      in
-      ([ If (cond, t, e) ], sc, 2)
-  | 14 when depth > 0 ->
-      let scrut = safe_mod (expr st sc ed) (i 4) in
-      let n_cases = Rng.int_range st.rng 1 3 in
-      let case k =
-        (k, stmts st sc ~depth:(depth - 1) ~budget:(min (budget - 1) 2))
-      in
-      let dflt = stmts st sc ~depth:(depth - 1) ~budget:1 in
-      ([ Switch (scrut, List.init n_cases case, dflt) ], sc, 2)
-  | 15 when sc.in_loop ->
-      (* a conditional early exit; break is always safe *)
-      ([ If (expr st sc 2, [ Break ], []) ], sc, 1)
-  | 16 when readable sc <> [] ->
-      ([ print (v (Rng.choice st.rng (readable sc))) ], sc, 1)
-  | _ ->
-      let n = fresh st "y" in
-      ([ decl n (expr st sc ed) ], { sc with vars = n :: sc.vars }, 1)
-
-(* -- helper functions ------------------------------------------------------ *)
-
-let empty_scope = { vars = []; ro = []; arrays = []; helpers = []; in_loop = false }
-
-(* a pure helper: a couple of locals and a return expression *)
-let pure_helper (st : st) : func * helper_sig =
-  let name = fresh st "calc" in
-  let p1 = fresh st "p" and p2 = fresh st "p" in
-  let sc = { empty_scope with ro = [ p1; p2 ] } in
-  let t = fresh st "t" in
-  let body =
-    [
-      decl t (expr st sc st.cfg.max_expr_depth);
-      ret (expr st { sc with vars = [ t ] } st.cfg.max_expr_depth);
-    ]
-  in
-  ( { fname = name; fparams = [ (TInt, p1); (TInt, p2) ]; fret = TInt; fbody = body },
-    { hname = name; arity = 2; bounded_arg = false } )
-
-(* a bounded recursive helper: [h n acc] with [n] strictly decreasing to a
-   base case — terminates for any arguments, and call sites clamp [n] *)
-let rec_helper (st : st) : func * helper_sig =
-  let name = fresh st "walk" in
-  let n = fresh st "n" and acc = fresh st "a" in
-  let sc = { empty_scope with ro = [ n; acc ] } in
-  let step = expr st sc 3 in
-  ( {
-      fname = name;
-      fparams = [ (TInt, n); (TInt, acc) ];
-      fret = TInt;
-      fbody =
-        [
-          If (v n <=@ i 0, [ ret (v acc) ], []);
-          ret (call name [ v n -@ i 1; v acc +@ step ]);
-        ];
-    },
-    { hname = name; arity = 2; bounded_arg = true } )
-
-(* -- programs -------------------------------------------------------------- *)
-
-let program ?(cfg = default) (rng : Rng.t) : Yali_minic.Ast.program =
-  let st = { rng; fresh = 0; cfg } in
-  let helpers =
-    List.init (Rng.int st.rng (cfg.max_helpers + 1)) (fun _ ->
-        if Rng.bernoulli st.rng 0.35 then rec_helper st else pure_helper st)
-  in
-  (* prologue: read a couple of clamped workload inputs *)
-  let n_reads = Rng.int_range st.rng 1 3 in
-  let reads =
-    List.init n_reads (fun _ ->
-        let n = fresh st "in" in
-        (n, decl n (read_clamped (-40) 40)))
-  in
-  let sc =
-    {
-      empty_scope with
-      vars = List.rev_map fst reads;
-      helpers = List.map snd helpers;
-    }
-  in
-  let body =
-    stmts st sc ~depth:cfg.max_depth
-      ~budget:(Rng.int_range st.rng 6 cfg.max_stmts)
-  in
-  (* top-level declarations feed the observing epilogue *)
-  let top_vars =
-    List.map fst reads
-    @ List.filter_map (function Decl (TInt, n, _) -> Some n | _ -> None) body
-  in
-  let top_arrays =
-    List.filter_map (function DeclArr (a, n) -> Some (a, n) | _ -> None) body
-  in
-  (* epilogue: print every live scalar and every array cell *)
-  let c = ctx (Rng.split st.rng) in
-  let print_arrays =
-    List.concat_map
-      (fun (a, n) ->
-        let k = fresh st "pk" in
-        count_loop c ~var:k ~lo:(i 0) ~hi:(i n) [ print (idx a (v k)) ])
-      top_arrays
-  in
-  let epilogue = List.map (fun n -> print (v n)) top_vars @ print_arrays in
-  let ret_e =
-    match List.rev top_vars with
-    | [] -> i 0
-    | n :: _ -> safe_mod (v n) (i 256)
-  in
-  let main =
-    {
-      fname = "main";
-      fparams = [];
-      fret = TInt;
-      fbody = List.map snd reads @ body @ epilogue @ [ ret ret_e ];
-    }
-  in
-  Yali_dataset.Gen_dsl.program (List.map fst helpers @ [ main ])
+include Yali_check.Gen

@@ -42,22 +42,24 @@ let optimization_levels =
     { vname = "O3"; vfuel = 4; vstages = [ stage_o3 ] };
   ]
 
-(* every registered pass on its own, straight off the -O0 lowering *)
-let single_passes =
-  List.map
-    (fun (p : P.pass) ->
-      { vname = p.pname; vfuel = 4; vstages = [ pure p.pname p.prun ] })
-    P.all_passes
+(* every entry of the shared pass table ({!Yali_check.Passdb}) on its own,
+   straight off the -O0 lowering — registering a pass there feeds both the
+   per-pass translation validator and this fuzzing registry; the table's
+   fuel multipliers already account for obfuscator step cost *)
+let of_entry (e : Yali_check.Passdb.entry) =
+  { vname = e.ename; vfuel = e.efuel; vstages = [ seeded e.ename e.erun ] }
 
-(* O-LLVM passes cost steps: flattening adds a dispatch loop, bcf doubles
-   blocks — give their runs a roomier fuel budget *)
+let single_passes =
+  List.filter_map
+    (fun (e : Yali_check.Passdb.entry) ->
+      if e.ekind = Yali_check.Passdb.Opt then Some (of_entry e) else None)
+    Yali_check.Passdb.builtin
+
 let obfuscators =
-  [
-    { vname = "sub"; vfuel = 8; vstages = [ stage_sub ] };
-    { vname = "bcf"; vfuel = 8; vstages = [ stage_bcf ] };
-    { vname = "fla"; vfuel = 16; vstages = [ stage_fla ] };
-    { vname = "ollvm"; vfuel = 16; vstages = [ stage_ollvm ] };
-  ]
+  List.filter_map
+    (fun (e : Yali_check.Passdb.entry) ->
+      if e.ekind = Yali_check.Passdb.Obf then Some (of_entry e) else None)
+    Yali_check.Passdb.builtin
 
 (* compositions: optimize-then-obfuscate is the paper's evader pipeline,
    obfuscate-then-optimize asks the optimizers to chew on adversarial CFGs *)

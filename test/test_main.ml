@@ -11,6 +11,7 @@ let () =
       ("irparser", Test_irparser.suite);
       ("loops", Test_loops.suite);
       ("transforms", Test_transforms.suite);
+      ("licm", Test_licm.suite);
       ("obfuscation", Test_obfuscation.suite);
       ("embeddings", Test_embeddings.suite);
       ("ml", Test_ml.suite);
@@ -19,6 +20,7 @@ let () =
       ("gen_dsl", Test_gen_dsl.suite);
       ("exec", Test_exec.suite);
       ("fuzz", Test_fuzz.suite);
+      ("check", Test_check.suite);
       ("games", Test_games.suite);
       ("antivirus", Test_antivirus.suite);
       ("integration", Test_integration.suite);

@@ -79,6 +79,61 @@ let test_welch_t () =
   let t = Ml.Metrics.welch_t [ 1.; 1.1; 0.9; 1.0 ] [ 2.; 2.1; 1.9; 2.0 ] in
   Alcotest.(check bool) "clearly significant" true (Float.abs t > 5.0)
 
+(* -- metrics edge cases: degenerate inputs stay defined, never nan -------- *)
+
+let test_metrics_empty_predictions () =
+  Alcotest.(check bool) "accuracy of nothing is 0, not nan" true
+    (approx (Ml.Metrics.accuracy [||] [||]) 0.0);
+  let c = Ml.Metrics.confusion ~n_classes:3 [||] [||] in
+  Alcotest.(check int) "empty confusion sums to 0" 0
+    (Array.fold_left (fun a row -> Array.fold_left ( + ) a row) 0 c.counts);
+  Alcotest.(check bool) "macro f1 of empty confusion defined" true
+    (Float.is_finite (Ml.Metrics.macro_f1 c));
+  let p, r, f1 = Ml.Metrics.precision_recall_f1 c 0 in
+  Alcotest.(check bool) "p/r/f1 of absent class are 0" true
+    (p = 0.0 && r = 0.0 && f1 = 0.0)
+
+let test_metrics_single_class () =
+  (* all mass on one class: the other rows/columns are empty, and their
+     per-class scores must come back 0, not 0/0 *)
+  let truth = [| 0; 0; 0; 0 |] and pred = [| 0; 0; 0; 0 |] in
+  let c = Ml.Metrics.confusion ~n_classes:1 truth pred in
+  Alcotest.(check int) "1x1 confusion" 4 c.counts.(0).(0);
+  let p, r, f1 = Ml.Metrics.precision_recall_f1 c 0 in
+  Alcotest.(check bool) "perfect single class" true
+    (approx p 1.0 && approx r 1.0 && approx f1 1.0);
+  Alcotest.(check bool) "macro f1 = 1" true (approx (Ml.Metrics.macro_f1 c) 1.0);
+  (* same labels scored against a wider class universe *)
+  let c3 = Ml.Metrics.confusion ~n_classes:3 truth pred in
+  let p2, r2, f2 = Ml.Metrics.precision_recall_f1 c3 2 in
+  Alcotest.(check bool) "unused class: zeros, not nan" true
+    (p2 = 0.0 && r2 = 0.0 && f2 = 0.0);
+  Alcotest.(check bool) "macro f1 finite with unused classes" true
+    (Float.is_finite (Ml.Metrics.macro_f1 c3))
+
+let test_metrics_out_of_range_labels_ignored () =
+  let c = Ml.Metrics.confusion ~n_classes:2 [| 0; 5; -1; 1 |] [| 0; 0; 0; 7 |] in
+  Alcotest.(check int) "only in-range pairs counted" 1
+    (Array.fold_left (fun a row -> Array.fold_left ( + ) a row) 0 c.counts)
+
+let test_sample_stats_degenerate () =
+  Alcotest.(check bool) "mean [] = 0" true (approx (Ml.Metrics.mean []) 0.0);
+  Alcotest.(check bool) "stddev [] = 0" true (approx (Ml.Metrics.stddev []) 0.0);
+  Alcotest.(check bool) "stddev [x] = 0" true
+    (approx (Ml.Metrics.stddev [ 3.0 ]) 0.0);
+  let bp = Ml.Metrics.boxplot [] in
+  Alcotest.(check bool) "boxplot of [] all zero" true
+    (bp.bp_min = 0.0 && bp.median = 0.0 && bp.bp_max = 0.0 && bp.bp_mean = 0.0);
+  let bp1 = Ml.Metrics.boxplot [ 7.0 ] in
+  Alcotest.(check bool) "boxplot of singleton collapses to it" true
+    (approx bp1.bp_min 7.0 && approx bp1.q1 7.0 && approx bp1.median 7.0
+    && approx bp1.q3 7.0 && approx bp1.bp_max 7.0);
+  (* welch_t on too-small or zero-variance samples: defined, zero *)
+  Alcotest.(check bool) "welch_t on singletons is 0" true
+    (approx (Ml.Metrics.welch_t [ 1.0 ] [ 2.0 ]) 0.0);
+  Alcotest.(check bool) "welch_t on constant samples is 0" true
+    (approx (Ml.Metrics.welch_t [ 1.0; 1.0 ] [ 1.0; 1.0 ]) 0.0)
+
 (* -- features ------------------------------------------------------------- *)
 
 let test_scaler () =
@@ -224,6 +279,13 @@ let suite =
       test_f1_equals_accuracy_on_balanced;
     Alcotest.test_case "boxplot" `Quick test_boxplot;
     Alcotest.test_case "welch t" `Quick test_welch_t;
+    Alcotest.test_case "metrics: empty predictions" `Quick
+      test_metrics_empty_predictions;
+    Alcotest.test_case "metrics: single class" `Quick test_metrics_single_class;
+    Alcotest.test_case "metrics: out-of-range labels" `Quick
+      test_metrics_out_of_range_labels_ignored;
+    Alcotest.test_case "metrics: degenerate samples defined" `Quick
+      test_sample_stats_degenerate;
     Alcotest.test_case "scaler" `Quick test_scaler;
     Alcotest.test_case "scaler constant feature" `Quick test_scaler_constant_feature;
   ]

@@ -217,6 +217,66 @@ let test_inline_preserves =
   qtest ~count:40 "inline preserves behaviour"
     (preserves_behaviour (fun m -> Tx.Inline.run m))
 
+(* -- inline + gvn interaction --------------------------------------------- *)
+
+let inline_gvn m = Tx.Gvn.run (Tx.Inline.run (Tx.Mem2reg.run m))
+
+let test_inline_exposes_redundancy_to_gvn () =
+  (* the callee recomputes [a * 3 + 1], already computed at the call site;
+     only after inlining can gvn see the redundancy across the old call
+     boundary and unify the two *)
+  let src =
+    "int f(int a) { return a * 3 + 1; } \
+     int main() { int a = read_int(); int x = a * 3 + 1; return x + f(a); }"
+  in
+  let m0 = Tx.Mem2reg.run (lower (parse src)) in
+  let gvn_only = Tx.Gvn.run m0 in
+  let main_muls m =
+    let f = Ir.Irmod.find_func_exn m "main" in
+    List.length
+      (List.filter
+         (fun (i : Ir.Instr.t) -> Ir.Instr.opcode i = Op.Mul)
+         (Ir.Func.instrs f))
+  in
+  (* without inlining the call hides the redundancy from gvn *)
+  Alcotest.(check int) "gvn alone leaves main's multiply" 1 (main_muls gvn_only);
+  let m = inline_gvn m0 in
+  Alcotest.(check int) "inline + gvn: one multiply in main" 1 (main_muls m);
+  Alcotest.(check int) "inline + gvn: call gone"
+    0
+    (List.length
+       (List.filter
+          (fun (i : Ir.Instr.t) ->
+            match i.kind with Ir.Instr.Call ("f", _) -> true | _ -> false)
+          (Ir.Func.instrs (Ir.Irmod.find_func_exn m "main"))));
+  (match Ir.Verify.check_module m with
+  | [] -> ()
+  | e :: _ -> Alcotest.failf "verifier: %a" Ir.Verify.pp_error e);
+  let o = Ir.Interp.run m [ 5L ] in
+  (* (5*3+1) + (5*3+1) = 32 *)
+  Alcotest.(check bool) "result 32" true (o.exit_value = Ir.Interp.RInt 32L)
+
+let test_inline_gvn_multiple_calls () =
+  (* two calls to the same pure callee on the same argument: after inlining,
+     gvn can collapse the duplicated bodies to a single computation *)
+  let src =
+    "int sq(int x) { return x * x; } \
+     int main() { int a = read_int(); return sq(a) + sq(a); }"
+  in
+  let m = inline_gvn (lower (parse src)) in
+  let f = Ir.Irmod.find_func_exn m "main" in
+  Alcotest.(check int) "duplicate bodies unified: one multiply" 1
+    (List.length
+       (List.filter
+          (fun (i : Ir.Instr.t) -> Ir.Instr.opcode i = Op.Mul)
+          (Ir.Func.instrs f)));
+  let o = Ir.Interp.run m [ 7L ] in
+  Alcotest.(check bool) "49 + 49" true (o.exit_value = Ir.Interp.RInt 98L)
+
+let test_inline_gvn_preserves =
+  qtest ~count:40 "inline + gvn preserves behaviour"
+    (preserves_behaviour inline_gvn)
+
 (* -- pipelines ------------------------------------------------------------ *)
 
 let test_pipelines_preserve =
@@ -281,6 +341,11 @@ let suite =
     Alcotest.test_case "inline small callee" `Quick test_inline_small_callee;
     Alcotest.test_case "inline skips recursive" `Quick test_inline_skips_recursive;
     test_inline_preserves;
+    Alcotest.test_case "inline exposes redundancy to gvn" `Quick
+      test_inline_exposes_redundancy_to_gvn;
+    Alcotest.test_case "inline + gvn collapses duplicate calls" `Quick
+      test_inline_gvn_multiple_calls;
+    test_inline_gvn_preserves;
   ]
   @ test_pipelines_preserve
   @ [

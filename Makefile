@@ -1,6 +1,6 @@
 # Convenience targets; everything is ultimately driven by dune.
 
-.PHONY: all build build-all test check check-smoke check-deep smoke fuzz-smoke bench bench-kernels fmt clean
+.PHONY: all build build-all test check check-smoke check-deep smoke fuzz-smoke bench bench-kernels bench-vm fmt clean
 
 all: build
 
@@ -48,6 +48,12 @@ bench:
 # predictions-match checks in BENCH_kernels.json.
 bench-kernels:
 	dune exec bench/main.exe -- --quick --json BENCH_kernels.json kernels
+
+# Engine benchmark (DESIGN.md §10): the frozen reference interpreter vs the
+# pre-compiling VM on interpretation-bound kernels and a generated-program
+# corpus, with speedups persisted in BENCH_vm.json.
+bench-vm:
+	dune exec bench/main.exe -- --quick --json BENCH_vm.json interp
 
 # Requires ocamlformat (not part of `check`: it is not installed everywhere).
 fmt:

@@ -8,8 +8,13 @@
       dune exec bench/main.exe -- --quick all  # smaller workloads
       dune exec bench/main.exe -- micro        # bechamel suite
       dune exec bench/main.exe -- kernels      # Fmat vs pre-rewrite kernels
+      dune exec bench/main.exe -- interp       # VM vs reference interpreter
 
     Execution-runtime knobs (lib/exec):
+      --engine vm|ref (or --engine=E)          # which execution engine the
+                                               #   figures run on (lib/vm
+                                               #   switchboard; default vm,
+                                               #   outcomes are bit-identical)
       --jobs N (or --jobs=N, or YALI_JOBS)     # worker domains; default
                                                #   Domain.recommended_domain_count
       --telemetry out.json (or --telemetry=F)  # dump the runtime's JSON report:
@@ -347,19 +352,20 @@ let fig13 () =
   Printf.printf "%-12s %12s %10s %10s\n" "kernel" "O0-cost" "O3" "ollvm";
   let speedups = ref [] and slowdowns = ref [] in
   List.iter
-    (fun (name, prog) ->
-      let m0 = Yali.lower prog in
-      let base = Ir.Interp.run ~fuel:100_000_000 m0 [] in
-      let o3 = Ir.Interp.run ~fuel:100_000_000 (Yali.Transforms.Pipeline.o3 m0) [] in
+    (fun (name, m0) ->
+      let base = Yali.Execution.run ~fuel:100_000_000 m0 [] in
+      let o3 =
+        Yali.Execution.run ~fuel:100_000_000 (Yali.Transforms.Pipeline.o3 m0) []
+      in
       let obf =
-        Ir.Interp.run ~fuel:1_000_000_000 (Ob.Ollvm.run (Rng.make 13) m0) []
+        Yali.Execution.run ~fuel:1_000_000_000 (Ob.Ollvm.run (Rng.make 13) m0) []
       in
       let rel c = float_of_int c /. float_of_int base.cost in
       speedups := 1.0 /. rel o3.cost :: !speedups;
       slowdowns := rel obf.cost :: !slowdowns;
       Printf.printf "%-12s %12d %9.2fx %9.2fx\n%!" name base.cost (rel o3.cost)
         (rel obf.cost))
-    Yali.Dataset.Benchgame.all;
+    (Yali.Dataset.Benchgame.modules ());
   let geomean xs =
     exp (List.fold_left (fun a x -> a +. log x) 0.0 xs /. float_of_int (List.length xs))
   in
@@ -504,6 +510,11 @@ let micro () =
            ignore (Ob.Fla.run (Rng.make 3) m0)));
       Test.make ~name:"interp-run" (Staged.stage (fun () ->
            ignore (Ir.Interp.run ~fuel:1_000_000 m0 [ 5L; 9L; 2L ])));
+      Test.make ~name:"vm-compile" (Staged.stage (fun () ->
+           ignore (Yali.Vm.compile m0)));
+      (let p = Yali.Vm.compile m0 in
+       Test.make ~name:"vm-run" (Staged.stage (fun () ->
+           ignore (Yali.Vm.run_compiled ~fuel:1_000_000 p [ 5L; 9L; 2L ]))));
     ]
   in
   List.iter
@@ -703,6 +714,132 @@ let kernels () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Execution-engine benchmarks: reference interpreter vs the VM        *)
+(* ------------------------------------------------------------------ *)
+
+(* recorded for the "vm" section of the --json summary *)
+let vm_results : (string * float * float * (string * string) list) list ref =
+  ref []
+
+let record_vm name ref_s vm_s extras =
+  vm_results := (name, ref_s, vm_s, extras) :: !vm_results;
+  Printf.printf "%-10s %12.4f %12.4f %9.2fx" name ref_s vm_s (ref_s /. vm_s);
+  List.iter (fun (k, v) -> Printf.printf "  %s=%s" k v) extras;
+  Printf.printf "\n%!"
+
+(** Before/after numbers for the execution engines (DESIGN.md §10).  Two
+    workloads, two regimes:
+    - "kernels": raw interpretation throughput — the sixteen benchmark-game
+      kernels, millions of dynamic steps each, compile amortized (the
+      figure-13 / benchgame regime, reported as dynamic MIPS);
+    - "corpus": the validation shape — a fixed seeded corpus of generated
+      programs, each compiled once and probed on many input vectors (what
+      one fuzz/check deep-tier oracle call looks like; compile time is
+      inside the measured region).
+    "Reference" is the frozen tree-walking interpreter. *)
+(* Interleave the two engines' timed passes within each rep, so a phase of
+   machine load (CI neighbours, thermal throttling) lands on both engines
+   rather than skewing the ratio; each side still reports its best rep. *)
+let best_pair ~(reps : int) (f : unit -> unit) (g : unit -> unit) :
+    float * float =
+  let bf = ref infinity in
+  let bg = ref infinity in
+  for _ = 1 to reps do
+    f ();
+    (* untimed: refill caches/branch predictor after the other engine *)
+    let t0 = Yali.Exec.Telemetry.clock () in
+    f ();
+    let t1 = Yali.Exec.Telemetry.clock () in
+    g ();
+    (* untimed, same reason *)
+    let t2 = Yali.Exec.Telemetry.clock () in
+    g ();
+    let t3 = Yali.Exec.Telemetry.clock () in
+    if t1 -. t0 < !bf then bf := t1 -. t0;
+    if t3 -. t2 < !bg then bg := t3 -. t2
+  done;
+  (!bf, !bg)
+
+let interp () =
+  header "Engine benchmarks: frozen reference interpreter vs pre-compiling VM";
+  let reps = 5 in
+  Printf.printf "(best of %d, interleaved)\n\n" reps;
+  Printf.printf "%-10s %12s %12s %9s\n" "workload" "ref(s)" "vm(s)" "speedup";
+
+  (* raw throughput on the benchmark-game kernels *)
+  let mods = Yali.Dataset.Benchgame.modules () in
+  let fuel = 100_000_000 in
+  let steps =
+    List.fold_left (fun a (_, m) -> a + (Ir.Interp.run ~fuel m []).steps) 0 mods
+  in
+  let t_compile =
+    best_of ~reps (fun () ->
+        List.iter (fun (_, m) -> ignore (Yali.Vm.compile m)) mods)
+  in
+  let compiled = List.map (fun (n, m) -> (n, Yali.Vm.compile m)) mods in
+  let t_ref, t_vm =
+    best_pair ~reps
+      (fun () ->
+        List.iter (fun (_, m) -> ignore (Ir.Interp.run ~fuel m [])) mods)
+      (fun () ->
+        List.iter
+          (fun (_, p) -> ignore (Yali.Vm.run_compiled ~fuel p []))
+          compiled)
+  in
+  let mips t = float_of_int steps /. t /. 1e6 in
+  record_vm "kernels" t_ref t_vm
+    [
+      ("dynamic_steps", string_of_int steps);
+      ("mips_ref", Printf.sprintf "%.1f" (mips t_ref));
+      ("mips_vm", Printf.sprintf "%.1f" (mips t_vm));
+      ("compile_seconds", Printf.sprintf "%.4f" t_compile);
+    ];
+
+  (* the validation shape: seeded corpus, compile once, many inputs *)
+  let n_progs = scale 64 in
+  let n_inputs = 32 in
+  let corpus_fuel = 200_000 in
+  let rng = Rng.make 42 in
+  let corpus =
+    List.init n_progs (fun k ->
+        Yali.lower (Yali.Check.Gen.program (Rng.split_ix rng k)))
+  in
+  let inputs =
+    List.init n_inputs (fun i ->
+        List.init 32 (fun j ->
+            Int64.of_int ((((i * 53) + (j * 17)) mod 2001) - 1000)))
+  in
+  let execs = n_progs * n_inputs in
+  let run_all prepare =
+    List.iter
+      (fun m ->
+        let run1 = prepare m in
+        List.iter (fun input -> ignore (run1 ~fuel:corpus_fuel input)) inputs)
+      corpus
+  in
+  let t_ref, t_vm =
+    best_pair ~reps
+      (fun () -> run_all (Yali.Execution.prepare ~engine:Yali.Execution.Ref))
+      (fun () -> run_all (Yali.Execution.prepare ~engine:Yali.Execution.Vm))
+  in
+  record_vm "corpus" t_ref t_vm
+    [
+      ("programs", string_of_int n_progs);
+      ("execs", string_of_int execs);
+      ("execs_per_s_ref", Printf.sprintf "%.0f" (float_of_int execs /. t_ref));
+      ("execs_per_s_vm", Printf.sprintf "%.0f" (float_of_int execs /. t_vm));
+      ("programs_per_s_ref",
+       Printf.sprintf "%.1f" (float_of_int n_progs /. t_ref));
+      ("programs_per_s_vm",
+       Printf.sprintf "%.1f" (float_of_int n_progs /. t_vm));
+    ];
+  Printf.printf
+    "\nmemory images allocated: %d interpreter + %d vm (pooled per domain \
+     and reused across every run above)\n"
+    (Ir.Arena.created Ir.Interp.arena)
+    (Yali.Vm.arenas_created ())
+
+(* ------------------------------------------------------------------ *)
 (* Ablations: design choices called out in DESIGN.md                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -785,8 +922,8 @@ let abl_bcf_probability () =
                let m0 = Yali.lower p in
                let m1 = Ob.Bcf.run ~probability:prob (Rng.make (k + 5)) m0 in
                let input = List.init 32 (fun j -> Int64.of_int ((j * 37) mod 200)) in
-               let c0 = (Ir.Interp.run ~fuel:8_000_000 m0 input).cost in
-               let c1 = (Ir.Interp.run ~fuel:80_000_000 m1 input).cost in
+               let c0 = (Yali.Execution.run ~fuel:8_000_000 m0 input).cost in
+               let c1 = (Yali.Execution.run ~fuel:80_000_000 m1 input).cost in
                ( E.Histogram.euclidean (E.Histogram.of_module m0)
                    (E.Histogram.of_module m1),
                  float_of_int c1 /. float_of_int c0 )))
@@ -928,6 +1065,13 @@ let parse_args (args : string list) : string list =
         Printf.eprintf "--jobs expects a positive integer, got %s\n" v;
         exit 2
   in
+  let set_engine v =
+    match Yali.Execution.engine_of_string v with
+    | Some e -> Yali.Execution.set_engine e
+    | None ->
+        Printf.eprintf "--engine expects vm or ref, got %s\n" v;
+        exit 2
+  in
   (* fail on an unwritable report path now, not after a long figure run *)
   let set_telemetry v =
     (try close_out (open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 v)
@@ -947,6 +1091,10 @@ let parse_args (args : string list) : string list =
     | "--jobs" :: rest -> go acc (valued ~flag:"--jobs" ~set:set_jobs rest)
     | a :: rest when starts_with "--jobs=" a ->
         set_jobs (cut "--jobs=" a);
+        go acc rest
+    | "--engine" :: rest -> go acc (valued ~flag:"--engine" ~set:set_engine rest)
+    | a :: rest when starts_with "--engine=" a ->
+        set_engine (cut "--engine=" a);
         go acc rest
     | "--telemetry" :: rest ->
         go acc (valued ~flag:"--telemetry" ~set:set_telemetry rest)
@@ -989,6 +1137,21 @@ let write_json path ~total (timings : (string * float) list) =
         extras;
       Printf.fprintf oc "}%s\n" (if i = List.length ks - 1 then "" else ","))
     ks;
+  Printf.fprintf oc "  ],\n  \"vm\": [\n";
+  let vs = List.rev !vm_results in
+  List.iteri
+    (fun i (name, ref_s, vm_s, extras) ->
+      Printf.fprintf oc
+        "    {\"name\": \"%s\", \"reference_seconds\": %.4f, \"vm_seconds\": %.4f, \"speedup\": %.2f"
+        name ref_s vm_s (ref_s /. vm_s);
+      List.iter
+        (fun (k, v) ->
+          if v = "true" || v = "false" || float_of_string_opt v <> None then
+            Printf.fprintf oc ", \"%s\": %s" k v
+          else Printf.fprintf oc ", \"%s\": \"%s\"" k v)
+        extras;
+      Printf.fprintf oc "}%s\n" (if i = List.length vs - 1 then "" else ","))
+    vs;
   Printf.fprintf oc "  ]\n}\n";
   close_out oc
 
@@ -1009,12 +1172,13 @@ let () =
         (fun name ->
           if name = "micro" then timed "micro" micro
           else if name = "kernels" then timed "kernels" kernels
+          else if name = "interp" then timed "interp" interp
           else
             match List.assoc_opt name (figures @ ablations) with
             | Some f -> timed name f
             | None ->
                 Printf.eprintf
-                  "unknown target %s (expected fig5..fig16, abl-*, ablations, micro, kernels, all)\n"
+                  "unknown target %s (expected fig5..fig16, abl-*, ablations, micro, kernels, interp, all)\n"
                   name)
         names);
   let total = Yali.Exec.Telemetry.clock () -. t0 in

@@ -55,6 +55,25 @@ let configure_jobs = function
   | Some _ -> prerr_endline "--jobs must be positive"; exit 2
   | None -> ()
 
+(* engine switchboard (lib/vm): the compiled VM and the reference
+   interpreter produce bit-identical outcomes, so this only trades speed *)
+let engine_arg =
+  Arg.(
+    value
+    & opt string "vm"
+    & info [ "engine" ] ~docv:"vm|ref"
+        ~doc:
+          "Execution engine: the pre-compiling virtual machine ($(b,vm), \
+           default) or the frozen reference interpreter ($(b,ref)); \
+           outcomes are bit-identical.")
+
+let configure_engine s =
+  match Yali.Execution.engine_of_string s with
+  | Some e -> Yali.Execution.set_engine e
+  | None ->
+      Printf.eprintf "unknown engine %s (have: vm ref)\n" s;
+      exit 2
+
 (* fail on an unwritable report path before the game runs, not after *)
 let configure_telemetry = function
   | Some path -> (
@@ -104,7 +123,8 @@ let input_arg =
     & info [ "input"; "i" ] ~docv:"INTS" ~doc:"Comma-separated input stream.")
 
 let run_cmd =
-  let run level file input =
+  let run engine level file input =
+    configure_engine engine;
     let m = Yali.compile ~optimize:level (read_file file) in
     let o = Yali.run m (List.map Int64.of_int input) in
     List.iter (fun x -> Printf.printf "%Ld\n" x) o.output;
@@ -112,8 +132,10 @@ let run_cmd =
     Printf.printf "; steps=%d cost=%d\n" o.steps o.cost
   in
   Cmd.v
-    (Cmd.info "run" ~doc:"Execute a mini-C program in the IR interpreter.")
-    Term.(const run $ level_arg $ src_arg $ input_arg)
+    (Cmd.info "run"
+       ~doc:"Execute a mini-C program (VM by default, --engine=ref for the \
+             reference interpreter).")
+    Term.(const run $ engine_arg $ level_arg $ src_arg $ input_arg)
 
 (* -- obfuscate ------------------------------------------------------------- *)
 
@@ -400,10 +422,11 @@ let fuzz_cmd =
       & info [ "dump" ] ~docv:"N"
           ~doc:"Print generated program \\$(docv) of this seed and exit.")
   in
-  let run seed jobs telemetry count budget shrink corpus save quiet variants
-      dump =
+  let run seed jobs telemetry engine count budget shrink corpus save quiet
+      variants dump =
     configure_jobs jobs;
     configure_telemetry telemetry;
+    configure_engine engine;
     (match dump with
     | Some ix ->
         let root = Yali.Rng.make seed in
@@ -459,9 +482,9 @@ let fuzz_cmd =
          "Differentially fuzz every pipeline variant against the -O0 \
           baseline; exits nonzero on any divergence.")
     Term.(
-      const run $ seed_arg $ jobs_arg $ telemetry_arg $ count_arg $ budget_arg
-      $ shrink_arg $ corpus_arg $ save_arg $ quiet_arg $ variants_arg
-      $ dump_arg)
+      const run $ seed_arg $ jobs_arg $ telemetry_arg $ engine_arg $ count_arg
+      $ budget_arg $ shrink_arg $ corpus_arg $ save_arg $ quiet_arg
+      $ variants_arg $ dump_arg)
 
 (* -- check: per-pass translation validation + invariant oracles ------------ *)
 
@@ -510,9 +533,10 @@ let check_cmd =
   let quiet_arg =
     Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No per-chunk progress.")
   in
-  let run seed jobs telemetry deep per_pass out save corpus quiet =
+  let run seed jobs telemetry engine deep per_pass out save corpus quiet =
     configure_jobs jobs;
     configure_telemetry telemetry;
+    configure_engine engine;
     let tier = if deep then Yali.Check.Engine.Deep else Yali.Check.Engine.Smoke in
     let cfg =
       {
@@ -543,8 +567,8 @@ let check_cmd =
           programs and run the invariant oracles; exits nonzero on any \
           failure.")
     Term.(
-      const run $ seed_arg $ jobs_arg $ telemetry_arg $ deep_arg $ per_pass_arg
-      $ out_arg $ save_arg $ corpus_arg $ quiet_arg)
+      const run $ seed_arg $ jobs_arg $ telemetry_arg $ engine_arg $ deep_arg
+      $ per_pass_arg $ out_arg $ save_arg $ corpus_arg $ quiet_arg)
 
 let () =
   let doc = "a game-based framework to compare program classifiers and evaders" in

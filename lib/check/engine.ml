@@ -74,8 +74,8 @@ let dump_artifacts dir (r : report) =
     (fun k (f : Tv.failure) ->
       let p = Option.value f.Tv.f_minimized ~default:f.Tv.f_program in
       let body =
-        Printf.sprintf "// pass: %s\n// origin: %s\n// %s\n%s" f.Tv.f_pass
-          f.Tv.f_origin
+        Printf.sprintf "// pass: %s\n// origin: %s\n// engine: %s\n// %s\n%s"
+          f.Tv.f_pass f.Tv.f_origin f.Tv.f_engine
           (Tv.failure_kind_to_string f.Tv.f_kind)
           (Yali_minic.Pp.program_to_string p)
       in

@@ -280,4 +280,79 @@ let exec =
       cache_transparent;
   ]
 
-let all = kernels @ metrics @ exec
+(* -- execution engines: lib/vm vs the frozen reference interpreter --------- *)
+
+module Interp = Yali_ir.Interp
+
+(* One case = one generated program pushed through every registered pipeline
+   variant (the 22 of {!Pipelines.all}) and executed under both engines on
+   seeded inputs.  The engines must agree on the FULL outcome — output,
+   foutput, exit value, steps and abstract cost, not just the observation —
+   and on the exception classification (the exact [Trap] message vs
+   [Out_of_fuel]).  Variants whose transforms crash or fail the verifier are
+   skipped here: those are translation-validation findings, and unverified
+   SSA is outside the VM's exactness contract (vm.mli). *)
+let engine_fuel = 200_000
+
+let gen_engine_case (rng : Rng.t) =
+  (Gen.program (Rng.split_ix rng 0), Rng.split_ix rng 1)
+
+let show_engine_case ((p : Yali_minic.Ast.program), _) =
+  Yali_minic.Pp.program_to_string p
+
+let classify (run : unit -> Interp.outcome) =
+  match run () with
+  | o -> Ok o
+  | exception Interp.Trap msg -> Error ("trap: " ^ msg)
+  | exception Interp.Out_of_fuel -> Error "out of fuel"
+  | exception e -> Error ("exn: " ^ Printexc.to_string e)
+
+let engine_inputs (rng : Rng.t) =
+  Array.init 2 (fun ix ->
+      let r = Rng.split_ix rng ix in
+      List.init 32 (fun _ -> Int64.of_int (Rng.int_range r (-1000) 1000)))
+
+let vm_matches_interp ((p : Yali_minic.Ast.program), (rng : Rng.t)) : bool =
+  let inputs = engine_inputs (Rng.split_ix rng 0) in
+  match Yali_minic.Lower.lower_program p with
+  | exception _ -> true (* a lowering crash is another oracle's finding *)
+  | m0 ->
+      let variant_ok k (v : Pipelines.variant) =
+        let vrng = Rng.split_ix rng (1 + k) in
+        match
+          List.fold_left
+            (fun (m, ix) (s : Pipelines.stage) ->
+              (s.srun (Rng.split_ix vrng ix) m, ix + 1))
+            (m0, 0) v.vstages
+        with
+        | exception _ -> true
+        | m, _ ->
+            if Yali_ir.Verify.check_module m <> [] then true
+            else
+              let fuel = engine_fuel * v.vfuel in
+              let cp = Yali_vm.Vm.compile m in
+              Array.for_all
+                (fun input ->
+                  let a = classify (fun () -> Interp.run ~fuel m input) in
+                  let b =
+                    classify (fun () ->
+                        Yali_vm.Vm.run_compiled ~fuel cp input)
+                  in
+                  match (a, b) with
+                  | Ok oa, Ok ob -> Stdlib.compare oa ob = 0
+                  | Error ea, Error eb -> String.equal ea eb
+                  | Ok _, Error _ | Error _, Ok _ -> false)
+                inputs
+      in
+      List.for_all Fun.id (List.mapi variant_ok Pipelines.all)
+
+let engines =
+  [
+    Prop.make ~name:"engines/vm-vs-interp-differential" ~show:show_engine_case
+      ~candidates:(fun (p, rng) ->
+        List.map (fun q -> (q, rng)) (Shrink.candidates p))
+      ~measure:(fun (p, _) -> Shrink.stmt_count p)
+      gen_engine_case vm_matches_interp;
+  ]
+
+let all = kernels @ metrics @ exec @ engines

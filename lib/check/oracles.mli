@@ -10,11 +10,17 @@
       row sums, and division-by-zero guards (every statistic is a defined
       finite number, never [nan], on degenerate inputs);
     - {!exec}: {!Yali_exec.Pool} determinism at arbitrary [--jobs] and
-      {!Yali_exec.Cache} transparency. *)
+      {!Yali_exec.Cache} transparency;
+    - {!engines}: the {!Yali_vm.Vm} execution engine against the frozen
+      reference interpreter — each generated program is pushed through
+      every registered pipeline variant ({!Pipelines.all}) and both engines
+      must produce bit-identical outcomes (steps and cost included) with
+      identical [Trap]/[Out_of_fuel] classification. *)
 
 val kernels : Prop.t list
 val metrics : Prop.t list
 val exec : Prop.t list
+val engines : Prop.t list
 
-(** All three families, in the order above. *)
+(** All four families, in the order above. *)
 val all : Prop.t list

@@ -1,0 +1,80 @@
+(** The build-pipeline variants the differential oracle compares.
+
+    A variant is a named sequence of IR-to-IR stages applied to the [-O0]
+    lowering of a program; the oracle verifies the module after {e every}
+    stage and compares observable behaviour against the plain [-O0]
+    baseline.  The registry covers everything the paper's games can hand a
+    classifier: the clang-style [-O0]…[-O3] pipelines, every individual
+    optimization pass, each O-LLVM obfuscation pass, and compositions of
+    the two families ([fla(O2(p))] and friends). *)
+
+module Rng = Yali_util.Rng
+module P = Yali_transforms.Pipeline
+module Ob = Yali_obfuscation
+
+type stage = {
+  sname : string;
+  srun : Rng.t -> Yali_ir.Irmod.t -> Yali_ir.Irmod.t;
+}
+
+type variant = {
+  vname : string;
+  vfuel : int;  (** interpreter fuel multiplier vs the baseline run *)
+  vstages : stage list;  (** applied in order to the [-O0] lowering *)
+}
+
+let pure name f = { sname = name; srun = (fun _ m -> f m) }
+let seeded name f = { sname = name; srun = f }
+
+let stage_o1 = pure "O1" P.o1
+let stage_o2 = pure "O2" P.o2
+let stage_o3 = pure "O3" P.o3
+let stage_sub = seeded "sub" (fun rng m -> Ob.Sub.run rng m)
+let stage_bcf = seeded "bcf" (fun rng m -> Ob.Bcf.run rng m)
+let stage_fla = seeded "fla" (fun rng m -> Ob.Fla.run rng m)
+let stage_ollvm = seeded "ollvm" (fun rng m -> Ob.Ollvm.run rng m)
+
+let optimization_levels =
+  [
+    { vname = "O0"; vfuel = 1; vstages = [] };
+    { vname = "O1"; vfuel = 4; vstages = [ stage_o1 ] };
+    { vname = "O2"; vfuel = 4; vstages = [ stage_o2 ] };
+    { vname = "O3"; vfuel = 4; vstages = [ stage_o3 ] };
+  ]
+
+(* every entry of the shared pass table ({!Passdb}) on its own,
+   straight off the -O0 lowering — registering a pass there feeds both the
+   per-pass translation validator and this fuzzing registry; the table's
+   fuel multipliers already account for obfuscator step cost *)
+let of_entry (e : Passdb.entry) =
+  { vname = e.ename; vfuel = e.efuel; vstages = [ seeded e.ename e.erun ] }
+
+let single_passes =
+  List.filter_map
+    (fun (e : Passdb.entry) ->
+      if e.ekind = Passdb.Opt then Some (of_entry e) else None)
+    Passdb.builtin
+
+let obfuscators =
+  List.filter_map
+    (fun (e : Passdb.entry) ->
+      if e.ekind = Passdb.Obf then Some (of_entry e) else None)
+    Passdb.builtin
+
+(* compositions: optimize-then-obfuscate is the paper's evader pipeline,
+   obfuscate-then-optimize asks the optimizers to chew on adversarial CFGs *)
+let compositions =
+  [
+    { vname = "O2+sub"; vfuel = 8; vstages = [ stage_o2; stage_sub ] };
+    { vname = "O2+bcf"; vfuel = 8; vstages = [ stage_o2; stage_bcf ] };
+    { vname = "O2+fla"; vfuel = 16; vstages = [ stage_o2; stage_fla ] };
+    { vname = "O3+ollvm"; vfuel = 16; vstages = [ stage_o3; stage_ollvm ] };
+    { vname = "fla+O2"; vfuel = 16; vstages = [ stage_fla; stage_o2 ] };
+    { vname = "ollvm+O3"; vfuel = 16; vstages = [ stage_ollvm; stage_o3 ] };
+  ]
+
+let all : variant list =
+  optimization_levels @ single_passes @ obfuscators @ compositions
+
+let find name = List.find_opt (fun v -> v.vname = name) all
+let names () = List.map (fun v -> v.vname) all

@@ -3,6 +3,7 @@
 module Rng = Yali_util.Rng
 module Ir = Yali_ir
 module Interp = Yali_ir.Interp
+module Execution = Yali_vm.Execution
 module Pool = Yali_exec.Pool
 module Telemetry = Yali_exec.Telemetry
 
@@ -65,7 +66,10 @@ let prepare ~fuel ~vectors (rng : Rng.t) (p : Yali_minic.Ast.program) :
     match verify_errors m with
     | Some err -> Error ("verifier error after lowering: " ^ err)
     | None ->
-        let base = Array.map (fun input -> Interp.run ~fuel m input) inputs in
+        (* one prepare (under the VM: one compile) amortized over the
+           vectors, and later over every entry's shrink re-validations *)
+        let runm = Execution.prepare m in
+        let base = Array.map (fun input -> runm ~fuel input) inputs in
         Ok { p_mod = m; p_inputs = inputs; p_base = base }
   with
   | r -> r
@@ -84,11 +88,12 @@ let check_entry ~fuel (prep : prepared) (e : Passdb.entry) (prng : Rng.t) :
       | Some err -> Some (Verify_failed { error = err })
       | None ->
           let vfuel = fuel * e.efuel in
+          let run1 = Execution.prepare m1 in
           let n = Array.length prep.p_inputs in
           let rec go input_ix =
             if input_ix >= n then None
             else
-              match Interp.run ~fuel:vfuel m1 prep.p_inputs.(input_ix) with
+              match run1 ~fuel:vfuel prep.p_inputs.(input_ix) with
               | o ->
                   if Interp.equal_behaviour prep.p_base.(input_ix) o then
                     go (input_ix + 1)
@@ -123,12 +128,15 @@ type failure = {
   f_pass : string;
   f_origin : string;
   f_kind : failure_kind;
+  f_engine : string;
   f_program : Yali_minic.Ast.program;
   f_minimized : Yali_minic.Ast.program option;
 }
 
+let current_engine () = Execution.engine_to_string (Execution.get_engine ())
+
 let pp_failure fmt (f : failure) =
-  Format.fprintf fmt "[%s] %s %s" f.f_pass f.f_origin
+  Format.fprintf fmt "[%s] %s (engine %s) %s" f.f_pass f.f_origin f.f_engine
     (failure_kind_to_string f.f_kind)
 
 type config = {
@@ -188,6 +196,7 @@ let make_failure (cfg : config) ~origin ~rng (e : Passdb.entry)
     f_pass = e.ename;
     f_origin = origin;
     f_kind = kind;
+    f_engine = current_engine ();
     f_program = p;
     f_minimized = minimized;
   }
@@ -227,6 +236,7 @@ let run (cfg : config) : report =
             f_pass = "baseline";
             f_origin = origin;
             f_kind = Transform_crash { error = msg };
+            f_engine = current_engine ();
             f_program = p;
             f_minimized = None;
           }
@@ -253,6 +263,7 @@ let run (cfg : config) : report =
               f_pass = "corpus-parse";
               f_origin = origin;
               f_kind = Transform_crash { error = msg };
+              f_engine = current_engine ();
               f_program = { Yali_minic.Ast.pfuncs = [] };
               f_minimized = None;
             }

@@ -1,7 +1,9 @@
 (** Per-pass translation validation.
 
     One {!validate} call proves one pass on one program: lower at [-O0],
-    verify, run the reference interpreter on seeded input vectors; apply
+    verify, execute on seeded input vectors (under the engine selected in
+    {!Yali_vm.Execution} — the VM by default, [--engine=ref] for the frozen
+    interpreter; both produce bit-identical outcomes); apply
     {e just that pass}; re-verify the SSA/dominance invariants
     ({!Yali_ir.Verify.check_module}); re-run and compare observable
     behaviour.  This is the per-pass refinement of the whole-pipeline
@@ -46,6 +48,8 @@ type failure = {
   f_pass : string;
   f_origin : string;  (** ["gen:<ix>"] or ["corpus:<file>"] *)
   f_kind : failure_kind;
+  f_engine : string;
+      (** execution engine ({!Yali_vm.Execution}) that observed it *)
   f_program : Yali_minic.Ast.program;
   f_minimized : Yali_minic.Ast.program option;
 }

@@ -15,6 +15,9 @@
       benchmark-game kernels
     - {!Exec}: the execution runtime — domain pool, content-addressed
       cache, telemetry ([--jobs], [--telemetry])
+    - {!Vm} / {!Execution}: the pre-compiling IR virtual machine and the
+      engine switchboard ([--engine=vm|ref]; bit-identical outcomes, the
+      interpreter stays the frozen oracle)
     - {!Fuzz}: the differential fuzzing subsystem — whole-pipeline oracle
       and campaign driver ([yali fuzz])
     - {!Check}: the correctness-tooling layer — property-testing engine,
@@ -37,6 +40,8 @@ module Dataset = Yali_dataset
 module Games = Yali_games
 module Fuzz = Yali_fuzz
 module Check = Yali_check
+module Vm = Yali_vm.Vm
+module Execution = Yali_vm.Execution
 
 (** Parse mini-C source text into an AST. *)
 let parse = Yali_minic.Parser.parse_program
@@ -49,5 +54,6 @@ let compile ?(optimize = Yali_transforms.Pipeline.O0) (src : string) :
     Yali_ir.Irmod.t =
   Yali_transforms.Pipeline.optimize optimize (lower (parse src))
 
-(** Run a module's [main] on a list of integer inputs. *)
-let run = Yali_ir.Interp.run
+(** Run a module's [main] on a list of integer inputs, under the engine
+    selected in {!Execution} (the VM by default). *)
+let run ?fuel m input = Yali_vm.Execution.run ?fuel m input

@@ -496,3 +496,10 @@ let all : (string * Yali_minic.Ast.program) list =
     fannkuch_lite; partial_sums; nsieve; binary_trees_lite; ackermann_bench;
     harmonic; random_lcg; wordfreq_analog; strcat_analog;
   ]
+
+let modules : unit -> (string * Yali_ir.Irmod.t) list =
+  let memo =
+    lazy
+      (List.map (fun (n, p) -> (n, Yali_minic.Lower.lower_program p)) all)
+  in
+  fun () -> Lazy.force memo

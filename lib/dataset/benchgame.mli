@@ -7,3 +7,8 @@
 (** The sixteen kernels, (name, program) pairs; includes [ary3] and
     [matrix], the paper's named extremes. *)
 val all : (string * Yali_minic.Ast.program) list
+
+(** The kernels lowered to IR modules (clang -O0 style), memoized on first
+    use: lowering is pure and the modules are shared read-only between
+    Figure 13 and the execution-engine benchmarks. *)
+val modules : unit -> (string * Yali_ir.Irmod.t) list

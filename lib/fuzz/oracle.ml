@@ -13,6 +13,7 @@
 module Rng = Yali_util.Rng
 module Ir = Yali_ir
 module Interp = Yali_ir.Interp
+module Execution = Yali_vm.Execution
 
 type failure_kind =
   | Verify_failed of { stage : string; error : string }
@@ -108,11 +109,12 @@ let check ?(fuel = default_fuel) ?(variants = Pipelines.all)
     match verify_errors m with
     | Some err -> Error (Verify_failed { stage = "lower"; error = err })
     | None ->
+        let runm = Execution.prepare m in
         let base =
           Array.map
             (fun input ->
               incr execs;
-              Interp.run ~fuel m input)
+              runm ~fuel input)
             inputs
         in
         Ok (m, base)
@@ -155,13 +157,14 @@ let check ?(fuel = default_fuel) ?(variants = Pipelines.all)
           | Error kind -> fail kind
           | Ok m -> (
               let vfuel = fuel * v.vfuel in
+              let runv = Execution.prepare m in
               let at_input = ref 0 in
               try
                 Array.iteri
                   (fun input_ix input ->
                     at_input := input_ix;
                     incr execs;
-                    let o = Interp.run ~fuel:vfuel m input in
+                    let o = runv ~fuel:vfuel input in
                     if not (Interp.equal_behaviour base.(input_ix) o) then (
                       failures :=
                         {

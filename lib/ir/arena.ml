@@ -1,0 +1,29 @@
+(** See arena.mli. *)
+
+type 'a t = {
+  make : unit -> 'a;
+  free : 'a list ref Domain.DLS.key;
+  created : int Atomic.t;
+}
+
+let create ~make =
+  {
+    make;
+    free = Domain.DLS.new_key (fun () -> ref []);
+    created = Atomic.make 0;
+  }
+
+let created t = Atomic.get t.created
+
+let with_mem t f =
+  let free = Domain.DLS.get t.free in
+  let mem =
+    match !free with
+    | m :: rest ->
+        free := rest;
+        m
+    | [] ->
+        Atomic.incr t.created;
+        t.make ()
+  in
+  Fun.protect ~finally:(fun () -> free := mem :: !free) (fun () -> f mem)

@@ -1,0 +1,28 @@
+(** Domain-local pools of large per-run resources.
+
+    The interpreter needs a memory image of {!Interp.mem_size} [rvalue]
+    cells per run, and the VM a tag/bits bank pair of the same extent;
+    allocating these afresh every time dominated GC pressure on the
+    fuzz/check tiers.  An arena keeps a free list of resources {e per
+    domain} (via [Domain.DLS]), so concurrent runs under [--jobs n] never
+    share or contend on one, and a domain's steady state is one resource
+    per nesting level of {!with_mem} — in practice exactly one.
+
+    Resources are handed back {b dirty}: callers must not read state they
+    have not themselves initialised.  Both engines satisfy this by
+    construction — the bump allocator zeroes every allocation and loads
+    are bounds-checked against the allocation frontier. *)
+
+type 'a t
+
+(** [create ~make] — a pool of resources built on demand by [make].
+    Recycled resources keep their previous contents. *)
+val create : make:(unit -> 'a) -> 'a t
+
+(** Total resources ever materialised across all domains (for GC-pressure
+    accounting in the bench notes). *)
+val created : 'a t -> int
+
+(** [with_mem t f] — borrow a resource for the duration of [f]; it is
+    returned to the current domain's free list even if [f] raises. *)
+val with_mem : 'a t -> ('a -> 'b) -> 'b

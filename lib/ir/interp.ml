@@ -38,6 +38,13 @@ type state = {
 
 let mem_size = 1 lsl 20
 
+(* The memory image is pooled and reused between runs (one array per domain
+   at steady state): [alloc] zeroes every allocation and loads are
+   bounds-checked against [brk], so a recycled array is indistinguishable
+   from a fresh one. *)
+let arena : rvalue array Arena.t =
+  Arena.create ~make:(fun () -> Array.make mem_size (RInt 0L))
+
 let normalize (ty : Types.t) (n : int64) : int64 =
   match ty with
   | Types.I1 -> Int64.logand n 1L
@@ -51,7 +58,7 @@ let normalize (ty : Types.t) (n : int64) : int64 =
 
 let as_int = function
   | RInt n -> n
-  | RPtr p -> Int64.of_int p
+  | RPtr _ -> raise (Trap "expected integer, got pointer")
   | RFloat _ -> raise (Trap "expected integer, got float")
   | RUnit -> raise (Trap "expected integer, got unit")
 
@@ -362,10 +369,11 @@ and eval_func (st : state) (f : Func.t) (args : rvalue list) : rvalue =
 
 (** Run [main] of a module on a list of input integers. *)
 let run ?(fuel = 10_000_000) (m : Irmod.t) (input : int64 list) : outcome =
+  Arena.with_mem arena @@ fun mem ->
   let st =
     {
       m;
-      mem = Array.make mem_size (RInt 0L);
+      mem;
       brk = 0;
       input;
       out_rev = [];

@@ -24,6 +24,26 @@ type outcome = {
   cost : int;  (** abstract cycles per {!Opcode.cost} *)
 }
 
+(** Cells in the linear memory image (shared by both engines). *)
+val mem_size : int
+
+(** The interpreter's pooled memory image; see {!Arena}.  One array per
+    domain at steady state instead of a fresh 1 MiB allocation per run.
+    (The VM pools its own unboxed tag/bits banks of the same extent.) *)
+val arena : rvalue array Arena.t
+
+(** Dynamic conversions.  These define the IR's runtime typing discipline:
+    integer contexts accept only [RInt] — in particular a pointer used in
+    arithmetic without an explicit [ptrtoint] is a trap, not a silent
+    coercion — while pointer contexts accept [RInt] (addresses round-trip
+    through [ptrtoint]/arithmetic as plain integers) and float contexts
+    accept [RInt] (C-like implicit widening).
+    @raise Trap on any other mismatch *)
+val as_int : rvalue -> int64
+
+val as_float : rvalue -> float
+val as_ptr : rvalue -> int
+
 (** Normalise an integer to the range of a type (sign-extending wrap). *)
 val normalize : Types.t -> int64 -> int64
 

@@ -1,0 +1,33 @@
+(** See execution.mli. *)
+
+type engine = Vm | Ref
+
+let current : engine Atomic.t = Atomic.make Vm
+let get_engine () = Atomic.get current
+let set_engine e = Atomic.set current e
+
+let with_engine e f =
+  let prev = Atomic.get current in
+  Atomic.set current e;
+  Fun.protect ~finally:(fun () -> Atomic.set current prev) f
+
+let engine_of_string = function
+  | "vm" -> Some Vm
+  | "ref" | "interp" -> Some Ref
+  | _ -> None
+
+let engine_to_string = function Vm -> "vm" | Ref -> "ref"
+
+let run ?engine ?fuel m input =
+  let e = match engine with Some e -> e | None -> Atomic.get current in
+  match e with
+  | Vm -> Vm.run ?fuel m input
+  | Ref -> Yali_ir.Interp.run ?fuel m input
+
+let prepare ?engine m =
+  let e = match engine with Some e -> e | None -> Atomic.get current in
+  match e with
+  | Vm ->
+      let p = Vm.compile m in
+      fun ~fuel input -> Vm.run_compiled ~fuel p input
+  | Ref -> fun ~fuel input -> Yali_ir.Interp.run ~fuel m input

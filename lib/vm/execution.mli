@@ -1,0 +1,39 @@
+(** The engine switchboard: one place that decides how IR gets executed.
+
+    Two engines produce bit-identical {!Yali_ir.Interp.outcome}s:
+    - [Vm] (the default) — pre-compiling direct-threaded {!Vm};
+    - [Ref] — the frozen tree-walking oracle {!Yali_ir.Interp}.
+
+    The fuzzer, the translation-validation tiers, the games layer and the
+    CLI all route through here, so [--engine=ref] can re-run any campaign
+    under the reference interpreter, and a divergence report can name the
+    engine that observed it. *)
+
+type engine = Vm | Ref
+
+(** The process-wide default, [Vm] unless changed.  Reads and writes are
+    atomic; {!with_engine} is the usual way to scope a change. *)
+val get_engine : unit -> engine
+
+val set_engine : engine -> unit
+
+(** Run [f] with the default engine swapped; restores on exit even if [f]
+    raises.  Scoping is process-wide, not per-domain: don't race it against
+    concurrent runs that expect the other engine. *)
+val with_engine : engine -> (unit -> 'a) -> 'a
+
+val engine_of_string : string -> engine option
+val engine_to_string : engine -> string
+
+(** Same contract as {!Yali_ir.Interp.run}, dispatched to [engine]
+    (default: the process-wide engine). *)
+val run :
+  ?engine:engine -> ?fuel:int -> Yali_ir.Irmod.t -> int64 list ->
+  Yali_ir.Interp.outcome
+
+(** [prepare m] resolves the engine once and, under [Vm], compiles [m]
+    once; the returned closure then runs cheaply per input.  This is the
+    shape the fuzz/check loops want: one module, many seeded inputs. *)
+val prepare :
+  ?engine:engine -> Yali_ir.Irmod.t ->
+  fuel:int -> int64 list -> Yali_ir.Interp.outcome

@@ -1,0 +1,78 @@
+(** A pre-compiling virtual machine for the miniature IR.
+
+    {!Interp} is the executable specification: a tree-walking interpreter
+    that re-resolves SSA names, block labels, callees and types through
+    hashtables on every function entry.  That is ideal for an oracle —
+    simple, obviously faithful to the semantics — and hopeless for the hot
+    loop every upper layer funnels through (the differential fuzzer, the
+    translation-validation tiers, the Figure 13 game all execute thousands
+    of programs per campaign).
+
+    The VM does the name resolution {e once}, in {!compile}:
+    - SSA values become dense frame-slot indices; a call allocates one
+      [rvalue array] (recycled through a per-run free list) instead of a
+      hashtable;
+    - block labels become instruction offsets in one contiguous code array
+      per function;
+    - phi nodes are lowered out of the instruction stream into per-edge
+      parallel copies, pre-resolved against each predecessor;
+    - callees are pre-bound to function indices (or intrinsic tags), with
+      arity mismatches and unknown callees compiled to the exact trap the
+      interpreter would raise;
+    - [gep] strides, global addresses and the per-instruction
+      {!Opcode.cost} are all precomputed;
+    - the memory image comes from a pooled {!Yali_ir.Arena}.
+
+    {b Unboxed representation.}  Frame slots and memory cells are not
+    {!Yali_ir.Interp.rvalue}s but (tag byte, raw 64-bit payload) pairs in
+    two parallel banks — a [Bytes.t] of tags and a flat [float array] of
+    payloads (integers and pointers travel as bit patterns via
+    [Int64.bits_of_float]/[float_of_bits], which are free register moves).
+    Arithmetic, compares, branches, loads/stores, phi copies and calls all
+    execute without allocating; the dynamic-typing discipline survives as
+    tag checks raising the interpreter's exact trap messages.
+
+    A compiled program is immutable and safe to run from any number of
+    domains concurrently.
+
+    The contract is {b bit-identical outcomes}: for every module and input,
+    [run m i] and [Interp.run m i] return equal {!Interp.outcome}s (output,
+    foutput, exit value, steps, {e and} abstract cost) or raise the same
+    exception, including the [Trap] message and [Trap]-vs-[Out_of_fuel]
+    classification.  The hot evaluators ([normalize], 64-bit [eval_ibin],
+    compares, casts) are mirrored inline for unboxed execution — a
+    cross-module call would re-box every operand — and the [Check.Oracles]
+    differential property is the standing proof that the mirror has not
+    drifted from the oracle.
+
+    Caveat: programs that fail SSA verification ({!Verify}) are outside the
+    contract — e.g. the interpreter traps on a read of an unset name at
+    {e use} time, while the VM's slot assignment cannot reproduce the exact
+    trap ordering.  Every call site in this repo verifies before
+    executing. *)
+
+type program
+
+(** Flatten a module into executable form.  Pure; never raises on
+    ill-formed input — compile-time-detectable faults (unknown callee,
+    arity mismatch, unknown global or block, missing [main]) are compiled
+    to code that raises the interpreter's exact exception when (and only
+    when) execution reaches them. *)
+val compile : Yali_ir.Irmod.t -> program
+
+(** Number of compiled instructions, across all functions (for bench
+    reporting). *)
+val code_size : program -> int
+
+(** Run a compiled program; same contract and defaults as
+    {!Yali_ir.Interp.run}. *)
+val run_compiled :
+  ?fuel:int -> program -> int64 list -> Yali_ir.Interp.outcome
+
+(** [compile] + [run_compiled]. *)
+val run : ?fuel:int -> Yali_ir.Irmod.t -> int64 list -> Yali_ir.Interp.outcome
+
+(** Memory-image banks ever materialised by the VM's arena, across all
+    domains (GC-pressure accounting in the bench notes; cf.
+    [Arena.created Interp.arena] for the interpreter). *)
+val arenas_created : unit -> int

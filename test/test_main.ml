@@ -19,6 +19,7 @@ let () =
       ("dataset", Test_dataset.suite);
       ("gen_dsl", Test_gen_dsl.suite);
       ("exec", Test_exec.suite);
+      ("vm", Test_vm.suite);
       ("fuzz", Test_fuzz.suite);
       ("check", Test_check.suite);
       ("games", Test_games.suite);

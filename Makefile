@@ -1,6 +1,6 @@
 # Convenience targets; everything is ultimately driven by dune.
 
-.PHONY: all build build-all test check check-smoke check-deep smoke fuzz-smoke bench bench-kernels bench-vm fmt clean
+.PHONY: all build build-all test check check-smoke check-deep smoke fuzz-smoke bench bench-kernels bench-vm bench-serve fmt clean
 
 all: build
 
@@ -54,6 +54,14 @@ bench-kernels:
 # corpus, with speedups persisted in BENCH_vm.json.
 bench-vm:
 	dune exec bench/main.exe -- --quick --json BENCH_vm.json interp
+
+# Serving smoke + benchmark (DESIGN.md §11): trains and publishes a model,
+# forks the daemon, drives it with concurrent clients, and writes
+# throughput/latency/batch-size numbers to BENCH_serve.json.  Exits
+# non-zero unless every reply is deterministic and SIGTERM shutdown is
+# clean — this is CI's serve gate.
+bench-serve:
+	dune exec bench/main.exe -- --quick --jobs 2 serve
 
 # Requires ocamlformat (not part of `check`: it is not installed everywhere).
 fmt:

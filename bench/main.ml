@@ -9,6 +9,8 @@
       dune exec bench/main.exe -- micro        # bechamel suite
       dune exec bench/main.exe -- kernels      # Fmat vs pre-rewrite kernels
       dune exec bench/main.exe -- interp       # VM vs reference interpreter
+      dune exec bench/main.exe -- serve        # classification daemon under
+                                               #   load -> BENCH_serve.json
 
     Execution-runtime knobs (lib/exec):
       --engine vm|ref (or --engine=E)          # which execution engine the
@@ -840,6 +842,134 @@ let interp () =
     (Yali.Vm.arenas_created ())
 
 (* ------------------------------------------------------------------ *)
+(* Serving benchmark: the classification daemon under synthetic load   *)
+(* ------------------------------------------------------------------ *)
+
+let serve_json = "BENCH_serve.json"
+
+(* Hidden daemon mode: [serve] below re-execs this binary with this flag
+   (socket and registry dir as the two operands) instead of forking. *)
+let serve_daemon_flag = "--serve-daemon"
+
+let serve_daemon () =
+  let cfg =
+    {
+      Yali.Serve.Server.socket = Sys.argv.(2);
+      registry_dir = Sys.argv.(3);
+      model_spec = "rf";
+      queue_cap = 256;
+      max_batch = 64;
+      log = ignore;
+    }
+  in
+  match Yali.Serve.Server.run cfg with
+  | Ok () -> exit 0
+  | Error msg ->
+      Printf.eprintf "daemon: %s\n%!" msg;
+      exit 1
+
+(** End-to-end daemon benchmark (DESIGN.md §11): train and publish a
+    snapshot, launch a daemon child on a Unix socket, replay corpus
+    programs from concurrent client connections, and record sustained
+    throughput, latency quantiles, the batch-size histogram, reply
+    determinism, and whether SIGTERM shuts the daemon down cleanly.
+    Written to [BENCH_serve.json]; exits nonzero when determinism or the
+    clean shutdown fails (CI's serve smoke gate). *)
+let serve () =
+  header "Serving: daemon throughput/latency under concurrent clients";
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "yali-serve-%d" (Unix.getpid ()))
+  in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o700;
+  let registry = Filename.concat dir "models" in
+  let socket = Filename.concat dir "yali.sock" in
+  let n_classes = 8 in
+  let entry =
+    match
+      Yali.Serve.Registry.train ~seed:42 ~embedding:E.Embedding.histogram
+        ~kind:"rf" ~n_classes ~per_class:(scale 10)
+    with
+    | Ok e -> e
+    | Error msg -> failwith msg
+  in
+  let version, _ =
+    Yali.Serve.Registry.publish ~dir:registry ~meta:entry.meta entry.snapshot
+  in
+  Printf.printf "model: rf@%d (histogram, %d classes, dim %d, %d rows)\n%!"
+    version n_classes entry.meta.dim entry.meta.n_train;
+  (* launch the daemon as a re-exec of this binary in the hidden
+     [serve_daemon_flag] mode: [Unix.fork] is forbidden once the pool has
+     ever spawned a domain (training above does, at --jobs > 1), while
+     [create_process] goes through [posix_spawn] and stays legal *)
+  flush stdout;
+  flush stderr;
+  let child =
+    Unix.create_process Sys.executable_name
+      [| Sys.executable_name; serve_daemon_flag; socket; registry |]
+      Unix.stdin Unix.stdout Unix.stderr
+  in
+  let rec await_socket tries =
+    if Sys.file_exists socket then ()
+    else if tries = 0 then failwith "daemon socket never appeared"
+    else begin
+      Unix.sleepf 0.05;
+      await_socket (tries - 1)
+    end
+  in
+  await_socket 100;
+  let cfg =
+    {
+      Yali.Serve.Traffic.socket;
+      clients = 16;
+      requests = scale 400;
+      seed = 7;
+      n_classes;
+      per_class = 3;
+      log = prerr_endline;
+    }
+  in
+  let r = Yali.Serve.Traffic.run cfg in
+  Printf.printf
+    "classified %d requests in %.2fs: %.0f programs/s, p50 %dus, p99 %dus\n"
+    r.t_classified r.t_seconds r.t_throughput r.t_p50_us r.t_p99_us;
+  Printf.printf "busy replies %d, errors %d, deterministic %b\n" r.t_busy
+    r.t_errors r.t_deterministic;
+  Printf.printf "batch sizes:";
+  List.iter (fun (s, c) -> Printf.printf " %dx%d" s c) r.t_batch_hist;
+  print_newline ();
+  let server_stats =
+    let c = Yali.Serve.Client.connect socket in
+    Fun.protect
+      ~finally:(fun () -> Yali.Serve.Client.close c)
+      (fun () ->
+        match Yali.Serve.Client.stats c with Ok j -> j | Error e -> failwith e)
+  in
+  (* clean SIGTERM shutdown is part of the contract *)
+  Unix.kill child Sys.sigterm;
+  let _, status = Unix.waitpid [] child in
+  let clean = status = Unix.WEXITED 0 in
+  Printf.printf "daemon SIGTERM shutdown: %s\n"
+    (if clean then "clean (exit 0)" else "UNCLEAN");
+  let oc = open_out serve_json in
+  Printf.fprintf oc
+    "{\n  \"model\": \"rf@%d\",\n  \"classes\": %d,\n  \"clients\": %d,\n\
+    \  \"traffic\": %s,\n  \"server\": %s,\n  \"clean_shutdown\": %b\n}\n"
+    version n_classes cfg.clients
+    (Yali.Serve.Traffic.result_to_json r)
+    server_stats clean;
+  close_out oc;
+  Printf.printf "serving summary written to %s\n" serve_json;
+  let failed =
+    (not clean) || (not r.t_deterministic) || r.t_errors > 0
+    || r.t_classified < cfg.requests
+  in
+  if failed then begin
+    Printf.eprintf "serve benchmark FAILED\n";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Ablations: design choices called out in DESIGN.md                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -1156,6 +1286,8 @@ let write_json path ~total (timings : (string * float) list) =
   close_out oc
 
 let () =
+  if Array.length Sys.argv = 4 && Sys.argv.(1) = serve_daemon_flag then
+    serve_daemon ();
   let args = parse_args (List.tl (Array.to_list Sys.argv)) in
   let t0 = Yali.Exec.Telemetry.clock () in
   let timings = ref [] in
@@ -1173,12 +1305,13 @@ let () =
           if name = "micro" then timed "micro" micro
           else if name = "kernels" then timed "kernels" kernels
           else if name = "interp" then timed "interp" interp
+          else if name = "serve" then timed "serve" serve
           else
             match List.assoc_opt name (figures @ ablations) with
             | Some f -> timed name f
             | None ->
                 Printf.eprintf
-                  "unknown target %s (expected fig5..fig16, abl-*, ablations, micro, kernels, interp, all)\n"
+                  "unknown target %s (expected fig5..fig16, abl-*, ablations, micro, kernels, interp, serve, all)\n"
                   name)
         names);
   let total = Yali.Exec.Telemetry.clock () -. t0 in

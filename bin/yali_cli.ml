@@ -10,10 +10,22 @@
     - [opt]       run a pass pipeline over textual IR (an `opt` clone)
     - [play]      run one adversarial game and report the verdict
     - [fuzz]      differential fuzzing of the whole pass stack
-    - [check]     per-pass translation validation + invariant oracles *)
+    - [check]     per-pass translation validation + invariant oracles
+    - [train]     train a classifier and publish it into a model registry
+    - [serve]     classification daemon on a Unix socket
+    - [query]     talk to a running daemon *)
 
 open Cmdliner
 module Rng = Yali.Rng
+
+(* the one fatal-error exit path: code 2 = usage/flag error, code 1 =
+   runtime failure *)
+let die ~code fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline msg;
+      exit code)
+    fmt
 
 let read_file path =
   let ic = open_in_bin path in
@@ -52,7 +64,7 @@ let telemetry_arg =
 
 let configure_jobs = function
   | Some n when n >= 1 -> Yali.Exec.Pool.set_jobs n
-  | Some _ -> prerr_endline "--jobs must be positive"; exit 2
+  | Some _ -> die ~code:2 "--jobs must be positive"
   | None -> ()
 
 (* engine switchboard (lib/vm): the compiled VM and the reference
@@ -70,17 +82,13 @@ let engine_arg =
 let configure_engine s =
   match Yali.Execution.engine_of_string s with
   | Some e -> Yali.Execution.set_engine e
-  | None ->
-      Printf.eprintf "unknown engine %s (have: vm ref)\n" s;
-      exit 2
+  | None -> die ~code:2 "unknown engine %s (have: vm ref)" s
 
 (* fail on an unwritable report path before the game runs, not after *)
 let configure_telemetry = function
   | Some path -> (
       try close_out (open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path)
-      with Sys_error msg ->
-        Printf.eprintf "--telemetry: cannot write %s\n" msg;
-        exit 2)
+      with Sys_error msg -> die ~code:2 "--telemetry: cannot write %s" msg)
   | None -> ()
 
 let dump_telemetry = function
@@ -149,7 +157,7 @@ let evader_arg =
 let obfuscate_cmd =
   let run seed evader file =
     match Yali.Obfuscation.Evader.find evader with
-    | None -> prerr_endline ("unknown evader: " ^ evader); exit 1
+    | None -> die ~code:2 "unknown evader: %s" evader
     | Some e ->
         let p = Yali.parse (read_file file) in
         let m = e.apply (Rng.make seed) p in
@@ -173,7 +181,7 @@ let embedding_arg =
 let embed_cmd =
   let run level embedding file =
     match Yali.Embeddings.Embedding.find embedding with
-    | None -> prerr_endline ("unknown embedding: " ^ embedding); exit 1
+    | None -> die ~code:2 "unknown embedding: %s" embedding
     | Some e ->
         let m = Yali.compile ~optimize:level (read_file file) in
         let v = Yali.Embeddings.Embedding.to_flat e m in
@@ -205,7 +213,7 @@ let generate_cmd =
         Yali.Dataset.Genprog.all
     else
       match Yali.Dataset.Genprog.find_by_name problem with
-      | None -> prerr_endline ("unknown problem: " ^ problem); exit 1
+      | None -> die ~code:2 "unknown problem: %s" problem
       | Some p ->
           print_string
             (Yali.Minic.Pp.program_to_string (p.generate (Rng.make seed)))
@@ -277,16 +285,14 @@ let opt_cmd =
         (fun m name ->
           match Yali.Transforms.Pipeline.find_pass name with
           | Some p -> p.prun m
-          | None ->
-              prerr_endline ("unknown pass: " ^ name);
-              exit 1)
+          | None -> die ~code:2 "unknown pass: %s" name)
         m passes
     in
     (match Yali.Ir.Verify.check_module m with
     | [] -> ()
     | errs ->
         List.iter (fun e -> Fmt.epr "%a@." Yali.Ir.Verify.pp_error e) errs;
-        exit 1);
+        die ~code:1 "opt: the pipeline produced an invalid module");
     print_string (Yali.Ir.Pp.module_to_string m)
   in
   Cmd.v
@@ -324,12 +330,12 @@ let play_cmd =
     let e =
       match Yali.Obfuscation.Evader.find evader with
       | Some e -> e
-      | None -> prerr_endline ("unknown evader: " ^ evader); exit 1
+      | None -> die ~code:2 "unknown evader: %s" evader
     in
     let m =
       match Yali.Ml.Model.find_flat model with
       | Some m -> m
-      | None -> prerr_endline ("unknown model: " ^ model); exit 1
+      | None -> die ~code:2 "unknown model: %s" model
     in
     let setup =
       match game with
@@ -337,7 +343,7 @@ let play_cmd =
       | 1 -> Yali.Games.Game.game1 e
       | 2 -> Yali.Games.Game.game2 e
       | 3 -> Yali.Games.Game.game3 e
-      | _ -> prerr_endline "game must be 0..3"; exit 1
+      | _ -> die ~code:2 "game must be 0..3"
     in
     let rng = Rng.make seed in
     let split =
@@ -444,9 +450,8 @@ let fuzz_cmd =
               match Yali.Fuzz.Pipelines.find n with
               | Some v -> v
               | None ->
-                  Printf.eprintf "unknown variant %s (have: %s)\n" n
-                    (String.concat " " (Yali.Fuzz.Pipelines.names ()));
-                  exit 2)
+                  die ~code:2 "unknown variant %s (have: %s)" n
+                    (String.concat " " (Yali.Fuzz.Pipelines.names ())))
             names
     in
     let count =
@@ -570,9 +575,193 @@ let check_cmd =
       const run $ seed_arg $ jobs_arg $ telemetry_arg $ engine_arg $ deep_arg
       $ per_pass_arg $ out_arg $ save_arg $ corpus_arg $ quiet_arg)
 
+(* -- train / serve / query: classification-as-a-service -------------------- *)
+
+let registry_arg =
+  Arg.(
+    value
+    & opt string "models"
+    & info [ "registry" ] ~docv:"DIR" ~doc:"Model registry directory.")
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "yali.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix socket path.")
+
+let train_cmd =
+  let model_arg =
+    Arg.(
+      value
+      & opt string "rf"
+      & info [ "model"; "m" ] ~docv:"NAME" ~doc:"Model: rf svm knn lr mlp.")
+  in
+  let classes_arg =
+    Arg.(value & opt int 8 & info [ "classes"; "c" ] ~doc:"Number of problem classes.")
+  in
+  let per_class_arg =
+    Arg.(value & opt int 15 & info [ "per-class" ] ~doc:"Training samples per class.")
+  in
+  let version_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "version" ] ~docv:"N"
+          ~doc:"Registry version tag (default: latest+1).")
+  in
+  let run seed jobs registry model embedding classes per_class version =
+    configure_jobs jobs;
+    let e =
+      match Yali.Embeddings.Embedding.find embedding with
+      | Some e -> e
+      | None -> die ~code:2 "unknown embedding: %s" embedding
+    in
+    match
+      Yali.Serve.Registry.train ~seed ~embedding:e ~kind:model
+        ~n_classes:classes ~per_class
+    with
+    | Error msg -> die ~code:2 "%s" msg
+    | Ok entry ->
+        let v, path =
+          Yali.Serve.Registry.publish ~dir:registry ?version ~meta:entry.meta
+            entry.snapshot
+        in
+        Printf.printf "published %s@%d (%s, %d classes, dim %d, %d rows) -> %s\n"
+          model v embedding classes entry.meta.dim entry.meta.n_train path
+  in
+  Cmd.v
+    (Cmd.info "train"
+       ~doc:"Train a classifier on the synthetic corpus and publish its \
+             snapshot into the model registry.")
+    Term.(
+      const run $ seed_arg $ jobs_arg $ registry_arg $ model_arg
+      $ embedding_arg $ classes_arg $ per_class_arg $ version_arg)
+
+let serve_cmd =
+  let model_arg =
+    Arg.(
+      value
+      & opt string "rf"
+      & info [ "model"; "m" ] ~docv:"NAME[@VER]"
+          ~doc:"Registry model spec, e.g. rf or rf@3 (default: latest).")
+  in
+  let queue_cap_arg =
+    Arg.(
+      value
+      & opt int Yali.Serve.Server.default.queue_cap
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:"Pending requests before the daemon answers busy.")
+  in
+  let max_batch_arg =
+    Arg.(
+      value
+      & opt int Yali.Serve.Server.default.max_batch
+      & info [ "max-batch" ] ~docv:"N" ~doc:"Micro-batch size cap.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No startup/shutdown log.")
+  in
+  let run jobs socket registry model queue_cap max_batch quiet =
+    configure_jobs jobs;
+    if queue_cap < 1 then die ~code:2 "--queue-cap must be positive";
+    if max_batch < 1 then die ~code:2 "--max-batch must be positive";
+    let cfg =
+      {
+        Yali.Serve.Server.socket;
+        registry_dir = registry;
+        model_spec = model;
+        queue_cap;
+        max_batch;
+        log = (if quiet then ignore else prerr_endline);
+      }
+    in
+    match Yali.Serve.Server.run cfg with
+    | Ok () -> ()
+    | Error msg -> die ~code:1 "serve: %s" msg
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve classifications over a Unix socket, micro-batching \
+             concurrent requests (replies are independent of batching and \
+             --jobs).")
+    Term.(
+      const run $ jobs_arg $ socket_arg $ registry_arg $ model_arg
+      $ queue_cap_arg $ max_batch_arg $ quiet_arg)
+
+let query_cmd =
+  let file_arg =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Program to classify.")
+  in
+  let fmt_arg =
+    Arg.(
+      value
+      & opt string "minic"
+      & info [ "fmt" ] ~docv:"minic|ir|bin"
+          ~doc:
+            "How \\$(b,FILE) is sent: mini-C source ($(b,minic), default), \
+             textual IR ($(b,ir)), or a binary codec blob ($(b,bin)).")
+  in
+  let ping_arg =
+    Arg.(value & flag & info [ "ping" ] ~doc:"Just check the daemon is alive.")
+  in
+  let stats_arg =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print the daemon's telemetry JSON.")
+  in
+  let shutdown_arg =
+    Arg.(value & flag & info [ "shutdown" ] ~doc:"Ask the daemon to exit.")
+  in
+  let run socket file fmt ping stats shutdown =
+    let c =
+      try Yali.Serve.Client.connect socket
+      with Unix.Unix_error (err, _, _) ->
+        die ~code:1 "cannot reach %s: %s" socket (Unix.error_message err)
+    in
+    Fun.protect
+      ~finally:(fun () -> Yali.Serve.Client.close c)
+      (fun () ->
+        if ping then
+          if Yali.Serve.Client.ping c then print_endline "pong"
+          else die ~code:1 "no pong from %s" socket
+        else if stats then
+          match Yali.Serve.Client.stats c with
+          | Ok json -> print_endline json
+          | Error msg -> die ~code:1 "stats: %s" msg
+        else if shutdown then Yali.Serve.Client.shutdown c
+        else
+          let file =
+            match file with
+            | Some f -> f
+            | None -> die ~code:2 "query needs a FILE (or --ping/--stats/--shutdown)"
+          in
+          let fmt =
+            match fmt with
+            | "minic" -> Yali.Serve.Wire.Minic
+            | "ir" -> Yali.Serve.Wire.Textual
+            | "bin" -> Yali.Serve.Wire.Binary
+            | other -> die ~code:2 "unknown --fmt %s (have: minic ir bin)" other
+          in
+          match
+            Yali.Serve.Client.request c
+              (Yali.Serve.Wire.Classify { fmt; blob = read_file file })
+          with
+          | Yali.Serve.Wire.Class { cls; queue_us; batch } ->
+              Printf.printf "class=%d queue_us=%d batch=%d\n" cls queue_us batch
+          | Yali.Serve.Wire.Busy -> die ~code:1 "daemon is busy; retry"
+          | Yali.Serve.Wire.Error msg -> die ~code:1 "daemon error: %s" msg
+          | _ -> die ~code:1 "unexpected reply")
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Classify a program against a running daemon.")
+    Term.(
+      const run $ socket_arg $ file_arg $ fmt_arg $ ping_arg $ stats_arg
+      $ shutdown_arg)
+
 let () =
   let doc = "a game-based framework to compare program classifiers and evaders" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "yali" ~doc)
-          [ compile_cmd; run_cmd; obfuscate_cmd; embed_cmd; generate_cmd; dataset_cmd; opt_cmd; play_cmd; fuzz_cmd; check_cmd ]))
+          [ compile_cmd; run_cmd; obfuscate_cmd; embed_cmd; generate_cmd; dataset_cmd; opt_cmd; play_cmd; fuzz_cmd; check_cmd; train_cmd; serve_cmd; query_cmd ]))

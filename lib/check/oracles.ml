@@ -355,4 +355,103 @@ let engines =
       gen_engine_case vm_matches_interp;
   ]
 
-let all = kernels @ metrics @ exec @ engines
+(* -- serve: the binary codec against the textual Pp path -------------------- *)
+
+module Codec = Yali_serve.Codec
+module Wire = Yali_serve.Wire
+
+(* One case = one generated program pushed through every registered pipeline
+   variant; each resulting module must survive encode/decode with full
+   structural identity (high-water marks included, [Stdlib.compare] so NaN
+   constants count as themselves), print bit-identically under Pp, and
+   re-encode to the identical blob.  Variants whose transforms crash are
+   skipped — those are translation-validation findings. *)
+let codec_roundtrip ((p : Yali_minic.Ast.program), (rng : Rng.t)) : bool =
+  match Yali_minic.Lower.lower_program p with
+  | exception _ -> true
+  | m0 ->
+      let variant_ok k (v : Pipelines.variant) =
+        let vrng = Rng.split_ix rng (1 + k) in
+        match
+          List.fold_left
+            (fun (m, ix) (s : Pipelines.stage) ->
+              (s.srun (Rng.split_ix vrng ix) m, ix + 1))
+            (m0, 0) v.vstages
+        with
+        | exception _ -> true
+        | m, _ -> (
+            let blob = Codec.encode_module m in
+            match Codec.decode_module blob with
+            | exception Yali_util.Bin.Corrupt _ -> false
+            | m' ->
+                Stdlib.compare m' m = 0
+                && Yali_ir.Pp.module_to_string m'
+                   = Yali_ir.Pp.module_to_string m
+                && String.equal (Codec.encode_module m') blob)
+      in
+      List.for_all Fun.id (List.mapi variant_ok Pipelines.all)
+
+let gen_wire_case (rng : Rng.t) =
+  let blob n = String.init (Rng.int rng n) (fun _ -> Char.chr (Rng.int rng 256)) in
+  let rq =
+    match Rng.int rng 4 with
+    | 0 ->
+        let fmt =
+          match Rng.int rng 3 with
+          | 0 -> Wire.Binary
+          | 1 -> Wire.Minic
+          | _ -> Wire.Textual
+        in
+        Wire.Classify { fmt; blob = blob 64 }
+    | 1 -> Wire.Ping
+    | 2 -> Wire.Stats
+    | _ -> Wire.Shutdown
+  in
+  let rs =
+    match Rng.int rng 6 with
+    | 0 ->
+        Wire.Class
+          {
+            cls = Rng.int rng 104;
+            queue_us = Rng.int rng 1_000_000;
+            batch = 1 + Rng.int rng 64;
+          }
+    | 1 -> Wire.Error (blob 32)
+    | 2 -> Wire.Busy
+    | 3 -> Wire.Pong
+    | 4 -> Wire.Stats_json (blob 128)
+    | _ -> Wire.Bye
+  in
+  (rq, rs)
+
+let show_wire_case (rq, rs) =
+  Printf.sprintf "wire request tag %d, response tag %d"
+    (match rq with
+    | Wire.Classify _ -> 1
+    | Wire.Ping -> 2
+    | Wire.Stats -> 3
+    | Wire.Shutdown -> 4)
+    (match rs with
+    | Wire.Class _ -> 0
+    | Wire.Error _ -> 1
+    | Wire.Busy -> 2
+    | Wire.Pong -> 3
+    | Wire.Stats_json _ -> 4
+    | Wire.Bye -> 5)
+
+let wire_roundtrip (rq, rs) =
+  Wire.decode_request (Wire.encode_request rq) = rq
+  && Wire.decode_response (Wire.encode_response rs) = rs
+
+let serve =
+  [
+    Prop.make ~name:"serve/codec-roundtrip" ~show:show_engine_case
+      ~candidates:(fun (p, rng) ->
+        List.map (fun q -> (q, rng)) (Shrink.candidates p))
+      ~measure:(fun (p, _) -> Shrink.stmt_count p)
+      gen_engine_case codec_roundtrip;
+    Prop.make ~name:"serve/wire-roundtrip" ~show:show_wire_case gen_wire_case
+      wire_roundtrip;
+  ]
+
+let all = kernels @ metrics @ exec @ engines @ serve

@@ -15,12 +15,18 @@
       reference interpreter — each generated program is pushed through
       every registered pipeline variant ({!Pipelines.all}) and both engines
       must produce bit-identical outcomes (steps and cost included) with
-      identical [Trap]/[Out_of_fuel] classification. *)
+      identical [Trap]/[Out_of_fuel] classification;
+    - {!serve}: the {!Yali_serve.Codec} binary format — each generated
+      program, through every registered pipeline variant, must survive
+      encode/decode with full structural identity and print bit-identically
+      under {!Yali_ir.Pp}, and re-encode to the identical blob; plus
+      {!Yali_serve.Wire} message round-trips. *)
 
 val kernels : Prop.t list
 val metrics : Prop.t list
 val exec : Prop.t list
 val engines : Prop.t list
+val serve : Prop.t list
 
-(** All four families, in the order above. *)
+(** All five families, in the order above. *)
 val all : Prop.t list

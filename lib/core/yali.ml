@@ -23,6 +23,8 @@
     - {!Check}: the correctness-tooling layer — property-testing engine,
       per-pass translation validation, invariant oracles, smoke/deep tiers
       ([yali check])
+    - {!Serve}: classification-as-a-service — binary IR codec, versioned
+      model registry, micro-batching daemon ([yali serve])
 
     {1 The games}
     - {!Games}: Definitions 2.1–2.4, the four games, the arena. *)
@@ -40,6 +42,7 @@ module Dataset = Yali_dataset
 module Games = Yali_games
 module Fuzz = Yali_fuzz
 module Check = Yali_check
+module Serve = Yali_serve
 module Vm = Yali_vm.Vm
 module Execution = Yali_vm.Execution
 

@@ -351,3 +351,43 @@ let rec node_count = function
   | Split { left; right; _ } -> 1 + node_count left + node_count right
 
 let size_bytes (t : t) : int = node_count t.root * 40
+
+(* -- snapshots -------------------------------------------------------------- *)
+
+module Bin = Yali_util.Bin
+
+(* trees are at most [max_depth] (default 24) deep, so plain recursion is
+   safe on both sides *)
+let rec node_to_bin b = function
+  | Leaf c ->
+      Bin.w_u8 b 0;
+      Bin.w_u32 b c
+  | Split { feature; threshold; left; right } ->
+      Bin.w_u8 b 1;
+      Bin.w_u32 b feature;
+      Bin.w_f64 b threshold;
+      node_to_bin b left;
+      node_to_bin b right
+
+(* the depth guard keeps a corrupt input from overflowing the stack: no
+   genuine tree is remotely this deep (train caps depth at [max_depth]) *)
+let rec node_of_bin ?(depth = 0) r =
+  if depth > 512 then Bin.fail r "tree deeper than 512";
+  match Bin.r_u8 r with
+  | 0 -> Leaf (Bin.r_u32 r)
+  | 1 ->
+      let feature = Bin.r_u32 r in
+      let threshold = Bin.r_f64 r in
+      let left = node_of_bin ~depth:(depth + 1) r in
+      let right = node_of_bin ~depth:(depth + 1) r in
+      Split { feature; threshold; left; right }
+  | n -> Bin.fail r (Printf.sprintf "bad tree-node tag %d" n)
+
+let to_bin b (t : t) =
+  Bin.w_u32 b t.n_classes;
+  node_to_bin b t.root
+
+let of_bin r : t =
+  let n_classes = Bin.r_u32 r in
+  let root = node_of_bin r in
+  { root; n_classes }

@@ -61,3 +61,9 @@ val predict_row : t -> Fmat.t -> int -> int
 
 val node_count : node -> int
 val size_bytes : t -> int
+
+(** Serialise a grown tree bit-exactly (thresholds as IEEE-754 bits). *)
+val to_bin : Buffer.t -> t -> unit
+
+(** @raise Yali_util.Bin.Corrupt on malformed input *)
+val of_bin : Yali_util.Bin.r -> t

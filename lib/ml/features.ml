@@ -100,3 +100,16 @@ let bytes_of_rows (xs : float array array) : int =
 (** Same footprint estimate for a flat matrix: one header, no per-row
     overhead — the memory argument for the contiguous layout. *)
 let bytes_of_fmat (x : Fmat.t) : int = (8 * x.Fmat.n * x.Fmat.d) + 24
+
+module Bin = Yali_util.Bin
+
+let scaler_to_bin b (s : scaler) =
+  Bin.w_floats b s.means;
+  Bin.w_floats b s.stds
+
+let scaler_of_bin r : scaler =
+  let means = Bin.r_floats r in
+  let stds = Bin.r_floats r in
+  if Array.length means <> Array.length stds then
+    Bin.fail r "scaler with mismatched means/stds";
+  { means; stds }

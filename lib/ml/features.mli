@@ -30,3 +30,9 @@ val bytes_of_rows : float array array -> int
 
 (** Footprint of a flat matrix (one block, no per-row headers). *)
 val bytes_of_fmat : Fmat.t -> int
+
+(** Serialise a fitted scaler bit-exactly (model snapshots). *)
+val scaler_to_bin : Buffer.t -> scaler -> unit
+
+(** @raise Yali_util.Bin.Corrupt on malformed input *)
+val scaler_of_bin : Yali_util.Bin.r -> scaler

@@ -86,3 +86,19 @@ let sq_norm_row (m : t) (i : int) : float =
 let copy (m : t) : t = { m with data = Array.copy m.data }
 let to_matrix (m : t) : Matrix.t = { Matrix.rows = m.n; cols = m.d; data = m.data }
 let of_matrix (m : Matrix.t) : t = { n = m.Matrix.rows; d = m.Matrix.cols; data = m.Matrix.data }
+
+module Bin = Yali_util.Bin
+
+let to_bin b (m : t) =
+  Bin.w_u32 b m.n;
+  Bin.w_u32 b m.d;
+  Bin.w_floats b m.data
+
+let of_bin r : t =
+  let n = Bin.r_u32 r in
+  let d = Bin.r_u32 r in
+  let data = Bin.r_floats r in
+  if Array.length data <> n * d then
+    Bin.fail r
+      (Printf.sprintf "fmat %dx%d with %d elements" n d (Array.length data));
+  { n; d; data }

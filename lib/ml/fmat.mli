@@ -65,3 +65,9 @@ val to_matrix : t -> Matrix.t
 
 (** Zero-copy view of a {!Matrix.t} as a feature matrix (shares [data]). *)
 val of_matrix : Matrix.t -> t
+
+(** Serialise shape and element bits (model snapshots; bit-exact). *)
+val to_bin : Buffer.t -> t -> unit
+
+(** @raise Yali_util.Bin.Corrupt on malformed input *)
+val of_bin : Yali_util.Bin.r -> t

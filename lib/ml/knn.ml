@@ -90,3 +90,27 @@ let predict_batch (t : t) (qs : Fmat.t) : int array =
 
 let size_bytes (t : t) : int =
   Features.bytes_of_fmat t.x + (8 * Array.length t.ys)
+
+(* The snapshot stores the standardised training matrix itself: k-NN's
+   "weights" are the training set, exactly as held in memory. *)
+
+module Bin = Yali_util.Bin
+
+let to_bin b (t : t) =
+  Bin.w_u32 b t.k;
+  Features.scaler_to_bin b t.scaler;
+  Fmat.to_bin b t.x;
+  Bin.w_floats b t.norms;
+  Bin.w_ints b t.ys;
+  Bin.w_u32 b t.n_classes
+
+let of_bin r : t =
+  let k = Bin.r_u32 r in
+  let scaler = Features.scaler_of_bin r in
+  let x = Fmat.of_bin r in
+  let norms = Bin.r_floats r in
+  let ys = Bin.r_ints r in
+  let n_classes = Bin.r_u32 r in
+  if Array.length norms <> x.Fmat.n || Array.length ys <> x.Fmat.n then
+    Bin.fail r "knn shape mismatch";
+  { k; scaler; x; norms; ys; n_classes }

@@ -27,3 +27,9 @@ val predict_batch : t -> Fmat.t -> int array
 
 (** Approximate heap footprint of the stored training set. *)
 val size_bytes : t -> int
+
+(** Serialise the trained model bit-exactly ({!Model.save}'s weights). *)
+val to_bin : Buffer.t -> t -> unit
+
+(** @raise Yali_util.Bin.Corrupt on malformed input *)
+val of_bin : Yali_util.Bin.r -> t

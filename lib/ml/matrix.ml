@@ -157,3 +157,20 @@ let pp fmt (m : t) =
     Fmt.pf fmt "]@,"
   done;
   Fmt.pf fmt "@]"
+
+module Bin = Yali_util.Bin
+
+let to_bin b (m : t) =
+  Bin.w_u32 b m.rows;
+  Bin.w_u32 b m.cols;
+  Bin.w_floats b m.data
+
+let of_bin r : t =
+  let rows = Bin.r_u32 r in
+  let cols = Bin.r_u32 r in
+  let data = Bin.r_floats r in
+  if Array.length data <> rows * cols then
+    Bin.fail r
+      (Printf.sprintf "matrix %dx%d with %d elements" rows cols
+         (Array.length data));
+  { rows; cols; data }

@@ -54,3 +54,9 @@ val random : Yali_util.Rng.t -> int -> int -> scale:float -> t
 
 val frobenius : t -> float
 val pp : Format.formatter -> t -> unit
+
+(** Serialise shape and element bits (model snapshots; bit-exact). *)
+val to_bin : Buffer.t -> t -> unit
+
+(** @raise Yali_util.Bin.Corrupt on malformed input *)
+val of_bin : Yali_util.Bin.r -> t

@@ -57,3 +57,14 @@ let predict_batch (t : t) (x : Fmat.t) : int array =
   Nn.predict_batch t.net x
 
 let size_bytes (t : t) : int = Nn.size_bytes t.net
+
+module Bin = Yali_util.Bin
+
+let to_bin b (t : t) =
+  Features.scaler_to_bin b t.scaler;
+  Nn.to_bin b t.net
+
+let of_bin r : t =
+  let scaler = Features.scaler_of_bin r in
+  let net = Nn.of_bin r in
+  { scaler; net }

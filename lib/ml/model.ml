@@ -126,3 +126,122 @@ let dgcnn =
 let all_flat : flat list = [ rf; svm; knn; lr; mlp; cnn ]
 
 let find_flat name = List.find_opt (fun m -> m.fname = name) all_flat
+
+(* -- snapshots -------------------------------------------------------------- *)
+
+module Bin = Yali_util.Bin
+
+type snapshot =
+  | S_lr of Logreg.t
+  | S_svm of Svm.t
+  | S_knn of Knn.t
+  | S_mlp of Mlp.t
+  | S_rf of Random_forest.t
+
+let snapshot_kind = function
+  | S_lr _ -> "lr"
+  | S_svm _ -> "svm"
+  | S_knn _ -> "knn"
+  | S_mlp _ -> "mlp"
+  | S_rf _ -> "rf"
+
+let snapshot_kinds = [ "rf"; "svm"; "knn"; "lr"; "mlp" ]
+
+let train_snapshot name rng ~n_classes x ys =
+  match name with
+  | "lr" -> Some (S_lr (Logreg.train rng ~n_classes x ys))
+  | "svm" -> Some (S_svm (Svm.train rng ~n_classes x ys))
+  | "knn" -> Some (S_knn (Knn.train ~n_classes x ys))
+  | "mlp" -> Some (S_mlp (Mlp.train rng ~n_classes x ys))
+  | "rf" -> Some (S_rf (Random_forest.train rng ~n_classes x ys))
+  | _ -> None
+
+let restore = function
+  | S_lr m ->
+      {
+        predict = Logreg.predict m;
+        predict_batch = Logreg.predict_batch m;
+        size_bytes = Logreg.size_bytes m;
+      }
+  | S_svm m ->
+      {
+        predict = Svm.predict m;
+        predict_batch = Svm.predict_batch m;
+        size_bytes = Svm.size_bytes m;
+      }
+  | S_knn m ->
+      {
+        predict = Knn.predict m;
+        predict_batch = Knn.predict_batch m;
+        size_bytes = Knn.size_bytes m;
+      }
+  | S_mlp m ->
+      {
+        predict = Mlp.predict m;
+        predict_batch = Mlp.predict_batch m;
+        size_bytes = Mlp.size_bytes m;
+      }
+  | S_rf m ->
+      {
+        predict = Random_forest.predict m;
+        predict_batch = Random_forest.predict_batch m;
+        size_bytes = Random_forest.size_bytes m;
+      }
+
+(* Snapshot blob: magic + u16 version + u8 kind tag + weight payload.
+   The magic keeps a model file from ever being confused with an IR blob
+   (Serve.Codec uses "YALI"); the version gates decoder evolution. *)
+
+let magic = "YMDL"
+let version = 1
+
+let kind_tag = function
+  | S_lr _ -> 0
+  | S_svm _ -> 1
+  | S_knn _ -> 2
+  | S_mlp _ -> 3
+  | S_rf _ -> 4
+
+let save (s : snapshot) : string =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b magic;
+  Bin.w_u16 b version;
+  Bin.w_u8 b (kind_tag s);
+  (match s with
+  | S_lr m -> Logreg.to_bin b m
+  | S_svm m -> Svm.to_bin b m
+  | S_knn m -> Knn.to_bin b m
+  | S_mlp m -> Mlp.to_bin b m
+  | S_rf m -> Random_forest.to_bin b m);
+  Buffer.contents b
+
+let load (blob : string) : snapshot =
+  let r = Bin.reader blob in
+  let m = Bin.r_raw r 4 in
+  if m <> magic then Bin.fail r (Printf.sprintf "bad model magic %S" m);
+  let v = Bin.r_u16 r in
+  if v <> version then
+    Bin.fail r (Printf.sprintf "model version skew: got %d, expected %d" v version);
+  let s =
+    match Bin.r_u8 r with
+    | 0 -> S_lr (Logreg.of_bin r)
+    | 1 -> S_svm (Svm.of_bin r)
+    | 2 -> S_knn (Knn.of_bin r)
+    | 3 -> S_mlp (Mlp.of_bin r)
+    | 4 -> S_rf (Random_forest.of_bin r)
+    | n -> Bin.fail r (Printf.sprintf "bad model kind tag %d" n)
+  in
+  Bin.expect_end r;
+  s
+
+let save_file path s =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (save s))
+
+let load_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> load (really_input_string ic (in_channel_length ic)))

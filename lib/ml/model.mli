@@ -52,3 +52,53 @@ val dgcnn : graph  (** the full Deep Graph CNN *)
 val all_flat : flat list
 
 val find_flat : string -> flat option
+
+(** {1 Snapshots}
+
+    A snapshot is the concrete weight state of a trained flat model —
+    matrices, biases, trees, the k-NN training set — rather than the
+    closures of {!trained}, so it can be persisted and reloaded
+    bit-exactly: {!restore} of a saved-and-loaded snapshot predicts
+    bit-identically to the in-memory trained model.  The [cnn] is the one
+    flat model without a snapshot form (it keeps activation planes). *)
+
+type snapshot =
+  | S_lr of Logreg.t
+  | S_svm of Svm.t
+  | S_knn of Knn.t
+  | S_mlp of Mlp.t
+  | S_rf of Random_forest.t
+
+(** The registry name of the snapshot's model ("lr", "svm", ...). *)
+val snapshot_kind : snapshot -> string
+
+(** Names accepted by {!train_snapshot}, in registry order. *)
+val snapshot_kinds : string list
+
+(** Train the named model and capture its weights.  [None] for unknown
+    names and for [cnn].  The trained model behind the snapshot is exactly
+    [find_flat name].ftrain on the same inputs (same rng consumption). *)
+val train_snapshot :
+  string ->
+  Yali_util.Rng.t ->
+  n_classes:int ->
+  Fmat.t ->
+  int array ->
+  snapshot option
+
+(** The predictor of a snapshot; class decisions are identical to the
+    {!trained} returned by the original [ftrain]. *)
+val restore : snapshot -> trained
+
+(** Serialise to the versioned binary form (magic ["YMDL"], version 1,
+    kind tag, weight payload — DESIGN.md §11). *)
+val save : snapshot -> string
+
+(** @raise Yali_util.Bin.Corrupt on bad magic, version skew or a
+    malformed payload *)
+val load : string -> snapshot
+
+val save_file : string -> snapshot -> unit
+
+(** @raise Yali_util.Bin.Corrupt as {!load}; @raise Sys_error as [open_in] *)
+val load_file : string -> snapshot

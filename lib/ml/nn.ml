@@ -288,3 +288,43 @@ let size_bytes (net : t) : int =
       | Conv1d c -> 8 * ((c.filters.rows * c.filters.cols) + Array.length c.cbias)
       | Relu _ | Tanh _ | Dropout _ | MaxPool _ -> 0)
     0 net.layers
+
+(* -- snapshots -------------------------------------------------------------- *)
+
+module Bin = Yali_util.Bin
+
+let layer_to_bin b (l : layer) =
+  match l with
+  | Dense d ->
+      Bin.w_u8 b 0;
+      Matrix.to_bin b d.w;
+      Bin.w_floats b d.b
+  | Relu _ -> Bin.w_u8 b 1
+  | Tanh _ -> Bin.w_u8 b 2
+  | Dropout d ->
+      Bin.w_u8 b 3;
+      Bin.w_f64 b d.p
+  | Conv1d _ | MaxPool _ ->
+      invalid_arg "Nn.to_bin: convolutional layers are not snapshot-able"
+
+let layer_of_bin r : layer =
+  match Bin.r_u8 r with
+  | 0 ->
+      let w = Matrix.of_bin r in
+      let b = Bin.r_floats r in
+      if Array.length b <> w.Matrix.rows then
+        Bin.fail r "dense layer bias/weight shape mismatch";
+      Dense { w; b; last_in = [||] }
+  | 1 -> Relu { mask = [||] }
+  | 2 -> Tanh { out = [||] }
+  | 3 -> Dropout { p = Bin.r_f64 r; dmask = [||] }
+  | n -> Bin.fail r (Printf.sprintf "bad layer tag %d" n)
+
+let to_bin b (net : t) =
+  Bin.w_u32 b net.n_classes;
+  Bin.w_seq b layer_to_bin net.layers
+
+let of_bin r : t =
+  let n_classes = Bin.r_u32 r in
+  let layers = Bin.r_seq r layer_of_bin in
+  { layers; n_classes }

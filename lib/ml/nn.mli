@@ -46,3 +46,13 @@ val predict : t -> float array -> int
 val predict_batch : t -> Fmat.t -> int array
 
 val size_bytes : t -> int
+
+(** Serialise a dense-only network (Dense/ReLU/tanh/dropout) bit-exactly;
+    training scratch (masks, cached activations) is not part of the model
+    and is not persisted.
+    @raise Invalid_argument on convolutional layers (the CNN keeps its
+    activation planes and is not snapshot-able) *)
+val to_bin : Buffer.t -> t -> unit
+
+(** @raise Yali_util.Bin.Corrupt on malformed input *)
+val of_bin : Yali_util.Bin.r -> t

@@ -78,3 +78,14 @@ let predict_batch (f : t) (x : Fmat.t) : int array =
 
 let size_bytes (f : t) : int =
   Array.fold_left (fun acc t -> acc + Decision_tree.size_bytes t) 0 f.trees
+
+module Bin = Yali_util.Bin
+
+let to_bin b (f : t) =
+  Bin.w_u32 b f.n_classes;
+  Bin.w_arr b Decision_tree.to_bin f.trees
+
+let of_bin r : t =
+  let n_classes = Bin.r_u32 r in
+  let trees = Bin.r_arr r Decision_tree.of_bin in
+  { trees; n_classes }

@@ -137,3 +137,17 @@ let predict_batch (t : t) (x : Fmat.t) : int array =
       !best)
 
 let size_bytes (t : t) : int = 8 * t.weights.rows * t.weights.cols
+
+module Bin = Yali_util.Bin
+
+let to_bin b (t : t) =
+  Features.scaler_to_bin b t.scaler;
+  Matrix.to_bin b t.weights;
+  Bin.w_u32 b t.n_classes
+
+let of_bin r : t =
+  let scaler = Features.scaler_of_bin r in
+  let weights = Matrix.of_bin r in
+  let n_classes = Bin.r_u32 r in
+  if weights.Matrix.rows <> n_classes then Bin.fail r "svm shape mismatch";
+  { scaler; weights; n_classes }

@@ -1,0 +1,29 @@
+(** Blocking client for the {!Server} daemon: one request in flight per
+    connection, framed as in {!Wire}. *)
+
+type t
+
+(** @raise Unix.Unix_error when the socket cannot be reached *)
+val connect : string -> t
+
+val close : t -> unit
+
+val fd : t -> Unix.file_descr
+
+(** Send a request and block for its reply.
+    @raise Yali_util.Bin.Corrupt on a malformed reply or mid-frame EOF *)
+val request : t -> Wire.request -> Wire.response
+
+(** Classify an IR module (sent as a {!Codec} blob — the fast path). *)
+val classify : t -> Yali_ir.Irmod.t -> Wire.response
+
+(** Classify mini-C source text (compiled server-side). *)
+val classify_source : t -> string -> Wire.response
+
+val ping : t -> bool
+
+(** The daemon's {!Server.stats_json}. *)
+val stats : t -> (string, string) result
+
+(** Ask the daemon to exit; returns once it acknowledges with [Bye]. *)
+val shutdown : t -> unit

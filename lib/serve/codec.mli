@@ -1,0 +1,36 @@
+(** The compact binary on-disk / wire format for IR modules — the "parse
+    once" half of classification-as-a-service (DESIGN.md §11).
+
+    A blob is a 7-byte header (magic ["YALI"], u16 format version, u8
+    section count) followed by length-prefixed sections: a string table
+    (every identifier — module, function, global, block label, call
+    target — interned once, in first-use order) and the module body, whose
+    opcodes, types, predicates and casts are single-byte tags.
+
+    Contract (enforced by the [serve/codec-roundtrip] oracle in
+    {!Yali_check.Oracles} across generated programs and every registered
+    pipeline variant): [decode (encode m)] is structurally equal to [m] —
+    high-water marks included — and therefore prints bit-identically under
+    {!Yali_ir.Pp} and behaves identically under every engine.  Decoding
+    validates every byte: truncation, bad magic, version skew, unknown
+    tags and trailing garbage raise {!Yali_util.Bin.Corrupt}, never a
+    crash or a silently wrong module. *)
+
+val magic : string
+
+(** The current format version; the decoder accepts exactly this one. *)
+val version : int
+
+val encode_module : Yali_ir.Irmod.t -> string
+
+(** @raise Yali_util.Bin.Corrupt on malformed input *)
+val decode_module : string -> Yali_ir.Irmod.t
+
+(** {!decode_module} with the corruption message as [Error]. *)
+val decode_result : string -> (Yali_ir.Irmod.t, string) result
+
+val write_file : string -> Yali_ir.Irmod.t -> unit
+
+(** @raise Yali_util.Bin.Corrupt as {!decode_module};
+    @raise Sys_error as [open_in] *)
+val read_file : string -> Yali_ir.Irmod.t

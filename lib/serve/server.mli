@@ -1,0 +1,39 @@
+(** The classification daemon: a single-threaded [select] loop over a Unix
+    socket that accumulates in-flight classify requests into micro-batches
+    and routes each batch through the model's [predict_batch] on the
+    {!Yali_exec.Pool} runtime (DESIGN.md §11).
+
+    Batching never changes an answer: [predict_batch] is documented
+    bit-identical to mapping [predict] over the rows, and embeddings go
+    through the content-addressed cache — so the reply for a program is
+    the same at any [--jobs] setting, any batch size, and any request
+    interleaving.
+
+    The pending queue is bounded: once [queue_cap] requests await
+    dispatch, further classify requests get an explicit {!Wire.Busy}
+    reply instead of unbounded buffering.  [SIGTERM]/[SIGINT] (and the
+    {!Wire.Shutdown} request) drain the pending queue, answer every
+    accepted request, close the socket and return cleanly. *)
+
+type config = {
+  socket : string;  (** path of the Unix socket to create *)
+  registry_dir : string;
+  model_spec : string;  (** {!Registry.parse_spec} syntax: "rf", "rf@3" *)
+  queue_cap : int;  (** pending classify requests before {!Wire.Busy} *)
+  max_batch : int;  (** micro-batch size cap per dispatch *)
+  log : string -> unit;
+}
+
+val default : config
+
+(** Load the model, warm it (restore weights, embed-and-classify one probe
+    row), bind the socket and serve until shutdown.  Returns after a clean
+    shutdown; [Error] on setup failures (unresolvable model spec, unknown
+    embedding, unbindable socket). *)
+val run : config -> (unit, string) result
+
+(** The daemon's telemetry snapshot as JSON — also what a {!Wire.Stats}
+    request returns: request/batch/busy/error counters, the batch-size
+    histogram, queue-wait quantiles, and the embedding cache's
+    hit/miss/eviction statistics ({!Yali_exec.Cache.stats}). *)
+val stats_json : unit -> string

@@ -1,0 +1,174 @@
+module Bin = Yali_util.Bin
+
+type payload_fmt = Binary | Minic | Textual
+
+type request =
+  | Classify of { fmt : payload_fmt; blob : string }
+  | Ping
+  | Stats
+  | Shutdown
+
+type response =
+  | Class of { cls : int; queue_us : int; batch : int }
+  | Error of string
+  | Busy
+  | Pong
+  | Stats_json of string
+  | Bye
+
+let encode_request rq =
+  let b = Buffer.create 64 in
+  (match rq with
+  | Classify { fmt; blob } ->
+      Bin.w_u8 b 1;
+      Bin.w_u8 b (match fmt with Binary -> 0 | Minic -> 1 | Textual -> 2);
+      Bin.w_str b blob
+  | Ping -> Bin.w_u8 b 2
+  | Stats -> Bin.w_u8 b 3
+  | Shutdown -> Bin.w_u8 b 4);
+  Buffer.contents b
+
+let decode_request payload =
+  let r = Bin.reader payload in
+  let rq =
+    match Bin.r_u8 r with
+    | 1 ->
+        let fmt =
+          match Bin.r_u8 r with
+          | 0 -> Binary
+          | 1 -> Minic
+          | 2 -> Textual
+          | n -> Bin.fail r (Printf.sprintf "bad payload format %d" n)
+        in
+        Classify { fmt; blob = Bin.r_str r }
+    | 2 -> Ping
+    | 3 -> Stats
+    | 4 -> Shutdown
+    | n -> Bin.fail r (Printf.sprintf "bad request opcode %d" n)
+  in
+  Bin.expect_end r;
+  rq
+
+let encode_response rs =
+  let b = Buffer.create 64 in
+  (match rs with
+  | Class { cls; queue_us; batch } ->
+      Bin.w_u8 b 0;
+      Bin.w_int b cls;
+      Bin.w_int b queue_us;
+      Bin.w_int b batch
+  | Error msg ->
+      Bin.w_u8 b 1;
+      Bin.w_str b msg
+  | Busy -> Bin.w_u8 b 2
+  | Pong -> Bin.w_u8 b 3
+  | Stats_json j ->
+      Bin.w_u8 b 4;
+      Bin.w_str b j
+  | Bye -> Bin.w_u8 b 5);
+  Buffer.contents b
+
+let decode_response payload =
+  let r = Bin.reader payload in
+  let rs =
+    match Bin.r_u8 r with
+    | 0 ->
+        let cls = Bin.r_int r in
+        let queue_us = Bin.r_int r in
+        Class { cls; queue_us; batch = Bin.r_int r }
+    | 1 -> Error (Bin.r_str r)
+    | 2 -> Busy
+    | 3 -> Pong
+    | 4 -> Stats_json (Bin.r_str r)
+    | 5 -> Bye
+    | n -> Bin.fail r (Printf.sprintf "bad response status %d" n)
+  in
+  Bin.expect_end r;
+  rs
+
+(* -- framing --------------------------------------------------------------- *)
+
+let max_frame = 64 * 1024 * 1024
+
+let corrupt fmt = Printf.ksprintf (fun m -> raise (Bin.Corrupt m)) fmt
+
+let parse_header b off =
+  let n = Int32.to_int (Bytes.get_int32_le b off) land 0xffffffff in
+  if n > max_frame then corrupt "frame of %d bytes exceeds max %d" n max_frame;
+  n
+
+let rec write_all fd b off len =
+  if len > 0 then
+    let n =
+      try Unix.write fd b off len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd b (off + n) (len - n)
+
+let write_frame fd payload =
+  let len = String.length payload in
+  if len > max_frame then corrupt "frame of %d bytes exceeds max %d" len max_frame;
+  let b = Bytes.create (4 + len) in
+  Bytes.set_int32_le b 0 (Int32.of_int len);
+  Bytes.blit_string payload 0 b 4 len;
+  write_all fd b 0 (4 + len)
+
+(* [exact] returns [false] only on EOF before the first byte *)
+let read_exact fd b len =
+  let rec go off =
+    if off >= len then true
+    else
+      match Unix.read fd b off (len - off) with
+      | 0 ->
+          if off = 0 then false
+          else corrupt "connection closed mid-frame (%d of %d bytes)" off len
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let read_frame fd =
+  let hdr = Bytes.create 4 in
+  if not (read_exact fd hdr 4) then None
+  else begin
+    let len = parse_header hdr 0 in
+    let b = Bytes.create len in
+    if len > 0 && not (read_exact fd b len) then
+      corrupt "connection closed before %d-byte frame" len;
+    Some (Bytes.unsafe_to_string b)
+  end
+
+module Dechunk = struct
+  type t = { mutable pending : string }
+
+  let create () = { pending = "" }
+
+  let feed t chunk n =
+    let buf = Buffer.create (String.length t.pending + n) in
+    Buffer.add_string buf t.pending;
+    Buffer.add_subbytes buf chunk 0 n;
+    let data = Buffer.contents buf in
+    let total = String.length data in
+    let frames = ref [] in
+    let pos = ref 0 in
+    let more = ref true in
+    while !more do
+      if total - !pos < 4 then more := false
+      else begin
+        let len =
+          let n32 = String.get_int32_le data !pos in
+          let n = Int32.to_int n32 land 0xffffffff in
+          if n > max_frame then
+            corrupt "frame of %d bytes exceeds max %d" n max_frame;
+          n
+        in
+        if total - !pos - 4 < len then more := false
+        else begin
+          frames := String.sub data (!pos + 4) len :: !frames;
+          pos := !pos + 4 + len
+        end
+      end
+    done;
+    t.pending <- String.sub data !pos (total - !pos);
+    List.rev !frames
+end

@@ -25,4 +25,5 @@ let () =
       ("games", Test_games.suite);
       ("antivirus", Test_antivirus.suite);
       ("integration", Test_integration.suite);
+      ("serve", Test_serve.suite);
     ]

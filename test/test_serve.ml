@@ -1,0 +1,408 @@
+(** Tests for the serving layer (lib/serve): codec round-trips and
+    corrupt-input rejection, wire framing, model snapshot save/load
+    bit-identity, registry versioning, and a fork-based end-to-end daemon
+    smoke run. *)
+
+open Helpers
+module Serve = Yali.Serve
+module Codec = Serve.Codec
+module Wire = Serve.Wire
+module Registry = Serve.Registry
+module Server = Serve.Server
+module Client = Serve.Client
+module Model = Yali.Ml.Model
+module Fmat = Yali.Ml.Fmat
+module Rng = Yali.Rng
+module Pipeline = Yali.Transforms.Pipeline
+
+(* -- codec ------------------------------------------------------------------ *)
+
+let roundtrips (m : Yali.Ir.Irmod.t) =
+  let blob = Codec.encode_module m in
+  let m' = Codec.decode_module blob in
+  Stdlib.compare m' m = 0
+  && String.equal (Yali.Ir.Pp.module_to_string m') (Yali.Ir.Pp.module_to_string m)
+  && String.equal (Codec.encode_module m') blob
+
+let test_codec_roundtrip_corpus () =
+  List.iter
+    (fun seed ->
+      let m0 = lower (dataset_program seed) in
+      List.iter
+        (fun level ->
+          let m = Pipeline.optimize level m0 in
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d survives encode/decode" seed)
+            true (roundtrips m))
+        [ Pipeline.O0; Pipeline.O1; Pipeline.O2; Pipeline.O3 ])
+    [ 1; 5; 12; 33; 77 ]
+
+let expect_corrupt name blob =
+  match Codec.decode_result blob with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "%s: decoder accepted corrupt input" name
+
+let test_codec_rejects_corruption () =
+  let m = lower (dataset_program 9) in
+  let blob = Codec.encode_module m in
+  (* sanity: the pristine blob decodes *)
+  Alcotest.(check bool) "pristine blob decodes" true
+    (Result.is_ok (Codec.decode_result blob));
+  expect_corrupt "empty input" "";
+  expect_corrupt "truncated header" (String.sub blob 0 3);
+  expect_corrupt "header only" (String.sub blob 0 7);
+  expect_corrupt "truncated mid-body" (String.sub blob 0 (String.length blob - 5));
+  expect_corrupt "trailing garbage" (blob ^ "\x00");
+  (let bad = Bytes.of_string blob in
+   Bytes.set bad 0 'X';
+   expect_corrupt "bad magic" (Bytes.to_string bad));
+  (let skew = Bytes.of_string blob in
+   (* u16 LE version field sits right after the 4-byte magic *)
+   Bytes.set skew 4 '\x63';
+   Bytes.set skew 5 '\x00';
+   match Codec.decode_result (Bytes.to_string skew) with
+   | Error msg ->
+       Alcotest.(check bool) "version skew names the versions" true
+         (contains_substring msg "version skew")
+   | Ok _ -> Alcotest.fail "decoder accepted a future format version");
+  (let badsec = Bytes.of_string blob in
+   (* first section tag byte follows the 7-byte header *)
+   Bytes.set badsec 7 '\xee';
+   expect_corrupt "unknown section tag" (Bytes.to_string badsec))
+
+let test_codec_file_io () =
+  let m = Pipeline.optimize Pipeline.O2 (lower (dataset_program 4)) in
+  let path = Filename.temp_file "yali-codec" ".yir" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Codec.write_file path m;
+      let m' = Codec.read_file path in
+      Alcotest.(check bool) "file round-trip is structural identity" true
+        (Stdlib.compare m' m = 0))
+
+(* -- wire ------------------------------------------------------------------- *)
+
+let test_wire_roundtrip () =
+  let reqs =
+    [
+      Wire.Ping;
+      Wire.Stats;
+      Wire.Shutdown;
+      Wire.Classify { fmt = Wire.Binary; blob = "\x00\xffraw" };
+      Wire.Classify { fmt = Wire.Minic; blob = "int main() { return 0; }" };
+      Wire.Classify { fmt = Wire.Textual; blob = "" };
+    ]
+  in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "request round-trips" true
+        (Wire.decode_request (Wire.encode_request r) = r))
+    reqs;
+  let resps =
+    [
+      Wire.Class { cls = 7; queue_us = 1234; batch = 16 };
+      Wire.Error "no such model";
+      Wire.Busy;
+      Wire.Pong;
+      Wire.Stats_json "{}";
+      Wire.Bye;
+    ]
+  in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "response round-trips" true
+        (Wire.decode_response (Wire.encode_response r) = r))
+    resps;
+  let rejects f s =
+    match f s with
+    | (_ : Wire.request) -> false
+    | exception Yali.Util.Bin.Corrupt _ -> true
+  in
+  Alcotest.(check bool) "empty request payload rejected" true
+    (rejects Wire.decode_request "");
+  Alcotest.(check bool) "unknown opcode rejected" true
+    (rejects Wire.decode_request "\xfe");
+  Alcotest.(check bool) "trailing bytes rejected" true
+    (rejects Wire.decode_request (Wire.encode_request Wire.Ping ^ "x"))
+
+let test_wire_dechunk () =
+  let payloads = [ "alpha"; ""; String.make 300 'z' ] in
+  let stream =
+    String.concat ""
+      (List.map
+         (fun p ->
+           let b = Buffer.create 16 in
+           let len = String.length p in
+           Buffer.add_char b (Char.chr (len land 0xff));
+           Buffer.add_char b (Char.chr ((len lsr 8) land 0xff));
+           Buffer.add_char b (Char.chr ((len lsr 16) land 0xff));
+           Buffer.add_char b (Char.chr ((len lsr 24) land 0xff));
+           Buffer.add_string b p;
+           Buffer.contents b)
+         payloads)
+  in
+  (* feed the byte stream one byte at a time: framing must not depend on
+     read boundaries *)
+  let got = ref [] in
+  let d = Wire.Dechunk.create () in
+  String.iter
+    (fun c ->
+      let frames = Wire.Dechunk.feed d (Bytes.make 1 c) 1 in
+      got := !got @ frames)
+    stream;
+  Alcotest.(check (list string)) "byte-at-a-time framing" payloads !got;
+  (* oversized header refused before allocating *)
+  let huge = Bytes.of_string "\xff\xff\xff\xff" in
+  Alcotest.(check bool) "oversized frame header rejected" true
+    (match Wire.Dechunk.feed (Wire.Dechunk.create ()) huge 4 with
+    | (_ : string list) -> false
+    | exception Yali.Util.Bin.Corrupt _ -> true)
+
+(* -- model snapshots -------------------------------------------------------- *)
+
+let synthetic_training () =
+  let rng = Rng.make 11 in
+  let n = 30 and d = 7 and n_classes = 3 in
+  let rows =
+    Array.init n (fun i ->
+        let cls = i mod n_classes in
+        Array.init d (fun _ ->
+            float_of_int cls +. (float_of_int (Rng.int_range rng (-50) 50) /. 200.)))
+  in
+  let labels = Array.init n (fun i -> i mod n_classes) in
+  (Fmat.of_rows rows, labels, rows, n_classes)
+
+let test_snapshot_save_load_bit_identity () =
+  let x, y, rows, n_classes = synthetic_training () in
+  List.iter
+    (fun kind ->
+      match Model.train_snapshot kind (Rng.make 23) ~n_classes x y with
+      | None -> Alcotest.failf "%s: no snapshot form" kind
+      | Some snap ->
+          let blob = Model.save snap in
+          let snap' = Model.load blob in
+          Alcotest.(check string)
+            (kind ^ ": save is stable under load")
+            blob (Model.save snap');
+          let t = Model.restore snap and t' = Model.restore snap' in
+          Array.iter
+            (fun row ->
+              Alcotest.(check int)
+                (kind ^ ": reloaded snapshot predicts identically")
+                (t.Model.predict row) (t'.Model.predict row))
+            rows;
+          Alcotest.(check (array int))
+            (kind ^ ": batch predictions identical")
+            (t.Model.predict_batch x) (t'.Model.predict_batch x))
+    Model.snapshot_kinds
+
+let test_snapshot_rejects_corruption () =
+  let x, y, _, n_classes = synthetic_training () in
+  let snap = Option.get (Model.train_snapshot "knn" (Rng.make 3) ~n_classes x y) in
+  let blob = Model.save snap in
+  let bad name s =
+    match Model.load s with
+    | (_ : Model.snapshot) -> Alcotest.failf "%s: loader accepted corrupt blob" name
+    | exception Yali.Util.Bin.Corrupt _ -> ()
+  in
+  bad "empty" "";
+  bad "bad magic" ("XMDL" ^ String.sub blob 4 (String.length blob - 4));
+  bad "truncated" (String.sub blob 0 (String.length blob - 3));
+  bad "trailing bytes" (blob ^ "\x00")
+
+(* -- registry --------------------------------------------------------------- *)
+
+let temp_dir_counter = ref 0
+
+let with_temp_dir f =
+  incr temp_dir_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "yali-test-%d-%d" (Unix.getpid ()) !temp_dir_counter)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then (
+        Array.iter (fun e -> Sys.remove (Filename.concat dir e)) (Sys.readdir dir);
+        Unix.rmdir dir))
+    (fun () -> f dir)
+
+let test_registry_spec_parsing () =
+  let ok s = match Registry.parse_spec s with Ok kv -> Some kv | Error _ -> None in
+  Alcotest.(check (option (pair string (option int)))) "bare kind"
+    (Some ("rf", None)) (ok "rf");
+  Alcotest.(check (option (pair string (option int)))) "pinned version"
+    (Some ("mlp", Some 3)) (ok "mlp@3");
+  List.iter
+    (fun s ->
+      Alcotest.(check (option (pair string (option int))))
+        (Printf.sprintf "%S rejected" s)
+        None (ok s))
+    [ ""; "@1"; "rf@"; "rf@x"; "rf@0"; "rf@-1"; "a/b"; "a.b@1" ]
+
+let test_registry_publish_and_load () =
+  with_temp_dir (fun dir ->
+      let x, y, _, n_classes = synthetic_training () in
+      let snap = Option.get (Model.train_snapshot "rf" (Rng.make 8) ~n_classes x y) in
+      let meta =
+        {
+          Registry.kind = "rf";
+          version = 0;
+          embedding = "histogram";
+          n_classes;
+          dim = x.Fmat.d;
+          n_train = x.Fmat.n;
+          seed = 8;
+        }
+      in
+      Alcotest.(check (option int)) "empty registry has no latest" None
+        (Registry.latest ~dir "rf");
+      let v1, _ = Registry.publish ~dir ~meta snap in
+      let v2, path2 = Registry.publish ~dir ~meta snap in
+      Alcotest.(check int) "first publish is v1" 1 v1;
+      Alcotest.(check int) "second publish auto-increments" 2 v2;
+      Alcotest.(check (list int)) "versions ascend" [ 1; 2 ]
+        (Registry.versions ~dir "rf");
+      Alcotest.(check (option int)) "latest" (Some 2) (Registry.latest ~dir "rf");
+      (match Registry.load ~dir "rf" with
+      | Ok e -> Alcotest.(check int) "bare spec loads latest" 2 e.Registry.meta.version
+      | Error e -> Alcotest.failf "load rf: %s" e);
+      (match Registry.load ~dir "rf@1" with
+      | Ok e -> Alcotest.(check int) "pinned spec loads that version" 1 e.Registry.meta.version
+      | Error e -> Alcotest.failf "load rf@1: %s" e);
+      (match Registry.load ~dir "rf@9" with
+      | Ok _ -> Alcotest.fail "loaded a version that was never published"
+      | Error _ -> ());
+      (match Registry.load ~dir "svm" with
+      | Ok _ -> Alcotest.fail "loaded a kind that was never published"
+      | Error _ -> ());
+      (* stomp a published file: load must surface corruption as Error *)
+      let oc = open_out_bin path2 in
+      output_string oc "YREGgarbage";
+      close_out oc;
+      match Registry.load ~dir "rf@2" with
+      | Ok _ -> Alcotest.fail "loaded a corrupt registry file"
+      | Error _ -> ())
+
+(* -- daemon end-to-end ------------------------------------------------------ *)
+
+(* [Unix.fork] is forbidden once any domain has ever been spawned (and
+   earlier suites run [Pool.with_jobs 4]), so the daemon child is a
+   re-exec of this very test binary in a hidden mode: [create_process]
+   goes through [posix_spawn], which multicore permits.  The hook runs at
+   module initialisation, before Alcotest ever sees [argv]. *)
+let daemon_flag = "--serve-daemon"
+
+let () =
+  if Array.length Sys.argv = 4 && Sys.argv.(1) = daemon_flag then begin
+    let code =
+      match
+        Server.run
+          {
+            Server.default with
+            socket = Sys.argv.(2);
+            registry_dir = Sys.argv.(3);
+            model_spec = "knn";
+            log = ignore;
+          }
+      with
+      | Ok () -> 0
+      | Error _ -> 1
+    in
+    exit code
+  end
+
+let spawn_daemon ~socket ~dir =
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close devnull)
+    (fun () ->
+      Unix.create_process Sys.executable_name
+        [| Sys.executable_name; daemon_flag; socket; dir |]
+        Unix.stdin devnull devnull)
+
+let await_socket path =
+  let rec go n =
+    if n = 0 then Alcotest.fail "daemon socket never appeared"
+    else if Sys.file_exists path then ()
+    else (
+      Unix.sleepf 0.05;
+      go (n - 1))
+  in
+  go 200
+
+let test_daemon_end_to_end () =
+  with_temp_dir (fun dir ->
+      let socket = Filename.concat dir "test.sock" in
+      (match
+         Registry.train ~seed:5
+           ~embedding:Yali.Embeddings.Embedding.histogram ~kind:"knn"
+           ~n_classes:3 ~per_class:3
+       with
+      | Error e -> Alcotest.failf "train: %s" e
+      | Ok entry ->
+          ignore (Registry.publish ~dir ~meta:entry.Registry.meta entry.Registry.snapshot));
+      let pid = spawn_daemon ~socket ~dir in
+      Fun.protect
+            ~finally:(fun () ->
+              (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+              try ignore (Unix.waitpid [ Unix.WNOHANG ] pid)
+              with Unix.Unix_error _ -> ())
+            (fun () ->
+              await_socket socket;
+              let c = Client.connect socket in
+              Alcotest.(check bool) "ping answers pong" true (Client.ping c);
+              let m = lower (dataset_program 2) in
+              let cls r =
+                match r with
+                | Wire.Class { cls; batch; _ } ->
+                    Alcotest.(check bool) "batch size positive" true (batch >= 1);
+                    cls
+                | Wire.Error e -> Alcotest.failf "daemon error: %s" e
+                | _ -> Alcotest.fail "unexpected reply to classify"
+              in
+              let a = cls (Client.classify c m) in
+              let b = cls (Client.classify c m) in
+              Alcotest.(check int) "repeated classify is deterministic" a b;
+              let src = "int main() { int x = read_int(); print_int(x + 1); return 0; }" in
+              (match Client.classify_source c src with
+              | Wire.Class _ -> ()
+              | Wire.Error e -> Alcotest.failf "classify_source: %s" e
+              | _ -> Alcotest.fail "unexpected reply to classify_source");
+              (match Client.request c (Wire.Classify { fmt = Wire.Binary; blob = "not a module" }) with
+              | Wire.Error _ -> ()
+              | _ -> Alcotest.fail "corrupt blob must get an Error reply");
+              (match Client.stats c with
+              | Ok json ->
+                  Alcotest.(check bool) "stats carry embed-cache accounting" true
+                    (contains_substring json "embed_cache");
+                  Alcotest.(check bool) "stats carry batch histogram" true
+                    (contains_substring json "batch_hist")
+              | Error e -> Alcotest.failf "stats: %s" e);
+              Client.shutdown c;
+              Client.close c;
+              let _, status = Unix.waitpid [] pid in
+              Alcotest.(check bool) "daemon exits cleanly on Shutdown" true
+                (status = Unix.WEXITED 0)))
+
+let suite =
+  [
+    Alcotest.test_case "codec round-trip over corpus and opt levels" `Quick
+      test_codec_roundtrip_corpus;
+    Alcotest.test_case "codec rejects corrupt input" `Quick
+      test_codec_rejects_corruption;
+    Alcotest.test_case "codec file io" `Quick test_codec_file_io;
+    Alcotest.test_case "wire message round-trips" `Quick test_wire_roundtrip;
+    Alcotest.test_case "wire incremental framing" `Quick test_wire_dechunk;
+    Alcotest.test_case "model snapshots save/load bit-identically" `Quick
+      test_snapshot_save_load_bit_identity;
+    Alcotest.test_case "model loader rejects corrupt blobs" `Quick
+      test_snapshot_rejects_corruption;
+    Alcotest.test_case "registry spec parsing" `Quick test_registry_spec_parsing;
+    Alcotest.test_case "registry publish, versions, load" `Quick
+      test_registry_publish_and_load;
+    Alcotest.test_case "daemon end-to-end over a unix socket" `Slow
+      test_daemon_end_to_end;
+  ]

@@ -11,6 +11,12 @@
       dune exec bench/main.exe -- interp       # VM vs reference interpreter
       dune exec bench/main.exe -- serve        # classification daemon under
                                                #   load -> BENCH_serve.json
+      dune exec bench/main.exe -- corpus       # paper-scale streaming corpus
+                                               #   + out-of-core training under
+                                               #   an RSS cap (--rss-cap-mb N,
+                                               #   default 2048); --quick drops
+                                               #   104x500 to 104x50
+                                               #   -> BENCH_corpus.json
 
     Execution-runtime knobs (lib/exec):
       --engine vm|ref (or --engine=E)          # which execution engine the
@@ -970,6 +976,186 @@ let serve () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Corpus benchmark: paper-scale streaming generation and out-of-core  *)
+(* training under a fixed memory cap (DESIGN.md §12)                   *)
+(* ------------------------------------------------------------------ *)
+
+let corpus_json = "BENCH_corpus.json"
+let rss_cap_mb = ref 2048.0
+
+(* Peak resident set (VmHWM) in MiB from /proc/self/status; 0.0 where the
+   proc filesystem is unavailable (the gate is then skipped). *)
+let peak_rss_mb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0.0
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec go () =
+            match input_line ic with
+            | exception End_of_file -> 0.0
+            | line ->
+                if String.length line > 6 && String.sub line 0 6 = "VmHWM:"
+                then
+                  Scanf.sscanf
+                    (String.sub line 6 (String.length line - 6))
+                    " %d" (fun kb -> float_of_int kb /. 1024.0)
+                else go ()
+          in
+          go ())
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Sys.rmdir dir with Sys_error _ -> ()
+  end
+
+(** The paper-scale tier: generate the full 104-class corpus straight to a
+    sharded on-disk store, embed it into an out-of-core feature file, and
+    train lr + rf both streamed (minibatch over blocks) and in memory —
+    the streamed models must hold accuracy within 2 points of the
+    in-memory ones on a held-out corpus, and the whole run must fit the
+    RSS cap (--rss-cap-mb, default 2048).  [--quick] drops to 104x50.
+    Written to [BENCH_corpus.json]; exits nonzero when a gate fails (CI's
+    paper-scale smoke). *)
+let corpus_bench () =
+  let per_class = if !quick then 50 else 500 in
+  header "Corpus: paper-scale streaming pipeline (104x%d, cap %.0f MiB)"
+    per_class !rss_cap_mb;
+  let tmp =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "yali-corpus-bench-%d" (Unix.getpid ()))
+  in
+  let train_dir = Filename.concat tmp "train" in
+  let test_dir = Filename.concat tmp "test" in
+  if not (Sys.file_exists tmp) then Sys.mkdir tmp 0o700;
+  let spec =
+    { Yali.Corpus.Gen.dataset = "poj"; seed = 42; n_classes = 104; per_class }
+  in
+  let test_spec =
+    { spec with Yali.Corpus.Gen.seed = 43;
+      per_class = (if !quick then 5 else 20) }
+  in
+  let clock = Yali.Exec.Telemetry.clock in
+  Fun.protect
+    ~finally:(fun () ->
+      rm_rf train_dir;
+      rm_rf test_dir;
+      rm_rf tmp)
+    (fun () ->
+      let t0 = clock () in
+      Yali.Corpus.Gen.generate ~dir:train_dir spec;
+      let t_gen = clock () -. t0 in
+      let r = Yali.Corpus.Store.open_ train_dir in
+      let n = Yali.Corpus.Store.length r in
+      let gen_rate = float_of_int n /. t_gen in
+      let corpus_mib =
+        float_of_int (Yali.Corpus.Store.total_bytes r) /. (1024.0 *. 1024.0)
+      in
+      Printf.printf
+        "generated %d programs in %.1fs (%.0f programs/s, %d shards, %.1f MiB)\n%!"
+        n t_gen gen_rate
+        (Yali.Corpus.Store.shard_count r)
+        corpus_mib;
+      let feat = Filename.concat tmp "features.yfmb" in
+      let t0 = clock () in
+      let d =
+        Yali.Corpus.Embed.to_file ~embedding:E.Embedding.histogram r ~out:feat
+      in
+      let t_embed = clock () -. t0 in
+      let embed_rate = float_of_int n /. t_embed in
+      Printf.printf "embedded %d rows (dim %d) in %.1fs (%.0f rows/s)\n%!" n d
+        t_embed embed_rate;
+      Yali.Corpus.Gen.generate ~dir:test_dir test_spec;
+      let rt = Yali.Corpus.Store.open_ test_dir in
+      let tx, tys = Yali.Corpus.Embed.to_fmat ~embedding:E.Embedding.histogram rt in
+      Yali.Corpus.Store.close rt;
+      Printf.printf "held-out corpus: %d programs at seed %d\n%!"
+        (Array.length tys) test_spec.Yali.Corpus.Gen.seed;
+      let ys = Yali.Corpus.Store.labels r in
+      let n_classes = Yali.Corpus.Store.n_classes r in
+      let accuracy snap =
+        let t = Ml.Model.restore snap in
+        let preds = t.Ml.Model.predict_batch tx in
+        let ok = ref 0 in
+        Array.iteri (fun i p -> if p = tys.(i) then incr ok) preds;
+        float_of_int !ok /. float_of_int (Array.length tys)
+      in
+      let results =
+        List.map
+          (fun kind ->
+            let fr = Ml.Fblock.open_reader feat in
+            let t0 = clock () in
+            let snap_stream =
+              Option.get
+                (Ml.Model.train_snapshot_stream ~block_rows:4096 kind
+                   (Rng.make 7) ~n_classes (Ml.Fblock.Disk fr) ys)
+            in
+            let t_stream = clock () -. t0 in
+            let x = Ml.Fblock.materialize (Ml.Fblock.Disk fr) in
+            Ml.Fblock.close_reader fr;
+            let t0 = clock () in
+            let snap_mem =
+              Option.get
+                (Ml.Model.train_snapshot kind (Rng.make 7) ~n_classes x ys)
+            in
+            let t_mem = clock () -. t0 in
+            let a_s = accuracy snap_stream and a_m = accuracy snap_mem in
+            Printf.printf
+              "%-4s stream %6.1fs acc %.3f | in-memory %6.1fs acc %.3f\n%!"
+              kind t_stream a_s t_mem a_m;
+            (kind, t_stream, a_s, t_mem, a_m))
+          [ "lr"; "rf" ]
+      in
+      Yali.Corpus.Store.close r;
+      Sys.remove feat;
+      let rss = peak_rss_mb () in
+      let acc_ok =
+        List.for_all (fun (_, _, a_s, _, a_m) -> a_m -. a_s <= 0.02) results
+      in
+      let rss_ok = rss = 0.0 || rss <= !rss_cap_mb in
+      Printf.printf "peak RSS %.0f MiB (cap %.0f): %s\n" rss !rss_cap_mb
+        (if rss_ok then "ok" else "OVER CAP");
+      let oc = open_out corpus_json in
+      Printf.fprintf oc "{\n  \"quick\": %b,\n  \"jobs\": %d,\n" !quick
+        (Yali.Exec.Pool.get_jobs ());
+      Printf.fprintf oc "  \"spec\": \"%s\",\n  \"programs\": %d,\n"
+        (Yali.Corpus.Gen.spec_to_string spec)
+        n;
+      Printf.fprintf oc "  \"corpus_mib\": %.1f,\n  \"dim\": %d,\n" corpus_mib d;
+      Printf.fprintf oc
+        "  \"gen_seconds\": %.2f,\n  \"gen_programs_per_s\": %.1f,\n" t_gen
+        gen_rate;
+      Printf.fprintf oc
+        "  \"embed_seconds\": %.2f,\n  \"embed_rows_per_s\": %.1f,\n" t_embed
+        embed_rate;
+      Printf.fprintf oc "  \"models\": [\n";
+      List.iteri
+        (fun i (kind, t_s, a_s, t_m, a_m) ->
+          Printf.fprintf oc
+            "    {\"kind\": \"%s\", \"stream_seconds\": %.2f, \
+             \"stream_accuracy\": %.4f, \"inmem_seconds\": %.2f, \
+             \"inmem_accuracy\": %.4f}%s\n"
+            kind t_s a_s t_m a_m
+            (if i = List.length results - 1 then "" else ","))
+        results;
+      Printf.fprintf oc "  ],\n";
+      Printf.fprintf oc
+        "  \"peak_rss_mb\": %.1f,\n  \"rss_cap_mb\": %.1f,\n  \"pass\": %b\n}\n"
+        rss !rss_cap_mb (acc_ok && rss_ok);
+      close_out oc;
+      Printf.printf "corpus summary written to %s\n" corpus_json;
+      if not (acc_ok && rss_ok) then begin
+        Printf.eprintf "corpus benchmark FAILED (accuracy %s, rss %s)\n"
+          (if acc_ok then "ok" else "dropped >2 points")
+          (if rss_ok then "ok" else "over cap");
+        exit 1
+      end)
+
+(* ------------------------------------------------------------------ *)
 (* Ablations: design choices called out in DESIGN.md                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -1195,6 +1381,13 @@ let parse_args (args : string list) : string list =
         Printf.eprintf "--jobs expects a positive integer, got %s\n" v;
         exit 2
   in
+  let set_rss_cap v =
+    match float_of_string_opt v with
+    | Some f when f > 0.0 -> rss_cap_mb := f
+    | _ ->
+        Printf.eprintf "--rss-cap-mb expects a positive number, got %s\n" v;
+        exit 2
+  in
   let set_engine v =
     match Yali.Execution.engine_of_string v with
     | Some e -> Yali.Execution.set_engine e
@@ -1217,6 +1410,11 @@ let parse_args (args : string list) : string list =
         go acc rest
     | a :: rest when starts_with "--rounds=" a ->
         rounds_override := int_of_string_opt (cut "--rounds=" a);
+        go acc rest
+    | "--rss-cap-mb" :: rest ->
+        go acc (valued ~flag:"--rss-cap-mb" ~set:set_rss_cap rest)
+    | a :: rest when starts_with "--rss-cap-mb=" a ->
+        set_rss_cap (cut "--rss-cap-mb=" a);
         go acc rest
     | "--jobs" :: rest -> go acc (valued ~flag:"--jobs" ~set:set_jobs rest)
     | a :: rest when starts_with "--jobs=" a ->
@@ -1306,12 +1504,13 @@ let () =
           else if name = "kernels" then timed "kernels" kernels
           else if name = "interp" then timed "interp" interp
           else if name = "serve" then timed "serve" serve
+          else if name = "corpus" then timed "corpus" corpus_bench
           else
             match List.assoc_opt name (figures @ ablations) with
             | Some f -> timed name f
             | None ->
                 Printf.eprintf
-                  "unknown target %s (expected fig5..fig16, abl-*, ablations, micro, kernels, interp, serve, all)\n"
+                  "unknown target %s (expected fig5..fig16, abl-*, ablations, micro, kernels, interp, serve, corpus, all)\n"
                   name)
         names);
   let total = Yali.Exec.Telemetry.clock () -. t0 in

@@ -609,17 +609,41 @@ let train_cmd =
       & info [ "version" ] ~docv:"N"
           ~doc:"Registry version tag (default: latest+1).")
   in
-  let run seed jobs registry model embedding classes per_class version =
+  let corpus_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Train out of core from a stored corpus ($(b,yali corpus gen)) \
+             instead of generating in memory; --classes/--per-class are \
+             taken from the corpus.")
+  in
+  let block_rows_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "block-rows" ] ~docv:"N"
+          ~doc:"Feature rows resident at once when training from a corpus.")
+  in
+  let run seed jobs registry model embedding classes per_class version corpus
+      block_rows =
     configure_jobs jobs;
     let e =
       match Yali.Embeddings.Embedding.find embedding with
       | Some e -> e
       | None -> die ~code:2 "unknown embedding: %s" embedding
     in
-    match
-      Yali.Serve.Registry.train ~seed ~embedding:e ~kind:model
-        ~n_classes:classes ~per_class
-    with
+    let trained =
+      match corpus with
+      | None ->
+          Yali.Serve.Registry.train ~seed ~embedding:e ~kind:model
+            ~n_classes:classes ~per_class
+      | Some dir ->
+          Yali.Corpus.Train.train ~dir ~embedding:e ~kind:model ~seed
+            ?block_rows ()
+    in
+    match trained with
     | Error msg -> die ~code:2 "%s" msg
     | Ok entry ->
         let v, path =
@@ -627,15 +651,18 @@ let train_cmd =
             entry.snapshot
         in
         Printf.printf "published %s@%d (%s, %d classes, dim %d, %d rows) -> %s\n"
-          model v embedding classes entry.meta.dim entry.meta.n_train path
+          model v embedding entry.meta.n_classes entry.meta.dim
+          entry.meta.n_train path
   in
   Cmd.v
     (Cmd.info "train"
-       ~doc:"Train a classifier on the synthetic corpus and publish its \
+       ~doc:"Train a classifier on the synthetic corpus (in memory, or \
+             streamed from an on-disk corpus with --corpus) and publish its \
              snapshot into the model registry.")
     Term.(
       const run $ seed_arg $ jobs_arg $ registry_arg $ model_arg
-      $ embedding_arg $ classes_arg $ per_class_arg $ version_arg)
+      $ embedding_arg $ classes_arg $ per_class_arg $ version_arg
+      $ corpus_dir_arg $ block_rows_arg)
 
 let serve_cmd =
   let model_arg =
@@ -759,9 +786,99 @@ let query_cmd =
       const run $ socket_arg $ file_arg $ fmt_arg $ ping_arg $ stats_arg
       $ shutdown_arg)
 
+(* -- corpus: streaming paper-scale dataset generation ----------------------- *)
+
+let corpus_cmd =
+  let dir_pos =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR" ~doc:"Corpus directory.")
+  in
+  let gen_cmd =
+    let out_arg =
+      Arg.(
+        value
+        & opt string "corpus"
+        & info [ "out"; "o" ] ~docv:"DIR" ~doc:"Corpus output directory.")
+    in
+    let dataset_arg =
+      Arg.(
+        value
+        & opt string "poj"
+        & info [ "dataset" ] ~docv:"NAME" ~doc:"Generator: poj or genprog2.")
+    in
+    let classes_arg =
+      Arg.(value & opt int 104 & info [ "classes"; "c" ] ~doc:"Number of classes.")
+    in
+    let per_class_arg =
+      Arg.(value & opt int 500 & info [ "per-class" ] ~doc:"Programs per class.")
+    in
+    let shard_arg =
+      Arg.(
+        value
+        & opt int 1024
+        & info [ "records-per-shard" ] ~docv:"N"
+            ~doc:"Records per shard file (one generation task per shard).")
+    in
+    let run seed jobs out dataset classes per_class records_per_shard =
+      configure_jobs jobs;
+      let spec =
+        { Yali.Corpus.Gen.dataset; seed; n_classes = classes; per_class }
+      in
+      (try Yali.Corpus.Gen.generate ~dir:out ~records_per_shard spec
+       with Invalid_argument msg -> die ~code:2 "%s" msg);
+      let r = Yali.Corpus.Store.open_ out in
+      Printf.printf "wrote %s: %d records in %d shards (%d bytes) under %s/\n"
+        (Yali.Corpus.Store.meta r)
+        (Yali.Corpus.Store.length r)
+        (Yali.Corpus.Store.shard_count r)
+        (Yali.Corpus.Store.total_bytes r)
+        out;
+      Yali.Corpus.Store.close r
+    in
+    Cmd.v
+      (Cmd.info "gen"
+         ~doc:"Generate a sharded on-disk corpus, streaming each program \
+               straight to its shard (shard-parallel, deterministic at any \
+               --jobs).")
+      Term.(
+        const run $ seed_arg $ jobs_arg $ out_arg $ dataset_arg $ classes_arg
+        $ per_class_arg $ shard_arg)
+  in
+  let stat_cmd =
+    let run dir =
+      match Yali.Corpus.Store.open_ dir with
+      | exception Yali.Util.Bin.Corrupt msg -> die ~code:1 "corrupt corpus: %s" msg
+      | exception Sys_error msg -> die ~code:1 "no corpus: %s" msg
+      | r ->
+          let counts = Array.make (Yali.Corpus.Store.n_classes r) 0 in
+          Array.iter
+            (fun l -> counts.(l) <- counts.(l) + 1)
+            (Yali.Corpus.Store.labels r);
+          let min_c = Array.fold_left min max_int counts in
+          let max_c = Array.fold_left max 0 counts in
+          Printf.printf "spec:      %s\n" (Yali.Corpus.Store.meta r);
+          Printf.printf "records:   %d\n" (Yali.Corpus.Store.length r);
+          Printf.printf "classes:   %d (%d..%d per class)\n"
+            (Yali.Corpus.Store.n_classes r) min_c max_c;
+          Printf.printf "shards:    %d\n" (Yali.Corpus.Store.shard_count r);
+          Printf.printf "bytes:     %d\n" (Yali.Corpus.Store.total_bytes r);
+          Yali.Corpus.Store.close r
+    in
+    Cmd.v
+      (Cmd.info "stat" ~doc:"Validate a corpus directory and print its shape.")
+      Term.(const run $ dir_pos)
+  in
+  Cmd.group
+    (Cmd.info "corpus"
+       ~doc:"Paper-scale on-disk corpora: streaming generation and \
+             inspection.")
+    [ gen_cmd; stat_cmd ]
+
 let () =
   let doc = "a game-based framework to compare program classifiers and evaders" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "yali" ~doc)
-          [ compile_cmd; run_cmd; obfuscate_cmd; embed_cmd; generate_cmd; dataset_cmd; opt_cmd; play_cmd; fuzz_cmd; check_cmd; train_cmd; serve_cmd; query_cmd ]))
+          [ compile_cmd; run_cmd; obfuscate_cmd; embed_cmd; generate_cmd; dataset_cmd; opt_cmd; play_cmd; fuzz_cmd; check_cmd; corpus_cmd; train_cmd; serve_cmd; query_cmd ]))

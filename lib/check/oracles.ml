@@ -454,4 +454,144 @@ let serve =
       wire_roundtrip;
   ]
 
-let all = kernels @ metrics @ exec @ engines @ serve
+(* -- corpus: the streaming store and out-of-core training vs the in-memory
+   reference paths (DESIGN.md §12) ------------------------------------------- *)
+
+module Corpus_gen = Yali_corpus.Gen
+module Corpus_store = Yali_corpus.Store
+module Corpus_embed = Yali_corpus.Embed
+
+let tmp_counter = ref 0
+
+let with_tmp_dir (f : string -> 'a) : 'a =
+  incr tmp_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "yali-oracle-%d-%d" (Unix.getpid ()) !tmp_counter)
+  in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (try Sys.readdir dir with Sys_error _ -> [||]);
+      try Sys.rmdir dir with Sys_error _ -> ())
+    (fun () -> f dir)
+
+let gen_corpus_case (rng : Rng.t) =
+  let spec =
+    {
+      Corpus_gen.dataset = "poj";
+      seed = Rng.int rng 10_000;
+      n_classes = 2 + Rng.int rng 3;
+      per_class = 2 + Rng.int rng 3;
+    }
+  in
+  (spec, 1 + Rng.int rng 5, Rng.int rng 1_000_000)
+
+let show_corpus_case (spec, rps, train_seed) =
+  Printf.sprintf "corpus %s records_per_shard=%d train_seed=%d"
+    (Corpus_gen.spec_to_string spec)
+    rps train_seed
+
+(* The sharded store against the in-memory reference path: same modules
+   (structural identity), same labels, same order, index metadata intact. *)
+let corpus_store_roundtrip (spec, rps, _) =
+  with_tmp_dir (fun dir ->
+      Corpus_gen.generate ~dir ~records_per_shard:rps spec;
+      let r = Corpus_store.open_ dir in
+      Fun.protect
+        ~finally:(fun () -> Corpus_store.close r)
+        (fun () ->
+          let reference = Corpus_gen.materialize spec in
+          Corpus_store.length r = Array.length reference
+          && Corpus_store.meta r = Corpus_gen.spec_to_string spec
+          && Corpus_store.n_classes r = spec.Corpus_gen.n_classes
+          && Array.for_all
+               (fun i ->
+                 let m_ref, l_ref = reference.(i) in
+                 let l, m = Corpus_store.get r i in
+                 l = l_ref && l = Corpus_store.label r i && m = m_ref)
+               (Array.init (Array.length reference) Fun.id)))
+
+(* Out-of-core training against the in-memory trainers: on a source that
+   fits one block, every snapshot-able model must produce a byte-identical
+   Model.save blob (the DESIGN.md §12 equivalence contract). *)
+let corpus_stream_train_bit_identical (spec, rps, train_seed) =
+  with_tmp_dir (fun dir ->
+      Corpus_gen.generate ~dir ~records_per_shard:rps spec;
+      let r = Corpus_store.open_ dir in
+      Fun.protect
+        ~finally:(fun () -> Corpus_store.close r)
+        (fun () ->
+          let embedding = Yali_embeddings.Embedding.histogram in
+          let x, ys = Corpus_embed.to_fmat ~embedding r in
+          let path = Filename.concat dir "features.yfmb" in
+          let d = Corpus_embed.to_file ~embedding r ~out:path in
+          let fr = Ml.Fblock.open_reader path in
+          Fun.protect
+            ~finally:(fun () -> Ml.Fblock.close_reader fr)
+            (fun () ->
+              let src = Ml.Fblock.Disk fr in
+              d = x.F.d
+              && Ml.Fblock.rows src = x.F.n
+              (* the parallel embed path writes the same bits the
+                 sequential one computes *)
+              && (Ml.Fblock.materialize src).F.data = x.F.data
+              && List.for_all
+                   (fun kind ->
+                     let inmem =
+                       Ml.Model.train_snapshot kind (Rng.make train_seed)
+                         ~n_classes:spec.Corpus_gen.n_classes x ys
+                     in
+                     let streamed =
+                       Ml.Model.train_snapshot_stream
+                         ~block_rows:(max 1 x.F.n) kind
+                         (Rng.make train_seed)
+                         ~n_classes:spec.Corpus_gen.n_classes src ys
+                     in
+                     match (inmem, streamed) with
+                     | Some a, Some b -> Ml.Model.save a = Ml.Model.save b
+                     | _ -> false)
+                   Ml.Model.snapshot_kinds)))
+
+(* Feature standardisation is blocking-invariant: fit_stream must equal
+   fit_fmat bit for bit at ANY block size (sum order is preserved), and the
+   on-disk feature file must round-trip doubles exactly. *)
+let fblock_fit_stream_blocking (n_classes, xs, _, _, seed) =
+  ignore n_classes;
+  let x = F.of_rows xs in
+  let block_rows = 1 + (seed mod 7) in
+  with_tmp_dir (fun dir ->
+      let path = Filename.concat dir "m.yfmb" in
+      Ml.Fblock.to_file path x;
+      let fr = Ml.Fblock.open_reader path in
+      Fun.protect
+        ~finally:(fun () -> Ml.Fblock.close_reader fr)
+        (fun () ->
+          let disk = Ml.Fblock.Disk fr in
+          let s_ref = Ml.Features.fit_fmat x in
+          let s_mem = Ml.Features.fit_stream ~block_rows (Ml.Fblock.of_fmat x) in
+          let s_disk = Ml.Features.fit_stream ~block_rows disk in
+          let under s =
+            let c = F.create x.F.n x.F.d in
+            Array.blit x.F.data 0 c.F.data 0 (x.F.n * x.F.d);
+            Ml.Features.transform_fmat_inplace s c;
+            c.F.data
+          in
+          (Ml.Fblock.materialize disk).F.data = x.F.data
+          && under s_mem = under s_ref
+          && under s_disk = under s_ref))
+
+let corpus =
+  [
+    Prop.make ~name:"corpus/store-roundtrip-vs-materialize"
+      ~show:show_corpus_case gen_corpus_case corpus_store_roundtrip;
+    Prop.make ~name:"corpus/stream-train-bit-identical" ~show:show_corpus_case
+      gen_corpus_case corpus_stream_train_bit_identical;
+    Prop.make ~name:"corpus/fit-stream-blocking-invariant" ~show:show_dataset
+      gen_dataset fblock_fit_stream_blocking;
+  ]
+
+let all = kernels @ metrics @ exec @ engines @ serve @ corpus

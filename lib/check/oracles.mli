@@ -20,13 +20,20 @@
       program, through every registered pipeline variant, must survive
       encode/decode with full structural identity and print bit-identically
       under {!Yali_ir.Pp}, and re-encode to the identical blob; plus
-      {!Yali_serve.Wire} message round-trips. *)
+      {!Yali_serve.Wire} message round-trips;
+    - {!corpus}: the {!Yali_corpus} streaming layer — a generated sharded
+      store must replay {!Yali_corpus.Gen.materialize} record for record;
+      out-of-core training over a single block must produce byte-identical
+      {!Yali_ml.Model.save} blobs to the in-memory trainers; and feature
+      standardisation must be blocking-invariant bit for bit
+      (DESIGN.md §12). *)
 
 val kernels : Prop.t list
 val metrics : Prop.t list
 val exec : Prop.t list
 val engines : Prop.t list
 val serve : Prop.t list
+val corpus : Prop.t list
 
-(** All five families, in the order above. *)
+(** All six families, in the order above. *)
 val all : Prop.t list

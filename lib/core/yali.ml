@@ -25,6 +25,8 @@
       ([yali check])
     - {!Serve}: classification-as-a-service — binary IR codec, versioned
       model registry, micro-batching daemon ([yali serve])
+    - {!Corpus}: paper-scale corpora — streaming sharded generation,
+      out-of-core feature files, minibatch training ([yali corpus])
 
     {1 The games}
     - {!Games}: Definitions 2.1–2.4, the four games, the arena. *)
@@ -43,6 +45,7 @@ module Games = Yali_games
 module Fuzz = Yali_fuzz
 module Check = Yali_check
 module Serve = Yali_serve
+module Corpus = Yali_corpus
 module Vm = Yali_vm.Vm
 module Execution = Yali_vm.Execution
 

@@ -339,20 +339,20 @@ let all : problem list =
 
 let count = List.length all
 
+(** A balanced sampling plan over this corpus, mirroring {!Poj.plan}:
+    index-derived per-sample streams, so the streaming corpus writer and
+    {!make_split} share one generation order. *)
+let plan (rng : Rng.t) ~(train_per_class : int) ~(test_per_class : int) :
+    Poj.plan =
+  let gens =
+    Array.of_list
+      (List.map
+         (fun p -> { Poj.g_label = p.pid; g_gen = p.generate })
+         all)
+  in
+  Poj.plan_of ~gens rng ~train_per_class ~test_per_class
+
 (** A balanced split over this corpus, mirroring {!Poj.make}. *)
 let make_split (rng : Rng.t) ~(train_per_class : int) ~(test_per_class : int) :
     Poj.split =
-  let train = ref [] and test = ref [] in
-  List.iter
-    (fun p ->
-      for _ = 1 to train_per_class do
-        train := { Poj.src = p.generate (Rng.split rng); label = p.pid } :: !train
-      done;
-      for _ = 1 to test_per_class do
-        test := { Poj.src = p.generate (Rng.split rng); label = p.pid } :: !test
-      done)
-    all;
-  {
-    Poj.train = Array.of_list (Rng.shuffle rng !train);
-    test = Array.of_list (Rng.shuffle rng !test);
-  }
+  Poj.realize (plan rng ~train_per_class ~test_per_class)

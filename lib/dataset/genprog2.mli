@@ -15,6 +15,10 @@ val all : problem list
 (** = 16. *)
 val count : int
 
+(** A balanced sampling plan over this corpus, mirroring {!Poj.plan}. *)
+val plan :
+  Yali_util.Rng.t -> train_per_class:int -> test_per_class:int -> Poj.plan
+
 (** A balanced split over this corpus, mirroring {!Poj.make}. *)
 val make_split :
   Yali_util.Rng.t -> train_per_class:int -> test_per_class:int -> Poj.split

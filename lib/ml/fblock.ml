@@ -1,0 +1,208 @@
+(** See fblock.mli. *)
+
+module Bin = Yali_util.Bin
+
+let magic = "YFMB"
+let version = 1
+let header_bytes = 4 + 2 + 4 + 4
+let default_block_rows = 8192
+
+let corrupt fmt = Printf.ksprintf (fun m -> raise (Bin.Corrupt m)) fmt
+
+let encode_header ~n ~d : string =
+  let b = Buffer.create header_bytes in
+  Buffer.add_string b magic;
+  Bin.w_u16 b version;
+  Bin.w_u32 b n;
+  Bin.w_u32 b d;
+  Buffer.contents b
+
+let decode_header (s : string) : int * int =
+  let r = Bin.reader s in
+  let m = Bin.r_raw r 4 in
+  if m <> magic then corrupt "bad feature-file magic %S" m;
+  let v = Bin.r_u16 r in
+  if v <> version then
+    corrupt "feature-file version skew: got %d, expected %d" v version;
+  let n = Bin.r_u32 r in
+  let d = Bin.r_u32 r in
+  (n, d)
+
+(* -- low-level row IO (bit patterns, LE — same as Bin.w_f64) ---------------- *)
+
+let put_row (buf : Bytes.t) (off : int) (row : float array) : unit =
+  Array.iteri
+    (fun j v ->
+      Bytes.set_int64_le buf (off + (8 * j)) (Int64.bits_of_float v))
+    row
+
+let row_offset ~d i = header_bytes + (8 * d * i)
+
+(* -- writer ----------------------------------------------------------------- *)
+
+module Writer = struct
+  type t = {
+    path : string;
+    n : int;
+    d : int;
+    oc : out_channel;
+    buf : Bytes.t;
+    mutable written : int;
+  }
+
+  let create (path : string) ~(n : int) ~(d : int) : t =
+    let oc = open_out_bin path in
+    output_string oc (encode_header ~n ~d);
+    { path; n; d; oc; buf = Bytes.create (8 * d); written = 0 }
+
+  let append_row (w : t) (row : float array) : unit =
+    if Array.length row <> w.d then
+      invalid_arg "Fblock.Writer.append_row: width mismatch";
+    if w.written >= w.n then
+      invalid_arg "Fblock.Writer.append_row: more rows than declared";
+    put_row w.buf 0 row;
+    output_bytes w.oc w.buf;
+    w.written <- w.written + 1
+
+  let close (w : t) : unit =
+    Fun.protect
+      ~finally:(fun () -> close_out w.oc)
+      (fun () ->
+        if w.written <> w.n then
+          failwith
+            (Printf.sprintf "Fblock.Writer.close: %d of %d rows written"
+               w.written w.n))
+end
+
+(* [create_sized] + [write_rows_at]: the shard-parallel path.  The file is
+   pre-sized, then each task opens its own descriptor and writes only its
+   own disjoint row range, so content is deterministic at any [jobs]. *)
+
+let create_sized (path : string) ~(n : int) ~(d : int) : unit =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (encode_header ~n ~d);
+      if n * d > 0 then begin
+        seek_out oc (row_offset ~d n - 1);
+        output_char oc '\000'
+      end)
+
+let write_rows_at (path : string) ~(d : int) ~(row0 : int)
+    (rows : float array array) : unit =
+  if Array.length rows = 0 then ()
+  else begin
+    let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        ignore (Unix.lseek fd (row_offset ~d row0) Unix.SEEK_SET);
+        let buf = Bytes.create (8 * d) in
+        Array.iter
+          (fun row ->
+            if Array.length row <> d then
+              invalid_arg "Fblock.write_rows_at: width mismatch";
+            put_row buf 0 row;
+            let k = Unix.write fd buf 0 (Bytes.length buf) in
+            if k <> Bytes.length buf then failwith "Fblock: short write")
+          rows)
+  end
+
+module Pwrite = struct
+  type t = { fd : Unix.file_descr; d : int; buf : Bytes.t }
+
+  let open_ (path : string) ~(d : int) : t =
+    { fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644; d; buf = Bytes.create (8 * d) }
+
+  let write_row (w : t) (i : int) (row : float array) : unit =
+    if Array.length row <> w.d then
+      invalid_arg "Fblock.Pwrite.write_row: width mismatch";
+    ignore (Unix.lseek w.fd (row_offset ~d:w.d i) Unix.SEEK_SET);
+    put_row w.buf 0 row;
+    let k = Unix.write w.fd w.buf 0 (Bytes.length w.buf) in
+    if k <> Bytes.length w.buf then failwith "Fblock: short write"
+
+  let close (w : t) : unit = Unix.close w.fd
+end
+
+(* -- reader ----------------------------------------------------------------- *)
+
+type reader = { path : string; n : int; d : int; ic : in_channel }
+
+let open_reader (path : string) : reader =
+  let ic = open_in_bin path in
+  match
+    let len = in_channel_length ic in
+    if len < header_bytes then corrupt "feature file truncated at %d bytes" len;
+    let n, d = decode_header (really_input_string ic header_bytes) in
+    let expected = row_offset ~d n in
+    if len <> expected then
+      corrupt "feature file %dx%d: %d bytes on disk, expected %d" n d len
+        expected;
+    { path; n; d; ic }
+  with
+  | r -> r
+  | exception e ->
+      close_in_noerr ic;
+      raise e
+
+let close_reader (r : reader) : unit = close_in_noerr r.ic
+
+let read_block (r : reader) ~(lo : int) ~(rows : int) : Fmat.t =
+  let m = Fmat.create rows r.d in
+  seek_in r.ic (row_offset ~d:r.d lo);
+  let bytes = 8 * r.d * rows in
+  let buf = Bytes.create bytes in
+  really_input r.ic buf 0 bytes;
+  for k = 0 to (rows * r.d) - 1 do
+    m.Fmat.data.(k) <- Int64.float_of_bits (Bytes.get_int64_le buf (8 * k))
+  done;
+  m
+
+(* -- sources ---------------------------------------------------------------- *)
+
+type source = Mem of Fmat.t | Disk of reader
+
+let rows = function Mem m -> m.Fmat.n | Disk r -> r.n
+let dim = function Mem m -> m.Fmat.d | Disk r -> r.d
+
+let iter_blocks ?(block_rows = default_block_rows) (src : source)
+    (f : int -> Fmat.t -> unit) : unit =
+  if block_rows < 1 then invalid_arg "Fblock.iter_blocks: block_rows < 1";
+  let n = rows src and d = dim src in
+  let lo = ref 0 in
+  while !lo < n do
+    let bn = min block_rows (n - !lo) in
+    let block =
+      match src with
+      | Disk r -> read_block r ~lo:!lo ~rows:bn
+      | Mem m ->
+          (* a fresh copy every time: callees may scale the block in place *)
+          let b = Fmat.create bn d in
+          Array.blit m.Fmat.data (!lo * d) b.Fmat.data 0 (bn * d);
+          b
+    in
+    f !lo block;
+    lo := !lo + bn
+  done
+
+let n_blocks ?(block_rows = default_block_rows) (src : source) : int =
+  if block_rows < 1 then invalid_arg "Fblock.n_blocks: block_rows < 1";
+  (rows src + block_rows - 1) / block_rows
+
+let materialize (src : source) : Fmat.t =
+  match src with
+  | Mem m -> m
+  | Disk r -> if r.n = 0 then Fmat.create 0 r.d else read_block r ~lo:0 ~rows:r.n
+
+let of_fmat (m : Fmat.t) : source = Mem m
+
+let to_file (path : string) (m : Fmat.t) : unit =
+  let w = Writer.create path ~n:m.Fmat.n ~d:m.Fmat.d in
+  let row = Array.make m.Fmat.d 0.0 in
+  for i = 0 to m.Fmat.n - 1 do
+    Fmat.row_into m i row;
+    Writer.append_row w row
+  done;
+  Writer.close w

@@ -1,0 +1,86 @@
+(** Out-of-core feature matrices: a fixed-width row file on disk, read back
+    as fixed-size {!Fmat} blocks (DESIGN.md §12).
+
+    The file is a 14-byte header (magic ["YFMB"], u16 version, u32 rows,
+    u32 dim) followed by [n*d] IEEE-754 doubles, little-endian bit
+    patterns — the same encoding as {!Yali_util.Bin.w_f64}, so a write/read
+    round trip is bit-identical.  {!open_reader} validates magic, version
+    and exact byte length; any mismatch raises {!Yali_util.Bin.Corrupt}.
+
+    A {!source} abstracts over in-memory and on-disk matrices so the
+    minibatch trainers ([Logreg.train_stream] & co.) are written once.
+    {!iter_blocks} visits rows in order as sequential blocks; every block
+    handed to the callback is freshly allocated (a file read or a copy of
+    the in-memory slice), so callees may standardise it in place. *)
+
+val magic : string
+val version : int
+
+(** Rows per block everywhere a [?block_rows] default is needed.  Small
+    corpora fit one block, which makes the streamed trainers bit-identical
+    to the in-memory ones (the equivalence argument of DESIGN.md §12). *)
+val default_block_rows : int
+
+module Writer : sig
+  type t
+
+  (** Declare the exact shape up front; the header is written immediately. *)
+  val create : string -> n:int -> d:int -> t
+
+  (** @raise Invalid_argument on width mismatch or when more than [n] rows
+      are appended *)
+  val append_row : t -> float array -> unit
+
+  (** @raise Failure when fewer than [n] rows were appended *)
+  val close : t -> unit
+end
+
+(** Pre-size a feature file (header plus a hole for [n*d] doubles) so
+    parallel writers can fill disjoint row ranges. *)
+val create_sized : string -> n:int -> d:int -> unit
+
+(** [write_rows_at path ~d ~row0 rows] writes [rows] starting at row index
+    [row0], through a private descriptor — safe to call concurrently for
+    disjoint ranges (the shard-parallel embedding path). *)
+val write_rows_at : string -> d:int -> row0:int -> float array array -> unit
+
+(** A positioned row writer over a pre-sized file ({!create_sized}): each
+    task opens its own descriptor and writes only its own row indices, so
+    concurrent writers over disjoint rows are safe and deterministic. *)
+module Pwrite : sig
+  type t
+
+  val open_ : string -> d:int -> t
+  val write_row : t -> int -> float array -> unit
+  val close : t -> unit
+end
+
+type reader
+
+(** @raise Yali_util.Bin.Corrupt on bad magic, version skew, or a byte
+    length that contradicts the header (a truncated or stale file);
+    @raise Sys_error as [open_in] *)
+val open_reader : string -> reader
+
+val close_reader : reader -> unit
+
+(** A feature-matrix source the streamed trainers consume. *)
+type source = Mem of Fmat.t | Disk of reader
+
+val rows : source -> int
+val dim : source -> int
+
+(** [iter_blocks ~block_rows src f] calls [f row_offset block] for each
+    consecutive block of at most [block_rows] rows, in row order.  Blocks
+    are fresh matrices the callee may mutate. *)
+val iter_blocks : ?block_rows:int -> source -> (int -> Fmat.t -> unit) -> unit
+
+val n_blocks : ?block_rows:int -> source -> int
+
+(** The whole source as one in-memory matrix ([Mem] is returned as-is). *)
+val materialize : source -> Fmat.t
+
+val of_fmat : Fmat.t -> source
+
+(** Write a matrix into the on-disk format (bit-exact round trip). *)
+val to_file : string -> Fmat.t -> unit

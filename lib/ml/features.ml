@@ -74,6 +74,42 @@ let fit_fmat (x : Fmat.t) : scaler =
     { means; stds }
   end
 
+(** Fit over streamed blocks.  Blocks arrive in row order and each pass
+    accumulates samples-outer / features-inner exactly as {!fit_fmat}, so
+    the fitted parameters are bit-identical to the in-memory fit at any
+    [block_rows] — the streamed trainers inherit the in-memory scaler
+    verbatim. *)
+let fit_stream ?block_rows (src : Fblock.source) : scaler =
+  let n = Fblock.rows src and d = Fblock.dim src in
+  if n = 0 then { means = [||]; stds = [||] }
+  else begin
+    let means = Array.make d 0.0 and stds = Array.make d 0.0 in
+    Fblock.iter_blocks ?block_rows src (fun _lo block ->
+        let data = block.Fmat.data in
+        for i = 0 to block.Fmat.n - 1 do
+          let base = i * d in
+          for j = 0 to d - 1 do
+            means.(j) <- means.(j) +. data.(base + j)
+          done
+        done);
+    for j = 0 to d - 1 do
+      means.(j) <- means.(j) /. float_of_int n
+    done;
+    Fblock.iter_blocks ?block_rows src (fun _lo block ->
+        let data = block.Fmat.data in
+        for i = 0 to block.Fmat.n - 1 do
+          let base = i * d in
+          for j = 0 to d - 1 do
+            stds.(j) <- stds.(j) +. ((data.(base + j) -. means.(j)) ** 2.0)
+          done
+        done);
+    for j = 0 to d - 1 do
+      stds.(j) <- sqrt (stds.(j) /. float_of_int n);
+      if stds.(j) < 1e-9 then stds.(j) <- 1.0
+    done;
+    { means; stds }
+  end
+
 let transform_fmat_inplace (s : scaler) (x : Fmat.t) : unit =
   let n = x.Fmat.n and d = x.Fmat.d and data = x.Fmat.data in
   for i = 0 to n - 1 do

@@ -17,6 +17,10 @@ val transform_into : scaler -> float array -> float array -> unit
     on the equivalent rows (same accumulation order). *)
 val fit_fmat : Fmat.t -> scaler
 
+(** Fit over streamed blocks.  Bit-identical to {!fit_fmat} on the
+    materialised source at any [block_rows] (same accumulation order). *)
+val fit_stream : ?block_rows:int -> Fblock.source -> scaler
+
 (** Standardise a flat matrix in place. *)
 val transform_fmat_inplace : scaler -> Fmat.t -> unit
 

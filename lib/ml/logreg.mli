@@ -15,6 +15,21 @@ val train :
   int array ->
   t
 
+(** Minibatch SGD over streamed feature blocks; per-epoch shuffles stay
+    within a block.  On a corpus that fits one block the fitted model is
+    bit-identical to {!train} (DESIGN.md §12). *)
+val train_stream :
+  ?params:params ->
+  ?block_rows:int ->
+  Yali_util.Rng.t ->
+  n_classes:int ->
+  Fblock.source ->
+  int array ->
+  t
+
+(** The fitted class-by-feature weight matrix (equivalence tests). *)
+val weights : t -> Matrix.t
+
 val predict : t -> float array -> int
 
 (** Classify every row of a flat matrix via one cache-tiled matmul; class

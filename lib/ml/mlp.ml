@@ -46,6 +46,51 @@ let train ?(params = default_params) (rng : Rng.t) ~(n_classes : int)
   done;
   { scaler; net }
 
+(** Per-sample SGD over streamed blocks; per-epoch shuffles stay within a
+    block (persistent per-block orders).  One block = exactly {!train}. *)
+let train_stream ?(params = default_params) ?block_rows (rng : Rng.t)
+    ~(n_classes : int) (src : Fblock.source) (ys : int array) : t =
+  let scaler = Features.fit_stream ?block_rows src in
+  let d = Fblock.dim src in
+  let n = Fblock.rows src in
+  let net =
+    {
+      Nn.layers =
+        [
+          Nn.dense rng ~d_in:d ~d_out:params.hidden;
+          Nn.relu ();
+          Nn.dense rng ~d_in:params.hidden ~d_out:n_classes;
+        ];
+      n_classes;
+    }
+  in
+  let bs_rows =
+    match block_rows with Some b -> b | None -> Fblock.default_block_rows
+  in
+  let orders =
+    Array.init (Fblock.n_blocks ?block_rows src) (fun b ->
+        Array.init (min bs_rows (n - (b * bs_rows))) Fun.id)
+  in
+  let buf = Array.make d 0.0 in
+  for epoch = 0 to params.epochs - 1 do
+    let lr = params.lr /. (1.0 +. (0.03 *. float_of_int epoch)) in
+    Fblock.iter_blocks ?block_rows src (fun lo block ->
+        Features.transform_fmat_inplace scaler block;
+        let order = orders.(lo / bs_rows) in
+        for i = block.Fmat.n - 1 downto 1 do
+          let j = Rng.int rng (i + 1) in
+          let tmp = order.(i) in
+          order.(i) <- order.(j);
+          order.(j) <- tmp
+        done;
+        Array.iter
+          (fun i ->
+            Fmat.row_into block i buf;
+            ignore (Nn.train_step ~lr ~rng net buf ys.(lo + i)))
+          order)
+  done;
+  { scaler; net }
+
 let predict (t : t) (x : float array) : int =
   Nn.predict t.net (Features.transform t.scaler x)
 

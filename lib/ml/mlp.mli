@@ -15,6 +15,17 @@ val train :
   int array ->
   t
 
+(** Per-sample SGD over streamed feature blocks; one block = bit-identical
+    to {!train}. *)
+val train_stream :
+  ?params:params ->
+  ?block_rows:int ->
+  Yali_util.Rng.t ->
+  n_classes:int ->
+  Fblock.source ->
+  int array ->
+  t
+
 val predict : t -> float array -> int
 
 (** Classify every row of a flat matrix (batched dense inference). *)

@@ -156,6 +156,22 @@ let train_snapshot name rng ~n_classes x ys =
   | "rf" -> Some (S_rf (Random_forest.train rng ~n_classes x ys))
   | _ -> None
 
+(** The out-of-core counterpart of {!train_snapshot}: lr/svm/mlp train by
+    minibatch SGD over streamed blocks, rf grows trees per block; knn keeps
+    every training row by definition and materialises the source.  On a
+    source that fits
+    one block the snapshot is bit-identical to {!train_snapshot}'s. *)
+let train_snapshot_stream ?block_rows name rng ~n_classes
+    (src : Fblock.source) ys =
+  match name with
+  | "lr" -> Some (S_lr (Logreg.train_stream ?block_rows rng ~n_classes src ys))
+  | "svm" -> Some (S_svm (Svm.train_stream ?block_rows rng ~n_classes src ys))
+  | "knn" -> Some (S_knn (Knn.train ~n_classes (Fblock.materialize src) ys))
+  | "mlp" -> Some (S_mlp (Mlp.train_stream ?block_rows rng ~n_classes src ys))
+  | "rf" ->
+      Some (S_rf (Random_forest.train_stream ?block_rows rng ~n_classes src ys))
+  | _ -> None
+
 let restore = function
   | S_lr m ->
       {

@@ -86,6 +86,20 @@ val train_snapshot :
   int array ->
   snapshot option
 
+(** {!train_snapshot} over a streamed feature source (out-of-core
+    training, DESIGN.md §12).  lr/svm/mlp run minibatch SGD over blocks,
+    rf grows trees block-by-block, knn materialises (it keeps every row by
+    definition).  On a source that fits one [block_rows] the snapshot is
+    bit-identical to {!train_snapshot}'s. *)
+val train_snapshot_stream :
+  ?block_rows:int ->
+  string ->
+  Yali_util.Rng.t ->
+  n_classes:int ->
+  Fblock.source ->
+  int array ->
+  snapshot option
+
 (** The predictor of a snapshot; class decisions are identical to the
     {!trained} returned by the original [ftrain]. *)
 val restore : snapshot -> trained

@@ -19,6 +19,18 @@ val train :
   int array ->
   t
 
+(** Incremental growth over streamed feature blocks: trees are dealt
+    round-robin over blocks and each grows on its block alone (at most one
+    block resident).  One block = bit-identical to {!train}. *)
+val train_stream :
+  ?params:params ->
+  ?block_rows:int ->
+  Yali_util.Rng.t ->
+  n_classes:int ->
+  Fblock.source ->
+  int array ->
+  t
+
 val predict : t -> float array -> int
 
 (** Classify every row of a flat matrix; rows fan out over the pool, each

@@ -15,6 +15,17 @@ val train :
   int array ->
   t
 
+(** Pegasos over streamed feature blocks; the step counter and averaging
+    window stay global.  One block = bit-identical to {!train}. *)
+val train_stream :
+  ?params:params ->
+  ?block_rows:int ->
+  Yali_util.Rng.t ->
+  n_classes:int ->
+  Fblock.source ->
+  int array ->
+  t
+
 val predict : t -> float array -> int
 
 (** Classify every row of a flat matrix via one cache-tiled matmul. *)

@@ -10,12 +10,15 @@ type meta = {
   dim : int;
   n_train : int;
   seed : int;
+  source : string;
 }
 
 type entry = { meta : meta; snapshot : Model.snapshot }
 
 let magic = "YREG"
-let format_version = 1
+
+(* v2 added the [source] provenance string (corpus spec or inline recipe). *)
+let format_version = 2
 
 let encode_entry { meta; snapshot } =
   let b = Buffer.create 1024 in
@@ -28,6 +31,7 @@ let encode_entry { meta; snapshot } =
   Bin.w_u32 b meta.dim;
   Bin.w_u32 b meta.n_train;
   Bin.w_int b meta.seed;
+  Bin.w_str b meta.source;
   Bin.w_str b (Model.save snapshot);
   Buffer.contents b
 
@@ -47,13 +51,14 @@ let decode_entry blob =
   let dim = Bin.r_u32 r in
   let n_train = Bin.r_u32 r in
   let seed = Bin.r_int r in
+  let source = Bin.r_str r in
   let snapshot = Model.load (Bin.r_str r) in
   Bin.expect_end r;
   if Model.snapshot_kind snapshot <> kind then
     Bin.fail r
       (Printf.sprintf "metadata kind %s but payload is a %s model" kind
          (Model.snapshot_kind snapshot));
-  { meta = { kind; version; embedding; n_classes; dim; n_train; seed };
+  { meta = { kind; version; embedding; n_classes; dim; n_train; seed; source };
     snapshot }
 
 let file_name ~kind ~version = Printf.sprintf "%s@%d.ymdl" kind version
@@ -180,6 +185,9 @@ let train ~seed ~embedding ~kind ~n_classes ~per_class =
           dim = x.Yali_ml.Fmat.d;
           n_train = x.Yali_ml.Fmat.n;
           seed;
+          source =
+            Printf.sprintf "inline:poj:seed=%d:classes=%d:per=%d" seed
+              n_classes per_class;
         }
       in
       Ok { meta; snapshot }

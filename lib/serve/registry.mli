@@ -14,6 +14,9 @@ type meta = {
   dim : int;  (** feature dimension the model expects *)
   n_train : int;  (** training rows *)
   seed : int;  (** training seed (the recipe is reproducible) *)
+  source : string;
+      (** provenance: a {!Yali_corpus.Gen.spec} string for corpus-trained
+          models, ["inline:..."] for {!train}'s synthetic recipe *)
 }
 
 type entry = { meta : meta; snapshot : Yali_ml.Model.snapshot }

@@ -1,0 +1,314 @@
+(** Tests for the streaming corpus layer (lib/corpus): sharded store
+    round-trips against the in-memory reference path, corruption rejection
+    (truncated shards, stale indexes), the on-disk feature-file format, and
+    the out-of-core/in-memory training equivalence (DESIGN.md §12). *)
+
+module Rng = Yali.Rng
+module Gen = Yali.Corpus.Gen
+module Store = Yali.Corpus.Store
+module Embed = Yali.Corpus.Embed
+module Ctrain = Yali.Corpus.Train
+module Fmat = Yali.Ml.Fmat
+module Fblock = Yali.Ml.Fblock
+module Logreg = Yali.Ml.Logreg
+module Model = Yali.Ml.Model
+module Embedding = Yali.Embeddings.Embedding
+
+let temp_dir_counter = ref 0
+
+let with_temp_dir f =
+  incr temp_dir_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "yali-corpus-test-%d-%d" (Unix.getpid ())
+         !temp_dir_counter)
+  in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then (
+        Array.iter (fun e -> Sys.remove (Filename.concat dir e)) (Sys.readdir dir);
+        Unix.rmdir dir))
+    (fun () -> f dir)
+
+let small_spec seed =
+  { Gen.dataset = "poj"; seed; n_classes = 4; per_class = 3 }
+
+(* -- spec strings ----------------------------------------------------------- *)
+
+let test_spec_string_roundtrip () =
+  List.iter
+    (fun spec ->
+      let s = Gen.spec_to_string spec in
+      match Gen.spec_of_string s with
+      | Ok spec' ->
+          Alcotest.(check bool) (s ^ " round-trips") true (spec = spec')
+      | Error e -> Alcotest.failf "%s did not parse back: %s" s e)
+    [
+      small_spec 1;
+      { Gen.dataset = "genprog2"; seed = 7; n_classes = 16; per_class = 2 };
+      { Gen.dataset = "poj"; seed = 0; n_classes = 104; per_class = 500 };
+    ];
+  List.iter
+    (fun s ->
+      match Gen.spec_of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%S parsed as a corpus spec" s)
+    [ ""; "poj"; "poj:seed=1:classes=2"; "poj:seed=x:classes=2:per=3" ]
+
+(* -- store round-trip -------------------------------------------------------- *)
+
+(* Sharded write -> reopen -> stream reads must equal the in-memory list:
+   same modules structurally, same labels, same order. *)
+let test_store_roundtrip () =
+  List.iter
+    (fun seed ->
+      with_temp_dir (fun dir ->
+          let spec = small_spec seed in
+          Gen.generate ~dir ~records_per_shard:5 spec;
+          let reference = Gen.materialize spec in
+          let r = Store.open_ dir in
+          Fun.protect
+            ~finally:(fun () -> Store.close r)
+            (fun () ->
+              Alcotest.(check int) "record count" (Array.length reference)
+                (Store.length r);
+              Alcotest.(check string) "meta string" (Gen.spec_to_string spec)
+                (Store.meta r);
+              Alcotest.(check int) "class count" spec.Gen.n_classes
+                (Store.n_classes r);
+              Alcotest.(check bool) "more than one shard" true
+                (Store.shard_count r > 1);
+              let seen = ref 0 in
+              Store.iter r (fun i ~label m ->
+                  incr seen;
+                  let m_ref, l_ref = reference.(i) in
+                  Alcotest.(check int)
+                    (Printf.sprintf "label of record %d" i)
+                    l_ref label;
+                  Alcotest.(check bool)
+                    (Printf.sprintf "module %d structurally equal" i)
+                    true
+                    (Stdlib.compare m m_ref = 0));
+              Alcotest.(check int) "iter visits every record"
+                (Array.length reference) !seen)))
+    [ 1; 2; 42 ]
+
+(* Shard-parallel generation is scheduling-independent: the bytes on disk
+   at --jobs 1 and --jobs 4 are identical, index included. *)
+let test_generation_jobs_invariant () =
+  let read_all dir =
+    Sys.readdir dir |> Array.to_list |> List.sort compare
+    |> List.map (fun f ->
+           let ic = open_in_bin (Filename.concat dir f) in
+           Fun.protect
+             ~finally:(fun () -> close_in_noerr ic)
+             (fun () -> (f, really_input_string ic (in_channel_length ic))))
+  in
+  let spec = small_spec 3 in
+  with_temp_dir (fun d1 ->
+      with_temp_dir (fun d2 ->
+          Yali.Exec.Pool.with_jobs 1 (fun () ->
+              Gen.generate ~dir:d1 ~records_per_shard:4 spec);
+          Yali.Exec.Pool.with_jobs 4 (fun () ->
+              Gen.generate ~dir:d2 ~records_per_shard:4 spec);
+          Alcotest.(check bool) "same files, same bytes" true
+            (read_all d1 = read_all d2)))
+
+(* -- corruption rejection ---------------------------------------------------- *)
+
+let expect_corrupt name dir =
+  match Store.open_ dir with
+  | exception Yali.Util.Bin.Corrupt _ -> ()
+  | exception e ->
+      Alcotest.failf "%s: expected Corrupt, got %s" name (Printexc.to_string e)
+  | r ->
+      Store.close r;
+      Alcotest.failf "%s: reader accepted a corrupt corpus" name
+
+let clip path bytes =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let keep = really_input_string ic (len - bytes) in
+  close_in ic;
+  let oc = open_out_bin path in
+  output_string oc keep;
+  close_out oc
+
+let test_rejects_truncated_shard () =
+  with_temp_dir (fun dir ->
+      Gen.generate ~dir ~records_per_shard:5 (small_spec 1);
+      clip (Store.shard_file dir 0) 7;
+      expect_corrupt "truncated shard" dir)
+
+let test_rejects_stale_index () =
+  with_temp_dir (fun dir ->
+      (* generate, then regenerate a *different* corpus but keep the first
+         index: every index points at shards it does not describe *)
+      Gen.generate ~dir ~records_per_shard:5 (small_spec 1);
+      let stale = Store.index_file dir ^ ".stale" in
+      Sys.rename (Store.index_file dir) stale;
+      Gen.generate ~dir ~records_per_shard:5
+        { (small_spec 1) with Gen.per_class = 5 };
+      Sys.rename stale (Store.index_file dir);
+      expect_corrupt "stale index" dir)
+
+let test_rejects_missing_shard () =
+  with_temp_dir (fun dir ->
+      Gen.generate ~dir ~records_per_shard:5 (small_spec 2);
+      Sys.remove (Store.shard_file dir 1);
+      expect_corrupt "missing shard" dir)
+
+let test_rejects_bad_index_magic () =
+  with_temp_dir (fun dir ->
+      Gen.generate ~dir ~records_per_shard:5 (small_spec 2);
+      let path = Store.index_file dir in
+      let ic = open_in_bin path in
+      let blob = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let bad = Bytes.of_string blob in
+      Bytes.set bad 0 'X';
+      let oc = open_out_bin path in
+      output_bytes oc bad;
+      close_out oc;
+      expect_corrupt "bad index magic" dir)
+
+(* -- feature files ----------------------------------------------------------- *)
+
+let test_fblock_roundtrip_bitexact () =
+  with_temp_dir (fun dir ->
+      let x =
+        Fmat.of_rows
+          (Array.init 17 (fun i ->
+               Array.init 9 (fun j ->
+                   (float_of_int (((i * 31) + (j * 17)) mod 23) /. 7.0) -. 1.5)))
+      in
+      let path = Filename.concat dir "m.yfmb" in
+      Fblock.to_file path x;
+      let fr = Fblock.open_reader path in
+      Fun.protect
+        ~finally:(fun () -> Fblock.close_reader fr)
+        (fun () ->
+          let back = Fblock.materialize (Fblock.Disk fr) in
+          Alcotest.(check bool) "doubles round-trip bit-exactly" true
+            (back.Fmat.data = x.Fmat.data));
+      clip path 3;
+      match Fblock.open_reader path with
+      | exception Yali.Util.Bin.Corrupt _ -> ()
+      | fr ->
+          Fblock.close_reader fr;
+          Alcotest.fail "truncated feature file accepted")
+
+(* -- out-of-core training ----------------------------------------------------- *)
+
+(* One epoch, source fits one block: the streamed logreg must reproduce the
+   in-memory weights to 1e-9 (they are in fact byte-identical). *)
+let test_stream_logreg_one_epoch () =
+  with_temp_dir (fun dir ->
+      let spec = small_spec 42 in
+      Gen.generate ~dir ~records_per_shard:5 spec;
+      let r = Store.open_ dir in
+      Fun.protect
+        ~finally:(fun () -> Store.close r)
+        (fun () ->
+          let embedding = Embedding.histogram in
+          let x, ys = Embed.to_fmat ~embedding r in
+          let path = Filename.concat dir "features.yfmb" in
+          let d = Embed.to_file ~embedding r ~out:path in
+          Alcotest.(check int) "embed dims agree" x.Fmat.d d;
+          let fr = Fblock.open_reader path in
+          Fun.protect
+            ~finally:(fun () -> Fblock.close_reader fr)
+            (fun () ->
+              let params = { Logreg.default_params with epochs = 1 } in
+              let inmem =
+                Logreg.train ~params (Rng.make 7)
+                  ~n_classes:spec.Gen.n_classes x ys
+              in
+              let streamed =
+                Logreg.train_stream ~params ~block_rows:x.Fmat.n (Rng.make 7)
+                  ~n_classes:spec.Gen.n_classes (Fblock.Disk fr) ys
+              in
+              let wa = (Logreg.weights inmem).Yali.Ml.Matrix.data in
+              let wb = (Logreg.weights streamed).Yali.Ml.Matrix.data in
+              Alcotest.(check int) "same weight count" (Array.length wa)
+                (Array.length wb);
+              Array.iteri
+                (fun i a ->
+                  if Float.abs (a -. wb.(i)) > 1e-9 then
+                    Alcotest.failf "weight %d drifted: %.17g vs %.17g" i a
+                      wb.(i))
+                wa)))
+
+(* Multi-block streaming is a different (still deterministic) SGD order; it
+   must stay deterministic and classify the easy synthetic corpus well. *)
+let test_stream_multiblock_deterministic () =
+  with_temp_dir (fun dir ->
+      let spec = small_spec 11 in
+      Gen.generate ~dir ~records_per_shard:3 spec;
+      let r = Store.open_ dir in
+      Fun.protect
+        ~finally:(fun () -> Store.close r)
+        (fun () ->
+          let embedding = Embedding.histogram in
+          let path = Filename.concat dir "features.yfmb" in
+          ignore (Embed.to_file ~embedding r ~out:path);
+          let ys = Store.labels r in
+          let train () =
+            let fr = Fblock.open_reader path in
+            Fun.protect
+              ~finally:(fun () -> Fblock.close_reader fr)
+              (fun () ->
+                Option.get
+                  (Model.train_snapshot_stream ~block_rows:4 "lr"
+                     (Rng.make 3) ~n_classes:spec.Gen.n_classes
+                     (Fblock.Disk fr) ys))
+          in
+          Alcotest.(check bool) "two runs, same blob" true
+            (Model.save (train ()) = Model.save (train ()))))
+
+(* Train-from-corpus end to end: the registry entry records the corpus spec
+   as provenance and survives encode/decode. *)
+let test_train_records_provenance () =
+  with_temp_dir (fun dir ->
+      let spec = small_spec 8 in
+      Gen.generate ~dir ~records_per_shard:5 spec;
+      match
+        Ctrain.train ~dir ~embedding:Embedding.histogram ~kind:"lr" ~seed:9 ()
+      with
+      | Error e -> Alcotest.failf "corpus train failed: %s" e
+      | Ok entry ->
+          let open Yali.Serve in
+          Alcotest.(check string) "provenance is the corpus spec"
+            (Gen.spec_to_string spec) entry.Registry.meta.source;
+          Alcotest.(check int) "rows recorded" (Gen.size spec)
+            entry.Registry.meta.n_train;
+          let back = Registry.decode_entry (Registry.encode_entry entry) in
+          Alcotest.(check string) "provenance survives the registry codec"
+            entry.Registry.meta.source back.Registry.meta.source)
+
+let suite =
+  [
+    Alcotest.test_case "spec strings round-trip" `Quick
+      test_spec_string_roundtrip;
+    Alcotest.test_case "store round-trips vs materialize (seeds 1,2,42)"
+      `Quick test_store_roundtrip;
+    Alcotest.test_case "generation is jobs-invariant" `Quick
+      test_generation_jobs_invariant;
+    Alcotest.test_case "truncated shard rejected" `Quick
+      test_rejects_truncated_shard;
+    Alcotest.test_case "stale index rejected" `Quick test_rejects_stale_index;
+    Alcotest.test_case "missing shard rejected" `Quick
+      test_rejects_missing_shard;
+    Alcotest.test_case "bad index magic rejected" `Quick
+      test_rejects_bad_index_magic;
+    Alcotest.test_case "feature file round-trips bit-exactly" `Quick
+      test_fblock_roundtrip_bitexact;
+    Alcotest.test_case "streamed logreg = in-memory after one epoch" `Quick
+      test_stream_logreg_one_epoch;
+    Alcotest.test_case "multi-block streaming is deterministic" `Quick
+      test_stream_multiblock_deterministic;
+    Alcotest.test_case "corpus training records provenance" `Quick
+      test_train_records_provenance;
+  ]

@@ -26,4 +26,5 @@ let () =
       ("antivirus", Test_antivirus.suite);
       ("integration", Test_integration.suite);
       ("serve", Test_serve.suite);
+      ("corpus", Test_corpus.suite);
     ]

@@ -255,6 +255,7 @@ let test_registry_publish_and_load () =
           dim = x.Fmat.d;
           n_train = x.Fmat.n;
           seed = 8;
+          source = "test:synthetic";
         }
       in
       Alcotest.(check (option int)) "empty registry has no latest" None

@@ -11,11 +11,16 @@
       finite number, never [nan], on degenerate inputs);
     - {!exec}: {!Yali_exec.Pool} determinism at arbitrary [--jobs] and
       {!Yali_exec.Cache} transparency;
-    - {!engines}: the {!Yali_vm.Vm} execution engine against the frozen
-      reference interpreter — each generated program is pushed through
-      every registered pipeline variant ({!Pipelines.all}) and both engines
-      must produce bit-identical outcomes (steps and cost included) with
-      identical [Trap]/[Out_of_fuel] classification;
+    - {!engines}: the {!Yali_vm.Vm} and {!Yali_native.Native} execution
+      engines against the frozen reference interpreter — each generated
+      program is pushed through every registered pipeline variant
+      ({!Pipelines.all}) and the engines must produce bit-identical
+      outcomes (steps and cost included) with identical
+      [Trap]/[Out_of_fuel] classification.  The native differential
+      batches a case's surviving variants into one plugin compile and
+      passes vacuously where the toolchain is absent; its deep-tier case
+      count is capped at 200 ([max_count]) because each case pays an
+      [ocamlopt] invocation;
     - {!serve}: the {!Yali_serve.Codec} binary format — each generated
       program, through every registered pipeline variant, must survive
       encode/decode with full structural identity and print bit-identically

@@ -31,12 +31,13 @@ type 'a spec = {
   s_show : 'a -> string;
   s_candidates : ('a -> 'a list) option;
   s_measure : 'a -> int;
+  s_max_count : int option;
 }
 
 type t = Prop : string * 'a spec -> t
 
 let make ~name ?(show = fun _ -> "<opaque>") ?candidates
-    ?(measure = fun _ -> 0) (gen : 'a gen) (law : 'a -> bool) : t =
+    ?(measure = fun _ -> 0) ?max_count (gen : 'a gen) (law : 'a -> bool) : t =
   Prop
     ( name,
       {
@@ -45,6 +46,7 @@ let make ~name ?(show = fun _ -> "<opaque>") ?candidates
         s_show = show;
         s_candidates = candidates;
         s_measure = measure;
+        s_max_count = max_count;
       } )
 
 let name (Prop (n, _)) = n
@@ -82,6 +84,9 @@ let run_case ~seed (Prop (n, s)) ix : bool =
 
 let run ?(count = 100) ~seed (Prop (n, s) as p) : result =
   ignore p;
+  let count =
+    match s.s_max_count with Some m -> min m count | None -> count
+  in
   let rec go ix =
     if ix >= count then { r_name = n; r_outcome = Pass { cases = count } }
     else

@@ -34,12 +34,17 @@ type t
     generated value.  [law] may raise; exceptions are reported as failures
     with the exception text.  [show] renders counterexamples (default
     ["<opaque>"]); [candidates]/[measure] enable integrated shrinking of a
-    failing case (defaults: no shrinking). *)
+    failing case (defaults: no shrinking).  [max_count] caps the number of
+    cases this one property runs regardless of the [count] passed to
+    {!run} — for oracles whose per-case cost (e.g. an [ocamlopt]
+    invocation) makes the deep tier's global count prohibitive.  Case
+    indices below the cap are unchanged, so replay keys stay valid. *)
 val make :
   name:string ->
   ?show:('a -> string) ->
   ?candidates:('a -> 'a list) ->
   ?measure:('a -> int) ->
+  ?max_count:int ->
   'a gen ->
   ('a -> bool) ->
   t

@@ -1,0 +1,1537 @@
+(** See codegen.mli. *)
+
+module I = Yali_ir.Instr
+module T = Yali_ir.Types
+module V = Yali_ir.Value
+module B = Yali_ir.Block
+module F = Yali_ir.Func
+module M = Yali_ir.Irmod
+module Op = Yali_ir.Opcode
+
+let abi_magic = "YALINAT1"
+
+(* Bumped whenever the emitted code's shape changes; part of the cache key so
+   stale artifacts from older code generators are never reused. *)
+let version = 1
+
+let mem_size = Yali_ir.Interp.mem_size
+
+(* ------------------------------------------------------------------ *)
+(* Static slot types.  A tiny lattice over the interpreter's rvalue
+   constructors: when every reaching definition of a slot has the same
+   constructor we compile reads and writes without tag dispatch. *)
+
+type sty = SBot | SInt | SFloat | SPtr | SUnit | SUnk
+
+let join a b = if a = SBot then b else if b = SBot then a else if a = b then a else SUnk
+
+(* Where a definition lives at runtime.  Block-local definitions become
+   plain OCaml lets; everything that crosses a block boundary (phis and
+   parameters included — blocks compile to top-level functions, so nothing
+   lexical survives a jump) gets dense indices into the per-call frame
+   carved out of the shared slot stacks.  Parameters arrive at the function
+   wrapper as (tag, int payload, float payload) triples and are spilled
+   into their frame slots before the entry block runs. *)
+type place =
+  | PLocal
+  | PFrame of int * int  (** int64-stack offset (-1 if none), float-stack offset (-1 if none) *)
+
+type slot = { sty : sty; place : place; def_block : int; def_pos : int }
+
+type fctx = {
+  f : F.t;
+  fname : string;
+  findex : int;
+  mindex : int;
+  blocks : B.t array;
+  label_ix : (string, int) Hashtbl.t;  (** label -> block index, last wins (Interp uses Hashtbl.replace) *)
+  slots : (int, slot) Hashtbl.t;
+  decl_ty : (int, T.t) Hashtbl.t;  (** declared types, for gep strides *)
+  ni : int;  (** int64-stack frame size *)
+  nf : int;  (** float-stack frame size *)
+  gaddr : (string, int) Hashtbl.t;  (** global -> address, last wins *)
+  gty1 : (string, T.t) Hashtbl.t;  (** global -> type, first wins (Irmod.find_global) *)
+  fun_ix : (string, int) Hashtbl.t;  (** function name -> index, first wins *)
+  fun_arity : int array;
+  fun_ni : int array;  (** per-function int64-stack frame size (callers pre-grow) *)
+  fun_nf : int array;  (** per-function float-stack frame size (callers pre-grow) *)
+  mutable gensym : int;
+  mutable out : Buffer.t;  (** active emission buffer, for hoisted frame reads *)
+  mutable memo : (string * string) list;
+      (** frame-cell read -> the local it is already bound to, within the
+          current block function.  Frame cells are written at most once per
+          block execution (SSA defs and edge phi-copies), so a read stays
+          valid until that cell's write, which drops the entry. *)
+}
+
+let fresh ctx p =
+  ctx.gensym <- ctx.gensym + 1;
+  Printf.sprintf "%s%d" p ctx.gensym
+
+(* ------------------------------------------------------------------ *)
+(* Literals *)
+
+let lit_i64 (n : int64) = Printf.sprintf "(%LdL)" n
+
+let lit_int (n : int) = Printf.sprintf "(%d)" n
+
+(* Exact float literals without a runtime [Int64.float_of_bits] call on the
+   hot path: hex float literals are exact for every finite double (and -0.);
+   infinities use the stdlib names; NaNs keep their payload via bits. *)
+let lit_float (x : float) =
+  if x <> x then Printf.sprintf "(Int64.float_of_bits (%LdL))" (Int64.bits_of_float x)
+  else if x = infinity then "infinity"
+  else if x = neg_infinity then "neg_infinity"
+  else Printf.sprintf "(%h)" x
+
+let quoted s = "\"" ^ String.escaped s ^ "\""
+
+(* ------------------------------------------------------------------ *)
+(* Interp.normalize, at codegen time (for constants) and emitted inline. *)
+
+let normalize (ty : T.t) (n : int64) : int64 =
+  match ty with
+  | T.I1 -> Int64.logand n 1L
+  | T.I8 ->
+      let v = Int64.logand n 0xFFL in
+      if Int64.compare v 0x7FL > 0 then Int64.sub v 0x100L else v
+  | T.I32 ->
+      let v = Int64.logand n 0xFFFFFFFFL in
+      if Int64.compare v 0x7FFFFFFFL > 0 then Int64.sub v 0x1_0000_0000L else v
+  | _ -> n
+
+(* The same wrap as an inline expression over [e]. *)
+let norm_expr (ty : T.t) (e : string) =
+  match ty with
+  | T.I1 -> Printf.sprintf "(Int64.logand %s 1L)" e
+  | T.I8 ->
+      Printf.sprintf
+        "(let nq = Int64.logand %s 0xFFL in if nq > 0x7FL then Int64.sub nq 0x100L else nq)"
+        e
+  | T.I32 ->
+      Printf.sprintf
+        "(let nq = Int64.logand %s 0xFFFFFFFFL in if nq > 0x7FFFFFFFL then Int64.sub nq \
+         0x1_0000_0000L else nq)"
+        e
+  | _ -> e
+
+(* ------------------------------------------------------------------ *)
+(* Operand classification *)
+
+type vinfo =
+  | KConstI of int64  (** already normalized *)
+  | KConstF of float
+  | KVar of int * slot
+  | KUnsetVar of int
+  | KGlobal of int
+  | KUnknownGlobal of string
+  | KUndef
+
+let vinfo (ctx : fctx) (v : V.t) : vinfo =
+  match v with
+  | V.Var id -> (
+      match Hashtbl.find_opt ctx.slots id with
+      | Some s -> KVar (id, s)
+      | None -> KUnsetVar id)
+  | V.IConst (ty, n) -> KConstI (normalize ty n)
+  | V.FConst x -> KConstF x
+  | V.Global g -> (
+      match Hashtbl.find_opt ctx.gaddr g with
+      | Some a -> KGlobal a
+      | None -> KUnknownGlobal g)
+  | V.Undef _ -> KUndef
+
+(* ------------------------------------------------------------------ *)
+(* Reads.  Every reader returns an OCaml expression string; trap cases
+   become calls to the plugin-local [tr] helper (type 'a, so they fit any
+   context).  [tag]/[iv]/[fv] are the triple components of a definition. *)
+
+let name_t id = Printf.sprintf "v%dt" id
+let name_i id = Printf.sprintf "v%di" id
+let name_f id = Printf.sprintf "v%df" id
+let name_v id = Printf.sprintf "v%d" id
+
+(* Memoized frame reads: the first read of a cell in a block function binds
+   it to a fresh local (emitted at the current — always statement-level —
+   buffer position; the reads are pure, so hoisting past expression
+   boundaries is safe); further reads reuse the local.  [unmemo] forgets
+   cells a write is about to change. *)
+let hoist ctx key raw =
+  match List.assoc_opt key ctx.memo with
+  | Some q -> q
+  | None ->
+      let q = fresh ctx "m" in
+      Buffer.add_string ctx.out (Printf.sprintf "let %s = %s in\n" q raw);
+      ctx.memo <- (key, q) :: ctx.memo;
+      q
+
+let unmemo ctx keys =
+  if ctx.memo <> [] then
+    ctx.memo <- List.filter (fun (k, _) -> not (List.mem k keys)) ctx.memo
+
+let ikey k = Printf.sprintf "i%d" k
+let fkey j = Printf.sprintf "f%d" j
+
+let ig ctx k =
+  hoist ctx (ikey k) (Printf.sprintf "(Bigarray.Array1.unsafe_get st.istk (ib + %d))" k)
+
+let fg ctx j = hoist ctx (fkey j) (Printf.sprintf "(Array.unsafe_get st.fstk (fb + %d))" j)
+
+(* top-level name of a basic-block function *)
+let bname mindex findex bi = Printf.sprintf "f%d_%d_b%d" mindex findex bi
+
+(* raw triple component reads for a defined variable *)
+let rd_tag ctx id (s : slot) =
+  match s.place with
+  | PLocal -> name_t id
+  | PFrame (k, _) -> Printf.sprintf "(Int64.to_int %s)" (ig ctx k)
+
+let rd_iv ctx id (s : slot) =
+  match s.place with
+  | PLocal -> name_i id
+  | PFrame (k, _) -> ig ctx (k + 1)
+
+let rd_fv ctx id (s : slot) =
+  match s.place with
+  | PLocal -> name_f id
+  | PFrame (_, j) -> fg ctx j
+
+(* typed single-value read (slot sty is SInt/SFloat/SPtr) *)
+let rd_typed ctx id (s : slot) =
+  match (s.sty, s.place) with
+  | SInt, PLocal -> name_v id
+  | SInt, PFrame (k, _) -> ig ctx k
+  | SFloat, PLocal -> name_v id
+  | SFloat, PFrame (_, j) -> fg ctx j
+  | SPtr, PLocal -> name_v id
+  | SPtr, PFrame (k, _) -> Printf.sprintf "(Int64.to_int %s)" (ig ctx k)
+  | _ -> assert false
+
+let trap_e msg = Printf.sprintf "(tr %s)" (quoted msg)
+let unset_e ctx id = trap_e (Printf.sprintf "read of unset %%%d in %s" id ctx.fname)
+let unknown_global_e g = trap_e ("unknown global " ^ g)
+
+(* as_int *)
+let xint (ctx : fctx) (v : V.t) : string =
+  match vinfo ctx v with
+  | KConstI n -> lit_i64 n
+  | KConstF _ -> trap_e "expected integer, got float"
+  | KUndef -> "0L"
+  | KGlobal _ -> trap_e "expected integer, got pointer"
+  | KUnknownGlobal g -> unknown_global_e g
+  | KUnsetVar id -> unset_e ctx id
+  | KVar (id, s) -> (
+      match s.sty with
+      | SInt -> rd_typed ctx id s
+      | SPtr -> trap_e "expected integer, got pointer"
+      | SFloat -> trap_e "expected integer, got float"
+      | SUnit | SBot -> trap_e "expected integer, got unit"
+      | SUnk ->
+          let q = fresh ctx "q" in
+          Printf.sprintf "(let %s = %s in if %s = 0 then %s else exp_int %s)" q (rd_tag ctx id s)
+            q (rd_iv ctx id s) q)
+
+(* as_float *)
+let xflt (ctx : fctx) (v : V.t) : string =
+  match vinfo ctx v with
+  | KConstF x -> lit_float x
+  | KConstI n -> lit_float (Int64.to_float n)
+  | KUndef -> "0."
+  | KGlobal _ | KUnknownGlobal _ | KUnsetVar _ -> (
+      match vinfo ctx v with
+      | KUnknownGlobal g -> unknown_global_e g
+      | KUnsetVar id -> unset_e ctx id
+      | _ -> trap_e "expected float")
+  | KVar (id, s) -> (
+      match s.sty with
+      | SFloat -> rd_typed ctx id s
+      | SInt -> Printf.sprintf "(Int64.to_float %s)" (rd_typed ctx id s)
+      | SPtr | SUnit | SBot -> trap_e "expected float"
+      | SUnk ->
+          let q = fresh ctx "q" in
+          Printf.sprintf
+            "(let %s = %s in if %s = 1 then %s else if %s = 0 then Int64.to_float %s else tr \
+             \"expected float\")"
+            q (rd_tag ctx id s) q (rd_fv ctx id s) q (rd_iv ctx id s))
+
+(* as_ptr: an OCaml int expression *)
+let xptr (ctx : fctx) (v : V.t) : string =
+  match vinfo ctx v with
+  | KConstI n -> lit_int (Int64.to_int n)
+  | KGlobal a -> lit_int a
+  | KUndef -> "0"
+  | KConstF _ -> trap_e "expected pointer"
+  | KUnknownGlobal g -> unknown_global_e g
+  | KUnsetVar id -> unset_e ctx id
+  | KVar (id, s) -> (
+      match s.sty with
+      | SPtr -> rd_typed ctx id s
+      | SInt -> Printf.sprintf "(Int64.to_int %s)" (rd_typed ctx id s)
+      | SFloat | SUnit | SBot -> trap_e "expected pointer"
+      | SUnk ->
+          let q = fresh ctx "q" in
+          Printf.sprintf
+            "(let %s = %s in if %s = 0 || %s = 2 then Int64.to_int %s else tr \"expected \
+             pointer\")"
+            q (rd_tag ctx id s) q q (rd_iv ctx id s))
+
+(* full triple (tag expr, int64 payload expr, float payload expr); a
+   trapping lookup is surfaced through the tag component, which consumers
+   always evaluate first. *)
+let xtriple (ctx : fctx) (v : V.t) : string * string * string =
+  match vinfo ctx v with
+  | KConstI n -> ("0", lit_i64 n, "0.")
+  | KConstF x -> ("1", "0L", lit_float x)
+  | KGlobal a -> ("2", Printf.sprintf "(Int64.of_int %d)" a, "0.")
+  | KUndef -> ("0", "0L", "0.")
+  | KUnknownGlobal g -> (unknown_global_e g, "0L", "0.")
+  | KUnsetVar id -> (unset_e ctx id, "0L", "0.")
+  | KVar (id, s) -> (
+      match s.sty with
+      | SInt -> ("0", rd_typed ctx id s, "0.")
+      | SFloat -> ("1", "0L", rd_typed ctx id s)
+      | SPtr -> ("2", Printf.sprintf "(Int64.of_int %s)" (rd_typed ctx id s), "0.")
+      | SUnit -> ("3", "0L", "0.")
+      | SBot -> ("0", "0L", "0.")
+      | SUnk -> (rd_tag ctx id s, rd_iv ctx id s, rd_fv ctx id s))
+
+(* Does evaluating [v]'s lookup itself trap (independent of coercion)? *)
+let lookup_traps (ctx : fctx) (v : V.t) =
+  match vinfo ctx v with KUnsetVar _ | KUnknownGlobal _ -> true | _ -> false
+
+(* Can reading [v] in the given coercion context trap? *)
+let coerce_traps (ctx : fctx) (v : V.t) (c : [ `Int | `Flt | `Ptr | `Triple ]) =
+  match (vinfo ctx v, c) with
+  | (KUnsetVar _ | KUnknownGlobal _), _ -> true
+  | _, `Triple -> false
+  | KConstI _, _ -> false
+  | KConstF _, `Flt -> false
+  | KConstF _, _ -> true
+  | KUndef, _ -> false
+  | KGlobal _, `Ptr -> false
+  | KGlobal _, _ -> true
+  | KVar (_, s), `Int -> not (s.sty = SInt)
+  | KVar (_, s), `Flt -> not (s.sty = SFloat || s.sty = SInt)
+  | KVar (_, s), `Ptr -> not (s.sty = SPtr || s.sty = SInt)
+
+(* ------------------------------------------------------------------ *)
+(* Static analysis: per-definition types, placement and frame layout.   *)
+
+let transfer_value (stys : (int, sty) Hashtbl.t) (v : V.t) : sty =
+  match v with
+  | V.Var id -> ( match Hashtbl.find_opt stys id with Some s -> s | None -> SBot)
+  | V.IConst _ -> SInt
+  | V.FConst _ -> SFloat
+  | V.Global _ -> SPtr
+  | V.Undef _ -> SInt
+
+let intrinsic_result = function
+  | "read_int" | "abs" | "min" | "max" -> Some SInt
+  | "read_float" -> Some SFloat
+  | "print_int" | "print_float" -> Some SUnit
+  | _ -> None
+
+let transfer_instr (stys : (int, sty) Hashtbl.t) (i : I.t) : sty =
+  match i.I.kind with
+  | I.Ibin _ | I.Icmp _ | I.Fcmp _ -> SInt
+  | I.Fbin _ | I.Fneg _ -> SFloat
+  | I.Alloca _ | I.Gep _ -> SPtr
+  | I.Load _ -> SUnk
+  | I.Store _ -> SUnit
+  | I.Phi incoming ->
+      List.fold_left (fun acc (v, _) -> join acc (transfer_value stys v)) SBot incoming
+  | I.Select (_, a, b) -> join (transfer_value stys a) (transfer_value stys b)
+  | I.Call (callee, _) -> (
+      match intrinsic_result callee with Some s -> s | None -> SUnk)
+  | I.Cast (c, a) -> (
+      match c with
+      | I.Trunc | I.ZExt | I.SExt | I.FPToUI | I.FPToSI | I.PtrToInt -> SInt
+      | I.FPTrunc | I.FPExt | I.UIToFP | I.SIToFP -> SFloat
+      | I.IntToPtr -> SPtr
+      | I.Bitcast -> transfer_value stys a)
+  | I.Freeze a -> transfer_value stys a
+
+let analyze_function (f : F.t) : (int, sty) Hashtbl.t =
+  let stys : (int, sty) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun (id, _) -> Hashtbl.replace stys id SUnk) f.F.params;
+  let defs =
+    List.concat_map
+      (fun (b : B.t) -> List.filter (fun (i : I.t) -> I.defines i) b.B.instrs)
+      f.F.blocks
+  in
+  List.iter (fun (i : I.t) -> Hashtbl.replace stys i.I.id SBot) defs;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (i : I.t) ->
+        let cur = try Hashtbl.find stys i.I.id with Not_found -> SBot in
+        let nxt = join cur (transfer_instr stys i) in
+        if nxt <> cur then (
+          Hashtbl.replace stys i.I.id nxt;
+          changed := true))
+      defs
+  done;
+  (* unreached phi cycles stay SBot; give them the universal representation *)
+  Hashtbl.iter (fun id s -> if s = SBot then Hashtbl.replace stys id SUnk) stys;
+  stys
+
+(* ------------------------------------------------------------------ *)
+(* Emission *)
+
+type pending = { mutable psteps : int; mutable pcost : int }
+
+(* The step/cost counters travel through the block functions as plain int
+   arguments [stp]/[cst] (with the fuel bound [fl]) — registers, not heap
+   fields.  They are written back to [st] only where another party reads
+   them: before a user call (the callee's fuel checks) and at Ret (the
+   caller reloads).  Exception paths (Trap/F/Invalid_argument) never
+   observe the counters — [drive] packs zeros there — so no write-back is
+   needed before a raise. *)
+let flush (buf : Buffer.t) (p : pending) =
+  if p.psteps > 0 then Buffer.add_string buf (Printf.sprintf "let stp = stp + %d in\n" p.psteps);
+  if p.pcost > 0 then Buffer.add_string buf (Printf.sprintf "let cst = cst + %d in\n" p.pcost);
+  if p.psteps > 0 then Buffer.add_string buf "if stp > fl then raise F;\n";
+  p.psteps <- 0;
+  p.pcost <- 0
+
+let charge (p : pending) (op : Op.t) =
+  p.psteps <- p.psteps + 1;
+  p.pcost <- p.pcost + Op.cost op
+
+(* store an instruction result whose representation matches the slot sty *)
+let bind_typed buf (ctx : fctx) id (e : string) =
+  match Hashtbl.find_opt ctx.slots id with
+  | None -> Buffer.add_string buf (Printf.sprintf "let _ = %s in\n" e)
+  | Some s -> (
+      match (s.sty, s.place) with
+      | _, PLocal when s.sty <> SUnk && s.sty <> SUnit ->
+          Buffer.add_string buf (Printf.sprintf "let %s = %s in\n" (name_v id) e)
+      | SInt, PFrame (k, _) ->
+          unmemo ctx [ ikey k ];
+          Buffer.add_string buf
+            (Printf.sprintf "Bigarray.Array1.unsafe_set st.istk (ib + %d) (%s);\n" k e)
+      | SPtr, PFrame (k, _) ->
+          unmemo ctx [ ikey k ];
+          Buffer.add_string buf
+            (Printf.sprintf "Bigarray.Array1.unsafe_set st.istk (ib + %d) (Int64.of_int %s);\n" k
+               e)
+      | SFloat, PFrame (_, j) ->
+          unmemo ctx [ fkey j ];
+          Buffer.add_string buf (Printf.sprintf "Array.unsafe_set st.fstk (fb + %d) (%s);\n" j e)
+      | SUnit, _ -> Buffer.add_string buf (Printf.sprintf "let _ = %s in\n" e)
+      | _ -> assert false)
+
+(* store a triple result (tag/iv/fv expression strings) *)
+let bind_triple buf (ctx : fctx) id (t, i, fl) =
+  match Hashtbl.find_opt ctx.slots id with
+  | None ->
+      Buffer.add_string buf (Printf.sprintf "let _ = %s in let _ = %s in let _ = %s in\n" t i fl)
+  | Some s -> (
+      match s.place with
+      | PLocal ->
+          Buffer.add_string buf
+            (Printf.sprintf "let %s = %s in let %s = %s in let %s = %s in\n" (name_t id) t
+               (name_i id) i (name_f id) fl)
+      | PFrame (k, j) ->
+          (* evaluate in tag, iv, fv order (the tag may be a trap) *)
+          let qt = fresh ctx "w" and qi = fresh ctx "w" and qf = fresh ctx "w" in
+          Buffer.add_string buf
+            (Printf.sprintf "let %s = %s in let %s = %s in let %s = %s in\n" qt t qi i qf fl);
+          unmemo ctx [ ikey k; ikey (k + 1); fkey j ];
+          Buffer.add_string buf
+            (Printf.sprintf "Bigarray.Array1.unsafe_set st.istk (ib + %d) (Int64.of_int %s);\n" k
+               qt);
+          Buffer.add_string buf
+            (Printf.sprintf "Bigarray.Array1.unsafe_set st.istk (ib + %d) (%s);\n" (k + 1) qi);
+          Buffer.add_string buf (Printf.sprintf "Array.unsafe_set st.fstk (fb + %d) (%s);\n" j qf))
+
+(* convert a value to the representation of a destination slot sty *)
+let value_as_sty (ctx : fctx) (v : V.t) : sty -> [ `One of string | `Three of string * string * string ]
+    = function
+  | SInt -> `One (xint ctx v)
+  | SFloat -> `One (xflt ctx v)
+  | SPtr -> `One (xptr ctx v)
+  | SUnit -> `One "()"
+  | SUnk | SBot -> `Three (xtriple ctx v)
+
+let mask_expr w e =
+  if w = 64 then e
+  else Printf.sprintf "(Int64.logand %s %LdL)" e (Int64.sub (Int64.shift_left 1L w) 1L)
+
+let width_of ty = try T.width ty with _ -> 64
+
+(* Can executing instruction [i] trap or observe state (inputs, outputs,
+   memory, allocator)?  Conservative TRUE is always sound — it only forces
+   an earlier counter flush. *)
+let instr_needs_flush (ctx : fctx) (i : I.t) : bool =
+  let vt c v = coerce_traps ctx v c in
+  match i.I.kind with
+  | I.Ibin (op, a, b) -> (
+      vt `Int a || vt `Int b
+      || match op with I.SDiv | I.UDiv | I.SRem | I.URem -> true | _ -> false)
+  | I.Icmp (_, a, b) -> vt `Int a || vt `Int b
+  | I.Fbin (_, a, b) | I.Fcmp (_, a, b) -> vt `Flt a || vt `Flt b
+  | I.Fneg a -> vt `Flt a
+  | I.Alloca _ | I.Load _ | I.Store _ | I.Call _ -> true
+  | I.Gep (base, idxs) -> vt `Ptr base || List.exists (vt `Int) idxs
+  | I.Select (c, a, b) ->
+      vt `Int c || lookup_traps ctx a || lookup_traps ctx b
+  | I.Phi _ -> false
+  | I.Cast (c, a) -> (
+      match c with
+      | I.Trunc | I.ZExt | I.SExt -> vt `Int a
+      | I.FPTrunc | I.FPExt | I.FPToUI | I.FPToSI -> vt `Flt a
+      | I.UIToFP | I.SIToFP -> vt `Int a
+      | I.PtrToInt -> vt `Ptr a
+      | I.IntToPtr -> vt `Int a
+      | I.Bitcast -> lookup_traps ctx a)
+  | I.Freeze a -> lookup_traps ctx a
+
+let emit_ibin buf ctx (i : I.t) op a b =
+  let tb = fresh ctx "a" and ta = fresh ctx "a" in
+  (* interp evaluates operand coercions right-to-left *)
+  Buffer.add_string buf (Printf.sprintf "let %s = %s in\n" tb (xint ctx b));
+  Buffer.add_string buf (Printf.sprintf "let %s = %s in\n" ta (xint ctx a));
+  let w = width_of i.I.ty in
+  let shamt = Printf.sprintf "(Int64.to_int (Int64.logand %s 63L))" tb in
+  let dz e = Printf.sprintf "(if %s = 0L then tr \"division by zero\" else %s)" tb e in
+  let core =
+    match op with
+    | I.Add -> Printf.sprintf "(Int64.add %s %s)" ta tb
+    | I.Sub -> Printf.sprintf "(Int64.sub %s %s)" ta tb
+    | I.Mul -> Printf.sprintf "(Int64.mul %s %s)" ta tb
+    | I.SDiv -> dz (Printf.sprintf "(Int64.div %s %s)" ta tb)
+    | I.SRem -> dz (Printf.sprintf "(Int64.rem %s %s)" ta tb)
+    | I.UDiv -> dz (Printf.sprintf "(Int64.unsigned_div %s %s)" (mask_expr w ta) (mask_expr w tb))
+    | I.URem -> dz (Printf.sprintf "(Int64.unsigned_rem %s %s)" (mask_expr w ta) (mask_expr w tb))
+    | I.Shl -> Printf.sprintf "(Int64.shift_left %s %s)" ta shamt
+    | I.LShr -> Printf.sprintf "(Int64.shift_right_logical %s %s)" (mask_expr w ta) shamt
+    | I.AShr -> Printf.sprintf "(Int64.shift_right %s %s)" ta shamt
+    | I.And -> Printf.sprintf "(Int64.logand %s %s)" ta tb
+    | I.Or -> Printf.sprintf "(Int64.logor %s %s)" ta tb
+    | I.Xor -> Printf.sprintf "(Int64.logxor %s %s)" ta tb
+  in
+  bind_typed buf ctx i.I.id (norm_expr i.I.ty core)
+
+let bias e = Printf.sprintf "(Int64.add %s (-9223372036854775808L))" e
+
+let emit_icmp buf ctx (i : I.t) p a b =
+  let tb = fresh ctx "a" and ta = fresh ctx "a" in
+  Buffer.add_string buf (Printf.sprintf "let %s = %s in\n" tb (xint ctx b));
+  Buffer.add_string buf (Printf.sprintf "let %s = %s in\n" ta (xint ctx a));
+  let cmp =
+    match p with
+    | I.Eq -> Printf.sprintf "%s = %s" ta tb
+    | I.Ne -> Printf.sprintf "%s <> %s" ta tb
+    | I.Slt -> Printf.sprintf "%s < %s" ta tb
+    | I.Sle -> Printf.sprintf "%s <= %s" ta tb
+    | I.Sgt -> Printf.sprintf "%s > %s" ta tb
+    | I.Sge -> Printf.sprintf "%s >= %s" ta tb
+    | I.Ult -> Printf.sprintf "%s < %s" (bias ta) (bias tb)
+    | I.Ule -> Printf.sprintf "%s <= %s" (bias ta) (bias tb)
+    | I.Ugt -> Printf.sprintf "%s > %s" (bias ta) (bias tb)
+    | I.Uge -> Printf.sprintf "%s >= %s" (bias ta) (bias tb)
+  in
+  bind_typed buf ctx i.I.id (Printf.sprintf "(if %s then 1L else 0L)" cmp)
+
+let emit_fcmp buf ctx (i : I.t) p a b =
+  let tb = fresh ctx "a" and ta = fresh ctx "a" in
+  Buffer.add_string buf (Printf.sprintf "let %s = %s in\n" tb (xflt ctx b));
+  Buffer.add_string buf (Printf.sprintf "let %s = %s in\n" ta (xflt ctx a));
+  let op =
+    match p with
+    | I.Oeq -> "="
+    | I.One -> "<>"
+    | I.Olt -> "<"
+    | I.Ole -> "<="
+    | I.Ogt -> ">"
+    | I.Oge -> ">="
+  in
+  bind_typed buf ctx i.I.id (Printf.sprintf "(if %s %s %s then 1L else 0L)" ta op tb)
+
+(* Declared type of a gep base, mirroring Interp's def_types lookup. *)
+let gep_base_ty (ctx : fctx) (base : V.t) : T.t =
+  match base with
+  | V.Var id -> (
+      match Hashtbl.find_opt ctx.decl_ty id with Some t -> t | None -> T.Ptr T.I64)
+  | V.Global g -> (
+      match Hashtbl.find_opt ctx.gty1 g with Some t -> t | None -> T.Ptr T.I64)
+  | _ -> T.Ptr T.I64
+
+let emit_gep buf ctx (i : I.t) base idxs =
+  (* interp: index coercions first (left to right), then the base *)
+  let idx_tmps =
+    List.map
+      (fun v ->
+        let t = fresh ctx "a" in
+        Buffer.add_string buf (Printf.sprintf "let %s = %s in\n" t (xint ctx v));
+        t)
+      idxs
+  in
+  let tb = fresh ctx "a" in
+  Buffer.add_string buf (Printf.sprintf "let %s = %s in\n" tb (xptr ctx base));
+  let rec strides ty = function
+    | [] -> []
+    | _ :: rest ->
+        let stride =
+          match ty with T.Ptr t | T.Arr (t, _) -> T.size_in_cells t | _ -> 1
+        in
+        let elem = match ty with T.Ptr t | T.Arr (t, _) -> t | t -> t in
+        stride :: strides elem rest
+  in
+  let ss = strides (gep_base_ty ctx base) idx_tmps in
+  let addr =
+    List.fold_left2
+      (fun acc t s -> Printf.sprintf "%s + (Int64.to_int %s * %d)" acc t s)
+      tb idx_tmps ss
+  in
+  bind_typed buf ctx i.I.id (Printf.sprintf "(%s)" addr)
+
+let emit_copy buf ctx id a =
+  let dst_sty =
+    match Hashtbl.find_opt ctx.slots id with Some s -> s.sty | None -> SUnk
+  in
+  match value_as_sty ctx a dst_sty with
+  | `One e -> bind_typed buf ctx id e
+  | `Three t -> bind_triple buf ctx id t
+
+let emit_cast buf ctx (i : I.t) c a =
+  match c with
+  | I.Trunc | I.ZExt | I.SExt -> bind_typed buf ctx i.I.id (norm_expr i.I.ty (xint ctx a))
+  | I.FPTrunc | I.FPExt -> bind_typed buf ctx i.I.id (xflt ctx a)
+  | I.FPToUI | I.FPToSI ->
+      let q = fresh ctx "a" in
+      Buffer.add_string buf (Printf.sprintf "let %s = %s in\n" q (xflt ctx a));
+      bind_typed buf ctx i.I.id
+        (Printf.sprintf "(if %s <> %s then 0L else %s)" q q
+           (norm_expr i.I.ty (Printf.sprintf "(Int64.of_float %s)" q)))
+  | I.UIToFP | I.SIToFP ->
+      bind_typed buf ctx i.I.id (Printf.sprintf "(Int64.to_float %s)" (xint ctx a))
+  | I.PtrToInt -> bind_typed buf ctx i.I.id (Printf.sprintf "(Int64.of_int %s)" (xptr ctx a))
+  | I.IntToPtr -> bind_typed buf ctx i.I.id (Printf.sprintf "(Int64.to_int %s)" (xint ctx a))
+  | I.Bitcast -> emit_copy buf ctx i.I.id a
+
+let emit_select buf ctx (i : I.t) c a b =
+  let tc = fresh ctx "a" in
+  Buffer.add_string buf (Printf.sprintf "let %s = %s <> 0L in\n" tc (xint ctx c));
+  let dst_sty =
+    match Hashtbl.find_opt ctx.slots i.I.id with Some s -> s.sty | None -> SUnk
+  in
+  match (value_as_sty ctx a dst_sty, value_as_sty ctx b dst_sty) with
+  | `One ea, `One eb ->
+      bind_typed buf ctx i.I.id (Printf.sprintf "(if %s then %s else %s)" tc ea eb)
+  | `Three (at, ai, af), `Three (bt, bi, bf) ->
+      bind_triple buf ctx i.I.id
+        ( Printf.sprintf "(if %s then %s else %s)" tc at bt,
+          Printf.sprintf "(if %s then %s else %s)" tc ai bi,
+          Printf.sprintf "(if %s then %s else %s)" tc af bf )
+  | _ -> assert false
+
+let emit_load buf ctx (i : I.t) p =
+  let ta = fresh ctx "a" in
+  Buffer.add_string buf (Printf.sprintf "let %s = %s in\n" ta (xptr ctx p));
+  Buffer.add_string buf
+    (* single-branch bounds check: sign bit set iff a < 0 or a > brk-1
+       (a < 0 dominates any overflow of brk-1-a) *)
+    (Printf.sprintf "if %s lor (st.brk - 1 - %s) < 0 then oobl %s;\n" ta ta ta);
+  (* the float plane is read only under its tag: a non-float cell's mf
+     entry is stale garbage no consumer may observe (they all dispatch on
+     the tag first), so substituting 0. is invisible and skips a cache-line
+     touch on the 8MB plane.  The int plane is the common case — read it
+     unconditionally rather than pay a branch. *)
+  let tg = fresh ctx "a" in
+  Buffer.add_string buf
+    (Printf.sprintf "let %s = Char.code (Bytes.unsafe_get st.mt %s) in\n" tg ta);
+  bind_triple buf ctx i.I.id
+    ( tg,
+      Printf.sprintf "(Bigarray.Array1.unsafe_get st.mi %s)" ta,
+      Printf.sprintf "(if %s = 1 then Array.unsafe_get st.mf %s else 0.)" tg ta )
+
+let emit_store buf ctx (v : V.t) (p : V.t) =
+  (* interp evaluates [lookup v] before [as_ptr (lookup p)] *)
+  let sty =
+    match vinfo ctx v with
+    | KVar (_, s) -> s.sty
+    | KConstI _ | KUndef -> SInt
+    | KConstF _ -> SFloat
+    | KGlobal _ -> SPtr
+    | KUnknownGlobal _ | KUnsetVar _ -> SUnk (* triple read carries the trap *)
+  in
+  let write_tag ta t =
+    Buffer.add_string buf (Printf.sprintf "Bytes.unsafe_set st.mt %s '\\%03d';\n" ta t)
+  in
+  match sty with
+  | SInt | SPtr | SFloat | SUnit ->
+      let comp =
+        match sty with
+        | SInt -> `I (xint ctx v)
+        | SPtr -> `P (xptr ctx v)
+        | SFloat -> `F (xflt ctx v)
+        | _ -> `U
+      in
+      let tv = fresh ctx "a" in
+      (match comp with
+      | `I e | `P e -> Buffer.add_string buf (Printf.sprintf "let %s = %s in\n" tv e)
+      | `F e -> Buffer.add_string buf (Printf.sprintf "let %s = %s in\n" tv e)
+      | `U -> ());
+      let ta = fresh ctx "a" in
+      Buffer.add_string buf (Printf.sprintf "let %s = %s in\n" ta (xptr ctx p));
+      Buffer.add_string buf
+        (Printf.sprintf "if %s lor (st.brk - 1 - %s) < 0 then oobs %s;\n" ta ta ta);
+      (match comp with
+      | `I _ ->
+          write_tag ta 0;
+          Buffer.add_string buf
+            (Printf.sprintf "Bigarray.Array1.unsafe_set st.mi %s %s;\n" ta tv)
+      | `P _ ->
+          write_tag ta 2;
+          Buffer.add_string buf
+            (Printf.sprintf "Bigarray.Array1.unsafe_set st.mi %s (Int64.of_int %s);\n" ta tv)
+      | `F _ ->
+          write_tag ta 1;
+          Buffer.add_string buf (Printf.sprintf "Array.unsafe_set st.mf %s %s;\n" ta tv)
+      | `U -> write_tag ta 3)
+  | _ ->
+      let t, iv, fv = xtriple ctx v in
+      let qt = fresh ctx "a" and qi = fresh ctx "a" and qf = fresh ctx "a" in
+      Buffer.add_string buf
+        (Printf.sprintf "let %s = %s in let %s = %s in let %s = %s in\n" qt t qi iv qf fv);
+      let ta = fresh ctx "a" in
+      Buffer.add_string buf (Printf.sprintf "let %s = %s in\n" ta (xptr ctx p));
+      Buffer.add_string buf
+        (Printf.sprintf "if %s lor (st.brk - 1 - %s) < 0 then oobs %s;\n" ta ta ta);
+      Buffer.add_string buf
+        (Printf.sprintf "Bytes.unsafe_set st.mt %s (Char.unsafe_chr %s);\n" ta qt);
+      Buffer.add_string buf (Printf.sprintf "Bigarray.Array1.unsafe_set st.mi %s %s;\n" ta qi);
+      Buffer.add_string buf (Printf.sprintf "Array.unsafe_set st.mf %s %s;\n" ta qf)
+
+let emit_call buf ctx (i : I.t) callee (args : V.t list) =
+  (* interp: List.map lookup args (left to right), then eval_call *)
+  let fire_lookup_traps () =
+    List.iter
+      (fun v ->
+        if lookup_traps ctx v then
+          let t, _, _ = xtriple ctx v in
+          Buffer.add_string buf (Printf.sprintf "let _ = %s in\n" t))
+      args
+  in
+  let intrinsic = intrinsic_result callee in
+  match intrinsic with
+  | Some _ -> (
+      fire_lookup_traps ();
+      match (callee, args) with
+      | "read_int", _ -> bind_typed buf ctx i.I.id "(rd_i st)"
+      | "read_float", _ -> bind_typed buf ctx i.I.id "(rd_f st)"
+      | "print_int", [ v ] ->
+          Buffer.add_string buf (Printf.sprintf "st.orev <- %s :: st.orev;\n" (xint ctx v));
+          bind_typed buf ctx i.I.id "()"
+      | "print_int", _ -> Buffer.add_string buf (trap_e "print_int arity" ^ ";\n")
+      | "print_float", [ v ] ->
+          Buffer.add_string buf (Printf.sprintf "st.frev <- %s :: st.frev;\n" (xflt ctx v));
+          bind_typed buf ctx i.I.id "()"
+      | "print_float", _ -> Buffer.add_string buf (trap_e "print_float arity" ^ ";\n")
+      | "abs", [ v ] ->
+          let q = fresh ctx "a" in
+          Buffer.add_string buf (Printf.sprintf "let %s = %s in\n" q (xint ctx v));
+          bind_typed buf ctx i.I.id
+            (Printf.sprintf "(if %s >= 0L then %s else Int64.neg %s)" q q q)
+      | "abs", _ -> Buffer.add_string buf (trap_e "abs arity" ^ ";\n")
+      | ("min" | "max"), [ a; b ] ->
+          let tb = fresh ctx "a" and ta = fresh ctx "a" in
+          (* Stdlib.min/max evaluate [as_int] right-to-left *)
+          Buffer.add_string buf (Printf.sprintf "let %s = %s in\n" tb (xint ctx b));
+          Buffer.add_string buf (Printf.sprintf "let %s = %s in\n" ta (xint ctx a));
+          let op = if callee = "min" then "<=" else ">=" in
+          bind_typed buf ctx i.I.id
+            (Printf.sprintf "(if %s %s %s then %s else %s)" ta op tb ta tb)
+      | "min", _ -> Buffer.add_string buf (trap_e "min arity" ^ ";\n")
+      | "max", _ -> Buffer.add_string buf (trap_e "max arity" ^ ";\n")
+      | _ -> assert false)
+  | None -> (
+      match Hashtbl.find_opt ctx.fun_ix callee with
+      | None ->
+          fire_lookup_traps ();
+          Buffer.add_string buf (trap_e ("call to unknown function " ^ callee) ^ ";\n")
+      | Some k when ctx.fun_arity.(k) <> List.length args ->
+          fire_lookup_traps ();
+          Buffer.add_string buf
+            (trap_e
+               (Printf.sprintf "arity mismatch calling %s: %d args for %d params" callee
+                  (List.length args) ctx.fun_arity.(k))
+            ^ ";\n")
+      | Some k ->
+          let arg_tmps =
+            List.map
+              (fun v ->
+                let t, iv, fv = xtriple ctx v in
+                let qt = fresh ctx "a" and qi = fresh ctx "a" and qf = fresh ctx "a" in
+                Buffer.add_string buf
+                  (Printf.sprintf "let %s = %s in let %s = %s in let %s = %s in\n" qt t qi iv
+                     qf fv);
+                (qt, qi, qf))
+              args
+          in
+          (* caller writes the argument triples into the callee's parameter
+             slots, which sit at the base of its still-unclaimed frame
+             ([st.isp + 2p] / [st.fsp + p]), after pre-growing the stacks
+             for the callee's whole frame (so the wrapper checks nothing).
+             No per-call boxing: every component crosses through an unboxed
+             stack cell, the counters ride along as plain int arguments, and
+             the result comes back as the int tag plus the st.ri/rf cells
+             rather than an allocated tuple. *)
+          if ctx.fun_ni.(k) > 0 then
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "if st.isp + %d > Bigarray.Array1.dim st.istk then grow_i st (st.isp + %d);\n"
+                 ctx.fun_ni.(k) ctx.fun_ni.(k));
+          if ctx.fun_nf.(k) > 0 then
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "if st.fsp + %d > Array.length st.fstk then grow_f st (st.fsp + %d);\n"
+                 ctx.fun_nf.(k) ctx.fun_nf.(k));
+          List.iteri
+            (fun p (qt, qi, qf) ->
+              Buffer.add_string buf
+                (Printf.sprintf
+                   "Bigarray.Array1.unsafe_set st.istk (st.isp + %d) (Int64.of_int %s);\n"
+                   (2 * p) qt);
+              Buffer.add_string buf
+                (Printf.sprintf "Bigarray.Array1.unsafe_set st.istk (st.isp + %d) %s;\n"
+                   ((2 * p) + 1) qi);
+              Buffer.add_string buf
+                (Printf.sprintf "Array.unsafe_set st.fstk (st.fsp + %d) %s;\n" p qf))
+            arg_tmps;
+          let rt = fresh ctx "r" in
+          Buffer.add_string buf
+            (Printf.sprintf "let %s = f%d_%d st stp cst fl in\n" rt ctx.mindex k);
+          Buffer.add_string buf "let stp = st.steps in\nlet cst = st.cost in\n";
+          if I.defines i then
+            bind_triple buf ctx i.I.id
+              ( rt,
+                "(Bigarray.Array1.unsafe_get st.ri 0)",
+                "(Array.unsafe_get st.rf 0)" )
+          else Buffer.add_string buf (Printf.sprintf "let _ = %s in\n" rt))
+
+let emit_instr buf ctx (i : I.t) =
+  match i.I.kind with
+  | I.Phi _ -> ()
+  | I.Ibin (op, a, b) -> emit_ibin buf ctx i op a b
+  | I.Fbin (op, a, b) ->
+      let tb = fresh ctx "a" and ta = fresh ctx "a" in
+      Buffer.add_string buf (Printf.sprintf "let %s = %s in\n" tb (xflt ctx b));
+      Buffer.add_string buf (Printf.sprintf "let %s = %s in\n" ta (xflt ctx a));
+      let e =
+        match op with
+        | I.FAdd -> Printf.sprintf "(%s +. %s)" ta tb
+        | I.FSub -> Printf.sprintf "(%s -. %s)" ta tb
+        | I.FMul -> Printf.sprintf "(%s *. %s)" ta tb
+        | I.FDiv -> Printf.sprintf "(%s /. %s)" ta tb
+        | I.FRem -> Printf.sprintf "(Float.rem %s %s)" ta tb
+      in
+      bind_typed buf ctx i.I.id e
+  | I.Fneg a -> bind_typed buf ctx i.I.id (Printf.sprintf "(-. %s)" (xflt ctx a))
+  | I.Icmp (p, a, b) -> emit_icmp buf ctx i p a b
+  | I.Fcmp (p, a, b) -> emit_fcmp buf ctx i p a b
+  | I.Alloca ty ->
+      let cells = T.size_in_cells ty in
+      if cells <= 4 then begin
+        (* unroll the zeroing: Bytes.fill + the mi loop cost more than the
+           handful of stores for the small allocas O0-style code leans on *)
+        let ab = fresh ctx "a" in
+        let zs = Buffer.create 64 in
+        for c = 0 to cells - 1 do
+          Buffer.add_string zs
+            (Printf.sprintf
+               "Bytes.unsafe_set st.mt (%s + %d) '\\000'; Bigarray.Array1.unsafe_set st.mi \
+                (%s + %d) 0L; "
+               ab c ab c)
+        done;
+        bind_typed buf ctx i.I.id
+          (Printf.sprintf
+             "(let %s = st.brk in if %s + %d >= mem_size then tr \"out of memory\"; st.brk <- \
+              %s + %d; %s%s)"
+             ab ab cells ab cells (Buffer.contents zs) ab)
+      end
+      else bind_typed buf ctx i.I.id (Printf.sprintf "(alloc st %d)" cells)
+  | I.Load p -> emit_load buf ctx i p
+  | I.Store (v, p) -> emit_store buf ctx v p
+  | I.Gep (base, idxs) -> emit_gep buf ctx i base idxs
+  | I.Select (c, a, b) -> emit_select buf ctx i c a b
+  | I.Call (callee, args) -> emit_call buf ctx i callee args
+  | I.Cast (c, a) -> emit_cast buf ctx i c a
+  | I.Freeze a -> emit_copy buf ctx i.I.id a
+
+(* -- edges ---------------------------------------------------------- *)
+
+let block_phis (b : B.t) =
+  List.filter_map
+    (fun (i : I.t) -> match i.I.kind with I.Phi inc -> Some (i.I.id, inc) | _ -> None)
+    b.B.instrs
+
+(* Jump from [pred] (by label) to [target] (a label), performing the phi
+   parallel copies of the target block for this edge.  The terminator's
+   charge has already been flushed. *)
+let emit_edge buf ctx (pred : string) (target : string) =
+  match Hashtbl.find_opt ctx.label_ix target with
+  | None -> Buffer.add_string buf (trap_e ("jump to unknown block " ^ target) ^ "\n")
+  | Some ti ->
+      let phis = block_phis ctx.blocks.(ti) in
+      if phis = [] then Buffer.add_string buf (Printf.sprintf "%s st stp cst fl\n" (bname ctx.mindex ctx.findex ti))
+      else begin
+        (* resolve each phi's incoming value for this edge, in order *)
+        let resolved =
+          List.map
+            (fun (id, inc) ->
+              (id, List.assoc_opt pred (List.map (fun (v, l) -> (l, v)) inc)))
+            phis
+        in
+        let rec first_miss n = function
+          | [] -> None
+          | (id, None) :: _ -> Some (n, id)
+          | (_, Some _) :: rest -> first_miss (n + 1) rest
+        in
+        let k_charged, miss =
+          match first_miss 0 resolved with
+          | Some (n, id) -> (n + 1, Some id)
+          | None -> (List.length resolved, None)
+        in
+        let live = List.filteri (fun n _ -> n < k_charged) resolved in
+        let any_trap =
+          List.exists
+            (fun (_, v) -> match v with Some v -> lookup_traps ctx v | None -> false)
+            live
+        in
+        let charge_one () =
+          Buffer.add_string buf "let stp = stp + 1 in\nif stp > fl then raise F;\n"
+        in
+        let charge_n n =
+          if n > 0 then
+            Buffer.add_string buf
+              (Printf.sprintf "let stp = stp + %d in\nif stp > fl then raise F;\n" n)
+        in
+        (* Interp charges each phi, then resolves its edge value; a missing
+           edge or a trapping lookup aborts mid-list.  When no lookup can
+           trap, batching every charge up front is observationally
+           identical (lookups are pure, assignment happens after). *)
+        let slot_sty id =
+          match Hashtbl.find_opt ctx.slots id with Some s -> s.sty | None -> SUnk
+        in
+        let copies = ref [] in
+        if any_trap then
+          List.iter
+            (fun (id, v) ->
+              charge_one ();
+              match v with
+              | None ->
+                  Buffer.add_string buf
+                    (trap_e (Printf.sprintf "phi %%%d misses edge from %s" id pred) ^ ";\n")
+              | Some v -> (
+                  match value_as_sty ctx v (slot_sty id) with
+                  | `One e ->
+                      let q = fresh ctx "c" in
+                      Buffer.add_string buf (Printf.sprintf "let %s = %s in\n" q e);
+                      copies := (id, `One q) :: !copies
+                  | `Three (t, iv, fv) ->
+                      let qt = fresh ctx "c" and qi = fresh ctx "c" and qf = fresh ctx "c" in
+                      Buffer.add_string buf
+                        (Printf.sprintf "let %s = %s in let %s = %s in let %s = %s in\n" qt t
+                           qi iv qf fv);
+                      copies := (id, `Three (qt, qi, qf)) :: !copies))
+            live
+        else begin
+          charge_n k_charged;
+          (match miss with
+          | Some id ->
+              Buffer.add_string buf
+                (trap_e (Printf.sprintf "phi %%%d misses edge from %s" id pred) ^ ";\n")
+          | None -> ());
+          List.iter
+            (fun (id, v) ->
+              match v with
+              | None -> ()
+              | Some v -> (
+                  match value_as_sty ctx v (slot_sty id) with
+                  | `One e ->
+                      let q = fresh ctx "c" in
+                      Buffer.add_string buf (Printf.sprintf "let %s = %s in\n" q e);
+                      copies := (id, `One q) :: !copies
+                  | `Three (t, iv, fv) ->
+                      let qt = fresh ctx "c" and qi = fresh ctx "c" and qf = fresh ctx "c" in
+                      Buffer.add_string buf
+                        (Printf.sprintf "let %s = %s in let %s = %s in let %s = %s in\n" qt t
+                           qi iv qf fv);
+                      copies := (id, `Three (qt, qi, qf)) :: !copies))
+            live
+        end;
+        if miss <> None then
+          (* unreachable after the trap, but keep the expression well-typed *)
+          Buffer.add_string buf (Printf.sprintf "%s st stp cst fl\n" (bname ctx.mindex ctx.findex ti))
+        else begin
+          (* all reads done; now the simultaneous writes *)
+          List.iter
+            (fun (id, q) ->
+              let place =
+                match Hashtbl.find_opt ctx.slots id with
+                | Some s -> s.place
+                | None -> PLocal
+              in
+              match (q, place) with
+              | `One q, _ -> bind_typed buf ctx id q
+              | `Three (qt, qi, qf), PFrame (k, j) ->
+                  unmemo ctx [ ikey k; ikey (k + 1); fkey j ];
+                  Buffer.add_string buf
+                    (Printf.sprintf
+                       "Bigarray.Array1.unsafe_set st.istk (ib + %d) (Int64.of_int %s);\n" k qt);
+                  Buffer.add_string buf
+                    (Printf.sprintf "Bigarray.Array1.unsafe_set st.istk (ib + %d) %s;\n" (k + 1)
+                       qi);
+                  Buffer.add_string buf
+                    (Printf.sprintf "Array.unsafe_set st.fstk (fb + %d) %s;\n" j qf)
+              | `Three _, _ -> () (* value-less phi: nothing to store *))
+            (List.rev !copies);
+          Buffer.add_string buf (Printf.sprintf "%s st stp cst fl\n" (bname ctx.mindex ctx.findex ti))
+        end
+      end
+
+let emit_terminator buf ctx (b : B.t) (p : pending) =
+  (match b.B.term with
+  | I.Switch (_, _, cases) ->
+      charge p (I.opcode_of_terminator b.B.term);
+      p.pcost <- p.pcost + (List.length cases / 2)
+  | t -> charge p (I.opcode_of_terminator t));
+  flush buf p;
+  match b.B.term with
+  | I.Ret None ->
+      Buffer.add_string buf
+        "st.steps <- stp; st.cost <- cst;\n\
+         Bigarray.Array1.unsafe_set st.ri 0 0L; Array.unsafe_set st.rf 0 0.;\n\
+         3\n"
+  | I.Ret (Some v) -> (
+      match xtriple ctx v with
+      | t, iv, fv ->
+          (* same evaluation order as the tuple this used to build: fv, iv, t *)
+          let qf = fresh ctx "a" and qi = fresh ctx "a" and qt = fresh ctx "a" in
+          Buffer.add_string buf
+            (Printf.sprintf "let %s = %s in let %s = %s in let %s = %s in\n" qf fv qi iv qt t);
+          Buffer.add_string buf
+            (Printf.sprintf
+               "st.steps <- stp; st.cost <- cst;\n\
+                Bigarray.Array1.unsafe_set st.ri 0 %s; Array.unsafe_set st.rf 0 %s;\n\
+                %s\n"
+               qi qf qt))
+  | I.Br l -> emit_edge buf ctx b.B.label l
+  | I.CondBr (c, t, e) ->
+      let q = fresh ctx "a" in
+      Buffer.add_string buf (Printf.sprintf "let %s = %s in\n" q (xint ctx c));
+      (* memo locals bound inside an arm go out of scope with it *)
+      let saved = ctx.memo in
+      Buffer.add_string buf (Printf.sprintf "if %s <> 0L then begin\n" q);
+      emit_edge buf ctx b.B.label t;
+      ctx.memo <- saved;
+      Buffer.add_string buf "end else begin\n";
+      emit_edge buf ctx b.B.label e;
+      ctx.memo <- saved;
+      Buffer.add_string buf "end\n"
+  | I.Switch (v, d, cases) ->
+      let q = fresh ctx "a" in
+      Buffer.add_string buf (Printf.sprintf "let %s = %s in\n" q (xint ctx v));
+      let saved = ctx.memo in
+      List.iter
+        (fun (k, l) ->
+          Buffer.add_string buf (Printf.sprintf "if %s = %LdL then begin\n" q k);
+          emit_edge buf ctx b.B.label l;
+          ctx.memo <- saved;
+          Buffer.add_string buf "end else\n")
+        cases;
+      Buffer.add_string buf "begin\n";
+      emit_edge buf ctx b.B.label d;
+      ctx.memo <- saved;
+      Buffer.add_string buf "end\n"
+  | I.Unreachable -> Buffer.add_string buf (trap_e "executed unreachable" ^ "\n")
+
+(* Each basic block is a top-level function of [st] alone, so jumping
+   between blocks is a known 1-argument tail call and entering a function
+   allocates no closures.  The frame bases are recomputed from the stack
+   pointers: between the wrapper's bump and restore, [st.isp] stays at
+   [base + ni] (callees restore it on exit), so [ib = st.isp - ni] holds at
+   every block entry; likewise [fb]. *)
+let emit_block buf ctx ~first (bi : int) =
+  let b = ctx.blocks.(bi) in
+  ctx.out <- buf;
+  ctx.memo <- [];
+  Buffer.add_string buf
+    (Printf.sprintf "%s %s st stp cst fl =\n"
+       (if first then "let rec" else "and")
+       (bname ctx.mindex ctx.findex bi));
+  if ctx.ni > 0 then
+    Buffer.add_string buf (Printf.sprintf "let ib = st.isp - %d in\n" ctx.ni);
+  if ctx.nf > 0 then
+    Buffer.add_string buf (Printf.sprintf "let fb = st.fsp - %d in\n" ctx.nf);
+  let p = { psteps = 0; pcost = 0 } in
+  List.iter
+    (fun (i : I.t) ->
+      match i.I.kind with
+      | I.Phi _ -> ()
+      | _ ->
+          if instr_needs_flush ctx i then begin
+            charge p (I.opcode i);
+            flush buf p;
+            emit_instr buf ctx i
+          end
+          else begin
+            emit_instr buf ctx i;
+            charge p (I.opcode i)
+          end)
+    b.B.instrs;
+  emit_terminator buf ctx b p
+
+(* -- whole functions ------------------------------------------------ *)
+
+let layout_function (mindex : int) (findex : int) (f : F.t)
+    (gaddr : (string, int) Hashtbl.t) (gty1 : (string, T.t) Hashtbl.t)
+    (fun_ix : (string, int) Hashtbl.t) (fun_arity : int array)
+    (fun_ni : int array) (fun_nf : int array) : fctx =
+  let blocks = Array.of_list f.F.blocks in
+  let label_ix = Hashtbl.create 16 in
+  Array.iteri (fun ix (b : B.t) -> Hashtbl.replace label_ix b.B.label ix) blocks;
+  let stys = analyze_function f in
+  let decl_ty = Hashtbl.create 64 in
+  List.iter (fun (id, t) -> Hashtbl.replace decl_ty id t) f.F.params;
+  Array.iter
+    (fun (b : B.t) ->
+      List.iter
+        (fun (i : I.t) -> if I.defines i then Hashtbl.replace decl_ty i.I.id i.I.ty)
+        b.B.instrs)
+    blocks;
+  (* def site (block index, position) per id; params live before the entry *)
+  let def_site = Hashtbl.create 64 in
+  List.iter (fun (id, _) -> Hashtbl.replace def_site id (0, -1)) f.F.params;
+  Array.iteri
+    (fun bi (b : B.t) ->
+      List.iteri
+        (fun pos (i : I.t) ->
+          if I.defines i && not (Hashtbl.mem def_site i.I.id && List.mem_assoc i.I.id f.F.params)
+          then Hashtbl.replace def_site i.I.id (bi, pos))
+        b.B.instrs)
+    blocks;
+  (* use sites: (block index, position); phi incoming (v, l) is a use at the
+     end of predecessor l; terminator operands are uses at the end *)
+  let uses : (int, (int * int) list ref) Hashtbl.t = Hashtbl.create 64 in
+  let add_use id site =
+    match Hashtbl.find_opt uses id with
+    | Some l -> l := site :: !l
+    | None -> Hashtbl.add uses id (ref [ site ])
+  in
+  let endpos = max_int in
+  Array.iteri
+    (fun bi (b : B.t) ->
+      List.iteri
+        (fun pos (i : I.t) ->
+          match i.I.kind with
+          | I.Phi inc ->
+              List.iter
+                (fun (v, l) ->
+                  match v with
+                  | V.Var id -> (
+                      match Hashtbl.find_opt label_ix l with
+                      | Some pi -> add_use id (pi, endpos)
+                      | None -> ())
+                  | _ -> ())
+                inc
+          | _ ->
+              List.iter
+                (fun v -> match v with V.Var id -> add_use id (bi, pos) | _ -> ())
+                (I.operands i))
+        b.B.instrs;
+      List.iter
+        (fun v -> match v with V.Var id -> add_use id (bi, endpos) | _ -> ())
+        (I.terminator_operands b.B.term))
+    blocks;
+  let is_phi_def = Hashtbl.create 16 in
+  Array.iter
+    (fun (b : B.t) ->
+      List.iter
+        (fun (i : I.t) ->
+          match i.I.kind with I.Phi _ -> Hashtbl.replace is_phi_def i.I.id () | _ -> ())
+        b.B.instrs)
+    blocks;
+  let slots = Hashtbl.create 64 in
+  let ni = ref 0 and nf = ref 0 in
+  let param_ids = List.map fst f.F.params in
+  (* parameters are visible from every block, so they always live in frame
+     slots (SUnk triples); the wrapper spills them before the entry runs *)
+  List.iter
+    (fun id ->
+      let k = !ni in
+      ni := !ni + 2;
+      let j = !nf in
+      nf := !nf + 1;
+      Hashtbl.replace slots id
+        { sty = SUnk; place = PFrame (k, j); def_block = 0; def_pos = -1 })
+    param_ids;
+  Array.iteri
+    (fun bi (b : B.t) ->
+      List.iteri
+        (fun pos (i : I.t) ->
+          if I.defines i && not (List.mem i.I.id param_ids) then begin
+            let sty = try Hashtbl.find stys i.I.id with Not_found -> SUnk in
+            let (dbi, dpos) =
+              try Hashtbl.find def_site i.I.id with Not_found -> (bi, pos)
+            in
+            (* only place each id once (first definition wins, like def_site) *)
+            if not (Hashtbl.mem slots i.I.id) then begin
+              let cross =
+                Hashtbl.mem is_phi_def i.I.id
+                || List.exists
+                     (fun (ubi, upos) -> ubi <> dbi || upos <= dpos)
+                     (match Hashtbl.find_opt uses i.I.id with Some l -> !l | None -> [])
+              in
+              let place =
+                if not cross then PLocal
+                else
+                  match sty with
+                  | SInt | SPtr ->
+                      let k = !ni in
+                      ni := !ni + 1;
+                      PFrame (k, -1)
+                  | SFloat ->
+                      let j = !nf in
+                      nf := !nf + 1;
+                      PFrame (-1, j)
+                  | SUnit -> PLocal
+                  | SUnk | SBot ->
+                      let k = !ni in
+                      ni := !ni + 2;
+                      let j = !nf in
+                      nf := !nf + 1;
+                      PFrame (k, j)
+              in
+              Hashtbl.replace slots i.I.id
+                { sty; place; def_block = dbi; def_pos = dpos }
+            end
+          end)
+        b.B.instrs)
+    blocks;
+  fun_ni.(findex) <- !ni;
+  fun_nf.(findex) <- !nf;
+  {
+    f;
+    fname = f.F.name;
+    findex;
+    mindex;
+    blocks;
+    label_ix;
+    slots;
+    decl_ty;
+    ni = !ni;
+    nf = !nf;
+    gaddr;
+    gty1;
+    fun_ix;
+    fun_arity;
+    fun_ni;
+    fun_nf;
+    gensym = 0;
+    out = Buffer.create 16;
+    memo = [];
+  }
+
+(* The function wrapper: carve the frame out of the slot stacks, spill the
+   parameter triples into it, run the entry block, restore the stack
+   pointers.  [first] marks the very first binding of the whole module's
+   [let rec] chain (the block functions and wrappers of every function are
+   one mutually recursive group). *)
+let emit_function buf (ctx : fctx) ~(first : bool ref) =
+  let lead () =
+    let s = if !first then "let rec" else "and" in
+    first := false;
+    s
+  in
+  if ctx.blocks <> [||] then
+    Array.iteri (fun bi _ -> emit_block buf ctx ~first:(lead () = "let rec") bi) ctx.blocks;
+  Buffer.add_string buf
+    (Printf.sprintf "%s f%d_%d st stp cst fl =\n" (lead ()) ctx.mindex ctx.findex);
+  if ctx.blocks = [||] then
+    Buffer.add_string buf
+      (Printf.sprintf "invalid_arg %s\n"
+         (quoted ("Func.entry: function " ^ ctx.fname ^ " has no blocks")))
+  else begin
+    (* the caller pre-grew both stacks for this whole frame (fun_ni/fun_nf),
+       so claiming it is just the pointer bumps *)
+    if ctx.ni > 0 then
+      Buffer.add_string buf
+        (Printf.sprintf "let ib = st.isp in\nst.isp <- ib + %d;\n" ctx.ni);
+    if ctx.nf > 0 then
+      Buffer.add_string buf
+        (Printf.sprintf "let fb = st.fsp in\nst.fsp <- fb + %d;\n" ctx.nf);
+    (* parameter triples are already in their frame slots: the caller wrote
+       them at [st.isp + 2p] / [st.fsp + p] before the call, which is
+       exactly where layout placed them (params claim the first slots) *)
+    (* entering the function runs the entry block with no incoming edge:
+       a phi there charges once, then traps *)
+    let entry_has_phi = block_phis ctx.blocks.(0) <> [] in
+    let body =
+      if entry_has_phi then
+        "let stp = stp + 1 in\nif stp > fl then raise F;\ntr \"phi in entry block\"\n"
+      else Printf.sprintf "%s st stp cst fl\n" (bname ctx.mindex ctx.findex 0)
+    in
+    if ctx.ni > 0 || ctx.nf > 0 then begin
+      Buffer.add_string buf (Printf.sprintf "let res = begin\n%send in\n" body);
+      if ctx.ni > 0 then Buffer.add_string buf "st.isp <- ib;\n";
+      if ctx.nf > 0 then Buffer.add_string buf "st.fsp <- fb;\n";
+      Buffer.add_string buf "res\n"
+    end
+    else Buffer.add_string buf body
+  end
+
+(* -- whole modules -------------------------------------------------- *)
+
+let emit_module buf (mindex : int) (m : M.t) =
+  let gaddr = Hashtbl.create 8 and gty1 = Hashtbl.create 8 in
+  let overflow = ref None in
+  let gtotal = ref 0 in
+  List.iter
+    (fun (g : M.global) ->
+      let cells = max 1 (T.size_in_cells g.M.gty) in
+      if !overflow = None then begin
+        if !gtotal + cells >= mem_size then overflow := Some ()
+        else begin
+          Hashtbl.replace gaddr g.M.gname !gtotal;
+          if not (Hashtbl.mem gty1 g.M.gname) then Hashtbl.replace gty1 g.M.gname g.M.gty;
+          gtotal := !gtotal + cells
+        end
+      end)
+    m.M.globals;
+  let funcs = Array.of_list m.M.funcs in
+  let fun_ix = Hashtbl.create 16 in
+  Array.iteri
+    (fun ix (f : F.t) ->
+      if not (Hashtbl.mem fun_ix f.F.name) then Hashtbl.replace fun_ix f.F.name ix)
+    funcs;
+  let fun_arity = Array.map (fun (f : F.t) -> List.length f.F.params) funcs in
+  (* lay out every function before emitting any: emit_call pre-grows the
+     stacks for the callee's whole frame, so it needs every frame size *)
+  let fun_ni = Array.make (Array.length funcs) 0 in
+  let fun_nf = Array.make (Array.length funcs) 0 in
+  let ctxs =
+    Array.mapi
+      (fun ix f -> layout_function mindex ix f gaddr gty1 fun_ix fun_arity fun_ni fun_nf)
+      funcs
+  in
+  let first = ref true in
+  Array.iter (fun ctx -> emit_function buf ctx ~first) ctxs;
+  if funcs = [||] then Buffer.add_string buf (Printf.sprintf "let _unused%d = ()\n" mindex);
+  (* the module entry: allocate + initialise globals, call main *)
+  Buffer.add_string buf (Printf.sprintf "let run%d st =\n" mindex);
+  (match !overflow with
+  | Some () -> Buffer.add_string buf "tr \"out of memory\"\n"
+  | None -> begin
+      if !gtotal > 0 then begin
+        Buffer.add_string buf (Printf.sprintf "Bytes.fill st.mt 0 %d '\\000';\n" !gtotal);
+        Buffer.add_string buf
+          (Printf.sprintf
+             "for k = 0 to %d do Bigarray.Array1.unsafe_set st.mi k 0L done;\n" (!gtotal - 1));
+        Buffer.add_string buf (Printf.sprintf "st.brk <- %d;\n" !gtotal)
+      end;
+      (* non-zero initialiser words (cells are already zeroed) *)
+      let base = ref 0 in
+      List.iter
+        (fun (g : M.global) ->
+          let cells = max 1 (T.size_in_cells g.M.gty) in
+          Array.iteri
+            (fun i v ->
+              if i < cells && v <> 0L then
+                Buffer.add_string buf
+                  (Printf.sprintf "Bigarray.Array1.unsafe_set st.mi %d %LdL;\n" (!base + i) v))
+            g.M.ginit;
+          base := !base + cells)
+        m.M.globals;
+      match Hashtbl.find_opt fun_ix "main" with
+      | None ->
+          Buffer.add_string buf
+            (Printf.sprintf "invalid_arg %s\n" (quoted "Irmod.find_func: no function main"))
+      | Some k ->
+          let ps = funcs.(k).F.params in
+          if fun_ni.(k) > 0 then
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "if st.isp + %d > Bigarray.Array1.dim st.istk then grow_i st (st.isp + %d);\n"
+                 fun_ni.(k) fun_ni.(k));
+          if fun_nf.(k) > 0 then
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "if st.fsp + %d > Array.length st.fstk then grow_f st (st.fsp + %d);\n"
+                 fun_nf.(k) fun_nf.(k));
+          List.iteri
+            (fun p (_, ty) ->
+              let tag = match ty with T.F64 -> 1 | _ -> 0 in
+              Buffer.add_string buf
+                (Printf.sprintf "Bigarray.Array1.unsafe_set st.istk (st.isp + %d) %dL;\n"
+                   (2 * p) tag);
+              Buffer.add_string buf
+                (Printf.sprintf "Bigarray.Array1.unsafe_set st.istk (st.isp + %d) 0L;\n"
+                   ((2 * p) + 1));
+              Buffer.add_string buf
+                (Printf.sprintf "Array.unsafe_set st.fstk (st.fsp + %d) 0.;\n" p))
+            ps;
+          Buffer.add_string buf
+            (Printf.sprintf "let rt = f%d_%d st st.steps st.cost st.fuel in\n" mindex k);
+          Buffer.add_string buf
+            "(rt, Bigarray.Array1.unsafe_get st.ri 0, Array.unsafe_get st.rf 0)\n"
+    end)
+
+let prelude =
+  {ocaml|(* generated by yali's native tier -- do not edit *)
+[@@@warning "-a"]
+
+exception T of string
+exception F
+
+let tr msg = raise (T msg)
+
+type ba = (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type st = {
+  mt : Bytes.t;                 (* memory cell tags: 0 int, 1 float, 2 ptr, 3 unit *)
+  mi : ba;                      (* memory int/pointer payloads *)
+  mf : float array;             (* memory float payloads *)
+  mutable brk : int;
+  mutable istk : ba;            (* int64 slot stack (tags and payloads) *)
+  mutable fstk : float array;   (* float slot stack *)
+  mutable isp : int;
+  mutable fsp : int;
+  mutable input : int64 list;
+  mutable orev : int64 list;
+  mutable frev : float list;
+  mutable steps : int;
+  mutable cost : int;
+  mutable fuel : int;
+  ri : ba;                      (* call return slot: int payload (1 cell) *)
+  rf : float array;             (* call return slot: float payload (1 cell) *)
+}
+
+let mem_size = 1048576
+
+let fresh_st () =
+  {
+    mt = Bytes.make mem_size '\000';
+    mi = Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout mem_size;
+    mf = Array.make mem_size 0.;
+    brk = 0;
+    istk = Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout 65536;
+    fstk = Array.make 65536 0.;
+    isp = 0;
+    fsp = 0;
+    input = [];
+    orev = [];
+    frev = [];
+    steps = 0;
+    cost = 0;
+    fuel = 0;
+    ri = Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout 1;
+    rf = Array.make 1 0.;
+  }
+
+let pool_mu = Mutex.create ()
+let pool : st list ref = ref []
+
+let take () =
+  Mutex.lock pool_mu;
+  match !pool with
+  | s :: rest ->
+      pool := rest;
+      Mutex.unlock pool_mu;
+      s
+  | [] ->
+      Mutex.unlock pool_mu;
+      fresh_st ()
+
+let give s =
+  Mutex.lock pool_mu;
+  pool := s :: !pool;
+  Mutex.unlock pool_mu
+
+let exp_int t =
+  if t = 2 then tr "expected integer, got pointer"
+  else if t = 1 then tr "expected integer, got float"
+  else tr "expected integer, got unit"
+
+let oobl a = tr ("load out of bounds: " ^ string_of_int a)
+let oobs a = tr ("store out of bounds: " ^ string_of_int a)
+
+let alloc st cells =
+  let base = st.brk in
+  if base + cells >= mem_size then tr "out of memory";
+  st.brk <- base + cells;
+  Bytes.fill st.mt base cells '\000';
+  for k = base to base + cells - 1 do
+    Bigarray.Array1.unsafe_set st.mi k 0L
+  done;
+  base
+
+let rd_i st = match st.input with [] -> 0L | x :: rest -> st.input <- rest; x
+
+let rd_f st =
+  match st.input with [] -> 0. | x :: rest -> st.input <- rest; Int64.to_float x
+
+let grow_i st n =
+  let cur = Bigarray.Array1.dim st.istk in
+  let nn = ref (cur * 2) in
+  while !nn < n do nn := !nn * 2 done;
+  let b = Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout !nn in
+  Bigarray.Array1.blit st.istk (Bigarray.Array1.sub b 0 cur);
+  st.istk <- b
+
+let grow_f st n =
+  let cur = Array.length st.fstk in
+  let nn = ref (cur * 2) in
+  while !nn < n do nn := !nn * 2 done;
+  let b = Array.make !nn 0. in
+  Array.blit st.fstk 0 b 0 cur;
+  st.fstk <- b
+
+|ocaml}
+
+let emit_plugin (ms : M.t array) : string =
+  let buf = Buffer.create (1 lsl 16) in
+  Buffer.add_string buf prelude;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "exception Yali_native_entry of string * (int -> int -> int64 list -> (int * string * \
+        int64 list * float list * int * int64 * int * int))\n\n");
+  Array.iteri (fun mi m -> emit_module buf mi m) ms;
+  (* the shared driver: reset state, run, pack the outcome *)
+  Buffer.add_string buf
+    {ocaml|
+let drive run fuel input =
+  let st = take () in
+  st.fuel <- fuel;
+  st.input <- input;
+  st.brk <- 0;
+  st.orev <- [];
+  st.frev <- [];
+  st.steps <- 0;
+  st.cost <- 0;
+  st.isp <- 0;
+  st.fsp <- 0;
+  let fin r = give st; r in
+  match run st with
+  | (t, i, f) ->
+      let bits = if t = 1 then Int64.bits_of_float f else i in
+      fin (0, "", List.rev st.orev, List.rev st.frev, t, bits, st.steps, st.cost)
+  | exception T m -> fin (1, m, [], [], 0, 0L, 0, 0)
+  | exception F -> fin (2, "", [], [], 0, 0L, 0, 0)
+  | exception Invalid_argument m -> fin (3, m, [], [], 0, 0L, 0, 0)
+  | exception e -> give st; raise e
+
+let entry pix fuel input =
+  match pix with
+|ocaml};
+  Array.iteri
+    (fun mi _ -> Buffer.add_string buf (Printf.sprintf "  | %d -> drive run%d fuel input\n" mi mi))
+    ms;
+  Buffer.add_string buf "  | _ -> (4, \"unknown program index\", [], [], 0, 0L, 0, 0)\n\n";
+  Buffer.add_string buf
+    (Printf.sprintf "let () = raise (Yali_native_entry (%s, entry))\n" (quoted abi_magic));
+  Buffer.contents buf

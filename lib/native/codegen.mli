@@ -1,0 +1,45 @@
+(** IR → OCaml source emission for the native execution tier.
+
+    [emit_plugin ms] renders a self-contained OCaml compilation unit that
+    reproduces {!Yali_ir.Interp.run} exactly — outputs, exit value, trap
+    messages verbatim, dynamic [steps] and abstract [cost] — for every
+    module in [ms].  The unit depends only on the OCaml standard library
+    (no yali .cmi files), so it can be compiled by any installed [ocamlopt]
+    and loaded with [Dynlink] regardless of how the host binary was built.
+
+    Shape of the generated code (see DESIGN.md §13):
+    - one OCaml function per IR function; basic blocks become a [let rec]
+      nest of zero-argument functions, branches are tail calls;
+    - SSA values that never cross a block become plain [let]s; values that
+      do cross (phis included) get dense indices into per-call frames
+      carved out of two growable stacks — an [int64] bigarray for
+      statically int/pointer-typed slots and a [float array] for float
+      slots — so hot reads and writes are single unboxed moves;
+    - a static type lattice (int/float/ptr/unit/unknown) eliminates the
+      interpreter's tag dispatch wherever a slot's runtime constructor is
+      invariant; unknown slots fall back to an explicit (tag, int64, float)
+      triple;
+    - phis are per-edge parallel copies; steps/cost accounting is batched
+      straight-line counter arithmetic, flushed before any instruction that
+      can trap or observe, which is provably invisible otherwise;
+    - the unit announces itself by raising {!abi_magic} with an entry
+      closure at module-initialisation time, which the host intercepts —
+      no shared interface files needed.
+
+    The entry closure has type
+    [int -> int -> int64 list -> packed]: program index (into [ms]), fuel,
+    input stream.  [packed] is
+    [(status, msg, output, foutput, ev_tag, ev_bits, steps, cost)] with
+    status 0 = ok, 1 = Trap, 2 = Out_of_fuel, 3 = Invalid_argument,
+    4 = bad program index; ev_tag 0 = RInt, 1 = RFloat (bits), 2 = RPtr,
+    3 = RUnit. *)
+
+(** First payload of the announcement exception; lets the host reject
+    plugins generated under an incompatible packing. *)
+val abi_magic : string
+
+(** Bumped on any change to the emitted code's shape; part of the artifact
+    cache key. *)
+val version : int
+
+val emit_plugin : Yali_ir.Irmod.t array -> string

@@ -1,0 +1,313 @@
+(** See native.mli. *)
+
+module Interp = Yali_ir.Interp
+module Telemetry = Yali_exec.Telemetry
+
+type packed = int * string * int64 list * float list * int * int64 * int * int
+type entry = int -> int -> int64 list -> packed
+type prepared = fuel:int -> int64 list -> Interp.outcome
+
+(* ------------------------------------------------------------------ *)
+(* Availability.  Probed on every call (not memoised) so tests can scrub
+   PATH or flip YALI_NATIVE_DISABLE and observe the fallback. *)
+
+let disabled () =
+  match Sys.getenv_opt "YALI_NATIVE_DISABLE" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
+
+let find_in_path name =
+  match Sys.getenv_opt "PATH" with
+  | None -> None
+  | Some path ->
+      List.find_map
+        (fun dir ->
+          if dir = "" then None
+          else
+            let p = Filename.concat dir name in
+            match Unix.access p [ Unix.X_OK ] with
+            | () -> Some p
+            | exception Unix.Unix_error _ -> None)
+        (String.split_on_char ':' path)
+
+(* The compile command, as an argv prefix: ocamlfind's ocamlopt when
+   available (it knows the right stdlib), a bare ocamlopt otherwise. *)
+let toolchain () =
+  match find_in_path "ocamlfind" with
+  | Some p -> Some [ p; "ocamlopt" ]
+  | None -> (
+      match find_in_path "ocamlopt.opt" with
+      | Some p -> Some [ p ]
+      | None -> (
+          match find_in_path "ocamlopt" with
+          | Some p -> Some [ p ]
+          | None -> None))
+
+let why_unavailable () =
+  if not Dynlink.is_native then
+    Some "host is a bytecode build (no native Dynlink)"
+  else if disabled () then Some "disabled by YALI_NATIVE_DISABLE"
+  else
+    match toolchain () with
+    | None -> Some "no ocamlfind or ocamlopt on PATH"
+    | Some _ -> None
+
+let available () = why_unavailable () = None
+
+(* ------------------------------------------------------------------ *)
+(* On-disk artifact cache: content-addressed by the codec bytes of the
+   program(s) plus compiler and codegen versions, mirroring Exec.Cache's
+   keying discipline.  Artifacts survive process restarts, so fuzz corpus
+   replay, per-game grids and daemon restarts pay each compile once. *)
+
+let cache_dir () =
+  match Sys.getenv_opt "YALI_NATIVE_CACHE" with
+  | Some d when d <> "" -> d
+  | _ -> Filename.concat (Filename.get_temp_dir_name ()) "yali-native-cache"
+
+let cache_cap_bytes () =
+  let mb =
+    match Sys.getenv_opt "YALI_NATIVE_CACHE_MB" with
+    | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 256)
+    | None -> 256
+  in
+  mb * 1024 * 1024
+
+let rec mkdir_p d =
+  match Unix.mkdir d 0o755 with
+  | () -> ()
+  | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) ->
+      mkdir_p (Filename.dirname d);
+      (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+
+let digest_of (ms : Yali_ir.Irmod.t array) : string =
+  let b = Buffer.create 4096 in
+  Array.iter (fun m -> Buffer.add_string b (Yali_serve.Codec.encode_module m)) ms;
+  Buffer.add_string b Sys.ocaml_version;
+  Buffer.add_char b '/';
+  Buffer.add_string b (string_of_int Codegen.version);
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let try_unlink p = try Unix.unlink p with Unix.Unix_error _ -> ()
+let touch p = try Unix.utimes p 0.0 0.0 with Unix.Unix_error _ -> ()
+
+(* Oldest-mtime-first eviction down to the byte cap; the artifact just
+   installed (basename prefix [keep]) is never evicted. *)
+let evict ~keep dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | names ->
+      let files =
+        Array.to_list names
+        |> List.filter_map (fun n ->
+               if String.length n >= String.length keep
+                  && String.sub n 0 (String.length keep) = keep
+               then None
+               else
+                 let p = Filename.concat dir n in
+                 match Unix.stat p with
+                 | { Unix.st_kind = Unix.S_REG; st_size; st_mtime; _ } ->
+                     Some (p, st_size, st_mtime)
+                 | _ | (exception Unix.Unix_error _) -> None)
+      in
+      let kept_bytes =
+        Array.to_list names
+        |> List.fold_left
+             (fun acc n ->
+               if
+                 String.length n >= String.length keep
+                 && String.sub n 0 (String.length keep) = keep
+               then
+                 match Unix.stat (Filename.concat dir n) with
+                 | { Unix.st_size; _ } -> acc + st_size
+                 | exception Unix.Unix_error _ -> acc
+               else acc)
+             0
+      in
+      let total = List.fold_left (fun acc (_, s, _) -> acc + s) kept_bytes files in
+      let cap = cache_cap_bytes () in
+      if total > cap then begin
+        let by_age = List.sort (fun (_, _, a) (_, _, b) -> compare a b) files in
+        let excess = ref (total - cap) in
+        List.iter
+          (fun (p, s, _) ->
+            if !excess > 0 then begin
+              try_unlink p;
+              excess := !excess - s;
+              Telemetry.incr "native.cache.evictions"
+            end)
+          by_age
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Compilation and loading *)
+
+let write_atomic path contents =
+  let tmp = Printf.sprintf "%s.%d.tmp" path (Unix.getpid ()) in
+  let oc = open_out_bin tmp in
+  output_string oc contents;
+  close_out oc;
+  Unix.rename tmp path
+
+let rec waitpid_retry pid =
+  match Unix.waitpid [] pid with
+  | _, status -> status
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> waitpid_retry pid
+
+let run_command argv ~stderr_file =
+  let fd =
+    Unix.openfile stderr_file [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  let pid =
+    Unix.create_process (List.hd argv) (Array.of_list argv) Unix.stdin Unix.stdout fd
+  in
+  Unix.close fd;
+  waitpid_retry pid
+
+let read_file_prefix path n =
+  match open_in_bin path with
+  | exception Sys_error _ -> ""
+  | ic ->
+      let len = min n (in_channel_length ic) in
+      let s = really_input_string ic len in
+      close_in ic;
+      s
+
+(* The generated unit announces its entry closure by raising at module
+   initialisation; Dynlink surfaces that as Library's_module_initializers_failed.
+   We recognise our own exception structurally (constructor block + magic
+   string + closure) — no shared .cmi between host and plugin needed. *)
+let load_entry cmxs : (entry, string) result =
+  match Dynlink.loadfile cmxs with
+  | () -> Error "plugin did not announce an entry point"
+  | exception Dynlink.Error (Dynlink.Library's_module_initializers_failed e) ->
+      let r = Obj.repr e in
+      if
+        Obj.is_block r && Obj.size r = 3
+        && Obj.is_block (Obj.field r 1)
+        && Obj.tag (Obj.field r 1) = Obj.string_tag
+        && String.equal (Obj.obj (Obj.field r 1) : string) Codegen.abi_magic
+      then Ok (Obj.obj (Obj.field r 2) : entry)
+      else Error ("plugin failed to initialise: " ^ Printexc.to_string e)
+  | exception Dynlink.Error err -> Error (Dynlink.error_message err)
+  | exception e -> Error ("dynlink: " ^ Printexc.to_string e)
+
+let compile_to ~dir ~stem ms : (string, string) result =
+  let ml = Filename.concat dir (stem ^ ".ml") in
+  let cmxs = Filename.concat dir (stem ^ ".cmxs") in
+  let log = Filename.concat dir (stem ^ ".log") in
+  let src = Telemetry.with_span "native.codegen" (fun () -> Codegen.emit_plugin ms) in
+  write_atomic ml src;
+  match toolchain () with
+  | None -> Error "no ocamlfind or ocamlopt on PATH"
+  | Some tool -> (
+      let tmp = Printf.sprintf "%s.%d.tmp.cmxs" cmxs (Unix.getpid ()) in
+      let argv = tool @ [ "-shared"; "-w"; "-a"; "-o"; tmp; ml ] in
+      let status =
+        Telemetry.with_span "native.compile" (fun () ->
+            run_command argv ~stderr_file:log)
+      in
+      (* compiler byproducts are keyed by the source stem; drop them *)
+      List.iter
+        (fun ext -> try_unlink (Filename.concat dir (stem ^ ext)))
+        [ ".cmi"; ".cmx"; ".o" ];
+      match status with
+      | Unix.WEXITED 0 ->
+          Unix.rename tmp cmxs;
+          evict ~keep:stem dir;
+          Ok cmxs
+      | _ ->
+          try_unlink tmp;
+          let err = read_file_prefix log 2048 in
+          Error
+            (Printf.sprintf "ocamlopt failed for %s: %s" stem
+               (if err = "" then "no diagnostic captured" else err)))
+
+(* In-process registry: one entry per digest, under a single mutex that also
+   serialises compiles (a concurrent duplicate compile would only waste
+   work; a concurrent duplicate *load* would clash on the module name). *)
+let mu = Mutex.create ()
+let table : (string, entry) Hashtbl.t = Hashtbl.create 16
+
+let with_mu f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let get_entry (ms : Yali_ir.Irmod.t array) : (entry, string) result =
+  let digest = digest_of ms in
+  with_mu @@ fun () ->
+  match Hashtbl.find_opt table digest with
+  | Some e ->
+      Telemetry.incr "native.cache.hits";
+      Ok e
+  | None -> (
+      let dir = cache_dir () in
+      mkdir_p dir;
+      let stem = "yn_" ^ digest in
+      let cmxs = Filename.concat dir (stem ^ ".cmxs") in
+      let finish r =
+        (match r with Ok e -> Hashtbl.replace table digest e | Error _ -> ());
+        r
+      in
+      if Sys.file_exists cmxs then begin
+        Telemetry.incr "native.cache.hits";
+        touch cmxs;
+        touch (Filename.concat dir (stem ^ ".ml"));
+        match load_entry cmxs with
+        | Ok e -> finish (Ok e)
+        | Error _ ->
+            (* stale or truncated artifact (e.g. compiler upgrade mid-cache,
+               interrupted rename): rebuild once *)
+            try_unlink cmxs;
+            Telemetry.incr "native.cache.misses";
+            finish
+              (match compile_to ~dir ~stem ms with
+              | Error e -> Error e
+              | Ok cmxs -> load_entry cmxs)
+      end
+      else begin
+        Telemetry.incr "native.cache.misses";
+        finish
+          (match compile_to ~dir ~stem ms with
+          | Error e -> Error e
+          | Ok cmxs -> load_entry cmxs)
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Packing → Interp.outcome *)
+
+let wrap (e : entry) (pix : int) : prepared =
+ fun ~fuel input ->
+  match e pix fuel input with
+  | 0, _, out, fout, tag, bits, steps, cost ->
+      let exit_value =
+        match tag with
+        | 0 -> Interp.RInt bits
+        | 1 -> Interp.RFloat (Int64.float_of_bits bits)
+        | 2 -> Interp.RPtr (Int64.to_int bits)
+        | _ -> Interp.RUnit
+      in
+      { Interp.output = out; foutput = fout; exit_value; steps; cost }
+  | 1, m, _, _, _, _, _, _ -> raise (Interp.Trap m)
+  | 2, _, _, _, _, _, _, _ -> raise Interp.Out_of_fuel
+  | 3, m, _, _, _, _, _, _ -> invalid_arg m
+  | s, m, _, _, _, _, _, _ ->
+      failwith (Printf.sprintf "native plugin protocol error %d: %s" s m)
+
+let prepare_many (ms : Yali_ir.Irmod.t array) : (prepared array, string) result =
+  match why_unavailable () with
+  | Some why -> Error why
+  | None -> (
+      match get_entry ms with
+      | Error e -> Error e
+      | Ok entry -> Ok (Array.mapi (fun i _ -> wrap entry i) ms))
+
+let prepare (m : Yali_ir.Irmod.t) : (prepared, string) result =
+  match prepare_many [| m |] with Ok a -> Ok a.(0) | Error e -> Error e
+
+let run ?(fuel = 10_000_000) (m : Yali_ir.Irmod.t) (input : int64 list) :
+    Interp.outcome =
+  match prepare m with
+  | Ok p -> p ~fuel input
+  | Error e -> failwith ("native tier unavailable: " ^ e)

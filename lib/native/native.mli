@@ -1,0 +1,50 @@
+(** Native-code execution tier: compile a module to OCaml with {!Codegen},
+    build a [.cmxs] with the installed [ocamlopt], [Dynlink] it, and run it
+    behind the interpreter's exact contract — same outputs, same trap
+    messages, same [steps] and [cost], same exceptions.
+
+    Artifacts are content-addressed (hash of the {!Yali_serve.Codec} bytes
+    plus compiler and codegen versions) in an on-disk cache directory, so
+    repeat runs across processes pay each compile once.  Environment knobs:
+
+    - [YALI_NATIVE_CACHE]: cache directory (default
+      [<tmpdir>/yali-native-cache]);
+    - [YALI_NATIVE_CACHE_MB]: byte cap before oldest-first eviction
+      (default 256);
+    - [YALI_NATIVE_DISABLE]: any value but ["0"]/empty disables the tier,
+      forcing the engine switchboard's fallback path.
+
+    Telemetry: counters [native.cache.hits] / [native.cache.misses] /
+    [native.cache.evictions]; spans [native.codegen] / [native.compile]. *)
+
+(** A compiled program: run it on an input stream.
+    @raise Yali_ir.Interp.Trap as the interpreter would, verbatim
+    @raise Yali_ir.Interp.Out_of_fuel when [fuel] steps are exceeded
+    @raise Invalid_argument for a missing [main] or an empty function *)
+type prepared = fuel:int -> int64 list -> Yali_ir.Interp.outcome
+
+(** Can this process use the native tier right now?  Probed afresh on every
+    call (native Dynlink support, [YALI_NATIVE_DISABLE], a usable
+    [ocamlfind]/[ocamlopt] on PATH) so environment changes are observed. *)
+val available : unit -> bool
+
+(** [None] when {!available}; otherwise a one-line reason for the fallback
+    warning. *)
+val why_unavailable : unit -> string option
+
+(** Compile one module (or fetch it from the cache). [Error] carries a
+    diagnostic: toolchain missing, compile failure, unloadable artifact. *)
+val prepare : Yali_ir.Irmod.t -> (prepared, string) result
+
+(** Compile a batch of modules into a single plugin — one [ocamlopt]
+    invocation, one [Dynlink] load — returning one {!prepared} per module
+    in order.  This is what the differential oracle uses to amortise
+    compiles across a case's 22 pipeline variants. *)
+val prepare_many : Yali_ir.Irmod.t array -> (prepared array, string) result
+
+(** Convenience: prepare + run once.
+    @raise Failure when the tier is unavailable. *)
+val run : ?fuel:int -> Yali_ir.Irmod.t -> int64 list -> Yali_ir.Interp.outcome
+
+(** The artifact cache directory currently in effect. *)
+val cache_dir : unit -> string

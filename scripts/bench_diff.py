@@ -45,7 +45,12 @@ NOISE = 0.05
 
 
 def flatten(obj, prefix=""):
-    """Yield (dotted_path, number) for every numeric leaf in a JSON value."""
+    """Yield (dotted_path, number) for every numeric leaf in a JSON value.
+
+    List items that all carry a unique string "name" field are keyed by that
+    name rather than their index, so a metric keeps its identity when a
+    section gains, loses, or reorders entries between runs (quick-mode
+    emitters may drop empty sections entirely)."""
     if isinstance(obj, bool):
         return
     if isinstance(obj, (int, float)):
@@ -54,8 +59,15 @@ def flatten(obj, prefix=""):
         for k in sorted(obj):
             yield from flatten(obj[k], f"{prefix}.{k}" if prefix else str(k))
     elif isinstance(obj, list):
+        names = [v.get("name") if isinstance(v, dict) else None for v in obj]
+        by_name = (
+            len(obj) > 0
+            and all(isinstance(n, str) for n in names)
+            and len(set(names)) == len(names)
+        )
         for i, v in enumerate(obj):
-            yield from flatten(v, f"{prefix}[{i}]")
+            key = names[i] if by_name else i
+            yield from flatten(v, f"{prefix}[{key}]")
 
 
 def load_dir(path):

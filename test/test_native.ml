@@ -1,0 +1,453 @@
+(** Tests for the native (compile-to-OCaml + Dynlink) execution tier: the
+    bit-identical-outcome contract against the reference interpreter on the
+    same nasty edges the VM suite covers — division traps,
+    [Int64.min_int / -1], narrow-width wraparound, exact fuel boundaries,
+    allocator exhaustion, pointer/int coercions — plus batch compilation,
+    artifact-cache hits, graceful fallback when the toolchain is missing,
+    and domain-local [with_engine] under [Exec.Pool].
+
+    Parity cases skip silently when no ocamlopt/Dynlink is available (the
+    fallback cases still run: they force unavailability themselves). *)
+
+open Helpers
+module Ir = Yali.Ir
+module Interp = Ir.Interp
+module Native = Yali.Native
+module Execution = Yali.Execution
+module Exec = Yali.Exec
+module Telemetry = Yali.Exec.Telemetry
+
+type result = Finished of Interp.outcome | Trapped of string | Exhausted
+
+let show (r : result) : string =
+  match r with
+  | Trapped msg -> "trap: " ^ msg
+  | Exhausted -> "out of fuel"
+  | Finished o ->
+      let ev =
+        match o.exit_value with
+        | Interp.RInt n -> Printf.sprintf "i:%Ld" n
+        | Interp.RFloat f -> Printf.sprintf "f:%.17g" f
+        | Interp.RPtr p -> Printf.sprintf "p:%d" p
+        | Interp.RUnit -> "unit"
+      in
+      Printf.sprintf "exit=%s out=[%s] fout=[%s] steps=%d cost=%d" ev
+        (String.concat ";" (List.map Int64.to_string o.output))
+        (String.concat ";" (List.map (Printf.sprintf "%.17g") o.foutput))
+        o.steps o.cost
+
+let catching f =
+  try Finished (f ()) with
+  | Interp.Trap msg -> Trapped msg
+  | Interp.Out_of_fuel -> Exhausted
+
+let run_ref ?(fuel = 200_000) m input = catching (fun () -> Interp.run ~fuel m input)
+
+let run_prepared (p : Native.prepared) ?(fuel = 200_000) input =
+  catching (fun () -> p ~fuel input)
+
+(* Parity tests are meaningful only where the tier can actually compile;
+   elsewhere they skip (the fallback tests below cover that world). *)
+let with_native (k : unit -> unit) () =
+  if Native.available () then k ()
+  else
+    Printf.eprintf "  [native tier unavailable (%s); parity case skipped]\n%!"
+      (Option.value ~default:"?" (Native.why_unavailable ()))
+
+(* Compile under the native tier, run under both it and the reference
+   interpreter, insist the results (traps, outputs, steps and cost alike)
+   agree, and hand back the shared result. *)
+let both ?fuel ?(input = []) (m : Ir.Irmod.t) : result =
+  match Native.prepare m with
+  | Error e -> Alcotest.failf "native prepare failed: %s" e
+  | Ok p ->
+      let r_nat = run_prepared p ?fuel input in
+      let r_ref = run_ref ?fuel m input in
+      Alcotest.(check string) "native agrees with reference" (show r_ref)
+        (show r_nat);
+      r_nat
+
+let both_src ?fuel ?input (src : string) : result =
+  both ?fuel ?input (lower (parse src))
+
+let both_ir ?fuel ?input (txt : string) : result =
+  both ?fuel ?input (Ir.Parser.parse_module txt)
+
+let check_result name expected actual =
+  Alcotest.(check string) name expected (show actual)
+
+let exit_of name r =
+  match r with
+  | Finished o -> o.exit_value
+  | _ -> Alcotest.failf "%s: expected a finished run, got %s" name (show r)
+
+(* ------------------------------------------------------------------ *)
+(* Trap-edge parity (ported from the VM suite)                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_division_by_zero () =
+  let trap r = check_result "division by zero traps" "trap: division by zero" r in
+  trap (both_src ~input:[ 0L ] "int main() { int a = read_int(); return 7 / a; }");
+  trap (both_src ~input:[ 0L ] "int main() { int a = read_int(); return 7 % a; }");
+  trap (both_ir {|
+define i64 @main() {
+e:
+  %0 = add i64 5, 0
+  %1 = udiv i64 %0, 0
+  ret %1
+}
+|});
+  trap (both_ir {|
+define i64 @main() {
+e:
+  %0 = add i64 5, 0
+  %1 = urem i64 %0, 0
+  ret %1
+}
+|})
+
+let test_min_int_overflow_division () =
+  let r = both_ir {|
+define i64 @main() {
+e:
+  %0 = add i64 -9223372036854775808, 0
+  %1 = sdiv i64 %0, -1
+  ret %1
+}
+|} in
+  Alcotest.(check bool) "min_int/-1 wraps to min_int" true
+    (exit_of "sdiv" r = Interp.RInt Int64.min_int);
+  let r = both_ir {|
+define i64 @main() {
+e:
+  %0 = add i64 -9223372036854775808, 0
+  %1 = srem i64 %0, -1
+  ret %1
+}
+|} in
+  Alcotest.(check bool) "min_int%-1 is 0" true (exit_of "srem" r = Interp.RInt 0L)
+
+let test_narrow_wraparound () =
+  let r = both_src "int main() { int a = 2147483647; return a + 1; }" in
+  Alcotest.(check bool) "i32 max+1 wraps negative" true
+    (exit_of "i32 add" r = Interp.RInt (-2147483648L));
+  let r = both_ir {|
+define i8 @main() {
+e:
+  %0 = add i8 127, 1
+  ret %0
+}
+|} in
+  Alcotest.(check bool) "i8 max+1 wraps to -128" true
+    (exit_of "i8 add" r = Interp.RInt (-128L));
+  let r = both_ir {|
+define i8 @main() {
+e:
+  %0 = add i8 -2, 0
+  %1 = udiv i8 %0, 16
+  ret %1
+}
+|} in
+  Alcotest.(check bool) "i8 udiv masks to 254/16" true
+    (exit_of "i8 udiv" r = Interp.RInt 15L)
+
+let test_fuel_boundary () =
+  let m =
+    lower
+      (parse
+         "int main() { int i = 0; int s = 0; while (i < 25) { s = s + i; i = i + 1; } return s; }")
+  in
+  let steps =
+    match run_ref ~fuel:1_000_000 m [] with
+    | Finished o -> o.steps
+    | r -> Alcotest.failf "baseline run failed: %s" (show r)
+  in
+  (match both ~fuel:steps m with
+  | Finished o -> Alcotest.(check int) "steps = fuel exactly" steps o.steps
+  | r -> Alcotest.failf "exact fuel should finish: %s" (show r));
+  check_result "fuel-1 exhausts both engines" "out of fuel"
+    (both ~fuel:(steps - 1) m);
+  check_result "tiny fuel exhausts both engines" "out of fuel" (both ~fuel:1 m)
+
+let test_allocator_exhaustion () =
+  check_result "alloca beyond the memory image traps" "trap: out of memory"
+    (both_ir ~fuel:1_000_000 {|
+define void @f() {
+e:
+  %0 = alloca [262144 x i64]
+  ret void
+}
+define i64 @main() {
+e:
+  %0 = add i64 0, 0
+  br label %h
+h:
+  %1 = phi i64 [ %0, %e ], [ %3, %b ]
+  call void @f()
+  br label %b
+b:
+  %3 = add i64 %1, 1
+  br label %h
+}
+|});
+  check_result "oversized alloca traps" "trap: out of memory"
+    (both_ir {|
+define i64 @main() {
+e:
+  %0 = alloca [2097152 x i64]
+  ret 0
+}
+|})
+
+let test_pointer_coercions () =
+  check_result "as_int on a pointer traps" "trap: expected integer, got pointer"
+    (both_ir {|
+define i64 @main() {
+e:
+  %0 = alloca i64
+  %1 = add i64 %0, 1
+  ret %1
+}
+|});
+  let r = both_ir {|
+define i64 @main() {
+e:
+  %0 = alloca [4 x i64]
+  %1 = ptrtoint %0 to i64
+  %2 = add i64 %1, 2
+  %3 = inttoptr %2 to i64*
+  store 42, %3
+  %4 = load i64, %3
+  ret %4
+}
+|} in
+  Alcotest.(check bool) "ptrtoint round-trip stores and loads" true
+    (exit_of "ptrtoint" r = Interp.RInt 42L);
+  (match both_ir {|
+define i64 @main() {
+e:
+  %0 = alloca i64
+  ret %0
+}
+|} with
+  | Finished { exit_value = Interp.RPtr _; _ } -> ()
+  | r -> Alcotest.failf "expected a pointer exit, got %s" (show r))
+
+(* ------------------------------------------------------------------ *)
+(* Structural parity                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_recursion_parity () =
+  let r =
+    both_src ~fuel:2_000_000
+      "int fib(int n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); } int main() { return fib(18); }"
+  in
+  Alcotest.(check bool) "fib(18)" true (exit_of "fib" r = Interp.RInt 2584L)
+
+let test_intrinsics_parity () =
+  let r =
+    both_src
+      ~input:[ -7L; 3L ]
+      "int main() { int a = read_int(); int b = read_int(); print_int(abs(a)); print_int(min(a, b)); print_int(max(a, b)); return 0; }"
+  in
+  match r with
+  | Finished o ->
+      Alcotest.(check (list int)) "abs/min/max outputs" [ 7; -7; 3 ]
+        (List.map Int64.to_int o.output)
+  | r -> Alcotest.failf "intrinsics run failed: %s" (show r)
+
+let test_float_parity () =
+  let r =
+    both_src
+      "double h(double x) { return x * 1.5 + 0.25; } int main() { double a = h(3.0); print_float(a); print_float(a / 0.0); print_float(0.0 / 0.0); return 0; }"
+  in
+  match r with
+  | Finished o ->
+      Alcotest.(check int) "three float outputs" 3 (List.length o.foutput)
+  | r -> Alcotest.failf "float run failed: %s" (show r)
+
+let test_switch_and_globals_parity () =
+  let m = Ir.Parser.parse_module {|
+@g = global i64
+define i64 @main() {
+entry:
+  store 3, @g
+  %0 = load i64, @g
+  switch %0, label %d [0: %z 3: %t]
+z:
+  ret 10
+t:
+  store 9, @g
+  %1 = load i64, @g
+  ret %1
+d:
+  ret 12
+}
+|} in
+  let r = both m in
+  Alcotest.(check bool) "switch picks the stored-global arm" true
+    (exit_of "switch" r = Interp.RInt 9L)
+
+(* One plugin, many programs: the oracle's amortisation path.  Also the
+   realistic-program sweep (dataset problems at various seeds). *)
+let test_batch_dataset_parity () =
+  let seeds = List.init 12 (fun i -> (i * 31) + 2) in
+  let ms = Array.of_list (List.map (fun s -> lower (dataset_program s)) seeds) in
+  match Native.prepare_many ms with
+  | Error e -> Alcotest.failf "batch prepare failed: %s" e
+  | Ok ps ->
+      List.iteri
+        (fun i seed ->
+          let input = fuzz_input seed in
+          let r_nat = run_prepared ps.(i) ~fuel:200_000 input in
+          let r_ref = run_ref ~fuel:200_000 ms.(i) input in
+          Alcotest.(check string)
+            (Printf.sprintf "dataset seed %d" seed)
+            (show r_ref) (show r_nat))
+        seeds
+
+(* ------------------------------------------------------------------ *)
+(* Artifact cache                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_hits () =
+  let m = lower (parse "int main() { int a = read_int(); return a * 3 + 29; }") in
+  let h0 = Telemetry.counter "native.cache.hits" in
+  (match Native.prepare m with
+  | Ok p -> ignore (p ~fuel:1_000 [ 4L ])
+  | Error e -> Alcotest.failf "first prepare failed: %s" e);
+  (match Native.prepare m with
+  | Ok p ->
+      let o = p ~fuel:1_000 [ 4L ] in
+      Alcotest.(check bool) "cached plugin computes" true
+        (o.Interp.exit_value = Interp.RInt 41L)
+  | Error e -> Alcotest.failf "second prepare failed: %s" e);
+  Alcotest.(check bool) "second prepare is a cache hit" true
+    (Telemetry.counter "native.cache.hits" >= h0 + 1)
+
+(* Shared prepared program driven concurrently from pool workers: the
+   plugin's pooled runtime states must not interfere. *)
+let test_concurrent_runs () =
+  let m =
+    lower
+      (parse
+         "int main() { int i = 0; int s = read_int(); while (i < 200) { s = s + i * i; i = i + 1; } print_int(s); return s; }")
+  in
+  match Native.prepare m with
+  | Error e -> Alcotest.failf "prepare failed: %s" e
+  | Ok p ->
+      let expected = show (run_ref ~fuel:200_000 m [ 9L ]) in
+      let results =
+        Exec.Pool.with_jobs 4 (fun () ->
+            Exec.Pool.parallel_array_map
+              (fun _ -> show (run_prepared p ~fuel:200_000 [ 9L ]))
+              (Array.make 16 ()))
+      in
+      Array.iter
+        (fun got -> Alcotest.(check string) "concurrent run identical" expected got)
+        results
+
+(* ------------------------------------------------------------------ *)
+(* Fallback and engine scoping                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* These do not require a toolchain: they force unavailability and assert
+   the switchboard degrades to the VM with identical outcomes and exactly
+   one process-wide warning. *)
+let test_engine_fallback_disable () =
+  let m = lower (parse "int main() { int a = 6; return a * 7; }") in
+  let base = show (catching (fun () -> Execution.run ~engine:Execution.Vm ~fuel:10_000 m [])) in
+  Unix.putenv "YALI_NATIVE_DISABLE" "1";
+  Fun.protect ~finally:(fun () -> Unix.putenv "YALI_NATIVE_DISABLE" "0")
+  @@ fun () ->
+  Alcotest.(check bool) "tier reports unavailable" false (Native.available ());
+  let f0 = Telemetry.counter "execution.native_fallback" in
+  let o1 =
+    show (catching (fun () -> Execution.run ~engine:Execution.Native ~fuel:10_000 m []))
+  in
+  let o2 =
+    show (catching (fun () -> Execution.run ~engine:Execution.Native ~fuel:10_000 m []))
+  in
+  Alcotest.(check string) "first fallback outcome matches vm" base o1;
+  Alcotest.(check string) "second fallback outcome matches vm" base o2;
+  Alcotest.(check bool) "every fallback counted" true
+    (Telemetry.counter "execution.native_fallback" >= f0 + 2);
+  Alcotest.(check int) "exactly one warning per process" 1
+    (Telemetry.counter "execution.native_fallback_warned")
+
+let test_engine_fallback_path_scrub () =
+  let old_path = try Sys.getenv "PATH" with Not_found -> "" in
+  Unix.putenv "PATH" "/nonexistent-for-native-test";
+  Fun.protect ~finally:(fun () -> Unix.putenv "PATH" old_path)
+  @@ fun () ->
+  Alcotest.(check bool) "no toolchain on a scrubbed PATH" false
+    (Native.available ());
+  let m = lower (parse "int main() { return 3; }") in
+  let via_native =
+    show (catching (fun () -> Execution.run ~engine:Execution.Native ~fuel:10_000 m []))
+  in
+  let via_vm =
+    show (catching (fun () -> Execution.run ~engine:Execution.Vm ~fuel:10_000 m []))
+  in
+  Alcotest.(check string) "degrades to vm outcome" via_vm via_native;
+  Alcotest.(check int) "still a single process-wide warning" 1
+    (Telemetry.counter "execution.native_fallback_warned")
+
+let test_engine_selection () =
+  Alcotest.(check bool) "native parses" true
+    (Execution.engine_of_string "native" = Some Execution.Native);
+  Alcotest.(check string) "name round-trips" "native"
+    (Execution.engine_to_string Execution.Native);
+  Alcotest.(check bool) "junk rejected" true
+    (Execution.engine_of_string "jit" = None)
+
+(* with_engine is domain-local: pool workers keep the process default even
+   while the submitting domain holds an override. *)
+let test_with_engine_under_pool () =
+  let bad = Atomic.make 0 in
+  Execution.with_engine Execution.Ref (fun () ->
+      Alcotest.(check bool) "override visible in this domain" true
+        (Execution.get_engine () = Execution.Ref);
+      Exec.Pool.with_jobs 4 (fun () ->
+          Exec.Pool.run ~n:32 (fun _ ->
+              let e = Execution.get_engine () in
+              let expected =
+                if Exec.Pool.inside_worker () then Execution.Vm
+                else Execution.Ref
+              in
+              if e <> expected then Atomic.incr bad)));
+  Alcotest.(check int) "workers unaffected by the caller's override" 0
+    (Atomic.get bad);
+  Alcotest.(check bool) "override released" true
+    (Execution.get_engine () = Execution.Vm)
+
+let suite =
+  [
+    Alcotest.test_case "division by zero" `Quick (with_native test_division_by_zero);
+    Alcotest.test_case "min_int overflow division" `Quick
+      (with_native test_min_int_overflow_division);
+    Alcotest.test_case "narrow-width wraparound" `Quick
+      (with_native test_narrow_wraparound);
+    Alcotest.test_case "fuel boundary" `Quick (with_native test_fuel_boundary);
+    Alcotest.test_case "allocator exhaustion" `Quick
+      (with_native test_allocator_exhaustion);
+    Alcotest.test_case "pointer coercions" `Quick
+      (with_native test_pointer_coercions);
+    Alcotest.test_case "recursion parity" `Quick (with_native test_recursion_parity);
+    Alcotest.test_case "intrinsics parity" `Quick
+      (with_native test_intrinsics_parity);
+    Alcotest.test_case "float parity" `Quick (with_native test_float_parity);
+    Alcotest.test_case "switch and globals parity" `Quick
+      (with_native test_switch_and_globals_parity);
+    Alcotest.test_case "batch dataset parity" `Quick
+      (with_native test_batch_dataset_parity);
+    Alcotest.test_case "cache hits" `Quick (with_native test_cache_hits);
+    Alcotest.test_case "concurrent runs" `Quick (with_native test_concurrent_runs);
+    Alcotest.test_case "engine fallback (disable flag)" `Quick
+      test_engine_fallback_disable;
+    Alcotest.test_case "engine fallback (PATH scrub)" `Quick
+      test_engine_fallback_path_scrub;
+    Alcotest.test_case "engine selection" `Quick test_engine_selection;
+    Alcotest.test_case "with_engine under pool" `Quick
+      test_with_engine_under_pool;
+  ]

@@ -1,6 +1,6 @@
 # Convenience targets; everything is ultimately driven by dune.
 
-.PHONY: all build build-all test check check-smoke check-deep smoke fuzz-smoke bench bench-kernels bench-vm bench-native bench-serve fmt clean
+.PHONY: all build build-all test check check-smoke check-deep smoke fuzz-smoke bench bench-kernels bench-vm bench-native bench-serve bench-adapt fmt clean
 
 all: build
 
@@ -70,6 +70,13 @@ bench-native:
 # clean — this is CI's serve gate.
 bench-serve:
 	dune exec bench/main.exe -- --quick --jobs 2 serve
+
+# Adaptive-evader gate (DESIGN.md §14): classifier-in-the-loop sequence
+# search for each default model kind, Pareto fronts in BENCH_adapt.json.
+# Exits non-zero unless at least two classifiers yield a 3-point front and
+# the via-serve rerun is bit-identical — this is CI's adapt gate.
+bench-adapt:
+	dune exec bench/main.exe -- --quick --jobs 2 adapt
 
 # Requires ocamlformat (not part of `check`: it is not installed everywhere).
 fmt:

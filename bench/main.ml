@@ -1079,8 +1079,9 @@ let native_bench () =
 
 let serve_json = "BENCH_serve.json"
 
-(* Hidden daemon mode: [serve] below re-execs this binary with this flag
-   (socket and registry dir as the two operands) instead of forking. *)
+(* Hidden daemon mode: [serve] and [adapt_bench] below re-exec this binary
+   with this flag (socket and registry dir as the two operands, plus an
+   optional model spec — default rf) instead of forking. *)
 let serve_daemon_flag = "--serve-daemon"
 
 let serve_daemon () =
@@ -1088,7 +1089,7 @@ let serve_daemon () =
     {
       Yali.Serve.Server.socket = Sys.argv.(2);
       registry_dir = Sys.argv.(3);
-      model_spec = "rf";
+      model_spec = (if Array.length Sys.argv > 4 then Sys.argv.(4) else "rf");
       queue_cap = 256;
       max_batch = 64;
       log = ignore;
@@ -1372,6 +1373,154 @@ let corpus_bench () =
           (if rss_ok then "ok" else "over cap");
         exit 1
       end)
+
+(* ------------------------------------------------------------------ *)
+(* Adaptive evaders: cost-priced Pareto fronts (DESIGN.md §14)         *)
+(* ------------------------------------------------------------------ *)
+
+let adapt_json = "BENCH_adapt.json"
+
+(** Adaptive-evader benchmark: run the classifier-in-the-loop search for
+    each default model kind, emit the per-classifier Pareto fronts
+    (evasion rate vs cost multiplier), and prove the [--via-serve] path by
+    re-running the identical searches against daemon children — the two
+    reports must be bit-identical.  Written to [BENCH_adapt.json]; exits
+    nonzero when a front is too thin (< 3 points on < 2 classifiers) or
+    the via-serve report diverges (CI's adapt gate). *)
+let adapt_bench () =
+  header "Adaptive evaders: classifier-in-the-loop search, Pareto fronts";
+  let module D = Yali.Adapt.Driver in
+  let module Fit = Yali.Adapt.Fitness in
+  let cfg =
+    {
+      D.default with
+      a_train_per_class = scale 10;
+      a_budget = (if !quick then 32 else 96);
+      a_challenges_per_class = (if !quick then 2 else 3);
+    }
+  in
+  let t0 = Yali.Exec.Telemetry.clock () in
+  let prep = D.prepare ~log:print_endline cfg in
+  let report = D.search_fronts ~log:print_endline cfg prep in
+  let t_search = Yali.Exec.Telemetry.clock () -. t0 in
+  List.iter
+    (fun (f : D.model_front) ->
+      Printf.printf "%-5s front:" f.mf_kind;
+      List.iter
+        (fun (p : Yali.Adapt.Pareto.point) ->
+          Printf.printf "  (%.2fx, %.2f)" p.p_cost p.p_evasion)
+        f.mf_front;
+      print_newline ())
+    report.r_fronts;
+  (* the via-serve proof: publish the prepared snapshots, spawn one daemon
+     child per kind (re-exec via the hidden flag: [fork] is forbidden once
+     the pool has spawned a domain), re-run the identical searches with
+     margins answered over the socket *)
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "yali-adapt-%d" (Unix.getpid ()))
+  in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o700;
+  let registry = Filename.concat dir "models" in
+  let dim =
+    Array.length
+      (E.Embedding.to_flat D.embedding prep.p_challenges.(0).Fit.ch_module)
+  in
+  List.iter
+    (fun (kind, snapshot) ->
+      let meta =
+        {
+          Yali.Serve.Registry.kind;
+          version = 0;
+          embedding = D.embedding.name;
+          n_classes = cfg.a_classes;
+          dim;
+          n_train = prep.p_n_train;
+          seed = cfg.a_seed;
+          source = "adapt:prepared";
+        }
+      in
+      ignore (Yali.Serve.Registry.publish ~dir:registry ~meta snapshot))
+    prep.p_snapshots;
+  flush stdout;
+  flush stderr;
+  let daemons =
+    List.map
+      (fun (kind, _) ->
+        let socket = Filename.concat dir (kind ^ ".sock") in
+        let pid =
+          Unix.create_process Sys.executable_name
+            [| Sys.executable_name; serve_daemon_flag; socket; registry; kind |]
+            Unix.stdin Unix.stdout Unix.stderr
+        in
+        (kind, socket, pid))
+      prep.p_snapshots
+  in
+  let t1 = Yali.Exec.Telemetry.clock () in
+  let identical, t_serve =
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter
+          (fun (_, _, pid) ->
+            (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+            try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+          daemons)
+      (fun () ->
+        let rec await socket tries =
+          if Sys.file_exists socket then ()
+          else if tries = 0 then failwith "adapt daemon socket never appeared"
+          else begin
+            Unix.sleepf 0.05;
+            await socket (tries - 1)
+          end
+        in
+        let remotes =
+          List.map
+            (fun (kind, socket, _) ->
+              await socket 200;
+              (kind, Yali.Adapt.Remote.connect ~socket))
+            daemons
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            List.iter (fun (_, r) -> Yali.Adapt.Remote.close r) remotes)
+          (fun () ->
+            let report' =
+              D.search_fronts
+                ~oracle_for:(fun kind ->
+                  Option.map Yali.Adapt.Remote.oracle
+                    (List.assoc_opt kind remotes))
+                cfg prep
+            in
+            ( D.reports_identical report report',
+              Yali.Exec.Telemetry.clock () -. t1 )))
+  in
+  Printf.printf "search %.2fs in-process, %.2fs via serve\n" t_search t_serve;
+  Printf.printf "via-serve report bit-identical: %b\n" identical;
+  let rich_fronts =
+    List.length
+      (List.filter
+         (fun (f : D.model_front) -> List.length f.mf_front >= 3)
+         report.r_fronts)
+  in
+  let pass = identical && rich_fronts >= 2 in
+  let oc = open_out adapt_json in
+  Printf.fprintf oc "{\n  \"quick\": %b,\n  \"jobs\": %d,\n" !quick
+    (Yali.Exec.Pool.get_jobs ());
+  Printf.fprintf oc
+    "  \"search_seconds\": %.2f,\n  \"serve_seconds\": %.2f,\n\
+    \  \"via_serve_identical\": %b,\n  \"report\": %s,\n  \"pass\": %b\n}\n"
+    t_search t_serve identical
+    (String.trim (D.report_to_json cfg report))
+    pass;
+  close_out oc;
+  Printf.printf "adapt summary written to %s\n" adapt_json;
+  if not pass then begin
+    Printf.eprintf "adapt benchmark FAILED (%s)\n"
+      (if not identical then "via-serve report diverged"
+       else "fewer than 2 classifiers with a 3-point front");
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Ablations: design choices called out in DESIGN.md                   *)
@@ -1714,7 +1863,7 @@ let write_json path ~total (timings : (string * float) list) =
   close_out oc
 
 let () =
-  if Array.length Sys.argv = 4 && Sys.argv.(1) = serve_daemon_flag then
+  if Array.length Sys.argv >= 4 && Sys.argv.(1) = serve_daemon_flag then
     serve_daemon ();
   let args = parse_args (List.tl (Array.to_list Sys.argv)) in
   let t0 = Yali.Exec.Telemetry.clock () in
@@ -1736,12 +1885,13 @@ let () =
           else if name = "native" then timed "native" native_bench
           else if name = "serve" then timed "serve" serve
           else if name = "corpus" then timed "corpus" corpus_bench
+          else if name = "adapt" then timed "adapt" adapt_bench
           else
             match List.assoc_opt name (figures @ ablations) with
             | Some f -> timed name f
             | None ->
                 Printf.eprintf
-                  "unknown target %s (expected fig5..fig16, abl-*, ablations, micro, kernels, interp, native, serve, corpus, all)\n"
+                  "unknown target %s (expected fig5..fig16, abl-*, ablations, micro, kernels, interp, native, serve, corpus, adapt, all)\n"
                   name)
         names);
   let total = Yali.Exec.Telemetry.clock () -. t0 in

@@ -13,7 +13,8 @@
     - [check]     per-pass translation validation + invariant oracles
     - [train]     train a classifier and publish it into a model registry
     - [serve]     classification daemon on a Unix socket
-    - [query]     talk to a running daemon *)
+    - [query]     talk to a running daemon
+    - [adapt]     classifier-in-the-loop adaptive evaders (Pareto fronts) *)
 
 open Cmdliner
 module Rng = Yali.Rng
@@ -879,9 +880,292 @@ let corpus_cmd =
              inspection.")
     [ gen_cmd; stat_cmd ]
 
+(* -- adapt: classifier-in-the-loop adaptive evaders ------------------------- *)
+
+(* Best-effort removal of the scratch registry/socket directory. *)
+let rec remove_tree path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter
+        (fun name -> remove_tree (Filename.concat path name))
+        (Sys.readdir path);
+      try Sys.rmdir path with Sys_error _ -> ()
+    end
+    else try Sys.remove path with Sys_error _ -> ()
+
+(* Publish the prepared snapshots into a scratch registry, spawn one
+   [yali serve] daemon per model kind (a [create_process] re-exec of this
+   binary: [fork] is forbidden once the pool has spawned a domain), and
+   hand [f] a per-kind remote margins oracle.  Margins travel f64-exact,
+   so the report is bit-identical to the in-process run. *)
+let with_serve_oracles ~log (cfg : Yali.Adapt.Driver.config)
+    (prep : Yali.Adapt.Driver.prepared)
+    (f : (string -> (Yali.Ir.Irmod.t -> float array) option) -> 'a) : 'a =
+  let module Registry = Yali.Serve.Registry in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "yali-adapt-%d" (Unix.getpid ()))
+  in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o700;
+  let registry = Filename.concat dir "models" in
+  let dim =
+    match prep.p_challenges with
+    | [||] -> die ~code:1 "adapt: no challenges to size the embedding from"
+    | chs ->
+        Array.length
+          (Yali.Embeddings.Embedding.to_flat Yali.Adapt.Driver.embedding
+             chs.(0).Yali.Adapt.Fitness.ch_module)
+  in
+  List.iter
+    (fun (kind, snapshot) ->
+      let meta =
+        {
+          Registry.kind;
+          version = 0;
+          embedding = Yali.Adapt.Driver.embedding.name;
+          n_classes = cfg.a_classes;
+          dim;
+          n_train = prep.p_n_train;
+          seed = cfg.a_seed;
+          source = "adapt:prepared";
+        }
+      in
+      let v, _ = Registry.publish ~dir:registry ~meta snapshot in
+      log (Printf.sprintf "adapt: published %s@%d to %s" kind v registry))
+    prep.p_snapshots;
+  flush stdout;
+  flush stderr;
+  let daemons =
+    List.map
+      (fun (kind, _) ->
+        let socket = Filename.concat dir (kind ^ ".sock") in
+        let pid =
+          Unix.create_process Sys.executable_name
+            [|
+              Sys.executable_name; "serve"; "--socket"; socket; "--registry";
+              registry; "--model"; kind; "--quiet";
+            |]
+            Unix.stdin Unix.stdout Unix.stderr
+        in
+        (kind, socket, pid))
+      prep.p_snapshots
+  in
+  let kill_all () =
+    List.iter
+      (fun (_, _, pid) ->
+        (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+        try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+      daemons;
+    remove_tree dir
+  in
+  Fun.protect ~finally:kill_all (fun () ->
+      let rec await_socket socket tries =
+        if Sys.file_exists socket then ()
+        else if tries = 0 then
+          die ~code:1 "adapt: daemon socket %s never appeared" socket
+        else begin
+          Unix.sleepf 0.05;
+          await_socket socket (tries - 1)
+        end
+      in
+      let remotes =
+        List.map
+          (fun (kind, socket, _) ->
+            await_socket socket 200;
+            (kind, Yali.Adapt.Remote.connect ~socket))
+          daemons
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          List.iter (fun (_, r) -> Yali.Adapt.Remote.close r) remotes)
+        (fun () ->
+          log
+            (Printf.sprintf "adapt: %d daemons up, routing margins via serve"
+               (List.length remotes));
+          f (fun kind ->
+              Option.map Yali.Adapt.Remote.oracle
+                (List.assoc_opt kind remotes))))
+
+let adapt_cmd =
+  let module D = Yali.Adapt.Driver in
+  let classes_arg =
+    Arg.(
+      value
+      & opt int D.default.a_classes
+      & info [ "classes"; "c" ] ~doc:"Number of problem classes.")
+  in
+  let train_arg =
+    Arg.(
+      value
+      & opt int D.default.a_train_per_class
+      & info [ "train-per-class" ] ~doc:"Training samples per class.")
+  in
+  let challenges_arg =
+    Arg.(
+      value
+      & opt int D.default.a_challenges_per_class
+      & info [ "challenges-per-class" ]
+          ~doc:"Held-out challenge programs per class.")
+  in
+  let models_arg =
+    Arg.(
+      value
+      & opt string (String.concat "," D.default.a_models)
+      & info [ "models" ] ~docv:"K1,K2"
+          ~doc:"Comma-separated snapshot kinds to attack: rf svm knn lr mlp.")
+  in
+  let algo_arg =
+    Arg.(
+      value
+      & opt string (Yali.Adapt.Search.algo_to_string D.default.a_algo)
+      & info [ "algo" ] ~docv:"rs|hill|mcmc|ga" ~doc:"Search strategy.")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt int D.default.a_budget
+      & info [ "budget" ] ~docv:"N"
+          ~doc:"Fitness evaluations per model (the empty sequence counts).")
+  in
+  let batch_arg =
+    Arg.(
+      value
+      & opt int D.default.a_batch
+      & info [ "batch" ] ~docv:"N"
+          ~doc:
+            "Parallel evaluation width (and mcmc chain count / ga \
+             population).")
+  in
+  let max_len_arg =
+    Arg.(
+      value
+      & opt int D.default.a_max_len
+      & info [ "max-len" ] ~docv:"N" ~doc:"Longest pass sequence searched.")
+  in
+  let lambda_arg =
+    Arg.(
+      value
+      & opt float D.default.a_lambda
+      & info [ "lambda" ] ~docv:"F"
+          ~doc:"Fitness price per unit of cost multiplier above 1.")
+  in
+  let vectors_arg =
+    Arg.(
+      value
+      & opt int D.default.a_vectors
+      & info [ "vectors" ] ~docv:"N"
+          ~doc:"Seeded input vectors per challenge (behaviour witness).")
+  in
+  let fuel_arg =
+    Arg.(
+      value
+      & opt int D.default.a_fuel
+      & info [ "fuel" ] ~docv:"N" ~doc:"Baseline interpreter fuel.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write the JSON report to \\$(docv).")
+  in
+  let via_serve_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "via-serve" ]
+          ~doc:
+            "Route classifier queries through freshly spawned $(b,yali \
+             serve) daemons (one per model kind) instead of in-process \
+             snapshots; the report is bit-identical either way.")
+  in
+  let run seed jobs classes train_pc chal_pc models algo budget batch max_len
+      lambda vectors fuel out via_serve =
+    configure_jobs jobs;
+    let algo =
+      match Yali.Adapt.Search.algo_of_string algo with
+      | Some a -> a
+      | None -> die ~code:2 "unknown --algo %s (have: rs hill mcmc ga)" algo
+    in
+    let models =
+      String.split_on_char ',' models
+      |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+    in
+    if models = [] then die ~code:2 "--models must name at least one kind";
+    if budget < 1 then die ~code:2 "--budget must be positive";
+    if batch < 1 then die ~code:2 "--batch must be positive";
+    if max_len < 1 then die ~code:2 "--max-len must be positive";
+    if vectors < 1 then die ~code:2 "--vectors must be positive";
+    let cfg =
+      {
+        D.a_seed = seed;
+        a_classes = classes;
+        a_train_per_class = train_pc;
+        a_challenges_per_class = chal_pc;
+        a_models = models;
+        a_algo = algo;
+        a_budget = budget;
+        a_batch = batch;
+        a_max_len = max_len;
+        a_lambda = lambda;
+        a_vectors = vectors;
+        a_fuel = fuel;
+      }
+    in
+    let log = prerr_endline in
+    let prep = try D.prepare ~log cfg with Failure msg -> die ~code:2 "%s" msg in
+    if Array.length prep.p_challenges = 0 then
+      die ~code:1 "adapt: every challenge was dropped (raise --fuel?)";
+    let report =
+      if via_serve then
+        with_serve_oracles ~log cfg prep (fun oracle_for ->
+            D.search_fronts ~log ~oracle_for cfg prep)
+      else D.search_fronts ~log cfg prep
+    in
+    Printf.printf "adapt: %s search, budget %d, lambda %g, %d challenges%s\n"
+      (Yali.Adapt.Search.algo_to_string algo)
+      budget lambda report.r_challenges
+      (if via_serve then " (margins via serve)" else "");
+    List.iter
+      (fun (f : D.model_front) ->
+        Printf.printf
+          "%-5s base evasion %.2f -> best %.2f at %.2fx cost (%s), front %d \
+           points\n"
+          f.mf_kind f.mf_base.Yali.Adapt.Fitness.e_evasion
+          f.mf_best.Yali.Adapt.Fitness.e_evasion
+          f.mf_best.Yali.Adapt.Fitness.e_cost
+          (Yali.Adapt.Seqspace.to_string f.mf_best.Yali.Adapt.Fitness.e_seq)
+          (List.length f.mf_front);
+        List.iter
+          (fun (p : Yali.Adapt.Pareto.point) ->
+            Printf.printf "      %.2fx  %.2f  %s\n" p.p_cost p.p_evasion
+              p.p_seq)
+          f.mf_front)
+      report.r_fronts;
+    match out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (D.report_to_json cfg report);
+        close_out oc;
+        Printf.printf "report written to %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "adapt"
+       ~doc:
+         "Search obfuscation-pass sequences with the trained classifier in \
+          the loop and report the cost-priced Pareto front (evasion rate \
+          vs abstract-cost multiplier); deterministic in --seed at any \
+          --jobs.")
+    Term.(
+      const run $ seed_arg $ jobs_arg $ classes_arg $ train_arg
+      $ challenges_arg $ models_arg $ algo_arg $ budget_arg $ batch_arg
+      $ max_len_arg $ lambda_arg $ vectors_arg $ fuel_arg $ out_arg
+      $ via_serve_arg)
+
 let () =
   let doc = "a game-based framework to compare program classifiers and evaders" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "yali" ~doc)
-          [ compile_cmd; run_cmd; obfuscate_cmd; embed_cmd; generate_cmd; dataset_cmd; opt_cmd; play_cmd; fuzz_cmd; check_cmd; corpus_cmd; train_cmd; serve_cmd; query_cmd ]))
+          [ compile_cmd; run_cmd; obfuscate_cmd; embed_cmd; generate_cmd; dataset_cmd; opt_cmd; play_cmd; fuzz_cmd; check_cmd; corpus_cmd; train_cmd; serve_cmd; query_cmd; adapt_cmd ]))

@@ -1,0 +1,224 @@
+(** The adaptive-evader driver: dataset → trained snapshots → per-model
+    sequence search → cost-priced Pareto fronts.
+
+    This closes the game loop of the paper's Definition 2.4: instead of a
+    fixed evader from Figure 4's registry, the evader {e adapts} — it
+    queries the trained classifier's per-class scores while searching the
+    obfuscation-sequence space, and reports the whole evasion-vs-cost
+    trade-off it found ({!Pareto}).
+
+    Split into {!prepare} (dataset, baselines, snapshots — everything both
+    the in-process and the via-serve runs must share) and
+    {!search_fronts} (the searches themselves, oracles injectable per
+    model kind), so [--via-serve] can publish the prepared snapshots to a
+    registry, point daemons at them, and provably produce the identical
+    report. *)
+
+module Rng = Yali_util.Rng
+module Poj = Yali_dataset.Poj
+module Embedding = Yali_embeddings.Embedding
+module Model = Yali_ml.Model
+module Lower = Yali_minic.Lower
+
+type config = {
+  a_seed : int;
+  a_classes : int;
+  a_train_per_class : int;
+  a_challenges_per_class : int;
+  a_models : string list;
+  a_algo : Search.algo;
+  a_budget : int;
+  a_batch : int;
+  a_max_len : int;
+  a_lambda : float;
+  a_vectors : int;
+  a_fuel : int;
+}
+
+let default =
+  {
+    a_seed = 42;
+    a_classes = 4;
+    a_train_per_class = 10;
+    a_challenges_per_class = 2;
+    a_models = [ "rf"; "lr" ];
+    a_algo = Search.Hill;
+    a_budget = 48;
+    a_batch = 8;
+    a_max_len = 4;
+    a_lambda = 0.05;
+    a_vectors = 2;
+    a_fuel = 2_000_000;
+  }
+
+(* the paper's default flat embedding; every model kind trains over it *)
+let embedding = Embedding.histogram
+
+type prepared = {
+  p_snapshots : (string * Model.snapshot) list;
+  p_challenges : Fitness.challenge array;
+  p_n_train : int;
+}
+
+let prepare ?(log = ignore) (cfg : config) : prepared =
+  let rng = Rng.make cfg.a_seed in
+  let data_rng = Rng.split_ix rng 0 in
+  let train_rng = Rng.split_ix rng 1 in
+  let chal_rng = Rng.split_ix rng 2 in
+  let split =
+    Poj.make data_rng ~n_classes:cfg.a_classes
+      ~train_per_class:cfg.a_train_per_class
+      ~test_per_class:cfg.a_challenges_per_class
+  in
+  (* Game 1's unaware classifier: trains on plain -O0 lowerings *)
+  let train_mods =
+    Array.map
+      (fun (l : Poj.labelled) -> (Lower.lower_program l.src, l.label))
+      split.train
+  in
+  let x = Yali_games.Arena.embed_fmat embedding train_mods in
+  let ys = Array.map snd train_mods in
+  let snapshots =
+    List.mapi
+      (fun ix kind ->
+        match
+          Model.train_snapshot kind
+            (Rng.split_ix train_rng ix)
+            ~n_classes:cfg.a_classes x ys
+        with
+        | Some s -> (kind, s)
+        | None -> failwith ("adapt: no snapshot form for model " ^ kind))
+      cfg.a_models
+  in
+  let challenges =
+    split.test |> Array.to_list
+    |> List.mapi (fun i (l : Poj.labelled) ->
+           let m = Lower.lower_program l.src in
+           match
+             Fitness.challenge ~fuel:cfg.a_fuel ~vectors:cfg.a_vectors
+               (Rng.split_ix chal_rng i) ~label:l.label m
+           with
+           | Ok c -> Some c
+           | Error msg ->
+               log (Printf.sprintf "adapt: dropping challenge %d: %s" i msg);
+               None)
+    |> List.filter_map Fun.id |> Array.of_list
+  in
+  log
+    (Printf.sprintf "adapt: %d training rows, %d challenges, models %s"
+       (Array.length split.train)
+       (Array.length challenges)
+       (String.concat "," cfg.a_models));
+  {
+    p_snapshots = snapshots;
+    p_challenges = challenges;
+    p_n_train = Array.length split.train;
+  }
+
+let oracle_of_snapshot (s : Model.snapshot) : Yali_ir.Irmod.t -> float array =
+  let margins = Model.margins s in
+  (* the uncached pure embedding: safe from any pool worker *)
+  fun m -> margins (Embedding.to_flat embedding m)
+
+type model_front = {
+  mf_kind : string;
+  mf_base : Fitness.eval;
+  mf_best : Fitness.eval;
+  mf_front : Pareto.point list;
+  mf_evals : int;
+}
+
+type report = { r_fronts : model_front list; r_challenges : int }
+
+let search_fronts ?(log = ignore) ?oracle_for (cfg : config)
+    (prep : prepared) : report =
+  let search_rng = Rng.split_ix (Rng.make cfg.a_seed) 3 in
+  let fronts =
+    List.mapi
+      (fun ix (kind, snap) ->
+        let oracle =
+          match Option.bind oracle_for (fun f -> f kind) with
+          | Some o -> o
+          | None -> oracle_of_snapshot snap
+        in
+        let eval_fn r s =
+          Fitness.evaluate ~oracle ~lambda:cfg.a_lambda ~fuel:cfg.a_fuel
+            prep.p_challenges r s
+        in
+        let out =
+          Search.run cfg.a_algo ~budget:cfg.a_budget ~batch:cfg.a_batch
+            ~max_len:cfg.a_max_len
+            (Rng.split_ix search_rng ix)
+            eval_fn
+        in
+        let front = Pareto.front out.o_evals in
+        log
+          (Printf.sprintf
+             "adapt[%s]: %d evals, base evasion %.2f, best %.2f @ %.2fx \
+              cost, front %d points"
+             kind (List.length out.o_evals) out.o_base.Fitness.e_evasion
+             out.o_best.Fitness.e_evasion out.o_best.Fitness.e_cost
+             (List.length front));
+        {
+          mf_kind = kind;
+          mf_base = out.o_base;
+          mf_best = out.o_best;
+          mf_front = front;
+          mf_evals = List.length out.o_evals;
+        })
+      prep.p_snapshots
+  in
+  { r_fronts = fronts; r_challenges = Array.length prep.p_challenges }
+
+let run ?(log = ignore) ?oracle_for (cfg : config) : report =
+  search_fronts ~log ?oracle_for cfg (prepare ~log cfg)
+
+(* -- report rendering ------------------------------------------------------- *)
+
+let json_front (f : model_front) : string =
+  let b = Buffer.create 512 in
+  Printf.bprintf b
+    "{\"base_evasion\": %.4f, \"best_evasion\": %.4f, \"best_cost\": %.4f, \
+     \"best_fitness\": %.4f, \"best_seq\": %S, \"evals\": %d, \
+     \"front_points\": %d, \"front\": ["
+    f.mf_base.Fitness.e_evasion f.mf_best.Fitness.e_evasion
+    f.mf_best.Fitness.e_cost f.mf_best.Fitness.e_fitness
+    (Seqspace.to_string f.mf_best.Fitness.e_seq)
+    f.mf_evals
+    (List.length f.mf_front);
+  List.iteri
+    (fun i (p : Pareto.point) ->
+      Printf.bprintf b
+        "%s{\"cost_multiplier\": %.4f, \"evasion_rate\": %.4f, \"seq\": %S}"
+        (if i = 0 then "" else ", ")
+        p.p_cost p.p_evasion p.p_seq)
+    f.mf_front;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let report_to_json (cfg : config) (r : report) : string =
+  let b = Buffer.create 2048 in
+  Printf.bprintf b
+    "{\n\
+    \  \"seed\": %d,\n\
+    \  \"algo\": %S,\n\
+    \  \"budget\": %d,\n\
+    \  \"max_len\": %d,\n\
+    \  \"lambda\": %.4f,\n\
+    \  \"classes\": %d,\n\
+    \  \"challenges\": %d,\n\
+    \  \"models\": {\n"
+    cfg.a_seed
+    (Search.algo_to_string cfg.a_algo)
+    cfg.a_budget cfg.a_max_len cfg.a_lambda cfg.a_classes r.r_challenges;
+  List.iteri
+    (fun i f ->
+      Printf.bprintf b "    %S: %s%s\n" f.mf_kind (json_front f)
+        (if i = List.length r.r_fronts - 1 then "" else ","))
+    r.r_fronts;
+  Buffer.add_string b "  }\n}\n";
+  Buffer.contents b
+
+(** Two reports are bit-identical — the via-serve acceptance check. *)
+let reports_identical (a : report) (b : report) : bool =
+  Stdlib.compare a b = 0

@@ -1,0 +1,56 @@
+(** Cost-priced, classifier-in-the-loop fitness: a candidate sequence is
+    scored by the evasion rate it achieves over a fixed challenge set,
+    tie-broken by the classifier's margin gap, and charged [lambda] per
+    unit of abstract-cost multiplier above 1 (DESIGN.md §14). *)
+
+(** A held-out program with its label, seeded input vectors, baseline
+    observations and baseline abstract cost. *)
+type challenge = {
+  ch_module : Yali_ir.Irmod.t;
+  ch_label : int;
+  ch_inputs : int64 list array;
+  ch_base : (int64 list * float list * string) array;
+  ch_base_cost : float;
+}
+
+(** Tv-style seeded vectors: vector [i] is derived from [split_ix rng i]. *)
+val inputs_for :
+  Yali_util.Rng.t -> vectors:int -> len:int -> int64 list array
+
+(** Prepare a challenge: run the baseline on its seeded vectors, record
+    observations and mean cost.  [Error] when the baseline itself traps or
+    runs out of fuel. *)
+val challenge :
+  ?fuel:int ->
+  ?vectors:int ->
+  Yali_util.Rng.t ->
+  label:int ->
+  Yali_ir.Irmod.t ->
+  (challenge, string) result
+
+type eval = {
+  e_seq : Seqspace.seq;
+  e_evasion : float;  (** fraction of challenges misclassified *)
+  e_cost : float;  (** mean cost multiplier vs the baselines *)
+  e_gap : float;  (** mean normalised margin gap (best rival − true) *)
+  e_fitness : float;
+}
+
+(** The sentinel for behaviour-breaking candidates: [e_fitness] is
+    [neg_infinity], [e_cost] is [infinity] (never on a front). *)
+val rejected : Seqspace.seq -> eval
+
+(** Score one sequence: challenge [i] is transformed under
+    [split_ix rng i], re-run against its baseline observations (any
+    divergence rejects the whole candidate), cost-priced against the
+    baseline cost, and pushed through [oracle] for per-class scores.
+    Pure in (rng state, seq) — safe to fan out over
+    {!Yali_exec.Pool} with pre-derived streams. *)
+val evaluate :
+  oracle:(Yali_ir.Irmod.t -> float array) ->
+  lambda:float ->
+  fuel:int ->
+  challenge array ->
+  Yali_util.Rng.t ->
+  Seqspace.seq ->
+  eval

@@ -1,0 +1,64 @@
+(** The evasion-vs-cost Pareto front over every candidate a search
+    evaluated.
+
+    A point dominates another when it evades at least as much for at most
+    the cost (strictly better in one coordinate).  The front is reported
+    cost-ascending; by construction evasion is then strictly ascending too,
+    which is the well-formedness the [adapt/search-determinism] oracle and
+    the bench gate check. *)
+
+type point = {
+  p_cost : float;  (** mean cost multiplier (1.0 = the baseline) *)
+  p_evasion : float;  (** evasion rate in [0, 1] *)
+  p_fitness : float;
+  p_seq : string;  (** {!Seqspace.to_string} of the pass sequence *)
+}
+
+let point_of_eval (e : Fitness.eval) : point =
+  {
+    p_cost = e.Fitness.e_cost;
+    p_evasion = e.Fitness.e_evasion;
+    p_fitness = e.Fitness.e_fitness;
+    p_seq = Seqspace.to_string e.Fitness.e_seq;
+  }
+
+let front (evals : Fitness.eval list) : point list =
+  let pts =
+    List.filter_map
+      (fun (e : Fitness.eval) ->
+        if Float.is_finite e.e_cost then Some (point_of_eval e) else None)
+      evals
+  in
+  (* cost ascending, then evasion descending, then the printed sequence as
+     a deterministic tiebreak independent of evaluation order *)
+  let sorted =
+    List.sort
+      (fun a b ->
+        match compare a.p_cost b.p_cost with
+        | 0 -> (
+            match compare b.p_evasion a.p_evasion with
+            | 0 -> compare a.p_seq b.p_seq
+            | c -> c)
+        | c -> c)
+      pts
+  in
+  let rec keep best acc = function
+    | [] -> List.rev acc
+    | p :: rest ->
+        if p.p_evasion > best then keep p.p_evasion (p :: acc) rest
+        else keep best acc rest
+  in
+  keep neg_infinity [] sorted
+
+let well_formed (f : point list) : bool =
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+        a.p_cost < b.p_cost && a.p_evasion < b.p_evasion && go rest
+    | _ -> true
+  in
+  List.for_all
+    (fun p ->
+      Float.is_finite p.p_cost && p.p_cost > 0.0 && p.p_evasion >= 0.0
+      && p.p_evasion <= 1.0)
+    f
+  && go f

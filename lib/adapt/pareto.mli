@@ -1,0 +1,21 @@
+(** The evasion-vs-cost Pareto front over every evaluated candidate. *)
+
+type point = {
+  p_cost : float;  (** mean cost multiplier (1.0 = the baseline) *)
+  p_evasion : float;  (** evasion rate in [0, 1] *)
+  p_fitness : float;
+  p_seq : string;  (** {!Seqspace.to_string} of the pass sequence *)
+}
+
+val point_of_eval : Fitness.eval -> point
+
+(** The non-dominated subset, cost-ascending (rejected candidates with
+    infinite cost never appear).  Deterministic in the multiset of evals:
+    ties are broken by the printed sequence, not list order. *)
+val front : Fitness.eval list -> point list
+
+(** Costs strictly ascending, evasions strictly ascending, every point
+    finite with evasion in [0, 1] — i.e. no dominated or duplicate
+    points.  Holds for every {!front} result; checked by the
+    [adapt/search-determinism] oracle. *)
+val well_formed : point list -> bool

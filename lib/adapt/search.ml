@@ -1,0 +1,152 @@
+(** The four search strategies of {!Yali_obfuscation.Strategies}, ported
+    from source-rewrite space to {!Seqspace} — random search, hill
+    climbing with restarts, multi-chain MCMC, and a genetic algorithm —
+    with the classifier-in-the-loop fitness of {!Fitness} instead of the
+    histogram-distance proxy.
+
+    Every strategy proposes candidates {e sequentially} on the calling
+    domain and evaluates each round's batch through
+    {!Yali_exec.Pool.parallel_array_map_rng}, which pre-derives one rng
+    per candidate by index — so the whole search (and therefore the
+    Pareto front) is bit-identical at any [--jobs]. *)
+
+module Rng = Yali_util.Rng
+module Pool = Yali_exec.Pool
+
+type algo = Rs | Hill | Mcmc | Ga
+
+let all = [ Rs; Hill; Mcmc; Ga ]
+
+let algo_to_string = function
+  | Rs -> "rs"
+  | Hill -> "hill"
+  | Mcmc -> "mcmc"
+  | Ga -> "ga"
+
+let algo_of_string = function
+  | "rs" -> Some Rs
+  | "hill" -> Some Hill
+  | "mcmc" -> Some Mcmc
+  | "ga" -> Some Ga
+  | _ -> None
+
+type outcome = {
+  o_base : Fitness.eval;  (** the empty sequence (the passive evader) *)
+  o_best : Fitness.eval;
+  o_evals : Fitness.eval list;  (** every evaluation, in proposal order *)
+}
+
+let better (a : Fitness.eval) (b : Fitness.eval) : Fitness.eval =
+  if b.Fitness.e_fitness > a.Fitness.e_fitness then b else a
+
+(* mcmc acceptance temperature, on the fitness scale (evasion in [0,1]) *)
+let temperature = 0.25
+
+let run (algo : algo) ~(budget : int) ~(batch : int) ~(max_len : int)
+    (rng : Rng.t) (eval_fn : Rng.t -> Seqspace.seq -> Fitness.eval) : outcome
+    =
+  let batch = max 1 batch in
+  let eval_batch (seqs : Seqspace.seq array) : Fitness.eval array =
+    Pool.parallel_array_map_rng rng (fun r s -> eval_fn r s) seqs
+  in
+  let base = (eval_batch [| [] |]).(0) in
+  let best = ref base in
+  let used = ref 1 in
+  let batches = ref [ [| base |] ] in
+  let round (seqs : Seqspace.seq array) : Fitness.eval array =
+    let es = eval_batch seqs in
+    Array.iter (fun e -> best := better !best e) es;
+    batches := es :: !batches;
+    used := !used + Array.length seqs;
+    es
+  in
+  (match algo with
+  | Rs ->
+      while !used < budget do
+        let k = min batch (budget - !used) in
+        ignore
+          (round (Array.init k (fun _ -> Seqspace.random_seq rng ~max_len)))
+      done
+  | Hill ->
+      (* steepest-ascent over the mutation neighbourhood; a stalled climb
+         restarts from the identity (rng has advanced, so the restart
+         explores a different path) *)
+      let cur = ref base in
+      while !used < budget do
+        let k = min batch (budget - !used) in
+        let es =
+          round
+            (Array.init k (fun _ ->
+                 Seqspace.mutate rng ~max_len (!cur).Fitness.e_seq))
+        in
+        let round_best = Array.fold_left better es.(0) es in
+        if round_best.Fitness.e_fitness > (!cur).Fitness.e_fitness then
+          cur := round_best
+        else cur := base
+      done
+  | Mcmc ->
+      (* [batch] independent chains advancing in lockstep: each round every
+         chain proposes one mutation, the proposals are evaluated as one
+         parallel batch, and Metropolis acceptance runs sequentially with
+         one uniform per chain *)
+      let k0 = min batch (max 1 (budget - !used)) in
+      let states =
+        ref (round (Array.init k0 (fun _ -> Seqspace.random_seq rng ~max_len)))
+      in
+      while !used < budget do
+        let states' = !states in
+        let k = min (Array.length states') (budget - !used) in
+        let proposals =
+          Array.init k (fun i ->
+              Seqspace.mutate rng ~max_len states'.(i).Fitness.e_seq)
+        in
+        let es = round proposals in
+        Array.iteri
+          (fun i (e : Fitness.eval) ->
+            let cur = states'.(i) in
+            let u = Rng.float rng in
+            let accept =
+              e.e_fitness >= cur.Fitness.e_fitness
+              || Float.is_finite e.e_fitness
+                 && u
+                    < exp ((e.e_fitness -. cur.Fitness.e_fitness) /. temperature)
+            in
+            if accept then states'.(i) <- e)
+          es
+      done
+  | Ga ->
+      (* tournament selection, one-point crossover, point mutation — the
+         [Strategies.ga] recipe over step sequences *)
+      let take n l = List.filteri (fun i _ -> i < n) l in
+      let drop n l = List.filteri (fun i _ -> i >= n) l in
+      let pop =
+        ref (Array.init batch (fun _ -> Seqspace.random_seq rng ~max_len))
+      in
+      while !used < budget do
+        let k = min (Array.length !pop) (budget - !used) in
+        let es = round (Array.sub !pop 0 k) in
+        let tournament () =
+          let a = es.(Rng.int rng (Array.length es)) in
+          let b = es.(Rng.int rng (Array.length es)) in
+          if a.Fitness.e_fitness >= b.Fitness.e_fitness then a.Fitness.e_seq
+          else b.Fitness.e_seq
+        in
+        let crossover a b =
+          if a = [] then b
+          else if b = [] then a
+          else
+            let ka = Rng.int rng (List.length a + 1) in
+            let kb = Rng.int rng (List.length b + 1) in
+            take max_len (take ka a @ drop kb b)
+        in
+        pop :=
+          Array.init batch (fun _ ->
+              let child = crossover (tournament ()) (tournament ()) in
+              if Rng.bernoulli rng 0.5 then Seqspace.mutate rng ~max_len child
+              else child)
+      done);
+  {
+    o_base = base;
+    o_best = !best;
+    o_evals = List.concat_map Array.to_list (List.rev !batches);
+  }

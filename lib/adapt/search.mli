@@ -1,0 +1,33 @@
+(** Sequence-space search with the classifier in the loop: the rs / hill /
+    mcmc / ga strategies of {!Yali_obfuscation.Strategies}, ported to
+    {!Seqspace} under the cost-priced {!Fitness}.
+
+    Proposals are drawn sequentially on the calling domain; each round's
+    batch is evaluated through {!Yali_exec.Pool.parallel_array_map_rng}
+    (per-candidate rngs pre-derived by index), so the search result is
+    bit-identical at any [--jobs]. *)
+
+type algo = Rs | Hill | Mcmc | Ga
+
+val all : algo list
+val algo_to_string : algo -> string
+val algo_of_string : string -> algo option
+
+type outcome = {
+  o_base : Fitness.eval;  (** the empty sequence (the passive evader) *)
+  o_best : Fitness.eval;
+  o_evals : Fitness.eval list;  (** every evaluation, in proposal order *)
+}
+
+(** Run the strategy until [budget] evaluations are spent (the empty
+    sequence is always evaluated first and counts).  [batch] sets the
+    parallel evaluation width — and the chain count for [Mcmc], the
+    population for [Ga]. *)
+val run :
+  algo ->
+  budget:int ->
+  batch:int ->
+  max_len:int ->
+  Yali_util.Rng.t ->
+  (Yali_util.Rng.t -> Seqspace.seq -> Fitness.eval) ->
+  outcome

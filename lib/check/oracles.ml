@@ -472,22 +472,22 @@ let codec_roundtrip ((p : Yali_minic.Ast.program), (rng : Rng.t)) : bool =
 
 let gen_wire_case (rng : Rng.t) =
   let blob n = String.init (Rng.int rng n) (fun _ -> Char.chr (Rng.int rng 256)) in
+  let fmt () =
+    match Rng.int rng 3 with
+    | 0 -> Wire.Binary
+    | 1 -> Wire.Minic
+    | _ -> Wire.Textual
+  in
   let rq =
-    match Rng.int rng 4 with
-    | 0 ->
-        let fmt =
-          match Rng.int rng 3 with
-          | 0 -> Wire.Binary
-          | 1 -> Wire.Minic
-          | _ -> Wire.Textual
-        in
-        Wire.Classify { fmt; blob = blob 64 }
+    match Rng.int rng 5 with
+    | 0 -> Wire.Classify { fmt = fmt (); blob = blob 64 }
     | 1 -> Wire.Ping
     | 2 -> Wire.Stats
-    | _ -> Wire.Shutdown
+    | 3 -> Wire.Shutdown
+    | _ -> Wire.Margins { fmt = fmt (); blob = blob 64 }
   in
   let rs =
-    match Rng.int rng 6 with
+    match Rng.int rng 7 with
     | 0 ->
         Wire.Class
           {
@@ -499,7 +499,18 @@ let gen_wire_case (rng : Rng.t) =
     | 2 -> Wire.Busy
     | 3 -> Wire.Pong
     | 4 -> Wire.Stats_json (blob 128)
-    | _ -> Wire.Bye
+    | 5 -> Wire.Bye
+    | _ ->
+        (* scores include negatives and non-round values so the round trip
+           exercises real f64 bit patterns *)
+        Wire.Margins_r
+          {
+            scores =
+              Array.init (Rng.int rng 8) (fun _ ->
+                  (2.0 *. Rng.float rng) -. 1.0);
+            queue_us = Rng.int rng 1_000_000;
+            batch = 1 + Rng.int rng 64;
+          }
   in
   (rq, rs)
 
@@ -509,14 +520,16 @@ let show_wire_case (rq, rs) =
     | Wire.Classify _ -> 1
     | Wire.Ping -> 2
     | Wire.Stats -> 3
-    | Wire.Shutdown -> 4)
+    | Wire.Shutdown -> 4
+    | Wire.Margins _ -> 5)
     (match rs with
     | Wire.Class _ -> 0
     | Wire.Error _ -> 1
     | Wire.Busy -> 2
     | Wire.Pong -> 3
     | Wire.Stats_json _ -> 4
-    | Wire.Bye -> 5)
+    | Wire.Bye -> 5
+    | Wire.Margins_r _ -> 6)
 
 let wire_roundtrip (rq, rs) =
   Wire.decode_request (Wire.encode_request rq) = rq
@@ -673,4 +686,65 @@ let corpus =
       gen_dataset fblock_fit_stream_blocking;
   ]
 
-let all = kernels @ metrics @ exec @ engines @ serve @ corpus
+(* -- adapt: the classifier-in-the-loop evader search (DESIGN.md §14) -------- *)
+
+module Adapt_driver = Yali_adapt.Driver
+module Adapt_search = Yali_adapt.Search
+module Adapt_pareto = Yali_adapt.Pareto
+
+let gen_adapt_case (rng : Rng.t) =
+  let algo =
+    List.nth Adapt_search.all (Rng.int rng (List.length Adapt_search.all))
+  in
+  (Rng.int rng 100_000, algo)
+
+let show_adapt_case (seed, algo) =
+  Printf.sprintf "adapt seed=%d algo=%s" seed
+    (Adapt_search.algo_to_string algo)
+
+(* Same seed at any --jobs: identical pass sequences, identical Pareto
+   front (structural identity of the whole report), and the front is
+   well-formed — cost strictly ascending, no dominated points.  The config
+   is deliberately tiny; the property is scheduling-independence, not
+   search quality. *)
+let adapt_search_deterministic ((seed, algo) : int * Adapt_search.algo) : bool
+    =
+  let cfg =
+    {
+      Adapt_driver.default with
+      a_seed = seed;
+      a_algo = algo;
+      a_classes = 2;
+      a_train_per_class = 3;
+      a_challenges_per_class = 1;
+      a_models = [ "lr" ];
+      a_budget = 10;
+      a_batch = 4;
+      a_max_len = 3;
+      a_vectors = 1;
+    }
+  in
+  let run_at jobs =
+    Yali_exec.Pool.with_jobs jobs (fun () -> Adapt_driver.run cfg)
+  in
+  let r1 = run_at 1 in
+  let r3 = run_at 3 in
+  Adapt_driver.reports_identical r1 r3
+  && List.for_all
+       (fun (f : Adapt_driver.model_front) ->
+         Adapt_pareto.well_formed f.mf_front
+         && f.mf_front <> []
+         && List.exists
+              (fun (p : Adapt_pareto.point) -> p.Adapt_pareto.p_cost = 1.0)
+              f.mf_front
+            (* the identity evader anchors every front *)
+         )
+       r1.Adapt_driver.r_fronts
+
+let adapt =
+  [
+    Prop.make ~name:"adapt/search-determinism" ~show:show_adapt_case
+      ~max_count:6 gen_adapt_case adapt_search_deterministic;
+  ]
+
+let all = kernels @ metrics @ exec @ engines @ serve @ corpus @ adapt

@@ -40,5 +40,12 @@ val engines : Prop.t list
 val serve : Prop.t list
 val corpus : Prop.t list
 
-(** All six families, in the order above. *)
+(** {!Yali_adapt}: the [adapt/search-determinism] oracle — the same seed
+    at any [--jobs] must yield an identical report (pass sequences and
+    Pareto front, structural identity), and every front must be
+    well-formed (cost-sorted, no dominated points, anchored by the
+    identity evader at cost 1.0). *)
+val adapt : Prop.t list
+
+(** All seven families, in the order above. *)
 val all : Prop.t list

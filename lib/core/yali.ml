@@ -28,6 +28,9 @@
       model registry, micro-batching daemon ([yali serve])
     - {!Corpus}: paper-scale corpora — streaming sharded generation,
       out-of-core feature files, minibatch training ([yali corpus])
+    - {!Adapt}: adaptive evaders — classifier-in-the-loop search over
+      obfuscation-pass sequences with cost-priced Pareto fronts
+      ([yali adapt])
 
     {1 The games}
     - {!Games}: Definitions 2.1–2.4, the four games, the arena. *)
@@ -47,6 +50,7 @@ module Fuzz = Yali_fuzz
 module Check = Yali_check
 module Serve = Yali_serve
 module Corpus = Yali_corpus
+module Adapt = Yali_adapt
 module Vm = Yali_vm.Vm
 module Native = Yali_native.Native
 module Execution = Yali_vm.Execution

@@ -23,7 +23,9 @@ let train ?(k = 5) ~(n_classes : int) (x : Fmat.t) (ys : int array) : t =
   let norms = Array.init x.Fmat.n (Fmat.sq_norm_row x) in
   { k; scaler; x; norms; ys; n_classes }
 
-let predict (t : t) (q : float array) : int =
+(* neighbour vote counts of a (raw, unstandardised) query — the shared
+   kernel behind [predict] and [margins] *)
+let votes (t : t) (q : float array) : int array =
   let q = Features.transform t.scaler q in
   let qn =
     let acc = ref 0.0 in
@@ -76,9 +78,18 @@ let predict (t : t) (q : float array) : int =
     let y = t.ys.(bi.(q)) in
     votes.(y) <- votes.(y) + 1
   done;
+  votes
+
+let predict (t : t) (q : float array) : int =
+  let votes = votes t q in
   let best = ref 0 in
   Array.iteri (fun c v -> if v > votes.(!best) then best := c) votes;
   !best
+
+(** Per-class neighbour vote counts as floats; the first-maximum index is
+    exactly {!predict}'s decision (ties break to the lowest class in both). *)
+let margins (t : t) (q : float array) : float array =
+  Array.map float_of_int (votes t q)
 
 (** Classify every row of a flat matrix (each query's sweep parallelises
     internally). *)

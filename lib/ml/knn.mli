@@ -22,6 +22,10 @@ val train : ?k:int -> n_classes:int -> Fmat.t -> int array -> t
 
 val predict : t -> float array -> int
 
+(** Per-class neighbour vote counts as floats; the first-maximum index is
+    exactly {!predict}'s decision. *)
+val margins : t -> float array -> float array
+
 (** Classify every row of a flat matrix. *)
 val predict_batch : t -> Fmat.t -> int array
 

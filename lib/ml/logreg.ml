@@ -192,6 +192,13 @@ let predict (t : t) (x : float array) : int =
   let x = Features.transform t.scaler x in
   argmax (logits t.weights t.bias x)
 
+(** Per-class scores (raw logits).  Same standardisation and accumulation
+    order as {!predict}, so the first-maximum of the returned vector IS the
+    prediction. *)
+let margins (t : t) (x : float array) : float array =
+  let x = Features.transform t.scaler x in
+  logits t.weights t.bias x
+
 (** Classify every row: one cache-tiled [matmul_bias] computes the whole
     batch's logits with the same per-sample summation order as {!predict}. *)
 let predict_batch (t : t) (x : Fmat.t) : int array =

@@ -32,6 +32,10 @@ val weights : t -> Matrix.t
 
 val predict : t -> float array -> int
 
+(** Per-class raw logits; the first-maximum index is exactly {!predict}'s
+    decision (same standardisation and accumulation order). *)
+val margins : t -> float array -> float array
+
 (** Classify every row of a flat matrix via one cache-tiled matmul; class
     decisions are identical to mapping {!predict} over the rows. *)
 val predict_batch : t -> Fmat.t -> int array

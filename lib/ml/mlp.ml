@@ -94,6 +94,11 @@ let train_stream ?(params = default_params) ?block_rows (rng : Rng.t)
 let predict (t : t) (x : float array) : int =
   Nn.predict t.net (Features.transform t.scaler x)
 
+(** Per-class raw logits; the first-maximum index is exactly {!predict}'s
+    decision (same standardisation, same forward pass). *)
+let margins (t : t) (x : float array) : float array =
+  Nn.logits t.net (Features.transform t.scaler x)
+
 (** Classify every row: standardise a copy in place, then run the batched
     dense path of {!Nn.predict_batch}. *)
 let predict_batch (t : t) (x : Fmat.t) : int array =

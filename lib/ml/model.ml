@@ -172,6 +172,26 @@ let train_snapshot_stream ?block_rows name rng ~n_classes
       Some (S_rf (Random_forest.train_stream ?block_rows rng ~n_classes src ys))
   | _ -> None
 
+(** First-maximum index — the arena-wide argmax convention (every model's
+    [predict] scans scores left to right and displaces only on a strictly
+    greater value, so ties break to the lowest class). *)
+let argmax (v : float array) : int =
+  let best = ref 0 in
+  Array.iteri (fun i x -> if x > v.(!best) then best := i) v;
+  !best
+
+(** Per-class scores of a snapshot — raw logits for lr/mlp, one-vs-rest
+    scores for svm, vote counts for knn/rf.  The contract shared by every
+    kind: [argmax (margins s v) = (restore s).predict v], bit for bit, and
+    a {!save}/{!load} round trip preserves the scores exactly.  The adaptive
+    evaders ({!Yali_adapt}) optimise against these scores. *)
+let margins = function
+  | S_lr m -> Logreg.margins m
+  | S_svm m -> Svm.margins m
+  | S_knn m -> Knn.margins m
+  | S_mlp m -> Mlp.margins m
+  | S_rf m -> Random_forest.margins m
+
 let restore = function
   | S_lr m ->
       {

@@ -104,6 +104,17 @@ val train_snapshot_stream :
     {!trained} returned by the original [ftrain]. *)
 val restore : snapshot -> trained
 
+(** First-maximum index of a score vector — the argmax convention shared by
+    every model's [predict] (ties break to the lowest class). *)
+val argmax : float array -> int
+
+(** Per-class scores of a snapshot on one feature vector — raw logits for
+    lr/mlp, one-vs-rest scores for svm, vote counts for knn/rf.  For every
+    kind, [argmax (margins s v) = (restore s).predict v] bit for bit, and
+    the scores survive a {!save}/{!load} round trip exactly.  This is the
+    interface the adaptive evaders ({!Yali_adapt}) optimise against. *)
+val margins : snapshot -> float array -> float array
+
 (** Serialise to the versioned binary form (magic ["YMDL"], version 1,
     kind tag, weight payload — DESIGN.md §11). *)
 val save : snapshot -> string

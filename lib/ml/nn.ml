@@ -222,8 +222,12 @@ let train_step ~(lr : float) ~(rng : Rng.t) (net : t) (x : float array)
   let dx = backward_all ~lr net dlogits in
   (loss, dx)
 
+(** Raw output-layer activations of one inference pass (no softmax). *)
+let logits (net : t) (x : float array) : float array =
+  forward_all ~train:false net x
+
 let predict (net : t) (x : float array) : int =
-  let logits = forward_all ~train:false net x in
+  let logits = logits net x in
   let best = ref 0 in
   Array.iteri (fun i v -> if v > logits.(!best) then best := i) logits;
   !best

@@ -38,6 +38,10 @@ val softmax : float array -> float array
 val train_step :
   lr:float -> rng:Yali_util.Rng.t -> t -> float array -> int -> float * float array
 
+(** Raw output-layer activations of one inference pass (no softmax); the
+    first-maximum index is exactly {!predict}'s decision. *)
+val logits : t -> float array -> float array
+
 val predict : t -> float array -> int
 
 (** Classify every row of a flat matrix.  Dense-only networks run the batch

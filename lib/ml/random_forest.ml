@@ -161,16 +161,27 @@ let train_stream ?(params = default_params) ?block_rows (rng : Rng.t)
     { trees; n_classes }
   end
 
-let predict (f : t) (x : float array) : int =
+(* per-class tree vote counts — the shared kernel behind [predict] and
+   [margins] *)
+let votes (f : t) (x : float array) : int array =
   let votes = Array.make f.n_classes 0 in
   Array.iter
     (fun t ->
       let c = Decision_tree.predict t x in
       votes.(c) <- votes.(c) + 1)
     f.trees;
+  votes
+
+let predict (f : t) (x : float array) : int =
+  let votes = votes f x in
   let best = ref 0 in
   Array.iteri (fun c k -> if k > votes.(!best) then best := c) votes;
   !best
+
+(** Per-class tree vote counts as floats; the first-maximum index is
+    exactly {!predict}'s decision (ties break to the lowest class in both). *)
+let margins (f : t) (x : float array) : float array =
+  Array.map float_of_int (votes f x)
 
 (** Vote every row of a flat matrix; rows fan out over the pool (each task
     writes only its own slot, so the output is the same at any [jobs]). *)

@@ -33,6 +33,10 @@ val train_stream :
 
 val predict : t -> float array -> int
 
+(** Per-class tree vote counts as floats; the first-maximum index is
+    exactly {!predict}'s decision. *)
+val margins : t -> float array -> float array
+
 (** Classify every row of a flat matrix; rows fan out over the pool, each
     task writes only its own slot (deterministic at any [jobs]). *)
 val predict_batch : t -> Fmat.t -> int array

@@ -173,6 +173,12 @@ let predict (t : t) (x : float array) : int =
   done;
   !best
 
+(** Per-class one-vs-rest scores; the first-maximum index is exactly
+    {!predict}'s decision (same augmentation and accumulation order). *)
+let margins (t : t) (x : float array) : float array =
+  let x = augment (Features.transform t.scaler x) in
+  Array.init t.n_classes (fun c -> score_row t.weights c x)
+
 (** Classify every row: one cache-tiled matmul scores the whole batch. *)
 let predict_batch (t : t) (x : Fmat.t) : int array =
   let x = Fmat.copy x in

@@ -28,6 +28,10 @@ val train_stream :
 
 val predict : t -> float array -> int
 
+(** Per-class one-vs-rest scores; the first-maximum index is exactly
+    {!predict}'s decision. *)
+val margins : t -> float array -> float array
+
 (** Classify every row of a flat matrix via one cache-tiled matmul. *)
 val predict_batch : t -> Fmat.t -> int array
 

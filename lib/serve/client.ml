@@ -24,6 +24,9 @@ let classify t m =
 let classify_source t src =
   request t (Wire.Classify { fmt = Wire.Minic; blob = src })
 
+let margins t m =
+  request t (Wire.Margins { fmt = Wire.Binary; blob = Codec.encode_module m })
+
 let ping t = match request t Wire.Ping with Wire.Pong -> true | _ -> false
 
 let stats t =

@@ -20,6 +20,10 @@ val classify : t -> Yali_ir.Irmod.t -> Wire.response
 (** Classify mini-C source text (compiled server-side). *)
 val classify_source : t -> string -> Wire.response
 
+(** Ask for the per-class score vector of an IR module
+    ({!Yali_ml.Model.margins} server-side; f64 bit-exact over the wire). *)
+val margins : t -> Yali_ir.Irmod.t -> Wire.response
+
 val ping : t -> bool
 
 (** The daemon's {!Server.stats_json}. *)

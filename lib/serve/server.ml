@@ -102,13 +102,23 @@ type conn = {
   mutable alive : bool;
 }
 
-type pending = { origin : conn; m : Yali_ir.Irmod.t; arrival : float }
+(** What a queued request asked for: the class decision alone, or the full
+    per-class score vector (the adaptive evaders' oracle). *)
+type want = Want_class | Want_margins
+
+type pending = {
+  origin : conn;
+  m : Yali_ir.Irmod.t;
+  arrival : float;
+  want : want;
+}
 
 type state = {
   cfg : config;
   embedding : Embedding.t;
   dim : int;
   trained : Yali_ml.Model.trained;
+  margins : float array -> float array;
   mutable conns : conn list;
   mutable queue : pending list;  (** newest first *)
   mutable queued : int;
@@ -143,28 +153,31 @@ let module_of_blob (fmt : Wire.payload_fmt) blob :
       try Ok (Yali_ir.Parser.parse_module blob)
       with e -> Error (Printexc.to_string e))
 
-let handle_request st conn = function
+let rec handle_request st conn = function
   | Wire.Ping -> send conn Wire.Pong
   | Wire.Stats -> send conn (Wire.Stats_json (stats_json ()))
   | Wire.Shutdown ->
       st.cfg.log "shutdown requested";
       send conn Wire.Bye;
       st.running <- false
-  | Wire.Classify { fmt; blob } -> (
-      if st.queued >= st.cfg.queue_cap then begin
-        counters.busy <- counters.busy + 1;
-        send conn Wire.Busy
-      end
-      else
-        match module_of_blob fmt blob with
-        | Error msg ->
-            counters.errors <- counters.errors + 1;
-            send conn (Wire.Error msg)
-        | Ok m ->
-            counters.requests <- counters.requests + 1;
-            st.queue <-
-              { origin = conn; m; arrival = Telemetry.clock () } :: st.queue;
-            st.queued <- st.queued + 1)
+  | Wire.Classify { fmt; blob } -> enqueue st conn Want_class fmt blob
+  | Wire.Margins { fmt; blob } -> enqueue st conn Want_margins fmt blob
+
+and enqueue st conn want fmt blob =
+  if st.queued >= st.cfg.queue_cap then begin
+    counters.busy <- counters.busy + 1;
+    send conn Wire.Busy
+  end
+  else
+    match module_of_blob fmt blob with
+    | Error msg ->
+        counters.errors <- counters.errors + 1;
+        send conn (Wire.Error msg)
+    | Ok m ->
+        counters.requests <- counters.requests + 1;
+        st.queue <-
+          { origin = conn; m; arrival = Telemetry.clock (); want } :: st.queue;
+        st.queued <- st.queued + 1
 
 let handle_frame st conn payload =
   match Wire.decode_request payload with
@@ -223,14 +236,22 @@ let dispatch st =
       Hashtbl.replace counters.batch_hist n
         (1 + Option.value ~default:0 (Hashtbl.find_opt counters.batch_hist n));
       List.iteri
-        (fun i ((p : pending), _) ->
+        (fun i ((p : pending), row) ->
           let queue_us =
             int_of_float ((now -. p.arrival) *. 1_000_000.0)
           in
           counters.served <- counters.served + 1;
           counters.waits_us <- queue_us :: counters.waits_us;
-          send p.origin
-            (Wire.Class { cls = classes.(i); queue_us; batch = n }))
+          match p.want with
+          | Want_class ->
+              send p.origin
+                (Wire.Class { cls = classes.(i); queue_us; batch = n })
+          | Want_margins ->
+              (* per-row margins over the same cached embedding the batch
+                 used — scores independent of batching by construction *)
+              send p.origin
+                (Wire.Margins_r
+                   { scores = st.margins row; queue_us; batch = n }))
         good
     end
   done
@@ -335,6 +356,7 @@ let run cfg =
                       embedding;
                       dim = entry.meta.dim;
                       trained;
+                      margins = Yali_ml.Model.margins entry.snapshot;
                       conns = [];
                       queue = [];
                       queued = 0;

@@ -150,7 +150,8 @@ let run cfg =
                         cfg.log ("traffic: error reply: " ^ msg);
                         incr errors;
                         advance f
-                    | Wire.Pong | Wire.Stats_json _ | Wire.Bye -> ())
+                    | Wire.Pong | Wire.Stats_json _ | Wire.Bye
+                    | Wire.Margins_r _ -> ())
                 | exception Yali_util.Bin.Corrupt msg ->
                     cfg.log ("traffic: corrupt reply: " ^ msg);
                     incr errors;

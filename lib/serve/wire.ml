@@ -7,6 +7,7 @@ type request =
   | Ping
   | Stats
   | Shutdown
+  | Margins of { fmt : payload_fmt; blob : string }
 
 type response =
   | Class of { cls : int; queue_us : int; batch : int }
@@ -15,6 +16,7 @@ type response =
   | Pong
   | Stats_json of string
   | Bye
+  | Margins_r of { scores : float array; queue_us : int; batch : int }
 
 let encode_request rq =
   let b = Buffer.create 64 in
@@ -25,7 +27,11 @@ let encode_request rq =
       Bin.w_str b blob
   | Ping -> Bin.w_u8 b 2
   | Stats -> Bin.w_u8 b 3
-  | Shutdown -> Bin.w_u8 b 4);
+  | Shutdown -> Bin.w_u8 b 4
+  | Margins { fmt; blob } ->
+      Bin.w_u8 b 5;
+      Bin.w_u8 b (match fmt with Binary -> 0 | Minic -> 1 | Textual -> 2);
+      Bin.w_str b blob);
   Buffer.contents b
 
 let decode_request payload =
@@ -44,6 +50,15 @@ let decode_request payload =
     | 2 -> Ping
     | 3 -> Stats
     | 4 -> Shutdown
+    | 5 ->
+        let fmt =
+          match Bin.r_u8 r with
+          | 0 -> Binary
+          | 1 -> Minic
+          | 2 -> Textual
+          | n -> Bin.fail r (Printf.sprintf "bad payload format %d" n)
+        in
+        Margins { fmt; blob = Bin.r_str r }
     | n -> Bin.fail r (Printf.sprintf "bad request opcode %d" n)
   in
   Bin.expect_end r;
@@ -65,7 +80,12 @@ let encode_response rs =
   | Stats_json j ->
       Bin.w_u8 b 4;
       Bin.w_str b j
-  | Bye -> Bin.w_u8 b 5);
+  | Bye -> Bin.w_u8 b 5
+  | Margins_r { scores; queue_us; batch } ->
+      Bin.w_u8 b 6;
+      Bin.w_floats b scores;
+      Bin.w_int b queue_us;
+      Bin.w_int b batch);
   Buffer.contents b
 
 let decode_response payload =
@@ -81,6 +101,10 @@ let decode_response payload =
     | 3 -> Pong
     | 4 -> Stats_json (Bin.r_str r)
     | 5 -> Bye
+    | 6 ->
+        let scores = Bin.r_floats r in
+        let queue_us = Bin.r_int r in
+        Margins_r { scores; queue_us; batch = Bin.r_int r }
     | n -> Bin.fail r (Printf.sprintf "bad response status %d" n)
   in
   Bin.expect_end r;

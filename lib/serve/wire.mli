@@ -18,6 +18,9 @@ type request =
   | Ping
   | Stats  (** ask for the telemetry JSON of {!Server} *)
   | Shutdown
+  | Margins of { fmt : payload_fmt; blob : string }
+      (** like {!Classify} but asks for the full per-class score vector
+          ({!Yali_ml.Model.margins}) — the adaptive evaders' oracle *)
 
 type response =
   | Class of {
@@ -30,6 +33,12 @@ type response =
   | Pong
   | Stats_json of string
   | Bye  (** acknowledges {!Shutdown}; the daemon exits after sending *)
+  | Margins_r of {
+      scores : float array;
+          (** per-class scores, f64 bit-exact over the wire *)
+      queue_us : int;
+      batch : int;
+    }
 
 val encode_request : request -> string
 

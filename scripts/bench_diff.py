@@ -29,6 +29,10 @@ DIRECTIONS = [
     ("throughput", +1),
     ("speedup", +1),
     ("accuracy", +1),
+    ("evasion", +1),
+    ("evasion_rate", +1),
+    ("front_points", +1),
+    ("cost_multiplier", -1),
     ("_seconds", -1),
     ("seconds", -1),
     ("_ms", -1),

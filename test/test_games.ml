@@ -90,6 +90,43 @@ let test_arena_graph_model_runs () =
   Alcotest.(check bool) "dgcnn produced a valid accuracy" true
     (r.accuracy >= 0.0 && r.accuracy <= 1.0)
 
+let test_game1_grid_regression () =
+  (* a pinned evader×model corner of the Game 1 arena grid (fig. 7's
+     shape): every cell is a pure function of its seeds, so these exact
+     accuracies are a regression net over the whole train/embed/play
+     pipeline — including the adaptive evaders' shared baselines.  12 test
+     challenges, so every accuracy is a twelfth. *)
+  let split =
+    Yali.Dataset.Poj.make (Rng.make 21) ~n_classes:4 ~train_per_class:8
+      ~test_per_class:3
+  in
+  let evader name =
+    match Yali.Obfuscation.Evader.find name with
+    | Some e -> e
+    | None -> Alcotest.failf "no evader %s" name
+  in
+  let model name = Option.get (Yali.Ml.Model.find_flat name) in
+  List.iter
+    (fun (ename, mname, twelfths) ->
+      let r =
+        G.Arena.run_flat (Rng.make 6) ~n_classes:4
+          Yali.Embeddings.Embedding.histogram (model mname)
+          (G.Game.game1 (evader ename))
+          split
+      in
+      Alcotest.(check int) (ename ^ "/" ^ mname ^ " challenge count") 12
+        r.n_test;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s/%s pinned at %d/12 (got %.6f)" ename mname
+           twelfths r.accuracy)
+        true
+        (approx r.accuracy (float_of_int twelfths /. 12.0)))
+    [
+      ("sub", "rf", 7); ("sub", "knn", 6); ("sub", "lr", 10);
+      ("fla", "rf", 8); ("fla", "knn", 8); ("fla", "lr", 9);
+      ("bcf", "rf", 7); ("bcf", "knn", 2); ("bcf", "lr", 3);
+    ]
+
 (* -- obfuscator discovery (RQ7) ------------------------------------------- *)
 
 let test_discover_ten_transformers () =
@@ -182,6 +219,7 @@ let suite =
     Alcotest.test_case "arena game0 beats random" `Slow test_arena_game0_beats_random;
     Alcotest.test_case "arena game2 recovers" `Slow test_arena_game2_recovers;
     Alcotest.test_case "arena graph model" `Slow test_arena_graph_model_runs;
+    Alcotest.test_case "game1 grid regression" `Slow test_game1_grid_regression;
     Alcotest.test_case "discover: ten transformers" `Quick
       test_discover_ten_transformers;
     Alcotest.test_case "discover beats random" `Slow

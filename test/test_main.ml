@@ -28,4 +28,5 @@ let () =
       ("integration", Test_integration.suite);
       ("serve", Test_serve.suite);
       ("corpus", Test_corpus.suite);
+      ("adapt", Test_adapt.suite);
     ]

@@ -215,6 +215,57 @@ let test_decision_tree_pure_leaf () =
   Alcotest.(check int) "right" 1 (Ml.Decision_tree.predict t [| 20.0 |]);
   Alcotest.(check bool) "small tree" true (Ml.Decision_tree.node_count t.root <= 3)
 
+(* -- snapshot margins ------------------------------------------------------- *)
+
+let test_margins_agree_with_predict () =
+  (* argmax over Model.margins must reproduce predict bit for bit, on both
+     training rows and novel points, for every snapshot kind *)
+  let xs, ys = blobs (Rng.make 31) ~n_classes:3 ~n_per_class:25 ~d:6 in
+  let fx = Ml.Fmat.of_rows xs in
+  let novel, _ = blobs (Rng.make 207) ~n_classes:3 ~n_per_class:10 ~d:6 in
+  List.iter
+    (fun kind ->
+      let s =
+        Option.get (Ml.Model.train_snapshot kind (Rng.make 13) ~n_classes:3 fx ys)
+      in
+      let t = Ml.Model.restore s in
+      Array.iter
+        (fun v ->
+          let m = Ml.Model.margins s v in
+          Alcotest.(check int) (kind ^ ": one score per class") 3
+            (Array.length m);
+          Alcotest.(check bool) (kind ^ ": scores finite") true
+            (Array.for_all Float.is_finite m);
+          Alcotest.(check int)
+            (kind ^ ": argmax margins = predict")
+            (t.Ml.Model.predict v) (Ml.Model.argmax m))
+        (Array.append xs novel))
+    Ml.Model.snapshot_kinds
+
+let test_margins_survive_save_load () =
+  let xs, ys = blobs (Rng.make 41) ~n_classes:2 ~n_per_class:20 ~d:4 in
+  let fx = Ml.Fmat.of_rows xs in
+  List.iter
+    (fun kind ->
+      let s =
+        Option.get (Ml.Model.train_snapshot kind (Rng.make 19) ~n_classes:2 fx ys)
+      in
+      let s' = Ml.Model.load (Ml.Model.save s) in
+      Array.iter
+        (fun v ->
+          Alcotest.(check bool)
+            (kind ^ ": margins bit-identical after save/load")
+            true
+            (Ml.Model.margins s v = Ml.Model.margins s' v))
+        xs)
+    Ml.Model.snapshot_kinds
+
+let test_argmax_first_maximum () =
+  Alcotest.(check int) "plain max" 2 (Ml.Model.argmax [| 0.; 1.; 5.; 3. |]);
+  Alcotest.(check int) "tie breaks to the lowest index" 1
+    (Ml.Model.argmax [| 0.; 4.; 4.; 4. |]);
+  Alcotest.(check int) "singleton" 0 (Ml.Model.argmax [| -7.0 |])
+
 let test_model_registry () =
   Alcotest.(check int) "six flat models (paper §3.2)" 6
     (List.length Ml.Model.all_flat);
@@ -296,6 +347,12 @@ let suite =
         test_knn_exact_on_training_points;
       Alcotest.test_case "decision tree pure leaves" `Quick
         test_decision_tree_pure_leaf;
+      Alcotest.test_case "margins agree with predict" `Quick
+        test_margins_agree_with_predict;
+      Alcotest.test_case "margins survive save/load" `Quick
+        test_margins_survive_save_load;
+      Alcotest.test_case "argmax first-maximum convention" `Quick
+        test_argmax_first_maximum;
       Alcotest.test_case "model registry" `Quick test_model_registry;
       Alcotest.test_case "dgcnn learns" `Slow test_dgcnn_learns_graph_sizes;
       Alcotest.test_case "dgcnn empty graph" `Quick test_dgcnn_handles_empty_graph;

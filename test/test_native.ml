@@ -402,9 +402,14 @@ let test_engine_selection () =
     (Execution.engine_of_string "jit" = None)
 
 (* with_engine is domain-local: pool workers keep the process default even
-   while the submitting domain holds an override. *)
+   while the submitting domain holds an override.  The submitting domain
+   participates in the batch as worker 0 and keeps its own override there
+   (same domain, same DLS cell), so tasks must be judged by the domain
+   they land on, not by [inside_worker] — which is also true for
+   caller-run tasks. *)
 let test_with_engine_under_pool () =
   let bad = Atomic.make 0 in
+  let caller = Domain.self () in
   Execution.with_engine Execution.Ref (fun () ->
       Alcotest.(check bool) "override visible in this domain" true
         (Execution.get_engine () = Execution.Ref);
@@ -412,8 +417,8 @@ let test_with_engine_under_pool () =
           Exec.Pool.run ~n:32 (fun _ ->
               let e = Execution.get_engine () in
               let expected =
-                if Exec.Pool.inside_worker () then Execution.Vm
-                else Execution.Ref
+                if Domain.self () = caller then Execution.Ref
+                else Execution.Vm
               in
               if e <> expected then Atomic.incr bad)));
   Alcotest.(check int) "workers unaffected by the caller's override" 0

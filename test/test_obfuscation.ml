@@ -146,6 +146,59 @@ let strategy_tests =
         (source_preserves_behaviour s.run))
     Ob.Strategies.all
 
+let print_program = Yali.Minic.Pp.program_to_string
+
+let strategy_determinism_tests =
+  List.map
+    (fun (s : Ob.Strategies.strategy) ->
+      qtest ~count:6
+        (Printf.sprintf "strategy %s is seed-deterministic" s.sname)
+        (fun seed ->
+          let p = dataset_program seed in
+          print_program (s.run (Rng.make seed) p)
+          = print_program (s.run (Rng.make seed) p)))
+    Ob.Strategies.all
+
+let strategy_verify_tests =
+  List.map
+    (fun (s : Ob.Strategies.strategy) ->
+      qtest ~count:6
+        (Printf.sprintf "strategy %s output lowers and verifies" s.sname)
+        (fun seed ->
+          let p' = s.run (Rng.make seed) (dataset_program seed) in
+          Ir.Verify.check_module (lower p') = []))
+    Ob.Strategies.all
+
+let test_strategies_respect_max_len () =
+  let p = dataset_program 29 in
+  (* max_len 0 forbids every greedy step: drlsg must return p untouched *)
+  Alcotest.(check string) "drlsg max_len:0 is the identity"
+    (print_program p)
+    (print_program (Ob.Strategies.drlsg ~max_len:0 (Rng.make 3) p));
+  (* the greedy paths of two budgets share their prefix (same seed), so a
+     longer budget can only move further from the original *)
+  let h0 = Yali.Embeddings.Histogram.of_module (lower p) in
+  let dist q =
+    Yali.Embeddings.Histogram.euclidean h0
+      (Yali.Embeddings.Histogram.of_module (lower q))
+  in
+  let d2 = dist (Ob.Strategies.drlsg ~max_len:2 (Rng.make 3) p) in
+  let d8 = dist (Ob.Strategies.drlsg ~max_len:8 (Rng.make 3) p) in
+  Alcotest.(check bool) "longer drlsg budget never loses distance" true
+    (d8 >= d2);
+  (* every strategy survives a length-1 cap and still emits a program that
+     lowers and verifies *)
+  List.iter
+    (fun (name, p') ->
+      Alcotest.(check bool) (name ^ " verifies under max_len:1") true
+        (Ir.Verify.check_module (lower p') = []))
+    [
+      ("rs", Ob.Strategies.rs ~max_len:1 (Rng.make 5) p);
+      ("mcmc", Ob.Strategies.mcmc ~iterations:4 ~max_len:1 (Rng.make 5) p);
+      ("drlsg", Ob.Strategies.drlsg ~max_len:1 (Rng.make 5) p);
+      ("ga", Ob.Strategies.ga ~population:4 ~generations:2 ~max_len:1 (Rng.make 5) p);
+    ]
+
 let test_drlsg_increases_distance () =
   (* the greedy distance maximiser must not decrease embedding distance *)
   let p = dataset_program 23 in
@@ -198,7 +251,11 @@ let suite =
   ]
   @ source_tx_tests
   @ strategy_tests
+  @ strategy_determinism_tests
+  @ strategy_verify_tests
   @ [
+      Alcotest.test_case "strategies respect max_len" `Slow
+        test_strategies_respect_max_len;
       Alcotest.test_case "drlsg distance" `Slow test_drlsg_increases_distance;
       Alcotest.test_case "evader registry" `Quick test_evader_registry;
     ]

@@ -287,6 +287,42 @@ let test_registry_publish_and_load () =
       | Ok _ -> Alcotest.fail "loaded a corrupt registry file"
       | Error _ -> ())
 
+let test_registry_roundtrip_margins () =
+  (* the adaptive evaders' via-serve contract: a snapshot's margins must
+     survive the registry encode/decode exactly, for every kind *)
+  with_temp_dir (fun dir ->
+      let x, y, rows, n_classes = synthetic_training () in
+      List.iter
+        (fun kind ->
+          let snap =
+            Option.get (Model.train_snapshot kind (Rng.make 29) ~n_classes x y)
+          in
+          let meta =
+            {
+              Registry.kind;
+              version = 0;
+              embedding = "histogram";
+              n_classes;
+              dim = x.Fmat.d;
+              n_train = x.Fmat.n;
+              seed = 29;
+              source = "test:margins";
+            }
+          in
+          ignore (Registry.publish ~dir ~meta snap);
+          match Registry.load ~dir kind with
+          | Error e -> Alcotest.failf "load %s: %s" kind e
+          | Ok entry ->
+              Array.iter
+                (fun row ->
+                  Alcotest.(check bool)
+                    (kind ^ ": margins bit-identical after publish/load")
+                    true
+                    (Model.margins snap row
+                    = Model.margins entry.Registry.snapshot row))
+                rows)
+        Model.snapshot_kinds)
+
 (* -- daemon end-to-end ------------------------------------------------------ *)
 
 (* [Unix.fork] is forbidden once any domain has ever been spawned (and
@@ -404,6 +440,8 @@ let suite =
     Alcotest.test_case "registry spec parsing" `Quick test_registry_spec_parsing;
     Alcotest.test_case "registry publish, versions, load" `Quick
       test_registry_publish_and_load;
+    Alcotest.test_case "registry round-trip preserves margins" `Quick
+      test_registry_roundtrip_margins;
     Alcotest.test_case "daemon end-to-end over a unix socket" `Slow
       test_daemon_end_to_end;
   ]

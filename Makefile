@@ -1,6 +1,6 @@
 # Convenience targets; everything is ultimately driven by dune.
 
-.PHONY: all build build-all test check check-smoke check-deep smoke fuzz-smoke bench bench-kernels bench-vm bench-native bench-serve bench-adapt fmt clean
+.PHONY: all build build-all test check check-smoke check-deep smoke fuzz-smoke bench bench-kernels bench-vm bench-native bench-serve bench-adapt bench-nn fmt clean
 
 all: build
 
@@ -77,6 +77,14 @@ bench-serve:
 # the via-serve rerun is bit-identical — this is CI's adapt gate.
 bench-adapt:
 	dune exec bench/main.exe -- --quick --jobs 2 adapt
+
+# Neural-tier gate (DESIGN.md §15): kernelized minibatch cnn/dgcnn
+# trainers vs the frozen per-sample reference.  Exits non-zero unless the
+# cnn step kernel is >=5x over the reference and the trained weights are
+# bit-identical, jobs-invariant and stream-invariant -- this is CI's nn
+# gate.  Numbers land in BENCH_nn.json.
+bench-nn:
+	dune exec bench/main.exe -- --quick nn
 
 # Requires ocamlformat (not part of `check`: it is not installed everywhere).
 fmt:

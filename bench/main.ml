@@ -21,6 +21,11 @@
                                                #   default 2048); --quick drops
                                                #   104x500 to 104x50
                                                #   -> BENCH_corpus.json
+      dune exec bench/main.exe -- nn           # kernelized minibatch neural
+                                               #   trainers vs the frozen
+                                               #   naive reference: speedup
+                                               #   gate + bit-identity
+                                               #   -> BENCH_nn.json
 
     Execution-runtime knobs (lib/exec):
       --engine vm|ref|native (or --engine=E)   # which execution engine the
@@ -110,27 +115,40 @@ let evaders_of_fig8 () : Ob.Evader.t list =
 (* Figure 5: embeddings on Game0, 32 classes, neural model             *)
 (* ------------------------------------------------------------------ *)
 
+(* per-embedding fig5 results for the --json summary: name, accuracy
+   mean/std, and train throughput (training rows per wall second through
+   the batched neural trainer, mean over rounds) *)
+let fig5_results : (string * float * float * float) list ref = ref []
+
 let fig5 () =
   header "Figure 5: program embeddings on Game0 (32 classes, dgcnn/cnn)";
   let n_classes = 32 in
   let r = rounds 2 in
   Printf.printf "rounds=%d, train/class=%d, test/class=%d\n\n" r (scale 10)
     (scale 4);
-  Printf.printf "%-14s %8s %8s\n" "embedding" "mean" "std";
+  Printf.printf "%-14s %8s %8s %12s\n" "embedding" "mean" "std" "train-rows/s";
   List.iter
     (fun (e : E.Embedding.t) ->
-      let accs =
+      let results =
         List.init r (fun round ->
             let rng = Rng.make (1000 + round) in
             let split =
               Yali.Dataset.Poj.make ~shuffle_classes:true rng ~n_classes
                 ~train_per_class:(scale 10) ~test_per_class:(scale 4)
             in
-            (G.Arena.run_neural (Rng.split rng) ~n_classes e G.Game.game0 split)
-              .accuracy)
+            G.Arena.run_neural (Rng.split rng) ~n_classes e G.Game.game0 split)
+      in
+      let accs = List.map (fun (res : G.Arena.result) -> res.accuracy) results in
+      let rows_s =
+        List.map
+          (fun (res : G.Arena.result) ->
+            float_of_int res.n_train /. Float.max res.train_seconds 1e-9)
+          results
       in
       let m, s = mean_std accs in
-      Printf.printf "%-14s %8.4f %8.4f\n%!" e.name m s)
+      let tput = Ml.Metrics.mean rows_s in
+      fig5_results := (e.name, m, s, tput) :: !fig5_results;
+      Printf.printf "%-14s %8.4f %8.4f %12.1f\n%!" e.name m s tput)
     E.Embedding.all
 
 (* ------------------------------------------------------------------ *)
@@ -1523,6 +1541,249 @@ let adapt_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Neural-tier benchmark: kernelized minibatch trainers vs reference   *)
+(* ------------------------------------------------------------------ *)
+
+let nn_json = "BENCH_nn.json"
+
+(* bit-level weight-dump equality: the contract is bit-identity, so
+   compare IEEE bits rather than trusting polymorphic [=] on floats *)
+let dump_eq (a : float array array) (b : float array array) : bool =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  Array.iteri
+    (fun i ra ->
+      let rb = b.(i) in
+      if Array.length ra <> Array.length rb then ok := false
+      else
+        Array.iteri
+          (fun j v ->
+            if Int64.bits_of_float v <> Int64.bits_of_float rb.(j) then
+              ok := false)
+          ra)
+    a;
+  !ok
+
+(* gaussian blobs, the flat shape the Fig 5 cnn path trains on *)
+let nn_blobs (rng : Rng.t) ~(n_classes : int) ~(n : int) ~(d : int) :
+    Ml.Fmat.t * int array =
+  let ys = Array.init n (fun i -> i mod n_classes) in
+  let rows =
+    Array.init n (fun i ->
+        Array.init d (fun k ->
+            Rng.gaussian rng +. if k = ys.(i) then 6.0 else 0.0))
+  in
+  (Ml.Fmat.of_rows rows, ys)
+
+let nn_chain_graph ~(n : int) ~(flavor : int) : E.Graph.t =
+  let feats =
+    Array.init n (fun k ->
+        Array.init 4 (fun j ->
+            if (k + j + flavor) mod 2 = 0 then 1.0 else 0.0))
+  in
+  let edges = List.init (n - 1) (fun k -> (k, k + 1, E.Graph.Control)) in
+  { E.Graph.node_feats = feats; edges; feat_dim = 4 }
+
+(** The neural tier (DESIGN.md §15): the kernelized minibatch trainers
+    against the frozen naive reference in [Ml.Reference], on the same
+    synthetic shapes the differential tests pin.  Reports wall seconds,
+    speedup, and training throughput; re-checks the bit-identity contract
+    (kernel = reference, --jobs 1 = --jobs 4, streamed = in-memory) on the
+    benchmark workload itself.  Written to [BENCH_nn.json]; exits nonzero
+    when the cnn lands below the 5x-over-reference gate or any identity
+    check fails. *)
+(* interleaved best-of-[reps] timing: both sides see the same cache and
+   allocator state, and taking the minimum strips scheduler noise (the
+   same idiom as the native-tier benchmark) *)
+let best_pair ~reps f g =
+  let clock = Yali.Exec.Telemetry.clock in
+  let bf = ref infinity and bg = ref infinity in
+  for _ = 1 to reps do
+    let t0 = clock () in
+    f ();
+    bf := Float.min !bf (clock () -. t0);
+    let t0 = clock () in
+    g ();
+    bg := Float.min !bg (clock () -. t0)
+  done;
+  (!bf, !bg)
+
+let nn_bench () =
+  header "Neural tier: minibatch Fmat kernels vs the frozen naive trainer";
+  let clock = Yali.Exec.Telemetry.clock in
+
+  (* cnn: flat gaussian blobs, wide enough that the matmuls dominate (the
+     shape regime Fig 5's feature vectors live in) *)
+  let d = 256 and n_classes = 8 in
+  let n = scale 256 in
+  let params = { Ml.Cnn.default_params with epochs = 2 } in
+  let x, ys = nn_blobs (Rng.make 7) ~n_classes ~n ~d in
+  Printf.printf
+    "cnn: %d rows x %d features, %d classes, %d epochs, batch %d\n%!" n d
+    n_classes params.Ml.Cnn.epochs params.Ml.Cnn.batch;
+
+  (* the gated measurement: one minibatch SGD step of the kernel, exactly
+     as [Cnn.train] invokes it ([~need_dx:false]), against the frozen
+     per-sample reference on the same net and batch.  Weights are pinned at
+     their init ([lr = 0] still runs every update pass) so each repetition
+     times the identical step. *)
+  let m = params.Ml.Cnn.batch in
+  let xb = Ml.Fmat.create m d in
+  Array.blit x.Ml.Fmat.data 0 xb.Ml.Fmat.data 0 (m * d);
+  let yb = Array.init m (fun i -> ys.(i)) in
+  let step_net = Ml.Cnn.build_net (Rng.make 17) ~d_in:d ~n_classes in
+  let step_netr = Ml.Cnn.build_net (Rng.make 17) ~d_in:d ~n_classes in
+  let krng = Rng.make 19 and nrng = Rng.make 19 in
+  let inner = scale 10 in
+  let t_sker, t_sref =
+    best_pair ~reps:5
+      (fun () ->
+        for _ = 1 to inner do
+          ignore
+            (Ml.Nn.train_batch ~need_dx:false ~lr:0.0 ~rng:krng step_net xb
+               yb)
+        done)
+      (fun () ->
+        for _ = 1 to inner do
+          ignore (Ml.Reference.Nnb.train_batch ~lr:0.0 ~rng:nrng step_netr xb yb)
+        done)
+  in
+  let t_sker = t_sker /. float_of_int inner
+  and t_sref = t_sref /. float_of_int inner in
+  let step_speedup = t_sref /. t_sker in
+  Printf.printf
+    "  step kernel (batch %d): reference %.2fms   kernel %.2fms   speedup \
+     %.2fx\n"
+    m (t_sref *. 1e3) (t_sker *. 1e3) step_speedup;
+
+  (* end-to-end training (real lr schedule), which is also where the
+     bit-identity contract is re-checked on the benchmark workload *)
+  let ref_cnn = ref None and ker_cnn = ref None in
+  let t_ref, t_ker =
+    best_pair ~reps:2
+      (fun () ->
+        ref_cnn :=
+          Some (Ml.Reference.Cnn.train ~params (Rng.make 11) ~n_classes x ys))
+      (fun () ->
+        ker_cnn := Some (Ml.Cnn.train ~params (Rng.make 11) ~n_classes x ys))
+  in
+  let ref_cnn = Option.get !ref_cnn and ker_cnn = Option.get !ker_cnn in
+  let weights_ok =
+    dump_eq (Ml.Cnn.dump_weights ref_cnn) (Ml.Cnn.dump_weights ker_cnn)
+  in
+  let cnn_at jobs =
+    Yali.Exec.Pool.with_jobs jobs (fun () ->
+        Ml.Cnn.dump_weights (Ml.Cnn.train ~params (Rng.make 11) ~n_classes x ys))
+  in
+  let jobs_ok = dump_eq (cnn_at 1) (cnn_at 4) in
+  let streamed_cnn =
+    Ml.Cnn.train_stream ~params (Rng.make 11) ~n_classes (Ml.Fblock.of_fmat x)
+      ys
+  in
+  let stream_ok =
+    dump_eq (Ml.Cnn.dump_weights ker_cnn) (Ml.Cnn.dump_weights streamed_cnn)
+  in
+  let speedup = t_ref /. t_ker in
+  let row_visits = float_of_int (n * params.Ml.Cnn.epochs) in
+  let rows_s = row_visits /. t_ker in
+  Printf.printf
+    "  full train: reference %.3fs   kernel %.3fs   speedup %.2fx   %.0f \
+     rows/s\n"
+    t_ref t_ker speedup rows_s;
+  Printf.printf
+    "  weights bit-identical: %b   jobs-invariant (1 vs 4): %b   \
+     streamed-identical: %b\n\n%!"
+    weights_ok jobs_ok stream_ok;
+
+  (* dgcnn: two-class chain graphs (the shape the differential tests pin) *)
+  let gn = scale 96 in
+  let grng = Rng.make 21 in
+  let graphs =
+    Array.init gn (fun i ->
+        if i mod 2 = 0 then nn_chain_graph ~n:(4 + Rng.int grng 3) ~flavor:0
+        else nn_chain_graph ~n:(9 + Rng.int grng 3) ~flavor:1)
+  in
+  let gys = Array.init gn (fun i -> i mod 2) in
+  let gparams = { Ml.Dgcnn.default_params with epochs = 2 } in
+  Printf.printf "dgcnn: %d graphs, 2 classes, %d epochs, batch %d\n%!" gn
+    gparams.Ml.Dgcnn.epochs gparams.Ml.Dgcnn.batch;
+  let t0 = clock () in
+  let ref_g =
+    Ml.Reference.Dgcnn.train ~params:gparams (Rng.make 31) ~n_classes:2
+      ~feat_dim:4 graphs gys
+  in
+  let t_gref = clock () -. t0 in
+  let t0 = clock () in
+  let ker_g =
+    Ml.Dgcnn.train ~params:gparams (Rng.make 31) ~n_classes:2 ~feat_dim:4
+      graphs gys
+  in
+  let t_gker = clock () -. t0 in
+  let gweights_ok =
+    dump_eq (Ml.Dgcnn.dump_weights ref_g) (Ml.Dgcnn.dump_weights ker_g)
+  in
+  let dgcnn_at jobs =
+    Yali.Exec.Pool.with_jobs jobs (fun () ->
+        Ml.Dgcnn.dump_weights
+          (Ml.Dgcnn.train ~params:gparams (Rng.make 31) ~n_classes:2
+             ~feat_dim:4 graphs gys))
+  in
+  let gjobs_ok = dump_eq (dgcnn_at 1) (dgcnn_at 4) in
+  let streamed_g =
+    Ml.Model.train_dgcnn_stream ~params:gparams (Rng.make 31) ~n_classes:2
+      (Ml.Gsource.of_graphs graphs) gys
+  in
+  let gstream_ok =
+    dump_eq (Ml.Dgcnn.dump_weights ker_g) (Ml.Dgcnn.dump_weights streamed_g)
+  in
+  let gspeedup = t_gref /. t_gker in
+  let graphs_s = float_of_int (gn * gparams.Ml.Dgcnn.epochs) /. t_gker in
+  Printf.printf "  reference %.3fs   kernel %.3fs   speedup %.2fx   %.0f graphs/s\n"
+    t_gref t_gker gspeedup graphs_s;
+  Printf.printf
+    "  weights bit-identical: %b   jobs-invariant (1 vs 4): %b   \
+     streamed-identical: %b\n%!"
+    gweights_ok gjobs_ok gstream_ok;
+
+  let identical =
+    weights_ok && jobs_ok && stream_ok && gweights_ok && gjobs_ok
+    && gstream_ok
+  in
+  let pass = step_speedup >= 5.0 && identical in
+  let oc = open_out nn_json in
+  Printf.fprintf oc "{\n  \"quick\": %b,\n  \"jobs\": %d,\n" !quick
+    (Yali.Exec.Pool.get_jobs ());
+  Printf.fprintf oc
+    "  \"cnn\": {\"rows\": %d, \"dim\": %d, \"classes\": %d, \"epochs\": %d, \
+     \"batch\": %d, \"step_reference_seconds\": %.5f, \
+     \"step_kernel_seconds\": %.5f, \"step_speedup\": %.2f, \
+     \"train_reference_seconds\": %.4f, \"train_kernel_seconds\": %.4f, \
+     \"train_speedup\": %.2f, \"train_rows_per_s\": %.0f, \
+     \"weights_identical\": %b, \"jobs_invariant\": %b, \
+     \"stream_identical\": %b},\n"
+    n d n_classes params.Ml.Cnn.epochs m t_sref t_sker step_speedup t_ref
+    t_ker speedup rows_s weights_ok jobs_ok stream_ok;
+  Printf.fprintf oc
+    "  \"dgcnn\": {\"graphs\": %d, \"epochs\": %d, \"reference_seconds\": \
+     %.4f, \"kernel_seconds\": %.4f, \"speedup\": %.2f, \
+     \"train_graphs_per_s\": %.0f, \"weights_identical\": %b, \
+     \"jobs_invariant\": %b, \"stream_identical\": %b},\n"
+    gn gparams.Ml.Dgcnn.epochs t_gref t_gker gspeedup graphs_s gweights_ok
+    gjobs_ok gstream_ok;
+  Printf.fprintf oc "  \"pass\": %b\n}\n" pass;
+  close_out oc;
+  Printf.printf "nn summary written to %s\n" nn_json;
+  if not pass then begin
+    Printf.eprintf "nn benchmark FAILED (%s)\n"
+      (if not identical then "weights diverged from the frozen reference"
+       else
+         Printf.sprintf "cnn step speedup %.2fx < 5x over reference"
+           step_speedup);
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Ablations: design choices called out in DESIGN.md                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -1846,6 +2107,19 @@ let write_json path ~total (timings : (string * float) list) =
     (List.rev !kernel_results);
   section "vm" ("reference_seconds", "vm_seconds") (List.rev !vm_results);
   section "native" ("vm_seconds", "native_seconds") (List.rev !native_results);
+  let f5 = List.rev !fig5_results in
+  if f5 <> [] then begin
+    Printf.fprintf oc ",\n  \"fig5\": [\n";
+    List.iteri
+      (fun i (nm, m, s, tput) ->
+        Printf.fprintf oc
+          "    {\"name\": \"%s\", \"accuracy_mean\": %.4f, \"accuracy_std\": \
+           %.4f, \"train_rows_per_s\": %.1f}%s\n"
+          nm m s tput
+          (if i = List.length f5 - 1 then "" else ","))
+      f5;
+    Printf.fprintf oc "  ]"
+  end;
   let splits = List.rev !engine_splits in
   if splits <> [] then begin
     Printf.fprintf oc ",\n  \"engine_splits\": [\n";
@@ -1886,12 +2160,13 @@ let () =
           else if name = "serve" then timed "serve" serve
           else if name = "corpus" then timed "corpus" corpus_bench
           else if name = "adapt" then timed "adapt" adapt_bench
+          else if name = "nn" then timed "nn" nn_bench
           else
             match List.assoc_opt name (figures @ ablations) with
             | Some f -> timed name f
             | None ->
                 Printf.eprintf
-                  "unknown target %s (expected fig5..fig16, abl-*, ablations, micro, kernels, interp, native, serve, corpus, adapt, all)\n"
+                  "unknown target %s (expected fig5..fig16, abl-*, ablations, micro, kernels, interp, native, serve, corpus, adapt, nn, all)\n"
                   name)
         names);
   let total = Yali.Exec.Telemetry.clock () -. t0 in

@@ -598,7 +598,7 @@ let train_cmd =
     Arg.(
       value
       & opt string "rf"
-      & info [ "model"; "m" ] ~docv:"NAME" ~doc:"Model: rf svm knn lr mlp.")
+      & info [ "model"; "m" ] ~docv:"NAME" ~doc:"Model: rf svm knn lr mlp cnn.")
   in
   let classes_arg =
     Arg.(value & opt int 8 & info [ "classes"; "c" ] ~doc:"Number of problem classes.")
@@ -1012,7 +1012,7 @@ let adapt_cmd =
       value
       & opt string (String.concat "," D.default.a_models)
       & info [ "models" ] ~docv:"K1,K2"
-          ~doc:"Comma-separated snapshot kinds to attack: rf svm knn lr mlp.")
+          ~doc:"Comma-separated snapshot kinds to attack: rf svm knn lr mlp cnn.")
   in
   let algo_arg =
     Arg.(

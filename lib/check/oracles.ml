@@ -747,4 +747,151 @@ let adapt =
       ~max_count:6 gen_adapt_case adapt_search_deterministic;
   ]
 
-let all = kernels @ metrics @ exec @ engines @ serve @ corpus @ adapt
+(* -- neural minibatch kernels vs lib/ml/reference.ml (DESIGN.md §15) ------- *)
+
+module Graph = Yali_embeddings.Graph
+
+(* gaussian class blobs straight into an Fmat; data is derived from an
+   explicit seed inside the law so cases replay in isolation *)
+let nn_blobs (seed : int) ~(n : int) ~(d : int) ~(n_classes : int) :
+    F.t * int array =
+  let rng = Rng.make seed in
+  let x = F.create n d in
+  let ys = Array.init n (fun i -> i mod n_classes) in
+  for i = 0 to n - 1 do
+    for k = 0 to d - 1 do
+      x.F.data.((i * d) + k) <-
+        Rng.gaussian rng +. (if k = ys.(i) then 6.0 else 0.0)
+    done
+  done;
+  (x, ys)
+
+let gen_nn_case (rng : Rng.t) =
+  let d = 4 + Rng.int rng 28 in
+  let n_classes = 2 + Rng.int rng 4 in
+  let batch = 1 + Rng.int rng 48 in
+  (d, n_classes, batch, Rng.int rng 1_000_000)
+
+let show_nn_case (d, n_classes, batch, seed) =
+  Printf.sprintf "nn d=%d classes=%d batch=%d seed=%d" d n_classes batch seed
+
+(* Nn.train_batch (tiled, sharded over the pool) against the naive
+   Reference.Nnb on the same net: losses, input gradients and every weight
+   bit must agree after several steps.  Cnn.build_net covers both the
+   dense-tail (d < 16) and conv-stack architectures. *)
+let nn_kernel_vs_reference (d, n_classes, batch, seed) =
+  let build () = Ml.Cnn.build_net (Rng.make seed) ~d_in:d ~n_classes in
+  let kernel = build () and naive = build () in
+  let krng = Rng.make (seed + 1) and nrng = Rng.make (seed + 1) in
+  let steps_ok = ref true in
+  for step = 0 to 2 do
+    let x, ys = nn_blobs (seed + 10 + step) ~n:batch ~d ~n_classes in
+    let lr = 0.01 /. (1.0 +. (0.1 *. float_of_int step)) in
+    let kl, kdx = Ml.Nn.train_batch ~lr ~rng:krng kernel x ys in
+    let nl, ndx = Ml.Reference.Nnb.train_batch ~lr ~rng:nrng naive x ys in
+    steps_ok := !steps_ok && kl = nl && kdx.F.data = ndx.F.data
+  done;
+  !steps_ok && Ml.Nn.dump_weights kernel = Ml.Nn.dump_weights naive
+
+let gen_graph_case (rng : Rng.t) =
+  let n = 6 + Rng.int rng 14 in
+  let feat_dim = 3 + Rng.int rng 4 in
+  (n, feat_dim, Rng.int rng 1_000_000)
+
+let show_graph_case (n, feat_dim, seed) =
+  Printf.sprintf "graphs n=%d feat_dim=%d seed=%d" n feat_dim seed
+
+let nn_random_graphs (seed : int) ~(n : int) ~(feat_dim : int) :
+    Graph.t array * int array =
+  let rng = Rng.make seed in
+  let graphs =
+    Array.init n (fun i ->
+        let nodes = 3 + Rng.int rng 8 + if i mod 2 = 0 then 0 else 4 in
+        let feats =
+          Array.init nodes (fun _ ->
+              Array.init feat_dim (fun _ -> float_of_int (Rng.int rng 5)))
+        in
+        let edges =
+          List.init (nodes - 1) (fun k -> (k, k + 1, Graph.Control))
+        in
+        { Graph.node_feats = feats; edges; feat_dim })
+  in
+  (graphs, Array.init n (fun i -> i mod 2))
+
+let nn_params_small = { Ml.Dgcnn.default_params with epochs = 1; batch = 8 }
+
+(* The full dgcnn minibatch trainer (parallel forward shards, batched head
+   step, tree-reduced graph-conv gradients) against the sequential naive
+   Reference.Dgcnn. *)
+let dgcnn_kernel_vs_reference (n, feat_dim, seed) =
+  let graphs, ys = nn_random_graphs seed ~n ~feat_dim in
+  let kernel =
+    Ml.Dgcnn.train ~params:nn_params_small (Rng.make seed) ~n_classes:2
+      ~feat_dim graphs ys
+  in
+  let naive =
+    Ml.Reference.Dgcnn.train ~params:nn_params_small (Rng.make seed)
+      ~n_classes:2 ~feat_dim graphs ys
+  in
+  Ml.Dgcnn.dump_weights kernel = Ml.Dgcnn.dump_weights naive
+
+(* Sharded gradient accumulation reduces in a fixed tree order, so weights
+   are a function of the data alone, never of the worker count. *)
+let nn_jobs_invariant (d, n_classes, batch, seed) =
+  let train jobs =
+    Pool.with_jobs jobs (fun () ->
+        let x, ys =
+          nn_blobs (seed + 10) ~n:(3 * batch) ~d ~n_classes
+        in
+        let params = { Ml.Cnn.default_params with epochs = 1; batch } in
+        Ml.Cnn.dump_weights
+          (Ml.Cnn.train ~params (Rng.make seed) ~n_classes x ys))
+  in
+  train 1 = train 4
+
+(* Streamed training vs in-memory on one block: identical cnn Model.save
+   blobs, identical dgcnn weight dumps over a Gsource. *)
+let nn_stream_vs_inmem (n, feat_dim, seed) =
+  let d = 8 + feat_dim and n_classes = 2 in
+  let rows = 4 * n in
+  let cnn_ok =
+    let x, ys = nn_blobs (seed + 1) ~n:rows ~d ~n_classes in
+    let inmem = Ml.Model.train_snapshot "cnn" (Rng.make seed) ~n_classes x ys in
+    let streamed =
+      Ml.Model.train_snapshot_stream ~block_rows:rows "cnn" (Rng.make seed)
+        ~n_classes (Ml.Fblock.of_fmat x) ys
+    in
+    match (inmem, streamed) with
+    | Some a, Some b -> Ml.Model.save a = Ml.Model.save b
+    | _ -> false
+  in
+  let dgcnn_ok =
+    let graphs, ys = nn_random_graphs seed ~n ~feat_dim in
+    let inmem =
+      Ml.Dgcnn.train ~params:nn_params_small (Rng.make seed) ~n_classes:2
+        ~feat_dim graphs ys
+    in
+    let streamed =
+      Ml.Model.train_dgcnn_stream ~params:nn_params_small (Rng.make seed)
+        ~n_classes:2
+        (Ml.Gsource.of_graphs graphs)
+        ys
+    in
+    Ml.Dgcnn.dump_weights inmem = Ml.Dgcnn.dump_weights streamed
+  in
+  cnn_ok && dgcnn_ok
+
+let nn =
+  [
+    Prop.make ~name:"ml/nn-kernel-vs-reference" ~show:show_nn_case
+      gen_nn_case nn_kernel_vs_reference;
+    Prop.make ~name:"ml/dgcnn-kernel-vs-reference" ~show:show_graph_case
+      ~max_count:12 gen_graph_case dgcnn_kernel_vs_reference;
+    Prop.make ~name:"ml/nn-jobs-invariant" ~show:show_nn_case ~max_count:12
+      gen_nn_case nn_jobs_invariant;
+    Prop.make ~name:"ml/nn-stream-vs-inmem" ~show:show_graph_case
+      ~max_count:8 gen_graph_case nn_stream_vs_inmem;
+  ]
+
+let all = kernels @ metrics @ exec @ engines @ serve @ corpus @ nn @ adapt
+

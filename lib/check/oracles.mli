@@ -40,6 +40,14 @@ val engines : Prop.t list
 val serve : Prop.t list
 val corpus : Prop.t list
 
+(** The kernelized neural tier (DESIGN.md §15): [Nn.train_batch] and the
+    cnn/dgcnn minibatch trainers against the frozen naive implementations
+    in {!Yali_ml.Reference} (losses, input gradients and weights bit for
+    bit), weight invariance under [--jobs], and streamed-vs-in-memory
+    equality (byte-identical cnn [Model.save] blobs on one block; identical
+    dgcnn weight dumps over a {!Yali_ml.Gsource}). *)
+val nn : Prop.t list
+
 (** {!Yali_adapt}: the [adapt/search-determinism] oracle — the same seed
     at any [--jobs] must yield an identical report (pass sequences and
     Pareto front, structural identity), and every front must be
@@ -47,5 +55,5 @@ val corpus : Prop.t list
     identity evader at cost 1.0). *)
 val adapt : Prop.t list
 
-(** All seven families, in the order above. *)
+(** All families, in the order above. *)
 val all : Prop.t list

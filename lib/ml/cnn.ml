@@ -2,15 +2,22 @@
     [cnn] (§3.2): the four graph-convolution layers are dropped (they "find
     no service" on array embeddings) and the remaining stack — 1-D
     convolution, max pooling, a second 1-D convolution, dense + dropout,
-    dense classifier — consumes the flat vector directly. *)
+    dense classifier — consumes the flat vector directly.
+
+    Training is minibatch SGD through the batched {!Nn.train_batch} kernel
+    (im2col convolutions, cache-tiled matmuls, sharded gradient workers) —
+    bit-identical at any [--jobs] and to the frozen naive trainer in
+    [Reference.Cnn].  {!train_stream} is the out-of-core variant over
+    {!Fblock} sources; on a source that fits one block it is bit-identical
+    to {!train}. *)
 
 module Rng = Yali_util.Rng
 
 type t = { scaler : Features.scaler; net : Nn.t }
 
-type params = { epochs : int; lr : float }
+type params = { epochs : int; lr : float; batch : int }
 
-let default_params = { epochs = 30; lr = 0.01 }
+let default_params = { epochs = 30; lr = 0.01; batch = 32 }
 
 let build_net (rng : Rng.t) ~(d_in : int) ~(n_classes : int) : Nn.t =
   if d_in < 16 then
@@ -53,33 +60,78 @@ let build_net (rng : Rng.t) ~(d_in : int) ~(n_classes : int) : Nn.t =
     }
   end
 
+let of_parts ~(scaler : Features.scaler) ~(net : Nn.t) : t = { scaler; net }
+let dump_weights (t : t) : float array array = Nn.dump_weights t.net
+
+let shuffle (rng : Rng.t) (order : int array) : unit =
+  for i = Array.length order - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let tmp = order.(i) in
+    order.(i) <- order.(j);
+    order.(j) <- tmp
+  done
+
+(* One epoch of minibatch steps over [x] rows in [order.(lo0 .. )] order;
+   [labels i] maps a position in [order] to its class. *)
+let run_batches ~(lr : float) ~(rng : Rng.t) ~(batch : int) (net : Nn.t)
+    (x : Fmat.t) (order : int array) (labels : int -> int) : unit =
+  let n = Array.length order in
+  let nb = (n + batch - 1) / batch in
+  for b = 0 to nb - 1 do
+    let lo = b * batch in
+    let m = min batch (n - lo) in
+    let xb = Fmat.create m x.Fmat.d in
+    Fmat.gather_rows_into xb x order ~lo ~len:m;
+    let yb = Array.init m (fun i -> labels (lo + i)) in
+    ignore (Nn.train_batch ~need_dx:false ~lr ~rng net xb yb)
+  done
+
 let train ?(params = default_params) (rng : Rng.t) ~(n_classes : int)
     (x : Fmat.t) (ys : int array) : t =
   let scaler, x = Features.fit_transform_fmat x in
-  let d = x.Fmat.d in
-  let net = build_net rng ~d_in:d ~n_classes in
-  let n = x.Fmat.n in
-  let order = Array.init n Fun.id in
-  (* reused row buffer; [Nn.train_step] consumes the sample within the step *)
-  let buf = Array.make d 0.0 in
+  let net = build_net rng ~d_in:x.Fmat.d ~n_classes in
+  let order = Array.init x.Fmat.n Fun.id in
   for epoch = 0 to params.epochs - 1 do
     let lr = params.lr /. (1.0 +. (0.05 *. float_of_int epoch)) in
-    for i = n - 1 downto 1 do
-      let j = Rng.int rng (i + 1) in
-      let tmp = order.(i) in
-      order.(i) <- order.(j);
-      order.(j) <- tmp
-    done;
-    Array.iter
-      (fun i ->
-        Fmat.row_into x i buf;
-        ignore (Nn.train_step ~lr ~rng net buf ys.(i)))
-      order
+    shuffle rng order;
+    run_batches ~lr ~rng ~batch:params.batch net x order (fun i ->
+        ys.(order.(i)))
+  done;
+  { scaler; net }
+
+(** Minibatch SGD over streamed blocks; per-epoch shuffles stay within a
+    block (persistent per-block orders), minibatches never straddle a block
+    boundary.  One block = exactly {!train}. *)
+let train_stream ?(params = default_params) ?block_rows (rng : Rng.t)
+    ~(n_classes : int) (src : Fblock.source) (ys : int array) : t =
+  let scaler = Features.fit_stream ?block_rows src in
+  let n = Fblock.rows src in
+  let net = build_net rng ~d_in:(Fblock.dim src) ~n_classes in
+  let bs_rows =
+    match block_rows with Some b -> b | None -> Fblock.default_block_rows
+  in
+  let orders =
+    Array.init (Fblock.n_blocks ?block_rows src) (fun b ->
+        Array.init (min bs_rows (n - (b * bs_rows))) Fun.id)
+  in
+  for epoch = 0 to params.epochs - 1 do
+    let lr = params.lr /. (1.0 +. (0.05 *. float_of_int epoch)) in
+    Fblock.iter_blocks ?block_rows src (fun lo block ->
+        Features.transform_fmat_inplace scaler block;
+        let order = orders.(lo / bs_rows) in
+        shuffle rng order;
+        run_batches ~lr ~rng ~batch:params.batch net block order (fun i ->
+            ys.(lo + order.(i))))
   done;
   { scaler; net }
 
 let predict (t : t) (x : float array) : int =
   Nn.predict t.net (Features.transform t.scaler x)
+
+(** Per-class raw logits; the first-maximum index is exactly {!predict}'s
+    decision (same standardisation, same forward pass). *)
+let margins (t : t) (x : float array) : float array =
+  Nn.logits t.net (Features.transform t.scaler x)
 
 (** Classify every row: standardise a copy in place, then defer to
     {!Nn.predict_batch} (per-row fallback when the net has conv layers). *)
@@ -89,3 +141,14 @@ let predict_batch (t : t) (x : Fmat.t) : int array =
   Nn.predict_batch t.net x
 
 let size_bytes (t : t) : int = Nn.size_bytes t.net
+
+module Bin = Yali_util.Bin
+
+let to_bin b (t : t) =
+  Features.scaler_to_bin b t.scaler;
+  Nn.to_bin b t.net
+
+let of_bin r : t =
+  let scaler = Features.scaler_of_bin r in
+  let net = Nn.of_bin r in
+  { scaler; net }

@@ -1,11 +1,15 @@
 (** The flat-input truncation of Zhang et al.'s DGCNN that the paper calls
     [cnn] (§3.2): 1-D convolution, max pooling, a second convolution, dense
     + dropout, dense classifier.  On inputs too narrow for the convolutional
-    front end, only the dense tail is used. *)
+    front end, only the dense tail is used.
+
+    Trained by minibatch SGD through the batched {!Nn.train_batch} kernel —
+    bit-identical at any [--jobs] and to the frozen naive trainer in
+    [Reference.Cnn] (the ml/nn-kernel-vs-reference oracle). *)
 
 type t
 
-type params = { epochs : int; lr : float }
+type params = { epochs : int; lr : float; batch : int }
 
 val default_params : params
 
@@ -17,9 +21,42 @@ val train :
   int array ->
   t
 
+(** Minibatch SGD over streamed blocks (the out-of-core path of DESIGN.md
+    §12/§15); per-epoch shuffles and minibatches stay within a block.  On a
+    source that fits one block the model is bit-identical to {!train}. *)
+val train_stream :
+  ?params:params ->
+  ?block_rows:int ->
+  Yali_util.Rng.t ->
+  n_classes:int ->
+  Fblock.source ->
+  int array ->
+  t
+
 val predict : t -> float array -> int
+
+(** Per-class raw logits; [argmax (margins t x)] is exactly
+    [predict t x]. *)
+val margins : t -> float array -> float array
 
 (** Classify every row of a flat matrix. *)
 val predict_batch : t -> Fmat.t -> int array
 
 val size_bytes : t -> int
+
+(** Training internals, exposed for the frozen reference trainer
+    ([Reference.Cnn]) and the differential tests: the architecture builder
+    (consumes the rng exactly as {!train}'s initialisation does),
+    reassembly from parts, and the parameter dump compared for
+    bit-identity. *)
+
+val build_net : Yali_util.Rng.t -> d_in:int -> n_classes:int -> Nn.t
+
+val of_parts : scaler:Features.scaler -> net:Nn.t -> t
+val dump_weights : t -> float array array
+
+(** Serialise bit-exactly (scaler + all layers, conv included). *)
+val to_bin : Buffer.t -> t -> unit
+
+(** @raise Yali_util.Bin.Corrupt on malformed input *)
+val of_bin : Yali_util.Bin.r -> t

@@ -12,11 +12,21 @@
 
     Backpropagation runs end-to-end, through the convolutional head, the
     (fixed-permutation) sort pooling, and the graph convolutions.  Channel
-    widths are scaled down from the original (32 → 16) so that the model
-    trains in seconds on synthetic corpora; the architecture is otherwise as
-    published. *)
+    widths are scaled down from the original (32 → 16) so the model trains
+    in seconds on synthetic corpora; the architecture is otherwise as
+    published.
+
+    Training is minibatch SGD (DESIGN.md §15): per batch, every graph's
+    forward pass runs in parallel shards over {!Yali_exec.Pool}, the pooled
+    flat vectors feed one batched {!Nn.train_batch} step of the head, and
+    the graph-convolution gradients are accumulated per shard and merged in
+    a fixed tree order — bit-identical at any [--jobs] and to the frozen
+    naive trainer in [Reference.Dgcnn].  {!train_source} consumes a
+    {!Gsource.t} (graphs streamed from a corpus store); {!train} is the
+    in-memory special case. *)
 
 module Rng = Yali_util.Rng
+module Pool = Yali_exec.Pool
 module Graph = Yali_embeddings.Graph
 
 type params = {
@@ -28,6 +38,7 @@ type params = {
       (** graphs larger than this are truncated to a prefix subgraph — a
           sampling cap that bounds the per-graph cost on heavily obfuscated
           inputs (flattened/bogus code can be 5x the original size) *)
+  batch : int;  (** graphs per minibatch *)
 }
 
 let default_params =
@@ -37,6 +48,7 @@ let default_params =
     epochs = 24;
     lr = 0.02;
     max_nodes = 384;
+    batch = 32;
   }
 
 type t = {
@@ -155,6 +167,80 @@ let forward_graph (t_params : params) (gc_weights : Matrix.t list)
   done;
   { adj; px_list; z_list; concat; order; flat }
 
+(* dL/dW per graph-convolution layer (in layer order) for one graph, given
+   dL/d(flat) from the head — no weight update here; the minibatch loop
+   accumulates grads across the batch and applies them once.  The same
+   computation, on naive matmuls, is frozen in [Reference.Dgcnn]. *)
+let graph_backward (p : params) (gc_weights : Matrix.t list)
+    (st : forward_state) (dflat : float array) : Matrix.t list =
+  let tc = total_channels p in
+  (* scatter the gradient back through sort pooling *)
+  let nn = st.concat.Matrix.rows in
+  let dconcat = Matrix.create nn tc in
+  for r = 0 to min p.sortpool_k nn - 1 do
+    let node = st.order.(r) in
+    for c = 0 to tc - 1 do
+      Matrix.set dconcat node c (dflat.((r * tc) + c))
+    done
+  done;
+  (* un-concatenate into per-layer gradients, then backprop through the
+     graph convolutions in reverse *)
+  let layer_grads =
+    let off = ref 0 in
+    List.map
+      (fun (z : Matrix.t) ->
+        let dz = Matrix.create nn z.Matrix.cols in
+        for i' = 0 to nn - 1 do
+          for c = 0 to z.Matrix.cols - 1 do
+            Matrix.set dz i' c (Matrix.get dconcat i' (!off + c))
+          done
+        done;
+        off := !off + z.Matrix.cols;
+        dz)
+      st.z_list
+  in
+  (* process layers from last to first, accumulating the gradient that
+     flows down from upper layers *)
+  let rev_w = List.rev gc_weights in
+  let rev_z = List.rev st.z_list in
+  let rev_px = List.rev st.px_list in
+  let rev_dz = List.rev layer_grads in
+  let rec back ws zs pxs dzs (carry : Matrix.t option) (dws : Matrix.t list) =
+    match (ws, zs, pxs, dzs) with
+    | [], [], [], [] -> dws
+    | w :: ws', z :: zs', px :: pxs', dz :: dzs' ->
+        let dz_total =
+          match carry with Some c -> Matrix.add dz c | None -> dz
+        in
+        (* through tanh *)
+        let dpre =
+          Matrix.init nn z.Matrix.cols (fun i' c ->
+              let zv = Matrix.get z i' c in
+              Matrix.get dz_total i' c *. (1.0 -. (zv *. zv)))
+        in
+        (* dW = (P Z_(l-1))^T dpre *)
+        let dw = Matrix.matmul (Matrix.transpose px) dpre in
+        (* gradient to previous layer: P^T (dpre W^T) *)
+        let dprev = propagate_t st.adj (Matrix.matmul dpre (Matrix.transpose w)) in
+        back ws' zs' pxs' dzs' (Some dprev) (dw :: dws)
+    | _ -> assert false
+  in
+  back rev_w rev_z rev_px rev_dz None []
+
+let init_gc_weights (rng : Rng.t) (p : params) ~(feat_dim : int) :
+    Matrix.t list =
+  let dims =
+    let rec widths d = function
+      | [] -> []
+      | c :: rest -> (d, c) :: widths c rest
+    in
+    widths feat_dim p.gc_channels
+  in
+  List.map
+    (fun (d_in, d_out) ->
+      Matrix.random rng d_in d_out ~scale:(sqrt (1.0 /. float_of_int d_in)))
+    dims
+
 let build_head (rng : Rng.t) (p : params) ~(n_classes : int) : Nn.t =
   let tc = total_channels p in
   let k = p.sortpool_k in
@@ -181,25 +267,24 @@ let build_head (rng : Rng.t) (p : params) ~(n_classes : int) : Nn.t =
     n_classes;
   }
 
-let train ?(params = default_params) (rng : Rng.t) ~(n_classes : int)
-    ~(feat_dim : int) (graphs : Graph.t array) (ys : int array) : t =
-  let dims =
-    let rec widths d = function
-      | [] -> []
-      | c :: rest -> (d, c) :: widths c rest
-    in
-    widths feat_dim params.gc_channels
-  in
-  let gc_weights =
-    List.map
-      (fun (d_in, d_out) ->
-        Matrix.random rng d_in d_out ~scale:(sqrt (1.0 /. float_of_int d_in)))
-      dims
-  in
+let of_parts ~(params : params) ~(gc_weights : Matrix.t list) ~(head : Nn.t)
+    ~(feat_dim : int) ~(n_classes : int) : t =
+  { params; gc_weights; head; feat_dim; n_classes }
+
+let dump_weights (t : t) : float array array =
+  Array.append
+    (Array.of_list
+       (List.map (fun (w : Matrix.t) -> Array.copy w.Matrix.data) t.gc_weights))
+    (Nn.dump_weights t.head)
+
+let train_source ?(params = default_params) (rng : Rng.t)
+    ~(n_classes : int) (src : Gsource.t) (ys : int array) : t =
+  let feat_dim = src.Gsource.feat_dim in
+  let gc_weights = init_gc_weights rng params ~feat_dim in
   let head = build_head rng params ~n_classes in
-  let n = Array.length graphs in
+  let n = src.Gsource.n in
   let order = Array.init n Fun.id in
-  let tc = total_channels params in
+  let flat_w = params.sortpool_k * total_channels params in
   for epoch = 0 to params.epochs - 1 do
     let lr = params.lr /. (1.0 +. (0.05 *. float_of_int epoch)) in
     for i = n - 1 downto 1 do
@@ -208,68 +293,67 @@ let train ?(params = default_params) (rng : Rng.t) ~(n_classes : int)
       order.(i) <- order.(j);
       order.(j) <- tmp
     done;
-    Array.iter
-      (fun i ->
-        let g = graphs.(i) in
-        let st = forward_graph params gc_weights g in
-        let _loss, dflat = Nn.train_step ~lr ~rng head st.flat ys.(i) in
-        (* scatter the gradient back through sort pooling *)
-        let nn = st.concat.Matrix.rows in
-        let dconcat = Matrix.create nn tc in
-        for r = 0 to min params.sortpool_k nn - 1 do
-          let node = st.order.(r) in
-          for c = 0 to tc - 1 do
-            Matrix.set dconcat node c (dflat.((r * tc) + c))
-          done
-        done;
-        (* un-concatenate into per-layer gradients, then backprop through the
-           graph convolutions in reverse *)
-        let layer_grads =
-          let off = ref 0 in
-          List.map
-            (fun (z : Matrix.t) ->
-              let dz = Matrix.create nn z.Matrix.cols in
-              for i' = 0 to nn - 1 do
-                for c = 0 to z.Matrix.cols - 1 do
-                  Matrix.set dz i' c (Matrix.get dconcat i' (!off + c))
-                done
-              done;
-              off := !off + z.Matrix.cols;
-              dz)
-            st.z_list
-        in
-        (* process layers from last to first, accumulating the gradient that
-           flows down from upper layers *)
-        let rev_w = List.rev gc_weights in
-        let rev_z = List.rev st.z_list in
-        let rev_px = List.rev st.px_list in
-        let rev_dz = List.rev layer_grads in
-        let rec back ws zs pxs dzs (carry : Matrix.t option) (new_ws : Matrix.t list) =
-          match (ws, zs, pxs, dzs) with
-          | [], [], [], [] -> new_ws
-          | w :: ws', z :: zs', px :: pxs', dz :: dzs' ->
-              let dz_total =
-                match carry with Some c -> Matrix.add dz c | None -> dz
-              in
-              (* through tanh *)
-              let dpre =
-                Matrix.init nn z.Matrix.cols (fun i' c ->
-                    let zv = Matrix.get z i' c in
-                    Matrix.get dz_total i' c *. (1.0 -. (zv *. zv)))
-              in
-              (* dW = (P Z_(l-1))^T dpre *)
-              let dw = Matrix.matmul (Matrix.transpose px) dpre in
-              (* gradient to previous layer: P^T (dpre W^T) *)
-              let dprev = propagate_t st.adj (Matrix.matmul dpre (Matrix.transpose w)) in
-              (* SGD update *)
-              Matrix.axpy ~a:(-.lr) dw w;
-              back ws' zs' pxs' dzs' (Some dprev) (w :: new_ws)
-          | _ -> assert false
-        in
-        ignore (back rev_w rev_z rev_px rev_dz None []))
-      order
+    let nb = (n + params.batch - 1) / params.batch in
+    for b = 0 to nb - 1 do
+      let lo = b * params.batch in
+      let m = min params.batch (n - lo) in
+      (* shard layout shared with Nn.train_batch: boundaries are a function
+         of the batch size only, so grads reduce identically at any jobs *)
+      let ns = (m + Nn.grad_shard_rows - 1) / Nn.grad_shard_rows in
+      let shard_rows s =
+        let slo = s * Nn.grad_shard_rows in
+        (slo, min m (slo + Nn.grad_shard_rows))
+      in
+      (* phase 1: forward every graph of the batch (parallel; per-graph
+         work is independent, so jobs only changes scheduling) *)
+      let states = Array.make m None in
+      Pool.run ~n:ns (fun s ->
+          let slo, shi = shard_rows s in
+          for i = slo to shi - 1 do
+            states.(i) <-
+              Some (forward_graph params gc_weights (src.Gsource.get order.(lo + i)))
+          done);
+      let flats = Fmat.create m flat_w in
+      Fmat.of_rows_into flats
+        (Array.map (fun st -> (Option.get st).flat) states);
+      let yb = Array.init m (fun i -> ys.(order.(lo + i))) in
+      (* phase 2: one batched SGD step of the head; dflat rows are the
+         gradients at the pooled inputs *)
+      let _loss, dflat = Nn.train_batch ~lr ~rng head flats yb in
+      (* phase 3: per-graph gradients of the graph convolutions,
+         accumulated per shard in ascending graph order *)
+      let shard_acc =
+        Array.init ns (fun _ ->
+            List.map
+              (fun (w : Matrix.t) -> Matrix.create w.Matrix.rows w.Matrix.cols)
+              gc_weights)
+      in
+      Pool.run ~n:ns (fun s ->
+          let slo, shi = shard_rows s in
+          let accs = shard_acc.(s) in
+          for i = slo to shi - 1 do
+            let st = Option.get states.(i) in
+            let dws =
+              graph_backward params gc_weights st (Fmat.row_copy dflat i)
+            in
+            List.iter2 (fun acc dw -> Matrix.axpy ~a:1.0 dw acc) accs dws
+          done);
+      (* phase 4: fixed pairwise tree reduction, then one SGD update *)
+      Nn.tree_reduce
+        (fun a b -> List.iter2 (fun x y -> Matrix.axpy ~a:1.0 y x) a b)
+        shard_acc;
+      List.iter2
+        (fun (w : Matrix.t) dw -> Matrix.axpy ~a:(-.lr) dw w)
+        gc_weights shard_acc.(0)
+    done
   done;
   { params; gc_weights; head; feat_dim; n_classes }
+
+let train ?params (rng : Rng.t) ~(n_classes : int) ~(feat_dim : int)
+    (graphs : Graph.t array) (ys : int array) : t =
+  train_source ?params rng ~n_classes
+    (Gsource.of_fn ~n:(Array.length graphs) ~feat_dim (fun i -> graphs.(i)))
+    ys
 
 let predict (t : t) (g : Graph.t) : int =
   let st = forward_graph t.params t.gc_weights g in

@@ -1,23 +1,28 @@
-(** Zhang et al.'s Deep Graph Convolutional Neural Network (AAAI'18): four
-    graph-convolution layers with tanh activation, sort pooling on the last
-    (1-wide) channel, a 1-D convolutional head, and dense classification,
-    trained end-to-end with hand-written backpropagation.  Channel widths
-    are scaled down (32 → 16) so the model trains in seconds; see [params]
-    for the knobs. *)
+(** Zhang et al.'s Deep Graph Convolutional Neural Network, the [dgcnn]
+    model of the paper (§3.2): graph convolutions + sort pooling feeding a
+    1-D convolutional head.
+
+    Trained by minibatch SGD (DESIGN.md §15): parallel per-graph forward
+    shards, one batched {!Nn.train_batch} step of the head per minibatch,
+    and sharded graph-convolution gradients merged in a fixed tree order —
+    bit-identical at any [--jobs] and to the frozen naive trainer in
+    [Reference.Dgcnn]. *)
 
 type params = {
   gc_channels : int list;  (** graph-conv widths; last must be 1 *)
   sortpool_k : int;
   epochs : int;
   lr : float;
-  max_nodes : int;
-      (** larger graphs are truncated to a prefix subgraph (scaling cap) *)
+  max_nodes : int;  (** larger graphs are truncated to a prefix subgraph *)
+  batch : int;  (** graphs per minibatch *)
 }
 
 val default_params : params
 
 type t
 
+(** In-memory training: delegates to {!train_source} over
+    {!Gsource.of_fn}, so the two are bit-identical by construction. *)
 val train :
   ?params:params ->
   Yali_util.Rng.t ->
@@ -27,5 +32,36 @@ val train :
   int array ->
   t
 
+(** Minibatch training over a streamed graph source; only one minibatch of
+    graphs is held at a time, so corpora never need materialising. *)
+val train_source :
+  ?params:params ->
+  Yali_util.Rng.t ->
+  n_classes:int ->
+  Gsource.t ->
+  int array ->
+  t
+
 val predict : t -> Yali_embeddings.Graph.t -> int
 val size_bytes : t -> int
+
+(** Training internals, exposed for the frozen reference trainer
+    ([Reference.Dgcnn]) and the differential tests: initialisers that
+    consume the rng exactly as {!train}'s do, reassembly from parts, and
+    the parameter dump (graph-conv weights in layer order, then the head's
+    {!Nn.dump_weights}) compared for bit-identity. *)
+
+val init_gc_weights :
+  Yali_util.Rng.t -> params -> feat_dim:int -> Matrix.t list
+
+val build_head : Yali_util.Rng.t -> params -> n_classes:int -> Nn.t
+
+val of_parts :
+  params:params ->
+  gc_weights:Matrix.t list ->
+  head:Nn.t ->
+  feat_dim:int ->
+  n_classes:int ->
+  t
+
+val dump_weights : t -> float array array

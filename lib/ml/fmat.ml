@@ -34,6 +34,26 @@ let of_rows (rows : float array array) : t =
         rows;
       m
 
+let of_rows_into (dst : t) (rows : float array array) : unit =
+  if Array.length rows <> dst.n then
+    invalid_arg "Fmat.of_rows_into: row count mismatch";
+  Array.iteri
+    (fun i r ->
+      if Array.length r <> dst.d then
+        invalid_arg "Fmat.of_rows_into: width mismatch";
+      Array.blit r 0 dst.data (i * dst.d) dst.d)
+    rows
+
+let gather_rows_into (dst : t) (src : t) (idx : int array) ~(lo : int)
+    ~(len : int) : unit =
+  if src.d <> dst.d then invalid_arg "Fmat.gather_rows_into: width mismatch";
+  if dst.n <> len then invalid_arg "Fmat.gather_rows_into: row count mismatch";
+  if lo < 0 || lo + len > Array.length idx then
+    invalid_arg "Fmat.gather_rows_into: index range out of bounds";
+  for i = 0 to len - 1 do
+    Array.blit src.data (idx.(lo + i) * src.d) dst.data (i * dst.d) dst.d
+  done
+
 let row_copy (m : t) (i : int) : float array = Array.sub m.data (i * m.d) m.d
 
 let row_into (m : t) (i : int) (dst : float array) : unit =

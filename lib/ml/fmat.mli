@@ -39,6 +39,17 @@ val of_fn : n:int -> (int -> float array) -> t
     straight into matrix rows without an intermediate [float array array]. *)
 val parallel_of_fn : n:int -> (int -> float array) -> t
 
+(** [of_rows_into dst rows] overwrites [dst] from [rows], one blit per row
+    and no intermediate allocation — the minibatch-assembly path of the
+    batched neural trainers.  @raise Invalid_argument on shape mismatch. *)
+val of_rows_into : t -> float array array -> unit
+
+(** [gather_rows_into dst src idx ~lo ~len] blits rows
+    [src[idx.(lo)] .. src[idx.(lo + len - 1)]] into [dst] — minibatch
+    assembly from a shuffled index order, one blit per row.
+    @raise Invalid_argument on shape mismatch or an out-of-range slice. *)
+val gather_rows_into : t -> t -> int array -> lo:int -> len:int -> unit
+
 (** Fresh copy of row [i] (allocates; prefer {!row_into} in loops). *)
 val row_copy : t -> int -> float array
 

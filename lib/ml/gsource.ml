@@ -1,0 +1,31 @@
+(** A random-access graph source: the graph analogue of {!Fblock.source},
+    consumed by the DGCNN's minibatch trainer (DESIGN.md §15).
+
+    Flat rows stream as contiguous blocks; graphs are ragged, so the
+    abstraction is an indexed getter instead — [get i] may decode record
+    [i] from a corpus store, embed an IR module on the fly, or just index
+    an in-memory array.  Trainers promise to call [get] only for the
+    indices of the current minibatch, so peak memory is one minibatch of
+    graphs regardless of corpus size.  Because a trainer sees exactly the
+    same graphs in the same order either way, a streamed source is
+    bit-identical to {!of_graphs} over the materialised array by
+    construction. *)
+
+module Graph = Yali_embeddings.Graph
+
+type t = {
+  n : int;  (** number of graphs *)
+  feat_dim : int;  (** node-feature width, constant across the source *)
+  get : int -> Graph.t;  (** random access; must be pure *)
+}
+
+let of_graphs ?feat_dim (graphs : Graph.t array) : t =
+  let feat_dim =
+    match feat_dim with
+    | Some d -> d
+    | None -> if Array.length graphs = 0 then 1 else graphs.(0).Graph.feat_dim
+  in
+  { n = Array.length graphs; feat_dim; get = (fun i -> graphs.(i)) }
+
+let of_fn ~(n : int) ~(feat_dim : int) (get : int -> Graph.t) : t =
+  { n; feat_dim; get }

@@ -1,0 +1,16 @@
+(** A random-access graph source: the graph analogue of {!Fblock.source}
+    for the DGCNN's streamed minibatch training (DESIGN.md §15).  [get i]
+    may index an array, or decode + embed corpus record [i] out of core —
+    trainers only ever hold one minibatch of graphs at a time. *)
+
+type t = {
+  n : int;  (** number of graphs *)
+  feat_dim : int;  (** node-feature width, constant across the source *)
+  get : int -> Yali_embeddings.Graph.t;  (** random access; must be pure *)
+}
+
+(** In-memory source.  [feat_dim] defaults to the first graph's (1 when
+    empty). *)
+val of_graphs : ?feat_dim:int -> Yali_embeddings.Graph.t array -> t
+
+val of_fn : n:int -> feat_dim:int -> (int -> Yali_embeddings.Graph.t) -> t

@@ -5,6 +5,13 @@ type t = { rows : int; cols : int; data : float array }
 
 let create rows cols = { rows; cols; data = Array.make (rows * cols) 0.0 }
 
+(* Uninitialised storage for results that are fully overwritten before
+   being read (transposes, gathers, elementwise outputs): skips the
+   zero-fill pass of {!create}, which is measurable in the batched
+   training kernels.  Callers MUST write every cell. *)
+let create_uninit rows cols =
+  { rows; cols; data = Array.create_float (rows * cols) }
+
 let init rows cols f =
   let m = create rows cols in
   for i = 0 to rows - 1 do
@@ -53,14 +60,22 @@ let matmul_naive (a : t) (b : t) : t =
 
 (* Cache-tiled matmul.  Blocks of [b] (tile x tile, ~32 KB) stay resident
    while every row of [a] sweeps over them, so [b] is streamed from memory
-   once per j-tile instead of once per row of [a].  For any output cell
-   (i, j) the products still accumulate in ascending [k] order — the tile
-   loops only reorder work across *different* cells — so the result is
-   bit-identical to {!matmul_naive} (incl. the [aik <> 0] skip). *)
+   once per j-tile instead of once per row of [a].  Within a k-tile the
+   nonzero [a (i, k)] entries are gathered once per row, and the j loop
+   then accumulates each output cell in a register across the whole tile
+   instead of loading and storing [c] once per (k, j) pair.  For any output
+   cell (i, j) the products still accumulate in ascending [k] order — the
+   tile loops only reorder work across *different* cells, and gathering
+   drops exactly the products the [aik <> 0] skip would — so the result is
+   bit-identical to {!matmul_naive}. *)
 let tile = 64
 
 let matmul_into (c : t) (a : t) (b : t) : unit =
   let n = a.rows and kdim = a.cols and p = b.cols in
+  let av = Array.make tile 0.0 in
+  let bb = Array.make tile 0 in
+  let acc0 = ref 0.0 and acc1 = ref 0.0 and acc2 = ref 0.0 and acc3 = ref 0.0 in
+  let acc4 = ref 0.0 and acc5 = ref 0.0 and acc6 = ref 0.0 and acc7 = ref 0.0 in
   let jj = ref 0 in
   while !jj < p do
     let jhi = min p (!jj + tile) in
@@ -69,17 +84,84 @@ let matmul_into (c : t) (a : t) (b : t) : unit =
       let khi = min kdim (!kk + tile) in
       for i = 0 to n - 1 do
         let abase = i * kdim and cbase = i * p in
+        let cnt = ref 0 in
         for k = !kk to khi - 1 do
           let aik = Array.unsafe_get a.data (abase + k) in
           if aik <> 0.0 then begin
-            let bbase = k * p in
-            for j = !jj to jhi - 1 do
-              Array.unsafe_set c.data (cbase + j)
-                (Array.unsafe_get c.data (cbase + j)
-                +. (aik *. Array.unsafe_get b.data (bbase + j)))
-            done
+            Array.unsafe_set av !cnt aik;
+            Array.unsafe_set bb !cnt (k * p);
+            incr cnt
           end
-        done
+        done;
+        let cnt = !cnt in
+        if cnt > 0 then begin
+          (* independent accumulator chains (one output cell each) keep the
+             FPU busy across the fadd latency; each cell's own chain is
+             still ascending-k *)
+          let j = ref !jj in
+          while !j + 7 < jhi do
+            let cj = cbase + !j in
+            acc0 := Array.unsafe_get c.data cj;
+            acc1 := Array.unsafe_get c.data (cj + 1);
+            acc2 := Array.unsafe_get c.data (cj + 2);
+            acc3 := Array.unsafe_get c.data (cj + 3);
+            acc4 := Array.unsafe_get c.data (cj + 4);
+            acc5 := Array.unsafe_get c.data (cj + 5);
+            acc6 := Array.unsafe_get c.data (cj + 6);
+            acc7 := Array.unsafe_get c.data (cj + 7);
+            for t = 0 to cnt - 1 do
+              let aik = Array.unsafe_get av t in
+              let bj = Array.unsafe_get bb t + !j in
+              acc0 := !acc0 +. (aik *. Array.unsafe_get b.data bj);
+              acc1 := !acc1 +. (aik *. Array.unsafe_get b.data (bj + 1));
+              acc2 := !acc2 +. (aik *. Array.unsafe_get b.data (bj + 2));
+              acc3 := !acc3 +. (aik *. Array.unsafe_get b.data (bj + 3));
+              acc4 := !acc4 +. (aik *. Array.unsafe_get b.data (bj + 4));
+              acc5 := !acc5 +. (aik *. Array.unsafe_get b.data (bj + 5));
+              acc6 := !acc6 +. (aik *. Array.unsafe_get b.data (bj + 6));
+              acc7 := !acc7 +. (aik *. Array.unsafe_get b.data (bj + 7))
+            done;
+            Array.unsafe_set c.data cj !acc0;
+            Array.unsafe_set c.data (cj + 1) !acc1;
+            Array.unsafe_set c.data (cj + 2) !acc2;
+            Array.unsafe_set c.data (cj + 3) !acc3;
+            Array.unsafe_set c.data (cj + 4) !acc4;
+            Array.unsafe_set c.data (cj + 5) !acc5;
+            Array.unsafe_set c.data (cj + 6) !acc6;
+            Array.unsafe_set c.data (cj + 7) !acc7;
+            j := !j + 8
+          done;
+          while !j + 3 < jhi do
+            let cj = cbase + !j in
+            acc0 := Array.unsafe_get c.data cj;
+            acc1 := Array.unsafe_get c.data (cj + 1);
+            acc2 := Array.unsafe_get c.data (cj + 2);
+            acc3 := Array.unsafe_get c.data (cj + 3);
+            for t = 0 to cnt - 1 do
+              let aik = Array.unsafe_get av t in
+              let bj = Array.unsafe_get bb t + !j in
+              acc0 := !acc0 +. (aik *. Array.unsafe_get b.data bj);
+              acc1 := !acc1 +. (aik *. Array.unsafe_get b.data (bj + 1));
+              acc2 := !acc2 +. (aik *. Array.unsafe_get b.data (bj + 2));
+              acc3 := !acc3 +. (aik *. Array.unsafe_get b.data (bj + 3))
+            done;
+            Array.unsafe_set c.data cj !acc0;
+            Array.unsafe_set c.data (cj + 1) !acc1;
+            Array.unsafe_set c.data (cj + 2) !acc2;
+            Array.unsafe_set c.data (cj + 3) !acc3;
+            j := !j + 4
+          done;
+          for j = !j to jhi - 1 do
+            acc0 := Array.unsafe_get c.data (cbase + j);
+            for t = 0 to cnt - 1 do
+              acc0 :=
+                !acc0
+                +. Array.unsafe_get av t
+                   *. Array.unsafe_get b.data (Array.unsafe_get bb t + j)
+            done;
+            Array.unsafe_set c.data (cbase + j) !acc0
+          done
+        end
       done;
       kk := khi
     done;
@@ -100,11 +182,23 @@ let matmul_bias ~(bias : float array) (a : t) (b : t) : t =
   if a.cols <> b.rows then invalid_arg "Matrix.matmul_bias: dimension mismatch";
   if Array.length bias <> b.cols then
     invalid_arg "Matrix.matmul_bias: bias width mismatch";
-  let c = init a.rows b.cols (fun _ j -> bias.(j)) in
+  let c = create_uninit a.rows b.cols in
+  for i = 0 to a.rows - 1 do
+    Array.blit bias 0 c.data (i * b.cols) b.cols
+  done;
   matmul_into c a b;
   c
 
-let transpose (m : t) : t = init m.cols m.rows (fun i j -> get m j i)
+let transpose (m : t) : t =
+  let r = create_uninit m.cols m.rows in
+  for i = 0 to m.rows - 1 do
+    let base = i * m.cols in
+    for j = 0 to m.cols - 1 do
+      Array.unsafe_set r.data ((j * m.rows) + i)
+        (Array.unsafe_get m.data (base + j))
+    done
+  done;
+  r
 
 let map f (m : t) : t = { m with data = Array.map f m.data }
 
@@ -119,7 +213,10 @@ let scale (k : float) (m : t) : t = map (fun x -> k *. x) m
 let axpy ~(a : float) (x : t) (y : t) : unit =
   if x.rows <> y.rows || x.cols <> y.cols then
     invalid_arg "Matrix.axpy: dimension mismatch";
-  Array.iteri (fun i xi -> y.data.(i) <- y.data.(i) +. (a *. xi)) x.data
+  for i = 0 to Array.length x.data - 1 do
+    Array.unsafe_set y.data i
+      (Array.unsafe_get y.data i +. (a *. Array.unsafe_get x.data i))
+  done
 
 (** Matrix–vector product. *)
 let mv (m : t) (v : float array) : float array =

@@ -3,6 +3,10 @@
 type t = { rows : int; cols : int; data : float array }
 
 val create : int -> int -> t
+
+(** Uninitialised storage (no zero-fill) for results that are fully
+    overwritten before being read.  Callers must write every cell. *)
+val create_uninit : int -> int -> t
 val init : int -> int -> (int -> int -> float) -> t
 val get : t -> int -> int -> float
 val set : t -> int -> int -> float -> unit

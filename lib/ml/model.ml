@@ -137,6 +137,7 @@ type snapshot =
   | S_knn of Knn.t
   | S_mlp of Mlp.t
   | S_rf of Random_forest.t
+  | S_cnn of Cnn.t
 
 let snapshot_kind = function
   | S_lr _ -> "lr"
@@ -144,8 +145,9 @@ let snapshot_kind = function
   | S_knn _ -> "knn"
   | S_mlp _ -> "mlp"
   | S_rf _ -> "rf"
+  | S_cnn _ -> "cnn"
 
-let snapshot_kinds = [ "rf"; "svm"; "knn"; "lr"; "mlp" ]
+let snapshot_kinds = [ "rf"; "svm"; "knn"; "lr"; "mlp"; "cnn" ]
 
 let train_snapshot name rng ~n_classes x ys =
   match name with
@@ -154,13 +156,14 @@ let train_snapshot name rng ~n_classes x ys =
   | "knn" -> Some (S_knn (Knn.train ~n_classes x ys))
   | "mlp" -> Some (S_mlp (Mlp.train rng ~n_classes x ys))
   | "rf" -> Some (S_rf (Random_forest.train rng ~n_classes x ys))
+  | "cnn" -> Some (S_cnn (Cnn.train rng ~n_classes x ys))
   | _ -> None
 
-(** The out-of-core counterpart of {!train_snapshot}: lr/svm/mlp train by
-    minibatch SGD over streamed blocks, rf grows trees per block; knn keeps
-    every training row by definition and materialises the source.  On a
-    source that fits
-    one block the snapshot is bit-identical to {!train_snapshot}'s. *)
+(** The out-of-core counterpart of {!train_snapshot}: lr/svm/mlp/cnn train
+    by minibatch SGD over streamed blocks, rf grows trees per block; knn
+    keeps every training row by definition and materialises the source.  On
+    a source that fits one block the snapshot is bit-identical to
+    {!train_snapshot}'s. *)
 let train_snapshot_stream ?block_rows name rng ~n_classes
     (src : Fblock.source) ys =
   match name with
@@ -170,7 +173,13 @@ let train_snapshot_stream ?block_rows name rng ~n_classes
   | "mlp" -> Some (S_mlp (Mlp.train_stream ?block_rows rng ~n_classes src ys))
   | "rf" ->
       Some (S_rf (Random_forest.train_stream ?block_rows rng ~n_classes src ys))
+  | "cnn" -> Some (S_cnn (Cnn.train_stream ?block_rows rng ~n_classes src ys))
   | _ -> None
+
+(** The graph twin of {!train_snapshot_stream}; delegates to the (single)
+    streamed dgcnn trainer. *)
+let train_dgcnn_stream ?params rng ~n_classes (src : Gsource.t) ys =
+  Dgcnn.train_source ?params rng ~n_classes src ys
 
 (** First-maximum index — the arena-wide argmax convention (every model's
     [predict] scans scores left to right and displaces only on a strictly
@@ -180,7 +189,7 @@ let argmax (v : float array) : int =
   Array.iteri (fun i x -> if x > v.(!best) then best := i) v;
   !best
 
-(** Per-class scores of a snapshot — raw logits for lr/mlp, one-vs-rest
+(** Per-class scores of a snapshot — raw logits for lr/mlp/cnn, one-vs-rest
     scores for svm, vote counts for knn/rf.  The contract shared by every
     kind: [argmax (margins s v) = (restore s).predict v], bit for bit, and
     a {!save}/{!load} round trip preserves the scores exactly.  The adaptive
@@ -191,6 +200,7 @@ let margins = function
   | S_knn m -> Knn.margins m
   | S_mlp m -> Mlp.margins m
   | S_rf m -> Random_forest.margins m
+  | S_cnn m -> Cnn.margins m
 
 let restore = function
   | S_lr m ->
@@ -223,6 +233,12 @@ let restore = function
         predict_batch = Random_forest.predict_batch m;
         size_bytes = Random_forest.size_bytes m;
       }
+  | S_cnn m ->
+      {
+        predict = Cnn.predict m;
+        predict_batch = Cnn.predict_batch m;
+        size_bytes = Cnn.size_bytes m;
+      }
 
 (* Snapshot blob: magic + u16 version + u8 kind tag + weight payload.
    The magic keeps a model file from ever being confused with an IR blob
@@ -237,6 +253,7 @@ let kind_tag = function
   | S_knn _ -> 2
   | S_mlp _ -> 3
   | S_rf _ -> 4
+  | S_cnn _ -> 5
 
 let save (s : snapshot) : string =
   let b = Buffer.create 4096 in
@@ -248,7 +265,8 @@ let save (s : snapshot) : string =
   | S_svm m -> Svm.to_bin b m
   | S_knn m -> Knn.to_bin b m
   | S_mlp m -> Mlp.to_bin b m
-  | S_rf m -> Random_forest.to_bin b m);
+  | S_rf m -> Random_forest.to_bin b m
+  | S_cnn m -> Cnn.to_bin b m);
   Buffer.contents b
 
 let load (blob : string) : snapshot =
@@ -265,6 +283,7 @@ let load (blob : string) : snapshot =
     | 2 -> S_knn (Knn.of_bin r)
     | 3 -> S_mlp (Mlp.of_bin r)
     | 4 -> S_rf (Random_forest.of_bin r)
+    | 5 -> S_cnn (Cnn.of_bin r)
     | n -> Bin.fail r (Printf.sprintf "bad model kind tag %d" n)
   in
   Bin.expect_end r;

@@ -59,8 +59,10 @@ val find_flat : string -> flat option
     matrices, biases, trees, the k-NN training set — rather than the
     closures of {!trained}, so it can be persisted and reloaded
     bit-exactly: {!restore} of a saved-and-loaded snapshot predicts
-    bit-identically to the in-memory trained model.  The [cnn] is the one
-    flat model without a snapshot form (it keeps activation planes). *)
+    bit-identically to the in-memory trained model.  Every flat model has a
+    snapshot form; the graph-consuming [dgcnn] does not (margins and the
+    registry are flat-vector interfaces — see {!train_dgcnn_stream} for its
+    streamed trainer). *)
 
 type snapshot =
   | S_lr of Logreg.t
@@ -68,6 +70,7 @@ type snapshot =
   | S_knn of Knn.t
   | S_mlp of Mlp.t
   | S_rf of Random_forest.t
+  | S_cnn of Cnn.t
 
 (** The registry name of the snapshot's model ("lr", "svm", ...). *)
 val snapshot_kind : snapshot -> string
@@ -76,7 +79,7 @@ val snapshot_kind : snapshot -> string
 val snapshot_kinds : string list
 
 (** Train the named model and capture its weights.  [None] for unknown
-    names and for [cnn].  The trained model behind the snapshot is exactly
+    names.  The trained model behind the snapshot is exactly
     [find_flat name].ftrain on the same inputs (same rng consumption). *)
 val train_snapshot :
   string ->
@@ -87,10 +90,10 @@ val train_snapshot :
   snapshot option
 
 (** {!train_snapshot} over a streamed feature source (out-of-core
-    training, DESIGN.md §12).  lr/svm/mlp run minibatch SGD over blocks,
-    rf grows trees block-by-block, knn materialises (it keeps every row by
-    definition).  On a source that fits one [block_rows] the snapshot is
-    bit-identical to {!train_snapshot}'s. *)
+    training, DESIGN.md §12).  lr/svm/mlp/cnn run minibatch SGD over
+    blocks, rf grows trees block-by-block, knn materialises (it keeps every
+    row by definition).  On a source that fits one [block_rows] the
+    snapshot is bit-identical to {!train_snapshot}'s. *)
 val train_snapshot_stream :
   ?block_rows:int ->
   string ->
@@ -99,6 +102,18 @@ val train_snapshot_stream :
   Fblock.source ->
   int array ->
   snapshot option
+
+(** The graph twin of {!train_snapshot_stream}: train the [dgcnn] over a
+    streamed graph source ({!Gsource.t}), holding only one minibatch of
+    graphs at a time.  Bit-identical to [Dgcnn.train] on the materialised
+    array (they share the same trainer). *)
+val train_dgcnn_stream :
+  ?params:Dgcnn.params ->
+  Yali_util.Rng.t ->
+  n_classes:int ->
+  Gsource.t ->
+  int array ->
+  Dgcnn.t
 
 (** The predictor of a snapshot; class decisions are identical to the
     {!trained} returned by the original [ftrain]. *)
@@ -109,7 +124,7 @@ val restore : snapshot -> trained
 val argmax : float array -> int
 
 (** Per-class scores of a snapshot on one feature vector — raw logits for
-    lr/mlp, one-vs-rest scores for svm, vote counts for knn/rf.  For every
+    lr/mlp/cnn, one-vs-rest scores for svm, vote counts for knn/rf.  For every
     kind, [argmax (margins s v) = (restore s).predict v] bit for bit, and
     the scores survive a {!save}/{!load} round trip exactly.  This is the
     interface the adaptive evaders ({!Yali_adapt}) optimise against. *)

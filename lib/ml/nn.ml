@@ -1,14 +1,29 @@
 (** A small feed-forward neural-network kernel with hand-written
     backpropagation: dense, ReLU, tanh, dropout, 1-D convolution and max
     pooling layers, plus a softmax/cross-entropy head.  Shared by the MLP,
-    CNN and DGCNN models. *)
+    CNN and DGCNN models.
+
+    Two training paths coexist:
+    - the per-example {!train_step} (used by the MLP), and
+    - the batched {!train_batch} minibatch kernel: whole-batch forward and
+      backward as cache-tiled matmuls (im2col lowering for the 1-D
+      convolutions), gradients accumulated in fixed row shards over
+      {!Yali_exec.Pool} and merged in a fixed pairwise tree order, so the
+      result is bit-identical at any [--jobs].  The frozen naive
+      counterpart lives in [Reference.Nnb]; `bench nn` proves the speedup
+      and the bit-identity. *)
 
 module Rng = Yali_util.Rng
+module Pool = Yali_exec.Pool
+
 
 type dense = {
   mutable w : Matrix.t;  (** out x in *)
   mutable b : float array;
   mutable last_in : float array;
+  mutable wt : Matrix.t option;
+      (** cached transpose of [w] for the batched paths; invalidated on
+          every weight update *)
 }
 
 type conv1d = {
@@ -20,6 +35,8 @@ type conv1d = {
   mutable cbias : float array;
   mutable conv_in : float array;
   mutable in_len : int;
+  mutable ft : Matrix.t option;
+      (** cached transpose of [filters]; invalidated on update *)
 }
 
 type layer =
@@ -36,6 +53,7 @@ let dense (rng : Rng.t) ~(d_in : int) ~(d_out : int) : layer =
       w = Matrix.random rng d_out d_in ~scale:(sqrt (2.0 /. float_of_int d_in));
       b = Array.make d_out 0.0;
       last_in = [||];
+      wt = None;
     }
 
 let relu () = Relu { mask = [||] }
@@ -56,6 +74,7 @@ let conv1d (rng : Rng.t) ~(c_in : int) ~(c_out : int) ~(kernel : int)
       cbias = Array.make c_out 0.0;
       conv_in = [||];
       in_len = 0;
+      ft = None;
     }
 
 let maxpool size = MaxPool { size; argmax = [||]; pool_in_len = 0 }
@@ -65,6 +84,22 @@ let maxpool size = MaxPool { size; argmax = [||]; pool_in_len = 0 }
 
 let conv_out_len (c : conv1d) (in_len : int) : int =
   ((in_len - c.kernel) / c.stride) + 1
+
+let dense_wt (d : dense) : Matrix.t =
+  match d.wt with
+  | Some t -> t
+  | None ->
+      let t = Matrix.transpose d.w in
+      d.wt <- Some t;
+      t
+
+let conv_ft (c : conv1d) : Matrix.t =
+  match c.ft with
+  | Some t -> t
+  | None ->
+      let t = Matrix.transpose c.filters in
+      c.ft <- Some t;
+      t
 
 let forward ?(train = false) ?rng (layer : layer) (x : float array) :
     float array =
@@ -155,6 +190,7 @@ let backward ~(lr : float) (layer : layer) (dout : float array) : float array
             (Array.unsafe_get wd (base + i) -. (s *. d.last_in.(i)))
         done
       done;
+      d.wt <- None;
       din
   | Relu r -> Array.mapi (fun i v -> if r.mask.(i) then v else 0.0) dout
   | Tanh t -> Array.mapi (fun i v -> v *. (1.0 -. (t.out.(i) *. t.out.(i)))) dout
@@ -186,7 +222,8 @@ let backward ~(lr : float) (layer : layer) (dout : float array) : float array
             done
           done;
           c.cbias.(o) <- c.cbias.(o) -. (lr *. !gb)
-        done
+        done;
+        c.ft <- None
       end;
       din
   | MaxPool m ->
@@ -195,6 +232,58 @@ let backward ~(lr : float) (layer : layer) (dout : float array) : float array
       din
 
 type t = { layers : layer list; n_classes : int }
+
+let invalidate_caches (net : t) : unit =
+  List.iter
+    (function
+      | Dense d -> d.wt <- None
+      | Conv1d c -> c.ft <- None
+      | Relu _ | Tanh _ | Dropout _ | MaxPool _ -> ())
+    net.layers
+
+type layer_view =
+  | V_dense of { w : Matrix.t; b : float array }
+  | V_relu
+  | V_tanh
+  | V_dropout of float
+  | V_conv1d of {
+      c_in : int;
+      c_out : int;
+      kernel : int;
+      stride : int;
+      filters : Matrix.t;
+      cbias : float array;
+    }
+  | V_maxpool of int
+
+let view (net : t) : layer_view list =
+  List.map
+    (function
+      | Dense d -> V_dense { w = d.w; b = d.b }
+      | Relu _ -> V_relu
+      | Tanh _ -> V_tanh
+      | Dropout d -> V_dropout d.p
+      | Conv1d c ->
+          V_conv1d
+            {
+              c_in = c.c_in;
+              c_out = c.c_out;
+              kernel = c.kernel;
+              stride = c.stride;
+              filters = c.filters;
+              cbias = c.cbias;
+            }
+      | MaxPool m -> V_maxpool m.size)
+    net.layers
+
+let dump_weights (net : t) : float array array =
+  Array.of_list
+    (List.concat_map
+       (function
+         | Dense d -> [ Array.copy d.w.Matrix.data; Array.copy d.b ]
+         | Conv1d c -> [ Array.copy c.filters.Matrix.data; Array.copy c.cbias ]
+         | Relu _ | Tanh _ | Dropout _ | MaxPool _ -> [])
+       net.layers)
 
 let forward_all ?(train = false) ?rng (net : t) (x : float array) :
     float array =
@@ -221,6 +310,423 @@ let train_step ~(lr : float) ~(rng : Rng.t) (net : t) (x : float array)
   let dlogits = Array.mapi (fun i v -> v -. if i = y then 1.0 else 0.0) p in
   let dx = backward_all ~lr net dlogits in
   (loss, dx)
+
+(* -- batched minibatch training (DESIGN.md §15) ----------------------------- *)
+
+(* Bit-identity contract with [Reference.Nnb]: both sides implement the SAME
+   minibatch algorithm; every floating-point accumulation below is specified
+   per output cell as an ascending-index chain so the naive per-sample loops
+   of the reference produce the same bits as the tiled matmuls here
+   (Matrix.matmul is bit-identical to Matrix.matmul_naive, including the
+   zero-skip on elements of the left operand).  Do not reorder loops or
+   change skip conditions without updating Reference.Nnb in lockstep —
+   the ml/nn-kernel-vs-reference oracle pins the pairing. *)
+
+(** Rows per gradient shard.  Shard boundaries depend only on the batch
+    size — never on [--jobs] — and shards are merged in a fixed pairwise
+    tree order, so training is bit-identical at any parallelism. *)
+let grad_shard_rows = 16
+
+(* widths.(li) = width of layer li's input; widths.(n_layers) = output. *)
+let shape_widths (net : t) ~(d_in : int) : int array =
+  let nl = List.length net.layers in
+  let widths = Array.make (nl + 1) d_in in
+  List.iteri
+    (fun li l ->
+      let w = widths.(li) in
+      widths.(li + 1) <-
+        (match l with
+        | Dense d ->
+            if d.w.Matrix.cols <> w then
+              invalid_arg "Nn.train_batch: dense layer width mismatch";
+            d.w.Matrix.rows
+        | Relu _ | Tanh _ | Dropout _ -> w
+        | Conv1d c ->
+            let in_len = w / c.c_in in
+            let ol = conv_out_len c in_len in
+            if ol <= 0 then c.c_out else c.c_out * ol
+        | MaxPool m -> w / m.size))
+    net.layers;
+  widths
+
+type grad =
+  | G_none
+  | G_dense of Matrix.t * float array
+  | G_conv of Matrix.t * float array
+
+type bscratch =
+  | S_nothing
+  | S_input of Matrix.t  (** dense / relu input *)
+  | S_out of Matrix.t  (** tanh output *)
+  | S_conv of { im : Matrix.t; in_w : int; out_len : int }
+  | S_pool of { argmax : int array; in_w : int; out_w : int }
+
+(* One gradient shard: forward its rows, softmax/cross-entropy, backward,
+   returning the shard-local parameter gradients.  [losses] and [dx] rows
+   are disjoint per shard (safe under the pool). *)
+let run_shard (net : t) ~(need_dx : bool) ~(masks : Matrix.t option array)
+    ~(row0 : int) ~(xm : Matrix.t) ~(yb : int array)
+    ~(losses : float array) ~(dx : Fmat.t) : grad array =
+  let nl = List.length net.layers in
+  let scratch = Array.make nl S_nothing in
+  let rows = xm.Matrix.rows in
+  let a = ref xm in
+  List.iteri
+    (fun li l ->
+      let x = !a in
+      match l with
+      | Dense d ->
+          scratch.(li) <- S_input x;
+          a := Matrix.matmul_bias ~bias:d.b x (dense_wt d)
+      | Relu _ ->
+          (* rectify in place: only non-positive cells need a store, and the
+             backward pass can read the sign off the post-activation values
+             (relu v > 0 iff v > 0, NaN included).  The previous layer's
+             output is dead once rectified; only the shard input [xm] must
+             never be mutated. *)
+          let out = if x == xm then Matrix.copy x else x in
+          for t = 0 to (rows * out.Matrix.cols) - 1 do
+            if not (Array.unsafe_get out.Matrix.data t > 0.0) then
+              Array.unsafe_set out.Matrix.data t 0.0
+          done;
+          scratch.(li) <- S_input out;
+          a := out
+      | Tanh _ ->
+          let out = Matrix.create_uninit rows x.Matrix.cols in
+          for t = 0 to (rows * x.Matrix.cols) - 1 do
+            Array.unsafe_set out.Matrix.data t
+              (tanh (Array.unsafe_get x.Matrix.data t))
+          done;
+          scratch.(li) <- S_out out;
+          a := out
+      | Dropout _ ->
+          let mask = Option.get masks.(li) in
+          let w = x.Matrix.cols in
+          let out = Matrix.create_uninit rows w in
+          for i = 0 to rows - 1 do
+            let xb = i * w and mb = (row0 + i) * w in
+            for j = 0 to w - 1 do
+              Array.unsafe_set out.Matrix.data (xb + j)
+                (Array.unsafe_get x.Matrix.data (xb + j)
+                *. Array.unsafe_get mask.Matrix.data (mb + j))
+            done
+          done;
+          a := out
+      | Conv1d c ->
+          let in_w = x.Matrix.cols in
+          let in_len = in_w / c.c_in in
+          let out_len = conv_out_len c in_len in
+          if out_len <= 0 then begin
+            scratch.(li) <- S_conv { im = Matrix.create 0 0; in_w; out_len };
+            a := Matrix.create rows c.c_out
+          end
+          else begin
+            (* im2col: row (i, p) holds the window of sample i at output
+               position p, columns (ci*kernel + k) — contiguous per-channel
+               blits from the channel-major input layout *)
+            let cols = c.c_in * c.kernel in
+            let im = Matrix.create_uninit (rows * out_len) cols in
+            (* windows are [kernel] elements (typically <= 5): an inline
+               copy loop beats an Array.blit call per window *)
+            for i = 0 to rows - 1 do
+              let xbase = i * in_w in
+              for p = 0 to out_len - 1 do
+                let rbase = ((i * out_len) + p) * cols in
+                for ci = 0 to c.c_in - 1 do
+                  let sb = xbase + (ci * in_len) + (p * c.stride) in
+                  let db = rbase + (ci * c.kernel) in
+                  for k = 0 to c.kernel - 1 do
+                    Array.unsafe_set im.Matrix.data (db + k)
+                      (Array.unsafe_get x.Matrix.data (sb + k))
+                  done
+                done
+              done
+            done;
+            scratch.(li) <- S_conv { im; in_w; out_len };
+            let col = Matrix.matmul_bias ~bias:c.cbias im (conv_ft c) in
+            let out = Matrix.create_uninit rows (c.c_out * out_len) in
+            for i = 0 to rows - 1 do
+              let ob = i * out.Matrix.cols in
+              for p = 0 to out_len - 1 do
+                let cb = ((i * out_len) + p) * c.c_out in
+                for o = 0 to c.c_out - 1 do
+                  Array.unsafe_set out.Matrix.data (ob + (o * out_len) + p)
+                    (Array.unsafe_get col.Matrix.data (cb + o))
+                done
+              done
+            done;
+            a := out
+          end
+      | MaxPool mp ->
+          let in_w = x.Matrix.cols in
+          let out_w = in_w / mp.size in
+          let amax = Array.make (rows * out_w) 0 in
+          let out = Matrix.create_uninit rows out_w in
+          for i = 0 to rows - 1 do
+            let xb = i * in_w in
+            for wi = 0 to out_w - 1 do
+              let base = wi * mp.size in
+              let best = ref base in
+              for k = 1 to mp.size - 1 do
+                if
+                  base + k < in_w
+                  && Array.unsafe_get x.Matrix.data (xb + base + k)
+                     > Array.unsafe_get x.Matrix.data (xb + !best)
+                then best := base + k
+              done;
+              Array.unsafe_set amax ((i * out_w) + wi) !best;
+              Array.unsafe_set out.Matrix.data ((i * out_w) + wi)
+                (Array.unsafe_get x.Matrix.data (xb + !best))
+            done
+          done;
+          scratch.(li) <- S_pool { argmax = amax; in_w; out_w };
+          a := out)
+    net.layers;
+  (* softmax / cross-entropy head.  Gradients are SUMMED over the batch
+     (dlogits = p - onehot per row, no 1/m), so the per-epoch step
+     magnitude matches the per-example trainer at the same learning rate. *)
+  let logits = !a in
+  let nc = logits.Matrix.cols in
+  let dlog = Matrix.create_uninit rows nc in
+  let buf = Array.make nc 0.0 in
+  for r = 0 to rows - 1 do
+    Array.blit logits.Matrix.data (r * nc) buf 0 nc;
+    let p = softmax buf in
+    let y = yb.(r) in
+    losses.(row0 + r) <- -.log (max 1e-12 p.(y));
+    for j = 0 to nc - 1 do
+      dlog.Matrix.data.((r * nc) + j) <- p.(j) -. (if j = y then 1.0 else 0.0)
+    done
+  done;
+  let grads = Array.make nl G_none in
+  let dout = ref dlog in
+  let layers = Array.of_list net.layers in
+  for li = nl - 1 downto 0 do
+    let d_o = !dout in
+    match (layers.(li), scratch.(li)) with
+    | Dense d, S_input xin ->
+        let gw = Matrix.matmul (Matrix.transpose d_o) xin in
+        let nc = d_o.Matrix.cols in
+        let gb = Array.make nc 0.0 in
+        for r = 0 to rows - 1 do
+          let base = r * nc in
+          for o = 0 to nc - 1 do
+            Array.unsafe_set gb o
+              (Array.unsafe_get gb o
+              +. Array.unsafe_get d_o.Matrix.data (base + o))
+          done
+        done;
+        grads.(li) <- G_dense (gw, gb);
+        (* the first layer's input gradient only exists for [dx] *)
+        if li > 0 || need_dx then dout := Matrix.matmul d_o d.w
+    | Relu _, S_input xin ->
+        (* [xin] holds the post-activation values (forward rectified in
+           place); mask the incoming gradient in place — every upstream
+           producer hands over a matrix that is dead after this layer *)
+        for t = 0 to (rows * xin.Matrix.cols) - 1 do
+          if not (Array.unsafe_get xin.Matrix.data t > 0.0) then
+            Array.unsafe_set d_o.Matrix.data t 0.0
+        done;
+        dout := d_o
+    | Tanh _, S_out out ->
+        let dn = Matrix.create_uninit rows out.Matrix.cols in
+        for t = 0 to (rows * out.Matrix.cols) - 1 do
+          let o = Array.unsafe_get out.Matrix.data t in
+          Array.unsafe_set dn.Matrix.data t
+            (Array.unsafe_get d_o.Matrix.data t *. (1.0 -. (o *. o)))
+        done;
+        dout := dn
+    | Dropout _, S_nothing ->
+        let mask = Option.get masks.(li) in
+        let w = d_o.Matrix.cols in
+        let dn = Matrix.create_uninit rows w in
+        for i = 0 to rows - 1 do
+          let db = i * w and mb = (row0 + i) * w in
+          for j = 0 to w - 1 do
+            Array.unsafe_set dn.Matrix.data (db + j)
+              (Array.unsafe_get d_o.Matrix.data (db + j)
+              *. Array.unsafe_get mask.Matrix.data (mb + j))
+          done
+        done;
+        dout := dn
+    | Conv1d c, S_conv { im; in_w; out_len } ->
+        if out_len <= 0 then begin
+          grads.(li) <-
+            G_conv
+              (Matrix.create c.c_out (c.c_in * c.kernel), Array.make c.c_out 0.0);
+          dout := Matrix.create rows in_w
+        end
+        else begin
+          let cols = c.c_in * c.kernel in
+          (* gather dL/d(out) into im2col row order *)
+          let dcol = Matrix.create_uninit (rows * out_len) c.c_out in
+          for i = 0 to rows - 1 do
+            let db = i * d_o.Matrix.cols in
+            for p = 0 to out_len - 1 do
+              let rb = ((i * out_len) + p) * c.c_out in
+              for o = 0 to c.c_out - 1 do
+                Array.unsafe_set dcol.Matrix.data (rb + o)
+                  (Array.unsafe_get d_o.Matrix.data (db + (o * out_len) + p))
+              done
+            done
+          done;
+          let gf = Matrix.matmul (Matrix.transpose dcol) im in
+          let gcb = Array.make c.c_out 0.0 in
+          for r = 0 to (rows * out_len) - 1 do
+            let base = r * c.c_out in
+            for o = 0 to c.c_out - 1 do
+              Array.unsafe_set gcb o
+                (Array.unsafe_get gcb o
+                +. Array.unsafe_get dcol.Matrix.data (base + o))
+            done
+          done;
+          grads.(li) <- G_conv (gf, gcb);
+          if li > 0 || need_dx then begin
+            let dim = Matrix.matmul dcol c.filters in
+            let din = Matrix.create rows in_w in
+            let in_len = in_w / c.c_in in
+            for i = 0 to rows - 1 do
+              let xbase = i * in_w in
+              for p = 0 to out_len - 1 do
+                let rb = ((i * out_len) + p) * cols in
+                for ci = 0 to c.c_in - 1 do
+                  let db = xbase + (ci * in_len) + (p * c.stride) in
+                  let sb = rb + (ci * c.kernel) in
+                  for k = 0 to c.kernel - 1 do
+                    Array.unsafe_set din.Matrix.data (db + k)
+                      (Array.unsafe_get din.Matrix.data (db + k)
+                      +. Array.unsafe_get dim.Matrix.data (sb + k))
+                  done
+                done
+              done
+            done;
+            dout := din
+          end
+        end
+    | MaxPool _, S_pool { argmax; in_w; out_w } ->
+        let din = Matrix.create rows in_w in
+        for i = 0 to rows - 1 do
+          for wi = 0 to out_w - 1 do
+            let t = (i * in_w) + Array.unsafe_get argmax ((i * out_w) + wi) in
+            Array.unsafe_set din.Matrix.data t
+              (Array.unsafe_get din.Matrix.data t
+              +. Array.unsafe_get d_o.Matrix.data ((i * out_w) + wi))
+          done
+        done;
+        dout := din
+    | _ -> assert false
+  done;
+  if need_dx then begin
+    let dfin = !dout in
+    for i = 0 to rows - 1 do
+      Array.blit dfin.Matrix.data
+        (i * dfin.Matrix.cols)
+        dx.Fmat.data
+        ((row0 + i) * dx.Fmat.d)
+        dx.Fmat.d
+    done
+  end;
+  grads
+
+let merge_grads (a : grad array) (b : grad array) : unit =
+  Array.iteri
+    (fun i g ->
+      match (g, b.(i)) with
+      | G_none, G_none -> ()
+      | G_dense (gw, gb), G_dense (gw', gb') ->
+          Matrix.axpy ~a:1.0 gw' gw;
+          Array.iteri (fun j v -> gb.(j) <- gb.(j) +. v) gb'
+      | G_conv (gf, gcb), G_conv (gf', gcb') ->
+          Matrix.axpy ~a:1.0 gf' gf;
+          Array.iteri (fun j v -> gcb.(j) <- gcb.(j) +. v) gcb'
+      | _ -> assert false)
+    a
+
+(* Pairwise stride-doubling reduction into slot 0: merge (s, s+step) for
+   step = 1, 2, 4, ...  The order is a function of the shard count only. *)
+let tree_reduce (merge : 'a -> 'a -> unit) (shards : 'a array) : unit =
+  let ns = Array.length shards in
+  let step = ref 1 in
+  while !step < ns do
+    let s = ref 0 in
+    while !s + !step < ns do
+      merge shards.(!s) shards.(!s + !step);
+      s := !s + (2 * !step)
+    done;
+    step := !step * 2
+  done
+
+let apply_grads ~(lr : float) (net : t) (g : grad array) : unit =
+  List.iteri
+    (fun li l ->
+      match (l, g.(li)) with
+      | Dense d, G_dense (gw, gb) ->
+          Array.iteri (fun j v -> d.b.(j) <- d.b.(j) -. (lr *. v)) gb;
+          let wd = d.w.Matrix.data and gwd = gw.Matrix.data in
+          for i = 0 to Array.length wd - 1 do
+            wd.(i) <- wd.(i) -. (lr *. gwd.(i))
+          done;
+          d.wt <- None
+      | Conv1d c, G_conv (gf, gcb) ->
+          Array.iteri (fun j v -> c.cbias.(j) <- c.cbias.(j) -. (lr *. v)) gcb;
+          let fd = c.filters.Matrix.data and gfd = gf.Matrix.data in
+          for i = 0 to Array.length fd - 1 do
+            fd.(i) <- fd.(i) -. (lr *. gfd.(i))
+          done;
+          c.ft <- None
+      | _, G_none -> ()
+      | _ -> assert false)
+    net.layers
+
+let train_batch ?(need_dx = true) ~(lr : float) ~(rng : Rng.t) (net : t)
+    (xb : Fmat.t) (yb : int array) : float * Fmat.t =
+  let m = xb.Fmat.n in
+  if m = 0 then (0.0, Fmat.create 0 xb.Fmat.d)
+  else begin
+    if Array.length yb <> m then
+      invalid_arg "Nn.train_batch: label count mismatch";
+    let widths = shape_widths net ~d_in:xb.Fmat.d in
+    (* dropout masks are pre-drawn on the calling domain, layer-major then
+       row-major, so the rng never reaches a worker and the draw order is
+       independent of sharding *)
+    let masks =
+      Array.of_list
+        (List.mapi
+           (fun li l ->
+             match l with
+             | Dropout d ->
+                 Some
+                   (Matrix.init m widths.(li) (fun _ _ ->
+                        if Rng.float rng < d.p then 0.0
+                        else 1.0 /. (1.0 -. d.p)))
+             | _ -> None)
+           net.layers)
+    in
+    let ns = (m + grad_shard_rows - 1) / grad_shard_rows in
+    let losses = Array.make m 0.0 in
+    let dx = Fmat.create m xb.Fmat.d in
+    let shard_grads = Array.make ns [||] in
+    Pool.run ~n:ns (fun s ->
+        let lo = s * grad_shard_rows in
+        let len = min grad_shard_rows (m - lo) in
+        let xm =
+          {
+            Matrix.rows = len;
+            cols = xb.Fmat.d;
+            data = Array.sub xb.Fmat.data (lo * xb.Fmat.d) (len * xb.Fmat.d);
+          }
+        in
+        let ys = Array.sub yb lo len in
+        shard_grads.(s) <-
+          run_shard net ~need_dx ~masks ~row0:lo ~xm ~yb:ys ~losses ~dx);
+    tree_reduce merge_grads shard_grads;
+    apply_grads ~lr net shard_grads.(0);
+    let total = ref 0.0 in
+    for i = 0 to m - 1 do
+      total := !total +. losses.(i)
+    done;
+    (!total /. float_of_int m, dx)
+  end
 
 (** Raw output-layer activations of one inference pass (no softmax). *)
 let logits (net : t) (x : float array) : float array =
@@ -256,7 +762,7 @@ let predict_batch (net : t) (x : Fmat.t) : int array =
       (fun l ->
         match l with
         | Dense d ->
-            let out = Matrix.matmul !a (Matrix.transpose d.w) in
+            let out = Matrix.matmul !a (dense_wt d) in
             for i = 0 to out.Matrix.rows - 1 do
               let base = i * out.Matrix.cols in
               for j = 0 to out.Matrix.cols - 1 do
@@ -308,8 +814,17 @@ let layer_to_bin b (l : layer) =
   | Dropout d ->
       Bin.w_u8 b 3;
       Bin.w_f64 b d.p
-  | Conv1d _ | MaxPool _ ->
-      invalid_arg "Nn.to_bin: convolutional layers are not snapshot-able"
+  | Conv1d c ->
+      Bin.w_u8 b 4;
+      Bin.w_u32 b c.c_in;
+      Bin.w_u32 b c.c_out;
+      Bin.w_u32 b c.kernel;
+      Bin.w_u32 b c.stride;
+      Matrix.to_bin b c.filters;
+      Bin.w_floats b c.cbias
+  | MaxPool m ->
+      Bin.w_u8 b 5;
+      Bin.w_u32 b m.size
 
 let layer_of_bin r : layer =
   match Bin.r_u8 r with
@@ -318,10 +833,30 @@ let layer_of_bin r : layer =
       let b = Bin.r_floats r in
       if Array.length b <> w.Matrix.rows then
         Bin.fail r "dense layer bias/weight shape mismatch";
-      Dense { w; b; last_in = [||] }
+      Dense { w; b; last_in = [||]; wt = None }
   | 1 -> Relu { mask = [||] }
   | 2 -> Tanh { out = [||] }
   | 3 -> Dropout { p = Bin.r_f64 r; dmask = [||] }
+  | 4 ->
+      let c_in = Bin.r_u32 r in
+      let c_out = Bin.r_u32 r in
+      let kernel = Bin.r_u32 r in
+      let stride = Bin.r_u32 r in
+      let filters = Matrix.of_bin r in
+      let cbias = Bin.r_floats r in
+      if stride <= 0 || kernel <= 0 || c_in <= 0 || c_out <= 0 then
+        Bin.fail r "conv layer with non-positive shape";
+      if filters.Matrix.rows <> c_out || filters.Matrix.cols <> c_in * kernel
+      then Bin.fail r "conv layer filter shape mismatch";
+      if Array.length cbias <> c_out then
+        Bin.fail r "conv layer bias shape mismatch";
+      Conv1d
+        { c_in; c_out; kernel; stride; filters; cbias; conv_in = [||];
+          in_len = 0; ft = None }
+  | 5 ->
+      let size = Bin.r_u32 r in
+      if size <= 0 then Bin.fail r "maxpool layer with non-positive size";
+      MaxPool { size; argmax = [||]; pool_in_len = 0 }
   | n -> Bin.fail r (Printf.sprintf "bad layer tag %d" n)
 
 let to_bin b (net : t) =

@@ -1,10 +1,17 @@
 (** A small feed-forward neural-network kernel with hand-written
     backpropagation: dense, ReLU, tanh, dropout, 1-D convolution and max
-    pooling, plus a softmax/cross-entropy training step.  Shared by the MLP,
-    CNN and DGCNN models.
+    pooling, plus a softmax/cross-entropy head.  Shared by the MLP, CNN and
+    DGCNN models.
 
     Convolution layout: a [c]-channel signal of length [l] is a flat array
-    of size [c*l], channel-major. *)
+    of size [c*l], channel-major.
+
+    Training paths: the per-example {!train_step} (used by the MLP) and the
+    batched minibatch kernel {!train_batch} (used by the CNN and the DGCNN
+    head), which runs whole-batch forward/backward as cache-tiled matmuls
+    with data-parallel gradient shards — bit-identical at any [--jobs], and
+    bit-identical to the frozen naive implementation in [Reference.Nnb]
+    (the ml/nn-kernel-vs-reference oracle). *)
 
 type layer
 
@@ -38,6 +45,40 @@ val softmax : float array -> float array
 val train_step :
   lr:float -> rng:Yali_util.Rng.t -> t -> float array -> int -> float * float array
 
+(** Rows per gradient shard of {!train_batch}.  Shard boundaries are a
+    function of the batch size only (never of [--jobs]); exposed so the
+    frozen reference and the differential tests partition identically. *)
+val grad_shard_rows : int
+
+(** In-place pairwise tree reduction into slot 0: merges [shards.(s+step)]
+    into [shards.(s)] for stride-doubling steps 1, 2, 4, … — the fixed
+    merge order that makes sharded gradient accumulation independent of
+    [--jobs].  Shared by {!train_batch} and the DGCNN's graph-convolution
+    gradient reduction (and mirrored verbatim by the frozen reference). *)
+val tree_reduce : ('a -> 'a -> unit) -> 'a array -> unit
+
+(** [train_batch ~lr ~rng net xb yb] performs ONE minibatch SGD step on the
+    whole batch: forward and backward as cache-tiled matmuls (im2col
+    lowering for 1-D convolutions), cross-entropy gradients {e summed} over
+    the batch (so the per-epoch step magnitude matches the per-example
+    trainer at the same learning rate), accumulated in fixed row shards of
+    {!grad_shard_rows} over {!Yali_exec.Pool} and merged in a fixed
+    pairwise tree order — bit-identical at any [--jobs].  Dropout masks are
+    drawn from [rng] on the calling domain, layer-major then row-major.
+    Returns the mean loss over the batch and dL/d(input) per row (for
+    models with differentiable layers below the network).  Callers that
+    discard the input gradient pass [~need_dx:false] to skip the first
+    layer's (otherwise unused) backward-to-input work; the returned [dx]
+    is then all zeros.  Weights are bit-identical either way. *)
+val train_batch :
+  ?need_dx:bool ->
+  lr:float ->
+  rng:Yali_util.Rng.t ->
+  t ->
+  Fmat.t ->
+  int array ->
+  float * Fmat.t
+
 (** Raw output-layer activations of one inference pass (no softmax); the
     first-maximum index is exactly {!predict}'s decision. *)
 val logits : t -> float array -> float array
@@ -46,16 +87,47 @@ val predict : t -> float array -> int
 
 (** Classify every row of a flat matrix.  Dense-only networks run the batch
     as one cache-tiled matmul per layer (same summation order as the
-    per-row path); convolutional networks fall back to per-row inference. *)
+    per-row path), against a per-layer cached weight transpose that is
+    invalidated on every weight update; convolutional networks fall back to
+    per-row inference. *)
 val predict_batch : t -> Fmat.t -> int array
 
 val size_bytes : t -> int
 
-(** Serialise a dense-only network (Dense/ReLU/tanh/dropout) bit-exactly;
-    training scratch (masks, cached activations) is not part of the model
-    and is not persisted.
-    @raise Invalid_argument on convolutional layers (the CNN keeps its
-    activation planes and is not snapshot-able) *)
+(** A read-only structural view of the layers.  The matrices and bias
+    arrays are the network's own storage (not copies): [Reference.Nnb] — the
+    frozen naive trainer that `bench nn` and the differential oracles
+    compare against — trains through this view.  Any code that mutates
+    weights through a view must call {!invalidate_caches} afterwards. *)
+type layer_view =
+  | V_dense of { w : Matrix.t; b : float array }
+  | V_relu
+  | V_tanh
+  | V_dropout of float
+  | V_conv1d of {
+      c_in : int;
+      c_out : int;
+      kernel : int;
+      stride : int;
+      filters : Matrix.t;
+      cbias : float array;
+    }
+  | V_maxpool of int
+
+val view : t -> layer_view list
+
+(** Drop the cached per-layer weight transposes (see {!predict_batch});
+    required after mutating weights through a {!view}. *)
+val invalidate_caches : t -> unit
+
+(** Every parameter array in layer order (weights then bias per
+    parameterised layer), copied — the bit-identity currency of the
+    differential tests. *)
+val dump_weights : t -> float array array
+
+(** Serialise a network bit-exactly (all layer kinds, including Conv1d and
+    MaxPool); training scratch (masks, cached activations, cached
+    transposes) is not part of the model and is not persisted. *)
 val to_bin : Buffer.t -> t -> unit
 
 (** @raise Yali_util.Bin.Corrupt on malformed input *)

@@ -331,3 +331,612 @@ module Logreg = struct
     let x = Features.transform t.scaler x in
     argmax (logits t.weights t.bias x)
 end
+
+(* -- frozen naive minibatch trainers (DESIGN.md §15) ------------------------ *)
+
+(* The minibatch rewrite of the neural tier (Nn.train_batch and the
+   cnn/dgcnn trainers built on it) is pinned against the naive
+   implementations below: the SAME minibatch algorithm — same shard
+   boundaries, same per-cell floating-point accumulation chains, same rng
+   draw order — expressed as per-sample boxed loops instead of tiled
+   matmuls, and run sequentially instead of over the worker pool.  The
+   ml/nn-kernel-vs-reference oracle and `bench nn` require the two sides to
+   produce bit-identical weights; the benchmark also measures the speedup
+   against this very code.  Do not "optimise" anything below. *)
+
+(* Duplicated from Nn.tree_reduce: pairwise stride-doubling reduction into
+   slot 0 — the merge order is part of the frozen contract. *)
+let tree_reduce (merge : 'a -> 'a -> unit) (shards : 'a array) : unit =
+  let ns = Array.length shards in
+  let step = ref 1 in
+  while !step < ns do
+    let s = ref 0 in
+    while !s + !step < ns do
+      merge shards.(!s) shards.(!s + !step);
+      s := !s + (2 * !step)
+    done;
+    step := !step * 2
+  done
+
+(* Fisher-Yates exactly as the kernel trainers consume the rng. *)
+let shuffle (rng : Rng.t) (order : int array) : unit =
+  for i = Array.length order - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let tmp = order.(i) in
+    order.(i) <- order.(j);
+    order.(j) <- tmp
+  done
+
+module Nnb = struct
+  type grad = G_none | G_par of Matrix.t * float array
+
+  type scr =
+    | Nothing
+    | In of float array
+    | Out of float array
+    | ConvS of { xin : float array; in_w : int; out_len : int }
+    | PoolS of { argmax : int array; in_w : int; out_w : int }
+
+  let widths_of (views : Nn.layer_view array) ~(d_in : int) : int array =
+    let nl = Array.length views in
+    let widths = Array.make (nl + 1) d_in in
+    for li = 0 to nl - 1 do
+      let w = widths.(li) in
+      widths.(li + 1) <-
+        (match views.(li) with
+        | Nn.V_dense { w = wm; _ } ->
+            if wm.Matrix.cols <> w then
+              invalid_arg "Reference.Nnb: dense layer width mismatch";
+            wm.Matrix.rows
+        | Nn.V_relu | Nn.V_tanh | Nn.V_dropout _ -> w
+        | Nn.V_conv1d c ->
+            let in_len = w / c.c_in in
+            let ol = ((in_len - c.kernel) / c.stride) + 1 in
+            if ol <= 0 then c.c_out else c.c_out * ol
+        | Nn.V_maxpool size -> w / size)
+    done;
+    widths
+
+  (* One minibatch SGD step through a {!Nn.view} of the network — the naive
+     counterpart of [Nn.train_batch].  Summed cross-entropy gradients,
+     shard-local accumulators of [Nn.grad_shard_rows] rows merged by
+     {!tree_reduce}, dropout masks drawn layer-major then row-major. *)
+  let train_batch ~(lr : float) ~(rng : Rng.t) (net : Nn.t) (xb : Fmat.t)
+      (yb : int array) : float * Fmat.t =
+    let m = xb.Fmat.n in
+    if m = 0 then (0.0, Fmat.create 0 xb.Fmat.d)
+    else begin
+      if Array.length yb <> m then
+        invalid_arg "Reference.Nnb.train_batch: label count mismatch";
+      let views = Array.of_list (Nn.view net) in
+      let nl = Array.length views in
+      let widths = widths_of views ~d_in:xb.Fmat.d in
+      let masks = Array.make nl None in
+      for li = 0 to nl - 1 do
+        match views.(li) with
+        | Nn.V_dropout p ->
+            let wd = widths.(li) in
+            let mk = Array.make (m * wd) 0.0 in
+            for i = 0 to m - 1 do
+              for j = 0 to wd - 1 do
+                mk.((i * wd) + j) <-
+                  (if Rng.float rng < p then 0.0 else 1.0 /. (1.0 -. p))
+              done
+            done;
+            masks.(li) <- Some mk
+        | _ -> ()
+      done;
+      let ns = (m + Nn.grad_shard_rows - 1) / Nn.grad_shard_rows in
+      let losses = Array.make m 0.0 in
+      let dx = Fmat.create m xb.Fmat.d in
+      let shard_grads =
+        Array.init ns (fun _ ->
+            Array.map
+              (function
+                | Nn.V_dense { w; _ } ->
+                    G_par
+                      ( Matrix.create w.Matrix.rows w.Matrix.cols,
+                        Array.make w.Matrix.rows 0.0 )
+                | Nn.V_conv1d c ->
+                    G_par
+                      ( Matrix.create c.c_out (c.c_in * c.kernel),
+                        Array.make c.c_out 0.0 )
+                | _ -> G_none)
+              views)
+      in
+      for s = 0 to ns - 1 do
+        let lo = s * Nn.grad_shard_rows in
+        let len = min Nn.grad_shard_rows (m - lo) in
+        let grads = shard_grads.(s) in
+        for r = 0 to len - 1 do
+          let row = lo + r in
+          let scratch = Array.make nl Nothing in
+          let a = ref (Fmat.row_copy xb row) in
+          for li = 0 to nl - 1 do
+            let x = !a in
+            match views.(li) with
+            | Nn.V_dense { w; b } ->
+                scratch.(li) <- In x;
+                let out = Array.make w.Matrix.rows 0.0 in
+                for o = 0 to w.Matrix.rows - 1 do
+                  let acc = ref b.(o) in
+                  for j = 0 to w.Matrix.cols - 1 do
+                    let xv = x.(j) in
+                    if xv <> 0.0 then acc := !acc +. (xv *. Matrix.get w o j)
+                  done;
+                  out.(o) <- !acc
+                done;
+                a := out
+            | Nn.V_relu ->
+                scratch.(li) <- In x;
+                a := Array.map (fun v -> if v > 0.0 then v else 0.0) x
+            | Nn.V_tanh ->
+                let out = Array.map tanh x in
+                scratch.(li) <- Out out;
+                a := out
+            | Nn.V_dropout _ ->
+                let mask = Option.get masks.(li) in
+                let wd = widths.(li) in
+                a := Array.mapi (fun j v -> v *. mask.((row * wd) + j)) x
+            | Nn.V_conv1d c ->
+                let in_w = Array.length x in
+                let in_len = in_w / c.c_in in
+                let out_len = ((in_len - c.kernel) / c.stride) + 1 in
+                scratch.(li) <- ConvS { xin = x; in_w; out_len };
+                if out_len <= 0 then a := Array.make c.c_out 0.0
+                else begin
+                  let out = Array.make (c.c_out * out_len) 0.0 in
+                  for o = 0 to c.c_out - 1 do
+                    for p = 0 to out_len - 1 do
+                      let acc = ref c.cbias.(o) in
+                      for ci = 0 to c.c_in - 1 do
+                        for k = 0 to c.kernel - 1 do
+                          let xv = x.((ci * in_len) + (p * c.stride) + k) in
+                          if xv <> 0.0 then
+                            acc :=
+                              !acc
+                              +. (xv
+                                 *. Matrix.get c.filters o ((ci * c.kernel) + k))
+                        done
+                      done;
+                      out.((o * out_len) + p) <- !acc
+                    done
+                  done;
+                  a := out
+                end
+            | Nn.V_maxpool size ->
+                let in_w = Array.length x in
+                let out_w = in_w / size in
+                let amax = Array.make out_w 0 in
+                let out =
+                  Array.init out_w (fun wi ->
+                      let base = wi * size in
+                      let best = ref base in
+                      for k = 1 to size - 1 do
+                        if base + k < in_w && x.(base + k) > x.(!best) then
+                          best := base + k
+                      done;
+                      amax.(wi) <- !best;
+                      x.(!best))
+                in
+                scratch.(li) <- PoolS { argmax = amax; in_w; out_w };
+                a := out
+          done;
+          let logits = !a in
+          let p = Nn.softmax logits in
+          let y = yb.(row) in
+          losses.(row) <- -.log (max 1e-12 p.(y));
+          let g =
+            ref (Array.mapi (fun j v -> v -. if j = y then 1.0 else 0.0) p)
+          in
+          for li = nl - 1 downto 0 do
+            let d_o = !g in
+            match (views.(li), scratch.(li), grads.(li)) with
+            | Nn.V_dense { w; _ }, In xin, G_par (gw, gb) ->
+                for o = 0 to Array.length d_o - 1 do
+                  gb.(o) <- gb.(o) +. d_o.(o)
+                done;
+                for o = 0 to Array.length d_o - 1 do
+                  let gv = d_o.(o) in
+                  if gv <> 0.0 then
+                    for j = 0 to Array.length xin - 1 do
+                      Matrix.set gw o j (Matrix.get gw o j +. (gv *. xin.(j)))
+                    done
+                done;
+                g :=
+                  Array.init w.Matrix.cols (fun j ->
+                      let acc = ref 0.0 in
+                      for o = 0 to w.Matrix.rows - 1 do
+                        let gv = d_o.(o) in
+                        if gv <> 0.0 then
+                          acc := !acc +. (gv *. Matrix.get w o j)
+                      done;
+                      !acc)
+            | Nn.V_relu, In xin, G_none ->
+                g :=
+                  Array.mapi
+                    (fun j v -> if xin.(j) > 0.0 then v else 0.0)
+                    d_o
+            | Nn.V_tanh, Out out, G_none ->
+                g :=
+                  Array.mapi
+                    (fun j v -> v *. (1.0 -. (out.(j) *. out.(j))))
+                    d_o
+            | Nn.V_dropout _, Nothing, G_none ->
+                let mask = Option.get masks.(li) in
+                let wd = widths.(li) in
+                g := Array.mapi (fun j v -> v *. mask.((row * wd) + j)) d_o
+            | Nn.V_conv1d c, ConvS { xin; in_w; out_len }, G_par (gf, gcb) ->
+                if out_len <= 0 then g := Array.make in_w 0.0
+                else begin
+                  let in_len = in_w / c.c_in in
+                  for p = 0 to out_len - 1 do
+                    for o = 0 to c.c_out - 1 do
+                      gcb.(o) <- gcb.(o) +. d_o.((o * out_len) + p)
+                    done
+                  done;
+                  for p = 0 to out_len - 1 do
+                    for o = 0 to c.c_out - 1 do
+                      let gv = d_o.((o * out_len) + p) in
+                      if gv <> 0.0 then
+                        for ci = 0 to c.c_in - 1 do
+                          for k = 0 to c.kernel - 1 do
+                            let col = (ci * c.kernel) + k in
+                            Matrix.set gf o col
+                              (Matrix.get gf o col
+                              +. (gv
+                                 *. xin.((ci * in_len) + (p * c.stride) + k)))
+                          done
+                        done
+                    done
+                  done;
+                  let din = Array.make in_w 0.0 in
+                  let cols = c.c_in * c.kernel in
+                  let dimrow = Array.make cols 0.0 in
+                  for p = 0 to out_len - 1 do
+                    for col = 0 to cols - 1 do
+                      let acc = ref 0.0 in
+                      for o = 0 to c.c_out - 1 do
+                        let gv = d_o.((o * out_len) + p) in
+                        if gv <> 0.0 then
+                          acc := !acc +. (gv *. Matrix.get c.filters o col)
+                      done;
+                      dimrow.(col) <- !acc
+                    done;
+                    for ci = 0 to c.c_in - 1 do
+                      for k = 0 to c.kernel - 1 do
+                        let xi = (ci * in_len) + (p * c.stride) + k in
+                        din.(xi) <- din.(xi) +. dimrow.((ci * c.kernel) + k)
+                      done
+                    done
+                  done;
+                  g := din
+                end
+            | Nn.V_maxpool _, PoolS { argmax; in_w; out_w }, G_none ->
+                let din = Array.make in_w 0.0 in
+                for wi = 0 to out_w - 1 do
+                  din.(argmax.(wi)) <- din.(argmax.(wi)) +. d_o.(wi)
+                done;
+                g := din
+            | _ -> assert false
+          done;
+          Array.blit !g 0 dx.Fmat.data (row * dx.Fmat.d) dx.Fmat.d
+        done
+      done;
+      tree_reduce
+        (fun a b ->
+          Array.iteri
+            (fun i ga ->
+              match (ga, b.(i)) with
+              | G_none, G_none -> ()
+              | G_par (gw, gb), G_par (gw', gb') ->
+                  Array.iteri
+                    (fun j v ->
+                      gw.Matrix.data.(j) <- gw.Matrix.data.(j) +. v)
+                    gw'.Matrix.data;
+                  Array.iteri (fun j v -> gb.(j) <- gb.(j) +. v) gb'
+              | _ -> assert false)
+            a)
+        shard_grads;
+      Array.iteri
+        (fun li v ->
+          match (v, shard_grads.(0).(li)) with
+          | Nn.V_dense { w; b }, G_par (gw, gb) ->
+              Array.iteri (fun j gv -> b.(j) <- b.(j) -. (lr *. gv)) gb;
+              let wd = w.Matrix.data and gwd = gw.Matrix.data in
+              for i = 0 to Array.length wd - 1 do
+                wd.(i) <- wd.(i) -. (lr *. gwd.(i))
+              done
+          | Nn.V_conv1d c, G_par (gf, gcb) ->
+              Array.iteri
+                (fun j gv -> c.cbias.(j) <- c.cbias.(j) -. (lr *. gv))
+                gcb;
+              let fd = c.filters.Matrix.data and gfd = gf.Matrix.data in
+              for i = 0 to Array.length fd - 1 do
+                fd.(i) <- fd.(i) -. (lr *. gfd.(i))
+              done
+          | _, G_none -> ()
+          | _ -> assert false)
+        views;
+      Nn.invalidate_caches net;
+      let total = ref 0.0 in
+      for i = 0 to m - 1 do
+        total := !total +. losses.(i)
+      done;
+      (!total /. float_of_int m, dx)
+    end
+end
+
+module Cnn = struct
+  (* The naive counterpart of [Cnn.train]: identical rng consumption
+     (build_net draws, per-epoch shuffles, per-batch dropout masks) and
+     identical minibatch schedule, with every SGD step going through
+     {!Nnb.train_batch} instead of the kernel. *)
+  let train ?params (rng : Rng.t) ~(n_classes : int) (x : Fmat.t)
+      (ys : int array) : Cnn.t =
+    let params =
+      match params with Some p -> p | None -> Cnn.default_params
+    in
+    let scaler, x = Features.fit_transform_fmat x in
+    let net = Cnn.build_net rng ~d_in:x.Fmat.d ~n_classes in
+    let n = x.Fmat.n in
+    let order = Array.init n Fun.id in
+    let batch = params.Cnn.batch in
+    for epoch = 0 to params.Cnn.epochs - 1 do
+      let lr = params.Cnn.lr /. (1.0 +. (0.05 *. float_of_int epoch)) in
+      shuffle rng order;
+      let nb = (n + batch - 1) / batch in
+      for b = 0 to nb - 1 do
+        let lo = b * batch in
+        let m = min batch (n - lo) in
+        let xb = Fmat.create m x.Fmat.d in
+        for i = 0 to m - 1 do
+          Array.blit x.Fmat.data
+            (order.(lo + i) * x.Fmat.d)
+            xb.Fmat.data (i * x.Fmat.d) x.Fmat.d
+        done;
+        let yb = Array.init m (fun i -> ys.(order.(lo + i))) in
+        ignore (Nnb.train_batch ~lr ~rng net xb yb)
+      done
+    done;
+    Cnn.of_parts ~scaler ~net
+end
+
+module Dgcnn = struct
+  module Graph = Yali_embeddings.Graph
+
+  (* Naive counterpart of the DGCNN minibatch trainer: same initialisation
+     draws ([Dgcnn.init_gc_weights] / [Dgcnn.build_head]), duplicated
+     forward/backward on [Matrix.matmul_naive], same shard-structured
+     gradient accumulation merged by {!tree_reduce}, head steps through
+     {!Nnb.train_batch}. *)
+
+  let total_channels (p : Dgcnn.params) =
+    List.fold_left ( + ) 0 p.Dgcnn.gc_channels
+
+  let propagate (adj : int list array) (x : Matrix.t) : Matrix.t =
+    let n = x.Matrix.rows and d = x.Matrix.cols in
+    let y = Matrix.create n d in
+    for i = 0 to n - 1 do
+      let neigh = i :: adj.(i) in
+      let deg = float_of_int (List.length neigh) in
+      List.iter
+        (fun j ->
+          for c = 0 to d - 1 do
+            Matrix.set y i c (Matrix.get y i c +. (Matrix.get x j c /. deg))
+          done)
+        neigh
+    done;
+    y
+
+  let propagate_t (adj : int list array) (dy : Matrix.t) : Matrix.t =
+    let n = dy.Matrix.rows and d = dy.Matrix.cols in
+    let dx = Matrix.create n d in
+    for i = 0 to n - 1 do
+      let neigh = i :: adj.(i) in
+      let deg = float_of_int (List.length neigh) in
+      List.iter
+        (fun j ->
+          for c = 0 to d - 1 do
+            Matrix.set dx j c (Matrix.get dx j c +. (Matrix.get dy i c /. deg))
+          done)
+        neigh
+    done;
+    dx
+
+  type forward_state = {
+    adj : int list array;
+    px_list : Matrix.t list;
+    z_list : Matrix.t list;
+    concat : Matrix.t;
+    order : int array;
+    flat : float array;
+  }
+
+  let forward_graph (p : Dgcnn.params) (gc_weights : Matrix.t list)
+      (g : Graph.t) : forward_state =
+    let g =
+      if Graph.node_count g = 0 then
+        { g with Graph.node_feats = [| Array.make g.feat_dim 0.0 |]; edges = [] }
+      else g
+    in
+    let g =
+      let cap = p.Dgcnn.max_nodes in
+      if Graph.node_count g <= cap then g
+      else
+        {
+          g with
+          Graph.node_feats = Array.sub g.node_feats 0 cap;
+          edges = List.filter (fun (s, d, _) -> s < cap && d < cap) g.edges;
+        }
+    in
+    let adj = Graph.undirected_adjacency g in
+    let x0 =
+      Matrix.map (fun v -> Float.copy_sign (log1p (Float.abs v)) v)
+        (Matrix.of_rows g.node_feats)
+    in
+    let n = Matrix.(x0.rows) in
+    let rec go z ws px_acc z_acc =
+      match ws with
+      | [] -> (List.rev px_acc, List.rev z_acc)
+      | w :: rest ->
+          let px = propagate adj z in
+          let zl = Matrix.map tanh (Matrix.matmul_naive px w) in
+          go zl rest (px :: px_acc) (zl :: z_acc)
+    in
+    let px_list, z_list = go x0 gc_weights [] [] in
+    let tc = total_channels p in
+    let concat = Matrix.create n tc in
+    let off = ref 0 in
+    List.iter
+      (fun (z : Matrix.t) ->
+        for i = 0 to n - 1 do
+          for c = 0 to z.Matrix.cols - 1 do
+            Matrix.set concat i (!off + c) (Matrix.get z i c)
+          done
+        done;
+        off := !off + z.Matrix.cols)
+      z_list;
+    let k = p.Dgcnn.sortpool_k in
+    let order = Array.init n Fun.id in
+    Array.sort
+      (fun a b ->
+        compare (Matrix.get concat b (tc - 1)) (Matrix.get concat a (tc - 1)))
+      order;
+    let flat = Array.make (k * tc) 0.0 in
+    for r = 0 to min k n - 1 do
+      let i = order.(r) in
+      for c = 0 to tc - 1 do
+        flat.((r * tc) + c) <- Matrix.get concat i c
+      done
+    done;
+    { adj; px_list; z_list; concat; order; flat }
+
+  let graph_backward (p : Dgcnn.params) (gc_weights : Matrix.t list)
+      (st : forward_state) (dflat : float array) : Matrix.t list =
+    let tc = total_channels p in
+    let nn = st.concat.Matrix.rows in
+    let dconcat = Matrix.create nn tc in
+    for r = 0 to min p.Dgcnn.sortpool_k nn - 1 do
+      let node = st.order.(r) in
+      for c = 0 to tc - 1 do
+        Matrix.set dconcat node c (dflat.((r * tc) + c))
+      done
+    done;
+    let layer_grads =
+      let off = ref 0 in
+      List.map
+        (fun (z : Matrix.t) ->
+          let dz = Matrix.create nn z.Matrix.cols in
+          for i' = 0 to nn - 1 do
+            for c = 0 to z.Matrix.cols - 1 do
+              Matrix.set dz i' c (Matrix.get dconcat i' (!off + c))
+            done
+          done;
+          off := !off + z.Matrix.cols;
+          dz)
+        st.z_list
+    in
+    let rev_w = List.rev gc_weights in
+    let rev_z = List.rev st.z_list in
+    let rev_px = List.rev st.px_list in
+    let rev_dz = List.rev layer_grads in
+    let rec back ws zs pxs dzs (carry : Matrix.t option) (dws : Matrix.t list)
+        =
+      match (ws, zs, pxs, dzs) with
+      | [], [], [], [] -> dws
+      | w :: ws', z :: zs', px :: pxs', dz :: dzs' ->
+          let dz_total =
+            match carry with Some c -> Matrix.add dz c | None -> dz
+          in
+          let dpre =
+            Matrix.init nn z.Matrix.cols (fun i' c ->
+                let zv = Matrix.get z i' c in
+                Matrix.get dz_total i' c *. (1.0 -. (zv *. zv)))
+          in
+          let dw = Matrix.matmul_naive (Matrix.transpose px) dpre in
+          let dprev =
+            propagate_t st.adj (Matrix.matmul_naive dpre (Matrix.transpose w))
+          in
+          back ws' zs' pxs' dzs' (Some dprev) (dw :: dws)
+      | _ -> assert false
+    in
+    back rev_w rev_z rev_px rev_dz None []
+
+  let train ?params (rng : Rng.t) ~(n_classes : int) ~(feat_dim : int)
+      (graphs : Graph.t array) (ys : int array) : Dgcnn.t =
+    let params =
+      match params with Some p -> p | None -> Dgcnn.default_params
+    in
+    let gc_weights = Dgcnn.init_gc_weights rng params ~feat_dim in
+    let head = Dgcnn.build_head rng params ~n_classes in
+    let n = Array.length graphs in
+    let order = Array.init n Fun.id in
+    let flat_w = params.Dgcnn.sortpool_k * total_channels params in
+    for epoch = 0 to params.Dgcnn.epochs - 1 do
+      let lr =
+        params.Dgcnn.lr /. (1.0 +. (0.05 *. float_of_int epoch))
+      in
+      shuffle rng order;
+      let batch = params.Dgcnn.batch in
+      let nb = (n + batch - 1) / batch in
+      for b = 0 to nb - 1 do
+        let lo = b * batch in
+        let m = min batch (n - lo) in
+        let states =
+          Array.init m (fun i ->
+              forward_graph params gc_weights graphs.(order.(lo + i)))
+        in
+        let flats = Fmat.create m flat_w in
+        for i = 0 to m - 1 do
+          Array.blit states.(i).flat 0 flats.Fmat.data (i * flat_w) flat_w
+        done;
+        let yb = Array.init m (fun i -> ys.(order.(lo + i))) in
+        let _loss, dflat = Nnb.train_batch ~lr ~rng head flats yb in
+        let ns = (m + Nn.grad_shard_rows - 1) / Nn.grad_shard_rows in
+        let shard_acc =
+          Array.init ns (fun _ ->
+              List.map
+                (fun (w : Matrix.t) ->
+                  Matrix.create w.Matrix.rows w.Matrix.cols)
+                gc_weights)
+        in
+        for s = 0 to ns - 1 do
+          let slo = s * Nn.grad_shard_rows in
+          let shi = min m (slo + Nn.grad_shard_rows) in
+          let accs = shard_acc.(s) in
+          for i = slo to shi - 1 do
+            let dws =
+              graph_backward params gc_weights states.(i)
+                (Fmat.row_copy dflat i)
+            in
+            List.iter2
+              (fun (acc : Matrix.t) (dw : Matrix.t) ->
+                for j = 0 to Array.length acc.Matrix.data - 1 do
+                  acc.Matrix.data.(j) <-
+                    acc.Matrix.data.(j) +. (1.0 *. dw.Matrix.data.(j))
+                done)
+              accs dws
+          done
+        done;
+        tree_reduce
+          (fun a b ->
+            List.iter2
+              (fun (x : Matrix.t) (y : Matrix.t) ->
+                for j = 0 to Array.length x.Matrix.data - 1 do
+                  x.Matrix.data.(j) <-
+                    x.Matrix.data.(j) +. (1.0 *. y.Matrix.data.(j))
+                done)
+              a b)
+          shard_acc;
+        List.iter2
+          (fun (w : Matrix.t) (dw : Matrix.t) ->
+            for j = 0 to Array.length w.Matrix.data - 1 do
+              w.Matrix.data.(j) <-
+                w.Matrix.data.(j) +. (-.lr *. dw.Matrix.data.(j))
+            done)
+          gc_weights shard_acc.(0)
+      done
+    done;
+    Dgcnn.of_parts ~params ~gc_weights ~head ~feat_dim ~n_classes
+end

@@ -71,3 +71,45 @@ module Logreg : sig
 
   val predict : t -> float array -> int
 end
+
+(** Frozen naive minibatch trainers for the neural tier (DESIGN.md §15): the
+    SAME minibatch algorithm as [Nn.train_batch] and the cnn/dgcnn trainers
+    — same shard boundaries, accumulation chains and rng draw order — as
+    sequential per-sample boxed loops.  The ml/nn-kernel-vs-reference
+    oracles and [bench nn] pin the kernelized trainers bit-identical to
+    these, and measure the speedup against them. *)
+
+module Nnb : sig
+  (** Naive counterpart of [Nn.train_batch], training through [Nn.view]
+      (shared storage; invalidates the net's transpose caches itself). *)
+  val train_batch :
+    lr:float ->
+    rng:Yali_util.Rng.t ->
+    Nn.t ->
+    Fmat.t ->
+    int array ->
+    float * Fmat.t
+end
+
+module Cnn : sig
+  (** Naive counterpart of [Cnn.train]; bit-identical weights. *)
+  val train :
+    ?params:Cnn.params ->
+    Yali_util.Rng.t ->
+    n_classes:int ->
+    Fmat.t ->
+    int array ->
+    Cnn.t
+end
+
+module Dgcnn : sig
+  (** Naive counterpart of [Dgcnn.train]; bit-identical weights. *)
+  val train :
+    ?params:Dgcnn.params ->
+    Yali_util.Rng.t ->
+    n_classes:int ->
+    feat_dim:int ->
+    Yali_embeddings.Graph.t array ->
+    int array ->
+    Dgcnn.t
+end

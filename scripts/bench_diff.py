@@ -29,6 +29,11 @@ DIRECTIONS = [
     ("throughput", +1),
     ("speedup", +1),
     ("accuracy", +1),
+    # fig5 per-model entries (bench fig5 --json) and the nn gate's
+    # throughput/speedup fields otherwise fall through to the generic
+    # suffixes above
+    ("accuracy_mean", +1),
+    ("accuracy_std", -1),
     ("evasion", +1),
     ("evasion_rate", +1),
     ("front_points", +1),

@@ -15,6 +15,7 @@ let () =
       ("obfuscation", Test_obfuscation.suite);
       ("embeddings", Test_embeddings.suite);
       ("ml", Test_ml.suite);
+      ("nn", Test_nn.suite);
       ("fmat", Test_fmat.suite);
       ("dataset", Test_dataset.suite);
       ("gen_dsl", Test_gen_dsl.suite);
